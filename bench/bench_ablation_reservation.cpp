@@ -1,0 +1,57 @@
+// Ablation: QoS by explicit reservation (paper section IV-C).
+//
+// A tagged flow transfers 10 MB while background load ramps up. Without a
+// reservation its FCT degrades with load; with a 50 Mbps minimum-rate
+// reservation it stays near the reserved-rate bound.
+#include <cstdio>
+
+#include "core/cloud.h"
+#include "util/units.h"
+
+using namespace scda;
+
+namespace {
+
+double tagged_fct(int background_flows, double reserved_bps,
+                  std::uint64_t seed) {
+  sim::Simulator sim(seed);
+  core::CloudConfig cfg;
+  cfg.topology.n_agg = 2;
+  cfg.topology.tors_per_agg = 2;
+  cfg.topology.servers_per_tor = 4;
+  cfg.topology.n_clients = 16;
+  cfg.topology.base_bps = util::mbps(200);
+  cfg.enable_replication = false;
+  core::Cloud cloud(sim, cfg);
+
+  double fct = -1;
+  cloud.add_completion_callback(
+      [&](const transport::FlowRecord& rec, const core::CloudOp& op) {
+        if (op.content == 999) fct = rec.fct();
+      });
+
+  // Background: long flows from the same client (shared uplink bottleneck).
+  for (int i = 0; i < background_flows; ++i)
+    cloud.write(0, i + 1, util::megabytes(40));
+  cloud.write(0, 999, util::megabytes(10),
+              transport::ContentClass::kSemiInteractive, 1.0, reserved_bps);
+  sim.run_until(300.0);
+  return fct;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== ablation: explicit minimum-rate reservation (sec IV-C) ====\n");
+  std::printf("# tagged flow: 10 MB; reservation: 50 Mbps; background: 40 MB flows\n");
+  std::printf("%-12s %-20s %-20s\n", "bg_flows", "fct_no_reservation",
+              "fct_with_reservation");
+  for (const int bg : {0, 2, 4, 8}) {
+    const double without = tagged_fct(bg, 0.0, 42);
+    const double with = tagged_fct(bg, util::mbps(50), 42);
+    std::printf("%-12d %-20.3f %-20.3f\n", bg, without, with);
+  }
+  std::printf("# reserved-rate bound: 10 MB / 50 Mbps = %.2f s (+control)\n",
+              10e6 * 8 / 50e6);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Ablation: realtime SLA-violation detection and mitigation (paper IV-A).
+//
+// Part 1 — detection latency: an overload (reservations exceeding a link's
+// capacity) starts at t=2 s; the RM/RA detect it within ~one control
+// interval tau. We report the detection lag for several tau values.
+//
+// Part 2 — mitigation: with the reserve-capacity boost enabled, violations
+// stop after the boost switches backup capacity into the congested link.
+#include <cstdio>
+
+#include "core/cloud.h"
+#include "util/units.h"
+
+using namespace scda;
+
+namespace {
+
+core::CloudConfig base() {
+  core::CloudConfig cfg;
+  cfg.topology.n_agg = 2;
+  cfg.topology.tors_per_agg = 2;
+  cfg.topology.servers_per_tor = 4;
+  cfg.topology.n_clients = 8;
+  cfg.topology.base_bps = util::mbps(200);
+  cfg.enable_replication = false;
+  return cfg;
+}
+
+void detection_latency(double tau) {
+  sim::Simulator sim(3);
+  auto cfg = base();
+  cfg.params.tau = tau;
+  core::Cloud cloud(sim, cfg);
+  const double t_overload = 2.0;
+  sim.schedule_at(t_overload, [&] {
+    // Two 150 Mbps reservations through one client's 200 Mbps uplink.
+    cloud.write(0, 1, util::megabytes(50),
+                transport::ContentClass::kSemiInteractive, 1.0,
+                util::mbps(150));
+    cloud.write(0, 2, util::megabytes(50),
+                transport::ContentClass::kSemiInteractive, 1.0,
+                util::mbps(150));
+  });
+  sim.run_until(10.0);
+  double first = -1;
+  for (const auto& ev : cloud.sla().events()) {
+    if (ev.time >= t_overload) {
+      first = ev.time;
+      break;
+    }
+  }
+  // The overload begins once the flows start (control latency ~0.105 s
+  // after the writes are issued).
+  std::printf("tau=%5.0f ms: first violation at t=%.3f s "
+              "(overload issued at t=%.1f s), total events=%zu\n",
+              tau * 1e3, first, t_overload, cloud.sla().events().size());
+}
+
+void mitigation(bool boost) {
+  sim::Simulator sim(4);
+  auto cfg = base();
+  core::Cloud cloud(sim, cfg);
+  if (boost) cloud.sla().enable_capacity_boost(/*threshold=*/5, /*boost=*/2.0);
+  cloud.write(0, 1, util::megabytes(60),
+              transport::ContentClass::kSemiInteractive, 1.0,
+              util::mbps(150));
+  cloud.write(0, 2, util::megabytes(60),
+              transport::ContentClass::kSemiInteractive, 1.0,
+              util::mbps(150));
+  sim.run_until(60.0);
+  std::printf("boost=%-3s violations=%4zu boosts=%llu\n",
+              boost ? "on" : "off", cloud.sla().events().size(),
+              static_cast<unsigned long long>(cloud.sla().boosts_applied()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== ablation: SLA violation detection & mitigation (sec IV-A) ====\n");
+  std::printf("-- detection latency vs control interval --\n");
+  for (const double tau : {0.01, 0.025, 0.05, 0.1}) detection_latency(tau);
+
+  std::printf("\n-- reserve-capacity mitigation --\n");
+  mitigation(false);
+  mitigation(true);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figures 13-14: datacenter traces, bandwidth factor K = 1.
+//
+// AFCT vs content size (fig. 13) and FCT CDF (fig. 14) for SCDA vs RandTCP
+// under mice/elephant datacenter traffic with equal-bandwidth agg<->core
+// links. Expected shape: SCDA AFCT up to ~50% lower, with far smaller
+// fluctuation across size bins; SCDA's CDF strictly left of RandTCP's.
+#include "harness.h"
+#include "util/units.h"
+
+int main() {
+  using namespace scda;
+  bench::ExperimentConfig cfg;
+  cfg.name = "datacenter traces K=1 (figs 13-14)";
+  cfg.topology.base_bps = util::mbps(500);
+  cfg.topology.k_factor = 1.0;
+  cfg.topology.n_agg = 4;
+  cfg.topology.tors_per_agg = 5;
+  cfg.topology.servers_per_tor = 8;
+  cfg.topology.n_clients = 64;
+  cfg.driver.end_time_s = 100.0;
+  cfg.driver.read_fraction = 0.3;
+  cfg.sim_time_s = 120.0;
+  cfg.make_generator = [] {
+    workload::DatacenterWorkloadConfig w;
+    w.arrival_rate = 60.0;
+    return std::make_unique<workload::DatacenterWorkload>(w);
+  };
+
+  bench::FigureIds figs;
+  figs.afct_fig = 13;
+  figs.cdf_fig = 14;
+  figs.afct_size_unit = 1e3;
+  figs.afct_unit_name = "KB";
+
+  bench::AfctBinning bins;
+  bins.bin_bytes = 500e3;  // paper fig 13 x-axis runs to 7000 KB
+  bins.max_bytes = 8e6;
+
+  bench::run_comparison(cfg, figs, bins);
+  return 0;
+}

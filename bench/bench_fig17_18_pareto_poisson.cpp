@@ -1,0 +1,35 @@
+// Figures 17-18: Pareto file sizes + Poisson arrivals.
+//
+// Paper section X-B: file sizes Pareto with mean 500 KB and shape 1.6,
+// arrivals Poisson with mean 200 flows/s, base bandwidth X = 200 Mbps,
+// bandwidth factor K = 3. Expected shape: SCDA sustains higher
+// instantaneous throughput and its FCT CDF sits left of RandTCP.
+#include "harness.h"
+#include "util/units.h"
+
+int main() {
+  using namespace scda;
+  bench::ExperimentConfig cfg;
+  cfg.name = "Pareto sizes + Poisson arrivals (figs 17-18)";
+  cfg.topology.base_bps = util::mbps(200);  // X = 200 Mbps (paper X-B)
+  cfg.topology.k_factor = 3.0;
+  cfg.topology.n_clients = 64;
+  cfg.driver.end_time_s = 100.0;
+  cfg.driver.read_fraction = 0.3;
+  cfg.sim_time_s = 120.0;
+  cfg.make_generator = [] {
+    workload::ParetoPoissonConfig w;  // paper defaults: 500 KB / 1.6 / 200
+    return std::make_unique<workload::ParetoPoissonWorkload>(w);
+  };
+
+  bench::FigureIds figs;
+  figs.throughput_fig = 17;
+  figs.cdf_fig = 18;
+
+  bench::AfctBinning bins;
+  bins.bin_bytes = 250e3;
+  bins.max_bytes = 5e6;
+
+  bench::run_comparison(cfg, figs, bins);
+  return 0;
+}

@@ -1,0 +1,195 @@
+// Shared experiment harness for the figure-reproduction benchmarks.
+//
+// Each bench binary configures a workload + topology, then runs the same
+// experiment twice — once with SCDA (rate-metric placement + allocated-rate
+// transport) and once with RandTCP (random placement + TCP NewReno, the
+// VL2/Hedera-style baseline) — and prints the series the paper's figures
+// plot, plus the headline SCDA-vs-RandTCP comparison.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/cloud.h"
+#include "stats/collector.h"
+#include "stats/emit.h"
+#include "stats/throughput.h"
+#include "workload/driver.h"
+#include "workload/generators.h"
+
+namespace scda::bench {
+
+struct ExperimentConfig {
+  std::string name;
+  net::TopologyConfig topology;
+  core::ScdaParams params;
+  workload::DriverConfig driver;
+  std::function<std::unique_ptr<workload::Generator>()> make_generator;
+  /// Simulated span: arrivals stop at driver.end_time_s; the run continues
+  /// to drain in-flight transfers until this time.
+  double sim_time_s = 120.0;
+  double throughput_interval_s = 1.0;
+  std::uint64_t seed = 0x5cda2013ULL;
+  /// The paper's figures measure client-visible transfers; internal
+  /// replication traffic is left off by default in the figure benches and
+  /// exercised by the ablation benches instead.
+  bool enable_replication = false;
+};
+
+/// Set SCDA_BENCH_QUICK=1 to run every experiment at 1/5 duration — handy
+/// while iterating; the emitted series are proportionally shorter.
+inline bool quick_mode() {
+  const char* v = std::getenv("SCDA_BENCH_QUICK");
+  return v != nullptr && v[0] == '1';
+}
+
+struct RunResult {
+  stats::Summary summary;
+  std::vector<stats::ThroughputSample> throughput;
+  std::vector<stats::CdfPoint> fct_cdf;
+  std::vector<stats::AfctBin> afct;
+  double mean_throughput_kbs = 0;
+  std::uint64_t sla_violations = 0;
+  std::uint64_t failed_reads = 0;
+  double energy_j = 0;
+  std::uint64_t flows_completed = 0;
+  std::uint64_t events = 0;
+};
+
+struct AfctBinning {
+  double bin_bytes = 1e6;   ///< paper figs 9/12 bin by MB; 13/15 by ~KB
+  double max_bytes = 90e6;
+};
+
+inline RunResult run_once(const ExperimentConfig& cfg_in,
+                          core::PlacementPolicy placement,
+                          transport::TransportKind transport,
+                          const AfctBinning& binning) {
+  ExperimentConfig cfg = cfg_in;
+  if (quick_mode()) {
+    cfg.driver.end_time_s /= 5.0;
+    cfg.sim_time_s = cfg.driver.end_time_s + 15.0;
+  }
+  sim::Simulator sim(cfg.seed);
+
+  core::CloudConfig cc;
+  cc.topology = cfg.topology;
+  cc.params = cfg.params;
+  cc.placement = placement;
+  cc.transport = transport;
+  cc.enable_replication = cfg.enable_replication;
+
+  core::Cloud cloud(sim, cc);
+  stats::FlowStatsCollector collector(cloud);
+  stats::ThroughputSampler thpt(sim, cloud.transports(),
+                                cfg.throughput_interval_s);
+
+  workload::WorkloadDriver driver(cloud, cfg.make_generator(), cfg.driver);
+  driver.start();
+
+  RunResult r;
+  r.events = sim.run_until(cfg.sim_time_s);
+  thpt.stop();
+
+  r.summary = collector.summary();
+  r.throughput = thpt.series();
+  r.fct_cdf = collector.fct_cdf();
+  r.afct = collector.afct_by_size(binning.bin_bytes, binning.max_bytes);
+  // Mean instantaneous throughput over the arrival window (the paper's
+  // figures span the 100 s of arrivals); the drain tail would otherwise
+  // penalize the system that finishes its backlog *earlier*.
+  {
+    double sum = 0;
+    std::size_t n = 0;
+    for (const auto& s : r.throughput) {
+      if (s.time_s <= cfg.driver.end_time_s) {
+        sum += s.kbytes_per_s;
+        ++n;
+      }
+    }
+    r.mean_throughput_kbs = n ? sum / static_cast<double>(n) : 0.0;
+  }
+  r.sla_violations = cloud.allocator().sla_violations();
+  r.failed_reads = cloud.failed_reads();
+  r.energy_j = cloud.total_energy_j();
+  r.flows_completed = collector.count();
+  return r;
+}
+
+struct FigureIds {
+  /// Figure numbers from the paper; -1 skips that series.
+  int throughput_fig = -1;
+  int cdf_fig = -1;
+  int afct_fig = -1;
+  double afct_size_unit = 1e6;
+  const char* afct_unit_name = "MB";
+};
+
+/// Run both systems and print every series of the experiment.
+inline void run_comparison(const ExperimentConfig& cfg, const FigureIds& figs,
+                           const AfctBinning& binning) {
+  std::printf("==== %s ====\n", cfg.name.c_str());
+
+  const RunResult scda_r =
+      run_once(cfg, core::PlacementPolicy::kScda,
+               transport::TransportKind::kScda, binning);
+  const RunResult rand_r =
+      run_once(cfg, core::PlacementPolicy::kRandom,
+               transport::TransportKind::kTcp, binning);
+
+  const auto label = [&](const char* base, const char* sys) {
+    return cfg.name + " " + base + " (" + sys + ")";
+  };
+
+  if (figs.throughput_fig > 0) {
+    std::printf("\n-- Figure %d: instantaneous average throughput --\n",
+                figs.throughput_fig);
+    stats::emit_throughput(stdout, label("inst thpt", "SCDA"),
+                           scda_r.throughput);
+    stats::emit_throughput(stdout, label("inst thpt", "RandTCP"),
+                           rand_r.throughput);
+  }
+  if (figs.cdf_fig > 0) {
+    std::printf("\n-- Figure %d: FCT CDF --\n", figs.cdf_fig);
+    stats::emit_cdf(stdout, label("FCT CDF", "SCDA"), scda_r.fct_cdf);
+    stats::emit_cdf(stdout, label("FCT CDF", "RandTCP"), rand_r.fct_cdf);
+  }
+  if (figs.afct_fig > 0) {
+    std::printf("\n-- Figure %d: AFCT vs content size --\n", figs.afct_fig);
+    stats::emit_afct(stdout, label("AFCT", "SCDA"), scda_r.afct,
+                     figs.afct_size_unit, figs.afct_unit_name);
+    stats::emit_afct(stdout, label("AFCT", "RandTCP"), rand_r.afct,
+                     figs.afct_size_unit, figs.afct_unit_name);
+  }
+
+  std::printf("\n-- summary --\n");
+  stats::emit_summary(stdout, "SCDA   ", scda_r.summary);
+  stats::emit_summary(stdout, "RandTCP", rand_r.summary);
+  std::printf("# SCDA mean inst thpt: %.1f KB/s, RandTCP: %.1f KB/s "
+              "(over the arrival window)\n",
+              scda_r.mean_throughput_kbs, rand_r.mean_throughput_kbs);
+  if (rand_r.summary.goodput_bps > 0) {
+    std::printf("# goodput: SCDA %.1f Mbps vs RandTCP %.1f Mbps "
+                "(%.1f%% higher)\n",
+                scda_r.summary.goodput_bps / 1e6,
+                rand_r.summary.goodput_bps / 1e6,
+                100.0 * (scda_r.summary.goodput_bps -
+                         rand_r.summary.goodput_bps) /
+                    rand_r.summary.goodput_bps);
+  }
+  stats::emit_comparison(stdout, scda_r.summary, rand_r.summary,
+                         scda_r.mean_throughput_kbs,
+                         rand_r.mean_throughput_kbs);
+  std::printf("# flows: SCDA=%llu RandTCP=%llu; SLA violations (SCDA): %llu; "
+              "events: %llu/%llu\n\n",
+              static_cast<unsigned long long>(scda_r.flows_completed),
+              static_cast<unsigned long long>(rand_r.flows_completed),
+              static_cast<unsigned long long>(scda_r.sla_violations),
+              static_cast<unsigned long long>(scda_r.events),
+              static_cast<unsigned long long>(rand_r.events));
+}
+
+}  // namespace scda::bench

@@ -1,0 +1,80 @@
+// Example: a small video CDN on SCDA.
+//
+// Creators upload videos (semi-interactive: written once, read often); the
+// cloud replicates each upload to the server with the best upload rate so
+// subsequent viewer reads are fast. A popular video gets a burst of viewers
+// and we show reads being served from the best replica.
+//
+//   ./build/examples/video_cdn
+#include <cstdio>
+
+#include "core/cloud.h"
+#include "stats/collector.h"
+#include "util/units.h"
+
+int main() {
+  using namespace scda;
+
+  sim::Simulator sim(2013);
+
+  core::CloudConfig cfg;
+  cfg.topology.n_agg = 2;
+  cfg.topology.tors_per_agg = 3;
+  cfg.topology.servers_per_tor = 4;  // 24 block servers
+  cfg.topology.n_clients = 24;
+  cfg.topology.base_bps = util::mbps(500);
+  cfg.topology.k_factor = 3.0;
+
+  core::Cloud cloud(sim, cfg);
+  stats::FlowStatsCollector collector(cloud);
+
+  // Five creators upload videos of 4..20 MB.
+  const std::int64_t sizes_mb[] = {4, 8, 12, 16, 20};
+  for (int v = 0; v < 5; ++v) {
+    cloud.write(static_cast<std::size_t>(v), /*content=*/v + 1,
+                util::megabytes(static_cast<double>(sizes_mb[v])),
+                transport::ContentClass::kSemiInteractive);
+  }
+
+  // Video 3 goes viral: 12 viewers read it over the next minute.
+  for (int viewer = 0; viewer < 12; ++viewer) {
+    sim.schedule_at(20.0 + viewer * 3.0, [&cloud, viewer] {
+      cloud.read(static_cast<std::size_t>(8 + viewer), /*content=*/3);
+    });
+  }
+  // The other videos get one or two casual viewers.
+  sim.schedule_at(30.0, [&cloud] { cloud.read(20, 1); });
+  sim.schedule_at(40.0, [&cloud] { cloud.read(21, 5); });
+
+  sim.run_until(120.0);
+
+  std::printf("=== video CDN on SCDA ===\n");
+  std::printf("uploads + reads completed: %zu\n", collector.count());
+  double upload_s = 0, read_s = 0;
+  int nu = 0, nr = 0;
+  for (const auto& r : collector.records()) {
+    if (r.kind == core::CloudOp::Kind::kWrite) {
+      upload_s += r.fct_s;
+      ++nu;
+    } else if (r.kind == core::CloudOp::Kind::kRead) {
+      read_s += r.fct_s;
+      ++nr;
+    }
+  }
+  std::printf("mean upload time: %.2fs over %d uploads\n",
+              nu ? upload_s / nu : 0.0, nu);
+  std::printf("mean viewer fetch time: %.2fs over %d reads\n",
+              nr ? read_s / nr : 0.0, nr);
+
+  // Where did the viral video end up?
+  const auto* meta = cloud.fes().dispatch_by_content(3).find(3);
+  if (meta != nullptr) {
+    std::printf("viral video replicas on servers:");
+    for (const auto s : meta->replicas) std::printf(" bs%d", s);
+    std::printf("  (reads served: %llu)\n",
+                static_cast<unsigned long long>(meta->reads));
+  }
+  std::printf("failed reads: %llu\n",
+              static_cast<unsigned long long>(cloud.failed_reads()));
+  return 0;
+}

@@ -1,0 +1,43 @@
+# Gnuplot helper for the figure benches.
+#
+# The bench binaries print gnuplot-style blocks ("# title" then columns).
+# Easiest path: run a bench through the CLI tool, which writes clean CSVs,
+# then plot those:
+#
+#   ./build/tools/scda-sim --policy scda    --workload video --out scda
+#   ./build/tools/scda-sim --policy randtcp --workload video --out rand
+#   gnuplot -e "prefix_a='scda'; prefix_b='rand'" scripts/plot_figures.gp
+#
+# Produces figures.png with the three paper-style panels (throughput
+# timeseries, FCT CDF, AFCT vs size).
+
+if (!exists("prefix_a")) prefix_a = "scda"
+if (!exists("prefix_b")) prefix_b = "rand"
+
+set terminal pngcairo size 1400,420 font ",10"
+set output "figures.png"
+set datafile separator ","
+set multiplot layout 1,3
+
+set title "Instantaneous average throughput (cf. paper figs 7/10/17)"
+set xlabel "time (s)"
+set ylabel "KB/s"
+set key bottom right
+plot prefix_a."_thpt.csv" skip 1 using 1:2 with lines lw 2 title "SCDA", \
+     prefix_b."_thpt.csv" skip 1 using 1:2 with lines lw 2 title "RandTCP"
+
+set title "FCT CDF (cf. paper figs 8/11/14/16/18)"
+set xlabel "FCT (s)"
+set ylabel "CDF"
+set yrange [0:1]
+plot prefix_a."_cdf.csv" skip 1 using 1:2 with lines lw 2 title "SCDA", \
+     prefix_b."_cdf.csv" skip 1 using 1:2 with lines lw 2 title "RandTCP"
+
+set title "AFCT vs content size (cf. paper figs 9/12/13/15)"
+set xlabel "size (MB)"
+set ylabel "AFCT (s)"
+set autoscale y
+plot prefix_a."_afct.csv" skip 1 using ($1/1e6):2 with linespoints lw 2 title "SCDA", \
+     prefix_b."_afct.csv" skip 1 using ($1/1e6):2 with linespoints lw 2 title "RandTCP"
+
+unset multiplot

@@ -1,0 +1,94 @@
+// Block server (BS): stores content blocks, hosts a resource monitor, and
+// carries the server-local resource and power models (paper section III-A).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/power.h"
+#include "core/server_resources.h"
+#include "net/packet.h"
+
+namespace scda::core {
+
+using ContentId = std::int64_t;
+constexpr ContentId kInvalidContent = -1;
+
+class BlockServer {
+ public:
+  BlockServer(std::size_t index, net::NodeId node)
+      : index_(index), node_(node) {}
+
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+  [[nodiscard]] net::NodeId node() const noexcept { return node_; }
+
+  [[nodiscard]] ServerResources& resources() noexcept { return resources_; }
+  [[nodiscard]] const ServerResources& resources() const noexcept {
+    return resources_;
+  }
+  [[nodiscard]] PowerModel& power() noexcept { return power_; }
+  [[nodiscard]] const PowerModel& power() const noexcept { return power_; }
+
+  // --- block storage ---------------------------------------------------------
+  /// Store (or grow) a content block. Returns false if disk space is
+  /// exhausted; the NNS then picks a different server.
+  [[nodiscard]] bool store(ContentId id, std::int64_t bytes) {
+    if (!resources_.reserve_bytes(bytes)) return false;
+    blocks_[id] += bytes;
+    return true;
+  }
+  void remove(ContentId id) {
+    const auto it = blocks_.find(id);
+    if (it == blocks_.end()) return;
+    resources_.release_bytes(it->second);
+    blocks_.erase(it);
+  }
+  [[nodiscard]] bool has(ContentId id) const { return blocks_.count(id) != 0; }
+  [[nodiscard]] std::int64_t stored_bytes(ContentId id) const {
+    const auto it = blocks_.find(id);
+    return it == blocks_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::size_t block_count() const noexcept {
+    return blocks_.size();
+  }
+
+  // --- access-frequency learning (section VII-C) ------------------------------
+  /// The RM counts content accesses to learn popularity; the cloud uses it
+  /// to migrate cold content to dormant servers.
+  void record_access(ContentId id) { ++access_counts_[id]; }
+  [[nodiscard]] std::uint64_t access_count(ContentId id) const {
+    const auto it = access_counts_.find(id);
+    return it == access_counts_.end() ? 0 : it->second;
+  }
+
+  // --- activity tracking (dormancy policy) ------------------------------------
+  void flow_started() noexcept { ++active_flows_; }
+  void flow_finished() noexcept {
+    if (active_flows_ > 0) --active_flows_;
+  }
+  [[nodiscard]] std::int32_t active_flows() const noexcept {
+    return active_flows_;
+  }
+
+  [[nodiscard]] bool dormant() const noexcept { return power_.dormant(); }
+  void set_dormant(bool d) noexcept { power_.set_dormant(d); }
+
+  // --- failure state (RM health monitoring, section I/III) -------------------
+  /// A failed server serves nothing; its blocks are unavailable until
+  /// recovery. The RM/RA hierarchy sees its R_other as zero, so selection
+  /// never routes new work to it.
+  void set_failed(bool f) noexcept { failed_ = f; }
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+ private:
+  std::size_t index_;
+  net::NodeId node_;
+  ServerResources resources_;
+  PowerModel power_;
+  std::unordered_map<ContentId, std::int64_t> blocks_;
+  std::unordered_map<ContentId, std::uint64_t> access_counts_;
+  std::int32_t active_flows_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace scda::core

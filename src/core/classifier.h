@@ -1,0 +1,110 @@
+// Content-class learning (paper sections II-B and VII).
+//
+// "The client applications can specify the type of content or the RMs of
+//  the servers can learn the type of content from the server access
+//  frequencies (of writes and reads) by the content."
+//
+// The classifier keeps sliding-window write/read counters per content and
+// maps observed frequencies onto the paper's taxonomy:
+//
+//   writes high  & reads high  -> interactive       (HWHR)
+//   exactly one high           -> semi-interactive  (HWLR / LWHR)
+//   both low                   -> passive           (LWLR)
+//
+// "High" means at least `high_accesses_per_window` accesses within the
+// sliding window; interactive additionally requires the write/read
+// interleaving gap to stay under the interactivity interval (5 s default).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "transport/flow.h"
+
+namespace scda::core {
+
+struct ClassifierConfig {
+  double window_s = 60.0;             ///< sliding-window span
+  std::uint32_t high_accesses_per_window = 4;
+  double interactivity_interval_s = 5.0;  ///< paper section VII
+};
+
+class ContentClassifier {
+ public:
+  explicit ContentClassifier(ClassifierConfig cfg = {}) : cfg_(cfg) {}
+
+  void record_write(std::int64_t content, double now) {
+    auto& h = history_[content];
+    trim(h, now);
+    h.writes.push_back(now);
+    update_interleave(h, now);
+  }
+
+  void record_read(std::int64_t content, double now) {
+    auto& h = history_[content];
+    trim(h, now);
+    h.reads.push_back(now);
+    update_interleave(h, now);
+  }
+
+  /// Learned class from the access pattern observed so far.
+  [[nodiscard]] transport::ContentClass classify(std::int64_t content,
+                                                 double now) {
+    const auto it = history_.find(content);
+    if (it == history_.end()) return transport::ContentClass::kPassive;
+    auto& h = it->second;
+    trim(h, now);
+    const bool hw = h.writes.size() >= cfg_.high_accesses_per_window;
+    const bool hr = h.reads.size() >= cfg_.high_accesses_per_window;
+    if (hw && hr && h.tight_interleaving)
+      return transport::ContentClass::kInteractive;
+    if (hw || hr) return transport::ContentClass::kSemiInteractive;
+    return transport::ContentClass::kPassive;
+  }
+
+  /// Accesses of either kind within the window.
+  [[nodiscard]] std::size_t accesses_in_window(std::int64_t content,
+                                               double now) {
+    const auto it = history_.find(content);
+    if (it == history_.end()) return 0;
+    trim(it->second, now);
+    return it->second.writes.size() + it->second.reads.size();
+  }
+
+  [[nodiscard]] const ClassifierConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  struct History {
+    std::deque<double> writes;
+    std::deque<double> reads;
+    double last_access = -1;
+    /// True while consecutive accesses interleave within the
+    /// interactivity interval.
+    bool tight_interleaving = false;
+  };
+
+  void trim(History& h, double now) const {
+    const double cutoff = now - cfg_.window_s;
+    while (!h.writes.empty() && h.writes.front() < cutoff)
+      h.writes.pop_front();
+    while (!h.reads.empty() && h.reads.front() < cutoff)
+      h.reads.pop_front();
+  }
+
+  void update_interleave(History& h, double now) {
+    if (h.last_access >= 0) {
+      h.tight_interleaving =
+          (now - h.last_access) <= cfg_.interactivity_interval_s;
+    }
+    h.last_access = now;
+  }
+
+  ClassifierConfig cfg_;
+  std::unordered_map<std::int64_t, History> history_;
+};
+
+}  // namespace scda::core

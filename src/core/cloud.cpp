@@ -1,0 +1,680 @@
+#include "core/cloud.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace scda::core {
+
+using transport::ContentClass;
+using transport::TransportKind;
+
+namespace {
+/// Approximate wire size of one control RPC (request id + addresses + rate).
+constexpr std::uint64_t kCtrlMsgBytes = 64;
+}  // namespace
+
+Cloud::Cloud(sim::Simulator& sim, CloudConfig cfg)
+    : sim_(sim),
+      cfg_(std::move(cfg)),
+      topo_(sim, cfg_.topology),
+      transports_(topo_.net()),
+      allocator_(topo_.net(), cfg_.params),
+      hierarchy_(topo_, allocator_),
+      sla_(topo_.net()) {
+  const auto n_servers = static_cast<std::size_t>(cfg_.topology.n_servers());
+
+  // Block servers with heterogeneous power profiles (section VII-D).
+  servers_.reserve(n_servers);
+  for (std::size_t s = 0; s < n_servers; ++s) {
+    servers_.emplace_back(s, topo_.servers()[s]);
+    const double ineff =
+        1.0 + sim_.rng().uniform() * cfg_.power_heterogeneity;
+    servers_.back().power().set_inefficiency(ineff);
+  }
+  active_content_count_.assign(n_servers, 0);
+  prev_tx_bytes_.assign(n_servers, 0);
+  for (std::size_t s = 0; s < n_servers; ++s)
+    server_index_by_node_.emplace(topo_.servers()[s], s);
+
+  // Name nodes behind the FES (section III-A).
+  const auto n_nns = std::max<std::int32_t>(1, cfg_.params.n_name_nodes);
+  for (std::int32_t i = 0; i < n_nns; ++i) {
+    name_nodes_.push_back(std::make_unique<NameNode>(
+        sim_, i, cfg_.params.nns_service_time_s));
+  }
+  std::vector<NameNode*> nns_ptrs;
+  for (auto& n : name_nodes_) nns_ptrs.push_back(n.get());
+  fes_ = std::make_unique<FrontEnd>(std::move(nns_ptrs));
+
+  selector_ = std::make_unique<ServerSelector>(
+      hierarchy_, servers_, cfg_.params, sim_.rng(), cfg_.placement);
+  // Admission: the server needs disk space, and for SCDA placements the NNS
+  // avoids servers behind links with recent SLA violations (section IV-A).
+  selector_->set_admit_filter([this](std::size_t s) {
+    if (servers_[s].failed()) return false;
+    if (servers_[s].resources().free_bytes() <= 0) return false;
+    if (cfg_.placement == PlacementPolicy::kScda) {
+      const double now = sim_.now();
+      if (sla_.recently_violated(topo_.server_uplink(s), now) ||
+          sla_.recently_violated(topo_.server_downlink(s), now))
+        return false;
+    }
+    return true;
+  });
+
+  hierarchy_.set_r_other_provider([this](std::size_t s) {
+    // A failed server offers no service rate at all (RM health signal).
+    return servers_[s].failed() ? 0.0 : servers_[s].resources().r_other_bps();
+  });
+
+  allocator_.set_sla_callback(
+      [this](net::LinkId l, double demand, double gamma, double t) {
+        sla_.on_violation(l, demand, gamma, t);
+      });
+
+  transports_.set_completion_callback(
+      [this](const transport::FlowRecord& rec) { on_flow_complete(rec); });
+
+  // Control loop: RM/RA computation every tau (sections IV and VI).
+  control_loop_ = std::make_unique<sim::PeriodicProcess>(
+      sim_, cfg_.params.tau, [this] { control_tick(); });
+  control_loop_->start(cfg_.params.tau);
+
+  if (cfg_.params.migration_interval_s > 0) {
+    migration_loop_ = std::make_unique<sim::PeriodicProcess>(
+        sim_, cfg_.params.migration_interval_s, [this] { migration_scan(); });
+    migration_loop_->start(cfg_.params.migration_interval_s);
+  }
+
+  hierarchy_.update();
+}
+
+Cloud::~Cloud() = default;
+
+// --------------------------------------------------------------------------
+// control loop
+// --------------------------------------------------------------------------
+
+void Cloud::control_tick() {
+  allocator_.tick();
+  // Adaptive priority control (section IV-A): retune weights of flows with
+  // rate targets or deadlines before windows are refreshed below.
+  target_ctrl_.update(sim_.now(), [this](net::FlowId id) {
+    const transport::FlowRecord& rec = transports_.record(id);
+    const transport::WindowSender* s = transports_.sender(id);
+    return s ? rec.size_bytes - s->acked_bytes() : std::int64_t{0};
+  });
+  hierarchy_.update();
+  if (cfg_.transport == TransportKind::kScda) update_ongoing_flows();
+  integrate_power();
+  dormancy_housekeeping();
+  // Overhead: each RM and RA reports (or forwards) its rate sums once per
+  // interval (the Delta-encoding of section IV would shrink this further).
+  const std::uint64_t reporters =
+      servers_.size() + topo_.tors().size() + topo_.aggs().size() + 1;
+  count_ctrl(reporters, reporters * kCtrlMsgBytes);
+}
+
+void Cloud::update_ongoing_flows() {
+  // Paper section VIII-D: every control interval, each RM re-derives the
+  // windows of its ongoing flows from the current allocation.
+  for (auto& [id, handles] : active_scda_) {
+    const double r = allocator_.flow_rate(id);
+    handles.sender->set_rate(r);
+    const double rtt =
+        handles.sender->srtt() > 0
+            ? handles.sender->srtt()
+            : transports_.base_rtt(handles.sender->record().src,
+                                   handles.sender->record().dst);
+    handles.receiver->set_rcvw_bytes(static_cast<std::int64_t>(
+        r * rtt / 8.0 * cfg_.params.rcvw_headroom));
+  }
+}
+
+void Cloud::integrate_power() {
+  const double tau = cfg_.params.tau;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    const net::Link& up = topo_.net().link(topo_.server_uplink(s));
+    const net::Link& down = topo_.net().link(topo_.server_downlink(s));
+    const std::uint64_t tx = up.stats().tx_bytes + down.stats().tx_bytes;
+    const double bits = static_cast<double>(tx - prev_tx_bytes_[s]) * 8.0;
+    prev_tx_bytes_[s] = tx;
+    const double cap = up.capacity_bps() + down.capacity_bps();
+    const double util = cap > 0 ? std::min(1.0, bits / (cap * tau)) : 0.0;
+    const double p = servers_[s].power().power_w(util);
+    servers_[s].power().record_sample(p);
+    servers_[s].power().integrate_energy(p, tau);
+  }
+}
+
+void Cloud::dormancy_housekeeping() {
+  if (cfg_.params.rscale_bps <= 0) return;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    BlockServer& bs = servers_[s];
+    if (!bs.dormant() && bs.active_flows() == 0 &&
+        active_content_count_[s] == 0) {
+      // Idle server holding no active content (only passive blocks, or
+      // nothing at all): scale it down. It is woken when active content is
+      // placed on it or a read hits one of its passive blocks.
+      bs.set_dormant(true);
+    }
+  }
+}
+
+void Cloud::migration_scan() {
+  // Section VII-C: content whose learned access pattern is passive is
+  // moved off active servers onto dormant-eligible ones, so those active
+  // servers' load shrinks and the dormant pool grows.
+  if (cfg_.params.rscale_bps <= 0) return;
+  std::int32_t started = 0;
+  const double now = sim_.now();
+  for (auto& nns : name_nodes_) {
+    if (started >= cfg_.params.max_migrations_per_scan) break;
+    for (const ContentId id : nns->content_ids()) {
+      if (started >= cfg_.params.max_migrations_per_scan) break;
+      ContentMeta* meta = nns->find(id);
+      if (meta == nullptr || meta->replicas.empty()) continue;
+      if (meta->content_class == ContentClass::kPassive) continue;
+      if (migrating_.count(id)) continue;
+      // Only migrate content the classifier has actually cooled down on:
+      // it must have been accessed at least once and be quiet since.
+      if (classifier_.classify(id, now) != ContentClass::kPassive) continue;
+      if (now - meta->last_access_time <
+          classifier_.config().interactivity_interval_s)
+        continue;
+
+      const std::int32_t source = meta->replicas.front();
+      const std::int32_t target = selector_->select_replica_target(
+          ContentClass::kPassive, source);
+      if (target < 0 || target == source) continue;
+      BlockServer& dst = servers_[static_cast<std::size_t>(target)];
+      if (std::find(meta->replicas.begin(), meta->replicas.end(), target) !=
+          meta->replicas.end())
+        continue;  // already replicated there
+      if (!dst.store(id, meta->size_bytes)) continue;
+
+      CloudOp op;
+      op.content = id;
+      op.content_class = ContentClass::kPassive;
+      op.kind = CloudOp::Kind::kMigration;
+      op.server = target;
+      op.source_server = source;
+      migrating_[id] = true;
+      ++started;
+      count_ctrl(4, 4 * kCtrlMsgBytes);
+      const net::NodeId src_node =
+          topo_.servers()[static_cast<std::size_t>(source)];
+      const net::NodeId dst_node =
+          topo_.servers()[static_cast<std::size_t>(target)];
+      const std::int64_t bytes = meta->size_bytes;
+      sim_.schedule_in(2 * cfg_.params.ctrl_dc_latency_s,
+                       [this, op, bytes, src_node, dst_node] {
+                         start_data_flow(src_node, dst_node, bytes, op,
+                                         /*priority=*/1.0,
+                                         /*reserved_bps=*/0.0);
+                       });
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// request protocols (Figs. 3-5)
+// --------------------------------------------------------------------------
+
+bool Cloud::write(std::size_t client_idx, ContentId id, std::int64_t bytes,
+                  ContentClass content_class, double priority,
+                  double reserved_bps) {
+  if (client_idx >= topo_.clients().size() || bytes <= 0) return false;
+  if (!known_content_.emplace(id, true).second) return false;  // duplicate
+  NameNode& nns = meta_owner(id);
+
+  // Steps 1-2 (Fig. 3): UCL -> FES (WAN) -> NNS (intra-DC), then the NNS
+  // service queue. Steps 3-7 happen inside the NNS handler; the data
+  // connection opens after the BS contacts the UCL (one more WAN hop).
+  const double to_nns =
+      cfg_.params.ctrl_wan_latency_s + cfg_.params.ctrl_dc_latency_s;
+  count_ctrl(2, 2 * kCtrlMsgBytes);
+
+  NameNode* nns_ptr = &nns;
+  sim_.schedule_in(to_nns, [this, client_idx, id, bytes, content_class,
+                            priority, reserved_bps, nns_ptr] {
+    nns_ptr->submit([this, client_idx, id, bytes, content_class, priority,
+                     reserved_bps, nns_ptr] {
+      // Steps 3-4: NNS asks the RA for the best BS (here: level hmax).
+      count_ctrl(2, 2 * kCtrlMsgBytes);
+      const std::int32_t target =
+          selector_->select_write_target(content_class);
+      if (target < 0) {
+        ++failed_writes_;
+        known_content_.erase(id);  // allow a retry
+        return;
+      }
+      BlockServer& bs = servers_[static_cast<std::size_t>(target)];
+      if (!bs.store(id, bytes)) {
+        ++failed_writes_;
+        known_content_.erase(id);
+        return;
+      }
+      if (content_class != ContentClass::kPassive) {
+        ++active_content_count_[static_cast<std::size_t>(target)];
+        if (bs.dormant()) bs.set_dormant(false);  // active content wakes it
+      }
+
+      ContentMeta& meta = nns_ptr->upsert(id);
+      meta.size_bytes = bytes;
+      meta.content_class = content_class;
+      meta.last_access_time = sim_.now();
+
+      // Steps 5-9: RA forwards the UCL id to the BS; BS derives rcvw from
+      // its RM and greets the UCL (WAN hop); then the UCL starts writing.
+      count_ctrl(4, 4 * kCtrlMsgBytes);
+      const double setup = 2 * cfg_.params.ctrl_dc_latency_s +
+                           cfg_.params.ctrl_wan_latency_s;
+      CloudOp op;
+      op.content = id;
+      op.content_class = content_class;
+      op.kind = CloudOp::Kind::kWrite;
+      op.server = target;
+      op.client = static_cast<std::int64_t>(client_idx);
+      sim_.schedule_in(setup, [this, op, bytes, priority, reserved_bps,
+                               client_idx, target] {
+        start_data_flow(topo_.clients()[client_idx],
+                        topo_.servers()[static_cast<std::size_t>(target)],
+                        bytes, op, priority, reserved_bps);
+      });
+    });
+  });
+  return true;
+}
+
+bool Cloud::read(std::size_t client_idx, ContentId id, double priority) {
+  if (client_idx >= topo_.clients().size()) return false;
+  NameNode& nns = meta_owner(id);
+
+  const double to_nns =
+      cfg_.params.ctrl_wan_latency_s + cfg_.params.ctrl_dc_latency_s;
+  count_ctrl(2, 2 * kCtrlMsgBytes);
+
+  NameNode* nns_ptr = &nns;
+  sim_.schedule_in(to_nns, [this, client_idx, id, priority, nns_ptr] {
+    nns_ptr->submit([this, client_idx, id, priority, nns_ptr] {
+      ContentMeta* meta = nns_ptr->find(id);
+      if (meta == nullptr || meta->replicas.empty()) {
+        ++failed_reads_;
+        return;
+      }
+      // Step 3 (Fig. 5): choose the replica with the best upload rate.
+      count_ctrl(2, 2 * kCtrlMsgBytes);
+      const std::int32_t source =
+          selector_->select_read_replica(meta->replicas);
+      if (source < 0) {
+        ++failed_reads_;
+        return;
+      }
+      BlockServer& bs = servers_[static_cast<std::size_t>(source)];
+      double setup = cfg_.params.ctrl_dc_latency_s;
+      if (bs.dormant()) {
+        bs.set_dormant(false);  // power-state transition penalty
+        setup += cfg_.dormant_wake_latency_s;
+      }
+      meta->last_access_time = sim_.now();
+
+      CloudOp op;
+      op.content = id;
+      op.content_class = meta->content_class;
+      op.kind = CloudOp::Kind::kRead;
+      op.server = source;
+      op.client = static_cast<std::int64_t>(client_idx);
+      const std::int64_t bytes = meta->size_bytes;
+      sim_.schedule_in(setup, [this, op, bytes, priority, client_idx,
+                               source] {
+        start_data_flow(topo_.servers()[static_cast<std::size_t>(source)],
+                        topo_.clients()[client_idx], bytes, op, priority,
+                        /*reserved_bps=*/0.0);
+      });
+    });
+  });
+  return true;
+}
+
+bool Cloud::append(std::size_t client_idx, ContentId id, std::int64_t bytes,
+                   double priority) {
+  if (client_idx >= topo_.clients().size() || bytes <= 0) return false;
+  NameNode& nns = meta_owner(id);
+
+  const double to_nns =
+      cfg_.params.ctrl_wan_latency_s + cfg_.params.ctrl_dc_latency_s;
+  count_ctrl(2, 2 * kCtrlMsgBytes);
+
+  NameNode* nns_ptr = &nns;
+  sim_.schedule_in(to_nns, [this, client_idx, id, bytes, priority,
+                            nns_ptr] {
+    nns_ptr->submit([this, client_idx, id, bytes, priority, nns_ptr] {
+      ContentMeta* meta = nns_ptr->find(id);
+      if (meta == nullptr || meta->replicas.empty()) {
+        ++failed_writes_;
+        return;
+      }
+      // Updates land on the primary replica (where the content lives).
+      const std::int32_t target = meta->replicas.front();
+      BlockServer& bs = servers_[static_cast<std::size_t>(target)];
+      if (bs.failed() || !bs.store(id, bytes)) {
+        ++failed_writes_;
+        return;
+      }
+      meta->last_access_time = sim_.now();
+      count_ctrl(4, 4 * kCtrlMsgBytes);
+      CloudOp op;
+      op.content = id;
+      op.content_class = meta->content_class;
+      op.kind = CloudOp::Kind::kAppend;
+      op.server = target;
+      op.client = static_cast<std::int64_t>(client_idx);
+      const double setup = 2 * cfg_.params.ctrl_dc_latency_s +
+                           cfg_.params.ctrl_wan_latency_s;
+      sim_.schedule_in(setup, [this, op, bytes, priority, client_idx,
+                               target] {
+        start_data_flow(topo_.clients()[client_idx],
+                        topo_.servers()[static_cast<std::size_t>(target)],
+                        bytes, op, priority, /*reserved_bps=*/0.0);
+      });
+    });
+  });
+  return true;
+}
+
+void Cloud::begin_replication(const CloudOp& write_op, std::int64_t bytes) {
+  // Fig. 4: the BS holding the fresh copy asks the content's NNS for a
+  // replication target offering the best upload rate for future reads.
+  NameNode& nns = meta_owner(write_op.content);
+  count_ctrl(2, 2 * kCtrlMsgBytes);
+  nns.submit([this, write_op, bytes] {
+    const std::int32_t target = selector_->select_replica_target(
+        write_op.content_class, write_op.server);
+    if (target < 0 || target == write_op.server) return;
+    BlockServer& bs = servers_[static_cast<std::size_t>(target)];
+    if (!bs.store(write_op.content, bytes)) return;
+    if (write_op.content_class != ContentClass::kPassive) {
+      ++active_content_count_[static_cast<std::size_t>(target)];
+      if (bs.dormant()) bs.set_dormant(false);
+    }
+    // Passive replicas land on dormant-eligible servers *without* waking
+    // them (section VII-C keeps dormant servers dormant).
+
+    CloudOp op;
+    op.content = write_op.content;
+    op.content_class = write_op.content_class;
+    op.kind = CloudOp::Kind::kReplication;
+    op.server = target;
+    op.client = -1;
+    count_ctrl(4, 4 * kCtrlMsgBytes);
+    const double setup = 3 * cfg_.params.ctrl_dc_latency_s;
+    const net::NodeId src =
+        topo_.servers()[static_cast<std::size_t>(write_op.server)];
+    const net::NodeId dst = topo_.servers()[static_cast<std::size_t>(target)];
+    sim_.schedule_in(setup, [this, op, bytes, src, dst] {
+      start_data_flow(src, dst, bytes, op, /*priority=*/1.0,
+                      /*reserved_bps=*/0.0);
+    });
+  });
+}
+
+// --------------------------------------------------------------------------
+// data plane
+// --------------------------------------------------------------------------
+
+void Cloud::start_data_flow(net::NodeId src, net::NodeId dst,
+                            std::int64_t bytes, const CloudOp& op,
+                            double priority, double reserved_bps) {
+  if (op.server >= 0)
+    servers_[static_cast<std::size_t>(op.server)].flow_started();
+
+  if (cfg_.transport == TransportKind::kTcp) {
+    const net::FlowId id = transports_.start_tcp_flow(
+        src, dst, bytes,
+        op.kind == CloudOp::Kind::kRead ? ContentClass::kSemiInteractive
+                                        : op.content_class);
+    ops_.emplace(id, op);
+    return;
+  }
+
+  // SCDA: the initial rate is what the RM/RA hierarchy currently offers on
+  // the path (Fig. 3 steps 6-12); the flow is registered with the
+  // allocator so subsequent intervals account for it.
+  const double init_rate =
+      reserved_bps + priority * allocator_.path_rate(src, dst);
+
+  RateAllocator::RateProviderFn other_send;
+  RateAllocator::RateProviderFn other_recv;
+  const bool src_is_server =
+      topo_.net().node(src).role() == net::NodeRole::kServer;
+  const bool dst_is_server =
+      topo_.net().node(dst).role() == net::NodeRole::kServer;
+  if (src_is_server) {
+    BlockServer& s = servers_[server_index_of(src)];
+    other_send = [&s] { return s.resources().r_other_bps(); };
+  }
+  if (dst_is_server) {
+    BlockServer& s = servers_[server_index_of(dst)];
+    other_recv = [&s] { return s.resources().r_other_bps(); };
+  }
+
+  auto handles = transports_.start_scda_flow(
+      src, dst, bytes, init_rate, init_rate,
+      op.kind == CloudOp::Kind::kRead ? ContentClass::kSemiInteractive
+                                      : op.content_class,
+      priority);
+  allocator_.register_flow(handles.id, src, dst, priority, reserved_bps,
+                           std::move(other_send), std::move(other_recv));
+  // Registration lowers the advertised link rates; refresh every active
+  // flow's allocation and push the new windows immediately so the admitted
+  // flow does not ride on top of stale (higher) sender rates until the
+  // next control interval.
+  allocator_.refresh_flow_rates();
+  handles.sender->set_rate(allocator_.flow_rate(handles.id));
+  transports_.record(handles.id).reserved_bps = reserved_bps;
+  update_ongoing_flows();
+
+  // Deadline requested at write() time: arm the adaptive controller now
+  // that the upload flow exists (section IV-A EDF emulation).
+  if (op.kind == CloudOp::Kind::kWrite) {
+    const auto dit = pending_deadline_.find(op.content);
+    if (dit != pending_deadline_.end()) {
+      target_ctrl_.set_deadline(handles.id, bytes, dit->second);
+      pending_deadline_.erase(dit);
+    }
+  }
+  active_scda_.emplace(handles.id, handles);
+  ops_.emplace(handles.id, op);
+}
+
+void Cloud::on_flow_complete(const transport::FlowRecord& rec) {
+  const auto it = ops_.find(rec.id);
+  CloudOp op;
+  if (it != ops_.end()) op = it->second;
+
+  if (op.server >= 0)
+    servers_[static_cast<std::size_t>(op.server)].flow_finished();
+  allocator_.unregister_flow(rec.id);
+  active_scda_.erase(rec.id);
+
+  NameNode& nns = meta_owner(op.content);
+  ContentMeta* meta = nns.find(op.content);
+  if (meta != nullptr && op.server >= 0) {
+    BlockServer& bs = servers_[static_cast<std::size_t>(op.server)];
+    switch (op.kind) {
+      case CloudOp::Kind::kWrite:
+        ++meta->writes;
+        meta->replicas.push_back(op.server);
+        bs.record_access(op.content);
+        classifier_.record_write(op.content, sim_.now());
+        if (cfg_.enable_replication && cfg_.params.replicas > 1)
+          begin_replication(op, rec.size_bytes);
+        break;
+      case CloudOp::Kind::kReplication:
+        meta->replicas.push_back(op.server);
+        break;
+      case CloudOp::Kind::kRead:
+        ++meta->reads;
+        bs.record_access(op.content);
+        classifier_.record_read(op.content, sim_.now());
+        break;
+      case CloudOp::Kind::kAppend:
+        ++meta->writes;
+        meta->size_bytes += rec.size_bytes;
+        bs.record_access(op.content);
+        classifier_.record_write(op.content, sim_.now());
+        break;
+      case CloudOp::Kind::kMigration: {
+        // The cold copy now lives on the target; vacate the source and
+        // downgrade the stored class to passive (section VII-C).
+        meta->replicas.push_back(op.server);
+        if (op.source_server >= 0) {
+          const auto src = static_cast<std::size_t>(op.source_server);
+          if (servers_[src].has(op.content)) {
+            servers_[src].remove(op.content);
+            if (meta->content_class != ContentClass::kPassive &&
+                active_content_count_[src] > 0)
+              --active_content_count_[src];
+          }
+          std::erase(meta->replicas, op.source_server);
+        }
+        meta->content_class = ContentClass::kPassive;
+        ++migrations_completed_;
+        migrating_.erase(op.content);
+        break;
+      }
+    }
+  } else if (op.kind == CloudOp::Kind::kMigration) {
+    migrating_.erase(op.content);
+  }
+
+  for (const auto& fn : on_complete_) fn(rec, op);
+  if (it != ops_.end()) ops_.erase(it);
+}
+
+// --------------------------------------------------------------------------
+// statistics
+// --------------------------------------------------------------------------
+
+void CloudSnapshot::print(std::FILE* out) const {
+  std::fprintf(out,
+               "cloud @ t=%.2fs: active_flows=%zu contents=%zu "
+               "completed=%llu\n"
+               "  sla_violations=%llu failed_reads=%llu failed_writes=%llu "
+               "migrations=%llu\n"
+               "  dormant=%zu failed=%zu energy=%.1fkJ "
+               "mean_nns_delay=%.3fms ctrl=%llu msgs (%.1f KB)\n",
+               time_s, active_flows, contents_stored,
+               static_cast<unsigned long long>(flows_completed),
+               static_cast<unsigned long long>(sla_violations),
+               static_cast<unsigned long long>(failed_reads),
+               static_cast<unsigned long long>(failed_writes),
+               static_cast<unsigned long long>(migrations), dormant_servers,
+               failed_servers, total_energy_j / 1e3,
+               mean_nns_delay_s * 1e3,
+               static_cast<unsigned long long>(control_messages),
+               static_cast<double>(control_bytes) / 1e3);
+}
+
+CloudSnapshot Cloud::snapshot() const {
+  CloudSnapshot s;
+  s.time_s = sim_.now();
+  s.active_flows = ops_.size();
+
+  std::uint64_t served = 0;
+  for (const auto& nn : name_nodes_) {
+    s.contents_stored += nn->content_count();
+    s.mean_nns_delay_s +=
+        nn->mean_delay() * static_cast<double>(nn->served());
+    served += nn->served();
+  }
+  if (served > 0) s.mean_nns_delay_s /= static_cast<double>(served);
+
+  for (const auto& rec : transports_.records())
+    if (rec->finished()) ++s.flows_completed;
+
+  s.sla_violations = allocator_.sla_violations();
+  s.failed_reads = failed_reads_;
+  s.failed_writes = failed_writes_;
+  s.migrations = migrations_completed_;
+  s.dormant_servers = dormant_servers();
+  for (const auto& bs : servers_)
+    if (bs.failed()) ++s.failed_servers;
+  s.total_energy_j = total_energy_j();
+  s.control_messages = ctrl_messages_;
+  s.control_bytes = ctrl_bytes_;
+  return s;
+}
+
+double Cloud::total_energy_j() const {
+  double e = 0;
+  for (const auto& s : servers_) e += s.power().energy_j();
+  return e;
+}
+
+std::size_t Cloud::dormant_servers() const {
+  std::size_t n = 0;
+  for (const auto& s : servers_)
+    if (s.dormant()) ++n;
+  return n;
+}
+
+void Cloud::fail_server(std::size_t server_idx, bool re_replicate) {
+  BlockServer& bs = servers_.at(server_idx);
+  if (bs.failed()) return;
+  bs.set_failed(true);
+  const auto idx = static_cast<std::int32_t>(server_idx);
+
+  // Scrub metadata: drop the failed replica everywhere and restore the
+  // replication factor from a surviving copy (what HDFS/GFS do on
+  // datanode loss; the paper's RM health monitoring provides the signal).
+  for (auto& nns : name_nodes_) {
+    for (const ContentId id : nns->content_ids()) {
+      ContentMeta* meta = nns->find(id);
+      if (meta == nullptr) continue;
+      const auto before = meta->replicas.size();
+      std::erase(meta->replicas, idx);
+      if (meta->replicas.size() == before) continue;
+      if (re_replicate && !meta->replicas.empty() &&
+          static_cast<std::int32_t>(meta->replicas.size()) <
+              cfg_.params.replicas) {
+        CloudOp op;
+        op.content = id;
+        op.content_class = meta->content_class;
+        op.kind = CloudOp::Kind::kWrite;  // source role for replication
+        op.server = meta->replicas.front();
+        begin_replication(op, meta->size_bytes);
+      }
+    }
+  }
+}
+
+void Cloud::recover_server(std::size_t server_idx) {
+  servers_.at(server_idx).set_failed(false);
+}
+
+void Cloud::set_flow_priority(net::FlowId id, double priority) {
+  if (allocator_.has_flow(id)) allocator_.set_priority(id, priority);
+}
+
+void Cloud::set_flow_target_rate(net::FlowId id, double target_bps) {
+  if (allocator_.has_flow(id)) target_ctrl_.set_target_rate(id, target_bps);
+}
+
+void Cloud::set_flow_deadline(net::FlowId id, double deadline_s) {
+  if (!allocator_.has_flow(id)) return;
+  const transport::FlowRecord& rec = transports_.record(id);
+  target_ctrl_.set_deadline(id, rec.size_bytes, deadline_s);
+}
+
+bool Cloud::write_with_deadline(std::size_t client_idx, ContentId id,
+                                std::int64_t bytes, double deadline_s,
+                                transport::ContentClass content_class) {
+  if (!write(client_idx, id, bytes, content_class)) return false;
+  pending_deadline_[id] = deadline_s;
+  return true;
+}
+
+}  // namespace scda::core

@@ -1,0 +1,269 @@
+// Cloud: the top-level SCDA system façade and public API.
+//
+// Owns the three-tier datacenter (figure 6), the transports, the RM/RA
+// allocation hierarchy, the FES + name nodes, the block servers with their
+// power/resource models, and the SLA manager. Client write/read requests
+// follow the message sequences of paper figures 3-5, with control-plane
+// hops modelled as latency-delayed RPCs.
+//
+// The same class also runs the RandTCP baseline (random placement + TCP),
+// selected through CloudConfig, so SCDA-vs-RandTCP comparisons share every
+// other piece of the stack.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/block_server.h"
+#include "core/classifier.h"
+#include "core/hierarchy.h"
+#include "core/name_node.h"
+#include "core/params.h"
+#include "core/rate_allocator.h"
+#include "core/selection.h"
+#include "core/sla.h"
+#include "core/target_rate.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "transport/transport_manager.h"
+
+namespace scda::core {
+
+struct CloudConfig {
+  net::TopologyConfig topology;
+  ScdaParams params;
+  PlacementPolicy placement = PlacementPolicy::kScda;
+  transport::TransportKind transport = transport::TransportKind::kScda;
+  /// Replicate each written content once after the initial write
+  /// (section VIII-B); both policies replicate so comparisons are fair.
+  bool enable_replication = true;
+  /// Latency penalty when a read wakes a dormant server (power-state
+  /// transition, section VII-C).
+  double dormant_wake_latency_s = 0.3;
+  /// Power-model heterogeneity: per-server inefficiency factor drawn
+  /// uniformly from [1, 1 + power_heterogeneity] (section VII-D).
+  double power_heterogeneity = 0.4;
+};
+
+/// What a completed flow was doing, reported alongside the flow record.
+struct CloudOp {
+  ContentId content = kInvalidContent;
+  transport::ContentClass content_class =
+      transport::ContentClass::kSemiInteractive;
+  enum class Kind : std::uint8_t {
+    kWrite,
+    kRead,
+    kReplication,
+    kMigration,  ///< cold-content move to a dormant-eligible server (VII-C)
+    kAppend,     ///< in-place update of existing content (HWHR traffic)
+  } kind = Kind::kWrite;
+  std::int32_t server = -1;   ///< block server index serving the op
+  std::int64_t client = -1;   ///< client index (-1 for internal ops)
+  std::int32_t source_server = -1;  ///< migration: replica being vacated
+};
+
+using CloudCompletionFn =
+    std::function<void(const transport::FlowRecord&, const CloudOp&)>;
+
+/// Point-in-time operational summary of the whole cloud (monitoring /
+/// off-line diagnosis — the paper's "aggregated and monitored traffic
+/// metrics can be offloaded to an external server").
+struct CloudSnapshot {
+  double time_s = 0;
+  std::size_t active_flows = 0;
+  std::size_t contents_stored = 0;
+  std::uint64_t flows_completed = 0;
+  std::uint64_t sla_violations = 0;
+  std::uint64_t failed_reads = 0;
+  std::uint64_t failed_writes = 0;
+  std::uint64_t migrations = 0;
+  std::size_t dormant_servers = 0;
+  std::size_t failed_servers = 0;
+  double total_energy_j = 0;
+  double mean_nns_delay_s = 0;
+  std::uint64_t control_messages = 0;
+  std::uint64_t control_bytes = 0;
+
+  /// Human-readable one-block dump.
+  void print(std::FILE* out) const;
+};
+
+class Cloud {
+ public:
+  Cloud(sim::Simulator& sim, CloudConfig cfg);
+  ~Cloud();
+
+  Cloud(const Cloud&) = delete;
+  Cloud& operator=(const Cloud&) = delete;
+
+  // --- public request API (what a UCL sees) ----------------------------------
+  /// Store `bytes` of content under `id`; follows Fig. 3 then replicates
+  /// per Fig. 4. Returns false if the content id is already stored.
+  bool write(std::size_t client_idx, ContentId id, std::int64_t bytes,
+             transport::ContentClass content_class =
+                 transport::ContentClass::kSemiInteractive,
+             double priority = 1.0, double reserved_bps = 0.0);
+
+  /// Retrieve previously stored content (Fig. 5). Unknown content ids are
+  /// counted in failed_reads(). Returns false when rejected immediately.
+  bool read(std::size_t client_idx, ContentId id, double priority = 1.0);
+
+  /// Update existing content in place: write `bytes` more to its primary
+  /// replica (the high-write path of active HWHR/HWLR content, section
+  /// II-B — chat logs, collaborative documents, database tables). Fails
+  /// for unknown content.
+  bool append(std::size_t client_idx, ContentId id, std::int64_t bytes,
+              double priority = 1.0);
+
+  /// Subscribe to completions of every data flow (writes, reads,
+  /// replications). Multiple subscribers are invoked in add order.
+  void add_completion_callback(CloudCompletionFn fn) {
+    on_complete_.push_back(std::move(fn));
+  }
+
+  // --- component access --------------------------------------------------------
+  [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] net::ThreeTierTree& topology() noexcept { return topo_; }
+  [[nodiscard]] transport::TransportManager& transports() noexcept {
+    return transports_;
+  }
+  [[nodiscard]] RateAllocator& allocator() noexcept { return allocator_; }
+  [[nodiscard]] Hierarchy& hierarchy() noexcept { return hierarchy_; }
+  [[nodiscard]] SlaManager& sla() noexcept { return sla_; }
+  [[nodiscard]] ServerSelector& selector() noexcept { return *selector_; }
+  [[nodiscard]] FrontEnd& fes() noexcept { return *fes_; }
+  [[nodiscard]] std::vector<BlockServer>& servers() noexcept {
+    return servers_;
+  }
+  [[nodiscard]] const CloudConfig& config() const noexcept { return cfg_; }
+
+  // --- aggregate statistics -----------------------------------------------------
+  [[nodiscard]] std::uint64_t failed_reads() const noexcept {
+    return failed_reads_;
+  }
+  [[nodiscard]] std::uint64_t failed_writes() const noexcept {
+    return failed_writes_;
+  }
+  /// Total energy consumed by all block servers so far (joules).
+  [[nodiscard]] double total_energy_j() const;
+  /// Count of servers currently dormant.
+  [[nodiscard]] std::size_t dormant_servers() const;
+  /// Control-plane overhead accounting (messages modelled as RPCs).
+  [[nodiscard]] std::uint64_t control_messages() const noexcept {
+    return ctrl_messages_;
+  }
+  [[nodiscard]] std::uint64_t control_bytes() const noexcept {
+    return ctrl_bytes_;
+  }
+
+  /// Adjust a flow's priority weight; takes effect next control interval
+  /// (adaptive QoS, section IV-A). No-op for TCP flows.
+  void set_flow_priority(net::FlowId id, double priority);
+
+  /// Adaptive QoS (section IV-A): the control loop retunes the flow's
+  /// priority every interval so its allocation tracks `target_bps`.
+  void set_flow_target_rate(net::FlowId id, double target_bps);
+  /// EDF-style deadline: the target rate is remaining bytes / time left.
+  void set_flow_deadline(net::FlowId id, double deadline_s);
+
+  /// Like write(), but the resulting upload flow is driven to finish by
+  /// `deadline_s` (absolute simulation time) via adaptive priorities.
+  bool write_with_deadline(std::size_t client_idx, ContentId id,
+                           std::int64_t bytes, double deadline_s,
+                           transport::ContentClass content_class =
+                               transport::ContentClass::kSemiInteractive);
+
+  [[nodiscard]] TargetRateController& target_rates() noexcept {
+    return target_ctrl_;
+  }
+
+  /// Operational summary for monitoring/diagnosis.
+  [[nodiscard]] CloudSnapshot snapshot() const;
+
+  // --- failure injection -------------------------------------------------------
+  /// Take a block server down. Its blocks become unavailable, selection
+  /// skips it, and (by default) every content it held is re-replicated
+  /// from a surviving copy so the replication factor recovers.
+  void fail_server(std::size_t server_idx, bool re_replicate = true);
+  /// Bring a failed server back (empty of metadata-tracked content; it
+  /// fills up again through normal placement).
+  void recover_server(std::size_t server_idx);
+
+  /// Learned access classes (section VII-C); fed by completed operations.
+  [[nodiscard]] ContentClassifier& classifier() noexcept {
+    return classifier_;
+  }
+  [[nodiscard]] std::uint64_t migrations_completed() const noexcept {
+    return migrations_completed_;
+  }
+
+ private:
+  void control_tick();
+  void update_ongoing_flows();
+  void integrate_power();
+  void dormancy_housekeeping();
+  void migration_scan();
+  void count_ctrl(std::uint64_t messages, std::uint64_t bytes) {
+    ctrl_messages_ += messages;
+    ctrl_bytes_ += bytes;
+  }
+
+  void start_data_flow(net::NodeId src, net::NodeId dst, std::int64_t bytes,
+                       const CloudOp& op, double priority,
+                       double reserved_bps);
+  void on_flow_complete(const transport::FlowRecord& rec);
+  void begin_replication(const CloudOp& op, std::int64_t bytes);
+
+  [[nodiscard]] NameNode& meta_owner(ContentId id) {
+    return fes_->dispatch_by_content(id);
+  }
+
+  /// Server index of a server node id (node ids are not contiguous).
+  [[nodiscard]] std::size_t server_index_of(net::NodeId node) const {
+    return server_index_by_node_.at(node);
+  }
+
+  sim::Simulator& sim_;
+  CloudConfig cfg_;
+  net::ThreeTierTree topo_;
+  transport::TransportManager transports_;
+  RateAllocator allocator_;
+  Hierarchy hierarchy_;
+  SlaManager sla_;
+  std::vector<std::unique_ptr<NameNode>> name_nodes_;
+  std::unique_ptr<FrontEnd> fes_;
+  std::unique_ptr<ServerSelector> selector_;
+  std::vector<BlockServer> servers_;
+  std::unique_ptr<sim::PeriodicProcess> control_loop_;
+  std::unique_ptr<sim::PeriodicProcess> migration_loop_;
+  ContentClassifier classifier_;
+  TargetRateController target_ctrl_{allocator_};
+  /// Deadlines requested before the upload flow exists, keyed by content.
+  std::unordered_map<ContentId, double> pending_deadline_;
+  std::uint64_t migrations_completed_ = 0;
+  /// Content with a move already in flight (avoid duplicate migrations).
+  std::unordered_map<ContentId, bool> migrating_;
+
+  std::vector<CloudCompletionFn> on_complete_;
+  std::unordered_map<net::FlowId, CloudOp> ops_;
+  std::unordered_map<net::FlowId, transport::ScdaFlowHandles> active_scda_;
+  /// Non-passive content blocks per server (dormancy eligibility).
+  std::vector<std::int32_t> active_content_count_;
+  std::unordered_map<net::NodeId, std::size_t> server_index_by_node_;
+  /// Previous access-link tx bytes per server (power utilization estimate).
+  std::vector<std::uint64_t> prev_tx_bytes_;
+
+  /// Content ids accepted for writing (pending or stored); duplicate write
+  /// requests are rejected synchronously.
+  std::unordered_map<ContentId, bool> known_content_;
+  std::uint64_t failed_reads_ = 0;
+  std::uint64_t failed_writes_ = 0;
+  std::uint64_t ctrl_messages_ = 0;
+  std::uint64_t ctrl_bytes_ = 0;
+};
+
+}  // namespace scda::core

@@ -1,0 +1,118 @@
+// Packet-based control-plane traffic model (paper section IV).
+//
+// By default the Cloud models RM/RA exchanges as latency-delayed RPCs and
+// only counts their bytes. This optional component puts the reporting
+// traffic on the wire: every control interval each RM (block server) sends
+// its S_d/S_u report one hop up to its level-1 RA, each level-1 RA
+// forwards its aggregate to level 2, and so on to the top — exactly the
+// bottom-up pass of section VI. The packets are ordinary kCtrl datagrams
+// that compete with data in the drop-tail queues, so the overhead and its
+// effect on data flows become measurable instead of assumed.
+//
+// The paper's Delta-encoding ("send the difference... if there is a change
+// in the rate values") is modelled by skipping a report when the RM's rate
+// value moved less than `delta_threshold` relatively since its last send.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/rate_allocator.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace scda::core {
+
+class ControlTraffic {
+ public:
+  /// Wire size of one RM/RA report (ids + two rate sums + level).
+  static constexpr std::int32_t kReportBytes = 64;
+
+  ControlTraffic(net::ThreeTierTree& topo, RateAllocator& alloc,
+                 double interval_s, double delta_threshold = 0.0)
+      : topo_(topo),
+        alloc_(alloc),
+        delta_threshold_(delta_threshold),
+        last_sent_rate_(topo.servers().size(), -1.0),
+        process_(std::make_unique<sim::PeriodicProcess>(
+            topo.net().sim(), interval_s, [this] { tick(); })) {
+    // Count reports arriving at each aggregation point.
+    hook_sink(topo_.core());
+    for (const auto agg : topo_.aggs()) hook_sink(agg);
+    for (const auto tor : topo_.tors()) hook_sink(tor);
+    process_->start(interval_s);
+  }
+
+  void stop() { process_->stop(); }
+
+  [[nodiscard]] std::uint64_t reports_sent() const noexcept {
+    return reports_sent_;
+  }
+  [[nodiscard]] std::uint64_t reports_received() const noexcept {
+    return reports_received_;
+  }
+  [[nodiscard]] std::uint64_t reports_suppressed() const noexcept {
+    return reports_suppressed_;
+  }
+  [[nodiscard]] std::uint64_t bytes_on_wire() const noexcept {
+    return reports_sent_ * static_cast<std::uint64_t>(kReportBytes);
+  }
+
+ private:
+  void hook_sink(net::NodeId n) {
+    topo_.net().node(n).set_sink([this](net::Packet&& p) {
+      if (p.type == net::PacketType::kCtrl) ++reports_received_;
+    });
+  }
+
+  void send_report(net::NodeId from, net::NodeId to) {
+    net::Packet p;
+    p.flow = kCtrlFlowId;
+    p.src = from;
+    p.dst = to;
+    p.type = net::PacketType::kCtrl;
+    p.size_bytes = kReportBytes;
+    p.ts = topo_.net().sim().now();
+    topo_.net().send(std::move(p));
+    ++reports_sent_;
+  }
+
+  void tick() {
+    // RM -> level-1 RA (one hop to the ToR switch), with Delta suppression.
+    for (std::size_t s = 0; s < topo_.servers().size(); ++s) {
+      const double rate = alloc_.link_rate(topo_.server_uplink(s));
+      if (delta_threshold_ > 0 && last_sent_rate_[s] > 0) {
+        const double change =
+            std::abs(rate - last_sent_rate_[s]) / last_sent_rate_[s];
+        if (change < delta_threshold_) {
+          ++reports_suppressed_;
+          continue;
+        }
+      }
+      last_sent_rate_[s] = rate;
+      send_report(topo_.servers()[s],
+                  topo_.tors()[topo_.tor_of_server(s)]);
+    }
+    // RA level 1 -> level 2 -> level 3 (aggregated sums move upward).
+    for (std::size_t t = 0; t < topo_.tors().size(); ++t)
+      send_report(topo_.tors()[t], topo_.aggs()[topo_.agg_of_tor(t)]);
+    for (const auto agg : topo_.aggs()) send_report(agg, topo_.core());
+  }
+
+  /// Reserved flow id for control datagrams (never collides with data
+  /// flows, whose ids are non-negative).
+  static constexpr net::FlowId kCtrlFlowId = -2;
+
+  net::ThreeTierTree& topo_;
+  RateAllocator& alloc_;
+  double delta_threshold_;
+  std::vector<double> last_sent_rate_;
+  std::uint64_t reports_sent_ = 0;
+  std::uint64_t reports_received_ = 0;
+  std::uint64_t reports_suppressed_ = 0;
+  std::unique_ptr<sim::PeriodicProcess> process_;
+};
+
+}  // namespace scda::core

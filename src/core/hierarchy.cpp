@@ -1,0 +1,142 @@
+#include "core/hierarchy.h"
+
+#include <algorithm>
+
+namespace scda::core {
+
+Hierarchy::Hierarchy(net::ThreeTierTree& topo, RateAllocator& alloc)
+    : topo_(topo), alloc_(alloc) {
+  const auto n = static_cast<std::size_t>(topo_.config().n_servers());
+  const std::vector<double> zero(kMaxLevel + 1, 0.0);
+  val_up_.assign(n, zero);
+  val_down_.assign(n, zero);
+  rcheck_up_.assign(n, zero);
+  rcheck_down_.assign(n, zero);
+}
+
+void Hierarchy::update() {
+  const auto n = val_up_.size();
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::size_t tor = topo_.tor_of_server(s);
+    const std::size_t agg = topo_.agg_of_tor(tor);
+
+    // Level-h link rates along this server's up and down paths.
+    const double up0 = alloc_.link_rate(topo_.server_uplink(s));
+    const double up1 = alloc_.link_rate(topo_.tor_uplink(tor));
+    const double up2 = alloc_.link_rate(topo_.agg_uplink(agg));
+    const double up3 = alloc_.link_rate(topo_.core_uplink());
+    const double dn0 = alloc_.link_rate(topo_.server_downlink(s));
+    const double dn1 = alloc_.link_rate(topo_.tor_downlink(tor));
+    const double dn2 = alloc_.link_rate(topo_.agg_downlink(agg));
+    const double dn3 = alloc_.link_rate(topo_.core_downlink());
+
+    const double other = r_other_ ? r_other_(s)
+                                  : std::numeric_limits<double>::infinity();
+
+    // Bottom-up R-hat chain: the server's value at level h is the min of
+    // its level-0 value and every link rate on the way up through level h.
+    val_up_[s][0] = std::min(up0, other);
+    val_up_[s][1] = std::min(val_up_[s][0], up1);
+    val_up_[s][2] = std::min(val_up_[s][1], up2);
+    val_up_[s][3] = std::min(val_up_[s][2], up3);
+
+    val_down_[s][0] = std::min(dn0, other);
+    val_down_[s][1] = std::min(val_down_[s][0], dn1);
+    val_down_[s][2] = std::min(val_down_[s][1], dn2);
+    val_down_[s][3] = std::min(val_down_[s][2], dn3);
+
+    // Top-down R-check chain: min of the link rates from level h to the RM
+    // (figure 2, "kept at RM").
+    rcheck_up_[s][0] = up0;
+    rcheck_up_[s][1] = std::min(up0, up1);
+    rcheck_up_[s][2] = std::min(rcheck_up_[s][1], up2);
+    rcheck_up_[s][3] = std::min(rcheck_up_[s][2], up3);
+
+    rcheck_down_[s][0] = dn0;
+    rcheck_down_[s][1] = std::min(dn0, dn1);
+    rcheck_down_[s][2] = std::min(rcheck_down_[s][1], dn2);
+    rcheck_down_[s][3] = std::min(rcheck_down_[s][2], dn3);
+  }
+}
+
+namespace {
+double metric_value(const std::vector<std::vector<double>>& up,
+                    const std::vector<std::vector<double>>& down,
+                    std::size_t s, int level, SelectionMetric m) {
+  const auto h = static_cast<std::size_t>(level);
+  switch (m) {
+    case SelectionMetric::kDown: return down[s][h];
+    case SelectionMetric::kUp: return up[s][h];
+    case SelectionMetric::kMinUpDown: return std::min(up[s][h], down[s][h]);
+  }
+  return 0;
+}
+}  // namespace
+
+BestServer Hierarchy::best_server(SelectionMetric m, int level) const {
+  BestServer best;
+  for (std::size_t s = 0; s < val_up_.size(); ++s) {
+    const double v = metric_value(val_up_, val_down_, s, level, m);
+    if (v > best.value_bps) {
+      best.value_bps = v;
+      best.server = static_cast<std::int32_t>(s);
+    }
+  }
+  return best;
+}
+
+BestServer Hierarchy::best_server_in_rack(std::size_t tor_idx,
+                                          SelectionMetric m) const {
+  BestServer best;
+  const auto per_tor =
+      static_cast<std::size_t>(topo_.config().servers_per_tor);
+  const std::size_t lo = tor_idx * per_tor;
+  const std::size_t hi = std::min(lo + per_tor, val_up_.size());
+  for (std::size_t s = lo; s < hi; ++s) {
+    const double v = metric_value(val_up_, val_down_, s, /*level=*/0, m);
+    if (v > best.value_bps) {
+      best.value_bps = v;
+      best.server = static_cast<std::int32_t>(s);
+    }
+  }
+  return best;
+}
+
+BestServer Hierarchy::best_server_filtered(
+    SelectionMetric m, int level,
+    const std::function<bool(std::size_t)>& admit,
+    const std::function<double(std::size_t, double)>& reweight) const {
+  BestServer best;
+  for (std::size_t s = 0; s < val_up_.size(); ++s) {
+    if (admit && !admit(s)) continue;
+    double v = metric_value(val_up_, val_down_, s, level, m);
+    if (reweight) v = reweight(s, v);
+    if (v > best.value_bps) {
+      best.value_bps = v;
+      best.server = static_cast<std::int32_t>(s);
+    }
+  }
+  return best;
+}
+
+SlaLevelReport Hierarchy::sla_report() const {
+  SlaLevelReport rep;
+  const auto n = val_up_.size();
+  for (std::size_t s = 0; s < n; ++s) {
+    rep.per_level[0] += alloc_.sla_violations(topo_.server_uplink(s)) +
+                        alloc_.sla_violations(topo_.server_downlink(s));
+  }
+  for (std::size_t t = 0; t < topo_.tors().size(); ++t) {
+    rep.per_level[1] += alloc_.sla_violations(topo_.tor_uplink(t)) +
+                        alloc_.sla_violations(topo_.tor_downlink(t));
+  }
+  for (std::size_t a = 0; a < topo_.aggs().size(); ++a) {
+    rep.per_level[2] += alloc_.sla_violations(topo_.agg_uplink(a)) +
+                        alloc_.sla_violations(topo_.agg_downlink(a));
+  }
+  rep.per_level[3] = alloc_.sla_violations(topo_.core_uplink()) +
+                     alloc_.sla_violations(topo_.core_downlink());
+  return rep;
+}
+
+}  // namespace scda::core

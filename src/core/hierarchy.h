@@ -1,0 +1,139 @@
+// The RM/RA hierarchy over the three-tier tree (paper sections III and VI,
+// figure 2).
+//
+// Each block server has a resource monitor (RM) watching its access links;
+// each switch level has a resource allocator (RA). Every control interval
+// the hierarchy runs:
+//
+//   bottom-up:  R-hat^0 = min(link rate, R_other)          (at each RM)
+//               R-hat^h = min(max over children R-hat^{h-1}, own link rate)
+//               ... carrying the id of the best block server upward, for
+//               the downlink, uplink and min(up,down) metrics;
+//
+//   top-down:   each RM learns the best h-level rates R-check^h = min of the
+//               link rates from level h down to itself, which the NNS uses
+//               to size windows of ongoing flows and to pick replicas.
+//
+// The per-link rates themselves come from the RateAllocator; this class is
+// the tree-structured aggregation that the paper distributes across RM/RA
+// message exchanges.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/rate_allocator.h"
+#include "net/topology.h"
+
+namespace scda::core {
+
+/// hmax for the three-tier topology (paper: "for such three tier topology,
+/// hmax = 3"; block servers are level 0).
+constexpr int kMaxLevel = 3;
+
+/// Ranking metric for server selection (paper section VII).
+enum class SelectionMetric : std::uint8_t {
+  kDown,       ///< best downlink rate (fast writes)
+  kUp,         ///< best uplink rate (fast reads)
+  kMinUpDown,  ///< best min(up, down) (interactive content)
+};
+
+struct BestServer {
+  std::int32_t server = -1;  ///< server index in the topology (not NodeId)
+  double value_bps = 0.0;
+};
+
+struct SlaLevelReport {
+  /// violations attributed to RMs (level 0) and RAs (levels 1..3),
+  /// summed over both directions.
+  std::uint64_t per_level[kMaxLevel + 1] = {0, 0, 0, 0};
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t t = 0;
+    for (const auto v : per_level) t += v;
+    return t;
+  }
+};
+
+class Hierarchy {
+ public:
+  Hierarchy(net::ThreeTierTree& topo, RateAllocator& alloc);
+
+  /// Per-server R_other provider (CPU/disk constraint at the RM,
+  /// section VI-A); nullptr means link-bandwidth-only allocation.
+  void set_r_other_provider(std::function<double(std::size_t)> fn) {
+    r_other_ = std::move(fn);
+  }
+
+  /// Recompute all R-hat / R-check values from the allocator's current
+  /// per-link rates. Call once per control interval, after
+  /// RateAllocator::tick().
+  void update();
+
+  // --- bottom-up results (kept at the RAs) ----------------------------------
+  /// Value of server `s` at tree level `h`: min of its R-hat^0 and the link
+  /// rates on its upward path through level h.
+  [[nodiscard]] double server_value_up(std::size_t s, int level) const {
+    return val_up_.at(s).at(static_cast<std::size_t>(level));
+  }
+  [[nodiscard]] double server_value_down(std::size_t s, int level) const {
+    return val_down_.at(s).at(static_cast<std::size_t>(level));
+  }
+
+  /// Best block server across the whole datacenter at level `level`
+  /// (the answer the level-hmax RA gives the NNS).
+  [[nodiscard]] BestServer best_server(SelectionMetric m,
+                                       int level = kMaxLevel) const;
+
+  /// Best server restricted to one rack (the level-1 RA's answer).
+  [[nodiscard]] BestServer best_server_in_rack(std::size_t tor_idx,
+                                               SelectionMetric m) const;
+
+  /// Best server satisfying an arbitrary predicate (used by the dormant /
+  /// power-aware policies which filter or re-weight candidates).
+  [[nodiscard]] BestServer best_server_filtered(
+      SelectionMetric m, int level,
+      const std::function<bool(std::size_t)>& admit,
+      const std::function<double(std::size_t, double)>& reweight = nullptr)
+      const;
+
+  // --- top-down results (kept at the RMs) ------------------------------------
+  /// R-check: rate from level `h` down to server `s` (downlink direction).
+  [[nodiscard]] double rm_level_rate_down(std::size_t s, int level) const {
+    return rcheck_down_.at(s).at(static_cast<std::size_t>(level));
+  }
+  /// R-check for the uplink direction (server s up through level h).
+  [[nodiscard]] double rm_level_rate_up(std::size_t s, int level) const {
+    return rcheck_up_.at(s).at(static_cast<std::size_t>(level));
+  }
+
+  /// R-hat^0 at the RM: min(access link rate, R_other).
+  [[nodiscard]] double rm_rhat_up(std::size_t s) const {
+    return val_up_.at(s).at(0);
+  }
+  [[nodiscard]] double rm_rhat_down(std::size_t s) const {
+    return val_down_.at(s).at(0);
+  }
+
+  /// SLA violations attributed to each level of the RM/RA tree.
+  [[nodiscard]] SlaLevelReport sla_report() const;
+
+  [[nodiscard]] std::size_t server_count() const noexcept {
+    return val_up_.size();
+  }
+  [[nodiscard]] net::ThreeTierTree& topology() noexcept { return topo_; }
+
+ private:
+  net::ThreeTierTree& topo_;
+  RateAllocator& alloc_;
+  std::function<double(std::size_t)> r_other_;
+
+  // val_*_[server][level]: bottom-up server values (R-hat chain).
+  std::vector<std::vector<double>> val_up_;
+  std::vector<std::vector<double>> val_down_;
+  // rcheck_*_[server][level]: top-down per-RM level rates.
+  std::vector<std::vector<double>> rcheck_up_;
+  std::vector<std::vector<double>> rcheck_down_;
+};
+
+}  // namespace scda::core

@@ -1,0 +1,131 @@
+// Name node server (NNS): content metadata plus a request-service queue.
+//
+// Each NNS keeps, per content id, the block locations and access statistics.
+// Metadata requests are served sequentially with a fixed service time; with
+// a single NNS (the GFS/HDFS design the paper criticizes) the queue grows
+// under load and every request pays the queueing delay — the effect the
+// multi-NNS + FES design removes (paper sections I and III).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/block_server.h"
+#include "sim/simulator.h"
+#include "transport/flow.h"
+
+namespace scda::core {
+
+struct ContentMeta {
+  ContentId id = kInvalidContent;
+  std::int64_t size_bytes = 0;
+  transport::ContentClass content_class =
+      transport::ContentClass::kSemiInteractive;
+  /// Server indices holding a full copy, primary first.
+  std::vector<std::int32_t> replicas;
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  double last_access_time = 0;
+};
+
+class NameNode {
+ public:
+  NameNode(sim::Simulator& sim, std::int32_t index, double service_time_s)
+      : sim_(sim), index_(index), service_time_s_(service_time_s) {}
+
+  NameNode(const NameNode&) = delete;
+  NameNode& operator=(const NameNode&) = delete;
+
+  /// Enqueue a metadata request; `handler` runs after the queueing +
+  /// service delay. Returns the delay the request will experience.
+  double submit(std::function<void()> handler) {
+    const double now = sim_.now();
+    const double start = std::max(now, busy_until_);
+    busy_until_ = start + service_time_s_;
+    const double delay = busy_until_ - now;
+    max_delay_ = std::max(max_delay_, delay);
+    total_delay_ += delay;
+    ++served_;
+    sim_.schedule_in(delay, std::move(handler));
+    return delay;
+  }
+
+  // --- metadata ---------------------------------------------------------------
+  [[nodiscard]] ContentMeta& upsert(ContentId id) {
+    auto& m = meta_[id];
+    m.id = id;
+    return m;
+  }
+  [[nodiscard]] ContentMeta* find(ContentId id) {
+    const auto it = meta_.find(id);
+    return it == meta_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] const ContentMeta* find(ContentId id) const {
+    const auto it = meta_.find(id);
+    return it == meta_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::size_t content_count() const noexcept {
+    return meta_.size();
+  }
+  /// Snapshot of all content ids this NNS tracks (migration scans).
+  [[nodiscard]] std::vector<ContentId> content_ids() const {
+    std::vector<ContentId> out;
+    out.reserve(meta_.size());
+    for (const auto& [id, m] : meta_) out.push_back(id);
+    return out;
+  }
+
+  // --- service-queue statistics ------------------------------------------------
+  [[nodiscard]] std::int32_t index() const noexcept { return index_; }
+  [[nodiscard]] std::uint64_t served() const noexcept { return served_; }
+  [[nodiscard]] double mean_delay() const noexcept {
+    return served_ ? total_delay_ / static_cast<double>(served_) : 0.0;
+  }
+  [[nodiscard]] double max_delay() const noexcept { return max_delay_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::int32_t index_;
+  double service_time_s_;
+  double busy_until_ = 0;
+  std::uint64_t served_ = 0;
+  double total_delay_ = 0;
+  double max_delay_ = 0;
+  std::unordered_map<ContentId, ContentMeta> meta_;
+};
+
+/// Front-end server (FES): stateless hash dispatch of requests onto the
+/// name nodes — `hash(key) mod N_NNS` (paper section VIII-A, step 2).
+class FrontEnd {
+ public:
+  explicit FrontEnd(std::vector<NameNode*> nodes)
+      : nodes_(std::move(nodes)) {}
+
+  [[nodiscard]] NameNode& dispatch_by_client(std::int64_t client_key) {
+    return *nodes_[mix(static_cast<std::uint64_t>(client_key)) %
+                   nodes_.size()];
+  }
+  [[nodiscard]] NameNode& dispatch_by_content(ContentId content) {
+    return *nodes_[mix(static_cast<std::uint64_t>(content)) % nodes_.size()];
+  }
+  [[nodiscard]] std::size_t nns_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] NameNode& node(std::size_t i) { return *nodes_.at(i); }
+
+ private:
+  /// splitmix64 finalizer — cheap, well-mixed, deterministic across runs.
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  std::vector<NameNode*> nodes_;
+};
+
+}  // namespace scda::core

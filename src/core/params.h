@@ -1,0 +1,72 @@
+// Tunable parameters of the SCDA control plane (paper Table I and text).
+#pragma once
+
+#include <cstdint>
+
+namespace scda::core {
+
+/// Which rate metric the RM/RA computes each control interval.
+enum class RateMetricKind : std::uint8_t {
+  kExact,       ///< eqs. 2-4: needs per-flow rate sums S(t)
+  kSimplified,  ///< eq. 5: only needs the switch byte counter L(t)
+};
+
+struct ScdaParams {
+  /// Stability parameters of eq. 2 (same role as in RCP/XCP).
+  double alpha = 0.95;
+  double beta = 0.5;
+
+  /// Control interval tau in seconds. The paper suggests the average or
+  /// maximum RTT of the flows; 50 ms sits between the intra-DC (~80 ms) and
+  /// WAN-client (~200 ms) RTTs of the figure-6 topology.
+  double tau = 0.05;
+
+  RateMetricKind metric = RateMetricKind::kExact;
+
+  /// Scale-down threshold rate R_scale for passive-content replication
+  /// (section VII-C). Servers with uplink allocation above this are
+  /// considered dormant-eligible. 0 disables the dormant-server policy.
+  double rscale_bps = 0.0;
+
+  /// Maximum write/read interleaving gap that still counts as interactive
+  /// (section VII: "maximum interactivity interval of 5 seconds").
+  double interactivity_interval_s = 5.0;
+
+  /// Headroom multiplier applied to the receive-window advertisement so the
+  /// sender-side cwnd (not rcvw) is normally the binding constraint.
+  double rcvw_headroom = 1.2;
+
+  /// One-way latency of a control-plane RPC hop inside the datacenter
+  /// (UCL->FES->NNS->RA->BS message exchanges, Figs. 3-5). The paper
+  /// consolidates RM/RA "in a few powerful servers close to each other".
+  double ctrl_dc_latency_s = 0.5e-3;
+  /// One-way latency of a client-to-cloud control hop (WAN).
+  double ctrl_wan_latency_s = 50e-3;
+
+  /// Lower clamp on any per-flow link rate to keep flows alive while the
+  /// allocator converges (bits/sec).
+  double min_rate_bps = 8.0 * 1500;
+
+  /// Enable power-aware selection: rank servers by rate/power instead of
+  /// raw rate (section VII-D).
+  bool power_aware = false;
+
+  /// Number of name node servers behind the FES.
+  std::int32_t n_name_nodes = 4;
+
+  /// NNS metadata-request service time (seconds per request); models the
+  /// single-NNS bottleneck of GFS/HDFS when n_name_nodes == 1.
+  double nns_service_time_s = 20e-6;
+
+  /// Replication factor for stored content (initial copy + replicas - 1).
+  std::int32_t replicas = 2;
+
+  /// Cold-content migration (section VII-C): every this many seconds the
+  /// cloud scans for content whose *learned* access class is passive and
+  /// moves it from active servers to dormant-eligible ones. 0 disables.
+  double migration_interval_s = 0.0;
+  /// At most this many migrations are started per scan (storm control).
+  std::int32_t max_migrations_per_scan = 2;
+};
+
+}  // namespace scda::core

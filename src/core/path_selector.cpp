@@ -1,0 +1,71 @@
+#include "core/path_selector.h"
+
+#include <limits>
+#include <queue>
+
+namespace scda::core {
+
+WidestPathResult widest_path(const net::Network& net, net::NodeId src,
+                             net::NodeId dst, const LinkRateFn& rate) {
+  WidestPathResult out;
+  if (src == dst) return out;
+
+  const auto n = net.node_count();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> width(n, -1.0);       // best bottleneck to each node
+  std::vector<std::int32_t> hops(n, 0);
+  std::vector<net::LinkId> via(n, net::kInvalidLink);
+
+  struct Entry {
+    double width;
+    std::int32_t hops;
+    net::NodeId node;
+    bool operator<(const Entry& o) const noexcept {
+      if (width != o.width) return width < o.width;      // max-heap on width
+      if (hops != o.hops) return hops > o.hops;          // then fewer hops
+      return node > o.node;                              // then lowest id
+    }
+  };
+
+  std::priority_queue<Entry> pq;
+  width[static_cast<std::size_t>(src)] = kInf;
+  pq.push({kInf, 0, src});
+
+  while (!pq.empty()) {
+    const Entry e = pq.top();
+    pq.pop();
+    const auto u = static_cast<std::size_t>(e.node);
+    if (e.width < width[u] || (e.width == width[u] && e.hops > hops[u]))
+      continue;  // stale entry
+    if (e.node == dst) break;
+    for (const net::LinkId lid : net.out_links(e.node)) {
+      const net::Link& l = net.link(lid);
+      const double w = std::min(e.width, rate(lid));
+      const auto v = static_cast<std::size_t>(l.to());
+      if (w > width[v] ||
+          (w == width[v] && e.hops + 1 < hops[v])) {
+        width[v] = w;
+        hops[v] = e.hops + 1;
+        via[v] = lid;
+        pq.push({w, e.hops + 1, l.to()});
+      }
+    }
+  }
+
+  const auto d = static_cast<std::size_t>(dst);
+  if (width[d] < 0) return out;  // unreachable
+
+  // Walk back from dst via the predecessor links.
+  std::vector<net::LinkId> rev;
+  net::NodeId at = dst;
+  while (at != src) {
+    const net::LinkId lid = via[static_cast<std::size_t>(at)];
+    rev.push_back(lid);
+    at = net.link(lid).from();
+  }
+  out.path.assign(rev.rbegin(), rev.rend());
+  out.bottleneck_bps = width[d];
+  return out;
+}
+
+}  // namespace scda::core

@@ -1,0 +1,34 @@
+// Widest-path (max/min) route selection for general topologies — paper
+// section IX:
+//
+//   "The weight of each link is the value of R_{d,u}(t) of that link ...
+//    a max/min algorithm has to be used to find the best path and the rate
+//    in that path. This is done by first finding the minimum rate of each
+//    path and then taking the path with the maximum such rate."
+//
+// `widest_path` runs a Dijkstra variant maximizing the bottleneck link
+// rate (ties broken by fewer hops, then by node id for determinism). The
+// rate lookup is a callback so callers can plug the RateAllocator's
+// current per-link rates or any other metric.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/network.h"
+
+namespace scda::core {
+
+struct WidestPathResult {
+  std::vector<net::LinkId> path;  ///< empty when dst is unreachable/src==dst
+  double bottleneck_bps = 0;      ///< min link rate along the path
+};
+
+/// Rate (weight) of a link; larger is better.
+using LinkRateFn = std::function<double(net::LinkId)>;
+
+[[nodiscard]] WidestPathResult widest_path(const net::Network& net,
+                                           net::NodeId src, net::NodeId dst,
+                                           const LinkRateFn& rate);
+
+}  // namespace scda::core

@@ -1,0 +1,65 @@
+// Per-server power model (paper section VII-D).
+//
+// The paper derives P(t) from temperature sensors; we synthesize an
+// equivalent heterogeneous signal: P = idle + span * load, scaled by a
+// per-server inefficiency factor (rack position, age, background tasks).
+// A dormant server draws only standby power. Energy is integrated by the
+// control plane every control interval.
+#pragma once
+
+#include <algorithm>
+
+namespace scda::core {
+
+class PowerModel {
+ public:
+  PowerModel() = default;
+  PowerModel(double idle_w, double peak_w, double inefficiency = 1.0)
+      : idle_w_(idle_w), peak_w_(peak_w), inefficiency_(inefficiency) {}
+
+  /// Instantaneous power draw given utilization in [0,1].
+  [[nodiscard]] double power_w(double utilization) const noexcept {
+    if (dormant_) return standby_w_;
+    const double u = std::clamp(utilization, 0.0, 1.0);
+    return inefficiency_ * (idle_w_ + (peak_w_ - idle_w_) * u);
+  }
+
+  /// Running average used for selection ranking; new samples weighted by
+  /// `w_new` (paper: "running average or more weight to the latest").
+  void record_sample(double power_w_sample, double w_new = 0.3) noexcept {
+    if (avg_w_ <= 0) {
+      avg_w_ = power_w_sample;
+    } else {
+      avg_w_ = (1.0 - w_new) * avg_w_ + w_new * power_w_sample;
+    }
+  }
+  [[nodiscard]] double average_w() const noexcept {
+    return avg_w_ > 0 ? avg_w_ : inefficiency_ * idle_w_;
+  }
+
+  void integrate_energy(double power_w_sample, double dt_s) noexcept {
+    energy_j_ += power_w_sample * dt_s;
+  }
+  [[nodiscard]] double energy_j() const noexcept { return energy_j_; }
+
+  void set_dormant(bool d) noexcept { dormant_ = d; }
+  [[nodiscard]] bool dormant() const noexcept { return dormant_; }
+
+  void set_inefficiency(double f) noexcept { inefficiency_ = f; }
+  [[nodiscard]] double inefficiency() const noexcept { return inefficiency_; }
+  [[nodiscard]] double idle_w() const noexcept { return idle_w_; }
+  [[nodiscard]] double peak_w() const noexcept { return peak_w_; }
+  void set_standby_w(double w) noexcept { standby_w_ = w; }
+  [[nodiscard]] double standby_w() const noexcept { return standby_w_; }
+
+ private:
+  double idle_w_ = 150.0;
+  double peak_w_ = 300.0;
+  double standby_w_ = 15.0;
+  double inefficiency_ = 1.0;
+  bool dormant_ = false;
+  double avg_w_ = 0.0;
+  double energy_j_ = 0.0;
+};
+
+}  // namespace scda::core

@@ -1,0 +1,182 @@
+#include "core/rate_allocator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/rate_metric.h"
+#include "util/log.h"
+
+namespace scda::core {
+
+RateAllocator::RateAllocator(net::Network& net, const ScdaParams& params)
+    : net_(net), params_(params) {
+  links_.resize(net_.link_count());
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    // An idle link initially offers its full effective capacity.
+    const double c = net_.link(static_cast<net::LinkId>(l)).capacity_bps();
+    links_[l].rate = params_.alpha * c;
+    links_[l].gamma = params_.alpha * c;
+  }
+}
+
+void RateAllocator::register_flow(net::FlowId id, net::NodeId src,
+                                  net::NodeId dst, double priority,
+                                  double reserved_bps,
+                                  RateProviderFn r_other_send,
+                                  RateProviderFn r_other_recv) {
+  register_flow_on_path(id, net_.path(src, dst), priority, reserved_bps,
+                        std::move(r_other_send), std::move(r_other_recv));
+}
+
+void RateAllocator::register_flow_on_path(net::FlowId id,
+                                          std::vector<net::LinkId> path,
+                                          double priority,
+                                          double reserved_bps,
+                                          RateProviderFn r_other_send,
+                                          RateProviderFn r_other_recv) {
+  if (flows_.count(id))
+    throw std::logic_error("RateAllocator: flow already registered");
+  FlowState fs;
+  fs.id = id;
+  fs.path = std::move(path);
+  fs.priority = priority;
+  fs.reserved_bps = reserved_bps;
+  fs.r_other_send = std::move(r_other_send);
+  fs.r_other_recv = std::move(r_other_recv);
+  // Immediate feedback: each RA counts the new flow into its effective
+  // flow total and lowers its advertised per-flow rate accordingly, so
+  // several flows admitted within the same control interval are quoted
+  // gamma/(N-hat + 1), gamma/(N-hat + 2), ... instead of all receiving the
+  // full link rate. The next tick recomputes the exact values.
+  for (const net::LinkId l : fs.path) {
+    auto& st = links_[static_cast<std::size_t>(l)];
+    st.reserved += reserved_bps;
+    st.nhat += priority;
+    const double shareable =
+        std::max(st.gamma - st.reserved, params_.min_rate_bps);
+    st.rate = std::clamp(shareable / std::max(st.nhat, 1.0),
+                         params_.min_rate_bps, shareable);
+  }
+  // Seed the flow's rate with the post-admission quote so the first
+  // interval's S already accounts for it (the NNS hands this same value to
+  // the sender as the initial allocation).
+  fs.rate = reserved_bps + priority * path_rate(fs.path);
+  flows_.emplace(id, std::move(fs));
+}
+
+void RateAllocator::unregister_flow(net::FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  for (const net::LinkId l : it->second.path)
+    links_[static_cast<std::size_t>(l)].reserved -= it->second.reserved_bps;
+  flows_.erase(it);
+}
+
+void RateAllocator::set_priority(net::FlowId id, double priority) {
+  flows_.at(id).priority = std::max(priority, 0.0);
+}
+
+double RateAllocator::priority(net::FlowId id) const {
+  return flows_.at(id).priority;
+}
+
+double RateAllocator::flow_rate(net::FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+double RateAllocator::path_rate(net::NodeId src, net::NodeId dst) const {
+  return path_rate(net_.path(src, dst));
+}
+
+double RateAllocator::path_rate(const std::vector<net::LinkId>& path) const {
+  double r = std::numeric_limits<double>::infinity();
+  for (const net::LinkId l : path)
+    r = std::min(r, links_[static_cast<std::size_t>(l)].rate);
+  return std::isfinite(r) ? r : 0.0;
+}
+
+void RateAllocator::refresh_flow_rates() {
+  for (auto& [id, fs] : flows_) {
+    double base = std::numeric_limits<double>::infinity();
+    for (const net::LinkId l : fs.path)
+      base = std::min(base, links_[static_cast<std::size_t>(l)].rate);
+    if (!std::isfinite(base)) base = 0.0;
+    double r = fs.reserved_bps + fs.priority * base;
+    if (fs.r_other_send) r = std::min(r, fs.r_other_send());
+    if (fs.r_other_recv) r = std::min(r, fs.r_other_recv());
+    fs.rate = std::max(r, params_.min_rate_bps);
+  }
+}
+
+void RateAllocator::tick() {
+  const double tau = params_.tau;
+  const double now = net_.sim().now();
+
+  // Pass 1: effective capacity per link from the switch counters Q(t)
+  // (and L(t) for the simplified metric).
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    auto& st = links_[l];
+    net::Link& link = net_.link(static_cast<net::LinkId>(l));
+    const double q_bits = static_cast<double>(link.queue_bytes()) * 8.0;
+    st.gamma = effective_capacity(link.capacity_bps(), q_bits, tau,
+                                  params_.alpha, params_.beta);
+    st.rate_sum = 0;
+    st.share_sum = 0;
+  }
+
+  // Pass 2: per-flow end-to-end allocation from the *previous* interval's
+  // link rates (this is the information the top-down RA pass delivered to
+  // each RM), accumulated into each crossed link's S.
+  for (auto& [id, fs] : flows_) {
+    double base = std::numeric_limits<double>::infinity();
+    for (const net::LinkId l : fs.path)
+      base = std::min(base, links_[static_cast<std::size_t>(l)].rate);
+    if (!std::isfinite(base)) base = 0.0;
+
+    double r = fs.reserved_bps + fs.priority * base;
+    if (fs.r_other_send) r = std::min(r, fs.r_other_send());
+    if (fs.r_other_recv) r = std::min(r, fs.r_other_recv());
+    fs.rate = std::max(r, params_.min_rate_bps);
+
+    const double share = std::max(0.0, fs.rate - fs.reserved_bps);
+    for (const net::LinkId l : fs.path) {
+      links_[static_cast<std::size_t>(l)].rate_sum += fs.rate;
+      links_[static_cast<std::size_t>(l)].share_sum += share;
+    }
+  }
+
+  // Pass 3: new per-link rates (eq. 2 or eq. 5) over the shareable capacity
+  // (capacity minus explicit reservations, section IV-C), plus SLA checks
+  // against the full effective capacity (section IV-A).
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    auto& st = links_[l];
+    net::Link& link = net_.link(static_cast<net::LinkId>(l));
+    const double shareable =
+        std::max(st.gamma - st.reserved, params_.min_rate_bps);
+
+    if (params_.metric == RateMetricKind::kExact) {
+      st.nhat = effective_flows(st.share_sum, st.rate);
+      st.rate = exact_rate(shareable, st.share_sum, st.rate,
+                           params_.min_rate_bps);
+    } else {
+      const double l_bits =
+          static_cast<double>(link.take_interval_arrived_bytes()) * 8.0;
+      st.nhat = effective_flows(l_bits / tau, st.rate);
+      st.rate =
+          simplified_rate(shareable, l_bits, tau, st.rate,
+                          params_.min_rate_bps);
+    }
+
+    if (sla_violated(st.rate_sum, st.gamma)) {
+      ++st.sla_violations;
+      ++total_sla_violations_;
+      if (on_sla_)
+        on_sla_(static_cast<net::LinkId>(l), st.rate_sum, st.gamma, now);
+    }
+  }
+}
+
+}  // namespace scda::core

@@ -1,0 +1,154 @@
+// RateAllocator: the per-link allocation engine behind the RM/RA hierarchy.
+//
+// Every control interval tau it recomputes, for every link, the per-flow
+// fair rate R_l(t) (eq. 2 exact, or eq. 5 simplified) and, for every
+// registered flow, its end-to-end allocation
+//
+//     r_j = min( M_j + p_j * min_{l in path} R_l,  R_other_send,  R_other_recv )
+//
+// which is exactly the distributed fixed point the RM/RA message exchanges
+// of paper section VI compute: a link where a flow is bottlenecked elsewhere
+// counts it as r_j / R < 1 effective flows (eq. 3), so the residual
+// bandwidth flows to the flows that can use it — weighted max-min fairness.
+//
+// The engine is topology-agnostic (section IX): it only needs each flow's
+// path, which the tree RM/RA hierarchy (hierarchy.h) derives from routing.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/params.h"
+#include "net/network.h"
+
+namespace scda::core {
+
+/// Callback invoked when a link's demand exceeds its effective capacity
+/// (SLA violation, section IV-A): (link, S, gamma, time).
+using SlaViolationFn =
+    std::function<void(net::LinkId, double, double, double)>;
+
+class RateAllocator {
+ public:
+  RateAllocator(net::Network& net, const ScdaParams& params);
+
+  RateAllocator(const RateAllocator&) = delete;
+  RateAllocator& operator=(const RateAllocator&) = delete;
+
+  // --- flow registry --------------------------------------------------------
+  /// Provider of a flow's non-network bottleneck (CPU/disk) rate; nullptr
+  /// means unconstrained.
+  using RateProviderFn = std::function<double()>;
+
+  void register_flow(net::FlowId id, net::NodeId src, net::NodeId dst,
+                     double priority = 1.0, double reserved_bps = 0.0,
+                     RateProviderFn r_other_send = nullptr,
+                     RateProviderFn r_other_recv = nullptr);
+
+  /// Register a flow on an explicit path (source-routed flows on general
+  /// topologies, paper section IX).
+  void register_flow_on_path(net::FlowId id, std::vector<net::LinkId> path,
+                             double priority = 1.0, double reserved_bps = 0.0,
+                             RateProviderFn r_other_send = nullptr,
+                             RateProviderFn r_other_recv = nullptr);
+  void unregister_flow(net::FlowId id);
+  [[nodiscard]] bool has_flow(net::FlowId id) const {
+    return flows_.count(id) != 0;
+  }
+  [[nodiscard]] std::size_t active_flows() const noexcept {
+    return flows_.size();
+  }
+
+  /// Change a flow's priority weight (adaptive policies, section IV-A).
+  void set_priority(net::FlowId id, double priority);
+  [[nodiscard]] double priority(net::FlowId id) const;
+
+  // --- control interval -----------------------------------------------------
+  /// Recompute gamma, per-flow rates, S and the new per-link rates.
+  void tick();
+
+  /// Recompute only the per-flow rates from the current link rates (no
+  /// link-state updates, no SLA checks). Used right after an admission so
+  /// existing senders drop to their post-admission shares immediately
+  /// instead of overdriving the path until the next tick.
+  void refresh_flow_rates();
+
+  // --- queries ---------------------------------------------------------------
+  /// Per-flow fair rate currently advertised by a link (R_l).
+  [[nodiscard]] double link_rate(net::LinkId l) const {
+    return links_.at(static_cast<std::size_t>(l)).rate;
+  }
+  /// Effective capacity gamma of a link from the last tick.
+  [[nodiscard]] double link_gamma(net::LinkId l) const {
+    return links_.at(static_cast<std::size_t>(l)).gamma;
+  }
+  /// Sum of flow rates S crossing the link in the last tick.
+  [[nodiscard]] double link_rate_sum(net::LinkId l) const {
+    return links_.at(static_cast<std::size_t>(l)).rate_sum;
+  }
+  /// Rate a prospective new flow of the given weight would get on the link:
+  /// gamma_share / (N-hat + priority). This is the link weight route
+  /// selection should compare (section IX) — unlike link_rate it
+  /// distinguishes an idle link from one whose single flow uses it fully.
+  [[nodiscard]] double prospective_link_rate(net::LinkId l,
+                                             double priority = 1.0) const {
+    const auto& st = links_.at(static_cast<std::size_t>(l));
+    const double shareable =
+        std::max(st.gamma - st.reserved, params_.min_rate_bps);
+    return std::clamp(shareable / std::max(st.nhat + priority, 1.0),
+                      params_.min_rate_bps, shareable);
+  }
+  /// The flow's current end-to-end allocation r_j.
+  [[nodiscard]] double flow_rate(net::FlowId id) const;
+
+  /// Rate a *new* unit-weight flow would get along src->dst right now:
+  /// min over the path of the per-link rates (the value the NNS asks the
+  /// RA/RM hierarchy for, paper Figs. 3-5).
+  [[nodiscard]] double path_rate(net::NodeId src, net::NodeId dst) const;
+  /// Same, over an explicit link sequence.
+  [[nodiscard]] double path_rate(const std::vector<net::LinkId>& path) const;
+
+  // --- SLA -------------------------------------------------------------------
+  void set_sla_callback(SlaViolationFn fn) { on_sla_ = std::move(fn); }
+  [[nodiscard]] std::uint64_t sla_violations() const noexcept {
+    return total_sla_violations_;
+  }
+  [[nodiscard]] std::uint64_t sla_violations(net::LinkId l) const {
+    return links_.at(static_cast<std::size_t>(l)).sla_violations;
+  }
+
+  [[nodiscard]] const ScdaParams& params() const noexcept { return params_; }
+
+ private:
+  struct LinkState {
+    double rate = 0;        ///< R_l(t), per-flow fair share
+    double gamma = 0;       ///< effective capacity this tick
+    double rate_sum = 0;    ///< S_l(t), total flow demand
+    double share_sum = 0;   ///< S minus reserved portions (shared pool demand)
+    double reserved = 0;    ///< sum of M_j over flows crossing the link
+    double nhat = 0;        ///< effective flow count from the last tick
+    std::uint64_t sla_violations = 0;
+  };
+
+  struct FlowState {
+    net::FlowId id;
+    std::vector<net::LinkId> path;
+    double priority = 1.0;
+    double reserved_bps = 0.0;
+    double rate = 0.0;  ///< r_j from the last tick
+    RateProviderFn r_other_send;
+    RateProviderFn r_other_recv;
+  };
+
+  net::Network& net_;
+  ScdaParams params_;
+  std::vector<LinkState> links_;
+  std::unordered_map<net::FlowId, FlowState> flows_;
+  SlaViolationFn on_sla_;
+  std::uint64_t total_sla_violations_ = 0;
+};
+
+}  // namespace scda::core

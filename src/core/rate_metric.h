@@ -1,0 +1,64 @@
+// Pure rate-metric math of paper section IV (equations 2-6).
+//
+// Free functions with no simulator dependencies so the numerics are unit-
+// testable in isolation. All rates are bits/sec, queue sizes are bits,
+// intervals are seconds.
+#pragma once
+
+#include <algorithm>
+
+namespace scda::core {
+
+/// Effective capacity gamma = alpha*C - beta*Q/tau (the numerator of
+/// eqs. 2 and 5; also the SLA threshold of section IV-A). The queue term
+/// drains standing queues within ~one control interval.
+[[nodiscard]] inline double effective_capacity(double capacity_bps,
+                                               double queue_bits, double tau,
+                                               double alpha,
+                                               double beta) noexcept {
+  return alpha * capacity_bps - beta * queue_bits / tau;
+}
+
+/// Effective number of flows N-hat = S / R(t - tau)  (eq. 3). A flow
+/// bottlenecked elsewhere counts as R_j/R < 1 flow, which is what makes the
+/// allocation max-min fair.
+[[nodiscard]] inline double effective_flows(double rate_sum_bps,
+                                            double prev_rate_bps) noexcept {
+  if (prev_rate_bps <= 0) return 0.0;
+  return rate_sum_bps / prev_rate_bps;
+}
+
+/// Exact per-flow rate (eq. 2): R(t) = gamma / N-hat, clamped to
+/// [min_rate, gamma_cap]. `gamma_cap` bounds the advertised per-flow rate by
+/// the link's effective capacity (an idle link offers the whole capacity,
+/// never more).
+[[nodiscard]] inline double exact_rate(double gamma_bps, double rate_sum_bps,
+                                       double prev_rate_bps,
+                                       double min_rate_bps) noexcept {
+  const double gamma = std::max(gamma_bps, min_rate_bps);
+  const double nhat = effective_flows(rate_sum_bps, prev_rate_bps);
+  if (nhat <= 1e-12) return gamma;  // idle link: full effective capacity
+  return std::clamp(gamma / nhat, min_rate_bps, gamma);
+}
+
+/// Simplified rate (eq. 5): R(t) = gamma * R(t - tau) / Lambda(t) where
+/// Lambda = L/tau is the measured arrival rate. Needs only switch byte
+/// counters ("stateless" variant).
+[[nodiscard]] inline double simplified_rate(double gamma_bps,
+                                            double interval_bits, double tau,
+                                            double prev_rate_bps,
+                                            double min_rate_bps) noexcept {
+  const double gamma = std::max(gamma_bps, min_rate_bps);
+  const double lambda = interval_bits / tau;
+  if (lambda <= 1e-12) return gamma;  // idle link: full effective capacity
+  return std::clamp(gamma * prev_rate_bps / lambda, min_rate_bps, gamma);
+}
+
+/// SLA violation test (section IV-A): the sum of flow rates wanting to cross
+/// the link exceeds its effective capacity.
+[[nodiscard]] inline bool sla_violated(double rate_sum_bps,
+                                       double gamma_bps) noexcept {
+  return rate_sum_bps > gamma_bps;
+}
+
+}  // namespace scda::core

@@ -1,0 +1,73 @@
+// Per-server non-network resources (CPU, disk) — the R_other inputs of the
+// multi-resource allocation path (paper section VI-A).
+//
+// Real deployments profile "what CPU/disk usage can serve what link rate";
+// here each server exposes effective service rates in bits/sec that may be
+// reduced by synthetic background load.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace scda::core {
+
+class ServerResources {
+ public:
+  ServerResources() = default;
+  ServerResources(double cpu_bps, double disk_bps)
+      : cpu_bps_(cpu_bps), disk_bps_(disk_bps) {}
+
+  /// R_other: the rate the server can sustain beyond the network —
+  /// min(available CPU service rate, available disk service rate).
+  [[nodiscard]] double r_other_bps() const noexcept {
+    const double cpu = cpu_bps_ * (1.0 - cpu_background_);
+    const double disk = disk_bps_ * (1.0 - disk_background_);
+    return std::max(0.0, std::min(cpu, disk));
+  }
+
+  void set_cpu_bps(double v) noexcept { cpu_bps_ = v; }
+  void set_disk_bps(double v) noexcept { disk_bps_ = v; }
+  /// Fraction [0,1) of the CPU consumed by internal computation.
+  void set_cpu_background(double f) noexcept {
+    cpu_background_ = std::clamp(f, 0.0, 1.0);
+  }
+  /// Fraction [0,1) of disk bandwidth consumed by background tasks.
+  void set_disk_background(double f) noexcept {
+    disk_background_ = std::clamp(f, 0.0, 1.0);
+  }
+
+  [[nodiscard]] double cpu_bps() const noexcept { return cpu_bps_; }
+  [[nodiscard]] double disk_bps() const noexcept { return disk_bps_; }
+
+  // --- storage accounting ---------------------------------------------------
+  [[nodiscard]] std::int64_t capacity_bytes() const noexcept {
+    return capacity_bytes_;
+  }
+  [[nodiscard]] std::int64_t used_bytes() const noexcept { return used_bytes_; }
+  [[nodiscard]] std::int64_t free_bytes() const noexcept {
+    return capacity_bytes_ - used_bytes_;
+  }
+  void set_capacity_bytes(std::int64_t b) noexcept { capacity_bytes_ = b; }
+  /// Returns false when the server lacks space.
+  [[nodiscard]] bool reserve_bytes(std::int64_t b) noexcept {
+    if (used_bytes_ + b > capacity_bytes_) return false;
+    used_bytes_ += b;
+    return true;
+  }
+  void release_bytes(std::int64_t b) noexcept {
+    used_bytes_ = std::max<std::int64_t>(0, used_bytes_ - b);
+  }
+
+ private:
+  // Defaults: a 10G-capable server backed by ~6.4 Gbps of disk bandwidth,
+  // far above the figure-6 link rates so the network is the bottleneck
+  // unless an experiment injects background load.
+  double cpu_bps_ = 10e9;
+  double disk_bps_ = 6.4e9;
+  double cpu_background_ = 0.0;
+  double disk_background_ = 0.0;
+  std::int64_t capacity_bytes_ = std::int64_t{4} * 1000 * 1000 * 1000 * 1000;
+  std::int64_t used_bytes_ = 0;
+};
+
+}  // namespace scda::core

@@ -1,0 +1,23 @@
+#include "core/sla.h"
+
+#include "util/log.h"
+
+namespace scda::core {
+
+void SlaManager::on_violation(net::LinkId link, double demand, double gamma,
+                              double time) {
+  events_.push_back(SlaEvent{time, link, demand, gamma});
+  last_violation_[link] = time;
+
+  if (boost_threshold_ == 0 || boosted_[link]) return;
+  if (++consecutive_[link] >= boost_threshold_) {
+    net::Link& l = net_.link(link);
+    l.set_capacity_bps(l.capacity_bps() * boost_factor_);
+    boosted_[link] = true;
+    ++boosts_applied_;
+    SCDA_LOG_INFO("sla: boosted link %d capacity x%.2f at t=%.3f", link,
+                  boost_factor_, time);
+  }
+}
+
+}  // namespace scda::core

@@ -1,0 +1,68 @@
+#include "core/water_filling.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace scda::core {
+
+void water_fill(std::vector<ReferenceFlow>& flows,
+                const std::map<net::LinkId, double>& capacity_bps) {
+  std::map<net::LinkId, double> residual = capacity_bps;
+
+  // Grant reservations off the top (section IV-C).
+  for (auto& f : flows) {
+    f.rate_bps = -1.0;
+    if (f.reserved_bps <= 0) continue;
+    for (const auto l : f.path) {
+      const auto it = residual.find(l);
+      if (it == residual.end())
+        throw std::invalid_argument("water_fill: missing link capacity");
+      it->second -= f.reserved_bps;  // may go negative: oversubscription
+    }
+  }
+
+  std::size_t unfrozen = flows.size();
+  while (unfrozen > 0) {
+    // Weight sums of unfrozen flows per link.
+    std::map<net::LinkId, double> wsum;
+    for (const auto& f : flows) {
+      if (f.rate_bps >= 0) continue;
+      for (const auto l : f.path) {
+        if (!capacity_bps.count(l))
+          throw std::invalid_argument("water_fill: missing link capacity");
+        wsum[l] += f.weight;
+      }
+    }
+    // Tightest link: minimum residual-per-weight level (floored at 0 for
+    // links oversubscribed by reservations).
+    double level = -1;
+    net::LinkId arg = net::kInvalidLink;
+    for (const auto& [l, w] : wsum) {
+      if (w <= 0) continue;
+      const double lv = std::max(residual.at(l), 0.0) / w;
+      if (level < 0 || lv < level) {
+        level = lv;
+        arg = l;
+      }
+    }
+    if (arg == net::kInvalidLink) {
+      // Remaining flows cross no capacitated link (e.g. zero-length
+      // paths): they are unconstrained; report their reservation only.
+      for (auto& f : flows)
+        if (f.rate_bps < 0) f.rate_bps = f.reserved_bps;
+      break;
+    }
+    for (auto& f : flows) {
+      if (f.rate_bps >= 0) continue;
+      bool crosses = false;
+      for (const auto l : f.path) crosses |= (l == arg);
+      if (!crosses) continue;
+      const double share = f.weight * level;
+      f.rate_bps = f.reserved_bps + share;
+      --unfrozen;
+      for (const auto l : f.path) residual.at(l) -= share;
+    }
+  }
+}
+
+}  // namespace scda::core

@@ -1,0 +1,147 @@
+#include "net/fat_tree.h"
+
+#include <deque>
+#include <stdexcept>
+#include <string>
+
+namespace scda::net {
+
+FatTree::FatTree(sim::Simulator& sim, const FatTreeConfig& cfg)
+    : cfg_(cfg), net_(sim) {
+  if (cfg.k < 2 || cfg.k % 2 != 0)
+    throw std::invalid_argument("FatTree: k must be even and >= 2");
+  const auto half = static_cast<std::size_t>(cfg.k / 2);
+  const auto q = cfg.queue_limit_bytes;
+
+  gateway_ = net_.add_node(NodeRole::kGateway, "gw");
+
+  for (std::int32_t c = 0; c < cfg.cores(); ++c) {
+    const NodeId core =
+        net_.add_node(NodeRole::kCoreSwitch, "core" + std::to_string(c));
+    cores_.push_back(core);
+    net_.add_duplex(core, gateway_, cfg.gw_bps, cfg.dc_delay_s, q);
+  }
+
+  for (std::int32_t p = 0; p < cfg.pods(); ++p) {
+    // Aggregation switches: agg a connects to cores [a*k/2, (a+1)*k/2).
+    for (std::size_t a = 0; a < half; ++a) {
+      const NodeId agg = net_.add_node(
+          NodeRole::kAggSwitch,
+          "agg" + std::to_string(p) + "_" + std::to_string(a));
+      aggs_.push_back(agg);
+      for (std::size_t i = 0; i < half; ++i) {
+        const NodeId core = cores_[a * half + i];
+        net_.add_duplex(agg, core, cfg.link_bps, cfg.dc_delay_s, q);
+      }
+    }
+    // Edge switches: each connects to every agg in the pod.
+    for (std::size_t e = 0; e < half; ++e) {
+      const NodeId edge = net_.add_node(
+          NodeRole::kTorSwitch,
+          "edge" + std::to_string(p) + "_" + std::to_string(e));
+      edges_.push_back(edge);
+      for (std::size_t a = 0; a < half; ++a) {
+        net_.add_duplex(edge, agg(static_cast<std::size_t>(p), a),
+                        cfg.link_bps, cfg.dc_delay_s, q);
+      }
+      for (std::size_t s = 0; s < half; ++s) {
+        const std::size_t si = servers_.size();
+        const NodeId srv =
+            net_.add_node(NodeRole::kServer, "bs" + std::to_string(si));
+        servers_.push_back(srv);
+        auto [up, down] =
+            net_.add_duplex(srv, edge, cfg.link_bps, cfg.dc_delay_s, q);
+        server_up_.push_back(up);
+        server_down_.push_back(down);
+      }
+    }
+  }
+
+  for (std::int32_t c = 0; c < cfg.n_clients; ++c) {
+    const NodeId cl =
+        net_.add_node(NodeRole::kClient, "ucl" + std::to_string(c));
+    clients_.push_back(cl);
+    net_.add_duplex(cl, gateway_, cfg.link_bps, cfg.wan_delay_s, q);
+  }
+
+  net_.build_routes();
+}
+
+std::vector<std::vector<LinkId>> all_shortest_paths(const Network& net,
+                                                    NodeId src, NodeId dst) {
+  std::vector<std::vector<LinkId>> out;
+  if (src == dst) return out;
+
+  // BFS computing distances from src, then DFS over links that decrease
+  // the distance-to-dst (computed by reverse BFS from dst over in-edges ==
+  // forward BFS from dst because every link here is paired).
+  const auto n = net.node_count();
+  std::vector<std::int32_t> dist_to_dst(n, -1);
+  {
+    std::deque<NodeId> q;
+    dist_to_dst[static_cast<std::size_t>(dst)] = 0;
+    q.push_back(dst);
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop_front();
+      for (const LinkId l : net.out_links(u)) {
+        const NodeId v = net.link(l).to();
+        if (dist_to_dst[static_cast<std::size_t>(v)] == -1) {
+          dist_to_dst[static_cast<std::size_t>(v)] =
+              dist_to_dst[static_cast<std::size_t>(u)] + 1;
+          q.push_back(v);
+        }
+      }
+    }
+  }
+  if (dist_to_dst[static_cast<std::size_t>(src)] == -1) return out;
+
+  std::vector<LinkId> cur;
+  // Iterative DFS with an explicit stack of (node, next out-link index).
+  struct Frame {
+    NodeId node;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack{{src, 0}};
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.node == dst) {
+      out.push_back(cur);
+      stack.pop_back();
+      if (!cur.empty()) cur.pop_back();
+      continue;
+    }
+    const auto& links = net.out_links(f.node);
+    bool descended = false;
+    while (f.next < links.size()) {
+      const LinkId l = links[f.next++];
+      const NodeId v = net.link(l).to();
+      if (dist_to_dst[static_cast<std::size_t>(v)] ==
+          dist_to_dst[static_cast<std::size_t>(f.node)] - 1) {
+        cur.push_back(l);
+        stack.push_back({v, 0});
+        descended = true;
+        break;
+      }
+    }
+    if (!descended && f.next >= links.size()) {
+      stack.pop_back();
+      if (!cur.empty()) cur.pop_back();
+    }
+  }
+  return out;
+}
+
+std::vector<LinkId> ecmp_path(const Network& net, NodeId src, NodeId dst,
+                              FlowId flow) {
+  auto paths = all_shortest_paths(net, src, dst);
+  if (paths.empty()) return {};
+  // splitmix64 of the flow id picks the path, like a 5-tuple hash would.
+  std::uint64_t x = static_cast<std::uint64_t>(flow) + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return paths[x % paths.size()];
+}
+
+}  // namespace scda::net

@@ -1,0 +1,98 @@
+// General (non-tree) datacenter topologies — paper section IX.
+//
+// The evaluation topology is a tree (unique paths), but SCDA's allocation
+// mechanism extends to arbitrary graphs: RMs/RAs group flows by path and a
+// max/min (widest-path) computation picks routes. This builder provides a
+// leaf-spine fabric (the "figure 8 of [2]" style folded Clos):
+//
+//   servers -- leaf switches -- (all) spine switches -- gateway -- clients
+//
+// Every leaf connects to every spine, so server-to-server and
+// client-to-server traffic has one path choice per spine. Combined with
+// Network::pin_flow_route and the widest-path selector
+// (core/path_selector.h) this exercises SCDA's cross-layer routing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+
+namespace scda::net {
+
+struct LeafSpineConfig {
+  std::int32_t n_spines = 4;
+  std::int32_t n_leaves = 8;
+  std::int32_t servers_per_leaf = 8;
+  std::int32_t n_clients = 32;
+
+  double server_bps = 500e6;  ///< server <-> leaf
+  double fabric_bps = 500e6;  ///< leaf <-> spine
+  double gw_bps = 1e9;        ///< spine <-> gateway
+  double client_bps = 500e6;  ///< client <-> gateway
+
+  double dc_delay_s = 10e-3;
+  double wan_delay_s = 50e-3;
+  std::int64_t queue_limit_bytes = 256 * 1500;
+
+  [[nodiscard]] std::int32_t n_servers() const noexcept {
+    return n_leaves * servers_per_leaf;
+  }
+};
+
+class LeafSpine {
+ public:
+  LeafSpine(sim::Simulator& sim, const LeafSpineConfig& cfg);
+
+  [[nodiscard]] Network& net() noexcept { return net_; }
+  [[nodiscard]] const LeafSpineConfig& config() const noexcept {
+    return cfg_;
+  }
+
+  [[nodiscard]] NodeId gateway() const noexcept { return gateway_; }
+  [[nodiscard]] const std::vector<NodeId>& spines() const noexcept {
+    return spines_;
+  }
+  [[nodiscard]] const std::vector<NodeId>& leaves() const noexcept {
+    return leaves_;
+  }
+  [[nodiscard]] const std::vector<NodeId>& servers() const noexcept {
+    return servers_;
+  }
+  [[nodiscard]] const std::vector<NodeId>& clients() const noexcept {
+    return clients_;
+  }
+
+  [[nodiscard]] std::size_t leaf_of_server(std::size_t s) const {
+    return s / static_cast<std::size_t>(cfg_.servers_per_leaf);
+  }
+
+  // access links per server index
+  [[nodiscard]] LinkId server_uplink(std::size_t s) const {
+    return server_up_.at(s);
+  }
+  [[nodiscard]] LinkId server_downlink(std::size_t s) const {
+    return server_down_.at(s);
+  }
+  // fabric links: leaf <-> spine
+  [[nodiscard]] LinkId leaf_to_spine(std::size_t leaf,
+                                     std::size_t spine) const {
+    return leaf_up_.at(leaf * static_cast<std::size_t>(cfg_.n_spines) +
+                       spine);
+  }
+  [[nodiscard]] LinkId spine_to_leaf(std::size_t leaf,
+                                     std::size_t spine) const {
+    return leaf_down_.at(leaf * static_cast<std::size_t>(cfg_.n_spines) +
+                         spine);
+  }
+
+ private:
+  LeafSpineConfig cfg_;
+  Network net_;
+  NodeId gateway_ = kInvalidNode;
+  std::vector<NodeId> spines_, leaves_, servers_, clients_;
+  std::vector<LinkId> server_up_, server_down_;
+  std::vector<LinkId> leaf_up_, leaf_down_;  // indexed leaf * n_spines + spine
+};
+
+}  // namespace scda::net

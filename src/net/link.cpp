@@ -1,0 +1,96 @@
+#include "net/link.h"
+
+#include <utility>
+
+#include "util/log.h"
+
+namespace scda::net {
+
+bool Link::enqueue(Packet&& p) {
+  interval_arrived_bytes_ += p.size_bytes;
+  if (loss_probability_ > 0 && loss_rng_ != nullptr &&
+      loss_rng_->bernoulli(loss_probability_)) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += static_cast<std::uint64_t>(p.size_bytes);
+    return false;
+  }
+  if (queued_bytes_ + p.size_bytes > queue_limit_bytes_) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += static_cast<std::uint64_t>(p.size_bytes);
+    SCDA_LOG_TRACE("link %d drop flow=%lld seq=%lld q=%lld", id_,
+                   static_cast<long long>(p.flow),
+                   static_cast<long long>(p.seq),
+                   static_cast<long long>(queued_bytes_));
+    return false;
+  }
+  queued_bytes_ += p.size_bytes;
+  ++stats_.enqueued_packets;
+  queue_.push_back(std::move(p));
+  if (!transmitting_) start_transmission();
+  return true;
+}
+
+void Link::start_transmission() {
+  transmitting_ = true;
+  if (discipline_ == QueueDiscipline::kSjf) select_next_packet();
+  const Packet& head = queue_.front();
+  const double tx_time =
+      static_cast<double>(head.size_bytes) * 8.0 / capacity_bps_;
+  sim_.schedule_in(tx_time, [this] { on_tx_complete(); });
+}
+
+void Link::select_next_packet() {
+  // OpenFlow SJF approximation (section IV-B): serve the queued packet
+  // whose flow has transmitted the fewest packets on this link. Control
+  // traffic (ACKs flowing the other way are on the reverse link) competes
+  // like any young flow. Linear scan: queues are bounded (drop-tail).
+  if (queue_.size() <= 1) return;
+  std::size_t best = 0;
+  std::uint64_t best_count = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const auto it = flow_tx_count_.find(queue_[i].flow);
+    const std::uint64_t c = it == flow_tx_count_.end() ? 0 : it->second;
+    if (c < best_count) {
+      best_count = c;
+      best = i;
+    }
+  }
+  if (best != 0) std::swap(queue_[0], queue_[best]);
+}
+
+void Link::on_tx_complete() {
+  Packet p = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= p.size_bytes;
+  ++stats_.tx_packets;
+  stats_.tx_bytes += static_cast<std::uint64_t>(p.size_bytes);
+  if (discipline_ == QueueDiscipline::kSjf) ++flow_tx_count_[p.flow];
+
+  // Propagation: park the packet on the in-flight queue; the single armed
+  // delivery timer walks the queue head-by-head (constant delay => FIFO).
+  inflight_.emplace_back(sim_.now() + prop_delay_s_, std::move(p));
+  if (!delivery_armed_) {
+    delivery_armed_ = true;
+    sim_.schedule_in(prop_delay_s_, [this] { deliver_head(); });
+  }
+
+  if (!queue_.empty()) {
+    start_transmission();
+  } else {
+    transmitting_ = false;
+  }
+}
+
+void Link::deliver_head() {
+  Packet p = std::move(inflight_.front().second);
+  inflight_.pop_front();
+  if (!inflight_.empty()) {
+    sim_.schedule_in(inflight_.front().first - sim_.now(),
+                     [this] { deliver_head(); });
+  } else {
+    delivery_armed_ = false;
+  }
+  if (deliver_) deliver_(std::move(p));
+}
+
+}  // namespace scda::net

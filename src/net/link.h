@@ -1,0 +1,156 @@
+// Unidirectional link with a drop-tail FIFO queue.
+//
+// Models transmission (size/capacity) followed by propagation (fixed delay),
+// exactly like an NS2 SimpleLink + DropTail queue. Links expose the two
+// counters the SCDA paper reads from real switches (section IV): the
+// instantaneous queue length Q(t) and the bytes that arrived during the
+// current control interval L(t). Resource monitors/allocators sample both.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+#include <functional>
+#include <utility>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace scda::net {
+
+struct LinkStats {
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t dropped_packets = 0;
+  std::uint64_t dropped_bytes = 0;
+  std::uint64_t enqueued_packets = 0;
+};
+
+/// Queueing discipline (paper section IV-B).
+///   kFifo — classic drop-tail FIFO (default, what the evaluation uses)
+///   kSjf  — OpenFlow-switch SJF approximation: the switch keeps a packet
+///           count per flow and always serves the queued packet whose flow
+///           has sent the fewest packets so far; flows that already sent a
+///           lot are implicitly de-prioritized (their ACKs are delayed).
+enum class QueueDiscipline : std::uint8_t { kFifo, kSjf };
+
+class Link {
+ public:
+  /// `deliver` is invoked at the downstream node after propagation.
+  using DeliverFn = std::function<void(Packet&&)>;
+
+  Link(sim::Simulator& sim, LinkId id, NodeId from, NodeId to,
+       double capacity_bps, double prop_delay_s, std::int64_t queue_limit_bytes)
+      : sim_(sim),
+        id_(id),
+        from_(from),
+        to_(to),
+        capacity_bps_(capacity_bps),
+        prop_delay_s_(prop_delay_s),
+        queue_limit_bytes_(queue_limit_bytes) {}
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Select the queueing discipline. Safe to call at any time; kSjf starts
+  /// counting flow packets from the moment it is enabled.
+  void set_discipline(QueueDiscipline d) noexcept { discipline_ = d; }
+  [[nodiscard]] QueueDiscipline discipline() const noexcept {
+    return discipline_;
+  }
+
+  /// NS2-style error model: drop each offered packet with probability `p`
+  /// (in addition to drop-tail losses). Pass the simulation RNG so runs
+  /// stay reproducible.
+  void set_error_model(double p, sim::Rng* rng) {
+    loss_probability_ = p;
+    loss_rng_ = rng;
+  }
+  [[nodiscard]] double loss_probability() const noexcept {
+    return loss_probability_;
+  }
+
+  /// Offer a packet to the link. Drop-tail if the queue is full.
+  /// Returns false when dropped.
+  bool enqueue(Packet&& p);
+
+  // --- identification ----------------------------------------------------
+  [[nodiscard]] LinkId id() const noexcept { return id_; }
+  [[nodiscard]] NodeId from() const noexcept { return from_; }
+  [[nodiscard]] NodeId to() const noexcept { return to_; }
+  [[nodiscard]] double capacity_bps() const noexcept { return capacity_bps_; }
+  /// Raise/lower the link capacity at runtime; models switching reserve or
+  /// backup capacity into a congested path (paper section IV-A mitigation).
+  void set_capacity_bps(double c) noexcept {
+    if (c > 0) capacity_bps_ = c;
+  }
+  [[nodiscard]] double prop_delay_s() const noexcept { return prop_delay_s_; }
+  [[nodiscard]] std::int64_t queue_limit_bytes() const noexcept {
+    return queue_limit_bytes_;
+  }
+
+  // --- switch counters read by RM/RA (paper section IV) -------------------
+  /// Current queue occupancy in bytes, Q(t).
+  [[nodiscard]] std::int64_t queue_bytes() const noexcept {
+    return queued_bytes_;
+  }
+  /// Bytes that arrived (were offered) since the counter was last taken;
+  /// L(t) in the simplified rate metric (eq. 5). Resets the counter.
+  [[nodiscard]] std::int64_t take_interval_arrived_bytes() noexcept {
+    const auto v = interval_arrived_bytes_;
+    interval_arrived_bytes_ = 0;
+    return v;
+  }
+  /// Non-destructive view of the interval byte counter.
+  [[nodiscard]] std::int64_t interval_arrived_bytes() const noexcept {
+    return interval_arrived_bytes_;
+  }
+
+  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+
+  /// Long-run utilization in [0,1]: transmitted bits / (capacity * elapsed).
+  [[nodiscard]] double utilization(double elapsed_s) const noexcept {
+    if (elapsed_s <= 0) return 0;
+    return static_cast<double>(stats_.tx_bytes) * 8.0 /
+           (capacity_bps_ * elapsed_s);
+  }
+
+ private:
+  void start_transmission();
+  void on_tx_complete();
+  void deliver_head();
+  /// Move the next packet to serve (per the discipline) to queue_.front().
+  void select_next_packet();
+
+  sim::Simulator& sim_;
+  LinkId id_;
+  NodeId from_;
+  NodeId to_;
+  double capacity_bps_;
+  double prop_delay_s_;
+  std::int64_t queue_limit_bytes_;
+
+  std::deque<Packet> queue_;
+  /// Packets transmitted and propagating: (arrival time, packet). FIFO
+  /// because the propagation delay is constant, so one timer (for the head)
+  /// suffices and the per-packet closure never captures the packet itself.
+  std::deque<std::pair<sim::Time, Packet>> inflight_;
+  bool delivery_armed_ = false;
+  std::int64_t queued_bytes_ = 0;
+  std::int64_t interval_arrived_bytes_ = 0;
+  bool transmitting_ = false;
+
+  DeliverFn deliver_;
+  LinkStats stats_;
+  QueueDiscipline discipline_ = QueueDiscipline::kFifo;
+  double loss_probability_ = 0.0;
+  sim::Rng* loss_rng_ = nullptr;
+  /// Per-flow packets transmitted (the OpenFlow Cnt_j counter, sec IV-B);
+  /// only maintained while the SJF discipline is active.
+  std::unordered_map<FlowId, std::uint64_t> flow_tx_count_;
+};
+
+}  // namespace scda::net

@@ -1,0 +1,158 @@
+#include "net/network.h"
+
+#include <deque>
+#include <utility>
+
+#include "util/log.h"
+
+namespace scda::net {
+
+NodeId Network::add_node(NodeRole role, std::string name) {
+  if (routes_built_)
+    throw std::logic_error("Network::add_node after build_routes");
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(id, role, std::move(name)));
+  out_links_.emplace_back();
+  return id;
+}
+
+LinkId Network::add_link(NodeId a, NodeId b, double capacity_bps,
+                         double prop_delay_s,
+                         std::int64_t queue_limit_bytes) {
+  if (routes_built_)
+    throw std::logic_error("Network::add_link after build_routes");
+  checked(a);
+  checked(b);
+  if (a == b) throw std::invalid_argument("Network::add_link: self loop");
+  if (capacity_bps <= 0)
+    throw std::invalid_argument("Network::add_link: capacity must be > 0");
+  const auto id = static_cast<LinkId>(links_.size());
+  links_.push_back(std::make_unique<Link>(sim_, id, a, b, capacity_bps,
+                                          prop_delay_s, queue_limit_bytes));
+  Link* raw = links_.back().get();
+  raw->set_deliver([this, to = b](Packet&& p) { forward(std::move(p), to); });
+  out_links_[static_cast<std::size_t>(a)].push_back(id);
+  return id;
+}
+
+std::pair<LinkId, LinkId> Network::add_duplex(NodeId a, NodeId b,
+                                              double capacity_bps,
+                                              double prop_delay_s,
+                                              std::int64_t queue_limit_bytes) {
+  const LinkId ab = add_link(a, b, capacity_bps, prop_delay_s,
+                             queue_limit_bytes);
+  const LinkId ba = add_link(b, a, capacity_bps, prop_delay_s,
+                             queue_limit_bytes);
+  return {ab, ba};
+}
+
+void Network::build_routes() {
+  const std::size_t n = nodes_.size();
+  next_hop_.assign(n, std::vector<NodeId>(n, kInvalidNode));
+
+  // BFS from every node over the out-link adjacency. For tree topologies
+  // this is exact; for general graphs it yields deterministic shortest
+  // hop-count paths (lowest link id explored first).
+  std::vector<std::int32_t> dist(n);
+  std::vector<NodeId> first_hop(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::fill(first_hop.begin(), first_hop.end(), kInvalidNode);
+    std::deque<NodeId> q;
+    const auto src = static_cast<NodeId>(s);
+    dist[s] = 0;
+    q.push_back(src);
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop_front();
+      for (const LinkId lid : out_links_[static_cast<std::size_t>(u)]) {
+        const NodeId v = links_[static_cast<std::size_t>(lid)]->to();
+        if (dist[static_cast<std::size_t>(v)] != -1) continue;
+        dist[static_cast<std::size_t>(v)] =
+            dist[static_cast<std::size_t>(u)] + 1;
+        first_hop[static_cast<std::size_t>(v)] =
+            (u == src) ? v : first_hop[static_cast<std::size_t>(u)];
+        q.push_back(v);
+      }
+    }
+    for (std::size_t d = 0; d < n; ++d)
+      next_hop_[s][d] = (d == s) ? src : first_hop[d];
+  }
+  routes_built_ = true;
+}
+
+LinkId Network::link_between(NodeId a, NodeId b) const {
+  for (const LinkId lid : out_links_.at(checked(a))) {
+    if (links_[static_cast<std::size_t>(lid)]->to() == b) return lid;
+  }
+  return kInvalidLink;
+}
+
+std::vector<LinkId> Network::path(NodeId src, NodeId dst) const {
+  if (!routes_built_) throw std::logic_error("Network::path: routes not built");
+  std::vector<LinkId> out;
+  NodeId at = src;
+  while (at != dst) {
+    const NodeId nh = next_hop(at, dst);
+    if (nh == kInvalidNode)
+      throw std::runtime_error("Network::path: unreachable destination");
+    const LinkId lid = link_between(at, nh);
+    out.push_back(lid);
+    at = nh;
+  }
+  return out;
+}
+
+void Network::pin_flow_route(FlowId flow, const std::vector<LinkId>& path) {
+  if (path.empty())
+    throw std::invalid_argument("pin_flow_route: empty path");
+  std::unordered_map<NodeId, LinkId> hops;
+  NodeId at = links_[static_cast<std::size_t>(path.front())]->from();
+  for (const LinkId lid : path) {
+    const Link& l = *links_.at(static_cast<std::size_t>(lid));
+    if (l.from() != at)
+      throw std::invalid_argument("pin_flow_route: path not contiguous");
+    hops[at] = lid;
+    at = l.to();
+  }
+  pinned_[flow] = std::move(hops);
+}
+
+void Network::unpin_flow_route(FlowId flow) { pinned_.erase(flow); }
+
+void Network::send(Packet&& p) {
+  if (!routes_built_) throw std::logic_error("Network::send: routes not built");
+  forward(std::move(p), p.src);
+}
+
+void Network::forward(Packet&& p, NodeId at) {
+  if (at == p.dst) {
+    nodes_[checked(at)]->deliver_local(std::move(p));
+    return;
+  }
+  // Source-routed flows follow their pinned path (data direction only;
+  // the reverse direction has no entry at these nodes and falls through).
+  if (!pinned_.empty() && p.type == PacketType::kData) {
+    const auto fit = pinned_.find(p.flow);
+    if (fit != pinned_.end()) {
+      const auto hit = fit->second.find(at);
+      if (hit != fit->second.end()) {
+        (void)links_[static_cast<std::size_t>(hit->second)]->enqueue(
+            std::move(p));
+        return;
+      }
+    }
+  }
+  const NodeId nh = next_hop(at, p.dst);
+  if (nh == kInvalidNode) {
+    SCDA_LOG_WARN("network: no route from %d to %d, packet dropped", at,
+                  p.dst);
+    return;
+  }
+  const LinkId lid = link_between(at, nh);
+  // Drop-tail: enqueue may refuse the packet; loss is recovered by the
+  // transport layer, exactly as in the real network.
+  (void)links_[static_cast<std::size_t>(lid)]->enqueue(std::move(p));
+}
+
+}  // namespace scda::net

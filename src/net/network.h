@@ -1,0 +1,121 @@
+// Network: owns nodes and links, computes routes, moves packets.
+//
+// Routing is static shortest-path (BFS over hop count), computed once after
+// the topology is built — appropriate for the tree topologies of the paper
+// (unique paths) and deterministic for general graphs (lowest node id wins
+// ties). Packets are forwarded hop-by-hop through drop-tail links.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.h"
+#include "net/node.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace scda::net {
+
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim) : sim_(sim) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- construction -------------------------------------------------------
+  NodeId add_node(NodeRole role, std::string name);
+
+  /// Add a unidirectional link from `a` to `b`. Returns its LinkId.
+  LinkId add_link(NodeId a, NodeId b, double capacity_bps, double prop_delay_s,
+                  std::int64_t queue_limit_bytes);
+
+  /// Add a full-duplex link (two unidirectional links with equal parameters).
+  /// Returns {a->b id, b->a id}.
+  std::pair<LinkId, LinkId> add_duplex(NodeId a, NodeId b, double capacity_bps,
+                                       double prop_delay_s,
+                                       std::int64_t queue_limit_bytes);
+
+  /// Compute next-hop tables. Must be called after the topology is final and
+  /// before any traffic is injected.
+  void build_routes();
+
+  // --- access ---------------------------------------------------------------
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::size_t link_count() const noexcept {
+    return links_.size();
+  }
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(checked(id)); }
+  [[nodiscard]] const Node& node(NodeId id) const {
+    return *nodes_.at(checked(id));
+  }
+  [[nodiscard]] Link& link(LinkId id) {
+    return *links_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] const Link& link(LinkId id) const {
+    return *links_.at(static_cast<std::size_t>(id));
+  }
+
+  /// The link leaving `a` towards neighbour `b`; kInvalidLink if none.
+  [[nodiscard]] LinkId link_between(NodeId a, NodeId b) const;
+
+  /// Next hop from `at` towards `dst`; kInvalidNode when unreachable.
+  [[nodiscard]] NodeId next_hop(NodeId at, NodeId dst) const {
+    return next_hop_.at(checked(at)).at(checked(dst));
+  }
+
+  /// Ordered link ids on the path src -> dst (empty when src == dst).
+  /// Throws when dst is unreachable.
+  [[nodiscard]] std::vector<LinkId> path(NodeId src, NodeId dst) const;
+
+  /// Links leaving a node (adjacency view for custom route computation,
+  /// e.g. the widest-path selector of paper section IX).
+  [[nodiscard]] const std::vector<LinkId>& out_links(NodeId n) const {
+    return out_links_.at(checked(n));
+  }
+
+  // --- per-flow source routing (general topologies, paper section IX) ----
+  /// Pin a flow to an explicit path (ordered link ids). Packets of the
+  /// flow follow the pinned path instead of the destination-based tables;
+  /// ACKs and reverse traffic still use the default routes. The path must
+  /// be contiguous.
+  void pin_flow_route(FlowId flow, const std::vector<LinkId>& path);
+  void unpin_flow_route(FlowId flow);
+  [[nodiscard]] bool has_pinned_route(FlowId flow) const {
+    return pinned_.count(flow) != 0;
+  }
+
+  // --- traffic --------------------------------------------------------------
+  /// Inject a packet at its source node; it is forwarded hop-by-hop until it
+  /// reaches `p.dst` (or is dropped at a full queue).
+  void send(Packet&& p);
+
+  [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+
+ private:
+  std::size_t checked(NodeId id) const {
+    if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size())
+      throw std::out_of_range("Network: bad node id");
+    return static_cast<std::size_t>(id);
+  }
+
+  void forward(Packet&& p, NodeId at);
+
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  /// adjacency: out_links_[node] = link ids leaving the node
+  std::vector<std::vector<LinkId>> out_links_;
+  /// next_hop_[src][dst] = neighbour node towards dst
+  std::vector<std::vector<NodeId>> next_hop_;
+  /// pinned_[flow][at-node] = outgoing link (source-routed flows)
+  std::unordered_map<FlowId, std::unordered_map<NodeId, LinkId>> pinned_;
+  bool routes_built_ = false;
+};
+
+}  // namespace scda::net

@@ -1,0 +1,63 @@
+#include "net/topology.h"
+
+#include <string>
+
+namespace scda::net {
+
+ThreeTierTree::ThreeTierTree(sim::Simulator& sim, const TopologyConfig& cfg)
+    : cfg_(cfg), net_(sim) {
+  gateway_ = net_.add_node(NodeRole::kGateway, "gw");
+  core_ = net_.add_node(NodeRole::kCoreSwitch, "core");
+
+  const auto q = cfg.queue_limit_bytes;
+  const double x = cfg.base_bps;
+
+  // Core <-> Gateway at 6X (level 3).
+  {
+    auto [up, down] = net_.add_duplex(core_, gateway_, cfg.core_gw_mult * x,
+                                      cfg.dc_delay_s, q);
+    core_up_ = up;
+    core_down_ = down;
+  }
+
+  for (std::int32_t a = 0; a < cfg.n_agg; ++a) {
+    const NodeId agg =
+        net_.add_node(NodeRole::kAggSwitch, "agg" + std::to_string(a));
+    aggs_.push_back(agg);
+    auto [up, down] =
+        net_.add_duplex(agg, core_, cfg.k_factor * x, cfg.dc_delay_s, q);
+    agg_up_.push_back(up);
+    agg_down_.push_back(down);
+
+    for (std::int32_t t = 0; t < cfg.tors_per_agg; ++t) {
+      const std::size_t ti = tors_.size();
+      const NodeId tor =
+          net_.add_node(NodeRole::kTorSwitch, "tor" + std::to_string(ti));
+      tors_.push_back(tor);
+      auto [tup, tdown] = net_.add_duplex(tor, agg, x, cfg.dc_delay_s, q);
+      tor_up_.push_back(tup);
+      tor_down_.push_back(tdown);
+
+      for (std::int32_t s = 0; s < cfg.servers_per_tor; ++s) {
+        const std::size_t si = servers_.size();
+        const NodeId srv =
+            net_.add_node(NodeRole::kServer, "bs" + std::to_string(si));
+        servers_.push_back(srv);
+        auto [sup, sdown] = net_.add_duplex(srv, tor, x, cfg.dc_delay_s, q);
+        server_up_.push_back(sup);
+        server_down_.push_back(sdown);
+      }
+    }
+  }
+
+  for (std::int32_t c = 0; c < cfg.n_clients; ++c) {
+    const NodeId cl =
+        net_.add_node(NodeRole::kClient, "ucl" + std::to_string(c));
+    clients_.push_back(cl);
+    net_.add_duplex(cl, gateway_, x, cfg.wan_delay_s, q);
+  }
+
+  net_.build_routes();
+}
+
+}  // namespace scda::net

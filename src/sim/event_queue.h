@@ -1,0 +1,99 @@
+// Discrete-event queue: a binary heap of (time, sequence, callback).
+//
+// The sequence number guarantees deterministic FIFO ordering for events
+// scheduled at identical timestamps, which keeps whole-simulation runs
+// reproducible for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace scda::sim {
+
+using Time = double;  ///< simulation time in seconds
+using EventId = std::uint64_t;
+
+/// Handle that allows cancelling a scheduled event.
+struct EventHandle {
+  EventId id = 0;
+  [[nodiscard]] bool valid() const noexcept { return id != 0; }
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute time `t`. Returns a cancellable handle.
+  EventHandle schedule(Time t, Callback cb) {
+    const EventId id = ++next_id_;
+    heap_.push(Entry{t, id, std::move(cb)});
+    return EventHandle{id};
+  }
+
+  /// Cancel a previously scheduled event. Cancelling an event that already
+  /// fired is a no-op (the tombstone is garbage-collected lazily).
+  void cancel(EventHandle h) {
+    if (h.valid() && h.id <= next_id_) cancelled_.insert(h.id);
+  }
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() {
+    purge_cancelled_top();
+    return heap_.empty();
+  }
+
+  [[nodiscard]] std::size_t scheduled() const noexcept { return heap_.size(); }
+
+  struct Fired {
+    Time time = 0;
+    Callback cb;
+  };
+
+  /// Pop the next live event into `out`. Returns false when drained.
+  [[nodiscard]] bool pop(Fired& out) {
+    purge_cancelled_top();
+    if (heap_.empty()) return false;
+    // priority_queue::top() is const; moving the callback out is safe
+    // because the entry is popped immediately afterwards.
+    auto& top = const_cast<Entry&>(heap_.top());
+    out.time = top.time;
+    out.cb = std::move(top.cb);
+    heap_.pop();
+    return true;
+  }
+
+  /// Time of the next live event; only valid when !empty().
+  [[nodiscard]] Time next_time() {
+    purge_cancelled_top();
+    return heap_.top().time;
+  }
+
+ private:
+  struct Entry {
+    Time time;
+    EventId id;
+    Callback cb;
+    bool operator>(const Entry& o) const noexcept {
+      if (time != o.time) return time > o.time;
+      return id > o.id;  // FIFO for equal timestamps
+    }
+  };
+
+  void purge_cancelled_top() {
+    while (!heap_.empty() && !cancelled_.empty()) {
+      auto it = cancelled_.find(heap_.top().id);
+      if (it == cancelled_.end()) return;
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 0;
+};
+
+}  // namespace scda::sim

@@ -1,0 +1,95 @@
+// Deterministic random number generation for the simulator.
+//
+// All randomness in a run flows through one seeded engine so experiments are
+// reproducible. Distribution helpers cover the laws the SCDA evaluation
+// needs: uniform, exponential (Poisson arrivals), Pareto, bounded Pareto,
+// lognormal, and discrete empirical sampling.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace scda::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5cda2013ULL) : eng_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(eng_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(eng_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(eng_);
+  }
+
+  /// Exponential with given mean (= 1/lambda). Inter-arrival times of a
+  /// Poisson process with rate lambda are exponential(mean = 1/lambda).
+  double exponential(double mean) {
+    if (mean <= 0) throw std::invalid_argument("Rng::exponential: mean <= 0");
+    return std::exponential_distribution<double>(1.0 / mean)(eng_);
+  }
+
+  /// Pareto with scale xm > 0 and shape a > 0:  P(X > x) = (xm/x)^a.
+  double pareto(double xm, double shape) {
+    if (xm <= 0 || shape <= 0)
+      throw std::invalid_argument("Rng::pareto: xm and shape must be > 0");
+    double u;
+    do { u = uniform(); } while (u == 0.0);
+    return xm / std::pow(u, 1.0 / shape);
+  }
+
+  /// Pareto parametrized by its mean (requires shape > 1).
+  /// mean = xm * shape / (shape - 1)  =>  xm = mean * (shape - 1) / shape.
+  double pareto_mean(double mean, double shape) {
+    if (shape <= 1)
+      throw std::invalid_argument("Rng::pareto_mean: shape must be > 1");
+    return pareto(mean * (shape - 1.0) / shape, shape);
+  }
+
+  /// Pareto truncated to [xm, cap] via rejection-free inverse transform.
+  double bounded_pareto(double xm, double shape, double cap) {
+    if (!(cap > xm))
+      throw std::invalid_argument("Rng::bounded_pareto: cap must be > xm");
+    const double ha = std::pow(xm / cap, shape);
+    double u;
+    do { u = uniform(); } while (u == 0.0);
+    return xm / std::pow(1.0 - u * (1.0 - ha), 1.0 / shape);
+  }
+
+  /// Lognormal with the given *underlying normal* mu/sigma.
+  double lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(eng_);
+  }
+
+  /// Lognormal parametrized by its own mean and coefficient of variation.
+  double lognormal_mean_cv(double mean, double cv) {
+    const double sigma2 = std::log(1.0 + cv * cv);
+    const double mu = std::log(mean) - 0.5 * sigma2;
+    return lognormal(mu, std::sqrt(sigma2));
+  }
+
+  /// Sample an index from unnormalized weights.
+  std::size_t discrete(const std::vector<double>& weights) {
+    std::discrete_distribution<std::size_t> d(weights.begin(), weights.end());
+    return d(eng_);
+  }
+
+  /// Bernoulli with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  std::mt19937_64& engine() noexcept { return eng_; }
+
+ private:
+  std::mt19937_64 eng_;
+};
+
+}  // namespace scda::sim

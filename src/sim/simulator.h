@@ -1,0 +1,121 @@
+// Simulator: owns the clock, the event queue and the run loop.
+//
+// This is the NS2 substitute's kernel. Components hold a Simulator& and
+// schedule callbacks; the run loop advances the clock monotonically.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace scda::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 0x5cda2013ULL) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] EventQueue& queue() noexcept { return queue_; }
+
+  /// Schedule `cb` `delay` seconds from now (delay >= 0).
+  EventHandle schedule_in(Time delay, EventQueue::Callback cb) {
+    if (delay < 0) throw std::invalid_argument("schedule_in: negative delay");
+    return queue_.schedule(now_ + delay, std::move(cb));
+  }
+
+  /// Schedule `cb` at absolute time `t` (t >= now).
+  EventHandle schedule_at(Time t, EventQueue::Callback cb) {
+    if (t < now_) throw std::invalid_argument("schedule_at: time in the past");
+    return queue_.schedule(t, std::move(cb));
+  }
+
+  void cancel(EventHandle h) { queue_.cancel(h); }
+
+  /// Run until the queue drains or the clock passes `until`.
+  /// Returns the number of events executed.
+  std::uint64_t run_until(Time until) {
+    std::uint64_t executed = 0;
+    EventQueue::Fired ev;
+    while (!queue_.empty() && queue_.next_time() <= until) {
+      if (!queue_.pop(ev)) break;
+      now_ = ev.time;
+      ev.cb();
+      ++executed;
+    }
+    if (now_ < until) now_ = until;
+    return executed;
+  }
+
+  /// Run until the queue fully drains. Returns the number of events executed.
+  std::uint64_t run() {
+    std::uint64_t executed = 0;
+    EventQueue::Fired ev;
+    while (queue_.pop(ev)) {
+      now_ = ev.time;
+      ev.cb();
+      ++executed;
+    }
+    return executed;
+  }
+
+ private:
+  Time now_ = 0;
+  EventQueue queue_;
+  Rng rng_;
+};
+
+/// Re-arming periodic process: fires `tick` every `period` seconds starting
+/// at `start`. Used for RM/RA control intervals and stats sampling.
+class PeriodicProcess {
+ public:
+  PeriodicProcess(Simulator& sim, Time period, std::function<void()> tick)
+      : sim_(sim), period_(period), tick_(std::move(tick)) {
+    if (period <= 0)
+      throw std::invalid_argument("PeriodicProcess: period must be > 0");
+  }
+
+  ~PeriodicProcess() { stop(); }
+  PeriodicProcess(const PeriodicProcess&) = delete;
+  PeriodicProcess& operator=(const PeriodicProcess&) = delete;
+
+  void start(Time first_delay = 0) {
+    stop();
+    running_ = true;
+    handle_ = sim_.schedule_in(first_delay, [this] { fire(); });
+  }
+
+  void stop() {
+    if (running_) {
+      sim_.cancel(handle_);
+      running_ = false;
+    }
+  }
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] Time period() const noexcept { return period_; }
+  void set_period(Time p) {
+    if (p <= 0) throw std::invalid_argument("set_period: period must be > 0");
+    period_ = p;
+  }
+
+ private:
+  void fire() {
+    if (!running_) return;
+    tick_();
+    if (running_) handle_ = sim_.schedule_in(period_, [this] { fire(); });
+  }
+
+  Simulator& sim_;
+  Time period_;
+  std::function<void()> tick_;
+  EventHandle handle_{};
+  bool running_ = false;
+};
+
+}  // namespace scda::sim

@@ -1,0 +1,101 @@
+#include "stats/collector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace scda::stats {
+
+FlowStatsCollector::FlowStatsCollector(core::Cloud& cloud,
+                                       bool include_replication)
+    : include_replication_(include_replication) {
+  cloud.add_completion_callback(
+      [this](const transport::FlowRecord& rec, const core::CloudOp& op) {
+        record(rec, op);
+      });
+}
+
+void FlowStatsCollector::record(const transport::FlowRecord& rec,
+                                const core::CloudOp& op) {
+  if (!include_replication_ && op.kind == core::CloudOp::Kind::kReplication)
+    return;
+  CompletionRecord r;
+  r.size_bytes = rec.size_bytes;
+  r.fct_s = rec.fct();
+  r.start_time = rec.start_time;
+  r.finish_time = rec.finish_time;
+  r.kind = op.kind;
+  r.content_class = op.content_class;
+  r.control = rec.size_bytes < 5 * 1000;  // paper: control flows are < 5 KB
+  records_.push_back(r);
+}
+
+std::vector<CdfPoint> FlowStatsCollector::fct_cdf() const {
+  std::vector<double> fcts;
+  fcts.reserve(records_.size());
+  for (const auto& r : records_) fcts.push_back(r.fct_s);
+  std::sort(fcts.begin(), fcts.end());
+  std::vector<CdfPoint> out;
+  out.reserve(fcts.size());
+  const auto n = static_cast<double>(fcts.size());
+  for (std::size_t i = 0; i < fcts.size(); ++i)
+    out.push_back({fcts[i], static_cast<double>(i + 1) / n});
+  return out;
+}
+
+std::vector<AfctBin> FlowStatsCollector::afct_by_size(double bin_bytes,
+                                                      double max_bytes) const {
+  const auto n_bins =
+      static_cast<std::size_t>(std::ceil(max_bytes / bin_bytes));
+  std::vector<double> sum(n_bins, 0.0);
+  std::vector<std::uint64_t> cnt(n_bins, 0);
+  for (const auto& r : records_) {
+    auto b = static_cast<std::size_t>(static_cast<double>(r.size_bytes) /
+                                      bin_bytes);
+    if (b >= n_bins) b = n_bins - 1;
+    sum[b] += r.fct_s;
+    ++cnt[b];
+  }
+  std::vector<AfctBin> out;
+  for (std::size_t b = 0; b < n_bins; ++b) {
+    if (cnt[b] == 0) continue;
+    out.push_back({(static_cast<double>(b) + 0.5) * bin_bytes,
+                   sum[b] / static_cast<double>(cnt[b]), cnt[b]});
+  }
+  return out;
+}
+
+Summary FlowStatsCollector::summary() const {
+  return summary_where([](const CompletionRecord&) { return true; });
+}
+
+Summary FlowStatsCollector::summary_where(
+    const std::function<bool(const CompletionRecord&)>& keep) const {
+  Summary s;
+  std::vector<double> fcts;
+  double first_start = std::numeric_limits<double>::infinity();
+  double last_finish = 0;
+  double bytes = 0;
+  for (const auto& r : records_) {
+    if (!keep(r)) continue;
+    fcts.push_back(r.fct_s);
+    s.mean_fct_s += r.fct_s;
+    bytes += static_cast<double>(r.size_bytes);
+    first_start = std::min(first_start, r.start_time);
+    last_finish = std::max(last_finish, r.finish_time);
+  }
+  if (fcts.empty()) return Summary{};
+  std::sort(fcts.begin(), fcts.end());
+  s.flows = fcts.size();
+  s.mean_fct_s /= static_cast<double>(s.flows);
+  s.median_fct_s = fcts[fcts.size() / 2];
+  s.p95_fct_s = fcts[static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(fcts.size()) - 1,
+                       0.95 * static_cast<double>(fcts.size())))];
+  s.mean_size_bytes = bytes / static_cast<double>(s.flows);
+  const double span = last_finish - first_start;
+  s.goodput_bps = span > 0 ? bytes * 8.0 / span : 0.0;
+  return s;
+}
+
+}  // namespace scda::stats

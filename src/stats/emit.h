@@ -1,0 +1,74 @@
+// Emitters: print the series the paper's figures plot as gnuplot-ready
+// columns, plus side-by-side comparisons with headline ratios.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "stats/collector.h"
+#include "stats/throughput.h"
+
+namespace scda::stats {
+
+/// "# <title>" header then "x y" rows.
+inline void emit_cdf(std::FILE* out, const std::string& title,
+                     const std::vector<CdfPoint>& cdf,
+                     std::size_t max_rows = 60) {
+  std::fprintf(out, "# %s  (FCT_s  CDF)\n", title.c_str());
+  if (cdf.empty()) return;
+  const std::size_t stride = cdf.size() > max_rows ? cdf.size() / max_rows : 1;
+  for (std::size_t i = 0; i < cdf.size(); i += stride)
+    std::fprintf(out, "%.4f %.4f\n", cdf[i].x, cdf[i].p);
+  std::fprintf(out, "%.4f %.4f\n", cdf.back().x, cdf.back().p);
+}
+
+inline void emit_afct(std::FILE* out, const std::string& title,
+                      const std::vector<AfctBin>& bins,
+                      double size_unit = 1e6,
+                      const char* unit_name = "MB") {
+  std::fprintf(out, "# %s  (size_%s  AFCT_s  flows)\n", title.c_str(),
+               unit_name);
+  for (const auto& b : bins)
+    std::fprintf(out, "%.2f %.4f %llu\n", b.size_mid / size_unit, b.afct_s,
+                 static_cast<unsigned long long>(b.count));
+}
+
+inline void emit_throughput(std::FILE* out, const std::string& title,
+                            const std::vector<ThroughputSample>& series) {
+  std::fprintf(out, "# %s  (time_s  thpt_KB_s)\n", title.c_str());
+  for (const auto& s : series)
+    std::fprintf(out, "%.1f %.1f\n", s.time_s, s.kbytes_per_s);
+}
+
+inline void emit_summary(std::FILE* out, const std::string& name,
+                         const Summary& s) {
+  std::fprintf(out,
+               "# %s: flows=%llu mean_fct=%.3fs median_fct=%.3fs "
+               "p95_fct=%.3fs goodput=%.1fMbps\n",
+               name.c_str(), static_cast<unsigned long long>(s.flows),
+               s.mean_fct_s, s.median_fct_s, s.p95_fct_s,
+               s.goodput_bps / 1e6);
+}
+
+/// Headline comparison in the paper's terms: AFCT reduction and throughput
+/// gain of SCDA over the baseline.
+inline void emit_comparison(std::FILE* out, const Summary& scda,
+                            const Summary& rand_tcp, double scda_thpt_kbs,
+                            double rand_thpt_kbs) {
+  const double afct_reduction =
+      rand_tcp.mean_fct_s > 0
+          ? 100.0 * (rand_tcp.mean_fct_s - scda.mean_fct_s) /
+                rand_tcp.mean_fct_s
+          : 0.0;
+  const double thpt_gain = rand_thpt_kbs > 0
+                               ? 100.0 * (scda_thpt_kbs - rand_thpt_kbs) /
+                                     rand_thpt_kbs
+                               : 0.0;
+  std::fprintf(out,
+               "# SCDA vs RandTCP: AFCT %.1f%% lower, mean inst. throughput "
+               "%.1f%% higher\n",
+               afct_reduction, thpt_gain);
+}
+
+}  // namespace scda::stats

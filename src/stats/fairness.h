@@ -1,0 +1,37 @@
+// Fairness metrics.
+//
+// Jain's fairness index over allocations x_i:
+//     J = (sum x)^2 / (n * sum x^2),  J in (0, 1],  J = 1 <=> all equal.
+// For weighted max-min fairness, pass x_i / w_i so ideal weighted shares
+// also score 1.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace scda::stats {
+
+[[nodiscard]] inline double jain_index(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0, sum2 = 0;
+  for (const double x : xs) {
+    sum += x;
+    sum2 += x * x;
+  }
+  if (sum2 <= 0) return 1.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sum2);
+}
+
+/// Exact empirical percentile (linear interpolation) of an unsorted sample.
+[[nodiscard]] inline double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+}  // namespace scda::stats

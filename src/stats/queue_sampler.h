@@ -1,0 +1,67 @@
+// QueueSampler: periodic samples of link queue occupancy.
+//
+// The beta*Q/tau term of eq. 2 is what keeps SCDA's switch queues near
+// empty; this sampler provides the evidence (mean/max/percentile queue
+// depth per monitored link over a run).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/histogram.h"
+
+namespace scda::stats {
+
+class QueueSampler {
+ public:
+  QueueSampler(sim::Simulator& sim, net::Network& net,
+               std::vector<net::LinkId> links, double interval_s = 0.01)
+      : net_(net),
+        links_(std::move(links)),
+        per_link_(links_.size()),
+        process_(std::make_unique<sim::PeriodicProcess>(
+            sim, interval_s, [this] { sample(); })) {
+    process_->start(interval_s);
+  }
+
+  void stop() { process_->stop(); }
+
+  [[nodiscard]] const util::RunningStats& link_stats(std::size_t i) const {
+    return per_link_.at(i);
+  }
+
+  /// Mean queue depth (bytes) across every sample of every monitored link.
+  [[nodiscard]] double mean_queue_bytes() const {
+    double sum = 0;
+    std::uint64_t n = 0;
+    for (const auto& s : per_link_) {
+      sum += s.mean() * static_cast<double>(s.count());
+      n += s.count();
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+  }
+
+  /// Largest queue depth observed on any monitored link.
+  [[nodiscard]] double max_queue_bytes() const {
+    double m = 0;
+    for (const auto& s : per_link_) m = std::max(m, s.max());
+    return m;
+  }
+
+ private:
+  void sample() {
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      per_link_[i].add(
+          static_cast<double>(net_.link(links_[i]).queue_bytes()));
+    }
+  }
+
+  net::Network& net_;
+  std::vector<net::LinkId> links_;
+  std::vector<util::RunningStats> per_link_;
+  std::unique_ptr<sim::PeriodicProcess> process_;
+};
+
+}  // namespace scda::stats

@@ -1,0 +1,62 @@
+// ThroughputSampler: periodic samples of cloud-wide delivered bytes,
+// yielding the instantaneous average throughput series of figures 7/10/17.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "transport/transport_manager.h"
+
+namespace scda::stats {
+
+struct ThroughputSample {
+  double time_s = 0;
+  double kbytes_per_s = 0;  ///< the paper's unit (KB/sec)
+};
+
+class ThroughputSampler {
+ public:
+  ThroughputSampler(sim::Simulator& sim,
+                    const transport::TransportManager& transports,
+                    double interval_s = 1.0)
+      : transports_(transports),
+        interval_s_(interval_s),
+        process_(std::make_unique<sim::PeriodicProcess>(
+            sim, interval_s, [this, &sim] { sample(sim.now()); })) {
+    process_->start(interval_s);
+  }
+
+  [[nodiscard]] const std::vector<ThroughputSample>& series() const noexcept {
+    return series_;
+  }
+
+  /// Mean of the non-zero span of the series (aggregate average
+  /// instantaneous throughput).
+  [[nodiscard]] double mean_kbytes_per_s() const {
+    if (series_.empty()) return 0;
+    double sum = 0;
+    for (const auto& s : series_) sum += s.kbytes_per_s;
+    return sum / static_cast<double>(series_.size());
+  }
+
+  void stop() { process_->stop(); }
+
+ private:
+  void sample(double now) {
+    const std::int64_t delivered = transports_.total_delivered_bytes();
+    const double kbps =
+        static_cast<double>(delivered - last_delivered_) / 1000.0 /
+        interval_s_;
+    last_delivered_ = delivered;
+    series_.push_back({now, kbps});
+  }
+
+  const transport::TransportManager& transports_;
+  double interval_s_;
+  std::int64_t last_delivered_ = 0;
+  std::vector<ThroughputSample> series_;
+  std::unique_ptr<sim::PeriodicProcess> process_;
+};
+
+}  // namespace scda::stats

@@ -1,0 +1,50 @@
+// Host: per-node packet demultiplexer.
+//
+// Endpoints (servers and clients) attach a Host to their network node; the
+// Host routes inbound packets to the per-flow agent (sender agents consume
+// ACKs, receiver agents consume DATA).
+#pragma once
+
+#include <unordered_map>
+
+#include "net/network.h"
+#include "net/packet.h"
+
+namespace scda::transport {
+
+/// Anything that consumes packets addressed to a (node, flow) pair.
+class Agent {
+ public:
+  virtual ~Agent() = default;
+  virtual void handle(net::Packet&& p) = 0;
+};
+
+class Host {
+ public:
+  Host(net::Network& net, net::NodeId node) : net_(net), node_(node) {
+    net_.node(node_).set_sink([this](net::Packet&& p) { dispatch(std::move(p)); });
+  }
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  void attach(net::FlowId flow, Agent* agent) { agents_[flow] = agent; }
+  void detach(net::FlowId flow) { agents_.erase(flow); }
+
+  [[nodiscard]] net::NodeId node() const noexcept { return node_; }
+  [[nodiscard]] net::Network& net() noexcept { return net_; }
+  [[nodiscard]] std::size_t attached() const noexcept { return agents_.size(); }
+
+ private:
+  void dispatch(net::Packet&& p) {
+    const auto it = agents_.find(p.flow);
+    if (it != agents_.end()) it->second->handle(std::move(p));
+    // Packets for unknown flows (e.g. stray ACKs after teardown) are dropped.
+  }
+
+  net::Network& net_;
+  net::NodeId node_;
+  std::unordered_map<net::FlowId, Agent*> agents_;
+};
+
+}  // namespace scda::transport

@@ -1,0 +1,92 @@
+#include "transport/receiver.h"
+
+namespace scda::transport {
+
+Receiver::~Receiver() { ++ack_timer_epoch_; }  // invalidate pending timer
+
+void Receiver::handle(net::Packet&& p) {
+  if (p.type != net::PacketType::kData) return;
+
+  const std::int64_t before = next_expected_;
+  merge(p.seq, p.seq_end());
+  if (delivered_counter_) *delivered_counter_ += next_expected_ - before;
+
+  // Plain in-order advance: the segment starts exactly at the cumulative
+  // point and extends it by its own payload. Gap fills (jumps across
+  // buffered data) are acked immediately, per RFC 5681.
+  const bool in_order_advance =
+      p.seq == before && next_expected_ - before == p.payload_bytes;
+  const bool finished_now = !completed_ && complete();
+
+  if (!delayed_ack_ || !in_order_advance || finished_now) {
+    // Immediate ACK: per-packet mode, out-of-order/duplicate segments
+    // (the sender needs the dupACK loss signal), and the final segment.
+    send_ack(p.ts);
+    unacked_segments_ = 0;
+    ++ack_timer_epoch_;  // cancel any pending delayed ack
+    ack_timer_armed_ = false;
+  } else {
+    pending_echo_ts_ = p.ts;
+    if (++unacked_segments_ >= 2) {
+      send_ack(p.ts);
+      unacked_segments_ = 0;
+      ++ack_timer_epoch_;
+      ack_timer_armed_ = false;
+    } else if (!ack_timer_armed_) {
+      ack_timer_armed_ = true;
+      const auto epoch = ++ack_timer_epoch_;
+      net_.sim().schedule_in(ack_delay_s_, [this, epoch] {
+        if (epoch != ack_timer_epoch_ || !ack_timer_armed_) return;
+        ack_timer_armed_ = false;
+        if (unacked_segments_ > 0) {
+          send_ack(pending_echo_ts_);
+          unacked_segments_ = 0;
+        }
+      });
+    }
+  }
+
+  if (finished_now) {
+    completed_ = true;
+    rec_.finish_time = net_.sim().now();
+    if (on_complete_) on_complete_(rec_);
+  }
+}
+
+void Receiver::send_ack(double echo_ts) {
+  const double now = net_.sim().now();
+  net::Packet ack = net::make_ack(rec_.id, /*src=*/rec_.dst, /*dst=*/rec_.src,
+                                  next_expected_, now, echo_ts, rcvw_bytes_);
+  net_.send(std::move(ack));
+}
+
+void Receiver::merge(std::int64_t lo, std::int64_t hi) {
+  if (hi <= lo) return;
+  if (lo <= next_expected_) {
+    if (hi > next_expected_) next_expected_ = hi;
+  } else {
+    // Insert/merge into the out-of-order interval map.
+    auto it = ooo_.lower_bound(lo);
+    if (it != ooo_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= lo) {
+        lo = prev->first;
+        hi = std::max(hi, prev->second);
+        ooo_.erase(prev);
+      }
+    }
+    while (it != ooo_.end() && it->first <= hi) {
+      hi = std::max(hi, it->second);
+      it = ooo_.erase(it);
+    }
+    ooo_[lo] = hi;
+  }
+  // Drain any ranges now contiguous with the cumulative point.
+  auto it = ooo_.begin();
+  while (it != ooo_.end() && it->first <= next_expected_) {
+    next_expected_ = std::max(next_expected_, it->second);
+    it = ooo_.erase(it);
+  }
+}
+
+}  // namespace scda::transport

@@ -1,0 +1,88 @@
+// Receiver agent: reassembles a flow, sends cumulative ACKs, advertises the
+// receive window.
+//
+// For TCP flows the advertised window is a large static buffer (standard
+// behaviour). For SCDA flows the receiver's resource monitor periodically
+// sets rcvw = downlink_rate x RTT (paper section VIII, step 8).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "net/network.h"
+#include "transport/flow.h"
+#include "transport/host.h"
+
+namespace scda::transport {
+
+class Receiver final : public Agent {
+ public:
+  /// `on_complete` fires once, when the last payload byte arrives.
+  Receiver(net::Network& net, FlowRecord& rec, FlowCompletionFn on_complete,
+           std::int64_t rcvw_bytes)
+      : net_(net),
+        rec_(rec),
+        on_complete_(std::move(on_complete)),
+        rcvw_bytes_(rcvw_bytes) {}
+
+  ~Receiver() override;
+
+  void handle(net::Packet&& p) override;
+
+  /// RFC1122-style delayed ACKs: acknowledge every second in-order segment
+  /// or after `delay_s`; out-of-order segments are acked immediately (the
+  /// sender needs the duplicate ACKs). Off by default — the SCDA window
+  /// transport wants per-packet acks, and NS2's base TCP sink acks every
+  /// packet too.
+  void set_delayed_ack(bool enabled, double delay_s = 0.04) {
+    delayed_ack_ = enabled;
+    ack_delay_s_ = delay_s;
+  }
+
+  /// Optional global counter bumped by every newly delivered payload byte
+  /// (drives the instantaneous-throughput series of figures 7/10/17).
+  void set_delivered_counter(std::int64_t* counter) noexcept {
+    delivered_counter_ = counter;
+  }
+
+  /// SCDA: the local RM updates the advertised window every control interval.
+  void set_rcvw_bytes(std::int64_t w) noexcept {
+    rcvw_bytes_ = w > min_rcvw_bytes_ ? w : min_rcvw_bytes_;
+  }
+  [[nodiscard]] std::int64_t rcvw_bytes() const noexcept { return rcvw_bytes_; }
+
+  [[nodiscard]] std::int64_t next_expected() const noexcept {
+    return next_expected_;
+  }
+  [[nodiscard]] bool complete() const noexcept {
+    return next_expected_ >= rec_.size_bytes;
+  }
+
+ private:
+  void merge(std::int64_t lo, std::int64_t hi);
+  void send_ack(double echo_ts);
+
+  net::Network& net_;
+  FlowRecord& rec_;
+  FlowCompletionFn on_complete_;
+  std::int64_t rcvw_bytes_;
+  /// Never advertise less than one segment or the connection stalls.
+  std::int64_t min_rcvw_bytes_ = net::kDefaultMtuBytes;
+
+  std::int64_t* delivered_counter_ = nullptr;
+  std::int64_t next_expected_ = 0;
+  /// Out-of-order byte ranges [lo, hi) not yet contiguous with
+  /// next_expected_.
+  std::map<std::int64_t, std::int64_t> ooo_;
+  bool completed_ = false;
+
+  // delayed-ACK state
+  bool delayed_ack_ = false;
+  double ack_delay_s_ = 0.04;
+  int unacked_segments_ = 0;
+  double pending_echo_ts_ = 0;
+  bool ack_timer_armed_ = false;
+  std::uint64_t ack_timer_epoch_ = 0;
+};
+
+}  // namespace scda::transport

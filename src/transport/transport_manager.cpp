@@ -1,0 +1,99 @@
+#include "transport/transport_manager.h"
+
+namespace scda::transport {
+
+Host& TransportManager::host(net::NodeId n) {
+  auto it = hosts_.find(n);
+  if (it == hosts_.end()) {
+    it = hosts_.emplace(n, std::make_unique<Host>(net_, n)).first;
+  }
+  return *it->second;
+}
+
+double TransportManager::base_rtt(net::NodeId a, net::NodeId b) const {
+  double one_way = 0;
+  for (const net::LinkId lid : net_.path(a, b))
+    one_way += net_.link(lid).prop_delay_s();
+  return 2.0 * one_way;
+}
+
+FlowRecord& TransportManager::new_record(net::NodeId src, net::NodeId dst,
+                                         std::int64_t size_bytes,
+                                         TransportKind kind,
+                                         ContentClass content) {
+  auto rec = std::make_unique<FlowRecord>();
+  rec->id = static_cast<net::FlowId>(records_.size());
+  rec->src = src;
+  rec->dst = dst;
+  rec->size_bytes = size_bytes;
+  rec->start_time = net_.sim().now();
+  rec->transport = kind;
+  rec->content = content;
+  records_.push_back(std::move(rec));
+  return *records_.back();
+}
+
+net::FlowId TransportManager::start_tcp_flow(net::NodeId src, net::NodeId dst,
+                                             std::int64_t size_bytes,
+                                             ContentClass content) {
+  FlowRecord& rec = new_record(src, dst, size_bytes, TransportKind::kTcp,
+                               content);
+  const double rtt = base_rtt(src, dst);
+
+  auto recv = std::make_unique<Receiver>(
+      net_, rec,
+      [this](const FlowRecord& r) {
+        if (on_complete_) on_complete_(r);
+      },
+      tcp_rcvw_bytes_);
+  recv->set_delivered_counter(&total_delivered_bytes_);
+  if (tcp_config_.delayed_ack)
+    recv->set_delayed_ack(true, tcp_config_.ack_delay_s);
+  auto send = std::make_unique<TcpSender>(net_, rec, rtt);
+  send->set_initial_window_segments(tcp_config_.init_cwnd_segments);
+
+  host(dst).attach(rec.id, recv.get());
+  host(src).attach(rec.id, send.get());
+  send->start();
+
+  receivers_.emplace(rec.id, std::move(recv));
+  senders_.emplace(rec.id, std::move(send));
+  return rec.id;
+}
+
+ScdaFlowHandles TransportManager::start_scda_flow(
+    net::NodeId src, net::NodeId dst, std::int64_t size_bytes,
+    double initial_rate_bps, double initial_rcvw_rate_bps,
+    ContentClass content, double priority) {
+  FlowRecord& rec = new_record(src, dst, size_bytes, TransportKind::kScda,
+                               content);
+  rec.priority = priority;
+  const double rtt = base_rtt(src, dst);
+
+  // rcvw = downlink rate x RTT (paper Fig. 3, step 8).
+  const auto rcvw =
+      static_cast<std::int64_t>(initial_rcvw_rate_bps * rtt / 8.0);
+  auto recv = std::make_unique<Receiver>(
+      net_, rec,
+      [this](const FlowRecord& r) {
+        if (on_complete_) on_complete_(r);
+      },
+      rcvw);
+  recv->set_delivered_counter(&total_delivered_bytes_);
+  auto send = std::make_unique<ScdaSender>(net_, rec, rtt, initial_rate_bps);
+
+  ScdaFlowHandles out;
+  out.id = rec.id;
+  out.sender = send.get();
+  out.receiver = recv.get();
+
+  host(dst).attach(rec.id, recv.get());
+  host(src).attach(rec.id, send.get());
+  send->start();
+
+  receivers_.emplace(rec.id, std::move(recv));
+  senders_.emplace(rec.id, std::move(send));
+  return out;
+}
+
+}  // namespace scda::transport

@@ -1,0 +1,123 @@
+// TransportManager: creates flows, owns their sender/receiver agents and
+// per-node Hosts, and reports completions.
+//
+// Agents live for the whole simulation (flows are cheap); stray packets for
+// finished flows are ignored by the agents themselves.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+#include "transport/flow.h"
+#include "transport/host.h"
+#include "transport/receiver.h"
+#include "transport/sender.h"
+
+namespace scda::transport {
+
+/// Live handles for an SCDA flow so the control plane can drive rate and
+/// window updates each control interval (paper section VIII-D).
+struct ScdaFlowHandles {
+  net::FlowId id = net::kInvalidFlow;
+  ScdaSender* sender = nullptr;
+  Receiver* receiver = nullptr;
+};
+
+class TransportManager {
+ public:
+  explicit TransportManager(net::Network& net) : net_(net) {}
+
+  TransportManager(const TransportManager&) = delete;
+  TransportManager& operator=(const TransportManager&) = delete;
+
+  /// Completion callback applied to every flow (stats collection).
+  void set_completion_callback(FlowCompletionFn fn) {
+    on_complete_ = std::move(fn);
+  }
+
+  /// Default receive window advertised by TCP receivers.
+  void set_tcp_rcvw_bytes(std::int64_t w) noexcept { tcp_rcvw_bytes_ = w; }
+
+  /// Baseline TCP tuning applied to subsequently started TCP flows.
+  struct TcpConfig {
+    int init_cwnd_segments = 2;  ///< RFC 6928 allows up to 10
+    bool delayed_ack = false;    ///< RFC 1122 delayed ACKs at the sink
+    double ack_delay_s = 0.04;
+  };
+  void set_tcp_config(const TcpConfig& c) noexcept { tcp_config_ = c; }
+  [[nodiscard]] const TcpConfig& tcp_config() const noexcept {
+    return tcp_config_;
+  }
+
+  /// Start a TCP flow (RandTCP baseline). Returns its id.
+  net::FlowId start_tcp_flow(net::NodeId src, net::NodeId dst,
+                             std::int64_t size_bytes,
+                             ContentClass content = ContentClass::kSemiInteractive);
+
+  /// Start an SCDA flow with the given initial rate allocation.
+  ScdaFlowHandles start_scda_flow(net::NodeId src, net::NodeId dst,
+                                  std::int64_t size_bytes,
+                                  double initial_rate_bps,
+                                  double initial_rcvw_rate_bps,
+                                  ContentClass content =
+                                      ContentClass::kSemiInteractive,
+                                  double priority = 1.0);
+
+  [[nodiscard]] const FlowRecord& record(net::FlowId id) const {
+    return *records_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] FlowRecord& record(net::FlowId id) {
+    return *records_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] std::size_t flow_count() const noexcept {
+    return records_.size();
+  }
+  /// Id the next started flow will receive — lets callers pin a source
+  /// route in the Network before starting the flow (section IX).
+  [[nodiscard]] net::FlowId next_flow_id() const noexcept {
+    return static_cast<net::FlowId>(records_.size());
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<FlowRecord>>& records()
+      const noexcept {
+    return records_;
+  }
+
+  [[nodiscard]] WindowSender* sender(net::FlowId id) {
+    const auto it = senders_.find(id);
+    return it == senders_.end() ? nullptr : it->second.get();
+  }
+  [[nodiscard]] Receiver* receiver(net::FlowId id) {
+    const auto it = receivers_.find(id);
+    return it == receivers_.end() ? nullptr : it->second.get();
+  }
+
+  /// Total payload bytes delivered in order across all flows so far.
+  [[nodiscard]] std::int64_t total_delivered_bytes() const noexcept {
+    return total_delivered_bytes_;
+  }
+
+  /// Base RTT (2x propagation) between two nodes — used to seed windows.
+  [[nodiscard]] double base_rtt(net::NodeId a, net::NodeId b) const;
+
+  [[nodiscard]] Host& host(net::NodeId n);
+
+ private:
+  FlowRecord& new_record(net::NodeId src, net::NodeId dst,
+                         std::int64_t size_bytes, TransportKind kind,
+                         ContentClass content);
+
+  net::Network& net_;
+  FlowCompletionFn on_complete_;
+  std::int64_t tcp_rcvw_bytes_ = std::int64_t{1} << 24;  // 16 MB
+  TcpConfig tcp_config_;
+  std::int64_t total_delivered_bytes_ = 0;
+
+  std::unordered_map<net::NodeId, std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<FlowRecord>> records_;
+  std::unordered_map<net::FlowId, std::unique_ptr<WindowSender>> senders_;
+  std::unordered_map<net::FlowId, std::unique_ptr<Receiver>> receivers_;
+};
+
+}  // namespace scda::transport

@@ -1,0 +1,101 @@
+// Fixed-width and dynamic histograms used by the stats module and tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace scda::util {
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bin so no sample is silently lost.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {
+    if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must be > lo");
+    if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  }
+
+  void add(double v, std::uint64_t weight = 1) {
+    counts_[index(v)] += weight;
+    total_ += weight;
+  }
+
+  [[nodiscard]] std::size_t index(double v) const noexcept {
+    if (v <= lo_) return 0;
+    if (v >= hi_) return counts_.size() - 1;
+    auto i = static_cast<std::size_t>((v - lo_) / (hi_ - lo_) *
+                                      static_cast<double>(counts_.size()));
+    return std::min(i, counts_.size() - 1);
+  }
+
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+  }
+  [[nodiscard]] double bin_hi(std::size_t i) const noexcept {
+    return bin_lo(i + 1);
+  }
+  [[nodiscard]] double bin_mid(std::size_t i) const noexcept {
+    return 0.5 * (bin_lo(i) + bin_hi(i));
+  }
+
+  [[nodiscard]] std::uint64_t count(std::size_t i) const {
+    return counts_.at(i);
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+
+  /// p in [0,1]; returns bin midpoint of the quantile bin. Total must be > 0.
+  [[nodiscard]] double quantile(double p) const {
+    if (total_ == 0) throw std::logic_error("Histogram::quantile: empty");
+    const double target = p * static_cast<double>(total_);
+    double acc = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      acc += static_cast<double>(counts_[i]);
+      if (acc >= target) return bin_mid(i);
+    }
+    return bin_mid(counts_.size() - 1);
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Streaming mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace scda::util

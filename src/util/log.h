@@ -1,0 +1,76 @@
+// SCDA logging: tiny leveled logger with compile-time cheap call sites.
+//
+// Intentionally minimal: the simulator is single-threaded per run, so no
+// locking is needed.  Benchmarks run with the logger silenced (kWarn).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace scda::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Global log threshold; messages below it are skipped.
+class Log {
+ public:
+  static LogLevel level() noexcept { return level_; }
+  static void set_level(LogLevel lv) noexcept { level_ = lv; }
+
+  /// Redirect output (defaults to stderr). Not owned.
+  static void set_sink(std::FILE* sink) noexcept { sink_ = sink; }
+
+  static bool enabled(LogLevel lv) noexcept {
+    return static_cast<int>(lv) >= static_cast<int>(level_);
+  }
+
+  template <typename... Args>
+  static void write(LogLevel lv, const char* fmt, Args&&... args) {
+    if (!enabled(lv)) return;
+    std::fprintf(sink_, "[%s] ", name(lv));
+    if constexpr (sizeof...(Args) == 0) {
+      std::fputs(fmt, sink_);
+    } else {
+      std::fprintf(sink_, fmt, std::forward<Args>(args)...);
+    }
+    std::fputc('\n', sink_);
+  }
+
+ private:
+  static const char* name(LogLevel lv) noexcept {
+    switch (lv) {
+      case LogLevel::kTrace: return "TRACE";
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO ";
+      case LogLevel::kWarn: return "WARN ";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kOff: return "OFF  ";
+    }
+    return "?";
+  }
+
+  inline static LogLevel level_ = LogLevel::kWarn;
+  inline static std::FILE* sink_ = stderr;
+};
+
+}  // namespace scda::util
+
+#define SCDA_LOG_TRACE(...) \
+  ::scda::util::Log::write(::scda::util::LogLevel::kTrace, __VA_ARGS__)
+#define SCDA_LOG_DEBUG(...) \
+  ::scda::util::Log::write(::scda::util::LogLevel::kDebug, __VA_ARGS__)
+#define SCDA_LOG_INFO(...) \
+  ::scda::util::Log::write(::scda::util::LogLevel::kInfo, __VA_ARGS__)
+#define SCDA_LOG_WARN(...) \
+  ::scda::util::Log::write(::scda::util::LogLevel::kWarn, __VA_ARGS__)
+#define SCDA_LOG_ERROR(...) \
+  ::scda::util::Log::write(::scda::util::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,39 @@
+// Unit helpers: the simulator internally uses
+//   time    -> seconds (double)
+//   rates   -> bits per second (double)
+//   sizes   -> bytes (int64) for content, bits (double) where rates apply
+//
+// These constexpr helpers make call sites self-documenting and keep the
+// multipliers in one place.
+#pragma once
+
+#include <cstdint>
+
+namespace scda::util {
+
+// --- time -------------------------------------------------------------
+constexpr double seconds(double s) noexcept { return s; }
+constexpr double milliseconds(double ms) noexcept { return ms * 1e-3; }
+constexpr double microseconds(double us) noexcept { return us * 1e-6; }
+
+// --- rate (bits/second) -----------------------------------------------
+constexpr double bps(double v) noexcept { return v; }
+constexpr double kbps(double v) noexcept { return v * 1e3; }
+constexpr double mbps(double v) noexcept { return v * 1e6; }
+constexpr double gbps(double v) noexcept { return v * 1e9; }
+
+// --- sizes --------------------------------------------------------------
+constexpr std::int64_t kilobytes(double v) noexcept {
+  return static_cast<std::int64_t>(v * 1e3);
+}
+constexpr std::int64_t megabytes(double v) noexcept {
+  return static_cast<std::int64_t>(v * 1e6);
+}
+constexpr double bits_of_bytes(std::int64_t bytes) noexcept {
+  return static_cast<double>(bytes) * 8.0;
+}
+constexpr std::int64_t bytes_of_bits(double bits) noexcept {
+  return static_cast<std::int64_t>(bits / 8.0);
+}
+
+}  // namespace scda::util

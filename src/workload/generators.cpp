@@ -1,0 +1,64 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+
+namespace scda::workload {
+
+using transport::ContentClass;
+
+FlowRequest VideoWorkload::next(sim::Rng& rng) {
+  FlowRequest r;
+  // Total arrival rate = videos plus their control exchanges.
+  const double ctrl_per_video =
+      cfg_.include_control_flows ? cfg_.control_flows_per_video : 0.0;
+  const double total_rate = cfg_.video_arrival_rate * (1.0 + ctrl_per_video);
+  r.inter_arrival_s = rng.exponential(1.0 / total_rate);
+
+  const double p_control = ctrl_per_video / (1.0 + ctrl_per_video);
+  if (cfg_.include_control_flows && rng.bernoulli(p_control)) {
+    r.is_control = true;
+    r.size_bytes = rng.uniform_int(cfg_.min_control_bytes,
+                                   cfg_.max_control_bytes - 1);
+    r.content_class = ContentClass::kPassive;  // one-shot HTTP exchange
+    return r;
+  }
+
+  double sz = rng.lognormal_mean_cv(cfg_.mean_video_bytes, cfg_.video_cv);
+  sz = std::clamp(sz, static_cast<double>(cfg_.min_video_bytes),
+                  static_cast<double>(cfg_.cap_video_bytes));
+  r.size_bytes = static_cast<std::int64_t>(sz);
+  r.content_class = ContentClass::kSemiInteractive;  // upload, then reads
+  return r;
+}
+
+FlowRequest DatacenterWorkload::next(sim::Rng& rng) {
+  FlowRequest r;
+  const double mean_gap = 1.0 / cfg_.arrival_rate;
+  r.inter_arrival_s = cfg_.arrival_cv > 0
+                          ? rng.lognormal_mean_cv(mean_gap, cfg_.arrival_cv)
+                          : rng.exponential(mean_gap);
+
+  if (rng.bernoulli(cfg_.mice_fraction)) {
+    const double sz =
+        rng.lognormal_mean_cv(cfg_.mean_mice_bytes, cfg_.mice_cv);
+    r.size_bytes = std::max<std::int64_t>(500, static_cast<std::int64_t>(sz));
+  } else {
+    r.size_bytes = static_cast<std::int64_t>(rng.bounded_pareto(
+        static_cast<double>(cfg_.elephant_min_bytes), cfg_.elephant_shape,
+        static_cast<double>(cfg_.elephant_cap_bytes)));
+  }
+  r.content_class = ContentClass::kSemiInteractive;
+  return r;
+}
+
+FlowRequest ParetoPoissonWorkload::next(sim::Rng& rng) {
+  FlowRequest r;
+  r.inter_arrival_s = rng.exponential(1.0 / cfg_.arrival_rate);
+  const double sz = std::min(rng.pareto_mean(cfg_.mean_bytes, cfg_.shape),
+                             static_cast<double>(cfg_.cap_bytes));
+  r.size_bytes = std::max<std::int64_t>(500, static_cast<std::int64_t>(sz));
+  r.content_class = ContentClass::kSemiInteractive;
+  return r;
+}
+
+}  // namespace scda::workload

@@ -1,0 +1,123 @@
+// Workload generators standing in for the paper's traces (section X).
+//
+// Each generator produces a stream of flow requests — inter-arrival time,
+// content size, content class and whether the flow is a small control
+// exchange. Three laws are provided:
+//
+//   VideoWorkload       — YouTube-like CDN traffic (paper X-A1): control
+//                         flows < 5 KB plus video flows 5 KB..30 MB with a
+//                         heavy-tailed body (Torres et al. report a ~30 MB
+//                         cap on most YouTube videos); Poisson arrivals
+//                         scaled to 20 servers (Mori et al. stand-in).
+//   DatacenterWorkload  — mice/elephant datacenter traffic (paper X-A2):
+//                         most flows are small, a heavy tail reaches ~8 MB;
+//                         lognormal inter-arrivals (Benson et al. stand-in).
+//   ParetoPoissonWorkload — the closed-form law of section X-B: Pareto
+//                         sizes (mean 500 KB, shape 1.6), Poisson arrivals
+//                         (mean 200 flows/s).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.h"
+#include "transport/flow.h"
+
+namespace scda::workload {
+
+struct FlowRequest {
+  double inter_arrival_s = 0;  ///< gap since the previous request
+  std::int64_t size_bytes = 0;
+  transport::ContentClass content_class =
+      transport::ContentClass::kSemiInteractive;
+  bool is_control = false;  ///< small protocol exchange, not content
+};
+
+class Generator {
+ public:
+  virtual ~Generator() = default;
+  [[nodiscard]] virtual FlowRequest next(sim::Rng& rng) = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+struct VideoWorkloadConfig {
+  bool include_control_flows = true;
+  /// Mean arrival rate of *video* flows (flows/sec) across the cloud.
+  double video_arrival_rate = 6.0;
+  /// Control (HTTP) exchanges preceding each video flow, on average.
+  double control_flows_per_video = 3.0;
+  // size law: lognormal body truncated to [min, cap]
+  std::int64_t min_video_bytes = 5 * 1000;        ///< 5 KB boundary (paper)
+  std::int64_t cap_video_bytes = 30 * 1000 * 1000;///< 30 MB cap (paper)
+  double mean_video_bytes = 8e6;
+  double video_cv = 1.2;
+  std::int64_t min_control_bytes = 400;
+  std::int64_t max_control_bytes = 5 * 1000;
+};
+
+class VideoWorkload final : public Generator {
+ public:
+  explicit VideoWorkload(VideoWorkloadConfig cfg = {}) : cfg_(cfg) {}
+  [[nodiscard]] FlowRequest next(sim::Rng& rng) override;
+  [[nodiscard]] const VideoWorkloadConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  VideoWorkloadConfig cfg_;
+};
+
+// ---------------------------------------------------------------------------
+
+struct DatacenterWorkloadConfig {
+  /// Mean flow arrival rate (flows/sec).
+  double arrival_rate = 40.0;
+  /// Inter-arrival law: lognormal with this coefficient of variation
+  /// (bursty, per Benson et al.); 0 selects exponential.
+  double arrival_cv = 2.0;
+  /// Mice fraction; the rest are heavy-tailed elephants.
+  double mice_fraction = 0.8;
+  double mean_mice_bytes = 20e3;
+  double mice_cv = 1.0;
+  /// Elephants: bounded Pareto [min, cap].
+  std::int64_t elephant_min_bytes = 200 * 1000;
+  std::int64_t elephant_cap_bytes = 8 * 1000 * 1000;
+  double elephant_shape = 1.2;
+};
+
+class DatacenterWorkload final : public Generator {
+ public:
+  explicit DatacenterWorkload(DatacenterWorkloadConfig cfg = {}) : cfg_(cfg) {}
+  [[nodiscard]] FlowRequest next(sim::Rng& rng) override;
+  [[nodiscard]] const DatacenterWorkloadConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  DatacenterWorkloadConfig cfg_;
+};
+
+// ---------------------------------------------------------------------------
+
+struct ParetoPoissonConfig {
+  double arrival_rate = 200.0;    ///< flows/sec (paper X-B)
+  double mean_bytes = 500e3;      ///< 500 KB mean (paper X-B)
+  double shape = 1.6;             ///< Pareto shape (paper X-B)
+  /// Truncation keeping single flows from dwarfing the 100 s experiment;
+  /// ~1000x the mean keeps the tail heavy.
+  std::int64_t cap_bytes = 500 * 1000 * 1000;
+};
+
+class ParetoPoissonWorkload final : public Generator {
+ public:
+  explicit ParetoPoissonWorkload(ParetoPoissonConfig cfg = {}) : cfg_(cfg) {}
+  [[nodiscard]] FlowRequest next(sim::Rng& rng) override;
+  [[nodiscard]] const ParetoPoissonConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  ParetoPoissonConfig cfg_;
+};
+
+}  // namespace scda::workload

@@ -1,0 +1,118 @@
+#include "workload/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace scda::workload {
+
+using transport::ContentClass;
+
+namespace {
+
+char class_code(ContentClass c) {
+  switch (c) {
+    case ContentClass::kInteractive: return 'i';
+    case ContentClass::kSemiInteractive: return 's';
+    case ContentClass::kPassive: return 'p';
+  }
+  return 's';
+}
+
+ContentClass class_of(char c, const std::string& path, std::size_t line) {
+  switch (c) {
+    case 'i': return ContentClass::kInteractive;
+    case 's': return ContentClass::kSemiInteractive;
+    case 'p': return ContentClass::kPassive;
+    default:
+      throw std::runtime_error(path + ":" + std::to_string(line) +
+                               ": unknown content class '" +
+                               std::string(1, c) + "'");
+  }
+}
+
+}  // namespace
+
+std::vector<TraceRecord> read_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_trace: cannot open " + path);
+  std::vector<TraceRecord> out;
+  std::string line;
+  std::size_t lineno = 0;
+  double prev_time = -std::numeric_limits<double>::infinity();
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    TraceRecord r;
+    char comma1 = 0, comma2 = 0, comma3 = 0, cls = 0;
+    std::string flags;
+    if (!(ss >> r.time_s >> comma1 >> r.size_bytes >> comma2 >> cls) ||
+        comma1 != ',' || comma2 != ',') {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": malformed trace line: " + line);
+    }
+    r.content_class = class_of(cls, path, lineno);
+    if (ss >> comma3 && comma3 == ',') {
+      ss >> flags;
+      r.is_control = flags.find('c') != std::string::npos;
+    }
+    if (r.size_bytes <= 0)
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": non-positive size");
+    if (r.time_s < prev_time)
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": timestamps not monotone");
+    prev_time = r.time_s;
+    out.push_back(r);
+  }
+  return out;
+}
+
+void write_trace(const std::string& path,
+                 const std::vector<TraceRecord>& records) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_trace: cannot open " + path);
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "# SCDA workload trace: time_s,size_bytes,class,flags\n";
+  for (const auto& r : records) {
+    out << r.time_s << ',' << r.size_bytes << ','
+        << class_code(r.content_class) << ',' << (r.is_control ? "c" : "")
+        << '\n';
+  }
+  if (!out) throw std::runtime_error("write_trace: write failed: " + path);
+}
+
+std::vector<TraceRecord> sample_generator(Generator& gen, sim::Rng& rng,
+                                          std::size_t n) {
+  std::vector<TraceRecord> out;
+  out.reserve(n);
+  double t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const FlowRequest req = gen.next(rng);
+    t += req.inter_arrival_s;
+    out.push_back(TraceRecord{t, req.size_bytes, req.content_class,
+                              req.is_control});
+  }
+  return out;
+}
+
+FlowRequest TraceWorkload::next(sim::Rng&) {
+  FlowRequest req;
+  if (cursor_ >= records_.size()) {
+    // Exhausted: an effectively infinite gap stops the driver.
+    req.inter_arrival_s = std::numeric_limits<double>::max();
+    return req;
+  }
+  const TraceRecord& r = records_[cursor_++];
+  req.inter_arrival_s = r.time_s - last_time_;
+  last_time_ = r.time_s;
+  req.size_bytes = r.size_bytes;
+  req.content_class = r.content_class;
+  req.is_control = r.is_control;
+  return req;
+}
+
+}  // namespace scda::workload

@@ -1,0 +1,65 @@
+// Workload trace files: record synthetic workloads to CSV and replay
+// external traces (e.g. the real YouTube/datacenter traces the paper used,
+// for users who have access to them).
+//
+// Format — one record per line, comments with '#':
+//
+//     time_s,size_bytes,class,flags
+//
+// where class is one of  i  (interactive), s (semi-interactive),
+// p (passive) and flags contains 'c' for control flows (may be empty).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/generators.h"
+
+namespace scda::workload {
+
+struct TraceRecord {
+  double time_s = 0;
+  std::int64_t size_bytes = 0;
+  transport::ContentClass content_class =
+      transport::ContentClass::kSemiInteractive;
+  bool is_control = false;
+};
+
+/// Parse a trace file. Throws std::runtime_error on I/O or format errors.
+[[nodiscard]] std::vector<TraceRecord> read_trace(const std::string& path);
+
+/// Write records (sorted by time by the caller) to `path`.
+void write_trace(const std::string& path,
+                 const std::vector<TraceRecord>& records);
+
+/// Sample `n` requests from a generator into an absolute-time trace.
+[[nodiscard]] std::vector<TraceRecord> sample_generator(Generator& gen,
+                                                        sim::Rng& rng,
+                                                        std::size_t n);
+
+/// Generator replaying a recorded trace; after the last record it reports
+/// an infinite inter-arrival gap (the driver then stops issuing).
+class TraceWorkload final : public Generator {
+ public:
+  explicit TraceWorkload(std::vector<TraceRecord> records)
+      : records_(std::move(records)) {}
+
+  /// Convenience: load from file.
+  static std::unique_ptr<TraceWorkload> from_file(const std::string& path) {
+    return std::make_unique<TraceWorkload>(read_trace(path));
+  }
+
+  [[nodiscard]] FlowRequest next(sim::Rng&) override;
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return records_.size() - cursor_;
+  }
+
+ private:
+  std::vector<TraceRecord> records_;
+  std::size_t cursor_ = 0;
+  double last_time_ = 0;
+};
+
+}  // namespace scda::workload

@@ -1,0 +1,85 @@
+#include "util/args.h"
+
+#include <gtest/gtest.h>
+
+namespace scda::util {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, SpaceSeparatedValues) {
+  const auto a = parse({"--name", "value"});
+  EXPECT_TRUE(a.has("name"));
+  EXPECT_EQ(a.get("name"), "value");
+}
+
+TEST(ArgParser, EqualsSeparatedValues) {
+  const auto a = parse({"--name=value"});
+  EXPECT_EQ(a.get("name"), "value");
+}
+
+TEST(ArgParser, BareFlagIsEmptyString) {
+  const auto a = parse({"--verbose"});
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_TRUE(a.get_bool("verbose", false));
+}
+
+TEST(ArgParser, MissingFlagUsesDefault) {
+  const auto a = parse({});
+  EXPECT_FALSE(a.has("x"));
+  EXPECT_EQ(a.get("x", "def"), "def");
+  EXPECT_DOUBLE_EQ(a.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(a.get_int("x", 7), 7);
+  EXPECT_TRUE(a.get_bool("x", true));
+}
+
+TEST(ArgParser, NumericParsing) {
+  const auto a = parse({"--rate", "12.5", "--count=42"});
+  EXPECT_DOUBLE_EQ(a.get_double("rate", 0), 12.5);
+  EXPECT_EQ(a.get_int("count", 0), 42);
+}
+
+TEST(ArgParser, MalformedNumbersThrow) {
+  const auto a = parse({"--rate", "abc", "--count", "1.5"});
+  EXPECT_THROW((void)a.get_double("rate", 0), std::invalid_argument);
+  EXPECT_THROW((void)a.get_int("count", 0), std::invalid_argument);
+}
+
+TEST(ArgParser, BooleanValues) {
+  const auto a = parse({"--on=1", "--off=false"});
+  EXPECT_TRUE(a.get_bool("on", false));
+  EXPECT_FALSE(a.get_bool("off", true));
+}
+
+TEST(ArgParser, MalformedBooleanThrows) {
+  const auto a = parse({"--flag=maybe"});
+  EXPECT_THROW((void)a.get_bool("flag", false), std::invalid_argument);
+}
+
+TEST(ArgParser, PositionalArguments) {
+  const auto a = parse({"input.csv", "--flag", "output.csv"});
+  // "--flag output.csv" consumes output.csv as the flag's value.
+  ASSERT_EQ(a.positional().size(), 1u);
+  EXPECT_EQ(a.positional()[0], "input.csv");
+  EXPECT_EQ(a.get("flag"), "output.csv");
+}
+
+TEST(ArgParser, ConsecutiveFlags) {
+  const auto a = parse({"--a", "--b", "value"});
+  EXPECT_TRUE(a.has("a"));
+  EXPECT_EQ(a.get("a"), "");
+  EXPECT_EQ(a.get("b"), "value");
+}
+
+TEST(ArgParser, FlagNamesEnumerated) {
+  const auto a = parse({"--x=1", "--y=2"});
+  const auto names = a.flag_names();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+}  // namespace
+}  // namespace scda::util

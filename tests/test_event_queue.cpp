@@ -1,0 +1,123 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace scda::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.scheduled(), 0u);
+  EventQueue::Fired f;
+  EXPECT_FALSE(q.pop(f));
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  EventQueue::Fired f;
+  while (q.pop(f)) f.cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimestampsAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  EventQueue::Fired f;
+  while (q.pop(f)) f.cb();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, PopReportsScheduledTime) {
+  EventQueue q;
+  q.schedule(2.5, [] {});
+  EventQueue::Fired f;
+  ASSERT_TRUE(q.pop(f));
+  EXPECT_DOUBLE_EQ(f.time, 2.5);
+}
+
+TEST(EventQueue, NextTimeSeesEarliestLiveEvent) {
+  EventQueue q;
+  auto h = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+  q.cancel(h);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  auto h = q.schedule(1.0, [&] { ran = true; });
+  q.cancel(h);
+  EXPECT_TRUE(q.empty());
+  EventQueue::Fired f;
+  EXPECT_FALSE(q.pop(f));
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelOnlyAffectsTarget) {
+  EventQueue q;
+  int sum = 0;
+  q.schedule(1.0, [&] { sum += 1; });
+  auto h = q.schedule(1.0, [&] { sum += 10; });
+  q.schedule(1.0, [&] { sum += 100; });
+  q.cancel(h);
+  EventQueue::Fired f;
+  while (q.pop(f)) f.cb();
+  EXPECT_EQ(sum, 101);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+  EventQueue q;
+  auto h = q.schedule(1.0, [] {});
+  EventQueue::Fired f;
+  ASSERT_TRUE(q.pop(f));
+  q.cancel(h);  // must not crash or affect later events
+  q.schedule(2.0, [] {});
+  EXPECT_FALSE(q.empty());
+  ASSERT_TRUE(q.pop(f));
+  EXPECT_DOUBLE_EQ(f.time, 2.0);
+}
+
+TEST(EventQueue, InvalidHandleCancelIsNoop) {
+  EventQueue q;
+  q.cancel(EventHandle{});  // default handle is invalid
+  q.schedule(1.0, [] {});
+  EXPECT_EQ(q.scheduled(), 1u);
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, ManyEventsDrainCompletely) {
+  EventQueue q;
+  int count = 0;
+  for (int i = 0; i < 10000; ++i)
+    q.schedule(static_cast<double>(i % 100), [&] { ++count; });
+  EventQueue::Fired f;
+  double prev = -1;
+  while (q.pop(f)) {
+    EXPECT_GE(f.time, prev);
+    prev = f.time;
+    f.cb();
+  }
+  EXPECT_EQ(count, 10000);
+}
+
+TEST(EventQueue, CancelAllLeavesEmpty) {
+  EventQueue q;
+  std::vector<EventHandle> hs;
+  for (int i = 0; i < 50; ++i) hs.push_back(q.schedule(1.0, [] {}));
+  for (auto h : hs) q.cancel(h);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace scda::sim

@@ -1,0 +1,128 @@
+// Failure-injection tests: server loss, replica failover, re-replication
+// and recovery.
+#include <gtest/gtest.h>
+
+#include "core/cloud.h"
+#include "util/units.h"
+
+namespace scda::core {
+namespace {
+
+using transport::FlowRecord;
+
+class FailureTest : public ::testing::Test {
+ protected:
+  FailureTest() {
+    CloudConfig cfg;
+    cfg.topology.n_agg = 2;
+    cfg.topology.tors_per_agg = 2;
+    cfg.topology.servers_per_tor = 4;
+    cfg.topology.n_clients = 8;
+    cfg.topology.base_bps = util::mbps(200);
+    sim_ = std::make_unique<sim::Simulator>(5);
+    cloud_ = std::make_unique<Cloud>(*sim_, cfg);
+    cloud_->add_completion_callback(
+        [this](const FlowRecord& rec, const CloudOp& op) {
+          done_.push_back({rec, op});
+        });
+  }
+
+  [[nodiscard]] std::size_t reads_completed() const {
+    std::size_t n = 0;
+    for (const auto& [rec, op] : done_)
+      if (op.kind == CloudOp::Kind::kRead) ++n;
+    return n;
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<Cloud> cloud_;
+  std::vector<std::pair<FlowRecord, CloudOp>> done_;
+};
+
+TEST_F(FailureTest, ReadFailsOverToSurvivingReplica) {
+  cloud_->write(0, 1, util::megabytes(2));
+  sim_->run_until(10.0);  // write + replication done: 2 copies
+  const auto* meta = cloud_->fes().dispatch_by_content(1).find(1);
+  ASSERT_NE(meta, nullptr);
+  ASSERT_EQ(meta->replicas.size(), 2u);
+  const auto primary = static_cast<std::size_t>(meta->replicas[0]);
+
+  cloud_->fail_server(primary, /*re_replicate=*/false);
+  cloud_->read(1, 1);
+  sim_->run_until(30.0);
+  EXPECT_EQ(reads_completed(), 1u);
+  EXPECT_EQ(cloud_->failed_reads(), 0u);
+}
+
+TEST_F(FailureTest, AllReplicasFailedMeansFailedRead) {
+  cloud_->write(0, 1, util::megabytes(1));
+  sim_->run_until(10.0);
+  const auto* meta = cloud_->fes().dispatch_by_content(1).find(1);
+  ASSERT_NE(meta, nullptr);
+  for (const auto r : std::vector<std::int32_t>(meta->replicas))
+    cloud_->fail_server(static_cast<std::size_t>(r), false);
+  cloud_->read(1, 1);
+  sim_->run_until(20.0);
+  EXPECT_EQ(reads_completed(), 0u);
+  EXPECT_EQ(cloud_->failed_reads(), 1u);
+}
+
+TEST_F(FailureTest, FailureTriggersReReplication) {
+  cloud_->write(0, 1, util::megabytes(2));
+  sim_->run_until(10.0);
+  const auto* meta = cloud_->fes().dispatch_by_content(1).find(1);
+  ASSERT_EQ(meta->replicas.size(), 2u);
+  const auto lost = static_cast<std::size_t>(meta->replicas[0]);
+  cloud_->fail_server(lost, /*re_replicate=*/true);
+  sim_->run_until(30.0);
+  // Replication factor restored on alive servers.
+  meta = cloud_->fes().dispatch_by_content(1).find(1);
+  ASSERT_EQ(meta->replicas.size(), 2u);
+  for (const auto r : meta->replicas) {
+    EXPECT_NE(static_cast<std::size_t>(r), lost);
+    EXPECT_FALSE(
+        cloud_->servers()[static_cast<std::size_t>(r)].failed());
+    EXPECT_TRUE(cloud_->servers()[static_cast<std::size_t>(r)].has(1));
+  }
+}
+
+TEST_F(FailureTest, NewWritesAvoidFailedServers) {
+  cloud_->fail_server(0, false);
+  cloud_->fail_server(1, false);
+  for (int i = 0; i < 12; ++i)
+    cloud_->write(static_cast<std::size_t>(i % 8), i + 1,
+                  util::kilobytes(100));
+  sim_->run_until(30.0);
+  EXPECT_FALSE(cloud_->servers()[0].has(3));
+  EXPECT_EQ(cloud_->servers()[0].block_count(), 0u);
+  EXPECT_EQ(cloud_->servers()[1].block_count(), 0u);
+  EXPECT_EQ(cloud_->failed_writes(), 0u);
+}
+
+TEST_F(FailureTest, RecoveryMakesServerEligibleAgain) {
+  // Fail every server except #3, write, recover, write again.
+  for (std::size_t s = 0; s < cloud_->servers().size(); ++s)
+    if (s != 3) cloud_->fail_server(s, false);
+  cloud_->write(0, 1, util::kilobytes(64));
+  sim_->run_until(5.0);
+  EXPECT_TRUE(cloud_->servers()[3].has(1));
+
+  cloud_->recover_server(5);
+  cloud_->write(0, 2, util::kilobytes(64));
+  sim_->run_until(10.0);
+  // Content 2's copies can only be on 3 or 5.
+  const auto* meta = cloud_->fes().dispatch_by_content(2).find(2);
+  ASSERT_NE(meta, nullptr);
+  for (const auto r : meta->replicas) EXPECT_TRUE(r == 3 || r == 5);
+}
+
+TEST_F(FailureTest, DoubleFailureIsIdempotent) {
+  cloud_->fail_server(0, false);
+  EXPECT_NO_THROW(cloud_->fail_server(0, false));
+  EXPECT_TRUE(cloud_->servers()[0].failed());
+  cloud_->recover_server(0);
+  EXPECT_FALSE(cloud_->servers()[0].failed());
+}
+
+}  // namespace
+}  // namespace scda::core

@@ -1,0 +1,66 @@
+#include "stats/fairness.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cloud.h"
+#include "util/units.h"
+
+namespace scda::stats {
+namespace {
+
+TEST(JainIndex, EqualAllocationsScoreOne) {
+  EXPECT_DOUBLE_EQ(jain_index({5, 5, 5, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({7}), 1.0);
+}
+
+TEST(JainIndex, StarvationScoresOneOverN) {
+  // One user gets everything among 4: J = 1/4.
+  EXPECT_NEAR(jain_index({10, 0, 0, 0}), 0.25, 1e-12);
+}
+
+TEST(JainIndex, MonotoneInInequality) {
+  const double even = jain_index({5, 5, 5, 5});
+  const double mild = jain_index({6, 5, 5, 4});
+  const double harsh = jain_index({14, 2, 2, 2});
+  EXPECT_GT(even, mild);
+  EXPECT_GT(mild, harsh);
+}
+
+TEST(Percentile, ExactValues) {
+  std::vector<double> xs{4, 1, 3, 2, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  std::vector<double> xs{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(LiveFairness, ConcurrentEqualFlowsScoreNearOne) {
+  // Eight long SCDA uploads from one client: after convergence the Jain
+  // index of their live allocations must be ~1 (max-min fairness).
+  sim::Simulator sim(9);
+  core::CloudConfig cfg;
+  cfg.topology.n_agg = 2;
+  cfg.topology.tors_per_agg = 2;
+  cfg.topology.servers_per_tor = 4;
+  cfg.topology.n_clients = 4;
+  cfg.topology.base_bps = util::mbps(200);
+  cfg.enable_replication = false;
+  core::Cloud cloud(sim, cfg);
+  for (int i = 0; i < 8; ++i)
+    cloud.write(0, i + 1, util::megabytes(200));
+  sim.run_until(3.0);
+  std::vector<double> rates;
+  for (net::FlowId f = 0; f < 8; ++f)
+    rates.push_back(cloud.allocator().flow_rate(f));
+  EXPECT_GT(jain_index(rates), 0.99);
+}
+
+}  // namespace
+}  // namespace scda::stats

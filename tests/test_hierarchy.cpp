@@ -1,0 +1,149 @@
+#include "core/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace scda::core {
+namespace {
+
+/// Small 2x2x2 tree: 8 servers, X = 100 Mbps, K = 2.
+class HierarchyTest : public ::testing::Test {
+ protected:
+  HierarchyTest() {
+    cfg_.n_agg = 2;
+    cfg_.tors_per_agg = 2;
+    cfg_.servers_per_tor = 2;
+    cfg_.n_clients = 2;
+    cfg_.base_bps = 100e6;
+    cfg_.k_factor = 2.0;
+    topo_ = std::make_unique<net::ThreeTierTree>(sim_, cfg_);
+    params_.alpha = 1.0;
+    alloc_ = std::make_unique<RateAllocator>(topo_->net(), params_);
+    hier_ = std::make_unique<Hierarchy>(*topo_, *alloc_);
+  }
+
+  sim::Simulator sim_;
+  net::TopologyConfig cfg_;
+  ScdaParams params_;
+  std::unique_ptr<net::ThreeTierTree> topo_;
+  std::unique_ptr<RateAllocator> alloc_;
+  std::unique_ptr<Hierarchy> hier_;
+};
+
+TEST_F(HierarchyTest, IdleNetworkValuesEqualLinkCapacityChainMin) {
+  hier_->update();
+  // All idle: server value at level 0 = 100M (access link rate).
+  EXPECT_DOUBLE_EQ(hier_->server_value_up(0, 0), 100e6);
+  // Level 1 chain: min(100M, ToR uplink 100M) = 100M.
+  EXPECT_DOUBLE_EQ(hier_->server_value_up(0, 1), 100e6);
+  // Level 2: agg uplink is 200M, min stays 100M.
+  EXPECT_DOUBLE_EQ(hier_->server_value_up(0, 2), 100e6);
+  // Level 3: core uplink 600M, min stays 100M.
+  EXPECT_DOUBLE_EQ(hier_->server_value_up(0, 3), 100e6);
+}
+
+TEST_F(HierarchyTest, ROtherCapsServerValue) {
+  hier_->set_r_other_provider([](std::size_t s) {
+    return s == 2 ? 30e6 : 1e9;  // server 2 disk-limited to 30M
+  });
+  hier_->update();
+  EXPECT_DOUBLE_EQ(hier_->server_value_up(2, 0), 30e6);
+  EXPECT_DOUBLE_EQ(hier_->server_value_up(2, 3), 30e6);
+  EXPECT_DOUBLE_EQ(hier_->server_value_up(3, 0), 100e6);
+  EXPECT_DOUBLE_EQ(hier_->rm_rhat_up(2), 30e6);
+  EXPECT_DOUBLE_EQ(hier_->rm_rhat_down(2), 30e6);
+}
+
+TEST_F(HierarchyTest, BestServerPrefersUnloaded) {
+  // Load server 0's uplink with flows so its rate drops; the best-uplink
+  // server must be someone else.
+  for (net::FlowId f = 1; f <= 4; ++f)
+    alloc_->register_flow(f, topo_->servers()[0], topo_->clients()[0]);
+  for (int i = 0; i < 50; ++i) alloc_->tick();
+  hier_->update();
+  const BestServer b = hier_->best_server(SelectionMetric::kUp);
+  EXPECT_NE(b.server, 0);
+  EXPECT_GT(b.value_bps,
+            hier_->server_value_up(0, kMaxLevel));
+}
+
+TEST_F(HierarchyTest, BestServerMinUpDownUsesWorseDirection) {
+  hier_->set_r_other_provider([](std::size_t) { return 1e9; });
+  // Load server 1's downlink only.
+  for (net::FlowId f = 1; f <= 4; ++f)
+    alloc_->register_flow(f, topo_->clients()[0], topo_->servers()[1]);
+  for (int i = 0; i < 50; ++i) alloc_->tick();
+  hier_->update();
+  const double min_v = std::min(hier_->server_value_up(1, kMaxLevel),
+                                hier_->server_value_down(1, kMaxLevel));
+  EXPECT_LT(min_v, 100e6);
+  const BestServer b = hier_->best_server(SelectionMetric::kMinUpDown);
+  EXPECT_NE(b.server, 1);
+}
+
+TEST_F(HierarchyTest, BestServerInRackRestrictsCandidates) {
+  hier_->update();
+  const BestServer b = hier_->best_server_in_rack(1, SelectionMetric::kDown);
+  // Rack 1 holds servers 2 and 3.
+  EXPECT_TRUE(b.server == 2 || b.server == 3);
+}
+
+TEST_F(HierarchyTest, FilteredSelectionHonoursPredicate) {
+  hier_->update();
+  const BestServer b = hier_->best_server_filtered(
+      SelectionMetric::kUp, kMaxLevel,
+      [](std::size_t s) { return s >= 6; });
+  EXPECT_GE(b.server, 6);
+}
+
+TEST_F(HierarchyTest, FilteredSelectionAllRejectedGivesInvalid) {
+  hier_->update();
+  const BestServer b = hier_->best_server_filtered(
+      SelectionMetric::kUp, kMaxLevel, [](std::size_t) { return false; });
+  EXPECT_EQ(b.server, -1);
+}
+
+TEST_F(HierarchyTest, ReweightChangesWinner) {
+  hier_->update();
+  // Heavily penalize every server except 5.
+  const BestServer b = hier_->best_server_filtered(
+      SelectionMetric::kUp, kMaxLevel, nullptr,
+      [](std::size_t s, double v) { return s == 5 ? v : v / 1000.0; });
+  EXPECT_EQ(b.server, 5);
+}
+
+TEST_F(HierarchyTest, RmLevelRatesAreMinOfChain) {
+  // Congest the ToR-0 uplink via flows from both rack-0 servers.
+  for (net::FlowId f = 1; f <= 8; ++f)
+    alloc_->register_flow(f, topo_->servers()[f % 2],
+                          topo_->clients()[0]);
+  for (int i = 0; i < 50; ++i) alloc_->tick();
+  hier_->update();
+  const double l0 = hier_->rm_level_rate_up(0, 0);
+  const double l1 = hier_->rm_level_rate_up(0, 1);
+  const double l3 = hier_->rm_level_rate_up(0, 3);
+  EXPECT_LE(l1, l0);
+  EXPECT_LE(l3, l1);
+}
+
+TEST_F(HierarchyTest, SlaReportAttributesPerLevel) {
+  // Oversubscribe one server downlink via reservations.
+  alloc_->register_flow(1, topo_->clients()[0], topo_->servers()[0], 1.0,
+                        80e6);
+  alloc_->register_flow(2, topo_->clients()[1], topo_->servers()[0], 1.0,
+                        80e6);
+  for (int i = 0; i < 5; ++i) alloc_->tick();
+  hier_->update();
+  const SlaLevelReport rep = hier_->sla_report();
+  EXPECT_GT(rep.total(), 0u);
+  EXPECT_GT(rep.per_level[0], 0u);  // the server access link violated
+}
+
+TEST_F(HierarchyTest, ServerCountMatchesTopology) {
+  EXPECT_EQ(hier_->server_count(), 8u);
+}
+
+}  // namespace
+}  // namespace scda::core

@@ -1,0 +1,236 @@
+// End-to-end integration tests: full cloud + workload runs asserting the
+// paper's qualitative claims and cross-cutting invariants.
+#include <gtest/gtest.h>
+
+#include "core/cloud.h"
+#include "stats/collector.h"
+#include "stats/throughput.h"
+#include "util/units.h"
+#include "workload/driver.h"
+#include "workload/generators.h"
+
+namespace scda {
+namespace {
+
+using core::Cloud;
+using core::CloudConfig;
+using core::CloudOp;
+using core::PlacementPolicy;
+using transport::ContentClass;
+using transport::TransportKind;
+
+CloudConfig base_config() {
+  CloudConfig cfg;
+  cfg.topology.n_agg = 2;
+  cfg.topology.tors_per_agg = 2;
+  cfg.topology.servers_per_tor = 4;
+  cfg.topology.n_clients = 16;
+  cfg.topology.base_bps = util::mbps(200);
+  cfg.topology.k_factor = 3.0;
+  return cfg;
+}
+
+struct MiniRun {
+  stats::Summary summary;
+  std::uint64_t failed_reads = 0;
+  std::uint64_t completed = 0;
+  double delivered_equals_size_violations = 0;
+};
+
+MiniRun run_workload(PlacementPolicy placement, TransportKind transport,
+                     std::uint64_t seed, double arrival_rate = 25.0) {
+  sim::Simulator sim(seed);
+  CloudConfig cfg = base_config();
+  cfg.placement = placement;
+  cfg.transport = transport;
+  Cloud cloud(sim, cfg);
+  stats::FlowStatsCollector col(cloud);
+
+  MiniRun out;
+  cloud.add_completion_callback(
+      [&](const transport::FlowRecord& rec, const CloudOp&) {
+        ++out.completed;
+        // Byte conservation: a completed flow delivered exactly its size.
+        if (!rec.finished() || rec.fct() < 0)
+          out.delivered_equals_size_violations += 1;
+      });
+
+  workload::DriverConfig dc;
+  dc.end_time_s = 20.0;
+  dc.read_fraction = 0.3;
+  workload::ParetoPoissonConfig pc;
+  pc.arrival_rate = arrival_rate;
+  pc.mean_bytes = 300e3;
+  pc.cap_bytes = 20 * 1000 * 1000;
+  workload::WorkloadDriver driver(
+      cloud, std::make_unique<workload::ParetoPoissonWorkload>(pc), dc);
+  driver.start();
+  sim.run_until(60.0);
+
+  out.summary = col.summary();
+  out.failed_reads = cloud.failed_reads();
+  return out;
+}
+
+TEST(Integration, ScdaBeatsRandTcpOnMeanFct) {
+  const MiniRun scda =
+      run_workload(PlacementPolicy::kScda, TransportKind::kScda, 11);
+  const MiniRun rand =
+      run_workload(PlacementPolicy::kRandom, TransportKind::kTcp, 11);
+  ASSERT_GT(scda.summary.flows, 100u);
+  ASSERT_GT(rand.summary.flows, 100u);
+  // The paper's headline: SCDA transfer times ~50% lower. Require at least
+  // 30% to keep the test robust across seeds.
+  EXPECT_LT(scda.summary.mean_fct_s, 0.7 * rand.summary.mean_fct_s);
+}
+
+TEST(Integration, AllIssuedFlowsEventuallyComplete) {
+  const MiniRun scda =
+      run_workload(PlacementPolicy::kScda, TransportKind::kScda, 13);
+  EXPECT_EQ(scda.failed_reads, 0u);
+  EXPECT_EQ(scda.delivered_equals_size_violations, 0.0);
+  EXPECT_GT(scda.completed, 0u);
+}
+
+TEST(Integration, MaxMinFairnessEmergesInLiveSimulation) {
+  // Two long SCDA writes from the *same* client share the client uplink as
+  // their bottleneck; after the allocator converges, both flows' live
+  // allocations must be equal (and sum to ~the effective link capacity).
+  sim::Simulator sim(17);
+  CloudConfig cfg = base_config();
+  cfg.enable_replication = false;
+  Cloud cloud(sim, cfg);
+  cloud.write(0, 1, util::megabytes(60));
+  cloud.write(0, 2, util::megabytes(60));
+  sim.run_until(2.0);  // well past several control intervals
+  ASSERT_EQ(cloud.allocator().active_flows(), 2u);
+  const double r1 = cloud.allocator().flow_rate(0);
+  const double r2 = cloud.allocator().flow_rate(1);
+  ASSERT_GT(r1, 0);
+  EXPECT_NEAR(r1 / r2, 1.0, 0.05);
+  const double cap = cfg.topology.base_bps * cfg.params.alpha;
+  EXPECT_NEAR(r1 + r2, cap, 0.15 * cap);
+}
+
+TEST(Integration, PrioritizedFlowGetsProportionallyMoreBandwidth) {
+  sim::Simulator sim(19);
+  CloudConfig cfg = base_config();
+  cfg.enable_replication = false;
+  Cloud cloud(sim, cfg);
+  std::vector<std::pair<double, double>> results;  // (priority, fct)
+  cloud.add_completion_callback(
+      [&](const transport::FlowRecord& rec, const CloudOp&) {
+        results.emplace_back(rec.priority, rec.fct());
+      });
+  // Saturate one path with several same-priority flows plus one 3x flow.
+  for (int i = 0; i < 4; ++i)
+    cloud.write(0, 10 + i, util::megabytes(5), ContentClass::kSemiInteractive,
+                1.0);
+  cloud.write(0, 99, util::megabytes(5), ContentClass::kSemiInteractive,
+              3.0);
+  sim.run_until(120.0);
+  ASSERT_EQ(results.size(), 5u);
+  double hi = 0, lo_sum = 0;
+  int lo_n = 0;
+  for (const auto& [prio, fct] : results) {
+    if (prio == 3.0) {
+      hi = fct;
+    } else {
+      lo_sum += fct;
+      ++lo_n;
+    }
+  }
+  ASSERT_GT(hi, 0);
+  EXPECT_LT(hi, lo_sum / lo_n);  // prioritized flow finished faster
+}
+
+TEST(Integration, SlaDetectionFiresUnderReservationOverload) {
+  sim::Simulator sim(23);
+  CloudConfig cfg = base_config();
+  Cloud cloud(sim, cfg);
+  // Reserve more than any access link can carry across several writes.
+  for (int i = 0; i < 6; ++i)
+    cloud.write(static_cast<std::size_t>(i % 8), i + 1, util::megabytes(3),
+                ContentClass::kSemiInteractive, 1.0,
+                /*reserved_bps=*/util::mbps(80));
+  sim.run_until(30.0);
+  EXPECT_GT(cloud.allocator().sla_violations(), 0u);
+  EXPECT_FALSE(cloud.sla().events().empty());
+}
+
+TEST(Integration, DormantPolicySavesEnergy) {
+  // Same passive-heavy workload with and without the dormant policy; total
+  // server energy must drop when scale-down is enabled (section VII-C).
+  const auto run = [](double rscale) {
+    sim::Simulator sim(29);
+    CloudConfig cfg = base_config();
+    cfg.params.rscale_bps = rscale;
+    Cloud cloud(sim, cfg);
+    for (int i = 0; i < 8; ++i)
+      cloud.write(static_cast<std::size_t>(i % 8), i + 1,
+                  util::kilobytes(200), ContentClass::kPassive);
+    sim.run_until(120.0);
+    return cloud.total_energy_j();
+  };
+  const double without = run(0.0);
+  const double with = run(util::mbps(150));
+  EXPECT_LT(with, 0.95 * without);
+}
+
+TEST(Integration, SimplifiedMetricAlsoOutperformsBaseline) {
+  sim::Simulator sim(31);
+  CloudConfig cfg = base_config();
+  cfg.params.metric = core::RateMetricKind::kSimplified;
+  Cloud cloud(sim, cfg);
+  stats::FlowStatsCollector col(cloud);
+  workload::DriverConfig dc;
+  dc.end_time_s = 15.0;
+  workload::ParetoPoissonConfig pc;
+  pc.arrival_rate = 20.0;
+  pc.cap_bytes = 10 * 1000 * 1000;
+  workload::WorkloadDriver driver(
+      cloud, std::make_unique<workload::ParetoPoissonWorkload>(pc), dc);
+  driver.start();
+  sim.run_until(60.0);
+  ASSERT_GT(col.count(), 50u);
+  const MiniRun rand =
+      run_workload(PlacementPolicy::kRandom, TransportKind::kTcp, 31, 20.0);
+  EXPECT_LT(col.summary().mean_fct_s, rand.summary.mean_fct_s);
+}
+
+TEST(Integration, DeterministicAcrossRuns) {
+  const MiniRun a =
+      run_workload(PlacementPolicy::kScda, TransportKind::kScda, 37);
+  const MiniRun b =
+      run_workload(PlacementPolicy::kScda, TransportKind::kScda, 37);
+  EXPECT_EQ(a.summary.flows, b.summary.flows);
+  EXPECT_DOUBLE_EQ(a.summary.mean_fct_s, b.summary.mean_fct_s);
+  EXPECT_DOUBLE_EQ(a.summary.goodput_bps, b.summary.goodput_bps);
+}
+
+// --- seed sweep: invariants hold across random seeds -----------------------
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, CompletionsAreSaneUnderScda) {
+  const MiniRun r =
+      run_workload(PlacementPolicy::kScda, TransportKind::kScda, GetParam());
+  EXPECT_GT(r.summary.flows, 0u);
+  EXPECT_GT(r.summary.mean_fct_s, 0.0);
+  EXPECT_EQ(r.failed_reads, 0u);
+  EXPECT_EQ(r.delivered_equals_size_violations, 0.0);
+  EXPECT_GT(r.summary.goodput_bps, 0.0);
+}
+
+TEST_P(SeedSweep, CompletionsAreSaneUnderRandTcp) {
+  const MiniRun r =
+      run_workload(PlacementPolicy::kRandom, TransportKind::kTcp, GetParam());
+  EXPECT_GT(r.summary.flows, 0u);
+  EXPECT_EQ(r.delivered_equals_size_violations, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace scda

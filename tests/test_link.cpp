@@ -1,0 +1,127 @@
+#include "net/link.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace scda::net {
+namespace {
+
+Packet data_packet(std::int32_t payload, FlowId flow = 1) {
+  return make_data(flow, 0, 1, 0, payload, 0.0);
+}
+
+class LinkTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+};
+
+TEST_F(LinkTest, SinglePacketTimingIsTxPlusPropagation) {
+  // 1500B wire @ 1 Mbps = 12 ms tx, plus 10 ms propagation.
+  Link link(sim_, 0, 0, 1, 1e6, 0.010, 1 << 20);
+  std::vector<double> arrivals;
+  link.set_deliver([&](Packet&&) { arrivals.push_back(sim_.now()); });
+  ASSERT_TRUE(link.enqueue(data_packet(1500 - kHeaderBytes)));
+  sim_.run();
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_NEAR(arrivals[0], 0.012 + 0.010, 1e-9);
+}
+
+TEST_F(LinkTest, BackToBackPacketsSerialize) {
+  Link link(sim_, 0, 0, 1, 1e6, 0.010, 1 << 20);
+  std::vector<double> arrivals;
+  link.set_deliver([&](Packet&&) { arrivals.push_back(sim_.now()); });
+  ASSERT_TRUE(link.enqueue(data_packet(1500 - kHeaderBytes)));
+  ASSERT_TRUE(link.enqueue(data_packet(1500 - kHeaderBytes)));
+  sim_.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_NEAR(arrivals[1] - arrivals[0], 0.012, 1e-9);  // one tx time apart
+}
+
+TEST_F(LinkTest, DropTailWhenQueueFull) {
+  // Queue fits exactly two 1500-byte packets.
+  Link link(sim_, 0, 0, 1, 1e6, 0.001, 3000);
+  int delivered = 0;
+  link.set_deliver([&](Packet&&) { ++delivered; });
+  EXPECT_TRUE(link.enqueue(data_packet(1460)));
+  EXPECT_TRUE(link.enqueue(data_packet(1460)));
+  EXPECT_FALSE(link.enqueue(data_packet(1460)));  // third is dropped
+  sim_.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(link.stats().dropped_packets, 1u);
+  EXPECT_EQ(link.stats().tx_packets, 2u);
+}
+
+TEST_F(LinkTest, QueueBytesReflectsOccupancy) {
+  Link link(sim_, 0, 0, 1, 1e6, 0.001, 1 << 20);
+  EXPECT_EQ(link.queue_bytes(), 0);
+  ASSERT_TRUE(link.enqueue(data_packet(1460)));
+  ASSERT_TRUE(link.enqueue(data_packet(1460)));
+  EXPECT_EQ(link.queue_bytes(), 3000);
+  sim_.run();
+  EXPECT_EQ(link.queue_bytes(), 0);
+}
+
+TEST_F(LinkTest, IntervalArrivalCounterIncludesDrops) {
+  Link link(sim_, 0, 0, 1, 1e6, 0.001, 1500);
+  ASSERT_TRUE(link.enqueue(data_packet(1460)));
+  EXPECT_FALSE(link.enqueue(data_packet(1460)));  // dropped but offered
+  EXPECT_EQ(link.interval_arrived_bytes(), 3000);
+  EXPECT_EQ(link.take_interval_arrived_bytes(), 3000);
+  EXPECT_EQ(link.interval_arrived_bytes(), 0);  // reset
+}
+
+TEST_F(LinkTest, StatsAccumulateBytes) {
+  Link link(sim_, 0, 0, 1, 1e6, 0.001, 1 << 20);
+  link.set_deliver([](Packet&&) {});
+  ASSERT_TRUE(link.enqueue(data_packet(1460)));
+  sim_.run();
+  EXPECT_EQ(link.stats().tx_bytes, 1500u);
+  EXPECT_EQ(link.stats().enqueued_packets, 1u);
+}
+
+TEST_F(LinkTest, UtilizationMatchesTransmittedBits) {
+  Link link(sim_, 0, 0, 1, 1e6, 0.0, 1 << 20);
+  link.set_deliver([](Packet&&) {});
+  // 10 packets * 1500 B = 120 kbit over 1 s at 1 Mbps -> 12% utilization
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(link.enqueue(data_packet(1460)));
+  sim_.run();
+  EXPECT_NEAR(link.utilization(1.0), 0.12, 1e-9);
+}
+
+TEST_F(LinkTest, CapacityChangeAffectsSubsequentPackets) {
+  Link link(sim_, 0, 0, 1, 1e6, 0.0, 1 << 20);
+  std::vector<double> arrivals;
+  link.set_deliver([&](Packet&&) { arrivals.push_back(sim_.now()); });
+  ASSERT_TRUE(link.enqueue(data_packet(1460)));
+  sim_.run();
+  link.set_capacity_bps(2e6);  // reserve capacity switched in
+  ASSERT_TRUE(link.enqueue(data_packet(1460)));
+  sim_.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_NEAR(arrivals[0], 0.012, 1e-9);
+  EXPECT_NEAR(arrivals[1] - arrivals[0], 0.006, 1e-9);
+}
+
+TEST_F(LinkTest, DeliveryPreservesPacketFields) {
+  Link link(sim_, 7, 0, 1, 1e6, 0.001, 1 << 20);
+  Packet got;
+  link.set_deliver([&](Packet&& p) { got = p; });
+  Packet p = make_data(42, 3, 9, 1000, 500, 1.25);
+  p.rcvw_bytes = 777;
+  ASSERT_TRUE(link.enqueue(std::move(p)));
+  sim_.run();
+  EXPECT_EQ(got.flow, 42);
+  EXPECT_EQ(got.src, 3);
+  EXPECT_EQ(got.dst, 9);
+  EXPECT_EQ(got.seq, 1000);
+  EXPECT_EQ(got.payload_bytes, 500);
+  EXPECT_EQ(got.rcvw_bytes, 777);
+  EXPECT_DOUBLE_EQ(got.ts, 1.25);
+}
+
+}  // namespace
+}  // namespace scda::net

@@ -1,0 +1,90 @@
+// Property test: the RateAllocator's iterative equilibrium must match an
+// independent reference implementation of weighted max-min fairness
+// (progressive water-filling) on randomized scenarios.
+//
+// The oracle: repeatedly find the link that, with its unfrozen flows
+// sharing its residual capacity in proportion to their weights, gives the
+// smallest per-weight level; freeze those flows at weight*level; remove
+// the frozen flows' consumption everywhere; repeat. This is the textbook
+// bottleneck-ordering algorithm, entirely unrelated to the allocator's
+// RCP-style iteration — agreement is strong evidence of correctness.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/rate_allocator.h"
+#include "core/water_filling.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace scda::core {
+namespace {
+
+
+class MaxMinOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxMinOracle, AllocatorMatchesWaterFilling) {
+  sim::Simulator sim(GetParam());
+  sim::Rng& rng = sim.rng();
+
+  net::TopologyConfig tc;
+  tc.n_agg = 2;
+  tc.tors_per_agg = 2;
+  tc.servers_per_tor = static_cast<std::int32_t>(rng.uniform_int(2, 4));
+  tc.n_clients = 6;
+  tc.base_bps = 100e6;
+  tc.k_factor = rng.uniform(1.0, 3.0);
+  net::ThreeTierTree topo(sim, tc);
+
+  ScdaParams params;
+  params.alpha = 1.0;  // gamma == capacity with empty queues
+  params.beta = 0.5;
+  params.min_rate_bps = 1.0;
+  RateAllocator alloc(topo.net(), params);
+
+  // Random flow set: client<->server pairs, random directions and weights.
+  const auto n_flows = static_cast<std::size_t>(rng.uniform_int(3, 14));
+  std::vector<ReferenceFlow> flows(n_flows);
+  for (std::size_t f = 0; f < n_flows; ++f) {
+    const auto c = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(
+                               topo.clients().size()) - 1));
+    const auto s = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(
+                               topo.servers().size()) - 1));
+    const bool up = rng.bernoulli(0.5);
+    const net::NodeId src = up ? topo.servers()[s] : topo.clients()[c];
+    const net::NodeId dst = up ? topo.clients()[c] : topo.servers()[s];
+    const double w = rng.uniform_int(1, 4);
+    flows[f].path = topo.net().path(src, dst);
+    flows[f].weight = w;
+    alloc.register_flow(static_cast<net::FlowId>(f), src, dst, w);
+  }
+
+  // Oracle capacities (alpha * C, no queues in a traffic-free network).
+  std::map<net::LinkId, double> capacity;
+  for (const auto& f : flows)
+    for (const auto l : f.path)
+      capacity[l] = topo.net().link(l).capacity_bps();
+
+  water_fill(flows, capacity);
+
+  for (int i = 0; i < 400; ++i) alloc.tick();
+
+  for (std::size_t f = 0; f < n_flows; ++f) {
+    const double got = alloc.flow_rate(static_cast<net::FlowId>(f));
+    const double want = flows[f].rate_bps;
+    ASSERT_GT(want, 0) << "oracle failed to freeze flow " << f;
+    EXPECT_NEAR(got / want, 1.0, 0.03)
+        << "flow " << f << " weight " << flows[f].weight << " got "
+        << got / 1e6 << " Mbps, oracle " << want / 1e6 << " Mbps";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, MaxMinOracle,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace scda::core

@@ -1,0 +1,124 @@
+#include "core/name_node.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/simulator.h"
+
+namespace scda::core {
+namespace {
+
+TEST(NameNode, ServesRequestAfterServiceTime) {
+  sim::Simulator sim;
+  NameNode nns(sim, 0, /*service_time=*/0.001);
+  double served_at = -1;
+  nns.submit([&] { served_at = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(served_at, 0.001);
+  EXPECT_EQ(nns.served(), 1u);
+}
+
+TEST(NameNode, ConcurrentRequestsQueue) {
+  sim::Simulator sim;
+  NameNode nns(sim, 0, 0.001);
+  std::vector<double> times;
+  for (int i = 0; i < 5; ++i)
+    nns.submit([&] { times.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(times.size(), 5u);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_NEAR(times[static_cast<size_t>(i)], 0.001 * (i + 1), 1e-12);
+  EXPECT_NEAR(nns.max_delay(), 0.005, 1e-12);
+  EXPECT_NEAR(nns.mean_delay(), 0.003, 1e-12);
+}
+
+TEST(NameNode, QueueDrainsBetweenBursts) {
+  sim::Simulator sim;
+  NameNode nns(sim, 0, 0.001);
+  std::vector<double> times;
+  nns.submit([&] { times.push_back(sim.now()); });
+  sim.schedule_at(1.0, [&] {
+    nns.submit([&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_NEAR(times[1], 1.001, 1e-12);  // no residual queueing
+}
+
+TEST(NameNode, MetadataUpsertAndFind) {
+  sim::Simulator sim;
+  NameNode nns(sim, 0, 0.001);
+  EXPECT_EQ(nns.find(7), nullptr);
+  ContentMeta& m = nns.upsert(7);
+  m.size_bytes = 1234;
+  m.replicas.push_back(3);
+  ASSERT_NE(nns.find(7), nullptr);
+  EXPECT_EQ(nns.find(7)->size_bytes, 1234);
+  EXPECT_EQ(nns.find(7)->replicas.size(), 1u);
+  EXPECT_EQ(nns.content_count(), 1u);
+  // Upsert again returns the same record.
+  nns.upsert(7).reads = 5;
+  EXPECT_EQ(nns.find(7)->size_bytes, 1234);
+  EXPECT_EQ(nns.find(7)->reads, 5u);
+}
+
+TEST(FrontEnd, DispatchIsDeterministic) {
+  sim::Simulator sim;
+  NameNode n0(sim, 0, 0.001), n1(sim, 1, 0.001), n2(sim, 2, 0.001);
+  FrontEnd fes({&n0, &n1, &n2});
+  EXPECT_EQ(fes.nns_count(), 3u);
+  for (std::int64_t k = 0; k < 50; ++k) {
+    EXPECT_EQ(&fes.dispatch_by_content(k), &fes.dispatch_by_content(k));
+    EXPECT_EQ(&fes.dispatch_by_client(k), &fes.dispatch_by_client(k));
+  }
+}
+
+TEST(FrontEnd, DispatchSpreadsLoad) {
+  sim::Simulator sim;
+  NameNode n0(sim, 0, 0.001), n1(sim, 1, 0.001), n2(sim, 2, 0.001),
+      n3(sim, 3, 0.001);
+  FrontEnd fes({&n0, &n1, &n2, &n3});
+  int counts[4] = {0, 0, 0, 0};
+  for (std::int64_t k = 0; k < 4000; ++k)
+    ++counts[fes.dispatch_by_content(k).index()];
+  for (int c : counts) {
+    EXPECT_GT(c, 800);   // roughly balanced (1000 +- 20%)
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(FrontEnd, SingleNodeGetsEverything) {
+  sim::Simulator sim;
+  NameNode n0(sim, 0, 0.001);
+  FrontEnd fes({&n0});
+  for (std::int64_t k = 0; k < 20; ++k)
+    EXPECT_EQ(&fes.dispatch_by_content(k), &n0);
+}
+
+TEST(FrontEnd, SingleNnsBottleneckDelaysGrowWithLoad) {
+  // The GFS/HDFS weakness the paper targets: one NNS under a burst of
+  // requests builds a queue; four NNS behind an FES split it.
+  sim::Simulator sim;
+  NameNode single(sim, 0, 0.001);
+  FrontEnd fes1({&single});
+  for (std::int64_t k = 0; k < 400; ++k)
+    fes1.dispatch_by_content(k).submit([] {});
+  sim.run();
+
+  sim::Simulator sim2;
+  NameNode a(sim2, 0, 0.001), b(sim2, 1, 0.001), c(sim2, 2, 0.001),
+      d(sim2, 3, 0.001);
+  FrontEnd fes4({&a, &b, &c, &d});
+  for (std::int64_t k = 0; k < 400; ++k)
+    fes4.dispatch_by_content(k).submit([] {});
+  sim2.run();
+
+  const double multi_max = std::max(
+      std::max(a.max_delay(), b.max_delay()),
+      std::max(c.max_delay(), d.max_delay()));
+  EXPECT_GT(single.max_delay(), 2.5 * multi_max);
+}
+
+}  // namespace
+}  // namespace scda::core

@@ -1,0 +1,139 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace scda::net {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : net_(sim_) {}
+
+  /// Line topology: n0 - n1 - n2 - n3.
+  void build_line() {
+    for (int i = 0; i < 4; ++i)
+      ids_.push_back(net_.add_node(NodeRole::kOther, "n" + std::to_string(i)));
+    for (int i = 0; i < 3; ++i)
+      net_.add_duplex(ids_[i], ids_[i + 1], 1e6, 0.001, 1 << 20);
+    net_.build_routes();
+  }
+
+  sim::Simulator sim_;
+  Network net_;
+  std::vector<NodeId> ids_;
+};
+
+TEST_F(NetworkTest, AddNodeAssignsSequentialIds) {
+  EXPECT_EQ(net_.add_node(NodeRole::kClient, "a"), 0);
+  EXPECT_EQ(net_.add_node(NodeRole::kServer, "b"), 1);
+  EXPECT_EQ(net_.node_count(), 2u);
+  EXPECT_EQ(net_.node(0).role(), NodeRole::kClient);
+  EXPECT_EQ(net_.node(1).name(), "b");
+}
+
+TEST_F(NetworkTest, SelfLoopRejected) {
+  const auto a = net_.add_node(NodeRole::kOther, "a");
+  EXPECT_THROW(net_.add_link(a, a, 1e6, 0.001, 1000),
+               std::invalid_argument);
+}
+
+TEST_F(NetworkTest, BadCapacityRejected) {
+  const auto a = net_.add_node(NodeRole::kOther, "a");
+  const auto b = net_.add_node(NodeRole::kOther, "b");
+  EXPECT_THROW(net_.add_link(a, b, 0.0, 0.001, 1000),
+               std::invalid_argument);
+}
+
+TEST_F(NetworkTest, DuplexCreatesBothDirections) {
+  const auto a = net_.add_node(NodeRole::kOther, "a");
+  const auto b = net_.add_node(NodeRole::kOther, "b");
+  auto [ab, ba] = net_.add_duplex(a, b, 1e6, 0.001, 1000);
+  EXPECT_EQ(net_.link(ab).from(), a);
+  EXPECT_EQ(net_.link(ab).to(), b);
+  EXPECT_EQ(net_.link(ba).from(), b);
+  EXPECT_EQ(net_.link(ba).to(), a);
+}
+
+TEST_F(NetworkTest, NextHopOnLine) {
+  build_line();
+  EXPECT_EQ(net_.next_hop(ids_[0], ids_[3]), ids_[1]);
+  EXPECT_EQ(net_.next_hop(ids_[1], ids_[3]), ids_[2]);
+  EXPECT_EQ(net_.next_hop(ids_[3], ids_[0]), ids_[2]);
+  EXPECT_EQ(net_.next_hop(ids_[2], ids_[2]), ids_[2]);
+}
+
+TEST_F(NetworkTest, PathEnumeratesLinksInOrder) {
+  build_line();
+  const auto path = net_.path(ids_[0], ids_[3]);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(net_.link(path[0]).from(), ids_[0]);
+  EXPECT_EQ(net_.link(path[2]).to(), ids_[3]);
+  EXPECT_TRUE(net_.path(ids_[2], ids_[2]).empty());
+}
+
+TEST_F(NetworkTest, UnreachableDestinationThrows) {
+  const auto a = net_.add_node(NodeRole::kOther, "a");
+  const auto b = net_.add_node(NodeRole::kOther, "b");
+  const auto c = net_.add_node(NodeRole::kOther, "c");
+  net_.add_duplex(a, b, 1e6, 0.001, 1000);
+  net_.build_routes();
+  EXPECT_THROW((void)net_.path(a, c), std::runtime_error);
+}
+
+TEST_F(NetworkTest, MutationAfterRoutesBuiltThrows) {
+  build_line();
+  EXPECT_THROW(net_.add_node(NodeRole::kOther, "x"), std::logic_error);
+  EXPECT_THROW(net_.add_link(ids_[0], ids_[2], 1e6, 0.001, 1000),
+               std::logic_error);
+}
+
+TEST_F(NetworkTest, SendDeliversAcrossMultipleHops) {
+  build_line();
+  Packet got;
+  int count = 0;
+  net_.node(ids_[3]).set_sink([&](Packet&& p) {
+    got = p;
+    ++count;
+  });
+  Packet p = make_data(5, ids_[0], ids_[3], 0, 1000, 0.0);
+  net_.send(std::move(p));
+  sim_.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(got.flow, 5);
+  // 3 hops: 3 tx times (1040B @ 1 Mbps = 8.32 ms) + 3 ms propagation
+  EXPECT_NEAR(sim_.now(), 3 * (1040.0 * 8 / 1e6) + 0.003, 1e-9);
+}
+
+TEST_F(NetworkTest, PacketToNodeWithoutSinkIsDiscarded) {
+  build_line();
+  net_.send(make_data(1, ids_[0], ids_[2], 0, 100, 0.0));
+  EXPECT_NO_THROW(sim_.run());
+}
+
+TEST_F(NetworkTest, ShortestPathChosenOverLonger) {
+  // Diamond: a-b-d and a-c-d plus direct a-d; direct wins.
+  const auto a = net_.add_node(NodeRole::kOther, "a");
+  const auto b = net_.add_node(NodeRole::kOther, "b");
+  const auto c = net_.add_node(NodeRole::kOther, "c");
+  const auto d = net_.add_node(NodeRole::kOther, "d");
+  net_.add_duplex(a, b, 1e6, 0.001, 1000);
+  net_.add_duplex(b, d, 1e6, 0.001, 1000);
+  net_.add_duplex(a, c, 1e6, 0.001, 1000);
+  net_.add_duplex(c, d, 1e6, 0.001, 1000);
+  net_.add_duplex(a, d, 1e6, 0.001, 1000);
+  net_.build_routes();
+  EXPECT_EQ(net_.path(a, d).size(), 1u);
+}
+
+TEST_F(NetworkTest, LinkBetweenFindsDirectedLink) {
+  build_line();
+  const LinkId l = net_.link_between(ids_[0], ids_[1]);
+  ASSERT_NE(l, kInvalidLink);
+  EXPECT_EQ(net_.link(l).from(), ids_[0]);
+  EXPECT_EQ(net_.link_between(ids_[0], ids_[3]), kInvalidLink);
+}
+
+}  // namespace
+}  // namespace scda::net

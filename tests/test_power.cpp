@@ -1,0 +1,58 @@
+#include "core/power.h"
+
+#include <gtest/gtest.h>
+
+namespace scda::core {
+namespace {
+
+TEST(PowerModel, IdleAndPeakDraw) {
+  PowerModel p(100.0, 300.0);
+  EXPECT_DOUBLE_EQ(p.power_w(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(p.power_w(1.0), 300.0);
+  EXPECT_DOUBLE_EQ(p.power_w(0.5), 200.0);
+}
+
+TEST(PowerModel, UtilizationClamped) {
+  PowerModel p(100.0, 300.0);
+  EXPECT_DOUBLE_EQ(p.power_w(-1.0), 100.0);
+  EXPECT_DOUBLE_EQ(p.power_w(2.0), 300.0);
+}
+
+TEST(PowerModel, InefficiencyScalesDraw) {
+  PowerModel p(100.0, 300.0, /*inefficiency=*/1.5);
+  EXPECT_DOUBLE_EQ(p.power_w(0.0), 150.0);
+  EXPECT_DOUBLE_EQ(p.power_w(1.0), 450.0);
+}
+
+TEST(PowerModel, DormantDrawsStandbyOnly) {
+  PowerModel p(100.0, 300.0);
+  p.set_standby_w(10.0);
+  p.set_dormant(true);
+  EXPECT_DOUBLE_EQ(p.power_w(0.5), 10.0);
+  EXPECT_TRUE(p.dormant());
+  p.set_dormant(false);
+  EXPECT_DOUBLE_EQ(p.power_w(0.5), 200.0);
+}
+
+TEST(PowerModel, EnergyIntegration) {
+  PowerModel p(100.0, 300.0);
+  p.integrate_energy(200.0, 0.5);
+  p.integrate_energy(100.0, 1.0);
+  EXPECT_DOUBLE_EQ(p.energy_j(), 200.0);
+}
+
+TEST(PowerModel, RunningAverageWeightsRecentSamples) {
+  PowerModel p(100.0, 300.0);
+  p.record_sample(100.0);
+  EXPECT_DOUBLE_EQ(p.average_w(), 100.0);
+  p.record_sample(200.0, 0.5);
+  EXPECT_DOUBLE_EQ(p.average_w(), 150.0);
+}
+
+TEST(PowerModel, AverageDefaultsToIdleBeforeSamples) {
+  PowerModel p(100.0, 300.0, 1.2);
+  EXPECT_DOUBLE_EQ(p.average_w(), 120.0);
+}
+
+}  // namespace
+}  // namespace scda::core

@@ -1,0 +1,118 @@
+// Message-sequence timing tests for the request-serving protocols of paper
+// figures 3-5: data flows must start only after the control exchanges
+// (UCL -> FES -> NNS -> RA -> BS -> UCL) have run their latency course.
+#include <gtest/gtest.h>
+
+#include "core/cloud.h"
+#include "util/units.h"
+
+namespace scda::core {
+namespace {
+
+class ProtocolTimingTest : public ::testing::Test {
+ protected:
+  ProtocolTimingTest() {
+    cfg_.topology.n_agg = 2;
+    cfg_.topology.tors_per_agg = 2;
+    cfg_.topology.servers_per_tor = 2;
+    cfg_.topology.n_clients = 4;
+    cfg_.topology.base_bps = util::mbps(500);
+    cfg_.enable_replication = false;
+    cfg_.params.ctrl_wan_latency_s = 50e-3;
+    cfg_.params.ctrl_dc_latency_s = 1e-3;
+    cfg_.params.nns_service_time_s = 0.5e-3;
+  }
+
+  void build() {
+    sim_ = std::make_unique<sim::Simulator>(3);
+    cloud_ = std::make_unique<Cloud>(*sim_, cfg_);
+  }
+
+  /// Start time of the first flow (set when the sender's record is made).
+  [[nodiscard]] double first_flow_start() const {
+    return cloud_->transports().records().empty()
+               ? -1.0
+               : cloud_->transports().records().front()->start_time;
+  }
+
+  CloudConfig cfg_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<Cloud> cloud_;
+};
+
+TEST_F(ProtocolTimingTest, ExternalWriteFollowsFigure3Sequence) {
+  build();
+  // Steps 1-2: UCL->FES (WAN 50 ms) + FES->NNS (DC 1 ms) + NNS service
+  // (0.5 ms). Steps 3-9: NNS<->RA (2 x 1 ms) + BS->UCL greeting (50 ms).
+  // Expected flow start: 50 + 1 + 0.5 + 2 + 50 = 103.5 ms.
+  cloud_->write(0, 1, util::kilobytes(100));
+  sim_->run_until(1.0);
+  EXPECT_NEAR(first_flow_start(), 0.1035, 1e-9);
+}
+
+TEST_F(ProtocolTimingTest, ExternalReadFollowsFigure5Sequence) {
+  build();
+  cloud_->write(0, 1, util::kilobytes(100));
+  sim_->run_until(5.0);
+  const auto flows_before = cloud_->transports().records().size();
+  const double t0 = sim_->now();
+  cloud_->read(1, 1);
+  sim_->run_until(t0 + 1.0);
+  ASSERT_GT(cloud_->transports().records().size(), flows_before);
+  const auto& rec = *cloud_->transports().records()[flows_before];
+  // Steps 1-2: WAN + DC + NNS service; step 3: NNS->BS (DC).
+  // Expected: 50 + 1 + 0.5 + 1 = 52.5 ms after the read request.
+  EXPECT_NEAR(rec.start_time - t0, 0.0525, 1e-9);
+  // The read flow runs server -> client.
+  EXPECT_EQ(cloud_->topology().net().node(rec.src).role(),
+            net::NodeRole::kServer);
+  EXPECT_EQ(cloud_->topology().net().node(rec.dst).role(),
+            net::NodeRole::kClient);
+}
+
+TEST_F(ProtocolTimingTest, ReplicationStartsOnlyAfterPrimaryWrite) {
+  cfg_.enable_replication = true;
+  build();
+  cloud_->write(0, 1, util::megabytes(1));
+  sim_->run_until(10.0);
+  const auto& recs = cloud_->transports().records();
+  ASSERT_EQ(recs.size(), 2u);  // upload + replication
+  const auto& upload = *recs[0];
+  const auto& repl = *recs[1];
+  EXPECT_TRUE(upload.finished());
+  // Fig. 4: replication begins after the upload completes plus the
+  // NNS/RA/BS control exchanges.
+  EXPECT_GT(repl.start_time, upload.finish_time);
+  // Both endpoints of the replication flow are block servers.
+  EXPECT_EQ(cloud_->topology().net().node(repl.src).role(),
+            net::NodeRole::kServer);
+  EXPECT_EQ(cloud_->topology().net().node(repl.dst).role(),
+            net::NodeRole::kServer);
+}
+
+TEST_F(ProtocolTimingTest, NnsQueueDelaysSecondConcurrentRequest) {
+  cfg_.params.n_name_nodes = 1;
+  cfg_.params.nns_service_time_s = 5e-3;
+  build();
+  cloud_->write(0, 1, util::kilobytes(10));
+  cloud_->write(1, 2, util::kilobytes(10));
+  sim_->run_until(1.0);
+  const auto& recs = cloud_->transports().records();
+  ASSERT_EQ(recs.size(), 2u);
+  // Same arrival instant, one NNS: the second flow starts one service
+  // time after the first.
+  EXPECT_NEAR(recs[1]->start_time - recs[0]->start_time, 5e-3, 1e-9);
+}
+
+TEST_F(ProtocolTimingTest, ControlLatencyConfigurable) {
+  cfg_.params.ctrl_wan_latency_s = 10e-3;
+  cfg_.params.ctrl_dc_latency_s = 0.2e-3;
+  build();
+  cloud_->write(0, 1, util::kilobytes(100));
+  sim_->run_until(1.0);
+  // 10 + 0.2 + 0.5 + 0.4 + 10 = 21.1 ms
+  EXPECT_NEAR(first_flow_start(), 0.0211, 1e-9);
+}
+
+}  // namespace
+}  // namespace scda::core

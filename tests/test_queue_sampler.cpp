@@ -1,0 +1,78 @@
+#include "stats/queue_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cloud.h"
+#include "transport/transport_manager.h"
+#include "util/units.h"
+
+namespace scda::stats {
+namespace {
+
+TEST(QueueSampler, MeasuresStandingQueue) {
+  sim::Simulator sim(1);
+  net::Network net(sim);
+  const auto a = net.add_node(net::NodeRole::kClient, "a");
+  const auto b = net.add_node(net::NodeRole::kServer, "b");
+  auto [ab, ba] = net.add_duplex(a, b, 1e6, 0.001, 1 << 20);
+  (void)ba;
+  net.build_routes();
+
+  QueueSampler sampler(sim, net, {ab}, 0.001);
+  // Dump 100 packets instantly into a 1 Mbps link: a queue must build and
+  // drain over ~1.2 s.
+  for (int i = 0; i < 100; ++i)
+    net.send(net::make_data(1, a, b, i * 1460, 1460, 0.0));
+  sim.run_until(2.0);
+  sampler.stop();
+  EXPECT_GT(sampler.max_queue_bytes(), 50 * 1500.0);
+  EXPECT_GT(sampler.mean_queue_bytes(), 0.0);
+  EXPECT_GT(sampler.link_stats(0).count(), 100u);
+}
+
+TEST(QueueSampler, IdleLinkShowsZero) {
+  sim::Simulator sim(1);
+  net::Network net(sim);
+  const auto a = net.add_node(net::NodeRole::kClient, "a");
+  const auto b = net.add_node(net::NodeRole::kServer, "b");
+  auto [ab, ba] = net.add_duplex(a, b, 1e6, 0.001, 1 << 20);
+  (void)ba;
+  net.build_routes();
+  QueueSampler sampler(sim, net, {ab}, 0.01);
+  sim.run_until(1.0);
+  EXPECT_DOUBLE_EQ(sampler.max_queue_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(sampler.mean_queue_bytes(), 0.0);
+}
+
+TEST(QueueSampler, ScdaKeepsQueuesNearEmptyUnderLoad) {
+  // The paper's eq. 2 drains standing queues: with several concurrent
+  // SCDA flows through one bottleneck the mean queue must stay far below
+  // the drop-tail limit.
+  sim::Simulator sim(3);
+  core::CloudConfig cfg;
+  cfg.topology.n_agg = 2;
+  cfg.topology.tors_per_agg = 2;
+  cfg.topology.servers_per_tor = 4;
+  cfg.topology.n_clients = 8;
+  cfg.topology.base_bps = util::mbps(200);
+  cfg.enable_replication = false;
+  core::Cloud cloud(sim, cfg);
+
+  // Monitor the client-0 uplink (shared bottleneck of 4 uploads).
+  const net::LinkId up = cloud.topology().net().link_between(
+      cloud.topology().clients()[0], cloud.topology().gateway());
+  QueueSampler sampler(sim, cloud.topology().net(), {up}, 0.01);
+
+  for (int i = 0; i < 4; ++i)
+    cloud.write(0, i + 1, util::megabytes(20));
+  sim.run_until(8.0);
+  sampler.stop();
+
+  const double limit =
+      static_cast<double>(cfg.topology.queue_limit_bytes);
+  EXPECT_LT(sampler.mean_queue_bytes(), 0.15 * limit);
+  EXPECT_LT(sampler.max_queue_bytes(), limit);
+}
+
+}  // namespace
+}  // namespace scda::stats

@@ -1,0 +1,114 @@
+// Tests for interactive sessions in the workload driver and the Cloud
+// snapshot API.
+#include <gtest/gtest.h>
+
+#include "core/cloud.h"
+#include "util/units.h"
+#include "workload/driver.h"
+#include "workload/generators.h"
+
+namespace scda {
+namespace {
+
+core::CloudConfig small_cloud() {
+  core::CloudConfig cfg;
+  cfg.topology.n_agg = 2;
+  cfg.topology.tors_per_agg = 2;
+  cfg.topology.servers_per_tor = 2;
+  cfg.topology.n_clients = 4;
+  cfg.topology.base_bps = util::mbps(200);
+  cfg.enable_replication = false;
+  return cfg;
+}
+
+TEST(InteractiveSessions, SessionsIssueAppendsAndReads) {
+  sim::Simulator sim(5);
+  core::Cloud cloud(sim, small_cloud());
+  std::uint64_t appends = 0, reads = 0;
+  cloud.add_completion_callback(
+      [&](const transport::FlowRecord&, const core::CloudOp& op) {
+        if (op.kind == core::CloudOp::Kind::kAppend) ++appends;
+        if (op.kind == core::CloudOp::Kind::kRead) ++reads;
+      });
+
+  workload::DriverConfig dc;
+  dc.end_time_s = 10.0;
+  dc.read_fraction = 0.0;
+  dc.interactive_fraction = 1.0;  // every write starts a session
+  dc.session_ops = 4;
+  dc.session_gap_s = 1.0;
+  workload::ParetoPoissonConfig pc;
+  pc.arrival_rate = 1.0;
+  pc.cap_bytes = 500 * 1000;
+  workload::WorkloadDriver driver(
+      cloud, std::make_unique<workload::ParetoPoissonWorkload>(pc), dc);
+  driver.start();
+  sim.run_until(60.0);
+
+  EXPECT_GT(driver.sessions_started(), 0u);
+  EXPECT_EQ(driver.session_ops_issued(),
+            driver.sessions_started() * 4u);
+  EXPECT_GT(appends, 0u);
+  EXPECT_GT(reads, 0u);
+  // Sessions alternate evenly: half appends, half reads.
+  EXPECT_EQ(appends, reads);
+}
+
+TEST(InteractiveSessions, SessionContentLearnsInteractiveClass) {
+  sim::Simulator sim(7);
+  core::Cloud cloud(sim, small_cloud());
+  workload::DriverConfig dc;
+  dc.end_time_s = 3.0;
+  dc.read_fraction = 0.0;
+  dc.interactive_fraction = 1.0;
+  dc.session_ops = 8;
+  dc.session_gap_s = 2.0;
+  workload::ParetoPoissonConfig pc;
+  pc.arrival_rate = 0.5;
+  pc.cap_bytes = 200 * 1000;
+  workload::WorkloadDriver driver(
+      cloud, std::make_unique<workload::ParetoPoissonWorkload>(pc), dc);
+  driver.start();
+  sim.run_until(40.0);
+  ASSERT_GT(driver.sessions_started(), 0u);
+  // Content 1 was session-driven: the classifier must see HWHR.
+  EXPECT_EQ(cloud.classifier().classify(1, sim.now()),
+            transport::ContentClass::kInteractive);
+}
+
+TEST(Snapshot, ReflectsCloudState) {
+  sim::Simulator sim(11);
+  core::Cloud cloud(sim, small_cloud());
+  cloud.write(0, 1, util::megabytes(1));
+  cloud.write(1, 2, util::megabytes(1));
+  sim.run_until(20.0);
+  cloud.read(2, 1);
+  sim.run_until(40.0);
+  cloud.fail_server(0, false);
+
+  const core::CloudSnapshot s = cloud.snapshot();
+  EXPECT_DOUBLE_EQ(s.time_s, 40.0);
+  EXPECT_EQ(s.contents_stored, 2u);
+  EXPECT_EQ(s.flows_completed, 3u);  // 2 writes + 1 read (no replication)
+  EXPECT_EQ(s.failed_servers, 1u);
+  EXPECT_EQ(s.failed_reads, 0u);
+  EXPECT_GT(s.total_energy_j, 0.0);
+  EXPECT_GT(s.control_messages, 0u);
+  EXPECT_GE(s.mean_nns_delay_s, 0.0);
+}
+
+TEST(Snapshot, PrintProducesOutput) {
+  sim::Simulator sim(13);
+  core::Cloud cloud(sim, small_cloud());
+  sim.run_until(1.0);
+  char buf[2048];
+  std::FILE* f = fmemopen(buf, sizeof buf, "w");
+  cloud.snapshot().print(f);
+  std::fclose(f);
+  const std::string out(buf);
+  EXPECT_NE(out.find("cloud @ t=1.00s"), std::string::npos);
+  EXPECT_NE(out.find("sla_violations="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scda

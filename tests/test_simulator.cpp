@@ -1,0 +1,157 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace scda::sim {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulator, ScheduleInAdvancesClock) {
+  Simulator sim;
+  double seen = -1;
+  sim.schedule_in(1.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 1.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.5);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  double seen = -1;
+  sim.schedule_at(3.0, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 3.0);
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_in(-0.1, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, PastAbsoluteTimeThrows) {
+  Simulator sim;
+  sim.schedule_in(1.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(0.5, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule_at(1.0, [&] { ++ran; });
+  sim.schedule_at(2.0, [&] { ++ran; });
+  sim.schedule_at(3.0, [&] { ++ran; });
+  const auto n = sim.run_until(2.0);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.run_until(5.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  std::vector<double> times;
+  std::function<void()> chain = [&] {
+    times.push_back(sim.now());
+    if (times.size() < 5) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_in(1.0, chain);
+  sim.run();
+  ASSERT_EQ(times.size(), 5u);
+  for (size_t i = 0; i < 5; ++i)
+    EXPECT_DOUBLE_EQ(times[i], static_cast<double>(i + 1));
+}
+
+TEST(Simulator, CancelStopsScheduledEvent) {
+  Simulator sim;
+  bool ran = false;
+  auto h = sim.schedule_in(1.0, [&] { ran = true; });
+  sim.cancel(h);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, RunReturnsEventCount) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_in(0.1 * (i + 1), [] {});
+  EXPECT_EQ(sim.run(), 7u);
+}
+
+TEST(PeriodicProcess, FiresAtPeriod) {
+  Simulator sim;
+  std::vector<double> ticks;
+  PeriodicProcess p(sim, 0.5, [&] { ticks.push_back(sim.now()); });
+  p.start(0.5);
+  sim.run_until(2.1);
+  ASSERT_EQ(ticks.size(), 4u);
+  EXPECT_DOUBLE_EQ(ticks[0], 0.5);
+  EXPECT_DOUBLE_EQ(ticks[3], 2.0);
+}
+
+TEST(PeriodicProcess, StartWithCustomFirstDelay) {
+  Simulator sim;
+  std::vector<double> ticks;
+  PeriodicProcess p(sim, 1.0, [&] { ticks.push_back(sim.now()); });
+  p.start(0.25);
+  sim.run_until(2.5);
+  ASSERT_GE(ticks.size(), 2u);
+  EXPECT_DOUBLE_EQ(ticks[0], 0.25);
+  EXPECT_DOUBLE_EQ(ticks[1], 1.25);
+}
+
+TEST(PeriodicProcess, StopHaltsTicks) {
+  Simulator sim;
+  int n = 0;
+  PeriodicProcess p(sim, 0.5, [&] { ++n; });
+  p.start(0.5);
+  sim.schedule_at(1.1, [&] { p.stop(); });
+  sim.run_until(5.0);
+  EXPECT_EQ(n, 2);
+  EXPECT_FALSE(p.running());
+}
+
+TEST(PeriodicProcess, CanStopItselfFromTick) {
+  Simulator sim;
+  int n = 0;
+  PeriodicProcess p(sim, 0.5, [&] {
+    if (++n == 3) p.stop();
+  });
+  p.start(0.5);
+  sim.run_until(10.0);
+  EXPECT_EQ(n, 3);
+}
+
+TEST(PeriodicProcess, InvalidPeriodThrows) {
+  Simulator sim;
+  EXPECT_THROW(PeriodicProcess(sim, 0.0, [] {}), std::invalid_argument);
+  PeriodicProcess p(sim, 1.0, [] {});
+  EXPECT_THROW(p.set_period(-1.0), std::invalid_argument);
+}
+
+TEST(PeriodicProcess, RestartResetsSchedule) {
+  Simulator sim;
+  std::vector<double> ticks;
+  PeriodicProcess p(sim, 1.0, [&] { ticks.push_back(sim.now()); });
+  p.start(1.0);
+  sim.run_until(1.5);
+  p.start(1.0);  // restart at t=1.5 -> next tick 2.5
+  sim.run_until(3.0);
+  ASSERT_EQ(ticks.size(), 2u);
+  EXPECT_DOUBLE_EQ(ticks[1], 2.5);
+}
+
+}  // namespace
+}  // namespace scda::sim

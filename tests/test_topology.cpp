@@ -1,0 +1,119 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace scda::net {
+namespace {
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  TopologyTest() {
+    cfg_.n_agg = 2;
+    cfg_.tors_per_agg = 3;
+    cfg_.servers_per_tor = 4;
+    cfg_.n_clients = 5;
+    cfg_.base_bps = util::mbps(500);
+    cfg_.k_factor = 3.0;
+  }
+  sim::Simulator sim_;
+  TopologyConfig cfg_;
+};
+
+TEST_F(TopologyTest, ShapeCounts) {
+  ThreeTierTree t(sim_, cfg_);
+  EXPECT_EQ(t.aggs().size(), 2u);
+  EXPECT_EQ(t.tors().size(), 6u);
+  EXPECT_EQ(t.servers().size(), 24u);
+  EXPECT_EQ(t.clients().size(), 5u);
+  EXPECT_EQ(cfg_.n_servers(), 24);
+  EXPECT_EQ(cfg_.n_tors(), 6);
+  // nodes: gw + core + 2 agg + 6 tor + 24 srv + 5 clients = 39
+  EXPECT_EQ(t.net().node_count(), 39u);
+  // duplex links: core-gw + 2 agg + 6 tor + 24 srv + 5 clients = 38 -> 76
+  EXPECT_EQ(t.net().link_count(), 76u);
+}
+
+TEST_F(TopologyTest, CapacitiesFollowFigure6) {
+  ThreeTierTree t(sim_, cfg_);
+  const double x = cfg_.base_bps;
+  EXPECT_DOUBLE_EQ(t.net().link(t.server_uplink(0)).capacity_bps(), x);
+  EXPECT_DOUBLE_EQ(t.net().link(t.tor_uplink(0)).capacity_bps(), x);
+  EXPECT_DOUBLE_EQ(t.net().link(t.agg_uplink(0)).capacity_bps(), 3.0 * x);
+  EXPECT_DOUBLE_EQ(t.net().link(t.core_uplink()).capacity_bps(), 6.0 * x);
+}
+
+TEST_F(TopologyTest, LevelLinksHaveCorrectEndpoints) {
+  ThreeTierTree t(sim_, cfg_);
+  // server 5 is under ToR 1 (4 servers per ToR)
+  EXPECT_EQ(t.net().link(t.server_uplink(5)).from(), t.servers()[5]);
+  EXPECT_EQ(t.net().link(t.server_uplink(5)).to(), t.tors()[1]);
+  EXPECT_EQ(t.net().link(t.server_downlink(5)).from(), t.tors()[1]);
+  EXPECT_EQ(t.net().link(t.server_downlink(5)).to(), t.servers()[5]);
+  // ToR 4 is under agg 1 (3 ToRs per agg)
+  EXPECT_EQ(t.net().link(t.tor_uplink(4)).from(), t.tors()[4]);
+  EXPECT_EQ(t.net().link(t.tor_uplink(4)).to(), t.aggs()[1]);
+  EXPECT_EQ(t.net().link(t.agg_uplink(1)).to(), t.core());
+  EXPECT_EQ(t.net().link(t.core_uplink()).to(), t.gateway());
+}
+
+TEST_F(TopologyTest, ParentMapping) {
+  ThreeTierTree t(sim_, cfg_);
+  EXPECT_EQ(t.tor_of_server(0), 0u);
+  EXPECT_EQ(t.tor_of_server(4), 1u);
+  EXPECT_EQ(t.tor_of_server(23), 5u);
+  EXPECT_EQ(t.agg_of_tor(0), 0u);
+  EXPECT_EQ(t.agg_of_tor(3), 1u);
+}
+
+TEST_F(TopologyTest, ClientLinksUseWanDelay) {
+  ThreeTierTree t(sim_, cfg_);
+  const LinkId l = t.net().link_between(t.clients()[0], t.gateway());
+  ASSERT_NE(l, kInvalidLink);
+  EXPECT_DOUBLE_EQ(t.net().link(l).prop_delay_s(), cfg_.wan_delay_s);
+  EXPECT_DOUBLE_EQ(t.net().link(t.server_uplink(0)).prop_delay_s(),
+                   cfg_.dc_delay_s);
+}
+
+TEST_F(TopologyTest, ClientToServerPathTraversesAllTiers) {
+  ThreeTierTree t(sim_, cfg_);
+  const auto path = t.net().path(t.clients()[0], t.servers()[0]);
+  // client->gw->core->agg->tor->server = 5 links
+  ASSERT_EQ(path.size(), 5u);
+  EXPECT_EQ(t.net().link(path[1]).from(), t.gateway());
+  EXPECT_EQ(t.net().link(path[4]).to(), t.servers()[0]);
+}
+
+TEST_F(TopologyTest, IntraRackPathStaysLocal) {
+  ThreeTierTree t(sim_, cfg_);
+  const auto path = t.net().path(t.servers()[0], t.servers()[1]);
+  EXPECT_EQ(path.size(), 2u);  // server->tor->server
+}
+
+TEST_F(TopologyTest, CrossRackPathGoesThroughAgg) {
+  ThreeTierTree t(sim_, cfg_);
+  // servers 0 and 4 are in different racks under the same agg
+  const auto path = t.net().path(t.servers()[0], t.servers()[4]);
+  EXPECT_EQ(path.size(), 4u);  // srv->tor->agg->tor->srv
+}
+
+TEST_F(TopologyTest, CrossAggPathGoesThroughCore) {
+  ThreeTierTree t(sim_, cfg_);
+  // server 0 under agg 0; server 23 under agg 1
+  const auto path = t.net().path(t.servers()[0], t.servers()[23]);
+  EXPECT_EQ(path.size(), 6u);  // srv->tor->agg->core->agg->tor->srv
+}
+
+TEST_F(TopologyTest, DefaultConfigMatchesPaperScale) {
+  TopologyConfig def;
+  EXPECT_EQ(def.n_servers(), 160);  // ~163 leaves in paper figure 6
+  EXPECT_DOUBLE_EQ(def.base_bps, 500e6);
+  EXPECT_DOUBLE_EQ(def.core_gw_mult, 6.0);
+  EXPECT_DOUBLE_EQ(def.wan_delay_s, 50e-3);
+  EXPECT_DOUBLE_EQ(def.dc_delay_s, 10e-3);
+}
+
+}  // namespace
+}  // namespace scda::net

@@ -1,0 +1,122 @@
+// Unit tests for the public water-filling reference allocator, plus
+// allocator-vs-reference comparisons for reservation scenarios.
+#include "core/water_filling.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rate_allocator.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace scda::core {
+namespace {
+
+TEST(WaterFill, SingleLinkEqualSplit) {
+  std::vector<ReferenceFlow> flows(4);
+  for (auto& f : flows) f.path = {0};
+  water_fill(flows, {{0, 100.0}});
+  for (const auto& f : flows) EXPECT_DOUBLE_EQ(f.rate_bps, 25.0);
+}
+
+TEST(WaterFill, WeightedSplit) {
+  std::vector<ReferenceFlow> flows(2);
+  flows[0].path = {0};
+  flows[0].weight = 3.0;
+  flows[1].path = {0};
+  water_fill(flows, {{0, 100.0}});
+  EXPECT_DOUBLE_EQ(flows[0].rate_bps, 75.0);
+  EXPECT_DOUBLE_EQ(flows[1].rate_bps, 25.0);
+}
+
+TEST(WaterFill, ParkingLot) {
+  // Long flow over links 0 and 1; one short flow on each.
+  std::vector<ReferenceFlow> flows(3);
+  flows[0].path = {0, 1};
+  flows[1].path = {0};
+  flows[2].path = {1};
+  water_fill(flows, {{0, 100.0}, {1, 60.0}});
+  // Link 1 is tighter: level 30 freezes flows 0 and 2; flow 1 then gets
+  // the rest of link 0.
+  EXPECT_DOUBLE_EQ(flows[0].rate_bps, 30.0);
+  EXPECT_DOUBLE_EQ(flows[2].rate_bps, 30.0);
+  EXPECT_DOUBLE_EQ(flows[1].rate_bps, 70.0);
+}
+
+TEST(WaterFill, ReservationGrantedOffTheTop) {
+  std::vector<ReferenceFlow> flows(2);
+  flows[0].path = {0};
+  flows[0].reserved_bps = 60.0;
+  flows[1].path = {0};
+  water_fill(flows, {{0, 100.0}});
+  // 40 shareable, split equally: 20 each; reserved flow adds its 60.
+  EXPECT_DOUBLE_EQ(flows[0].rate_bps, 80.0);
+  EXPECT_DOUBLE_EQ(flows[1].rate_bps, 20.0);
+}
+
+TEST(WaterFill, OversubscribedReservationsFloorShares) {
+  std::vector<ReferenceFlow> flows(2);
+  flows[0].path = {0};
+  flows[0].reserved_bps = 80.0;
+  flows[1].path = {0};
+  flows[1].reserved_bps = 50.0;
+  water_fill(flows, {{0, 100.0}});
+  // Residual is negative: the shared level is 0; each keeps only M_j.
+  EXPECT_DOUBLE_EQ(flows[0].rate_bps, 80.0);
+  EXPECT_DOUBLE_EQ(flows[1].rate_bps, 50.0);
+}
+
+TEST(WaterFill, MissingCapacityThrows) {
+  std::vector<ReferenceFlow> flows(1);
+  flows[0].path = {7};
+  std::map<net::LinkId, double> caps{{0, 10.0}};
+  EXPECT_THROW(water_fill(flows, caps), std::invalid_argument);
+}
+
+TEST(WaterFill, EmptyPathUnconstrained) {
+  std::vector<ReferenceFlow> flows(1);
+  flows[0].reserved_bps = 5.0;
+  water_fill(flows, {});
+  EXPECT_DOUBLE_EQ(flows[0].rate_bps, 5.0);
+}
+
+// --- allocator vs reference with reservations ------------------------------
+
+TEST(WaterFillVsAllocator, ReservationScenarioMatches) {
+  sim::Simulator sim(1);
+  net::Network net(sim);
+  const auto a = net.add_node(net::NodeRole::kClient, "a");
+  const auto m = net.add_node(net::NodeRole::kOther, "m");
+  const auto b = net.add_node(net::NodeRole::kServer, "b");
+  net.add_duplex(a, m, 100e6, 0.001, 1 << 20);
+  net.add_duplex(m, b, 60e6, 0.001, 1 << 20);
+  net.build_routes();
+
+  ScdaParams params;
+  params.alpha = 1.0;
+  params.min_rate_bps = 1.0;
+  RateAllocator alloc(net, params);
+  alloc.register_flow(0, a, b, 1.0, /*reserved=*/30e6);
+  alloc.register_flow(1, a, b, 2.0);
+  alloc.register_flow(2, a, m, 1.0);
+  for (int i = 0; i < 400; ++i) alloc.tick();
+
+  std::vector<ReferenceFlow> ref(3);
+  ref[0].path = net.path(a, b);
+  ref[0].reserved_bps = 30e6;
+  ref[1].path = net.path(a, b);
+  ref[1].weight = 2.0;
+  ref[2].path = net.path(a, m);
+  std::map<net::LinkId, double> caps;
+  for (const auto& f : ref)
+    for (const auto l : f.path) caps[l] = net.link(l).capacity_bps();
+  water_fill(ref, caps);
+
+  for (net::FlowId f = 0; f < 3; ++f) {
+    EXPECT_NEAR(alloc.flow_rate(f) / ref[static_cast<std::size_t>(f)].rate_bps,
+                1.0, 0.03)
+        << "flow " << f;
+  }
+}
+
+}  // namespace
+}  // namespace scda::core

@@ -1,0 +1,199 @@
+// scda_sim — command-line experiment runner.
+//
+// Runs a workload against an SCDA or RandTCP cloud and writes the result
+// series to CSV files (FCT CDF, AFCT-vs-size, throughput timeseries) plus
+// a summary to stdout. This is the tool a user points at their own traces.
+//
+// Examples:
+//   scda_sim --policy scda --workload video --duration 100 --out run1
+//   scda_sim --policy randtcp --workload dc --k 1 --seed 7 --out base
+//   scda_sim --workload trace --trace mytrace.csv --out replay
+//   scda_sim --record-trace video_sample.csv --workload video --samples 1000
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "core/cloud.h"
+#include "stats/collector.h"
+#include "stats/throughput.h"
+#include "util/args.h"
+#include "util/units.h"
+#include "workload/driver.h"
+#include "workload/generators.h"
+#include "workload/trace.h"
+
+using namespace scda;
+
+namespace {
+
+void usage() {
+  std::puts(
+      "scda_sim — SCDA cloud datacenter simulator\n"
+      "\n"
+      "  --policy scda|randtcp     placement + transport (default scda)\n"
+      "  --workload video|video-noctrl|dc|pareto|trace   (default pareto)\n"
+      "  --trace FILE              trace file for --workload trace\n"
+      "  --duration SECONDS        arrival window (default 60)\n"
+      "  --drain SECONDS           extra drain time (default 20)\n"
+      "  --arrival-rate PER_SEC    workload arrival rate override\n"
+      "  --read-fraction F         fraction of ops that are reads (0.3)\n"
+      "  --base-mbps X             link base bandwidth X (default 500)\n"
+      "  --k FACTOR                agg<->core bandwidth factor (default 3)\n"
+      "  --agg N --tors N --servers N --clients N    topology shape\n"
+      "  --tau SECONDS             control interval (default 0.05)\n"
+      "  --metric exact|simplified rate metric (default exact)\n"
+      "  --rscale-mbps R           dormant-server threshold (default off)\n"
+      "  --replicate 0|1           replicate written content (default 1)\n"
+      "  --seed N                  RNG seed\n"
+      "  --out PREFIX              write PREFIX_{cdf,afct,thpt}.csv\n"
+      "  --record-trace FILE       sample the workload into FILE and exit\n"
+      "  --samples N               records for --record-trace (default 1000)\n");
+}
+
+std::unique_ptr<workload::Generator> make_generator(
+    const std::string& name, const util::ArgParser& args) {
+  if (name == "video" || name == "video-noctrl") {
+    workload::VideoWorkloadConfig w;
+    w.include_control_flows = name == "video";
+    w.video_arrival_rate = args.get_double("arrival-rate", 2.0);
+    return std::make_unique<workload::VideoWorkload>(w);
+  }
+  if (name == "dc") {
+    workload::DatacenterWorkloadConfig w;
+    w.arrival_rate = args.get_double("arrival-rate", 60.0);
+    return std::make_unique<workload::DatacenterWorkload>(w);
+  }
+  if (name == "pareto") {
+    workload::ParetoPoissonConfig w;
+    w.arrival_rate = args.get_double("arrival-rate", 50.0);
+    return std::make_unique<workload::ParetoPoissonWorkload>(w);
+  }
+  if (name == "trace") {
+    const std::string path = args.get("trace");
+    if (path.empty())
+      throw std::invalid_argument("--workload trace requires --trace FILE");
+    return workload::TraceWorkload::from_file(path);
+  }
+  throw std::invalid_argument("unknown workload: " + name);
+}
+
+void write_csv(const std::string& path, const std::string& header,
+               const std::function<void(std::ofstream&)>& body) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << header << "\n";
+  body(out);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  if (args.has("help")) {
+    usage();
+    return 0;
+  }
+
+  try {
+    const std::string wl_name = args.get("workload", "pareto");
+
+    if (args.has("record-trace")) {
+      sim::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+      auto gen = make_generator(wl_name, args);
+      const auto n = static_cast<std::size_t>(args.get_int("samples", 1000));
+      workload::write_trace(args.get("record-trace"),
+                            workload::sample_generator(*gen, rng, n));
+      std::printf("recorded %zu %s requests to %s\n", n, wl_name.c_str(),
+                  args.get("record-trace").c_str());
+      return 0;
+    }
+
+    const std::string policy = args.get("policy", "scda");
+    if (policy != "scda" && policy != "randtcp")
+      throw std::invalid_argument("unknown policy: " + policy);
+
+    sim::Simulator sim(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+
+    core::CloudConfig cfg;
+    cfg.topology.base_bps = util::mbps(args.get_double("base-mbps", 500));
+    cfg.topology.k_factor = args.get_double("k", 3.0);
+    cfg.topology.n_agg = static_cast<std::int32_t>(args.get_int("agg", 4));
+    cfg.topology.tors_per_agg =
+        static_cast<std::int32_t>(args.get_int("tors", 5));
+    cfg.topology.servers_per_tor =
+        static_cast<std::int32_t>(args.get_int("servers", 8));
+    cfg.topology.n_clients =
+        static_cast<std::int32_t>(args.get_int("clients", 64));
+    cfg.params.tau = args.get_double("tau", 0.05);
+    cfg.params.rscale_bps =
+        util::mbps(args.get_double("rscale-mbps", 0.0));
+    const std::string metric = args.get("metric", "exact");
+    if (metric == "simplified") {
+      cfg.params.metric = core::RateMetricKind::kSimplified;
+    } else if (metric != "exact") {
+      throw std::invalid_argument("unknown metric: " + metric);
+    }
+    cfg.enable_replication = args.get_bool("replicate", true);
+    if (policy == "randtcp") {
+      cfg.placement = core::PlacementPolicy::kRandom;
+      cfg.transport = transport::TransportKind::kTcp;
+    }
+
+    core::Cloud cloud(sim, cfg);
+    stats::FlowStatsCollector collector(cloud);
+    stats::ThroughputSampler thpt(sim, cloud.transports(), 1.0);
+
+    workload::DriverConfig dc;
+    dc.end_time_s = args.get_double("duration", 60.0);
+    dc.read_fraction = args.get_double("read-fraction", 0.3);
+    workload::WorkloadDriver driver(cloud, make_generator(wl_name, args),
+                                    dc);
+    driver.start();
+
+    const double horizon = dc.end_time_s + args.get_double("drain", 20.0);
+    const auto events = sim.run_until(horizon);
+    thpt.stop();
+
+    const stats::Summary s = collector.summary();
+    std::printf("policy=%s workload=%s duration=%.0fs seed=%lld\n",
+                policy.c_str(), wl_name.c_str(), dc.end_time_s,
+                static_cast<long long>(args.get_int("seed", 1)));
+    std::printf(
+        "flows=%llu mean_fct=%.3fs median=%.3fs p95=%.3fs goodput=%.1fMbps\n",
+        static_cast<unsigned long long>(s.flows), s.mean_fct_s,
+        s.median_fct_s, s.p95_fct_s, s.goodput_bps / 1e6);
+    std::printf("sla_violations=%llu failed_reads=%llu energy=%.1fkJ "
+                "events=%llu\n",
+                static_cast<unsigned long long>(
+                    cloud.allocator().sla_violations()),
+                static_cast<unsigned long long>(cloud.failed_reads()),
+                cloud.total_energy_j() / 1e3,
+                static_cast<unsigned long long>(events));
+
+    const std::string out = args.get("out");
+    if (!out.empty()) {
+      write_csv(out + "_cdf.csv", "fct_s,cdf", [&](std::ofstream& f) {
+        for (const auto& p : collector.fct_cdf())
+          f << p.x << ',' << p.p << '\n';
+      });
+      write_csv(out + "_afct.csv", "size_bytes,afct_s,flows",
+                [&](std::ofstream& f) {
+                  for (const auto& b : collector.afct_by_size(1e6, 100e6))
+                    f << b.size_mid << ',' << b.afct_s << ',' << b.count
+                      << '\n';
+                });
+      write_csv(out + "_thpt.csv", "time_s,kbytes_per_s",
+                [&](std::ofstream& f) {
+                  for (const auto& t : thpt.series())
+                    f << t.time_s << ',' << t.kbytes_per_s << '\n';
+                });
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scda_sim: %s\n", e.what());
+    std::fprintf(stderr, "run with --help for usage\n");
+    return 1;
+  }
+  return 0;
+}

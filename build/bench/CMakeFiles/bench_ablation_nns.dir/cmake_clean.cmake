@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nns.dir/bench_ablation_nns.cpp.o"
+  "CMakeFiles/bench_ablation_nns.dir/bench_ablation_nns.cpp.o.d"
+  "bench_ablation_nns"
+  "bench_ablation_nns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

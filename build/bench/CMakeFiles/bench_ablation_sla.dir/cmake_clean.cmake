@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sla.dir/bench_ablation_sla.cpp.o"
+  "CMakeFiles/bench_ablation_sla.dir/bench_ablation_sla.cpp.o.d"
+  "bench_ablation_sla"
+  "bench_ablation_sla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

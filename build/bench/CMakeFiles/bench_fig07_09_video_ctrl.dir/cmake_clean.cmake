@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_09_video_ctrl.dir/bench_fig07_09_video_ctrl.cpp.o"
+  "CMakeFiles/bench_fig07_09_video_ctrl.dir/bench_fig07_09_video_ctrl.cpp.o.d"
+  "bench_fig07_09_video_ctrl"
+  "bench_fig07_09_video_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_09_video_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig07_09_video_ctrl.
+# This may be replaced when dependencies are built.

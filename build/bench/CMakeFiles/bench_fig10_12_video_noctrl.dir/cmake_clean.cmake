@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_12_video_noctrl.dir/bench_fig10_12_video_noctrl.cpp.o"
+  "CMakeFiles/bench_fig10_12_video_noctrl.dir/bench_fig10_12_video_noctrl.cpp.o.d"
+  "bench_fig10_12_video_noctrl"
+  "bench_fig10_12_video_noctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_12_video_noctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

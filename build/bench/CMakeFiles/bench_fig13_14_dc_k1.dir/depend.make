@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13_14_dc_k1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_18_pareto_poisson.dir/bench_fig17_18_pareto_poisson.cpp.o"
+  "CMakeFiles/bench_fig17_18_pareto_poisson.dir/bench_fig17_18_pareto_poisson.cpp.o.d"
+  "bench_fig17_18_pareto_poisson"
+  "bench_fig17_18_pareto_poisson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_18_pareto_poisson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

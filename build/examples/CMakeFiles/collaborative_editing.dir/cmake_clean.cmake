@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaborative_editing.dir/collaborative_editing.cpp.o"
+  "CMakeFiles/collaborative_editing.dir/collaborative_editing.cpp.o.d"
+  "collaborative_editing"
+  "collaborative_editing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaborative_editing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

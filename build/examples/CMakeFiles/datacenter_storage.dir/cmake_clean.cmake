@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_storage.dir/datacenter_storage.cpp.o"
+  "CMakeFiles/datacenter_storage.dir/datacenter_storage.cpp.o.d"
+  "datacenter_storage"
+  "datacenter_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

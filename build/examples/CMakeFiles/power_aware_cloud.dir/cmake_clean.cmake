@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_aware_cloud.dir/power_aware_cloud.cpp.o"
+  "CMakeFiles/power_aware_cloud.dir/power_aware_cloud.cpp.o.d"
+  "power_aware_cloud"
+  "power_aware_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_aware_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

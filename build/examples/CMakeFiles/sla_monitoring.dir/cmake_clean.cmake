@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sla_monitoring.dir/sla_monitoring.cpp.o"
+  "CMakeFiles/sla_monitoring.dir/sla_monitoring.cpp.o.d"
+  "sla_monitoring"
+  "sla_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sla_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

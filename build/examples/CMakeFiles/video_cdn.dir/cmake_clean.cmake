@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_cdn.dir/video_cdn.cpp.o"
+  "CMakeFiles/video_cdn.dir/video_cdn.cpp.o.d"
+  "video_cdn"
+  "video_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

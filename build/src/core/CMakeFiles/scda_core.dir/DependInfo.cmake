@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cloud.cpp" "src/core/CMakeFiles/scda_core.dir/cloud.cpp.o" "gcc" "src/core/CMakeFiles/scda_core.dir/cloud.cpp.o.d"
+  "/root/repo/src/core/hierarchy.cpp" "src/core/CMakeFiles/scda_core.dir/hierarchy.cpp.o" "gcc" "src/core/CMakeFiles/scda_core.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/core/path_selector.cpp" "src/core/CMakeFiles/scda_core.dir/path_selector.cpp.o" "gcc" "src/core/CMakeFiles/scda_core.dir/path_selector.cpp.o.d"
+  "/root/repo/src/core/rate_allocator.cpp" "src/core/CMakeFiles/scda_core.dir/rate_allocator.cpp.o" "gcc" "src/core/CMakeFiles/scda_core.dir/rate_allocator.cpp.o.d"
+  "/root/repo/src/core/selection.cpp" "src/core/CMakeFiles/scda_core.dir/selection.cpp.o" "gcc" "src/core/CMakeFiles/scda_core.dir/selection.cpp.o.d"
+  "/root/repo/src/core/sla.cpp" "src/core/CMakeFiles/scda_core.dir/sla.cpp.o" "gcc" "src/core/CMakeFiles/scda_core.dir/sla.cpp.o.d"
+  "/root/repo/src/core/water_filling.cpp" "src/core/CMakeFiles/scda_core.dir/water_filling.cpp.o" "gcc" "src/core/CMakeFiles/scda_core.dir/water_filling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/scda_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/scda_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

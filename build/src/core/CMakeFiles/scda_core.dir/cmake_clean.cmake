@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scda_core.dir/cloud.cpp.o"
+  "CMakeFiles/scda_core.dir/cloud.cpp.o.d"
+  "CMakeFiles/scda_core.dir/hierarchy.cpp.o"
+  "CMakeFiles/scda_core.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/scda_core.dir/path_selector.cpp.o"
+  "CMakeFiles/scda_core.dir/path_selector.cpp.o.d"
+  "CMakeFiles/scda_core.dir/rate_allocator.cpp.o"
+  "CMakeFiles/scda_core.dir/rate_allocator.cpp.o.d"
+  "CMakeFiles/scda_core.dir/selection.cpp.o"
+  "CMakeFiles/scda_core.dir/selection.cpp.o.d"
+  "CMakeFiles/scda_core.dir/sla.cpp.o"
+  "CMakeFiles/scda_core.dir/sla.cpp.o.d"
+  "CMakeFiles/scda_core.dir/water_filling.cpp.o"
+  "CMakeFiles/scda_core.dir/water_filling.cpp.o.d"
+  "libscda_core.a"
+  "libscda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scda_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scda_net.dir/fat_tree.cpp.o"
+  "CMakeFiles/scda_net.dir/fat_tree.cpp.o.d"
+  "CMakeFiles/scda_net.dir/general_topology.cpp.o"
+  "CMakeFiles/scda_net.dir/general_topology.cpp.o.d"
+  "CMakeFiles/scda_net.dir/link.cpp.o"
+  "CMakeFiles/scda_net.dir/link.cpp.o.d"
+  "CMakeFiles/scda_net.dir/network.cpp.o"
+  "CMakeFiles/scda_net.dir/network.cpp.o.d"
+  "CMakeFiles/scda_net.dir/topology.cpp.o"
+  "CMakeFiles/scda_net.dir/topology.cpp.o.d"
+  "libscda_net.a"
+  "libscda_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scda_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scda_stats.dir/collector.cpp.o"
+  "CMakeFiles/scda_stats.dir/collector.cpp.o.d"
+  "libscda_stats.a"
+  "libscda_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scda_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

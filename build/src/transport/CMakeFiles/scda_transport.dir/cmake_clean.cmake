@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scda_transport.dir/receiver.cpp.o"
+  "CMakeFiles/scda_transport.dir/receiver.cpp.o.d"
+  "CMakeFiles/scda_transport.dir/sender.cpp.o"
+  "CMakeFiles/scda_transport.dir/sender.cpp.o.d"
+  "CMakeFiles/scda_transport.dir/transport_manager.cpp.o"
+  "CMakeFiles/scda_transport.dir/transport_manager.cpp.o.d"
+  "libscda_transport.a"
+  "libscda_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scda_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

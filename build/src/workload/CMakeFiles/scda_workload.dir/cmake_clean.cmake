@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scda_workload.dir/driver.cpp.o"
+  "CMakeFiles/scda_workload.dir/driver.cpp.o.d"
+  "CMakeFiles/scda_workload.dir/generators.cpp.o"
+  "CMakeFiles/scda_workload.dir/generators.cpp.o.d"
+  "CMakeFiles/scda_workload.dir/trace.cpp.o"
+  "CMakeFiles/scda_workload.dir/trace.cpp.o.d"
+  "libscda_workload.a"
+  "libscda_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scda_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloud_matrix.dir/test_cloud_matrix.cpp.o"
+  "CMakeFiles/test_cloud_matrix.dir/test_cloud_matrix.cpp.o.d"
+  "test_cloud_matrix"
+  "test_cloud_matrix.pdb"
+  "test_cloud_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloud_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

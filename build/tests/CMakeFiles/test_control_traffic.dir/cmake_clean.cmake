@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control_traffic.dir/test_control_traffic.cpp.o"
+  "CMakeFiles/test_control_traffic.dir/test_control_traffic.cpp.o.d"
+  "test_control_traffic"
+  "test_control_traffic.pdb"
+  "test_control_traffic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

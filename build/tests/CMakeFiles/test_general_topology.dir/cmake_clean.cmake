@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_general_topology.dir/test_general_topology.cpp.o"
+  "CMakeFiles/test_general_topology.dir/test_general_topology.cpp.o.d"
+  "test_general_topology"
+  "test_general_topology.pdb"
+  "test_general_topology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_general_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maxmin_oracle.dir/test_maxmin_oracle.cpp.o"
+  "CMakeFiles/test_maxmin_oracle.dir/test_maxmin_oracle.cpp.o.d"
+  "test_maxmin_oracle"
+  "test_maxmin_oracle.pdb"
+  "test_maxmin_oracle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maxmin_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

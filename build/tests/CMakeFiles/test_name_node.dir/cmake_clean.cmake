@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_name_node.dir/test_name_node.cpp.o"
+  "CMakeFiles/test_name_node.dir/test_name_node.cpp.o.d"
+  "test_name_node"
+  "test_name_node.pdb"
+  "test_name_node[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_name_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_timing.dir/test_protocol_timing.cpp.o"
+  "CMakeFiles/test_protocol_timing.dir/test_protocol_timing.cpp.o.d"
+  "test_protocol_timing"
+  "test_protocol_timing.pdb"
+  "test_protocol_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

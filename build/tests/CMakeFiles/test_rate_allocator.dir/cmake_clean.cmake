@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rate_allocator.dir/test_rate_allocator.cpp.o"
+  "CMakeFiles/test_rate_allocator.dir/test_rate_allocator.cpp.o.d"
+  "test_rate_allocator"
+  "test_rate_allocator.pdb"
+  "test_rate_allocator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rate_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

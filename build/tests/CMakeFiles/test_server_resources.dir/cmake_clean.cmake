@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_server_resources.dir/test_server_resources.cpp.o"
+  "CMakeFiles/test_server_resources.dir/test_server_resources.cpp.o.d"
+  "test_server_resources"
+  "test_server_resources.pdb"
+  "test_server_resources[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_server_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sessions_snapshot.dir/test_sessions_snapshot.cpp.o"
+  "CMakeFiles/test_sessions_snapshot.dir/test_sessions_snapshot.cpp.o.d"
+  "test_sessions_snapshot"
+  "test_sessions_snapshot.pdb"
+  "test_sessions_snapshot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sessions_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

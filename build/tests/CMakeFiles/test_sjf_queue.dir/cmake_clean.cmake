@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sjf_queue.dir/test_sjf_queue.cpp.o"
+  "CMakeFiles/test_sjf_queue.dir/test_sjf_queue.cpp.o.d"
+  "test_sjf_queue"
+  "test_sjf_queue.pdb"
+  "test_sjf_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sjf_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_target_rate.dir/test_target_rate.cpp.o"
+  "CMakeFiles/test_target_rate.dir/test_target_rate.cpp.o.d"
+  "test_target_rate"
+  "test_target_rate.pdb"
+  "test_target_rate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_target_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

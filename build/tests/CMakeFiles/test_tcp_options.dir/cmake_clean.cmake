@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_options.dir/test_tcp_options.cpp.o"
+  "CMakeFiles/test_tcp_options.dir/test_tcp_options.cpp.o.d"
+  "test_tcp_options"
+  "test_tcp_options.pdb"
+  "test_tcp_options[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

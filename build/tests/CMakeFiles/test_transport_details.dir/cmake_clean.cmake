@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport_details.dir/test_transport_details.cpp.o"
+  "CMakeFiles/test_transport_details.dir/test_transport_details.cpp.o.d"
+  "test_transport_details"
+  "test_transport_details.pdb"
+  "test_transport_details[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport_details.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_water_filling.dir/test_water_filling.cpp.o"
+  "CMakeFiles/test_water_filling.dir/test_water_filling.cpp.o.d"
+  "test_water_filling"
+  "test_water_filling.pdb"
+  "test_water_filling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_water_filling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

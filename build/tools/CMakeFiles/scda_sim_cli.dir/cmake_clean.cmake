@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scda_sim_cli.dir/scda_sim.cpp.o"
+  "CMakeFiles/scda_sim_cli.dir/scda_sim.cpp.o.d"
+  "scda-sim"
+  "scda-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scda_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scda_topo_cli.dir/scda_topo.cpp.o"
+  "CMakeFiles/scda_topo_cli.dir/scda_topo.cpp.o.d"
+  "scda-topo"
+  "scda-topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scda_topo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(scda_sim_smoke "/root/repo/build/tools/scda-sim" "--workload" "pareto" "--duration" "2" "--arrival-rate" "5" "--agg" "1" "--tors" "2" "--servers" "2" "--clients" "2" "--drain" "5")
+set_tests_properties(scda_sim_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(scda_sim_help "/root/repo/build/tools/scda-sim" "--help")
+set_tests_properties(scda_sim_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(scda_sim_rejects_bad_args "/root/repo/build/tools/scda-sim" "--policy" "bogus")
+set_tests_properties(scda_sim_rejects_bad_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(scda_topo_smoke "/root/repo/build/tools/scda-topo" "--fabric" "fattree" "--k" "4")
+set_tests_properties(scda_topo_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -32,6 +32,116 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(16384);
 
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  // RTO pattern: schedule a timer, fire an earlier event, cancel the timer.
+  // Exercises cancellation cost and cancelled-entry bookkeeping (the seed
+  // design leaked a tombstone per cancel-after-fire).
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    sim::EventQueue::Fired f;
+    for (int i = 0; i < n; ++i) {
+      const auto t = static_cast<double>(i);
+      q.schedule(t + 0.1, [] {});
+      auto rto = q.schedule(t + 5.0, [] {});
+      while (q.pop(f)) {
+        if (f.time > t + 0.2) break;  // fired the near event
+      }
+      q.cancel(rto);
+    }
+    while (q.pop(f)) benchmark::DoNotOptimize(f.time);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueCancelChurn)->Arg(4096);
+
+void BM_EventLoopThroughput(benchmark::State& state) {
+  // Steady-state event-loop rate: `chains` concurrent self-rescheduling
+  // timers (the shape of pacing/periodic processes), measured in events/s.
+  const int chains = static_cast<int>(state.range(0));
+  const std::uint64_t kEvents = 200'000;
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    std::uint64_t fired = 0;
+    std::function<void()> tick;
+    struct Chain {
+      sim::Simulator* sim;
+      std::uint64_t* fired;
+      std::uint64_t budget;
+      double period;
+      void fire() {
+        ++*fired;
+        if (--budget > 0) sim->schedule_in(period, [this] { fire(); });
+      }
+    };
+    std::vector<Chain> cs;
+    cs.reserve(static_cast<std::size_t>(chains));
+    for (int i = 0; i < chains; ++i) {
+      cs.push_back(Chain{&sim, &fired, kEvents / static_cast<std::uint64_t>(chains),
+                         1e-3 * (1.0 + 1e-4 * i)});
+    }
+    for (auto& c : cs) sim.schedule_in(c.period, [&c] { c.fire(); });
+    sim.run();
+    total += fired;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_EventLoopThroughput)->Arg(1)->Arg(64)->Arg(1024);
+
+void BM_LinkPipelineThroughput(benchmark::State& state) {
+  // Raw link pipeline: enqueue -> transmit -> propagate -> deliver, with the
+  // deliver callback refilling the queue. Measures packets/s through one
+  // link with a queue depth of ~32.
+  const std::uint64_t kPackets = 100'000;
+  std::uint64_t delivered_total = 0;
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    net::Link link(sim, 0, 0, 1, 10e9, 5e-6, 1 << 22);
+    std::uint64_t delivered = 0;
+    std::uint64_t sent = 0;
+    link.set_deliver([&](net::Packet&&) {
+      ++delivered;
+      if (sent < kPackets) {
+        net::Packet p = net::make_data(1, 0, 1, 0, 1460, sim.now());
+        ++sent;
+        link.enqueue(std::move(p));
+      }
+    });
+    for (int i = 0; i < 32; ++i) {
+      net::Packet p = net::make_data(1, 0, 1, 0, 1460, 0.0);
+      ++sent;
+      link.enqueue(std::move(p));
+    }
+    sim.run();
+    delivered_total += delivered;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered_total));
+}
+BENCHMARK(BM_LinkPipelineThroughput);
+
+void BM_LinkSjfDeepQueue(benchmark::State& state) {
+  // SJF selection cost at deep queues: `flows` flows, 32 packets each,
+  // served to exhaustion. The seed implementation re-scans the whole queue
+  // for every transmitted packet (O(n) per packet, O(n^2) per drain).
+  const auto flows = static_cast<int>(state.range(0));
+  std::uint64_t delivered_total = 0;
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    net::Link link(sim, 0, 0, 1, 10e9, 5e-6, 1 << 30);
+    link.set_discipline(net::QueueDiscipline::kSjf);
+    std::uint64_t delivered = 0;
+    link.set_deliver([&](net::Packet&&) { ++delivered; });
+    for (int i = 0; i < 32; ++i)
+      for (int f = 0; f < flows; ++f)
+        link.enqueue(net::make_data(f, 0, 1, 0, 1460, 0.0));
+    sim.run();
+    delivered_total += delivered;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered_total));
+}
+BENCHMARK(BM_LinkSjfDeepQueue)->Arg(8)->Arg(128);
+
 void BM_ExactRateMetric(benchmark::State& state) {
   double r = 95e6;
   for (auto _ : state) {

@@ -16,6 +16,7 @@
 #include "core/cloud.h"
 #include "stats/collector.h"
 #include "stats/emit.h"
+#include "stats/perf.h"
 #include "stats/throughput.h"
 #include "workload/driver.h"
 #include "workload/generators.h"
@@ -57,6 +58,7 @@ struct RunResult {
   double energy_j = 0;
   std::uint64_t flows_completed = 0;
   std::uint64_t events = 0;
+  stats::CorePerf perf;  ///< event-engine/link counters (docs/perf.md)
 };
 
 struct AfctBinning {
@@ -116,6 +118,7 @@ inline RunResult run_once(const ExperimentConfig& cfg_in,
   r.failed_reads = cloud.failed_reads();
   r.energy_j = cloud.total_energy_j();
   r.flows_completed = collector.count();
+  r.perf = stats::collect_core_perf(sim, cloud.topology().net());
   return r;
 }
 
@@ -184,12 +187,15 @@ inline void run_comparison(const ExperimentConfig& cfg, const FigureIds& figs,
                          scda_r.mean_throughput_kbs,
                          rand_r.mean_throughput_kbs);
   std::printf("# flows: SCDA=%llu RandTCP=%llu; SLA violations (SCDA): %llu; "
-              "events: %llu/%llu\n\n",
+              "events: %llu/%llu\n",
               static_cast<unsigned long long>(scda_r.flows_completed),
               static_cast<unsigned long long>(rand_r.flows_completed),
               static_cast<unsigned long long>(scda_r.sla_violations),
               static_cast<unsigned long long>(scda_r.events),
               static_cast<unsigned long long>(rand_r.events));
+  stats::emit_core_perf(stdout, scda_r.perf);
+  stats::emit_core_perf(stdout, rand_r.perf);
+  std::printf("\n");
 }
 
 }  // namespace scda::bench

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Refresh BENCH_core.json's "current" column from a 3-repetition run of
+# bench_micro_core (medians). Seed baselines already in BENCH_core.json are
+# preserved; re-baseline them only when moving machines (check out the seed
+# commit, build the same benchmark sources there, and fill seed_items_per_s
+# from its medians).
+#
+# Usage: scripts/bench_core.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+BENCH="$BUILD_DIR/bench/bench_micro_core"
+[ -x "$BENCH" ] || {
+  echo "error: $BENCH not built (cmake --build $BUILD_DIR --target bench_micro_core)" >&2
+  exit 1
+}
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+"$BENCH" --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+  --benchmark_format=json > "$RAW"
+
+python3 - "$RAW" <<'EOF'
+import json, subprocess, sys
+from datetime import date, timezone, datetime
+
+raw = json.load(open(sys.argv[1]))
+medians = {
+    b["name"].removesuffix("_median"): b["items_per_second"]
+    for b in raw["benchmarks"]
+    if b["name"].endswith("_median") and "items_per_second" in b
+}
+
+try:
+    doc = json.load(open("BENCH_core.json"))
+except FileNotFoundError:
+    doc = {"benchmarks": {}}
+
+doc["date"] = datetime.now(timezone.utc).date().isoformat()
+doc["toolchain"] = raw["context"].get("library_build_type", "") or "unknown"
+for name, items in sorted(medians.items()):
+    entry = doc["benchmarks"].setdefault(name, {"seed_items_per_s": None})
+    entry["current_items_per_s"] = round(items)
+    if entry.get("seed_items_per_s"):
+        entry["speedup"] = round(items / entry["seed_items_per_s"], 2)
+
+json.dump(doc, open("BENCH_core.json", "w"), indent=2)
+print(json.dumps(doc, indent=2))
+EOF

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build + full test suite, twice.
+#
+#   1. Release-style build (RelWithDebInfo, the default) — what the
+#      benchmarks and figure reproductions run as.
+#   2. AddressSanitizer + UndefinedBehaviorSanitizer build — catches the
+#      class of bug the event-pool/packet-pool refactor could introduce
+#      (use-after-free through recycled slots, OOB heap positions).
+#
+# Usage: scripts/check.sh [extra ctest args...]
+# Builds live in build-check/ and build-check-asan/ so they never disturb
+# an existing build/ tree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_suite() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S . "$@" > /dev/null
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+echo "== pass 1/2: RelWithDebInfo =="
+run_suite build-check -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+echo "== pass 2/2: ASan + UBSan =="
+run_suite build-check-asan \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+
+echo "All checks passed."

@@ -25,49 +25,32 @@ bool Link::enqueue(Packet&& p) {
   }
   queued_bytes_ += p.size_bytes;
   ++stats_.enqueued_packets;
-  queue_.push_back(std::move(p));
+  queue_.push(std::move(p));
   if (!transmitting_) start_transmission();
   return true;
 }
 
 void Link::start_transmission() {
   transmitting_ = true;
-  if (discipline_ == QueueDiscipline::kSjf) select_next_packet();
-  const Packet& head = queue_.front();
+  // SJF selection (section IV-B) commits to the packet now; it is taken
+  // out of the queue when the transmission completes.
+  cur_node_ = queue_.select_next();
+  const Packet& head = queue_.packet(cur_node_);
   const double tx_time =
       static_cast<double>(head.size_bytes) * 8.0 / capacity_bps_;
   sim_.schedule_in(tx_time, [this] { on_tx_complete(); });
 }
 
-void Link::select_next_packet() {
-  // OpenFlow SJF approximation (section IV-B): serve the queued packet
-  // whose flow has transmitted the fewest packets on this link. Control
-  // traffic (ACKs flowing the other way are on the reverse link) competes
-  // like any young flow. Linear scan: queues are bounded (drop-tail).
-  if (queue_.size() <= 1) return;
-  std::size_t best = 0;
-  std::uint64_t best_count = std::numeric_limits<std::uint64_t>::max();
-  for (std::size_t i = 0; i < queue_.size(); ++i) {
-    const auto it = flow_tx_count_.find(queue_[i].flow);
-    const std::uint64_t c = it == flow_tx_count_.end() ? 0 : it->second;
-    if (c < best_count) {
-      best_count = c;
-      best = i;
-    }
-  }
-  if (best != 0) std::swap(queue_[0], queue_[best]);
-}
-
 void Link::on_tx_complete() {
-  Packet p = std::move(queue_.front());
-  queue_.pop_front();
+  Packet p = queue_.take(cur_node_);
+  cur_node_ = PacketQueue::kNull;
   queued_bytes_ -= p.size_bytes;
   ++stats_.tx_packets;
   stats_.tx_bytes += static_cast<std::uint64_t>(p.size_bytes);
-  if (discipline_ == QueueDiscipline::kSjf) ++flow_tx_count_[p.flow];
+  queue_.note_transmitted(p.flow);  // SJF Cnt_j bookkeeping; no-op for FIFO
 
-  // Propagation: park the packet on the in-flight queue; the single armed
-  // delivery timer walks the queue head-by-head (constant delay => FIFO).
+  // Propagation: park the packet on the in-flight ring; the single armed
+  // delivery timer walks the ring head-by-head (constant delay => FIFO).
   inflight_.emplace_back(sim_.now() + prop_delay_s_, std::move(p));
   if (!delivery_armed_) {
     delivery_armed_ = true;
@@ -85,8 +68,10 @@ void Link::deliver_head() {
   Packet p = std::move(inflight_.front().second);
   inflight_.pop_front();
   if (!inflight_.empty()) {
-    sim_.schedule_in(inflight_.front().first - sim_.now(),
-                     [this] { deliver_head(); });
+    const sim::Time due = inflight_.front().first;
+    const sim::Time now = sim_.now();
+    if (due < now) ++stats_.delivery_clamps;
+    sim_.schedule_in(delivery_delay(due, now), [this] { deliver_head(); });
   } else {
     delivery_armed_ = false;
   }

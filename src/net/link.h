@@ -1,21 +1,25 @@
-// Unidirectional link with a drop-tail FIFO queue.
+// Unidirectional link with a drop-tail queue.
 //
 // Models transmission (size/capacity) followed by propagation (fixed delay),
 // exactly like an NS2 SimpleLink + DropTail queue. Links expose the two
 // counters the SCDA paper reads from real switches (section IV): the
 // instantaneous queue length Q(t) and the bytes that arrived during the
 // current control interval L(t). Resource monitors/allocators sample both.
+//
+// The queue is a pool-backed PacketQueue (FIFO or OpenFlow-SJF service) and
+// the propagation stage is a ring buffer, so the steady-state packet path
+// performs no heap allocation.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <deque>
-#include <limits>
-#include <unordered_map>
 #include <functional>
 #include <utility>
 
 #include "net/packet.h"
+#include "net/packet_queue.h"
 #include "sim/simulator.h"
+#include "util/ring.h"
 
 namespace scda::net {
 
@@ -25,15 +29,10 @@ struct LinkStats {
   std::uint64_t dropped_packets = 0;
   std::uint64_t dropped_bytes = 0;
   std::uint64_t enqueued_packets = 0;
+  /// Delivery timers whose computed delay went (negligibly) negative from
+  /// floating-point accumulation and were clamped to zero.
+  std::uint64_t delivery_clamps = 0;
 };
-
-/// Queueing discipline (paper section IV-B).
-///   kFifo — classic drop-tail FIFO (default, what the evaluation uses)
-///   kSjf  — OpenFlow-switch SJF approximation: the switch keeps a packet
-///           count per flow and always serves the queued packet whose flow
-///           has sent the fewest packets so far; flows that already sent a
-///           lot are implicitly de-prioritized (their ACKs are delayed).
-enum class QueueDiscipline : std::uint8_t { kFifo, kSjf };
 
 class Link {
  public:
@@ -57,9 +56,9 @@ class Link {
 
   /// Select the queueing discipline. Safe to call at any time; kSjf starts
   /// counting flow packets from the moment it is enabled.
-  void set_discipline(QueueDiscipline d) noexcept { discipline_ = d; }
+  void set_discipline(QueueDiscipline d) { queue_.set_discipline(d); }
   [[nodiscard]] QueueDiscipline discipline() const noexcept {
-    return discipline_;
+    return queue_.discipline();
   }
 
   /// NS2-style error model: drop each offered packet with probability `p`
@@ -110,6 +109,13 @@ class Link {
   }
 
   [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+  /// Queue-structure perf counters (pool high-water mark, SJF index use).
+  [[nodiscard]] const PacketQueue::Perf& queue_perf() const noexcept {
+    return queue_.perf();
+  }
+  [[nodiscard]] std::size_t queue_pool_capacity() const noexcept {
+    return queue_.pool_capacity();
+  }
 
   /// Long-run utilization in [0,1]: transmitted bits / (capacity * elapsed).
   [[nodiscard]] double utilization(double elapsed_s) const noexcept {
@@ -118,12 +124,23 @@ class Link {
            (capacity_bps_ * elapsed_s);
   }
 
+  /// Delay until the head of the propagation queue is due. Successive
+  /// delivery deadlines can drift a few ulps below `now` through repeated
+  /// float addition; treat that as "due now" rather than passing a negative
+  /// delay to the simulator. Anything beyond float noise is a logic error.
+  [[nodiscard]] static sim::Time delivery_delay(sim::Time due,
+                                                sim::Time now) noexcept {
+    const sim::Time delay = due - now;
+    if (delay >= 0) return delay;
+    assert(now - due <=
+           1e-9 * (now > 1.0 ? now : 1.0));  // only FP noise may clamp
+    return 0;
+  }
+
  private:
   void start_transmission();
   void on_tx_complete();
   void deliver_head();
-  /// Move the next packet to serve (per the discipline) to queue_.front().
-  void select_next_packet();
 
   sim::Simulator& sim_;
   LinkId id_;
@@ -133,11 +150,14 @@ class Link {
   double prop_delay_s_;
   std::int64_t queue_limit_bytes_;
 
-  std::deque<Packet> queue_;
+  PacketQueue queue_;
+  /// Packet selected for the transmission in progress (owned by queue_
+  /// until the tx-complete event takes it).
+  PacketQueue::NodeIndex cur_node_ = PacketQueue::kNull;
   /// Packets transmitted and propagating: (arrival time, packet). FIFO
   /// because the propagation delay is constant, so one timer (for the head)
   /// suffices and the per-packet closure never captures the packet itself.
-  std::deque<std::pair<sim::Time, Packet>> inflight_;
+  util::Ring<std::pair<sim::Time, Packet>> inflight_;
   bool delivery_armed_ = false;
   std::int64_t queued_bytes_ = 0;
   std::int64_t interval_arrived_bytes_ = 0;
@@ -145,12 +165,8 @@ class Link {
 
   DeliverFn deliver_;
   LinkStats stats_;
-  QueueDiscipline discipline_ = QueueDiscipline::kFifo;
   double loss_probability_ = 0.0;
   sim::Rng* loss_rng_ = nullptr;
-  /// Per-flow packets transmitted (the OpenFlow Cnt_j counter, sec IV-B);
-  /// only maintained while the SJF discipline is active.
-  std::unordered_map<FlowId, std::uint64_t> flow_tx_count_;
 };
 
 }  // namespace scda::net

@@ -1,0 +1,156 @@
+#include "net/packet_queue.h"
+
+#include <utility>
+
+namespace scda::net {
+
+void PacketQueue::set_discipline(QueueDiscipline d) {
+  if (d == discipline_) return;
+  discipline_ = d;
+  if (d == QueueDiscipline::kSjf) {
+    rebuild_sjf_state();
+  } else {
+    sjf_order_.clear();  // chains are rebuilt on the next switch to SJF
+  }
+}
+
+void PacketQueue::push(Packet&& p) {
+  const NodeIndex n = acquire(std::move(p));
+  Node& node = pool_[n];
+  node.arrival = ++arrival_seq_;
+  node.prev = tail_;
+  node.next = kNull;
+  node.flow_next = kNull;
+  if (tail_ != kNull) {
+    pool_[tail_].next = n;
+  } else {
+    head_ = n;
+  }
+  tail_ = n;
+  ++size_;
+  if (size_ > perf_.pool_hwm) perf_.pool_hwm = size_;
+
+  if (discipline_ == QueueDiscipline::kSjf) {
+    FlowState& st = flows_[node.pkt.flow];
+    if (st.queued == 0) {
+      st.head = st.tail = n;
+      st.queued = 1;
+      // The flow (re)joins the index keyed by its new oldest packet.
+      index_insert(node.pkt.flow, st);
+    } else {
+      pool_[st.tail].flow_next = n;
+      st.tail = n;
+      ++st.queued;
+    }
+  }
+}
+
+PacketQueue::NodeIndex PacketQueue::select_next() {
+  assert(size_ > 0);
+  if (discipline_ != QueueDiscipline::kSjf || size_ == 1) return head_;
+  assert(!sjf_order_.empty());
+  ++perf_.sjf_selects;
+  const FlowId flow = sjf_order_.begin()->flow;
+  const auto it = flows_.find(flow);
+  assert(it != flows_.end() && it->second.head != kNull);
+  return it->second.head;
+}
+
+Packet PacketQueue::take(NodeIndex n) {
+  Node& node = pool_[n];
+  if (discipline_ == QueueDiscipline::kSjf) {
+    const auto it = flows_.find(node.pkt.flow);
+    assert(it != flows_.end());
+    FlowState& st = it->second;
+    // Service is always the flow's oldest packet, so unlinking the chain
+    // head is O(1).
+    assert(st.head == n);
+    index_erase(node.pkt.flow, st);
+    st.head = node.flow_next;
+    if (st.head == kNull) st.tail = kNull;
+    --st.queued;
+    if (st.queued > 0) index_insert(node.pkt.flow, st);
+  }
+  unlink_global(n);
+  --size_;
+  Packet out = std::move(node.pkt);
+  release(n);
+  return out;
+}
+
+void PacketQueue::note_transmitted(FlowId flow) {
+  if (discipline_ != QueueDiscipline::kSjf) return;
+  FlowState& st = flows_[flow];
+  if (st.queued > 0) index_erase(flow, st);
+  ++st.tx_count;
+  if (st.queued > 0) index_insert(flow, st);
+}
+
+PacketQueue::NodeIndex PacketQueue::acquire(Packet&& p) {
+  if (free_head_ != kNull) {
+    const NodeIndex n = free_head_;
+    free_head_ = pool_[n].next;
+    pool_[n].pkt = std::move(p);
+    return n;
+  }
+  pool_.push_back(Node{std::move(p), kNull, kNull, kNull, 0});
+  return static_cast<NodeIndex>(pool_.size() - 1);
+}
+
+void PacketQueue::release(NodeIndex n) noexcept {
+  pool_[n].next = free_head_;
+  free_head_ = n;
+}
+
+void PacketQueue::unlink_global(NodeIndex n) noexcept {
+  Node& node = pool_[n];
+  if (node.prev != kNull) {
+    pool_[node.prev].next = node.next;
+  } else {
+    head_ = node.next;
+  }
+  if (node.next != kNull) {
+    pool_[node.next].prev = node.prev;
+  } else {
+    tail_ = node.prev;
+  }
+}
+
+void PacketQueue::index_insert(FlowId flow, const FlowState& st) {
+  assert(st.queued > 0 || st.head != kNull);
+  sjf_order_.insert(SjfKey{st.tx_count, pool_[st.head].arrival, flow});
+}
+
+void PacketQueue::index_erase(FlowId flow, const FlowState& st) {
+  const auto it =
+      sjf_order_.find(SjfKey{st.tx_count, pool_[st.head].arrival, flow});
+  assert(it != sjf_order_.end());
+  sjf_order_.erase(it);
+}
+
+void PacketQueue::rebuild_sjf_state() {
+  sjf_order_.clear();
+  for (auto& [flow, st] : flows_) {
+    st.head = st.tail = kNull;
+    st.queued = 0;
+  }
+  // Walk the arrival-order list so per-flow chains stay FIFO.
+  for (NodeIndex n = head_; n != kNull; n = pool_[n].next) {
+    Node& node = pool_[n];
+    node.flow_next = kNull;
+    FlowState& st = flows_[node.pkt.flow];
+    if (st.queued == 0) {
+      st.head = st.tail = n;
+      st.queued = 1;
+    } else {
+      pool_[st.tail].flow_next = n;
+      st.tail = n;
+      ++st.queued;
+    }
+  }
+  for (const auto& [flow, st] : flows_) {
+    if (st.queued > 0) index_insert(flow, st);
+  }
+}
+
+}  // namespace scda::net

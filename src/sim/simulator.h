@@ -22,17 +22,26 @@ class Simulator {
   [[nodiscard]] Time now() const noexcept { return now_; }
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
   [[nodiscard]] EventQueue& queue() noexcept { return queue_; }
-
-  /// Schedule `cb` `delay` seconds from now (delay >= 0).
-  EventHandle schedule_in(Time delay, EventQueue::Callback cb) {
-    if (delay < 0) throw std::invalid_argument("schedule_in: negative delay");
-    return queue_.schedule(now_ + delay, std::move(cb));
+  [[nodiscard]] const EventQueue& queue() const noexcept { return queue_; }
+  /// Event-engine perf counters (events popped, cancels, heap high-water
+  /// mark, callback allocation behaviour) — see docs/perf.md.
+  [[nodiscard]] const EventQueueStats& perf() const noexcept {
+    return queue_.perf();
   }
 
-  /// Schedule `cb` at absolute time `t` (t >= now).
-  EventHandle schedule_at(Time t, EventQueue::Callback cb) {
+  /// Schedule a callable `delay` seconds from now (delay >= 0). The
+  /// callable is forwarded into the event pool without a temporary.
+  template <typename F>
+  EventHandle schedule_in(Time delay, F&& f) {
+    if (delay < 0) throw std::invalid_argument("schedule_in: negative delay");
+    return queue_.schedule(now_ + delay, std::forward<F>(f));
+  }
+
+  /// Schedule a callable at absolute time `t` (t >= now).
+  template <typename F>
+  EventHandle schedule_at(Time t, F&& f) {
     if (t < now_) throw std::invalid_argument("schedule_at: time in the past");
-    return queue_.schedule(t, std::move(cb));
+    return queue_.schedule(t, std::forward<F>(f));
   }
 
   void cancel(EventHandle h) { queue_.cancel(h); }

@@ -1,0 +1,139 @@
+// SmallFn: move-only type-erased `void()` callable with inline storage.
+//
+// The event queue schedules millions of short-lived callbacks per simulated
+// second; std::function's semantics (copyability, target_type, RTTI) cost
+// more than the hot path needs. SmallFn stores trivially-copyable captures
+// up to kInlineBytes in place — every simulator hot-path lambda (a `this`
+// pointer plus an epoch counter) qualifies — and falls back to the heap for
+// large or non-trivial captures on cold control-plane paths. Restricting
+// inline storage to trivially-copyable callables makes relocation a plain
+// memcpy: moving a SmallFn never performs an indirect call, which matters
+// when every scheduled event moves its callback into and out of the event
+// pool. The event queue counts heap fallbacks so regressions show up in
+// the perf counters.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace scda::sim {
+
+class SmallFn {
+ public:
+  /// Inline capture budget. 48 bytes holds a `this` pointer plus five
+  /// 8-byte captures; larger or non-trivial captures go to the heap.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallFn() noexcept = default;
+
+  template <typename F,
+            std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                    std::is_invocable_r_v<void, std::decay_t<F>&>,
+                int> = 0>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): callable wrapper
+    construct(std::forward<F>(f));
+  }
+
+  /// Destroy the current target (if any) and construct `f` in place —
+  /// lets the event pool fill a recycled slot without a temporary SmallFn
+  /// and the two relocations that come with it.
+  template <typename F,
+            std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                    std::is_invocable_r_v<void, std::decay_t<F>&>,
+                int> = 0>
+  void emplace(F&& f) {
+    reset();
+    construct(std::forward<F>(f));
+  }
+
+  SmallFn(SmallFn&& o) noexcept : ops_(o.ops_) {
+    // Inline payloads are trivially copyable and heap payloads are a raw
+    // pointer, so relocation is one unconditional memcpy.
+    std::memcpy(&storage_, &o.storage_, kInlineBytes);
+    o.ops_ = nullptr;
+  }
+
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = o.ops_;
+      std::memcpy(&storage_, &o.storage_, kInlineBytes);
+      o.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  void operator()() { ops_->invoke(&storage_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+  /// True when the capture spilled to a heap allocation.
+  [[nodiscard]] bool on_heap() const noexcept {
+    return ops_ != nullptr && ops_->destroy != nullptr;
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  template <typename F>
+  void construct(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(&storage_)) D(std::forward<F>(f));
+      ops_ = &kOps<D, /*Heap=*/false>;
+    } else {
+      *reinterpret_cast<D**>(&storage_) = new D(std::forward<F>(f));
+      ops_ = &kOps<D, /*Heap=*/true>;
+    }
+  }
+
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Heap deleter; nullptr for inline payloads (trivially destructible).
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline() noexcept {
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_trivially_copyable_v<D>;
+  }
+
+  template <typename D, bool Heap>
+  static constexpr Ops make_ops() noexcept {
+    if constexpr (Heap) {
+      return Ops{[](void* self) { (**reinterpret_cast<D**>(self))(); },
+                 [](void* self) noexcept {
+                   delete *reinterpret_cast<D**>(self);
+                 }};
+    } else {
+      return Ops{
+          [](void* self) { (*std::launder(reinterpret_cast<D*>(self)))(); },
+          nullptr};
+    }
+  }
+
+  template <typename D, bool Heap>
+  static constexpr Ops kOps = make_ops<D, Heap>();
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace scda::sim

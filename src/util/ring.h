@@ -1,0 +1,105 @@
+// Ring: a growable power-of-two ring buffer (FIFO).
+//
+// std::deque cycles chunk allocations under sustained push_back/pop_front
+// (a new chunk every ~512 bytes of traffic); a link saturated at millions
+// of packets per simulated second turns that into steady allocator churn.
+// Ring reaches a steady state after warm-up: pushes and pops reuse the
+// same storage and never touch the allocator again.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace scda::util {
+
+template <typename T>
+class Ring {
+ public:
+  Ring() = default;
+
+  Ring(const Ring&) = delete;
+  Ring& operator=(const Ring&) = delete;
+
+  Ring(Ring&& o) noexcept
+      : buf_(o.buf_), cap_(o.cap_), head_(o.head_), size_(o.size_) {
+    o.buf_ = nullptr;
+    o.cap_ = o.head_ = o.size_ = 0;
+  }
+
+  ~Ring() {
+    clear();
+    deallocate(buf_, cap_);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// Slots currently allocated (never shrinks; bounded by peak occupancy).
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+
+  [[nodiscard]] T& front() noexcept {
+    assert(size_ > 0);
+    return buf_[head_];
+  }
+  [[nodiscard]] const T& front() const noexcept {
+    assert(size_ > 0);
+    return buf_[head_];
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow();
+    T* slot = buf_ + ((head_ + size_) & (cap_ - 1));
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  void pop_front() noexcept {
+    assert(size_ > 0);
+    buf_[head_].~T();
+    head_ = (head_ + 1) & (cap_ - 1);
+    --size_;
+  }
+
+  void clear() noexcept {
+    while (size_ > 0) pop_front();
+    head_ = 0;
+  }
+
+ private:
+  static T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(alignof(T))));
+  }
+  static void deallocate(T* p, std::size_t n) noexcept {
+    if (p != nullptr)
+      ::operator delete(p, n * sizeof(T), std::align_val_t(alignof(T)));
+  }
+
+  void grow() {
+    const std::size_t ncap = cap_ == 0 ? kInitialCapacity : cap_ * 2;
+    T* nbuf = allocate(ncap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      T* src = buf_ + ((head_ + i) & (cap_ - 1));
+      ::new (static_cast<void*>(nbuf + i)) T(std::move(*src));
+      src->~T();
+    }
+    deallocate(buf_, cap_);
+    buf_ = nbuf;
+    cap_ = ncap;
+    head_ = 0;
+  }
+
+  static constexpr std::size_t kInitialCapacity = 16;
+
+  T* buf_ = nullptr;
+  std::size_t cap_ = 0;   ///< always zero or a power of two
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace scda::util

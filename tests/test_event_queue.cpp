@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 namespace scda::sim {
@@ -117,6 +118,106 @@ TEST(EventQueue, CancelAllLeavesEmpty) {
   for (int i = 0; i < 50; ++i) hs.push_back(q.schedule(1.0, [] {}));
   for (auto h : hs) q.cancel(h);
   EXPECT_TRUE(q.empty());
+}
+
+// Regression for the seed's tombstone leak: cancel() compared the handle id
+// against next_id_ (always true), so every cancel of an already-fired event
+// left a permanent entry in the cancelled-id set. A sender that schedules an
+// RTO per packet and cancels it on ACK — the common transport pattern —
+// accumulated unbounded bookkeeping over a long run. The rebuilt queue must
+// keep memory bounded by the peak number of concurrently pending events.
+TEST(EventQueue, ScheduleFireCancelChurnKeepsBookkeepingBounded) {
+  EventQueue q;
+  double t = 0;
+  std::uint64_t fired = 0;
+  EventQueue::Fired f;
+  for (int i = 0; i < 1'000'000; ++i) {
+    EventHandle rto = q.schedule(t + 1.0, [&fired] { ++fired; });
+    q.schedule(t + 0.5, [&fired] { ++fired; });
+    ASSERT_TRUE(q.pop(f));  // the "ACK" arrives first...
+    f.cb();
+    q.cancel(rto);          // ...and cancels the pending retransmit
+    t += 1.0;
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(fired, 1'000'000u);
+  // Peak pending = 2, so the pool must stay tiny no matter how many cycles
+  // ran. The seed design grew its cancelled-set by one entry per cycle.
+  EXPECT_LE(q.pool_capacity(), 4u);
+  EXPECT_EQ(q.perf().cancelled, 1'000'000u);
+  EXPECT_EQ(q.perf().popped, 1'000'000u);
+  EXPECT_EQ(q.perf().heap_hwm, 2u);
+}
+
+// A handle becomes stale once its event fires; the slot may be recycled for
+// a new event. Cancelling the stale handle must not kill the new occupant.
+TEST(EventQueue, StaleHandleCannotCancelRecycledSlot) {
+  EventQueue q;
+  bool first = false;
+  bool second = false;
+  EventHandle h1 = q.schedule(1.0, [&] { first = true; });
+  EventQueue::Fired f;
+  ASSERT_TRUE(q.pop(f));
+  f.cb();
+  // The new event recycles h1's slot (single-slot pool).
+  EventHandle h2 = q.schedule(2.0, [&] { second = true; });
+  EXPECT_EQ(h2.slot, h1.slot);
+  q.cancel(h1);  // stale: must be a counted no-op, not cancel h2's event
+  EXPECT_EQ(q.scheduled(), 1u);
+  ASSERT_TRUE(q.pop(f));
+  f.cb();
+  EXPECT_TRUE(first);
+  EXPECT_TRUE(second);
+  EXPECT_EQ(q.perf().stale_cancels, 1u);
+  EXPECT_EQ(q.perf().cancelled, 0u);
+}
+
+TEST(EventQueue, DoubleCancelIsCountedStale) {
+  EventQueue q;
+  EventHandle h = q.schedule(1.0, [] {});
+  q.cancel(h);
+  q.cancel(h);  // second cancel of the same handle: stale no-op
+  EXPECT_EQ(q.perf().cancelled, 1u);
+  EXPECT_EQ(q.perf().stale_cancels, 1u);
+}
+
+TEST(EventQueue, CancelInteriorPreservesOrdering) {
+  // Cancel events from the middle of a deep heap, then verify the survivors
+  // still drain in exact (time, FIFO) order.
+  EventQueue q;
+  std::vector<EventHandle> hs;
+  std::vector<int> order;
+  for (int i = 0; i < 1000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 257);
+    hs.push_back(q.schedule(t, [&order, i] { order.push_back(i); }));
+  }
+  for (std::size_t i = 0; i < hs.size(); i += 3) q.cancel(hs[i]);
+  EventQueue::Fired f;
+  double prev = -1;
+  while (q.pop(f)) {
+    EXPECT_GE(f.time, prev);
+    prev = f.time;
+    f.cb();
+  }
+  EXPECT_EQ(order.size(), 666u);
+  for (int i : order) EXPECT_NE(i % 3, 0);
+}
+
+TEST(EventQueue, LargeCapturesSpillToHeapAndStillRun) {
+  EventQueue q;
+  // 64 bytes of captured state exceeds SmallFn's inline budget.
+  struct Big {
+    double a[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  } big;
+  double sum = 0;
+  q.schedule(1.0, [big, &sum] {
+    for (double v : big.a) sum += v;
+  });
+  EXPECT_EQ(q.perf().callbacks_heap, 1u);
+  EventQueue::Fired f;
+  ASSERT_TRUE(q.pop(f));
+  f.cb();
+  EXPECT_DOUBLE_EQ(sum, 36.0);
 }
 
 }  // namespace

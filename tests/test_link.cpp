@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "net/packet.h"
@@ -121,6 +123,58 @@ TEST_F(LinkTest, DeliveryPreservesPacketFields) {
   EXPECT_EQ(got.payload_bytes, 500);
   EXPECT_EQ(got.rcvw_bytes, 777);
   EXPECT_DOUBLE_EQ(got.ts, 1.25);
+}
+
+// Regression for the negative-delay crash: the delivery timer computes
+// `due - now`, and after millions of float additions the head's deadline
+// can land a few ulps below the current clock. The seed passed that raw
+// difference to Simulator::schedule_in, which throws on negative delays and
+// tore down whole runs. delivery_delay must clamp FP noise to zero.
+TEST(LinkDeliveryDelay, PositiveDelayPassesThrough) {
+  EXPECT_DOUBLE_EQ(Link::delivery_delay(2.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Link::delivery_delay(1.0, 1.0), 0.0);
+}
+
+TEST(LinkDeliveryDelay, UlpNegativeDelayClampsToZero) {
+  // `due` one ulp below `now`: exactly the drift repeated accumulation
+  // produces. The clamped delay must be a valid schedule_in argument.
+  const double now = 1000.0;
+  const double due = std::nextafter(now, 0.0);
+  ASSERT_LT(due - now, 0.0);
+  EXPECT_DOUBLE_EQ(Link::delivery_delay(due, now), 0.0);
+
+  const double small_now = 1e-3;
+  const double small_due = std::nextafter(small_now, 0.0);
+  EXPECT_DOUBLE_EQ(Link::delivery_delay(small_due, small_now), 0.0);
+}
+
+TEST_F(LinkTest, AdversarialPropagationDelaysNeverThrow) {
+  // Stress the tx/propagation interleaving with a propagation delay chosen
+  // so tx-complete and delivery deadlines land on awkward non-dyadic
+  // fractions, accumulating rounding drift across tens of thousands of
+  // events. The run must complete without schedule_in throwing and deliver
+  // every packet exactly once.
+  //
+  // capacity chosen so tx time per 83-byte wire packet = 83*8/0.9e6 s
+  // (a repeating binary fraction); prop delay 1/3e-4 likewise.
+  Link link(sim_, 0, 0, 1, 0.9e6, 1.0 / 3.0 * 1e-4, 1 << 22);
+  std::uint64_t delivered = 0;
+  std::uint64_t sent = 0;
+  const std::uint64_t kPackets = 50'000;
+  link.set_deliver([&](Packet&&) {
+    ++delivered;
+    if (sent < kPackets) {
+      ++sent;
+      ASSERT_TRUE(link.enqueue(make_data(1, 0, 1, 0, 83 - kHeaderBytes,
+                                         sim_.now())));
+    }
+  });
+  for (int i = 0; i < 3; ++i) {
+    ++sent;
+    ASSERT_TRUE(link.enqueue(make_data(1, 0, 1, 0, 83 - kHeaderBytes, 0.0)));
+  }
+  ASSERT_NO_THROW(sim_.run());
+  EXPECT_EQ(delivered, sent);
 }
 
 }  // namespace

@@ -1,0 +1,103 @@
+// Deterministic replay: two runs of the same seeded experiment must be
+// bit-identical. The simulator's reproducibility contract rests on the
+// event queue's (time, sequence) FIFO tie-break; a regression there (or any
+// hidden iteration-order dependence on the packet path) shows up here as a
+// diverging completion-time vector long before it corrupts a figure.
+//
+// The workload is a scaled-down version of the figure-13 datacenter
+// experiment (three-tier tree, mice/elephant arrivals), run for both the
+// SCDA and RandTCP systems.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/cloud.h"
+#include "sim/simulator.h"
+#include "stats/collector.h"
+#include "workload/driver.h"
+#include "workload/generators.h"
+
+namespace scda {
+namespace {
+
+struct ReplayResult {
+  std::vector<stats::CompletionRecord> records;
+  std::uint64_t events = 0;
+  double final_time = 0;
+};
+
+ReplayResult run_datacenter_once(core::PlacementPolicy placement,
+                                 transport::TransportKind transport) {
+  sim::Simulator sim(0x5cda2013ULL);
+
+  core::CloudConfig cc;
+  cc.topology.base_bps = 500e6;
+  cc.topology.k_factor = 1.0;
+  cc.topology.n_agg = 4;
+  cc.topology.tors_per_agg = 5;
+  cc.topology.servers_per_tor = 8;
+  cc.topology.n_clients = 64;
+  cc.placement = placement;
+  cc.transport = transport;
+
+  core::Cloud cloud(sim, cc);
+  stats::FlowStatsCollector collector(cloud);
+
+  workload::DriverConfig dc;
+  dc.end_time_s = 5.0;
+  dc.read_fraction = 0.3;
+  workload::DatacenterWorkloadConfig wc;
+  wc.arrival_rate = 60.0;
+  workload::WorkloadDriver driver(
+      cloud, std::make_unique<workload::DatacenterWorkload>(wc), dc);
+  driver.start();
+
+  ReplayResult r;
+  r.events = sim.run_until(8.0);
+  r.final_time = sim.now();
+  r.records = collector.records();
+  return r;
+}
+
+void expect_identical_runs(core::PlacementPolicy placement,
+                           transport::TransportKind transport) {
+  const ReplayResult a = run_datacenter_once(placement, transport);
+  const ReplayResult b = run_datacenter_once(placement, transport);
+
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.final_time, b.final_time);
+  ASSERT_GT(a.records.size(), 0u) << "workload produced no completions";
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const auto& ra = a.records[i];
+    const auto& rb = b.records[i];
+    // Bit-exact, not approximately equal: memcmp the double fields so even
+    // a one-ulp divergence (e.g. from reordered FP additions) fails.
+    EXPECT_EQ(ra.size_bytes, rb.size_bytes) << "record " << i;
+    EXPECT_EQ(std::memcmp(&ra.fct_s, &rb.fct_s, sizeof ra.fct_s), 0)
+        << "record " << i << ": " << ra.fct_s << " vs " << rb.fct_s;
+    EXPECT_EQ(std::memcmp(&ra.start_time, &rb.start_time, sizeof ra.start_time),
+              0)
+        << "record " << i;
+    EXPECT_EQ(
+        std::memcmp(&ra.finish_time, &rb.finish_time, sizeof ra.finish_time), 0)
+        << "record " << i;
+    EXPECT_EQ(ra.kind, rb.kind) << "record " << i;
+    EXPECT_EQ(ra.content_class, rb.content_class) << "record " << i;
+  }
+}
+
+TEST(ReplayDeterminism, ScdaRunsAreByteIdentical) {
+  expect_identical_runs(core::PlacementPolicy::kScda,
+                        transport::TransportKind::kScda);
+}
+
+TEST(ReplayDeterminism, RandTcpRunsAreByteIdentical) {
+  expect_identical_runs(core::PlacementPolicy::kRandom,
+                        transport::TransportKind::kTcp);
+}
+
+}  // namespace
+}  // namespace scda

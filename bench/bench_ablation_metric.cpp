@@ -39,8 +39,14 @@ bench::RunResult run(core::RateMetricKind kind) {
 int main() {
   std::printf("==== ablation: exact (eqs 2-4) vs simplified (eq 5) rate "
               "metric ====\n");
-  const bench::RunResult exact = run(core::RateMetricKind::kExact);
-  const bench::RunResult simple = run(core::RateMetricKind::kSimplified);
+  const std::vector<core::RateMetricKind> kinds = {
+      core::RateMetricKind::kExact, core::RateMetricKind::kSimplified};
+  runner::WorkerPool pool(bench::bench_workers());
+  const auto results = runner::parallel_map<bench::RunResult>(
+      pool, kinds,
+      [](core::RateMetricKind k, std::size_t) { return run(k); });
+  const bench::RunResult& exact = results[0];
+  const bench::RunResult& simple = results[1];
   stats::emit_summary(stdout, "exact     ", exact.summary);
   stats::emit_summary(stdout, "simplified", simple.summary);
   std::printf("# mean inst thpt: exact %.1f KB/s, simplified %.1f KB/s\n",

@@ -69,10 +69,17 @@ int main() {
   std::printf("==== ablation: multi-resource (CPU/disk) bottlenecks "
               "(sec VI-A) ====\n");
   std::printf("8/16 servers disk-limited to 40 Mbps by background load\n\n");
-  const MrResult scda = run(core::PlacementPolicy::kScda,
-                            transport::TransportKind::kScda);
-  const MrResult rnd = run(core::PlacementPolicy::kRandom,
-                           transport::TransportKind::kTcp);
+  runner::WorkerPool pool(bench::bench_workers());
+  MrResult scda, rnd;
+  pool.run(2, [&](std::size_t j) {
+    if (j == 0) {
+      scda = run(core::PlacementPolicy::kScda,
+                 transport::TransportKind::kScda);
+    } else {
+      rnd = run(core::PlacementPolicy::kRandom,
+                transport::TransportKind::kTcp);
+    }
+  });
   std::printf("%-10s mean_fct=%.3fs  flows on disk-limited servers: "
               "%llu/%llu (%.0f%%)\n",
               "SCDA", scda.mean_fct,

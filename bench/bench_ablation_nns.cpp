@@ -6,8 +6,10 @@
 // hash-dispatch spreads the burst, so the multi-NNS design's queueing delay
 // stays near the bare service time while the single NNS degrades linearly.
 #include <cstdio>
+#include <vector>
 
 #include "core/cloud.h"
+#include "harness.h"
 #include "util/units.h"
 
 using namespace scda;
@@ -58,12 +60,22 @@ int main() {
               "(sec III) ====\n");
   std::printf("%-10s %-22s %-22s\n", "burst",
               "1 NNS mean/max (ms)", "4 NNS mean/max (ms)");
-  for (const int burst : {50, 200, 800, 3200}) {
-    const NnsResult one = run(1, burst);
-    const NnsResult four = run(4, burst);
-    std::printf("%-10d %8.2f / %-10.2f %8.2f / %-10.2f\n", burst,
-                one.mean_delay_ms, one.max_delay_ms, four.mean_delay_ms,
-                four.max_delay_ms);
+  const std::vector<int> bursts = {50, 200, 800, 3200};
+  // One job per (burst, NNS count): even indices 1 NNS, odd 4 NNS.
+  std::vector<NnsResult> one(bursts.size()), four(bursts.size());
+  runner::WorkerPool pool(bench::bench_workers());
+  pool.run(bursts.size() * 2, [&](std::size_t j) {
+    const int burst = bursts[j / 2];
+    if (j % 2 == 0) {
+      one[j / 2] = run(1, burst);
+    } else {
+      four[j / 2] = run(4, burst);
+    }
+  });
+  for (std::size_t i = 0; i < bursts.size(); ++i) {
+    std::printf("%-10d %8.2f / %-10.2f %8.2f / %-10.2f\n", bursts[i],
+                one[i].mean_delay_ms, one[i].max_delay_ms,
+                four[i].mean_delay_ms, four[i].max_delay_ms);
   }
   std::printf("# bare service time: 0.10 ms per request\n");
   return 0;

@@ -10,8 +10,10 @@
 // energy savings must not destroy transfer times).
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "core/cloud.h"
+#include "harness.h"
 #include "stats/collector.h"
 #include "util/units.h"
 #include "workload/driver.h"
@@ -93,13 +95,24 @@ int main() {
                 static_cast<unsigned long long>(r.flows),
                 r.host_inefficiency);
   };
-  const PowerResult plain = run(0.0, false);
+  const std::vector<std::pair<double, bool>> configs = {
+      {0.0, false},
+      {util::mbps(150), false},
+      {0.0, true},
+      {util::mbps(150), true},
+  };
+  runner::WorkerPool pool(bench::bench_workers());
+  const auto results = runner::parallel_map<PowerResult>(
+      pool, configs, [](const std::pair<double, bool>& c, std::size_t) {
+        return run(c.first, c.second);
+      });
+  const PowerResult& plain = results[0];
+  const PowerResult& dormant = results[1];
+  const PowerResult& aware = results[2];
+  const PowerResult& both = results[3];
   row("plain SCDA", plain);
-  const PowerResult dormant = run(util::mbps(150), false);
   row("dormant policy", dormant);
-  const PowerResult aware = run(0.0, true);
   row("power-aware ranking", aware);
-  const PowerResult both = run(util::mbps(150), true);
   row("dormant + power-aware", both);
   std::printf("# energy saved by dormant policy: %.1f%%\n",
               100.0 * (plain.energy_kj - dormant.energy_kj) /

@@ -9,8 +9,10 @@
 // little (the distributed scheduling-policy emulation the paper sketches).
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "core/cloud.h"
+#include "harness.h"
 #include "stats/collector.h"
 #include "util/units.h"
 
@@ -90,8 +92,15 @@ int main() {
   weighted_shares();
 
   std::printf("\n-- SJF emulation via priority weights --\n");
-  const SjfResult eq = run_sjf(false);
-  const SjfResult sjf = run_sjf(true);
+  runner::WorkerPool pool(bench::bench_workers());
+  SjfResult eq, sjf;
+  pool.run(2, [&](std::size_t j) {
+    if (j == 0) {
+      eq = run_sjf(false);
+    } else {
+      sjf = run_sjf(true);
+    }
+  });
   std::printf("equal weights : short AFCT %.3fs, long AFCT %.3fs\n",
               eq.short_afct, eq.long_afct);
   std::printf("short-boosted : short AFCT %.3fs, long AFCT %.3fs\n",

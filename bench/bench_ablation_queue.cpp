@@ -46,14 +46,23 @@ double run(core::PlacementPolicy pol, transport::TransportKind tk,
 int main() {
   std::printf("==== ablation: switch buffer size sensitivity ====\n");
   std::printf("%-14s %-14s %-14s\n", "queue_pkts", "scda_fct", "randtcp_fct");
-  for (const int pkts : {16, 32, 64, 128, 256, 512}) {
-    const std::int64_t bytes = static_cast<std::int64_t>(pkts) * 1500;
-    const double s = run(core::PlacementPolicy::kScda,
-                         transport::TransportKind::kScda, bytes);
-    const double t = run(core::PlacementPolicy::kRandom,
-                         transport::TransportKind::kTcp, bytes);
-    std::printf("%-14d %-14.3f %-14.3f\n", pkts, s, t);
-  }
+  const std::vector<int> sizes = {16, 32, 64, 128, 256, 512};
+  // One job per (buffer size, arm): even indices SCDA, odd RandTCP.
+  runner::WorkerPool pool(bench::bench_workers());
+  std::vector<double> scda_fct(sizes.size()), tcp_fct(sizes.size());
+  pool.run(sizes.size() * 2, [&](std::size_t j) {
+    const std::int64_t bytes =
+        static_cast<std::int64_t>(sizes[j / 2]) * 1500;
+    if (j % 2 == 0) {
+      scda_fct[j / 2] = run(core::PlacementPolicy::kScda,
+                            transport::TransportKind::kScda, bytes);
+    } else {
+      tcp_fct[j / 2] = run(core::PlacementPolicy::kRandom,
+                           transport::TransportKind::kTcp, bytes);
+    }
+  });
+  for (std::size_t i = 0; i < sizes.size(); ++i)
+    std::printf("%-14d %-14.3f %-14.3f\n", sizes[i], scda_fct[i], tcp_fct[i]);
   std::printf("# SCDA's allocation keeps queues short, so its FCT should be "
               "flat across buffer sizes\n");
   return 0;

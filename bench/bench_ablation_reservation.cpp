@@ -4,8 +4,10 @@
 // reservation its FCT degrades with load; with a 50 Mbps minimum-rate
 // reservation it stays near the reserved-rate bound.
 #include <cstdio>
+#include <vector>
 
 #include "core/cloud.h"
+#include "harness.h"
 #include "util/units.h"
 
 using namespace scda;
@@ -46,11 +48,20 @@ int main() {
   std::printf("# tagged flow: 10 MB; reservation: 50 Mbps; background: 40 MB flows\n");
   std::printf("%-12s %-20s %-20s\n", "bg_flows", "fct_no_reservation",
               "fct_with_reservation");
-  for (const int bg : {0, 2, 4, 8}) {
-    const double without = tagged_fct(bg, 0.0, 42);
-    const double with = tagged_fct(bg, util::mbps(50), 42);
-    std::printf("%-12d %-20.3f %-20.3f\n", bg, without, with);
-  }
+  const std::vector<int> bgs = {0, 2, 4, 8};
+  // One job per (background load, reservation arm).
+  std::vector<double> without(bgs.size()), with_res(bgs.size());
+  runner::WorkerPool pool(bench::bench_workers());
+  pool.run(bgs.size() * 2, [&](std::size_t j) {
+    const int bg = bgs[j / 2];
+    if (j % 2 == 0) {
+      without[j / 2] = tagged_fct(bg, 0.0, 42);
+    } else {
+      with_res[j / 2] = tagged_fct(bg, util::mbps(50), 42);
+    }
+  });
+  for (std::size_t i = 0; i < bgs.size(); ++i)
+    std::printf("%-12d %-20.3f %-20.3f\n", bgs[i], without[i], with_res[i]);
   std::printf("# reserved-rate bound: 10 MB / 50 Mbps = %.2f s (+control)\n",
               10e6 * 8 / 50e6);
   return 0;

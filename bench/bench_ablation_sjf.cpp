@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "harness.h"
 #include "net/network.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -63,8 +64,14 @@ SjfResult run(net::QueueDiscipline d) {
 
 int main() {
   std::printf("==== ablation: OpenFlow SJF scheduling (sec IV-B) ====\n");
-  const SjfResult fifo = run(net::QueueDiscipline::kFifo);
-  const SjfResult sjf = run(net::QueueDiscipline::kSjf);
+  const std::vector<net::QueueDiscipline> disciplines = {
+      net::QueueDiscipline::kFifo, net::QueueDiscipline::kSjf};
+  runner::WorkerPool pool(bench::bench_workers());
+  const auto results = runner::parallel_map<SjfResult>(
+      pool, disciplines,
+      [](net::QueueDiscipline d, std::size_t) { return run(d); });
+  const SjfResult& fifo = results[0];
+  const SjfResult& sjf = results[1];
   std::printf("%-6s mice AFCT %.3fs (%d flows), elephant AFCT %.1fs (%d)\n",
               "FIFO", fifo.mice_afct, fifo.mice, fifo.elephant_afct,
               fifo.elephants);

@@ -7,8 +7,10 @@
 // Part 2 — mitigation: with the reserve-capacity boost enabled, violations
 // stop after the boost switches backup capacity into the congested link.
 #include <cstdio>
+#include <vector>
 
 #include "core/cloud.h"
+#include "harness.h"
 #include "util/units.h"
 
 using namespace scda;
@@ -26,13 +28,21 @@ core::CloudConfig base() {
   return cfg;
 }
 
-void detection_latency(double tau) {
+/// t_overload: the reservations are issued at this time; detection should
+/// follow within ~one control interval.
+constexpr double kOverloadTime = 2.0;
+
+struct DetectionResult {
+  double first_violation = -1;
+  std::size_t total_events = 0;
+};
+
+DetectionResult detection_latency(double tau) {
   sim::Simulator sim(3);
   auto cfg = base();
   cfg.params.tau = tau;
   core::Cloud cloud(sim, cfg);
-  const double t_overload = 2.0;
-  sim.schedule_at(t_overload, [&] {
+  sim.schedule_at(kOverloadTime, [&] {
     // Two 150 Mbps reservations through one client's 200 Mbps uplink.
     cloud.write(0, 1, util::megabytes(50),
                 transport::ContentClass::kSemiInteractive, 1.0,
@@ -42,21 +52,23 @@ void detection_latency(double tau) {
                 util::mbps(150));
   });
   sim.run_until(10.0);
-  double first = -1;
+  DetectionResult r;
+  r.total_events = cloud.sla().events().size();
   for (const auto& ev : cloud.sla().events()) {
-    if (ev.time >= t_overload) {
-      first = ev.time;
+    if (ev.time >= kOverloadTime) {
+      r.first_violation = ev.time;
       break;
     }
   }
-  // The overload begins once the flows start (control latency ~0.105 s
-  // after the writes are issued).
-  std::printf("tau=%5.0f ms: first violation at t=%.3f s "
-              "(overload issued at t=%.1f s), total events=%zu\n",
-              tau * 1e3, first, t_overload, cloud.sla().events().size());
+  return r;
 }
 
-void mitigation(bool boost) {
+struct MitigationResult {
+  std::size_t violations = 0;
+  std::uint64_t boosts = 0;
+};
+
+MitigationResult mitigation(bool boost) {
   sim::Simulator sim(4);
   auto cfg = base();
   core::Cloud cloud(sim, cfg);
@@ -68,20 +80,45 @@ void mitigation(bool boost) {
               transport::ContentClass::kSemiInteractive, 1.0,
               util::mbps(150));
   sim.run_until(60.0);
-  std::printf("boost=%-3s violations=%4zu boosts=%llu\n",
-              boost ? "on" : "off", cloud.sla().events().size(),
-              static_cast<unsigned long long>(cloud.sla().boosts_applied()));
+  return {cloud.sla().events().size(),
+          cloud.sla().boosts_applied()};
 }
 
 }  // namespace
 
 int main() {
   std::printf("==== ablation: SLA violation detection & mitigation (sec IV-A) ====\n");
+  const std::vector<double> taus = {0.01, 0.025, 0.05, 0.1};
+  runner::WorkerPool pool(bench::bench_workers());
+  std::vector<DetectionResult> detect(taus.size());
+  MitigationResult no_boost, with_boost;
+  // Shard the four detection runs and the two mitigation runs together.
+  pool.run(taus.size() + 2, [&](std::size_t j) {
+    if (j < taus.size()) {
+      detect[j] = detection_latency(taus[j]);
+    } else if (j == taus.size()) {
+      no_boost = mitigation(false);
+    } else {
+      with_boost = mitigation(true);
+    }
+  });
+
   std::printf("-- detection latency vs control interval --\n");
-  for (const double tau : {0.01, 0.025, 0.05, 0.1}) detection_latency(tau);
+  for (std::size_t i = 0; i < taus.size(); ++i) {
+    // The overload begins once the flows start (control latency ~0.105 s
+    // after the writes are issued).
+    std::printf("tau=%5.0f ms: first violation at t=%.3f s "
+                "(overload issued at t=%.1f s), total events=%zu\n",
+                taus[i] * 1e3, detect[i].first_violation, kOverloadTime,
+                detect[i].total_events);
+  }
 
   std::printf("\n-- reserve-capacity mitigation --\n");
-  mitigation(false);
-  mitigation(true);
+  for (const bool boost : {false, true}) {
+    const MitigationResult& m = boost ? with_boost : no_boost;
+    std::printf("boost=%-3s violations=%4zu boosts=%llu\n",
+                boost ? "on" : "off", m.violations,
+                static_cast<unsigned long long>(m.boosts));
+  }
   return 0;
 }

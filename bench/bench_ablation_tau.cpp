@@ -60,9 +60,13 @@ int main() {
   std::printf("==== ablation: control interval tau sensitivity ====\n");
   std::printf("%-10s %-10s %-10s %-12s %-12s\n", "tau_ms", "mean_fct",
               "p95_fct", "sla_events", "ctrl_msgs");
-  for (const double tau : {0.005, 0.01, 0.025, 0.05, 0.1, 0.2, 0.4}) {
-    const TauResult r = run(tau);
-    std::printf("%-10.0f %-10.3f %-10.3f %-12llu %-12llu\n", tau * 1e3,
+  const std::vector<double> taus = {0.005, 0.01, 0.025, 0.05, 0.1, 0.2, 0.4};
+  runner::WorkerPool pool(bench::bench_workers());
+  const auto results = runner::parallel_map<TauResult>(
+      pool, taus, [](double tau, std::size_t) { return run(tau); });
+  for (std::size_t i = 0; i < taus.size(); ++i) {
+    const TauResult& r = results[i];
+    std::printf("%-10.0f %-10.3f %-10.3f %-12llu %-12llu\n", taus[i] * 1e3,
                 r.mean_fct, r.p95_fct,
                 static_cast<unsigned long long>(r.sla),
                 static_cast<unsigned long long>(r.ctrl_msgs));

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/path_selector.h"
+#include "harness.h"
 #include "core/rate_allocator.h"
 #include "net/fat_tree.h"
 #include "net/general_topology.h"
@@ -99,50 +100,37 @@ Result run(net::Network& net, const std::vector<std::pair<net::NodeId,
   return r;
 }
 
-void leaf_spine_experiment() {
-  std::printf("-- leaf-spine, 4 spines, 8 cross-leaf 20 MB transfers --\n");
-  for (const Routing r :
-       {Routing::kSingle, Routing::kEcmp, Routing::kWidest}) {
-    sim::Simulator sim(13);
-    net::LeafSpineConfig cfg;
-    cfg.n_spines = 4;
-    cfg.n_leaves = 4;
-    cfg.servers_per_leaf = 4;
-    cfg.n_clients = 4;
-    cfg.server_bps = util::mbps(500);
-    cfg.fabric_bps = util::mbps(500);
-    net::LeafSpine ls(sim, cfg);
-    std::vector<std::pair<net::NodeId, net::NodeId>> pairs;
-    for (int i = 0; i < 8; ++i) {
-      const std::size_t src = static_cast<std::size_t>(i * 2 % 16);
-      pairs.emplace_back(ls.servers()[src], ls.servers()[(src + 8) % 16]);
-    }
-    const Result res = run(ls.net(), pairs, r, sim);
-    std::printf("%-20s mean_fct=%.2fs max_fct=%.2fs\n", name(r),
-                res.mean_fct, res.max_fct);
+Result run_leaf_spine(Routing r) {
+  sim::Simulator sim(13);
+  net::LeafSpineConfig cfg;
+  cfg.n_spines = 4;
+  cfg.n_leaves = 4;
+  cfg.servers_per_leaf = 4;
+  cfg.n_clients = 4;
+  cfg.server_bps = util::mbps(500);
+  cfg.fabric_bps = util::mbps(500);
+  net::LeafSpine ls(sim, cfg);
+  std::vector<std::pair<net::NodeId, net::NodeId>> pairs;
+  for (int i = 0; i < 8; ++i) {
+    const std::size_t src = static_cast<std::size_t>(i * 2 % 16);
+    pairs.emplace_back(ls.servers()[src], ls.servers()[(src + 8) % 16]);
   }
+  return run(ls.net(), pairs, r, sim);
 }
 
-void fat_tree_experiment() {
-  std::printf("\n-- k=4 fat-tree, 8 cross-pod 20 MB transfers --\n");
-  for (const Routing r :
-       {Routing::kSingle, Routing::kEcmp, Routing::kWidest}) {
-    sim::Simulator sim(17);
-    net::FatTreeConfig cfg;
-    cfg.k = 4;
-    cfg.n_clients = 4;
-    cfg.link_bps = util::mbps(500);
-    net::FatTree ft(sim, cfg);
-    std::vector<std::pair<net::NodeId, net::NodeId>> pairs;
-    for (int i = 0; i < 8; ++i) {
-      const std::size_t src = static_cast<std::size_t>(i * 2 % 16);
-      pairs.emplace_back(ft.servers()[src],
-                         ft.servers()[(src + 8) % 16]);
-    }
-    const Result res = run(ft.net(), pairs, r, sim);
-    std::printf("%-20s mean_fct=%.2fs max_fct=%.2fs\n", name(r),
-                res.mean_fct, res.max_fct);
+Result run_fat_tree(Routing r) {
+  sim::Simulator sim(17);
+  net::FatTreeConfig cfg;
+  cfg.k = 4;
+  cfg.n_clients = 4;
+  cfg.link_bps = util::mbps(500);
+  net::FatTree ft(sim, cfg);
+  std::vector<std::pair<net::NodeId, net::NodeId>> pairs;
+  for (int i = 0; i < 8; ++i) {
+    const std::size_t src = static_cast<std::size_t>(i * 2 % 16);
+    pairs.emplace_back(ft.servers()[src], ft.servers()[(src + 8) % 16]);
   }
+  return run(ft.net(), pairs, r, sim);
 }
 
 }  // namespace
@@ -150,8 +138,28 @@ void fat_tree_experiment() {
 int main() {
   std::printf("==== ablation: multipath routing on general topologies "
               "(sec IX/XI) ====\n");
-  leaf_spine_experiment();
-  fat_tree_experiment();
+  const std::vector<Routing> routings = {Routing::kSingle, Routing::kEcmp,
+                                         Routing::kWidest};
+  // One job per (fabric, routing) pair: leaf-spine first, fat-tree after.
+  std::vector<Result> ls(routings.size()), ft(routings.size());
+  runner::WorkerPool pool(bench::bench_workers());
+  pool.run(routings.size() * 2, [&](std::size_t j) {
+    if (j < routings.size()) {
+      ls[j] = run_leaf_spine(routings[j]);
+    } else {
+      ft[j - routings.size()] = run_fat_tree(routings[j - routings.size()]);
+    }
+  });
+
+  std::printf("-- leaf-spine, 4 spines, 8 cross-leaf 20 MB transfers --\n");
+  for (std::size_t i = 0; i < routings.size(); ++i)
+    std::printf("%-20s mean_fct=%.2fs max_fct=%.2fs\n", name(routings[i]),
+                ls[i].mean_fct, ls[i].max_fct);
+
+  std::printf("\n-- k=4 fat-tree, 8 cross-pod 20 MB transfers --\n");
+  for (std::size_t i = 0; i < routings.size(); ++i)
+    std::printf("%-20s mean_fct=%.2fs max_fct=%.2fs\n", name(routings[i]),
+                ft[i].mean_fct, ft[i].max_fct);
   std::printf("\n# widest-path uses the prospective rate gamma/(N-hat+1) as "
               "the link weight,\n# so concurrent placements avoid each "
               "other; ECMP collides by chance.\n");

@@ -9,6 +9,10 @@
 // <5 KB HTTP exchanges preceding each video. Expected shape: SCDA up to
 // ~50% higher instantaneous throughput, most flows finishing in much
 // shorter time, AFCT ~50-60% lower and far less jagged than RandTCP.
+//
+// Replication: SCDA_BENCH_SEEDS=N reruns both arms over N derived seeds
+// (sharded across SCDA_BENCH_WORKERS threads) and reports mean series with
+// stddev/CI summaries; unset, the output matches the single-run harness.
 #include "harness.h"
 #include "util/units.h"
 

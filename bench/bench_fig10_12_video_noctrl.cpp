@@ -4,6 +4,10 @@
 // (paper section X-A1, second experiment set). Expected shape unchanged:
 // SCDA wins on throughput and FCT; transfer times of <= 30 MB videos are
 // more than 50-60% smaller than RandTCP.
+//
+// Replication: SCDA_BENCH_SEEDS=N reruns both arms over N derived seeds
+// (sharded across SCDA_BENCH_WORKERS threads) and reports mean series with
+// stddev/CI summaries; unset, the output matches the single-run harness.
 #include "harness.h"
 #include "util/units.h"
 

@@ -4,6 +4,10 @@
 // under mice/elephant datacenter traffic with equal-bandwidth agg<->core
 // links. Expected shape: SCDA AFCT up to ~50% lower, with far smaller
 // fluctuation across size bins; SCDA's CDF strictly left of RandTCP's.
+//
+// Replication: SCDA_BENCH_SEEDS=N reruns both arms over N derived seeds
+// (sharded across SCDA_BENCH_WORKERS threads) and reports mean series with
+// stddev/CI summaries; unset, the output matches the single-run harness.
 #include "harness.h"
 #include "util/units.h"
 

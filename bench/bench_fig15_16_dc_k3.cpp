@@ -4,6 +4,10 @@
 // aggregation-to-core bandwidth. Expected shape: SCDA AFCT up to ~50%
 // lower; more than 60% of SCDA flows see up to 50% smaller transfer time
 // (CDF strictly left of RandTCP).
+//
+// Replication: SCDA_BENCH_SEEDS=N reruns both arms over N derived seeds
+// (sharded across SCDA_BENCH_WORKERS threads) and reports mean series with
+// stddev/CI summaries; unset, the output matches the single-run harness.
 #include "harness.h"
 #include "util/units.h"
 

@@ -4,6 +4,10 @@
 // arrivals Poisson with mean 200 flows/s, base bandwidth X = 200 Mbps,
 // bandwidth factor K = 3. Expected shape: SCDA sustains higher
 // instantaneous throughput and its FCT CDF sits left of RandTCP.
+//
+// Replication: SCDA_BENCH_SEEDS=N reruns both arms over N derived seeds
+// (sharded across SCDA_BENCH_WORKERS threads) and reports mean series with
+// stddev/CI summaries; unset, the output matches the single-run harness.
 #include "harness.h"
 #include "util/units.h"
 

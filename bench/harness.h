@@ -5,40 +5,30 @@
 // transport) and once with RandTCP (random placement + TCP NewReno, the
 // VL2/Hedera-style baseline) — and prints the series the paper's figures
 // plot, plus the headline SCDA-vs-RandTCP comparison.
+//
+// Execution goes through the sweep runner (src/runner): set
+// SCDA_BENCH_SEEDS=N to replicate every arm over N deterministically
+// derived seeds and print mean series with stddev/CI summaries, and
+// SCDA_BENCH_WORKERS=M to shard the runs over M threads (default: all
+// cores). Output is a pure function of the spec — worker count and
+// completion order never change a byte. With SCDA_BENCH_SEEDS unset (one
+// seed) the output is byte-identical to the historical sequential harness.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
-#include <functional>
-#include <memory>
-#include <string>
 
-#include "core/cloud.h"
-#include "stats/collector.h"
+#include "runner/experiment.h"
+#include "runner/sweep.h"
+#include "runner/worker_pool.h"
+#include "stats/aggregate.h"
 #include "stats/emit.h"
-#include "stats/perf.h"
-#include "stats/throughput.h"
-#include "workload/driver.h"
-#include "workload/generators.h"
 
 namespace scda::bench {
 
-struct ExperimentConfig {
-  std::string name;
-  net::TopologyConfig topology;
-  core::ScdaParams params;
-  workload::DriverConfig driver;
-  std::function<std::unique_ptr<workload::Generator>()> make_generator;
-  /// Simulated span: arrivals stop at driver.end_time_s; the run continues
-  /// to drain in-flight transfers until this time.
-  double sim_time_s = 120.0;
-  double throughput_interval_s = 1.0;
-  std::uint64_t seed = 0x5cda2013ULL;
-  /// The paper's figures measure client-visible transfers; internal
-  /// replication traffic is left off by default in the figure benches and
-  /// exercised by the ablation benches instead.
-  bool enable_replication = false;
-};
+using ExperimentConfig = runner::ExperimentConfig;
+using RunResult = stats::RunResult;
+using AfctBinning = runner::AfctBinning;
 
 /// Set SCDA_BENCH_QUICK=1 to run every experiment at 1/5 duration — handy
 /// while iterating; the emitted series are proportionally shorter.
@@ -47,79 +37,39 @@ inline bool quick_mode() {
   return v != nullptr && v[0] == '1';
 }
 
-struct RunResult {
-  stats::Summary summary;
-  std::vector<stats::ThroughputSample> throughput;
-  std::vector<stats::CdfPoint> fct_cdf;
-  std::vector<stats::AfctBin> afct;
-  double mean_throughput_kbs = 0;
-  std::uint64_t sla_violations = 0;
-  std::uint64_t failed_reads = 0;
-  double energy_j = 0;
-  std::uint64_t flows_completed = 0;
-  std::uint64_t events = 0;
-  stats::CorePerf perf;  ///< event-engine/link counters (docs/perf.md)
-};
+/// Replications per arm (SCDA_BENCH_SEEDS, default 1).
+inline std::uint64_t bench_seeds() {
+  if (const char* v = std::getenv("SCDA_BENCH_SEEDS")) {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n >= 1) return static_cast<std::uint64_t>(n);
+  }
+  return 1;
+}
 
-struct AfctBinning {
-  double bin_bytes = 1e6;   ///< paper figs 9/12 bin by MB; 13/15 by ~KB
-  double max_bytes = 90e6;
-};
+/// Worker threads for the sweep (SCDA_BENCH_WORKERS, default SCDA_WORKERS
+/// or all cores).
+inline unsigned bench_workers() {
+  if (const char* v = std::getenv("SCDA_BENCH_WORKERS")) {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n >= 1) return static_cast<unsigned>(n);
+  }
+  return runner::default_workers();
+}
 
-inline RunResult run_once(const ExperimentConfig& cfg_in,
-                          core::PlacementPolicy placement,
-                          transport::TransportKind transport,
-                          const AfctBinning& binning) {
+inline ExperimentConfig quick_scaled(const ExperimentConfig& cfg_in) {
   ExperimentConfig cfg = cfg_in;
   if (quick_mode()) {
     cfg.driver.end_time_s /= 5.0;
     cfg.sim_time_s = cfg.driver.end_time_s + 15.0;
   }
-  sim::Simulator sim(cfg.seed);
+  return cfg;
+}
 
-  core::CloudConfig cc;
-  cc.topology = cfg.topology;
-  cc.params = cfg.params;
-  cc.placement = placement;
-  cc.transport = transport;
-  cc.enable_replication = cfg.enable_replication;
-
-  core::Cloud cloud(sim, cc);
-  stats::FlowStatsCollector collector(cloud);
-  stats::ThroughputSampler thpt(sim, cloud.transports(),
-                                cfg.throughput_interval_s);
-
-  workload::WorkloadDriver driver(cloud, cfg.make_generator(), cfg.driver);
-  driver.start();
-
-  RunResult r;
-  r.events = sim.run_until(cfg.sim_time_s);
-  thpt.stop();
-
-  r.summary = collector.summary();
-  r.throughput = thpt.series();
-  r.fct_cdf = collector.fct_cdf();
-  r.afct = collector.afct_by_size(binning.bin_bytes, binning.max_bytes);
-  // Mean instantaneous throughput over the arrival window (the paper's
-  // figures span the 100 s of arrivals); the drain tail would otherwise
-  // penalize the system that finishes its backlog *earlier*.
-  {
-    double sum = 0;
-    std::size_t n = 0;
-    for (const auto& s : r.throughput) {
-      if (s.time_s <= cfg.driver.end_time_s) {
-        sum += s.kbytes_per_s;
-        ++n;
-      }
-    }
-    r.mean_throughput_kbs = n ? sum / static_cast<double>(n) : 0.0;
-  }
-  r.sla_violations = cloud.allocator().sla_violations();
-  r.failed_reads = cloud.failed_reads();
-  r.energy_j = cloud.total_energy_j();
-  r.flows_completed = collector.count();
-  r.perf = stats::collect_core_perf(sim, cloud.topology().net());
-  return r;
+inline RunResult run_once(const ExperimentConfig& cfg_in,
+                          core::PlacementPolicy placement,
+                          transport::TransportKind transport,
+                          const AfctBinning& binning) {
+  return runner::run_once(quick_scaled(cfg_in), placement, transport, binning);
 }
 
 struct FigureIds {
@@ -131,18 +81,13 @@ struct FigureIds {
   const char* afct_unit_name = "MB";
 };
 
-/// Run both systems and print every series of the experiment.
-inline void run_comparison(const ExperimentConfig& cfg, const FigureIds& figs,
-                           const AfctBinning& binning) {
-  std::printf("==== %s ====\n", cfg.name.c_str());
+namespace detail {
 
-  const RunResult scda_r =
-      run_once(cfg, core::PlacementPolicy::kScda,
-               transport::TransportKind::kScda, binning);
-  const RunResult rand_r =
-      run_once(cfg, core::PlacementPolicy::kRandom,
-               transport::TransportKind::kTcp, binning);
-
+/// The historical single-seed report: per-run series, summaries, headline
+/// comparison, core-perf counters. Byte-identical to the pre-runner
+/// harness.
+inline void print_single(const ExperimentConfig& cfg, const FigureIds& figs,
+                         const RunResult& scda_r, const RunResult& rand_r) {
   const auto label = [&](const char* base, const char* sys) {
     return cfg.name + " " + base + " (" + sys + ")";
   };
@@ -196,6 +141,84 @@ inline void run_comparison(const ExperimentConfig& cfg, const FigureIds& figs,
   stats::emit_core_perf(stdout, scda_r.perf);
   stats::emit_core_perf(stdout, rand_r.perf);
   std::printf("\n");
+}
+
+/// The replicated report: mean series per arm, mean ± stddev [CI95]
+/// scalar summaries, headline comparison of the means.
+inline void print_replicated(const ExperimentConfig& cfg,
+                             const FigureIds& figs,
+                             const runner::ArmSummary& scda_s,
+                             const runner::ArmSummary& rand_s) {
+  const auto label = [&](const char* base, const char* sys) {
+    return cfg.name + " " + base + " (" + sys + ", mean of " +
+           std::to_string(scda_s.agg.runs) + ")";
+  };
+
+  if (figs.throughput_fig > 0) {
+    std::printf("\n-- Figure %d: instantaneous average throughput --\n",
+                figs.throughput_fig);
+    stats::emit_throughput(stdout, label("inst thpt", "SCDA"),
+                           scda_s.agg.throughput);
+    stats::emit_throughput(stdout, label("inst thpt", "RandTCP"),
+                           rand_s.agg.throughput);
+  }
+  if (figs.cdf_fig > 0) {
+    std::printf("\n-- Figure %d: FCT CDF (quantile-averaged) --\n",
+                figs.cdf_fig);
+    stats::emit_cdf(stdout, label("FCT CDF", "SCDA"), scda_s.agg.fct_cdf);
+    stats::emit_cdf(stdout, label("FCT CDF", "RandTCP"), rand_s.agg.fct_cdf);
+  }
+  if (figs.afct_fig > 0) {
+    std::printf("\n-- Figure %d: AFCT vs content size (pooled) --\n",
+                figs.afct_fig);
+    stats::emit_afct(stdout, label("AFCT", "SCDA"), scda_s.agg.afct,
+                     figs.afct_size_unit, figs.afct_unit_name);
+    stats::emit_afct(stdout, label("AFCT", "RandTCP"), rand_s.agg.afct,
+                     figs.afct_size_unit, figs.afct_unit_name);
+  }
+
+  std::printf("\n-- summary --\n");
+  stats::emit_aggregate_text(stdout, cfg.name + " SCDA", scda_s.agg);
+  stats::emit_aggregate_text(stdout, cfg.name + " RandTCP", rand_s.agg);
+  const double scda_gp = scda_s.agg.goodput_bps.mean;
+  const double rand_gp = rand_s.agg.goodput_bps.mean;
+  if (rand_gp > 0) {
+    std::printf("# goodput: SCDA %.1f Mbps vs RandTCP %.1f Mbps "
+                "(%.1f%% higher, means over %llu seeds)\n",
+                scda_gp / 1e6, rand_gp / 1e6,
+                100.0 * (scda_gp - rand_gp) / rand_gp,
+                static_cast<unsigned long long>(scda_s.agg.runs));
+  }
+  std::printf("\n");
+}
+
+}  // namespace detail
+
+/// Run both systems — replicated over SCDA_BENCH_SEEDS seeds, sharded over
+/// SCDA_BENCH_WORKERS threads — and print every series of the experiment.
+inline void run_comparison(const ExperimentConfig& cfg, const FigureIds& figs,
+                           const AfctBinning& binning) {
+  std::printf("==== %s ====\n", cfg.name.c_str());
+
+  runner::SweepSpec spec;
+  spec.base = quick_scaled(cfg);
+  spec.binning = binning;
+  spec.arms = {
+      {"SCDA", core::PlacementPolicy::kScda, transport::TransportKind::kScda},
+      {"RandTCP", core::PlacementPolicy::kRandom,
+       transport::TransportKind::kTcp},
+  };
+  spec.seeds = bench_seeds();
+
+  runner::WorkerPool pool(bench_workers());
+  const runner::SweepResult res = runner::run_sweep(spec, pool);
+
+  if (spec.seeds == 1) {
+    detail::print_single(cfg, figs, res.results[0], res.results[1]);
+    return;
+  }
+  const auto arms = runner::aggregate_sweep(spec, res);
+  detail::print_replicated(cfg, figs, arms[0], arms[1]);
 }
 
 }  // namespace scda::bench

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Measure sweep-runner scaling: run the same 2-arm x N-seed sweep with 1
+# worker and with N workers, verify the aggregated stdout is byte-identical
+# (the runner's determinism contract), and record wall-clock times and the
+# speedup into BENCH_sweep.json.
+#
+# Usage: scripts/bench_sweep.sh [build-dir] [seeds] [workers]
+#   build-dir   default: build
+#   seeds       replications per arm (default 4)
+#   workers     parallel worker count (default: all cores)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+SEEDS="${2:-4}"
+WORKERS="${3:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)}"
+SWEEP="$BUILD_DIR/tools/scda-sweep"
+[ -x "$SWEEP" ] || {
+  echo "error: $SWEEP not built (cmake --build $BUILD_DIR --target scda_sweep_cli)" >&2
+  exit 1
+}
+
+# A fig17-style Pareto/Poisson comparison, sized so a run takes seconds.
+ARGS=(--workload pareto --arrival-rate 30 --duration 20 --drain 10
+      --agg 2 --tors 2 --servers 4 --clients 16
+      --seeds "$SEEDS" --json)
+
+OUT1="$(mktemp)" OUTN="$(mktemp)"
+trap 'rm -f "$OUT1" "$OUTN"' EXIT
+
+t_run() {  # t_run <workers> <outfile> -> seconds
+  local t0 t1
+  t0=$(date +%s.%N)
+  "$SWEEP" "${ARGS[@]}" --workers "$1" > "$2" 2>/dev/null
+  t1=$(date +%s.%N)
+  echo "$t0 $t1" | awk '{printf "%.3f", $2 - $1}'
+}
+
+echo "== scda-sweep: 2 arms x $SEEDS seeds, 1 vs $WORKERS workers =="
+T1=$(t_run 1 "$OUT1")
+echo "1 worker:  ${T1}s"
+TN=$(t_run "$WORKERS" "$OUTN")
+echo "$WORKERS workers: ${TN}s"
+
+if cmp -s "$OUT1" "$OUTN"; then
+  IDENTICAL=true
+  echo "aggregated output: byte-identical across worker counts"
+else
+  IDENTICAL=false
+  echo "ERROR: output differs between worker counts" >&2
+  diff "$OUT1" "$OUTN" | head >&2
+  exit 1
+fi
+
+python3 - "$T1" "$TN" "$SEEDS" "$WORKERS" "$IDENTICAL" <<'EOF'
+import json, os, sys
+from datetime import datetime, timezone
+
+t1, tn = float(sys.argv[1]), float(sys.argv[2])
+doc = {
+    "date": datetime.now(timezone.utc).date().isoformat(),
+    "host_cores": os.cpu_count(),
+    "sweep": {
+        "arms": 2,
+        "seeds": int(sys.argv[3]),
+        "runs": 2 * int(sys.argv[3]),
+        "workload": "pareto arrival_rate=30 duration=20s, 2x2x4 topology",
+    },
+    "workers_1_wall_s": t1,
+    "workers_n": int(sys.argv[4]),
+    "workers_n_wall_s": tn,
+    "speedup": round(t1 / tn, 2) if tn > 0 else None,
+    "byte_identical_output": sys.argv[5] == "true",
+}
+if os.cpu_count() and os.cpu_count() < int(sys.argv[4]):
+    doc["note"] = ("host has fewer cores than workers; speedup reflects "
+                   "oversubscription, not the runner's scaling ceiling")
+json.dump(doc, open("BENCH_sweep.json", "w"), indent=2)
+print(json.dumps(doc, indent=2))
+EOF

@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build + full test suite, twice.
+# Tier-1 verification: build + full test suite, three times.
 #
 #   1. Release-style build (RelWithDebInfo, the default) — what the
 #      benchmarks and figure reproductions run as.
 #   2. AddressSanitizer + UndefinedBehaviorSanitizer build — catches the
 #      class of bug the event-pool/packet-pool refactor could introduce
 #      (use-after-free through recycled slots, OOB heap positions).
+#   3. ThreadSanitizer build of the runner tests — the sweep runner shards
+#      simulation runs across threads, so its worker pool, the shared
+#      logger, and cross-instance Simulator isolation are validated under
+#      TSan (test_runner only: the rest of the suite is single-threaded).
 #
 # Usage: scripts/check.sh [extra ctest args...]
-# Builds live in build-check/ and build-check-asan/ so they never disturb
-# an existing build/ tree.
+# Builds live in build-check/, build-check-asan/ and build-check-tsan/ so
+# they never disturb an existing build/ tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,13 +27,21 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
-echo "== pass 1/2: RelWithDebInfo =="
+echo "== pass 1/3: RelWithDebInfo =="
 run_suite build-check -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
-echo "== pass 2/2: ASan + UBSan =="
+echo "== pass 2/3: ASan + UBSan =="
 run_suite build-check-asan \
   -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+
+echo "== pass 3/3: TSan (runner tests) =="
+cmake -B build-check-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" > /dev/null
+cmake --build build-check-tsan -j "$JOBS" --target test_runner
+./build-check-tsan/tests/test_runner
 
 echo "All checks passed."

@@ -5,41 +5,75 @@
 
 namespace scda::core {
 
+namespace {
+
+[[noreturn]] void missing_capacity() {
+  throw std::invalid_argument("water_fill: missing link capacity");
+}
+
+}  // namespace
+
 void water_fill(std::vector<ReferenceFlow>& flows,
                 const std::map<net::LinkId, double>& capacity_bps) {
-  std::map<net::LinkId, double> residual = capacity_bps;
+  // LinkIds are small sequential integers, so the capacity map flattens
+  // into dense LinkId-indexed tables: every per-link lookup in the O(L*F)
+  // inner loops becomes an array index instead of a red-black-tree walk.
+  net::LinkId max_id = -1;
+  for (const auto& [l, c] : capacity_bps) max_id = std::max(max_id, l);
+  const std::size_t n = static_cast<std::size_t>(max_id + 1);
+  std::vector<double> residual(n, 0.0);
+  std::vector<char> has_cap(n, 0);
+  for (const auto& [l, c] : capacity_bps) {
+    residual[static_cast<std::size_t>(l)] = c;
+    has_cap[static_cast<std::size_t>(l)] = 1;
+  }
+  const auto check = [&](net::LinkId l) -> std::size_t {
+    const auto i = static_cast<std::size_t>(l);
+    if (l < 0 || i >= n || !has_cap[i]) missing_capacity();
+    return i;
+  };
 
   // Grant reservations off the top (section IV-C).
   for (auto& f : flows) {
     f.rate_bps = -1.0;
     if (f.reserved_bps <= 0) continue;
-    for (const auto l : f.path) {
-      const auto it = residual.find(l);
-      if (it == residual.end())
-        throw std::invalid_argument("water_fill: missing link capacity");
-      it->second -= f.reserved_bps;  // may go negative: oversubscription
-    }
+    for (const auto l : f.path)
+      residual[check(l)] -= f.reserved_bps;  // may go negative: oversub
   }
 
+  std::vector<double> wsum(n, 0.0);
+  std::vector<char> is_touched(n, 0);
+  std::vector<net::LinkId> touched;  // links with unfrozen flows, unsorted
   std::size_t unfrozen = flows.size();
   while (unfrozen > 0) {
     // Weight sums of unfrozen flows per link.
-    std::map<net::LinkId, double> wsum;
+    for (const auto l : touched) {
+      wsum[static_cast<std::size_t>(l)] = 0.0;
+      is_touched[static_cast<std::size_t>(l)] = 0;
+    }
+    touched.clear();
     for (const auto& f : flows) {
       if (f.rate_bps >= 0) continue;
       for (const auto l : f.path) {
-        if (!capacity_bps.count(l))
-          throw std::invalid_argument("water_fill: missing link capacity");
-        wsum[l] += f.weight;
+        const std::size_t i = check(l);
+        wsum[i] += f.weight;
+        if (!is_touched[i]) {
+          is_touched[i] = 1;
+          touched.push_back(l);
+        }
       }
     }
     // Tightest link: minimum residual-per-weight level (floored at 0 for
-    // links oversubscribed by reservations).
+    // links oversubscribed by reservations). Iterate in ascending LinkId
+    // order — as the std::map-based version did — so ties freeze the same
+    // link and results stay bit-identical.
+    std::sort(touched.begin(), touched.end());
     double level = -1;
     net::LinkId arg = net::kInvalidLink;
-    for (const auto& [l, w] : wsum) {
-      if (w <= 0) continue;
-      const double lv = std::max(residual.at(l), 0.0) / w;
+    for (const auto l : touched) {
+      const std::size_t i = static_cast<std::size_t>(l);
+      if (wsum[i] <= 0) continue;
+      const double lv = std::max(residual[i], 0.0) / wsum[i];
       if (level < 0 || lv < level) {
         level = lv;
         arg = l;
@@ -60,7 +94,8 @@ void water_fill(std::vector<ReferenceFlow>& flows,
       const double share = f.weight * level;
       f.rate_bps = f.reserved_bps + share;
       --unfrozen;
-      for (const auto l : f.path) residual.at(l) -= share;
+      for (const auto l : f.path)
+        residual[static_cast<std::size_t>(l)] -= share;
     }
   }
 }

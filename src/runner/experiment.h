@@ -1,0 +1,51 @@
+// One simulated experiment run: configuration in, stats::RunResult out.
+//
+// Moved out of bench/harness.h so the sweep runner, the CLI tools and the
+// benchmarks all execute runs through the same code path. Each run_once()
+// call builds a private sim::Simulator and Cloud, so concurrent calls from
+// different threads are fully isolated — the only requirement on the
+// caller is that `make_generator` is safe to invoke concurrently (it is a
+// pure factory in every workload we ship).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/cloud.h"
+#include "stats/run_result.h"
+#include "workload/driver.h"
+#include "workload/generators.h"
+
+namespace scda::runner {
+
+struct ExperimentConfig {
+  std::string name;
+  net::TopologyConfig topology;
+  core::ScdaParams params;
+  workload::DriverConfig driver;
+  std::function<std::unique_ptr<workload::Generator>()> make_generator;
+  /// Simulated span: arrivals stop at driver.end_time_s; the run continues
+  /// to drain in-flight transfers until this time.
+  double sim_time_s = 120.0;
+  double throughput_interval_s = 1.0;
+  std::uint64_t seed = 0x5cda2013ULL;
+  /// The paper's figures measure client-visible transfers; internal
+  /// replication traffic is left off by default in the figure benches and
+  /// exercised by the ablation benches instead.
+  bool enable_replication = false;
+};
+
+struct AfctBinning {
+  double bin_bytes = 1e6;   ///< paper figs 9/12 bin by MB; 13/15 by ~KB
+  double max_bytes = 90e6;
+};
+
+/// Execute one run on a fresh Simulator seeded with cfg.seed.
+[[nodiscard]] stats::RunResult run_once(const ExperimentConfig& cfg,
+                                        core::PlacementPolicy placement,
+                                        transport::TransportKind transport,
+                                        const AfctBinning& binning);
+
+}  // namespace scda::runner

@@ -1,0 +1,224 @@
+#include "stats/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace scda::stats {
+
+Moments compute_moments(const std::vector<double>& xs) {
+  Moments m;
+  m.n = xs.size();
+  if (xs.empty()) return m;
+  double sum = 0;
+  m.min = xs.front();
+  m.max = xs.front();
+  for (const double x : xs) {
+    sum += x;
+    m.min = std::min(m.min, x);
+    m.max = std::max(m.max, x);
+  }
+  m.mean = sum / static_cast<double>(m.n);
+  if (m.n < 2) return m;
+  double ss = 0;
+  for (const double x : xs) ss += (x - m.mean) * (x - m.mean);
+  m.stddev = std::sqrt(ss / static_cast<double>(m.n - 1));
+  m.ci95_half = 1.96 * m.stddev / std::sqrt(static_cast<double>(m.n));
+  return m;
+}
+
+namespace {
+
+template <typename Get>
+Moments metric(const std::vector<const RunResult*>& runs, Get get) {
+  std::vector<double> xs;
+  xs.reserve(runs.size());
+  for (const RunResult* r : runs) xs.push_back(get(*r));
+  return compute_moments(xs);
+}
+
+/// Pointwise mean of the throughput series; samples are averaged per index
+/// over the runs that reach that index (drain tails may differ in length).
+std::vector<ThroughputSample> mean_throughput(
+    const std::vector<const RunResult*>& runs) {
+  std::size_t longest = 0;
+  for (const RunResult* r : runs)
+    longest = std::max(longest, r->throughput.size());
+  std::vector<ThroughputSample> out;
+  out.reserve(longest);
+  for (std::size_t i = 0; i < longest; ++i) {
+    double t = 0, v = 0;
+    std::uint64_t n = 0;
+    for (const RunResult* r : runs) {
+      if (i >= r->throughput.size()) continue;
+      t += r->throughput[i].time_s;
+      v += r->throughput[i].kbytes_per_s;
+      ++n;
+    }
+    out.push_back({t / static_cast<double>(n), v / static_cast<double>(n)});
+  }
+  return out;
+}
+
+/// Interpolated quantile x(p) on one empirical CDF (sorted x, p ascending).
+double quantile(const std::vector<CdfPoint>& cdf, double p) {
+  if (cdf.empty()) return 0;
+  if (p <= cdf.front().p) return cdf.front().x;
+  if (p >= cdf.back().p) return cdf.back().x;
+  const auto it = std::lower_bound(
+      cdf.begin(), cdf.end(), p,
+      [](const CdfPoint& c, double pp) { return c.p < pp; });
+  const auto lo = it - 1;
+  const double span = it->p - lo->p;
+  const double w = span > 0 ? (p - lo->p) / span : 0.0;
+  return lo->x + w * (it->x - lo->x);
+}
+
+/// Quantile-average the per-run CDFs on a fixed percent grid: replications
+/// complete different flow counts, so pointwise index alignment is
+/// meaningless, but x(p) averages cleanly.
+std::vector<CdfPoint> mean_cdf(const std::vector<const RunResult*>& runs) {
+  std::vector<const RunResult*> with;
+  for (const RunResult* r : runs)
+    if (!r->fct_cdf.empty()) with.push_back(r);
+  if (with.empty()) return {};
+  std::vector<CdfPoint> out;
+  out.reserve(100);
+  for (int pc = 1; pc <= 100; ++pc) {
+    const double p = static_cast<double>(pc) / 100.0;
+    double x = 0;
+    for (const RunResult* r : with) x += quantile(r->fct_cdf, p);
+    out.push_back({x / static_cast<double>(with.size()), p});
+  }
+  return out;
+}
+
+/// Pool AFCT bins keyed by size_mid (runs share the binning, but empty
+/// bins are elided per run, so align by key, not index).
+std::vector<AfctBin> pooled_afct(const std::vector<const RunResult*>& runs) {
+  std::map<double, std::pair<double, std::uint64_t>> bins;  // mid -> (sum, n)
+  for (const RunResult* r : runs) {
+    for (const AfctBin& b : r->afct) {
+      auto& [sum, n] = bins[b.size_mid];
+      sum += b.afct_s * static_cast<double>(b.count);
+      n += b.count;
+    }
+  }
+  std::vector<AfctBin> out;
+  out.reserve(bins.size());
+  for (const auto& [mid, acc] : bins)
+    out.push_back({mid, acc.first / static_cast<double>(acc.second),
+                   acc.second});
+  return out;
+}
+
+}  // namespace
+
+RunAggregate aggregate_runs(const std::vector<const RunResult*>& runs) {
+  RunAggregate a;
+  a.runs = runs.size();
+  if (runs.empty()) return a;
+  a.mean_fct_s = metric(runs, [](const RunResult& r) {
+    return r.summary.mean_fct_s;
+  });
+  a.median_fct_s = metric(runs, [](const RunResult& r) {
+    return r.summary.median_fct_s;
+  });
+  a.p95_fct_s = metric(runs, [](const RunResult& r) {
+    return r.summary.p95_fct_s;
+  });
+  a.goodput_bps = metric(runs, [](const RunResult& r) {
+    return r.summary.goodput_bps;
+  });
+  a.mean_throughput_kbs = metric(runs, [](const RunResult& r) {
+    return r.mean_throughput_kbs;
+  });
+  a.sla_violations = metric(runs, [](const RunResult& r) {
+    return static_cast<double>(r.sla_violations);
+  });
+  a.failed_reads = metric(runs, [](const RunResult& r) {
+    return static_cast<double>(r.failed_reads);
+  });
+  a.energy_j = metric(runs, [](const RunResult& r) { return r.energy_j; });
+  a.flows = metric(runs, [](const RunResult& r) {
+    return static_cast<double>(r.flows_completed);
+  });
+  a.events = metric(runs, [](const RunResult& r) {
+    return static_cast<double>(r.events);
+  });
+  a.throughput = mean_throughput(runs);
+  a.fct_cdf = mean_cdf(runs);
+  a.afct = pooled_afct(runs);
+  return a;
+}
+
+RunAggregate aggregate_runs(const std::vector<RunResult>& runs) {
+  std::vector<const RunResult*> ptrs;
+  ptrs.reserve(runs.size());
+  for (const RunResult& r : runs) ptrs.push_back(&r);
+  return aggregate_runs(ptrs);
+}
+
+namespace {
+
+void text_line(std::FILE* out, const char* name, const Moments& m,
+               const char* unit) {
+  std::fprintf(out, "#   %-18s %.4g ± %.3g [±%.3g] %s (min %.4g, max %.4g)\n",
+               name, m.mean, m.stddev, m.ci95_half, unit, m.min, m.max);
+}
+
+void json_moments(std::FILE* out, const char* name, const Moments& m,
+                  bool trailing_comma) {
+  std::fprintf(out,
+               "\"%s\":{\"mean\":%.9g,\"stddev\":%.9g,\"ci95\":%.9g,"
+               "\"min\":%.9g,\"max\":%.9g}%s",
+               name, m.mean, m.stddev, m.ci95_half, m.min, m.max,
+               trailing_comma ? "," : "");
+}
+
+}  // namespace
+
+void emit_aggregate_text(std::FILE* out, const std::string& label,
+                         const RunAggregate& agg) {
+  std::fprintf(out, "# %s — %llu replications (mean ± stddev [CI95])\n",
+               label.c_str(), static_cast<unsigned long long>(agg.runs));
+  text_line(out, "mean FCT", agg.mean_fct_s, "s");
+  text_line(out, "median FCT", agg.median_fct_s, "s");
+  text_line(out, "p95 FCT", agg.p95_fct_s, "s");
+  text_line(out, "goodput", agg.goodput_bps, "bps");
+  text_line(out, "mean inst thpt", agg.mean_throughput_kbs, "KB/s");
+  text_line(out, "SLA violations", agg.sla_violations, "");
+  text_line(out, "flows", agg.flows, "");
+}
+
+void emit_aggregate_json(std::FILE* out, const std::string& label,
+                         const RunAggregate& agg) {
+  std::fprintf(out, "{\"label\":\"%s\",\"runs\":%llu,", label.c_str(),
+               static_cast<unsigned long long>(agg.runs));
+  json_moments(out, "mean_fct_s", agg.mean_fct_s, true);
+  json_moments(out, "median_fct_s", agg.median_fct_s, true);
+  json_moments(out, "p95_fct_s", agg.p95_fct_s, true);
+  json_moments(out, "goodput_bps", agg.goodput_bps, true);
+  json_moments(out, "mean_throughput_kbs", agg.mean_throughput_kbs, true);
+  json_moments(out, "sla_violations", agg.sla_violations, true);
+  json_moments(out, "failed_reads", agg.failed_reads, true);
+  json_moments(out, "energy_j", agg.energy_j, true);
+  json_moments(out, "flows", agg.flows, true);
+  json_moments(out, "events", agg.events, true);
+  std::fprintf(out, "\"throughput\":[");
+  for (std::size_t i = 0; i < agg.throughput.size(); ++i)
+    std::fprintf(out, "%s[%.9g,%.9g]", i ? "," : "", agg.throughput[i].time_s,
+                 agg.throughput[i].kbytes_per_s);
+  std::fprintf(out, "],\"fct_cdf\":[");
+  for (std::size_t i = 0; i < agg.fct_cdf.size(); ++i)
+    std::fprintf(out, "%s[%.9g,%.9g]", i ? "," : "", agg.fct_cdf[i].x,
+                 agg.fct_cdf[i].p);
+  std::fprintf(out, "],\"afct\":[");
+  for (std::size_t i = 0; i < agg.afct.size(); ++i)
+    std::fprintf(out, "%s[%.9g,%.9g,%llu]", i ? "," : "",
+                 agg.afct[i].size_mid, agg.afct[i].afct_s,
+                 static_cast<unsigned long long>(agg.afct[i].count));
+  std::fprintf(out, "]}\n");
+}
+
+}  // namespace scda::stats

@@ -1,0 +1,68 @@
+// Replication aggregation: merge the RunResults of repeated runs (same
+// configuration, different seeds) into mean/stddev/CI summaries and
+// mean per-figure series.
+//
+// Determinism contract: every function here folds its inputs in the order
+// given. Feeding the same runs in the same order produces byte-identical
+// output regardless of how many worker threads produced them — the
+// property the sweep runner's 1-vs-N-worker test locks down.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "stats/run_result.h"
+
+namespace scda::stats {
+
+/// Sample moments of one scalar metric across replications.
+struct Moments {
+  std::uint64_t n = 0;
+  double mean = 0;
+  double stddev = 0;     ///< sample stddev (n-1); 0 when n < 2
+  double ci95_half = 0;  ///< 1.96 * stddev / sqrt(n); 0 when n < 2
+  double min = 0;
+  double max = 0;
+};
+
+[[nodiscard]] Moments compute_moments(const std::vector<double>& xs);
+
+/// Aggregate of N replicated runs of one experiment cell (one arm, one
+/// parameter setting, seeds varying).
+struct RunAggregate {
+  std::uint64_t runs = 0;
+
+  // Scalar metrics across replications.
+  Moments mean_fct_s;
+  Moments median_fct_s;
+  Moments p95_fct_s;
+  Moments goodput_bps;
+  Moments mean_throughput_kbs;
+  Moments sla_violations;
+  Moments failed_reads;
+  Moments energy_j;
+  Moments flows;
+  Moments events;
+
+  // Mean per-figure series.
+  std::vector<ThroughputSample> throughput;  ///< pointwise mean over runs
+  std::vector<CdfPoint> fct_cdf;  ///< quantile-averaged on a fixed p-grid
+  std::vector<AfctBin> afct;      ///< per-bin pooled (keyed by size_mid)
+};
+
+/// Merge runs (all replications of one cell) into a RunAggregate.
+[[nodiscard]] RunAggregate aggregate_runs(
+    const std::vector<const RunResult*>& runs);
+[[nodiscard]] RunAggregate aggregate_runs(const std::vector<RunResult>& runs);
+
+/// One `label: mean ± stddev [ci95] (n=..)` line per scalar metric.
+void emit_aggregate_text(std::FILE* out, const std::string& label,
+                         const RunAggregate& agg);
+
+/// The whole aggregate as a single JSON object line (stable key order and
+/// number formatting — the byte-identity anchor for determinism tests).
+void emit_aggregate_json(std::FILE* out, const std::string& label,
+                         const RunAggregate& agg);
+
+}  // namespace scda::stats

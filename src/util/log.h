@@ -1,13 +1,20 @@
 // SCDA logging: tiny leveled logger with compile-time cheap call sites.
 //
-// Intentionally minimal: the simulator is single-threaded per run, so no
-// locking is needed.  Benchmarks run with the logger silenced (kWarn).
+// Thread-safe: the sweep runner executes simulations on several threads,
+// and all of them share this global logger. The level and sink are
+// atomics (relaxed — a level change becoming visible a few messages late
+// is fine), and each message is formatted into a local buffer and handed
+// to the sink in a single fwrite, so concurrent writers can interleave
+// *lines* but never the bytes within one line.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 namespace scda::util {
 
@@ -23,26 +30,58 @@ enum class LogLevel : int {
 /// Global log threshold; messages below it are skipped.
 class Log {
  public:
-  static LogLevel level() noexcept { return level_; }
-  static void set_level(LogLevel lv) noexcept { level_ = lv; }
+  static LogLevel level() noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
+  static void set_level(LogLevel lv) noexcept {
+    level_.store(lv, std::memory_order_relaxed);
+  }
 
-  /// Redirect output (defaults to stderr). Not owned.
-  static void set_sink(std::FILE* sink) noexcept { sink_ = sink; }
+  /// Redirect output (defaults to stderr). Not owned. Swapping the sink
+  /// while other threads log is safe (they finish their line into the old
+  /// or new sink, never a torn one); the caller is responsible for the old
+  /// FILE* outliving in-flight writes.
+  static void set_sink(std::FILE* sink) noexcept {
+    sink_.store(sink, std::memory_order_relaxed);
+  }
 
   static bool enabled(LogLevel lv) noexcept {
-    return static_cast<int>(lv) >= static_cast<int>(level_);
+    return static_cast<int>(lv) >= static_cast<int>(level());
   }
 
   template <typename... Args>
   static void write(LogLevel lv, const char* fmt, Args&&... args) {
     if (!enabled(lv)) return;
-    std::fprintf(sink_, "[%s] ", name(lv));
+    char stack_buf[512];
+    int body;
     if constexpr (sizeof...(Args) == 0) {
-      std::fputs(fmt, sink_);
+      body = std::snprintf(stack_buf, sizeof stack_buf, "[%s] %s\n", name(lv),
+                           fmt);
     } else {
-      std::fprintf(sink_, fmt, std::forward<Args>(args)...);
+      char head[16];
+      std::snprintf(head, sizeof head, "[%s] ", name(lv));
+      std::memcpy(stack_buf, head, 8);
+      body = std::snprintf(stack_buf + 8, sizeof stack_buf - 9, fmt,
+                           std::forward<Args>(args)...);
+      if (body >= 0) {
+        const int used =
+            body < static_cast<int>(sizeof stack_buf) - 9
+                ? body
+                : static_cast<int>(sizeof stack_buf) - 10;
+        stack_buf[8 + used] = '\n';
+        stack_buf[8 + used + 1] = '\0';
+        body = 8 + used + 1;
+      }
     }
-    std::fputc('\n', sink_);
+    if (body < 0) return;  // encoding error: drop the message
+    std::size_t len = static_cast<std::size_t>(body);
+    if (len >= sizeof stack_buf) {  // truncated: keep the line terminated
+      len = sizeof stack_buf - 1;
+      stack_buf[len - 1] = '\n';
+    }
+    // One fwrite per line keeps concurrent writers' lines intact (POSIX
+    // stdio locks the stream per call).
+    std::fwrite(stack_buf, 1, len, sink_.load(std::memory_order_relaxed));
   }
 
  private:
@@ -58,8 +97,8 @@ class Log {
     return "?";
   }
 
-  inline static LogLevel level_ = LogLevel::kWarn;
-  inline static std::FILE* sink_ = stderr;
+  inline static std::atomic<LogLevel> level_{LogLevel::kWarn};
+  inline static std::atomic<std::FILE*> sink_{stderr};
 };
 
 }  // namespace scda::util

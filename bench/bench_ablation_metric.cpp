@@ -36,7 +36,8 @@ bench::RunResult run(core::RateMetricKind kind) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scda::bench::init_cli(argc, argv);
   std::printf("==== ablation: exact (eqs 2-4) vs simplified (eq 5) rate "
               "metric ====\n");
   const std::vector<core::RateMetricKind> kinds = {

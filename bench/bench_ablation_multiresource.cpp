@@ -65,7 +65,8 @@ MrResult run(core::PlacementPolicy pol, transport::TransportKind tk) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scda::bench::init_cli(argc, argv);
   std::printf("==== ablation: multi-resource (CPU/disk) bottlenecks "
               "(sec VI-A) ====\n");
   std::printf("8/16 servers disk-limited to 40 Mbps by background load\n\n");

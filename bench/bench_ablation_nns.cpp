@@ -55,7 +55,8 @@ NnsResult run(std::int32_t n_nns, int burst) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scda::bench::init_cli(argc, argv);
   std::printf("==== ablation: single NNS bottleneck vs FES + multi-NNS "
               "(sec III) ====\n");
   std::printf("%-10s %-22s %-22s\n", "burst",

@@ -84,7 +84,8 @@ PowerResult run(double rscale_bps, bool power_aware) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scda::bench::init_cli(argc, argv);
   std::printf("==== ablation: dormant servers & power-aware selection "
               "(sec VII-C/D) ====\n");
   std::printf("%-26s %-11s %-8s %-9s %-7s %-10s\n", "configuration",

@@ -87,7 +87,8 @@ SjfResult run_sjf(bool boost_short) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scda::bench::init_cli(argc, argv);
   std::printf("==== ablation: prioritized rate allocation (sec IV-A) ====\n");
   weighted_shares();
 

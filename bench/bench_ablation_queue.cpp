@@ -43,7 +43,8 @@ double run(core::PlacementPolicy pol, transport::TransportKind tk,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scda::bench::init_cli(argc, argv);
   std::printf("==== ablation: switch buffer size sensitivity ====\n");
   std::printf("%-14s %-14s %-14s\n", "queue_pkts", "scda_fct", "randtcp_fct");
   const std::vector<int> sizes = {16, 32, 64, 128, 256, 512};

@@ -62,7 +62,8 @@ SjfResult run(net::QueueDiscipline d) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scda::bench::init_cli(argc, argv);
   std::printf("==== ablation: OpenFlow SJF scheduling (sec IV-B) ====\n");
   const std::vector<net::QueueDiscipline> disciplines = {
       net::QueueDiscipline::kFifo, net::QueueDiscipline::kSjf};

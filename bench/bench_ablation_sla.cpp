@@ -86,7 +86,8 @@ MitigationResult mitigation(bool boost) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scda::bench::init_cli(argc, argv);
   std::printf("==== ablation: SLA violation detection & mitigation (sec IV-A) ====\n");
   const std::vector<double> taus = {0.01, 0.025, 0.05, 0.1};
   runner::WorkerPool pool(bench::bench_workers());

@@ -56,7 +56,8 @@ TauResult run(double tau) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scda::bench::init_cli(argc, argv);
   std::printf("==== ablation: control interval tau sensitivity ====\n");
   std::printf("%-10s %-10s %-10s %-12s %-12s\n", "tau_ms", "mean_fct",
               "p95_fct", "sla_events", "ctrl_msgs");

@@ -135,7 +135,8 @@ Result run_fat_tree(Routing r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scda::bench::init_cli(argc, argv);
   std::printf("==== ablation: multipath routing on general topologies "
               "(sec IX/XI) ====\n");
   const std::vector<Routing> routings = {Routing::kSingle, Routing::kEcmp,

@@ -16,7 +16,8 @@
 #include "harness.h"
 #include "util/units.h"
 
-int main() {
+int main(int argc, char** argv) {
+  scda::bench::init_cli(argc, argv);
   using namespace scda;
   bench::ExperimentConfig cfg;
   cfg.name = "video traces with control flows (figs 7-9)";

@@ -11,7 +11,8 @@
 #include "harness.h"
 #include "util/units.h"
 
-int main() {
+int main(int argc, char** argv) {
+  scda::bench::init_cli(argc, argv);
   using namespace scda;
   bench::ExperimentConfig cfg;
   cfg.name = "video traces without control flows (figs 10-12)";

@@ -17,18 +17,46 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "runner/experiment.h"
 #include "runner/sweep.h"
 #include "runner/worker_pool.h"
 #include "stats/aggregate.h"
 #include "stats/emit.h"
+#include "stats/metrics_collect.h"
 
 namespace scda::bench {
 
 using ExperimentConfig = runner::ExperimentConfig;
 using RunResult = stats::RunResult;
 using AfctBinning = runner::AfctBinning;
+
+/// Flight-recorder trace path requested on the command line (--trace=FILE);
+/// empty when tracing is off. Storage shared by init_cli/run_comparison.
+inline std::string& trace_path() {
+  static std::string path;
+  return path;
+}
+
+/// Parse the common bench CLI. Every figure bench calls this first thing in
+/// main(): `--trace=FILE` (or `--trace FILE`) records a Chrome trace-event
+/// JSON of the first SCDA run (seed 0) to FILE; unknown arguments abort
+/// with usage so typos do not silently run the default experiment.
+inline void init_cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--trace=", 8) == 0) {
+      trace_path() = a + 8;
+    } else if (std::strcmp(a, "--trace") == 0 && i + 1 < argc) {
+      trace_path() = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace=FILE]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+}
 
 /// Set SCDA_BENCH_QUICK=1 to run every experiment at 1/5 duration — handy
 /// while iterating; the emitted series are proportionally shorter.
@@ -140,6 +168,8 @@ inline void print_single(const ExperimentConfig& cfg, const FigureIds& figs,
               static_cast<unsigned long long>(rand_r.events));
   stats::emit_core_perf(stdout, scda_r.perf);
   stats::emit_core_perf(stdout, rand_r.perf);
+  stats::emit_metrics(stdout, scda_r.metrics);
+  stats::emit_metrics(stdout, rand_r.metrics);
   std::printf("\n");
 }
 
@@ -189,6 +219,8 @@ inline void print_replicated(const ExperimentConfig& cfg,
                 100.0 * (scda_gp - rand_gp) / rand_gp,
                 static_cast<unsigned long long>(scda_s.agg.runs));
   }
+  stats::emit_aggregate_metrics(stdout, scda_s.agg);
+  stats::emit_aggregate_metrics(stdout, rand_s.agg);
   std::printf("\n");
 }
 
@@ -209,6 +241,7 @@ inline void run_comparison(const ExperimentConfig& cfg, const FigureIds& figs,
        transport::TransportKind::kTcp},
   };
   spec.seeds = bench_seeds();
+  spec.trace_path = trace_path();  // first SCDA run (seed 0) records
 
   runner::WorkerPool pool(bench_workers());
   const runner::SweepResult res = runner::run_sweep(spec, pool);

@@ -1,23 +1,35 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build + full test suite, three times.
+# Tier-1 verification: build + full test suite, three passes.
 #
-#   1. Release-style build (RelWithDebInfo, the default) — what the
-#      benchmarks and figure reproductions run as.
-#   2. AddressSanitizer + UndefinedBehaviorSanitizer build — catches the
-#      class of bug the event-pool/packet-pool refactor could introduce
-#      (use-after-free through recycled slots, OOB heap positions).
-#   3. ThreadSanitizer build of the runner tests — the sweep runner shards
-#      simulation runs across threads, so its worker pool, the shared
-#      logger, and cross-instance Simulator isolation are validated under
-#      TSan (test_runner only: the rest of the suite is single-threaded).
+#   release  RelWithDebInfo build + full ctest — what the benchmarks and
+#            figure reproductions run as.
+#   asan     AddressSanitizer + UndefinedBehaviorSanitizer build — catches
+#            the class of bug the event-pool/packet-pool refactor could
+#            introduce (use-after-free through recycled slots, OOB heap
+#            positions).
+#   tsan     ThreadSanitizer build of the multithreaded surface — the sweep
+#            runner shards simulation runs across threads, so its worker
+#            pool, the shared logger, and cross-instance Simulator isolation
+#            are validated under TSan. Configured with
+#            -DSCDA_RUNNER_TESTS_ONLY=ON so ctest in that tree runs exactly
+#            test_runner plus the (multithreaded) scda-sweep smoke tests.
 #
 # Usage: scripts/check.sh [extra ctest args...]
+#   CHECK_PASSES=release,asan,tsan   comma-separated pass selector
+#                                    (default: all three). CI shards each
+#                                    pass onto its own job with this knob;
+#                                    run locally with no env for the full
+#                                    sequence.
+#
 # Builds live in build-check/, build-check-asan/ and build-check-tsan/ so
 # they never disturb an existing build/ tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+PASSES="${CHECK_PASSES:-release,asan,tsan}"
+
+want() { case ",$PASSES," in *",$1,"*) return 0 ;; *) return 1 ;; esac; }
 
 run_suite() {
   local dir="$1"
@@ -27,21 +39,31 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
-echo "== pass 1/3: RelWithDebInfo =="
-run_suite build-check -DCMAKE_BUILD_TYPE=RelWithDebInfo
+want release && {
+  echo "== pass: release (RelWithDebInfo) =="
+  run_suite build-check -DCMAKE_BUILD_TYPE=RelWithDebInfo
+}
 
-echo "== pass 2/3: ASan + UBSan =="
-run_suite build-check-asan \
-  -DCMAKE_BUILD_TYPE=Debug \
-  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+want asan && {
+  echo "== pass: ASan + UBSan =="
+  run_suite build-check-asan \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+}
 
-echo "== pass 3/3: TSan (runner tests) =="
-cmake -B build-check-tsan -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" > /dev/null
-cmake --build build-check-tsan -j "$JOBS" --target test_runner
-./build-check-tsan/tests/test_runner
+want tsan && {
+  echo "== pass: TSan (runner + sweep tool tests) =="
+  cmake -B build-check-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSCDA_RUNNER_TESTS_ONLY=ON \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" > /dev/null
+  # Only the multithreaded targets: test_runner and the CLI tools the
+  # smoke tests run (scda-sweep shards runs over a worker pool).
+  cmake --build build-check-tsan -j "$JOBS" \
+    --target test_runner scda_sim_cli scda_topo_cli scda_sweep_cli
+  ctest --test-dir build-check-tsan --output-on-failure -j "$JOBS"
+}
 
-echo "All checks passed."
+echo "All requested passes (${PASSES}) passed."

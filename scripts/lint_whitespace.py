@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Repo-wide whitespace lint: the style gates clang-format cannot express
+(and that run anywhere python3 runs, no LLVM install needed).
+
+Checks every tracked source/text file for:
+  - trailing whitespace
+  - hard tabs in C++ sources (the tree indents with spaces)
+  - CRLF line endings
+  - missing newline at end of file
+
+Exit status 0 when clean, 1 with a file:line listing otherwise.
+"""
+import subprocess
+import sys
+
+CXX_EXTS = (".h", ".cpp", ".cc", ".hpp")
+TEXT_EXTS = CXX_EXTS + (".md", ".txt", ".cmake", ".sh", ".py", ".yml", ".json")
+
+
+def tracked_files():
+    out = subprocess.run(
+        ["git", "ls-files"], capture_output=True, text=True, check=True
+    ).stdout
+    return [f for f in out.splitlines()
+            if f.endswith(TEXT_EXTS) or f.endswith("CMakeLists.txt")]
+
+
+def main():
+    problems = []
+    for path in tracked_files():
+        try:
+            with open(path, "rb") as f:
+                data = f.read()
+        except OSError as e:
+            problems.append(f"{path}: unreadable ({e})")
+            continue
+        if not data:
+            continue
+        if b"\r\n" in data:
+            problems.append(f"{path}: CRLF line endings")
+        if not data.endswith(b"\n"):
+            problems.append(f"{path}: missing newline at end of file")
+        for i, line in enumerate(data.split(b"\n"), start=1):
+            if line.rstrip(b"\r") != line.rstrip():
+                problems.append(f"{path}:{i}: trailing whitespace")
+            if b"\t" in line and path.endswith(CXX_EXTS):
+                problems.append(f"{path}:{i}: hard tab")
+    if problems:
+        print("\n".join(problems))
+        print(f"\n{len(problems)} whitespace problem(s)", file=sys.stderr)
+        return 1
+    print("whitespace lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/observability.h"
 #include "util/log.h"
 
 namespace scda::core {
@@ -114,6 +115,15 @@ void Cloud::control_tick() {
   const std::uint64_t reporters =
       servers_.size() + topo_.tors().size() + topo_.aggs().size() + 1;
   count_ctrl(reporters, reporters * kCtrlMsgBytes);
+
+  if (obs::TraceRecorder* tr = obs::tracer_of(sim_)) {
+    const double now = sim_.now();
+    tr->counter(now, "active_flows", static_cast<double>(ops_.size()));
+    tr->counter(now, "eventq_pending",
+                static_cast<double>(sim_.queue().scheduled()));
+    tr->counter(now, "dormant_servers",
+                static_cast<double>(dormant_servers()));
+  }
 }
 
 void Cloud::update_ongoing_flows() {

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/rate_metric.h"
+#include "obs/observability.h"
 #include "util/log.h"
 
 namespace scda::core {
@@ -114,6 +115,9 @@ void RateAllocator::refresh_flow_rates() {
 void RateAllocator::tick() {
   const double tau = params_.tau;
   const double now = net_.sim().now();
+  ++control_stats_.ticks;
+  control_stats_.flow_updates += flows_.size();
+  control_stats_.link_updates += links_.size();
 
   // Pass 1: effective capacity per link from the switch counters Q(t)
   // (and L(t) for the simplified metric).
@@ -173,9 +177,22 @@ void RateAllocator::tick() {
     if (sla_violated(st.rate_sum, st.gamma)) {
       ++st.sla_violations;
       ++total_sla_violations_;
+      if (obs::TraceRecorder* tr = obs::tracer_of(net_.sim())) {
+        tr->instant(now, "control", "sla_violation", obs::kTrackControl,
+                    {{"link", static_cast<double>(l)},
+                     {"rate_sum_bps", st.rate_sum},
+                     {"gamma_bps", st.gamma}});
+      }
       if (on_sla_)
         on_sla_(static_cast<net::LinkId>(l), st.rate_sum, st.gamma, now);
     }
+  }
+
+  if (obs::TraceRecorder* tr = obs::tracer_of(net_.sim())) {
+    tr->instant(now, "control", "ra_round", obs::kTrackControl,
+                {{"flows", static_cast<double>(flows_.size())},
+                 {"links", static_cast<double>(links_.size())},
+                 {"violations", static_cast<double>(total_sla_violations_)}});
   }
 }
 

@@ -111,6 +111,20 @@ class RateAllocator {
   /// Same, over an explicit link sequence.
   [[nodiscard]] double path_rate(const std::vector<net::LinkId>& path) const;
 
+  // --- control-plane cost counters -------------------------------------------
+  /// Cumulative RM/RA round cost: how many control ticks ran and how much
+  /// per-flow / per-link work each round performed (paper section VI's
+  /// message-exchange volume). Read by the observability layer at end of
+  /// run; maintained with plain increments so it costs nothing measurable.
+  struct ControlStats {
+    std::uint64_t ticks = 0;          ///< RM/RA rounds executed
+    std::uint64_t flow_updates = 0;   ///< per-flow rate recomputations
+    std::uint64_t link_updates = 0;   ///< per-link R_l recomputations
+  };
+  [[nodiscard]] const ControlStats& control_stats() const noexcept {
+    return control_stats_;
+  }
+
   // --- SLA -------------------------------------------------------------------
   void set_sla_callback(SlaViolationFn fn) { on_sla_ = std::move(fn); }
   [[nodiscard]] std::uint64_t sla_violations() const noexcept {
@@ -149,6 +163,7 @@ class RateAllocator {
   std::unordered_map<net::FlowId, FlowState> flows_;
   SlaViolationFn on_sla_;
   std::uint64_t total_sla_violations_ = 0;
+  ControlStats control_stats_;
 };
 
 }  // namespace scda::core

@@ -1,5 +1,6 @@
 #include "core/sla.h"
 
+#include "obs/observability.h"
 #include "util/log.h"
 
 namespace scda::core {
@@ -15,6 +16,12 @@ void SlaManager::on_violation(net::LinkId link, double demand, double gamma,
     l.set_capacity_bps(l.capacity_bps() * boost_factor_);
     boosted_[link] = true;
     ++boosts_applied_;
+    if (obs::TraceRecorder* tr = obs::tracer_of(net_.sim())) {
+      tr->instant(time, "control", "sla_capacity_boost", obs::kTrackControl,
+                  {{"link", static_cast<double>(link)},
+                   {"boost_factor", boost_factor_},
+                   {"capacity_bps", l.capacity_bps()}});
+    }
     SCDA_LOG_INFO("sla: boosted link %d capacity x%.2f at t=%.3f", link,
                   boost_factor_, time);
   }

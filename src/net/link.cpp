@@ -2,9 +2,20 @@
 
 #include <utility>
 
+#include "obs/observability.h"
 #include "util/log.h"
 
 namespace scda::net {
+
+void Link::trace_drop(const Packet& p, const char* reason) {
+  if (obs::TraceRecorder* tr = obs::tracer_of(sim_)) {
+    tr->instant(sim_.now(), "net", reason, obs::kTrackNet,
+                {{"link", static_cast<double>(id_)},
+                 {"flow", static_cast<double>(p.flow)},
+                 {"seq", static_cast<double>(p.seq)},
+                 {"queue_bytes", static_cast<double>(queued_bytes_)}});
+  }
+}
 
 bool Link::enqueue(Packet&& p) {
   interval_arrived_bytes_ += p.size_bytes;
@@ -12,6 +23,7 @@ bool Link::enqueue(Packet&& p) {
       loss_rng_->bernoulli(loss_probability_)) {
     ++stats_.dropped_packets;
     stats_.dropped_bytes += static_cast<std::uint64_t>(p.size_bytes);
+    trace_drop(p, "drop_error_model");
     return false;
   }
   if (queued_bytes_ + p.size_bytes > queue_limit_bytes_) {
@@ -21,6 +33,7 @@ bool Link::enqueue(Packet&& p) {
                    static_cast<long long>(p.flow),
                    static_cast<long long>(p.seq),
                    static_cast<long long>(queued_bytes_));
+    trace_drop(p, "drop_tail");
     return false;
   }
   queued_bytes_ += p.size_bytes;

@@ -141,6 +141,9 @@ class Link {
   void start_transmission();
   void on_tx_complete();
   void deliver_head();
+  /// Flight-recorder instant for a dropped packet (no-op when the
+  /// simulator carries no trace recorder).
+  void trace_drop(const Packet& p, const char* reason);
 
   sim::Simulator& sim_;
   LinkId id_;

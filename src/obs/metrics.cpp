@@ -1,0 +1,95 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace scda::obs {
+
+double MetricsSnapshot::value(const std::string& id, double fallback) const {
+  const auto it = std::lower_bound(
+      metrics.begin(), metrics.end(), id,
+      [](const Metric& m, const std::string& key) { return m.id < key; });
+  if (it == metrics.end() || it->id != id) return fallback;
+  return it->value;
+}
+
+bool MetricsSnapshot::has(const std::string& id) const {
+  const auto it = std::lower_bound(
+      metrics.begin(), metrics.end(), id,
+      [](const Metric& m, const std::string& key) { return m.id < key; });
+  return it != metrics.end() && it->id == id;
+}
+
+void MetricsSnapshot::write_json(std::FILE* out) const {
+  std::fputc('{', out);
+  for (std::size_t i = 0; i < metrics.size(); ++i)
+    std::fprintf(out, "%s\"%s\":%.9g", i ? "," : "", metrics[i].id.c_str(),
+                 metrics[i].value);
+  std::fputc('}', out);
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{";
+  char buf[64];
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%.9g", metrics[i].value);
+    if (i) out += ',';
+    out += '"';
+    out += metrics[i].id;
+    out += "\":";
+    out += buf;
+  }
+  out += '}';
+  return out;
+}
+
+void MetricsRegistry::add(const std::string& id, double delta) {
+  Cell& c = cells_[id];
+  c.kind = MetricKind::kCounter;
+  c.value += delta;
+}
+
+void MetricsRegistry::set(const std::string& id, double value) {
+  Cell& c = cells_[id];
+  c.kind = MetricKind::kGauge;
+  c.value = value;
+}
+
+void MetricsRegistry::observe(const std::string& id, double sample) {
+  Cell& c = cells_[id];
+  c.kind = MetricKind::kHistogram;
+  if (c.count == 0) {
+    c.min = sample;
+    c.max = sample;
+  } else {
+    c.min = std::min(c.min, sample);
+    c.max = std::max(c.max, sample);
+  }
+  c.value += sample;
+  ++c.count;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.metrics.reserve(cells_.size());
+  for (const auto& [id, c] : cells_) {
+    if (c.kind == MetricKind::kHistogram) {
+      snap.metrics.push_back(
+          {id + ".count", static_cast<double>(c.count)});
+      snap.metrics.push_back(
+          {id + ".mean",
+           c.count ? c.value / static_cast<double>(c.count) : 0.0});
+      snap.metrics.push_back({id + ".min", c.count ? c.min : 0.0});
+      snap.metrics.push_back({id + ".max", c.count ? c.max : 0.0});
+    } else {
+      snap.metrics.push_back({id, c.value});
+    }
+  }
+  // The map keeps parent ids sorted, but histogram expansion appends
+  // suffixes, so re-sort the flat list to keep the lower_bound lookups and
+  // the JSON key order exact.
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const Metric& a, const Metric& b) { return a.id < b.id; });
+  return snap;
+}
+
+}  // namespace scda::obs

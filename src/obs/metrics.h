@@ -1,0 +1,85 @@
+// MetricsRegistry: counters, gauges and histograms behind stable string
+// ids, snapshotted once per run into a flat, sorted id -> value list.
+//
+// The registry is the pull side of the observability layer: components
+// keep maintaining their own cheap counters (LinkStats, SenderStats,
+// EventQueueStats, ...) exactly as before, and stats::collect_run_metrics
+// reads them into the registry when the run ends. Nothing on the packet or
+// event hot path touches the registry, so a run with metrics disabled is
+// byte-for-byte the same machine code executing — the zero-overhead
+// contract tests/test_obs.cpp locks down.
+//
+// Determinism contract: snapshot() emits entries sorted by id and
+// histograms expanded into scalar sub-entries (.count/.mean/.min/.max), so
+// two runs with the same seed produce byte-identical JSON.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace scda::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// One snapshotted scalar. Histograms appear as several of these with
+/// derived id suffixes (`<id>.count`, `<id>.mean`, `<id>.min`, `<id>.max`).
+struct Metric {
+  std::string id;
+  double value = 0;
+};
+
+/// Flat, id-sorted view of a registry at one point in time.
+struct MetricsSnapshot {
+  std::vector<Metric> metrics;
+
+  [[nodiscard]] bool empty() const noexcept { return metrics.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return metrics.size(); }
+
+  /// Value of `id`, or `fallback` when absent.
+  [[nodiscard]] double value(const std::string& id,
+                             double fallback = 0) const;
+  [[nodiscard]] bool has(const std::string& id) const;
+
+  /// `{"id":value,...}` with %.9g numbers — stable key order and number
+  /// formatting (the byte-identity anchor for determinism tests).
+  void write_json(std::FILE* out) const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Counter: monotonically accumulated across the run.
+  void add(const std::string& id, double delta = 1.0);
+  /// Gauge: last write wins.
+  void set(const std::string& id, double value);
+  /// Histogram: running count/sum/min/max of observed samples.
+  void observe(const std::string& id, double sample);
+
+  [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+  void clear() { cells_.clear(); }
+
+  /// Flatten into an id-sorted snapshot (histograms expand to scalars).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  struct Cell {
+    MetricKind kind = MetricKind::kGauge;
+    double value = 0;  ///< counter total / gauge value / histogram sum
+    std::uint64_t count = 0;
+    double min = 0;
+    double max = 0;
+  };
+
+  /// std::map keeps cells id-sorted so snapshot() needs no extra sort and
+  /// iteration order is deterministic.
+  std::map<std::string, Cell> cells_;
+};
+
+}  // namespace scda::obs

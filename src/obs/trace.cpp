@@ -1,0 +1,172 @@
+#include "obs/trace.h"
+
+#include <cassert>
+
+namespace scda::obs {
+
+namespace {
+
+constexpr double kUsPerSecond = 1e6;
+
+void write_event_json(std::FILE* out, const char* ph, double ts_us,
+                      double dur_us, std::uint32_t tid, const char* cat,
+                      const char* name, std::uint64_t id, bool has_id,
+                      const TraceArg* args, std::size_t n_args) {
+  std::fprintf(out, "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\"", name,
+               cat, ph);
+  std::fprintf(out, ",\"ts\":%.3f", ts_us);
+  if (ph[0] == 'X') std::fprintf(out, ",\"dur\":%.3f", dur_us);
+  std::fprintf(out, ",\"pid\":0,\"tid\":%u", tid);
+  if (has_id) std::fprintf(out, ",\"id\":%llu,",
+                           static_cast<unsigned long long>(id));
+  else std::fputc(',', out);
+  if (ph[0] == 'i') std::fprintf(out, "\"s\":\"g\",");
+  std::fprintf(out, "\"args\":{");
+  for (std::size_t i = 0; i < n_args; ++i)
+    std::fprintf(out, "%s\"%s\":%.9g", i ? "," : "", args[i].key,
+                 args[i].value);
+  std::fprintf(out, "}}");
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  ring_.reserve(capacity);
+}
+
+void TraceRecorder::fill_args(Event& e,
+                              std::initializer_list<TraceArg> args) {
+  e.n_args = 0;
+  for (const TraceArg& a : args) {
+    if (e.n_args >= kMaxArgs) break;
+    e.args[e.n_args++] = a;
+  }
+}
+
+void TraceRecorder::push(const Event& e) {
+  ++recorded_;
+  if (ring_.size() < ring_.capacity()) {
+    ring_.push_back(e);
+    return;
+  }
+  ring_[head_] = e;
+  head_ = (head_ + 1) % ring_.size();
+}
+
+void TraceRecorder::instant(sim::Time t, const char* cat, const char* name,
+                            std::uint32_t tid,
+                            std::initializer_list<TraceArg> args) {
+  Event e;
+  e.ph = 'i';
+  e.ts_us = t * kUsPerSecond;
+  e.cat = cat;
+  e.name = name;
+  e.tid = tid;
+  fill_args(e, args);
+  push(e);
+}
+
+void TraceRecorder::async_begin(sim::Time t, const char* cat,
+                                const char* name, std::uint64_t id,
+                                std::initializer_list<TraceArg> args) {
+  Event e;
+  e.ph = 'b';
+  e.ts_us = t * kUsPerSecond;
+  e.cat = cat;
+  e.name = name;
+  e.tid = kTrackFlows;
+  e.id = id;
+  fill_args(e, args);
+  push(e);
+}
+
+void TraceRecorder::async_end(sim::Time t, const char* cat, const char* name,
+                              std::uint64_t id,
+                              std::initializer_list<TraceArg> args) {
+  Event e;
+  e.ph = 'e';
+  e.ts_us = t * kUsPerSecond;
+  e.cat = cat;
+  e.name = name;
+  e.tid = kTrackFlows;
+  e.id = id;
+  fill_args(e, args);
+  push(e);
+}
+
+void TraceRecorder::complete(sim::Time t, sim::Time dur, const char* cat,
+                             const char* name, std::uint32_t tid,
+                             std::initializer_list<TraceArg> args) {
+  Event e;
+  e.ph = 'X';
+  e.ts_us = t * kUsPerSecond;
+  e.dur_us = dur * kUsPerSecond;
+  e.cat = cat;
+  e.name = name;
+  e.tid = tid;
+  fill_args(e, args);
+  push(e);
+}
+
+void TraceRecorder::counter(sim::Time t, const char* name, double value) {
+  Event e;
+  e.ph = 'C';
+  e.ts_us = t * kUsPerSecond;
+  e.cat = "counter";
+  e.name = name;
+  e.tid = kTrackCounters;
+  e.args[0] = {"value", value};
+  e.n_args = 1;
+  push(e);
+}
+
+void TraceRecorder::write_json(std::FILE* out) const {
+  std::fprintf(out, "{\"traceEvents\":[\n");
+  bool first = true;
+  const auto emit = [&](const Event& e) {
+    if (!first) std::fprintf(out, ",\n");
+    first = false;
+    const char ph[2] = {e.ph, '\0'};
+    const bool has_id = e.ph == 'b' || e.ph == 'e';
+    write_event_json(out, ph, e.ts_us, e.dur_us, e.tid, e.cat, e.name, e.id,
+                     has_id, e.args.data(), e.n_args);
+  };
+  // Oldest first: once the ring has wrapped, `head_` is the oldest slot.
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    emit(ring_[(head_ + i) % ring_.size()]);
+  // Name the synthetic tracks so Perfetto shows readable lanes.
+  struct TrackName {
+    std::uint32_t tid;
+    const char* name;
+  };
+  static constexpr TrackName kTracks[] = {
+      {kTrackCounters, "counters"},  {kTrackFlows, "flows"},
+      {kTrackNet, "network"},        {kTrackControl, "control-plane"},
+      {kTrackTransport, "transport"},
+  };
+  for (const TrackName& tn : kTracks) {
+    if (!first) std::fprintf(out, ",\n");
+    first = false;
+    std::fprintf(out,
+                 "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                 "\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+                 tn.tid, tn.name);
+  }
+  std::fprintf(out,
+               "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+               "\"recorded\":%llu,\"dropped\":%llu,\"capacity\":%zu}}\n",
+               static_cast<unsigned long long>(recorded_),
+               static_cast<unsigned long long>(dropped()),
+               ring_.capacity());
+}
+
+bool TraceRecorder::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  write_json(f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace scda::obs

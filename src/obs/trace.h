@@ -1,0 +1,120 @@
+// TraceRecorder: a bounded flight recorder emitting Chrome trace-event
+// JSON (chrome://tracing / https://ui.perfetto.dev "Open trace file").
+//
+// Recording is allocation-free after construction: events are fixed-size
+// PODs written into a preallocated ring, and every name/category/arg key
+// must be a string literal (the recorder stores the pointer, not a copy).
+// When the ring fills, the oldest events are overwritten — flight-recorder
+// semantics — and the drop count is reported in the emitted metadata.
+//
+// Determinism contract: the serialized JSON is a pure function of the
+// recorded events. Identical seeds produce identical simulation times and
+// identical event sequences, so two runs of the same configuration write
+// byte-identical trace files (tests/test_obs.cpp).
+//
+// Event vocabulary (see docs/observability.md for the full schema):
+//   async_begin/async_end  flow lifecycle spans, keyed by flow id
+//   instant                packet drops, SLA violations, retransmits
+//   complete               RM/RA aggregation rounds (zero-duration in
+//                          simulated time; args carry the round cost)
+//   counter                sampled series (event-queue depth, active flows)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace scda::obs {
+
+/// One key/value pair attached to a trace event. `key` must outlive the
+/// recorder (use string literals).
+struct TraceArg {
+  const char* key = nullptr;
+  double value = 0;
+};
+
+/// Synthetic thread ids used to group events into Perfetto tracks.
+enum TraceTrack : std::uint32_t {
+  kTrackCounters = 0,
+  kTrackFlows = 1,
+  kTrackNet = 2,
+  kTrackControl = 3,
+  kTrackTransport = 4,
+};
+
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 18;  // ~10 MB
+  static constexpr std::size_t kMaxArgs = 4;
+
+  explicit TraceRecorder(std::size_t capacity = kDefaultCapacity);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Point event ("ph":"i"): drops, SLA violations, retransmits.
+  void instant(sim::Time t, const char* cat, const char* name,
+               std::uint32_t tid, std::initializer_list<TraceArg> args = {});
+
+  /// Async span ("ph":"b"/"e"): flow lifecycles, keyed by `id`.
+  void async_begin(sim::Time t, const char* cat, const char* name,
+                   std::uint64_t id,
+                   std::initializer_list<TraceArg> args = {});
+  void async_end(sim::Time t, const char* cat, const char* name,
+                 std::uint64_t id,
+                 std::initializer_list<TraceArg> args = {});
+
+  /// Complete event ("ph":"X") with an explicit duration in seconds.
+  void complete(sim::Time t, sim::Time dur, const char* cat, const char* name,
+                std::uint32_t tid,
+                std::initializer_list<TraceArg> args = {});
+
+  /// Counter sample ("ph":"C"): one series point of `name` at time `t`.
+  void counter(sim::Time t, const char* name, double value);
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return ring_.capacity();
+  }
+  /// Events currently held (<= capacity).
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+  /// Events recorded over the whole run, including overwritten ones.
+  [[nodiscard]] std::uint64_t recorded() const noexcept { return recorded_; }
+  /// Events lost to ring overwrite.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return recorded_ - size();
+  }
+
+  /// Serialize as a Chrome trace-event JSON object. Events are emitted
+  /// oldest-first; thread-name metadata and an `otherData` section with the
+  /// recorded/dropped totals are appended.
+  void write_json(std::FILE* out) const;
+  /// write_json to `path`; returns false when the file cannot be opened.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct Event {
+    double ts_us = 0;
+    double dur_us = 0;        ///< complete events only
+    std::uint64_t id = 0;     ///< async events only
+    const char* cat = nullptr;
+    const char* name = nullptr;
+    std::array<TraceArg, kMaxArgs> args{};
+    std::uint32_t tid = 0;
+    std::uint8_t n_args = 0;
+    char ph = 'i';
+  };
+
+  void push(const Event& e);
+  static void fill_args(Event& e, std::initializer_list<TraceArg> args);
+
+  std::vector<Event> ring_;  ///< capacity reserved up front, never grows
+  std::size_t head_ = 0;     ///< overwrite cursor once the ring is full
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace scda::obs

@@ -2,8 +2,10 @@
 
 #include "sim/simulator.h"
 #include "stats/collector.h"
+#include "stats/metrics_collect.h"
 #include "stats/perf.h"
 #include "stats/throughput.h"
+#include "util/log.h"
 
 namespace scda::runner {
 
@@ -12,6 +14,17 @@ stats::RunResult run_once(const ExperimentConfig& cfg,
                           transport::TransportKind transport,
                           const AfctBinning& binning) {
   sim::Simulator sim(cfg.seed);
+
+  // Attach observability before the Cloud is built so construction-time
+  // activity is visible to the flight recorder. The bundle lives on this
+  // stack frame: it dies with the run, and the simulator only ever holds a
+  // borrowed pointer.
+  obs::Observability observ;
+  const bool want_obs = cfg.obs.metrics || !cfg.obs.trace_path.empty();
+  if (want_obs) {
+    if (!cfg.obs.trace_path.empty()) observ.enable_trace(cfg.obs.trace_capacity);
+    sim.set_observability(&observ);
+  }
 
   core::CloudConfig cc;
   cc.topology = cfg.topology;
@@ -55,6 +68,17 @@ stats::RunResult run_once(const ExperimentConfig& cfg,
   r.energy_j = cloud.total_energy_j();
   r.flows_completed = collector.count();
   r.perf = stats::collect_core_perf(sim, cloud.topology().net());
+
+  if (cfg.obs.metrics) {
+    stats::collect_run_metrics(observ.metrics(), sim, cloud);
+    r.metrics = observ.metrics().snapshot();
+  }
+  if (obs::TraceRecorder* tr = observ.tracer()) {
+    if (!tr->write_file(cfg.obs.trace_path))
+      SCDA_LOG_ERROR("obs: cannot write trace file %s",
+                     cfg.obs.trace_path.c_str());
+  }
+  sim.set_observability(nullptr);
   return r;
 }
 

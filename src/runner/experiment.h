@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/cloud.h"
+#include "obs/observability.h"
 #include "stats/run_result.h"
 #include "workload/driver.h"
 #include "workload/generators.h"
@@ -35,6 +36,8 @@ struct ExperimentConfig {
   /// replication traffic is left off by default in the figure benches and
   /// exercised by the ablation benches instead.
   bool enable_replication = false;
+  /// Metrics snapshot + optional flight-recorder trace (docs/observability.md).
+  obs::ObsConfig obs;
 };
 
 struct AfctBinning {

@@ -145,6 +145,8 @@ ExperimentConfig make_run_config(const SweepSpec& spec, const RunSpec& run) {
   }
   cfg.seed = run.seed;
   cfg.name = run.name;
+  if (!spec.trace_path.empty() && run.index == 0)
+    cfg.obs.trace_path = spec.trace_path;
   return cfg;
 }
 

@@ -49,6 +49,11 @@ struct SweepSpec {
   std::vector<GridAxis> grid;   ///< empty = a single cell
   std::uint64_t seeds = 1;      ///< replications per (cell, arm)
   ParamFn custom_param;         ///< tried before the built-in knobs
+  /// When non-empty, run index 0 (first cell, first arm, seed 0 — benches
+  /// list the SCDA arm first) records a flight-recorder trace to this path
+  /// (docs/observability.md). One run only: a sweep-wide recorder would
+  /// interleave nondeterministically across workers.
+  std::string trace_path;
 };
 
 /// One expanded run. Replication `seed_index` of every arm shares the same

@@ -10,6 +10,10 @@
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 
+namespace scda::obs {
+class Observability;
+}  // namespace scda::obs
+
 namespace scda::sim {
 
 class Simulator {
@@ -28,6 +32,15 @@ class Simulator {
   [[nodiscard]] const EventQueueStats& perf() const noexcept {
     return queue_.perf();
   }
+
+  /// Observability context (metrics registry + optional trace recorder),
+  /// or nullptr when the run is uninstrumented. The simulator never
+  /// dereferences it — components check and use it through
+  /// obs/observability.h — so the run loop stays obs-free.
+  [[nodiscard]] obs::Observability* observability() const noexcept {
+    return obs_;
+  }
+  void set_observability(obs::Observability* o) noexcept { obs_ = o; }
 
   /// Schedule a callable `delay` seconds from now (delay >= 0). The
   /// callable is forwarded into the event pool without a temporary.
@@ -77,6 +90,7 @@ class Simulator {
   Time now_ = 0;
   EventQueue queue_;
   Rng rng_;
+  obs::Observability* obs_ = nullptr;
 };
 
 /// Re-arming periodic process: fires `tick` every `period` seconds starting

@@ -112,6 +112,23 @@ std::vector<AfctBin> pooled_afct(const std::vector<const RunResult*>& runs) {
   return out;
 }
 
+/// Per-id moments over the runs' metric snapshots. Ids come pre-sorted
+/// inside each snapshot; a std::map keyed by id keeps the merged order
+/// deterministic even if some run lacks an id (e.g. a zero-flow run never
+/// observed a histogram).
+std::vector<std::pair<std::string, Moments>> metric_moments(
+    const std::vector<const RunResult*>& runs) {
+  std::map<std::string, std::vector<double>> by_id;
+  for (const RunResult* r : runs)
+    for (const obs::Metric& m : r->metrics.metrics)
+      by_id[m.id].push_back(m.value);
+  std::vector<std::pair<std::string, Moments>> out;
+  out.reserve(by_id.size());
+  for (const auto& [id, xs] : by_id)
+    out.emplace_back(id, compute_moments(xs));
+  return out;
+}
+
 }  // namespace
 
 RunAggregate aggregate_runs(const std::vector<const RunResult*>& runs) {
@@ -149,6 +166,7 @@ RunAggregate aggregate_runs(const std::vector<const RunResult*>& runs) {
   a.throughput = mean_throughput(runs);
   a.fct_cdf = mean_cdf(runs);
   a.afct = pooled_afct(runs);
+  a.metrics = metric_moments(runs);
   return a;
 }
 
@@ -218,7 +236,23 @@ void emit_aggregate_json(std::FILE* out, const std::string& label,
     std::fprintf(out, "%s[%.9g,%.9g,%llu]", i ? "," : "",
                  agg.afct[i].size_mid, agg.afct[i].afct_s,
                  static_cast<unsigned long long>(agg.afct[i].count));
-  std::fprintf(out, "]}\n");
+  std::fprintf(out, "],\"metrics\":{");
+  for (std::size_t i = 0; i < agg.metrics.size(); ++i)
+    std::fprintf(out, "%s\"%s\":[%.9g,%.9g,%.9g,%.9g]", i ? "," : "",
+                 agg.metrics[i].first.c_str(), agg.metrics[i].second.mean,
+                 agg.metrics[i].second.stddev, agg.metrics[i].second.min,
+                 agg.metrics[i].second.max);
+  std::fprintf(out, "}}\n");
+}
+
+void emit_aggregate_metrics(std::FILE* out, const RunAggregate& agg) {
+  std::fprintf(out, "# metrics: {");
+  for (std::size_t i = 0; i < agg.metrics.size(); ++i)
+    std::fprintf(out, "%s\"%s\":[%.9g,%.9g,%.9g,%.9g]", i ? "," : "",
+                 agg.metrics[i].first.c_str(), agg.metrics[i].second.mean,
+                 agg.metrics[i].second.stddev, agg.metrics[i].second.min,
+                 agg.metrics[i].second.max);
+  std::fprintf(out, "}\n");
 }
 
 }  // namespace scda::stats

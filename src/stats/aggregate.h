@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "stats/run_result.h"
@@ -49,6 +50,11 @@ struct RunAggregate {
   std::vector<ThroughputSample> throughput;  ///< pointwise mean over runs
   std::vector<CdfPoint> fct_cdf;  ///< quantile-averaged on a fixed p-grid
   std::vector<AfctBin> afct;      ///< per-bin pooled (keyed by size_mid)
+
+  /// Per-metric-id moments over the runs that reported the id, in
+  /// ascending id order (docs/observability.md catalog). Empty when no run
+  /// carried a metrics snapshot.
+  std::vector<std::pair<std::string, Moments>> metrics;
 };
 
 /// Merge runs (all replications of one cell) into a RunAggregate.
@@ -64,5 +70,10 @@ void emit_aggregate_text(std::FILE* out, const std::string& label,
 /// number formatting — the byte-identity anchor for determinism tests).
 void emit_aggregate_json(std::FILE* out, const std::string& label,
                          const RunAggregate& agg);
+
+/// Just the aggregated metric catalog as a `# metrics: {...}` comment line
+/// (`"id":[mean,stddev,min,max]` per id) — what the bench harness prints in
+/// replicated mode.
+void emit_aggregate_metrics(std::FILE* out, const RunAggregate& agg);
 
 }  // namespace scda::stats

@@ -1,0 +1,116 @@
+#include "stats/metrics_collect.h"
+
+#include <cstdio>
+
+#include "core/cloud.h"
+#include "obs/observability.h"
+#include "sim/simulator.h"
+
+namespace scda::stats {
+
+void collect_run_metrics(obs::MetricsRegistry& reg, const sim::Simulator& sim,
+                         core::Cloud& cloud) {
+  const double now = sim.now();
+
+  // --- event engine ---------------------------------------------------------
+  const sim::EventQueueStats& q = sim.perf();
+  reg.add("sim.events.scheduled", static_cast<double>(q.scheduled));
+  reg.add("sim.events.popped", static_cast<double>(q.popped));
+  reg.add("sim.events.cancelled", static_cast<double>(q.cancelled));
+  reg.add("sim.events.stale_cancels", static_cast<double>(q.stale_cancels));
+  reg.set("sim.events.heap_hwm", static_cast<double>(q.heap_hwm));
+  reg.set("sim.events.pool_slots",
+          static_cast<double>(sim.queue().pool_capacity()));
+  reg.set("sim.time_s", now);
+
+  // --- packet path, summed over all links ----------------------------------
+  net::Network& net = cloud.topology().net();
+  std::uint64_t tx_packets = 0, tx_bytes = 0, dropped_packets = 0,
+                dropped_bytes = 0, enqueued = 0, queue_hwm = 0;
+  for (std::size_t i = 0; i < net.link_count(); ++i) {
+    const net::Link& l = net.link(static_cast<net::LinkId>(i));
+    const net::LinkStats& ls = l.stats();
+    tx_packets += ls.tx_packets;
+    tx_bytes += ls.tx_bytes;
+    dropped_packets += ls.dropped_packets;
+    dropped_bytes += ls.dropped_bytes;
+    enqueued += ls.enqueued_packets;
+    if (l.queue_perf().pool_hwm > queue_hwm)
+      queue_hwm = l.queue_perf().pool_hwm;
+    reg.observe("net.link.utilization", l.utilization(now));
+  }
+  reg.add("net.link.tx_packets", static_cast<double>(tx_packets));
+  reg.add("net.link.tx_bytes", static_cast<double>(tx_bytes));
+  reg.add("net.link.dropped_packets", static_cast<double>(dropped_packets));
+  reg.add("net.link.dropped_bytes", static_cast<double>(dropped_bytes));
+  reg.add("net.link.enqueued_packets", static_cast<double>(enqueued));
+  reg.set("net.link.queue_hwm", static_cast<double>(queue_hwm));
+  reg.set("net.link.count", static_cast<double>(net.link_count()));
+
+  // --- transport, summed over all flows' senders ----------------------------
+  transport::TransportManager& tm = cloud.transports();
+  std::uint64_t data_sent = 0, retransmits = 0, timeouts = 0, fast_rtx = 0,
+                completed = 0;
+  for (const auto& rec : tm.records()) {
+    if (rec->finished()) {
+      ++completed;
+      reg.observe("transport.fct_s", rec->fct());
+    }
+    if (const transport::WindowSender* s = tm.sender(rec->id)) {
+      const transport::SenderStats& ss = s->stats();
+      data_sent += ss.data_packets_sent;
+      retransmits += ss.retransmits;
+      timeouts += ss.timeouts;
+      fast_rtx += ss.fast_retransmits;
+      reg.observe("transport.cwnd_bytes", s->cwnd_bytes());
+    }
+  }
+  reg.add("transport.data_packets_sent", static_cast<double>(data_sent));
+  reg.add("transport.retransmits", static_cast<double>(retransmits));
+  reg.add("transport.timeouts", static_cast<double>(timeouts));
+  reg.add("transport.fast_retransmits", static_cast<double>(fast_rtx));
+  reg.add("transport.flows_completed", static_cast<double>(completed));
+  reg.add("transport.flows_started", static_cast<double>(tm.flow_count()));
+  reg.add("transport.delivered_bytes",
+          static_cast<double>(tm.total_delivered_bytes()));
+
+  // --- control plane (RM/RA round cost) + SLA -------------------------------
+  const core::RateAllocator::ControlStats& cs =
+      cloud.allocator().control_stats();
+  reg.add("core.control.ticks", static_cast<double>(cs.ticks));
+  reg.add("core.control.flow_updates", static_cast<double>(cs.flow_updates));
+  reg.add("core.control.link_updates", static_cast<double>(cs.link_updates));
+  reg.add("core.sla.violations",
+          static_cast<double>(cloud.allocator().sla_violations()));
+  reg.add("core.sla.boosts",
+          static_cast<double>(cloud.sla().boosts_applied()));
+
+  // --- cloud-level snapshot --------------------------------------------------
+  const core::CloudSnapshot snap = cloud.snapshot();
+  reg.set("cloud.contents_stored", static_cast<double>(snap.contents_stored));
+  reg.add("cloud.failed_reads", static_cast<double>(snap.failed_reads));
+  reg.add("cloud.failed_writes", static_cast<double>(snap.failed_writes));
+  reg.add("cloud.migrations", static_cast<double>(snap.migrations));
+  reg.set("cloud.dormant_servers", static_cast<double>(snap.dormant_servers));
+  reg.set("cloud.failed_servers", static_cast<double>(snap.failed_servers));
+  reg.set("cloud.energy_j", snap.total_energy_j);
+  reg.set("cloud.mean_nns_delay_s", snap.mean_nns_delay_s);
+  reg.add("cloud.control_messages", static_cast<double>(snap.control_messages));
+  reg.add("cloud.control_bytes", static_cast<double>(snap.control_bytes));
+
+  // --- flight recorder self-accounting ---------------------------------------
+  if (const obs::Observability* o = sim.observability()) {
+    if (const obs::TraceRecorder* tr = o->tracer()) {
+      reg.add("trace.events.recorded", static_cast<double>(tr->recorded()));
+      reg.add("trace.events.dropped", static_cast<double>(tr->dropped()));
+    }
+  }
+}
+
+void emit_metrics(std::FILE* out, const obs::MetricsSnapshot& snap) {
+  std::fprintf(out, "# metrics: ");
+  snap.write_json(out);
+  std::fprintf(out, "\n");
+}
+
+}  // namespace scda::stats

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "stats/collector.h"
 #include "stats/perf.h"
 #include "stats/throughput.h"
@@ -25,6 +26,9 @@ struct RunResult {
   std::uint64_t flows_completed = 0;
   std::uint64_t events = 0;
   CorePerf perf;  ///< event-engine/link counters (docs/perf.md)
+  /// Full-stack metric snapshot (docs/observability.md); empty when the
+  /// run's ObsConfig disabled metrics collection.
+  obs::MetricsSnapshot metrics;
 };
 
 }  // namespace scda::stats

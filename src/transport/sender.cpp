@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/observability.h"
 #include "util/log.h"
 
 namespace scda::transport {
@@ -145,6 +146,13 @@ void WindowSender::pump_paced() {
 void WindowSender::retransmit_at(std::int64_t seq) {
   if (seq >= rec_.size_bytes) return;
   ++stats_.retransmits;
+  if (obs::TraceRecorder* tr = obs::tracer_of(net_.sim())) {
+    tr->instant(net_.sim().now(), "transport", "retransmit",
+                obs::kTrackTransport,
+                {{"flow", static_cast<double>(rec_.id)},
+                 {"seq", static_cast<double>(seq)},
+                 {"cwnd_bytes", cwnd_}});
+  }
   send_segment(seq, /*is_retransmit=*/true);
 }
 

@@ -1,5 +1,7 @@
 #include "transport/transport_manager.h"
 
+#include "obs/observability.h"
+
 namespace scda::transport {
 
 Host& TransportManager::host(net::NodeId n) {
@@ -30,7 +32,28 @@ FlowRecord& TransportManager::new_record(net::NodeId src, net::NodeId dst,
   rec->transport = kind;
   rec->content = content;
   records_.push_back(std::move(rec));
-  return *records_.back();
+  FlowRecord& r = *records_.back();
+  if (obs::TraceRecorder* tr = obs::tracer_of(net_.sim())) {
+    tr->async_begin(r.start_time, "flow",
+                    kind == TransportKind::kTcp ? "tcp_flow" : "scda_flow",
+                    static_cast<std::uint64_t>(r.id),
+                    {{"src", static_cast<double>(r.src)},
+                     {"dst", static_cast<double>(r.dst)},
+                     {"bytes", static_cast<double>(r.size_bytes)}});
+  }
+  return r;
+}
+
+void TransportManager::finish_flow(const FlowRecord& r) {
+  if (obs::TraceRecorder* tr = obs::tracer_of(net_.sim())) {
+    tr->async_end(r.finish_time, "flow",
+                  r.transport == TransportKind::kTcp ? "tcp_flow"
+                                                     : "scda_flow",
+                  static_cast<std::uint64_t>(r.id),
+                  {{"fct_s", r.fct()},
+                   {"bytes", static_cast<double>(r.size_bytes)}});
+  }
+  if (on_complete_) on_complete_(r);
 }
 
 net::FlowId TransportManager::start_tcp_flow(net::NodeId src, net::NodeId dst,
@@ -42,9 +65,7 @@ net::FlowId TransportManager::start_tcp_flow(net::NodeId src, net::NodeId dst,
 
   auto recv = std::make_unique<Receiver>(
       net_, rec,
-      [this](const FlowRecord& r) {
-        if (on_complete_) on_complete_(r);
-      },
+      [this](const FlowRecord& r) { finish_flow(r); },
       tcp_rcvw_bytes_);
   recv->set_delivered_counter(&total_delivered_bytes_);
   if (tcp_config_.delayed_ack)
@@ -75,9 +96,7 @@ ScdaFlowHandles TransportManager::start_scda_flow(
       static_cast<std::int64_t>(initial_rcvw_rate_bps * rtt / 8.0);
   auto recv = std::make_unique<Receiver>(
       net_, rec,
-      [this](const FlowRecord& r) {
-        if (on_complete_) on_complete_(r);
-      },
+      [this](const FlowRecord& r) { finish_flow(r); },
       rcvw);
   recv->set_delivered_counter(&total_delivered_bytes_);
   auto send = std::make_unique<ScdaSender>(net_, rec, rtt, initial_rate_bps);

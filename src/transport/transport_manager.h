@@ -107,6 +107,9 @@ class TransportManager {
   FlowRecord& new_record(net::NodeId src, net::NodeId dst,
                          std::int64_t size_bytes, TransportKind kind,
                          ContentClass content);
+  /// Completion fan-in: closes the flow's trace span, then notifies the
+  /// registered completion callback.
+  void finish_flow(const FlowRecord& rec);
 
   net::Network& net_;
   FlowCompletionFn on_complete_;

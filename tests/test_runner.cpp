@@ -299,6 +299,31 @@ TEST(Sweep, AggregatedJsonIsByteIdenticalAcrossWorkerCounts) {
   EXPECT_NE(one.find("\"label\":\"RandTCP\""), std::string::npos);
 }
 
+TEST(Sweep, MetricsAreCollectedConcurrentlyAndMatchSerialRuns) {
+  // Each run's metrics registry is private to its run_once() call, so
+  // collection must be race-free under the worker pool (this test is part
+  // of the TSan shard) and per-run snapshots must not depend on how many
+  // workers executed the sweep.
+  runner::SweepSpec spec;
+  spec.base = tiny_experiment(0x5cda2013ULL);
+  spec.arms = {
+      {"SCDA", core::PlacementPolicy::kScda, transport::TransportKind::kScda},
+      {"RandTCP", core::PlacementPolicy::kRandom,
+       transport::TransportKind::kTcp},
+  };
+  spec.seeds = 4;
+  runner::WorkerPool serial(1);
+  runner::WorkerPool pool(4);
+  const runner::SweepResult one = runner::run_sweep(spec, serial);
+  const runner::SweepResult four = runner::run_sweep(spec, pool);
+  ASSERT_EQ(one.results.size(), four.results.size());
+  for (std::size_t i = 0; i < one.results.size(); ++i) {
+    EXPECT_FALSE(one.results[i].metrics.empty());
+    EXPECT_EQ(one.results[i].metrics.to_json(),
+              four.results[i].metrics.to_json());
+  }
+}
+
 TEST(Sweep, ExpansionIsPureAndPaired) {
   runner::SweepSpec spec;
   spec.base = tiny_experiment(9);

@@ -15,7 +15,9 @@
 #include <string>
 
 #include "core/cloud.h"
+#include "obs/observability.h"
 #include "stats/collector.h"
+#include "stats/metrics_collect.h"
 #include "stats/throughput.h"
 #include "util/args.h"
 #include "util/units.h"
@@ -47,6 +49,10 @@ void usage() {
       "  --replicate 0|1           replicate written content (default 1)\n"
       "  --seed N                  RNG seed\n"
       "  --out PREFIX              write PREFIX_{cdf,afct,thpt}.csv\n"
+      "  --trace-out FILE          record a Chrome trace-event JSON of the\n"
+      "                            run to FILE (open with ui.perfetto.dev;\n"
+      "                            --trace names an *input* workload trace)\n"
+      "  --metrics 0|1             print the metrics snapshot line (default 1)\n"
       "  --record-trace FILE       sample the workload into FILE and exit\n"
       "  --samples N               records for --record-trace (default 1000)\n");
 }
@@ -116,6 +122,11 @@ int main(int argc, char** argv) {
 
     sim::Simulator sim(static_cast<std::uint64_t>(args.get_int("seed", 1)));
 
+    obs::Observability observ;
+    const std::string trace_out = args.get("trace-out");
+    if (!trace_out.empty()) observ.enable_trace();
+    sim.set_observability(&observ);
+
     core::CloudConfig cfg;
     cfg.topology.base_bps = util::mbps(args.get_double("base-mbps", 500));
     cfg.topology.k_factor = args.get_double("k", 3.0);
@@ -171,6 +182,18 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cloud.failed_reads()),
                 cloud.total_energy_j() / 1e3,
                 static_cast<unsigned long long>(events));
+
+    if (args.get_bool("metrics", true)) {
+      stats::collect_run_metrics(observ.metrics(), sim, cloud);
+      stats::emit_metrics(stdout, observ.metrics().snapshot());
+    }
+    if (obs::TraceRecorder* tr = observ.tracer()) {
+      if (!tr->write_file(trace_out))
+        throw std::runtime_error("cannot write " + trace_out);
+      std::printf("wrote %s (%llu events, %llu dropped)\n", trace_out.c_str(),
+                  static_cast<unsigned long long>(tr->recorded()),
+                  static_cast<unsigned long long>(tr->dropped()));
+    }
 
     const std::string out = args.get("out");
     if (!out.empty()) {

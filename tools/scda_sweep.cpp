@@ -50,7 +50,10 @@ void usage() {
       "  --seed N                  base RNG seed (replication r derives\n"
       "                            its seed from it; r0 uses it verbatim)\n"
       "  --json                    one JSON object per (cell, arm) instead\n"
-      "                            of text summaries\n");
+      "                            of text summaries\n"
+      "  --trace FILE              record a Chrome trace-event JSON of run\n"
+      "                            index 0 (first arm, seed 0) to FILE;\n"
+      "                            open with Perfetto (ui.perfetto.dev)\n");
 }
 
 std::vector<runner::GridAxis> parse_grid(const std::string& spec) {
@@ -161,6 +164,7 @@ int main(int argc, char** argv) {
     spec.seeds = static_cast<std::uint64_t>(args.get_int("seeds", 4));
     if (spec.seeds < 1) throw std::invalid_argument("--seeds must be >= 1");
     spec.grid = parse_grid(args.get("grid"));
+    spec.trace_path = args.get("trace");
 
     const unsigned workers = args.has("workers")
                                  ? static_cast<unsigned>(

@@ -58,7 +58,7 @@ MrResult run(core::PlacementPolicy pol, transport::TransportKind tk) {
   workload::WorkloadDriver driver(
       cloud, std::make_unique<workload::ParetoPoissonWorkload>(pc), dc);
   driver.start();
-  sim.run_until(90.0);
+  sim.run_until(scda::sim::secs(90.0));
   r.mean_fct = col.summary().mean_fct_s;
   return r;
 }

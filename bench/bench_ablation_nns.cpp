@@ -38,7 +38,7 @@ NnsResult run(std::int32_t n_nns, int burst) {
   for (int i = 0; i < burst; ++i)
     cloud.write(static_cast<std::size_t>(i % 16), i + 1,
                 util::kilobytes(16));
-  sim.run_until(30.0);
+  sim.run_until(scda::sim::secs(30.0));
 
   NnsResult r;
   double total = 0;

@@ -52,7 +52,7 @@ PowerResult run(double rscale_bps, bool power_aware) {
   core::ContentId id = 1;
   for (int burst = 0; burst < 10; ++burst) {
     const double t = burst * 5.0;
-    sim.schedule_at(t, [&cloud, &mix, id]() mutable {
+    sim.post_at(scda::sim::secs(t), [&cloud, &mix, id]() mutable {
       for (int i = 0; i < 6; ++i) {
         const bool passive = mix.bernoulli(0.7);
         cloud.write(static_cast<std::size_t>(mix.uniform_int(0, 15)),
@@ -63,7 +63,7 @@ PowerResult run(double rscale_bps, bool power_aware) {
     });
     id += 6;
   }
-  sim.run_until(120.0);
+  sim.run_until(scda::sim::secs(120.0));
 
   PowerResult r;
   r.energy_kj = cloud.total_energy_j() / 1e3;

@@ -39,10 +39,10 @@ void weighted_shares() {
   cloud.write(0, 1, util::megabytes(50), transport::ContentClass::kSemiInteractive, 1.0);
   cloud.write(0, 2, util::megabytes(50), transport::ContentClass::kSemiInteractive, 2.0);
   cloud.write(0, 3, util::megabytes(50), transport::ContentClass::kSemiInteractive, 4.0);
-  sim.run_until(2.0);
-  const double r1 = cloud.allocator().flow_rate(0);
-  const double r2 = cloud.allocator().flow_rate(1);
-  const double r3 = cloud.allocator().flow_rate(2);
+  sim.run_until(scda::sim::secs(2.0));
+  const double r1 = cloud.allocator().flow_rate(scda::net::FlowId{0});
+  const double r2 = cloud.allocator().flow_rate(scda::net::FlowId{1});
+  const double r3 = cloud.allocator().flow_rate(scda::net::FlowId{2});
   std::printf("allocations: w=1 %.1f Mbps, w=2 %.1f Mbps, w=4 %.1f Mbps\n",
               r1 / 1e6, r2 / 1e6, r3 / 1e6);
   std::printf("ratios: %.2f : %.2f : %.2f (ideal 1 : 2 : 4)\n", r1 / r1,
@@ -68,7 +68,7 @@ SjfResult run_sjf(bool boost_short) {
   for (int i = 0; i < 4; ++i)
     cloud.write(static_cast<std::size_t>(i % 8), id++, util::megabytes(20),
                 transport::ContentClass::kSemiInteractive, 1.0);
-  sim.run_until(120.0);
+  sim.run_until(scda::sim::secs(120.0));
   SjfResult r;
   int ns = 0, nl = 0;
   for (const auto& rec : col.records()) {

@@ -37,7 +37,7 @@ double run(core::PlacementPolicy pol, transport::TransportKind tk,
   workload::WorkloadDriver driver(
       cloud, std::make_unique<workload::ParetoPoissonWorkload>(pc), dc);
   driver.start();
-  sim.run_until(70.0);
+  sim.run_until(scda::sim::secs(70.0));
   return col.summary().mean_fct_s;
 }
 

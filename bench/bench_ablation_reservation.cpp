@@ -37,7 +37,7 @@ double tagged_fct(int background_flows, double reserved_bps,
     cloud.write(0, i + 1, util::megabytes(40));
   cloud.write(0, 999, util::megabytes(10),
               transport::ContentClass::kSemiInteractive, 1.0, reserved_bps);
-  sim.run_until(300.0);
+  sim.run_until(scda::sim::secs(300.0));
   return fct;
 }
 

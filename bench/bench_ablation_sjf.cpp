@@ -50,11 +50,11 @@ SjfResult run(net::QueueDiscipline d) {
   for (int i = 0; i < 3; ++i) tm.start_tcp_flow(a, b, util::megabytes(25));
   sim::Rng rng(5);
   for (int i = 0; i < 40; ++i) {
-    sim.schedule_at(1.0 + i * 0.4, [&tm, &rng, a, b] {
+    sim.post_at(scda::sim::secs(1.0 + i * 0.4), [&tm, &rng, a, b] {
       tm.start_tcp_flow(a, b, rng.uniform_int(20'000, 200'000));
     });
   }
-  sim.run_until(300.0);
+  sim.run_until(scda::sim::secs(300.0));
   if (res.mice) res.mice_afct /= res.mice;
   if (res.elephants) res.elephant_afct /= res.elephants;
   return res;

@@ -42,7 +42,7 @@ DetectionResult detection_latency(double tau) {
   auto cfg = base();
   cfg.params.tau = tau;
   core::Cloud cloud(sim, cfg);
-  sim.schedule_at(kOverloadTime, [&] {
+  sim.post_at(scda::sim::secs(kOverloadTime), [&] {
     // Two 150 Mbps reservations through one client's 200 Mbps uplink.
     cloud.write(0, 1, util::megabytes(50),
                 transport::ContentClass::kSemiInteractive, 1.0,
@@ -51,12 +51,12 @@ DetectionResult detection_latency(double tau) {
                 transport::ContentClass::kSemiInteractive, 1.0,
                 util::mbps(150));
   });
-  sim.run_until(10.0);
+  sim.run_until(scda::sim::secs(10.0));
   DetectionResult r;
   r.total_events = cloud.sla().events().size();
   for (const auto& ev : cloud.sla().events()) {
-    if (ev.time >= kOverloadTime) {
-      r.first_violation = ev.time;
+    if (ev.time >= scda::sim::secs(kOverloadTime)) {
+      r.first_violation = ev.time.seconds();
       break;
     }
   }
@@ -79,7 +79,7 @@ MitigationResult mitigation(bool boost) {
   cloud.write(0, 2, util::megabytes(60),
               transport::ContentClass::kSemiInteractive, 1.0,
               util::mbps(150));
-  sim.run_until(60.0);
+  sim.run_until(scda::sim::secs(60.0));
   return {cloud.sla().events().size(),
           cloud.sla().boosts_applied()};
 }

@@ -43,7 +43,7 @@ TauResult run(double tau) {
   workload::WorkloadDriver driver(
       cloud, std::make_unique<workload::ParetoPoissonWorkload>(pc), dc);
   driver.start();
-  sim.run_until(50.0);
+  sim.run_until(scda::sim::secs(50.0));
 
   TauResult r;
   const stats::Summary s = col.summary();

@@ -57,7 +57,7 @@ Result run(net::Network& net, const std::vector<std::pair<net::NodeId,
     alloc.unregister_flow(r.id);
   });
 
-  sim::PeriodicProcess control(sim, params.tau, [&] {
+  sim::PeriodicProcess control(sim, sim::secs(params.tau), [&] {
     alloc.tick();
     for (const auto& rec : tm.records()) {
       if (rec->finished()) continue;
@@ -65,7 +65,7 @@ Result run(net::Network& net, const std::vector<std::pair<net::NodeId,
         s->set_rate(alloc.flow_rate(rec->id));
     }
   });
-  control.start(params.tau);
+  control.start(sim::secs(params.tau));
 
   for (const auto& [a, b] : pairs) {
     const net::FlowId id = tm.next_flow_id();
@@ -88,7 +88,7 @@ Result run(net::Network& net, const std::vector<std::pair<net::NodeId,
     tm.start_scda_flow(a, b, util::megabytes(20), alloc.flow_rate(id),
                        alloc.flow_rate(id));
   }
-  sim.run_until(sim.now() + 120.0);
+  sim.run_until(sim.now() + scda::sim::secs(120.0));
   control.stop();
 
   Result r;

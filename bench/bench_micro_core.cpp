@@ -24,7 +24,7 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   for (auto _ : state) {
     sim::EventQueue q;
     for (int i = 0; i < n; ++i)
-      q.schedule(static_cast<double>(i % 97), [] {});
+      q.post(sim::Time{static_cast<double>(i % 97)}, [] {});
     sim::EventQueue::Fired f;
     while (q.pop(f)) benchmark::DoNotOptimize(f.time);
   }
@@ -42,10 +42,10 @@ void BM_EventQueueCancelChurn(benchmark::State& state) {
     sim::EventQueue::Fired f;
     for (int i = 0; i < n; ++i) {
       const auto t = static_cast<double>(i);
-      q.schedule(t + 0.1, [] {});
-      auto rto = q.schedule(t + 5.0, [] {});
+      q.post(sim::Time{t + 0.1}, [] {});
+      auto rto = q.schedule(sim::Time{t + 5.0}, [] {});
       while (q.pop(f)) {
-        if (f.time > t + 0.2) break;  // fired the near event
+        if (f.time > sim::Time{t + 0.2}) break;  // fired the near event
       }
       q.cancel(rto);
     }
@@ -72,7 +72,7 @@ void BM_EventLoopThroughput(benchmark::State& state) {
       double period;
       void fire() {
         ++*fired;
-        if (--budget > 0) sim->schedule_in(period, [this] { fire(); });
+        if (--budget > 0) sim->post_in(sim::secs(period), [this] { fire(); });
       }
     };
     std::vector<Chain> cs;
@@ -81,7 +81,7 @@ void BM_EventLoopThroughput(benchmark::State& state) {
       cs.push_back(Chain{&sim, &fired, kEvents / static_cast<std::uint64_t>(chains),
                          1e-3 * (1.0 + 1e-4 * i)});
     }
-    for (auto& c : cs) sim.schedule_in(c.period, [&c] { c.fire(); });
+    for (auto& c : cs) sim.post_in(sim::secs(c.period), [&c] { c.fire(); });
     sim.run();
     total += fired;
   }
@@ -97,19 +97,22 @@ void BM_LinkPipelineThroughput(benchmark::State& state) {
   std::uint64_t delivered_total = 0;
   for (auto _ : state) {
     sim::Simulator sim(1);
-    net::Link link(sim, 0, 0, 1, 10e9, 5e-6, 1 << 22);
+    net::Link link(sim, net::LinkId{0}, net::NodeId{0}, net::NodeId{1}, 10e9,
+                   5e-6, 1 << 22);
     std::uint64_t delivered = 0;
     std::uint64_t sent = 0;
     link.set_deliver([&](net::Packet&&) {
       ++delivered;
       if (sent < kPackets) {
-        net::Packet p = net::make_data(1, 0, 1, 0, 1460, sim.now());
+        net::Packet p = net::make_data(net::FlowId{1}, net::NodeId{0},
+                                       net::NodeId{1}, 0, 1460, sim.now());
         ++sent;
         link.enqueue(std::move(p));
       }
     });
     for (int i = 0; i < 32; ++i) {
-      net::Packet p = net::make_data(1, 0, 1, 0, 1460, 0.0);
+      net::Packet p = net::make_data(net::FlowId{1}, net::NodeId{0},
+                                     net::NodeId{1}, 0, 1460, sim::Time{});
       ++sent;
       link.enqueue(std::move(p));
     }
@@ -128,13 +131,15 @@ void BM_LinkSjfDeepQueue(benchmark::State& state) {
   std::uint64_t delivered_total = 0;
   for (auto _ : state) {
     sim::Simulator sim(1);
-    net::Link link(sim, 0, 0, 1, 10e9, 5e-6, 1 << 30);
+    net::Link link(sim, net::LinkId{0}, net::NodeId{0}, net::NodeId{1}, 10e9,
+                   5e-6, 1 << 30);
     link.set_discipline(net::QueueDiscipline::kSjf);
     std::uint64_t delivered = 0;
     link.set_deliver([&](net::Packet&&) { ++delivered; });
     for (int i = 0; i < 32; ++i)
       for (int f = 0; f < flows; ++f)
-        link.enqueue(net::make_data(f, 0, 1, 0, 1460, 0.0));
+        link.enqueue(net::make_data(net::FlowId{f}, net::NodeId{0},
+                                    net::NodeId{1}, 0, 1460, sim::Time{}));
     sim.run();
     delivered_total += delivered;
   }
@@ -175,7 +180,7 @@ void BM_AllocatorTick(benchmark::State& state) {
   for (int f = 0; f < flows; ++f) {
     const auto c = static_cast<std::size_t>(rng.uniform_int(0, 63));
     const auto s = static_cast<std::size_t>(rng.uniform_int(0, 159));
-    alloc.register_flow(f, topo.clients()[c], topo.servers()[s]);
+    alloc.register_flow(net::FlowId{f}, topo.clients()[c], topo.servers()[s]);
   }
   for (auto _ : state) alloc.tick();
   state.SetItemsProcessed(state.iterations() * flows);
@@ -227,8 +232,8 @@ void BM_PacketForwarding(benchmark::State& state) {
   topo.net().node(topo.servers()[0]).set_sink(
       [&](net::Packet&&) { ++delivered; });
   for (auto _ : state) {
-    topo.net().send(net::make_data(1, topo.clients()[0], topo.servers()[0],
-                                   0, 1460, sim.now()));
+    topo.net().send(net::make_data(net::FlowId{1}, topo.clients()[0],
+                                   topo.servers()[0], 0, 1460, sim.now()));
     sim.run();
   }
   benchmark::DoNotOptimize(delivered);
@@ -252,7 +257,7 @@ void BM_ScdaFlowEndToEnd(benchmark::State& state) {
     transport::TransportManager tm(topo.net());
     auto h = tm.start_scda_flow(topo.clients()[0], topo.servers()[0],
                                 kBytes, 200e6, 200e6);
-    sim.run_until(60.0);
+    sim.run_until(sim::secs(60.0));
     packets += h.sender->stats().data_packets_sent;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(packets));
@@ -272,7 +277,7 @@ void BM_TcpFlowEndToEnd(benchmark::State& state) {
     net::ThreeTierTree topo(sim, tc);
     transport::TransportManager tm(topo.net());
     tm.start_tcp_flow(topo.clients()[0], topo.servers()[0], kBytes);
-    sim.run_until(120.0);
+    sim.run_until(sim::secs(120.0));
   }
   state.SetBytesProcessed(state.iterations() * kBytes);
 }
@@ -311,7 +316,7 @@ void BM_WidestPath(benchmark::State& state) {
   fc.n_clients = 2;
   net::FatTree ft(sim, fc);
   const auto rate = [](net::LinkId l) {
-    return 100e6 + static_cast<double>(l % 7);
+    return 100e6 + static_cast<double>(l.value() % 7);
   };
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::widest_path(

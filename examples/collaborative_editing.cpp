@@ -33,7 +33,7 @@ int main() {
       [&](const transport::FlowRecord& rec, const core::CloudOp& op) {
         if (op.kind == core::CloudOp::Kind::kAppend) ++edits;
         if (op.kind == core::CloudOp::Kind::kRead) ++fetches;
-        if (op.content == 999) flush_done = rec.finish_time;
+        if (op.content == 999) flush_done = rec.finish_time.seconds();
       });
 
   // The document itself (interactive class).
@@ -44,7 +44,7 @@ int main() {
   // (new content ids: deltas are distinct objects) and reads of the doc.
   for (int round = 0; round < 15; ++round) {
     const double t = 2.0 + round * 2.0;
-    sim.schedule_at(t, [&cloud, round] {
+    sim.post_at(sim::secs(t), [&cloud, round] {
       const auto who = static_cast<std::size_t>(round % 4);
       cloud.append(who, 1, util::kilobytes(32));  // edit the shared doc
       cloud.read(who, 1);
@@ -53,7 +53,7 @@ int main() {
 
   // t=20: someone triggers a full export that must land by t=24 (before
   // the review meeting) despite background load.
-  sim.schedule_at(20.0, [&cloud] {
+  sim.post_at(sim::secs(20.0), [&cloud] {
     for (int i = 0; i < 4; ++i)
       cloud.write(static_cast<std::size_t>(4 + i), 200 + i,
                   util::megabytes(30));  // background bulk traffic
@@ -61,7 +61,7 @@ int main() {
                               /*deadline=*/25.0);
   });
 
-  sim.run_until(60.0);
+  sim.run_until(sim::secs(60.0));
 
   std::printf("=== collaborative editing on SCDA ===\n");
   std::printf("delta writes completed: %d, document fetches: %d\n", edits,

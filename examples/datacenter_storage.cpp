@@ -59,7 +59,7 @@ int main() {
 
   // Realtime tenant: 8 MB telemetry chunks every 2 s with a reservation.
   for (int i = 0; i < 10; ++i) {
-    sim.schedule_at(i * 2.0, [&issue, &cloud, i] {
+    sim.post_at(sim::secs(i * 2.0), [&issue, &cloud, i] {
       (void)cloud;
       issue("realtime", 5, util::megabytes(8),
             transport::ContentClass::kSemiInteractive, 1.0,
@@ -69,14 +69,14 @@ int main() {
 
   // Premium tenant: 2 MB documents, priority 4, interactive class.
   for (int i = 0; i < 8; ++i) {
-    sim.schedule_at(1.0 + i * 2.5, [&issue, i] {
+    sim.post_at(sim::secs(1.0 + i * 2.5), [&issue, i] {
       issue("premium", static_cast<std::size_t>(6 + (i % 4)),
             util::megabytes(2), transport::ContentClass::kInteractive, 4.0,
             0.0);
     });
   }
 
-  sim.run_until(120.0);
+  sim.run_until(sim::secs(120.0));
 
   std::printf("=== multi-tenant datacenter storage ===\n");
   std::printf("%-10s %-8s %-12s\n", "tenant", "ops", "mean FCT (s)");

@@ -31,7 +31,7 @@ int main() {
 
   // Nightly backups: 12 passive archives over two minutes.
   for (int i = 0; i < 12; ++i) {
-    sim.schedule_at(i * 10.0, [&cloud, i] {
+    sim.post_at(sim::secs(i * 10.0), [&cloud, i] {
       cloud.write(static_cast<std::size_t>(i % 8), i + 1,
                   util::megabytes(5), transport::ContentClass::kPassive);
     });
@@ -40,7 +40,7 @@ int main() {
   cloud.write(0, 100, util::megabytes(2),
               transport::ContentClass::kInteractive);
 
-  sim.run_until(180.0);
+  sim.run_until(sim::secs(180.0));
 
   std::printf("=== energy-proportional archive tier ===\n");
   std::printf("%-6s %-9s %-10s %-10s %-8s\n", "srv", "state", "energy_kJ",

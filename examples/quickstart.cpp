@@ -34,12 +34,12 @@ int main() {
   cloud.write(/*client=*/2, /*content=*/3, util::kilobytes(64),
               transport::ContentClass::kPassive);
 
-  sim.schedule_at(5.0, [&] {
+  sim.post_at(sim::secs(5.0), [&] {
     cloud.read(/*client=*/3, /*content=*/1);
     cloud.read(/*client=*/4, /*content=*/2);
   });
 
-  sim.run_until(30.0);
+  sim.run_until(sim::secs(30.0));
 
   std::printf("=== quickstart: SCDA cloud ===\n");
   std::printf("servers: %zu  clients: %zu  links: %zu\n",

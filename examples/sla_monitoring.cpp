@@ -35,7 +35,7 @@ int main() {
 
   // At t=5 an aggressive tenant reserves 2 x 150 Mbps through one client
   // uplink of 200 Mbps.
-  sim.schedule_at(5.0, [&cloud] {
+  sim.post_at(sim::secs(5.0), [&cloud] {
     cloud.write(0, 10, util::megabytes(40),
                 transport::ContentClass::kSemiInteractive, 1.0,
                 util::mbps(150));
@@ -44,7 +44,7 @@ int main() {
                 util::mbps(150));
   });
 
-  sim.run_until(60.0);
+  sim.run_until(sim::secs(60.0));
 
   std::printf("=== SLA monitoring ===\n");
   const auto& events = cloud.sla().events();
@@ -54,8 +54,9 @@ int main() {
   std::printf("first 5 events (time, link, demand vs effective capacity):\n");
   for (std::size_t i = 0; i < events.size() && i < 5; ++i) {
     const auto& e = events[i];
-    std::printf("  t=%.3fs  link=%d  %.1f Mbps > %.1f Mbps\n", e.time,
-                e.link, e.demand_bps / 1e6, e.capacity_bps / 1e6);
+    std::printf("  t=%.3fs  link=%d  %.1f Mbps > %.1f Mbps\n",
+                e.time.seconds(), e.link.value(), e.demand_bps / 1e6,
+                e.capacity_bps / 1e6);
   }
 
   const core::SlaLevelReport rep = cloud.hierarchy().sla_report();

@@ -38,15 +38,15 @@ int main() {
 
   // Video 3 goes viral: 12 viewers read it over the next minute.
   for (int viewer = 0; viewer < 12; ++viewer) {
-    sim.schedule_at(20.0 + viewer * 3.0, [&cloud, viewer] {
+    sim.post_at(sim::secs(20.0 + viewer * 3.0), [&cloud, viewer] {
       cloud.read(static_cast<std::size_t>(8 + viewer), /*content=*/3);
     });
   }
   // The other videos get one or two casual viewers.
-  sim.schedule_at(30.0, [&cloud] { cloud.read(20, 1); });
-  sim.schedule_at(40.0, [&cloud] { cloud.read(21, 5); });
+  sim.post_at(sim::secs(30.0), [&cloud] { cloud.read(20, 1); });
+  sim.post_at(sim::secs(40.0), [&cloud] { cloud.read(21, 5); });
 
-  sim.run_until(120.0);
+  sim.run_until(sim::secs(120.0));
 
   std::printf("=== video CDN on SCDA ===\n");
   std::printf("uploads + reads completed: %zu\n", collector.count());

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build + full test suite, three passes.
+# Tier-1 verification: lints + build + full test suite.
 #
+#   lint     scripts/lint.sh — whitespace, the determinism linter (with
+#            its fixture self-test), and clang-tidy when installed. Runs
+#            first because it fails in seconds.
 #   release  RelWithDebInfo build + full ctest — what the benchmarks and
 #            figure reproductions run as.
 #   asan     AddressSanitizer + UndefinedBehaviorSanitizer build — catches
@@ -15,8 +18,8 @@
 #            test_runner plus the (multithreaded) scda-sweep smoke tests.
 #
 # Usage: scripts/check.sh [extra ctest args...]
-#   CHECK_PASSES=release,asan,tsan   comma-separated pass selector
-#                                    (default: all three). CI shards each
+#   CHECK_PASSES=lint,release,asan,tsan  comma-separated pass selector
+#                                    (default: all four). CI shards each
 #                                    pass onto its own job with this knob;
 #                                    run locally with no env for the full
 #                                    sequence.
@@ -27,7 +30,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
-PASSES="${CHECK_PASSES:-release,asan,tsan}"
+PASSES="${CHECK_PASSES:-lint,release,asan,tsan}"
 
 want() { case ",$PASSES," in *",$1,"*) return 0 ;; *) return 1 ;; esac; }
 
@@ -37,6 +40,11 @@ run_suite() {
   cmake -B "$dir" -S . "$@" > /dev/null
   cmake --build "$dir" -j "$JOBS"
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+want lint && {
+  echo "== pass: lint (whitespace + determinism + clang-tidy if present) =="
+  scripts/lint.sh build-check
 }
 
 want release && {

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Single entry point for the repo's source-level lints (layer 3 of the
+# static-analysis pass, docs/static_analysis.md):
+#
+#   1. whitespace lint       (scripts/lint_whitespace.py, whole tree)
+#   2. determinism linter    self-test + src/ scan
+#                            (scripts/lint_determinism.py)
+#   3. clang-tidy            under the committed .clang-tidy, when the
+#                            binary and a compile database are available
+#                            (CI installs it; containers without LLVM
+#                            skip with a notice, they still get layers
+#                            1-2 plus the SCDA_STRICT warning gate).
+#
+# Usage: scripts/lint.sh [compile-db-dir]
+#   SCDA_LINT_TIDY=0   skip clang-tidy even if installed
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== lint: whitespace =="
+python3 scripts/lint_whitespace.py
+
+echo "== lint: determinism (self-test) =="
+python3 scripts/lint_determinism.py --self-test
+
+echo "== lint: determinism (src/) =="
+python3 scripts/lint_determinism.py
+
+if [[ "${SCDA_LINT_TIDY:-1}" != "0" ]] && command -v clang-tidy > /dev/null; then
+  db_dir="${1:-build}"
+  if [[ ! -f "$db_dir/compile_commands.json" ]]; then
+    echo "== lint: clang-tidy: configuring $db_dir for a compile database =="
+    cmake -B "$db_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  fi
+  echo "== lint: clang-tidy (src/, .clang-tidy) =="
+  # xargs -P: clang-tidy is single-threaded per TU.
+  find src -name '*.cpp' -print0 |
+    xargs -0 -P "$(nproc 2>/dev/null || echo 4)" -n 4 \
+      clang-tidy -p "$db_dir" --quiet
+else
+  echo "== lint: clang-tidy not available or disabled — skipped" \
+       "(CI runs it; see docs/static_analysis.md) =="
+fi
+
+echo "All lints passed."

@@ -1,0 +1,391 @@
+#!/usr/bin/env python3
+"""Determinism linter: static checks for the project invariant that
+identical seeds produce byte-identical metrics, traces and sweep JSON.
+
+The compiler cannot see these bugs — they compile cleanly and only show
+up as a wrong figure — so this linter enforces them as source rules:
+
+  rand            C rand()/srand() (not seed-reproducible, global state).
+                  Simulations draw from the per-instance sim::Rng.
+  wall-clock      time(), clock(), gettimeofday(), std::chrono clock
+                  now() — wall-clock reads make output depend on when a
+                  run happened, not on the seed.
+  random-device   std::random_device — hardware entropy is the definition
+                  of a non-reproducible seed source.
+  unordered-iter  range-for over a std::unordered_{map,set} whose body
+                  accumulates (+=) or emits (printf/<<) — iteration order
+                  is implementation-defined, so float accumulation order
+                  and emission order drift between runs/platforms.
+  map-hot-path    std::map/std::set in files listed under "## Hot-path
+                  files" in docs/perf.md — red-black trees on the per-
+                  event/per-packet path; use a dense table or a sorted
+                  vector (see the water_fill rewrite).
+  float-eq        == / != with a statically recognizable floating-point
+                  operand (a float literal or a .seconds() unwrap).
+                  Exact float equality is at best fragile and at worst
+                  an iteration-order-sensitive branch; compare against
+                  an epsilon or operate on the exact representation.
+
+Escape hatch: append `// scda-lint: allow(<rule>)` to the offending line
+(or the line directly above it) with a justification, e.g.
+
+    std::map<std::int64_t, std::int64_t> ooo_;  // scda-lint: allow(map-hot-path) ordered reassembly
+
+Usage:
+  scripts/lint_determinism.py              # lint src/ (the default scope)
+  scripts/lint_determinism.py FILE...      # lint specific files
+  scripts/lint_determinism.py --self-test  # run the fixture suite
+
+Exit status 0 when clean, 1 with a file:line listing otherwise.
+"""
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FIXTURE_DIR = os.path.join(REPO_ROOT, "scripts", "lint_fixtures")
+PERF_DOC = os.path.join(REPO_ROOT, "docs", "perf.md")
+CXX_EXTS = (".h", ".cpp", ".cc", ".hpp")
+
+ALLOW_RE = re.compile(r"//\s*scda-lint:\s*allow\(([a-z\-,\s]+)\)")
+FLOAT_LIT = re.compile(r"(?<![\w.])(\d+\.\d*|\.\d+)(e[+-]?\d+)?[fF]?(?![\w.])|"
+                       r"(?<![\w.])\d+e[+-]?\d+[fF]?(?![\w.])")
+
+RULES = ("rand", "wall-clock", "random-device", "unordered-iter",
+         "map-hot-path", "float-eq")
+
+
+def strip_code(text):
+    """Blank out comments and string/char literals, preserving line
+    structure so line numbers survive. Returns the stripped text."""
+    out = []
+    i, n = 0, len(text)
+    state = None  # None | "line" | "block" | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                state = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        else:  # inside a string or char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == state:
+                state = None
+                out.append(c)
+            elif c == "\n":  # unterminated (raw strings etc.) — bail out
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def allowed_rules(raw_lines, lineno):
+    """Rules allowed for `lineno` (1-based): same line or the line above."""
+    rules = set()
+    for ln in (lineno, lineno - 1):
+        if 1 <= ln <= len(raw_lines):
+            m = ALLOW_RE.search(raw_lines[ln - 1])
+            if m:
+                rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+def hot_path_files():
+    """Parse the '## Hot-path files' section of docs/perf.md: lines of the
+    form `- \\`path\\`` until the next heading."""
+    paths = set()
+    try:
+        with open(PERF_DOC) as f:
+            doc = f.read()
+    except OSError:
+        return paths
+    in_section = False
+    for line in doc.splitlines():
+        if line.startswith("## "):
+            in_section = line.strip().lower() == "## hot-path files"
+            continue
+        if in_section:
+            m = re.match(r"-\s+`([^`]+)`", line.strip())
+            if m:
+                paths.add(m.group(1))
+    return paths
+
+
+def collect_unordered_names(stripped_texts):
+    """Identifiers declared anywhere in the scanned set with an unordered
+    container type (covers members declared in a header and iterated in
+    the matching .cpp)."""
+    names = set()
+    decl = re.compile(
+        r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<")
+    # After the closing '>': optional ref/pointer, the identifier, then a
+    # declarator terminator (covers members, locals and parameters).
+    ident = re.compile(r"[\s&*]*(\w+)\s*[=;{,)]")
+    for text in stripped_texts.values():
+        for m in decl.finditer(text):
+            # Find the end of the template argument list, then the name.
+            depth, i = 0, m.end() - 1
+            while i < len(text):
+                if text[i] == "<":
+                    depth += 1
+                elif text[i] == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            tail = text[i + 1:i + 80]
+            nm = ident.match(tail)
+            if nm:
+                names.add(nm.group(1))
+    return names
+
+
+def body_extent(text, open_brace):
+    depth = 0
+    i = open_brace
+    while i < len(text):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return len(text)
+
+
+ACCUM_OR_EMIT = re.compile(
+    r"\+=|-=|\*=|/=|\bprintf\b|\bfprintf\b|\bsnprintf\b|"
+    r"<<|\.add\(|\bappend\b|\bto_json\b|\bemit\w*\(")
+RANGE_FOR = re.compile(r"\bfor\s*\(")
+
+
+def check_unordered_iter(stripped, unordered_names, report):
+    """Flag range-fors over unordered containers whose body accumulates or
+    emits. A body that only fills an intermediate and sorts it is fine —
+    but the linter cannot prove that, so such loops carry an allow()."""
+    for m in RANGE_FOR.finditer(stripped):
+        close = body_extent(stripped, stripped.find("(", m.start()) )
+        head_open = stripped.find("(", m.start())
+        # extent of the for(...) header
+        depth, i = 0, head_open
+        while i < len(stripped):
+            if stripped[i] == "(":
+                depth += 1
+            elif stripped[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        header = stripped[head_open:i + 1]
+        if ":" not in header:
+            continue  # classic for loop
+        range_expr = header.rsplit(":", 1)[1]
+        toks = set(re.findall(r"\w+", range_expr))
+        if not (toks & unordered_names):
+            continue
+        brace = stripped.find("{", i)
+        if brace < 0 or brace - i > 120:
+            # brace-less single statement: treat the next line as the body
+            body = stripped[i:stripped.find(";", i) + 1]
+        else:
+            body = stripped[brace:body_extent(stripped, brace) + 1]
+        if ACCUM_OR_EMIT.search(body):
+            lineno = stripped.count("\n", 0, m.start()) + 1
+            report(lineno, "unordered-iter",
+                   "iteration over unordered container feeds an "
+                   "accumulation or emission (order-dependent)")
+
+
+OPERAND_DELIMS = re.compile(r"[,;(){}?]|&&|\|\|")
+
+
+def check_float_eq(stripped, report):
+    for m in re.finditer(r"[=!]=(?!=)", stripped):
+        if m.start() > 0 and stripped[m.start() - 1] in "=!<>+-*/%&|^":
+            continue
+        line_start = stripped.rfind("\n", 0, m.start()) + 1
+        line_end = stripped.find("\n", m.end())
+        if line_end < 0:
+            line_end = len(stripped)
+        lhs = stripped[line_start:m.start()]
+        rhs = stripped[m.end():line_end]
+        # Trim both sides at the nearest expression delimiter.
+        parts = OPERAND_DELIMS.split(lhs)
+        lhs_op = parts[-1] if parts else ""
+        parts = OPERAND_DELIMS.split(rhs)
+        rhs_op = parts[0] if parts else ""
+        if (FLOAT_LIT.search(lhs_op) or FLOAT_LIT.search(rhs_op)
+                or ".seconds()" in lhs_op or ".seconds()" in rhs_op):
+            lineno = stripped.count("\n", 0, m.start()) + 1
+            report(lineno, "float-eq",
+                   "exact floating-point equality comparison")
+
+
+SIMPLE_RULES = (
+    # (rule, regex, message)
+    ("rand", re.compile(r"(?<![\w:.])s?rand\s*\(|std\s*::\s*s?rand\b"),
+     "C rand()/srand(); use the per-instance sim::Rng"),
+    ("wall-clock",
+     re.compile(r"(?<![\w:.])(time|clock|gettimeofday|localtime|gmtime)"
+                r"\s*\(|_clock\s*::\s*now\s*\(|\bClock::now\s*\("),
+     "wall-clock read; simulation output must depend only on the seed"),
+    ("random-device", re.compile(r"std\s*::\s*random_device\b"),
+     "hardware entropy source; seeds must be explicit and logged"),
+)
+
+
+def lint_file(path, rel, stripped, unordered_names, hot_files, violations):
+    with open(path) as f:
+        raw_lines = f.read().splitlines()
+
+    def report(lineno, rule, msg):
+        if rule in allowed_rules(raw_lines, lineno):
+            return
+        violations.append((rel, lineno, rule, msg))
+
+    for rule, rx, msg in SIMPLE_RULES:
+        for m in rx.finditer(stripped):
+            report(stripped.count("\n", 0, m.start()) + 1, rule, msg)
+
+    if rel in hot_files:
+        for m in re.finditer(r"std\s*::\s*(map|set|multimap|multiset)\s*<",
+                             stripped):
+            report(stripped.count("\n", 0, m.start()) + 1, "map-hot-path",
+                   "ordered tree container in a hot-path file "
+                   "(docs/perf.md); use a dense table or sorted vector")
+
+    check_unordered_iter(stripped, unordered_names, report)
+    check_float_eq(stripped, report)
+
+
+def gather_files(paths):
+    files = []
+    for p in paths:
+        if os.path.isdir(p):
+            for root, _dirs, names in sorted(os.walk(p)):
+                for n in sorted(names):
+                    if n.endswith(CXX_EXTS):
+                        files.append(os.path.join(root, n))
+        elif p.endswith(CXX_EXTS):
+            files.append(p)
+    return files
+
+
+def run_lint(paths, hot_files):
+    files = gather_files(paths)
+    stripped_texts = {}
+    for f in files:
+        try:
+            with open(f) as fh:
+                stripped_texts[f] = strip_code(fh.read())
+        except OSError as e:
+            print(f"{f}: unreadable ({e})", file=sys.stderr)
+            return 2
+    unordered_names = collect_unordered_names(stripped_texts)
+    violations = []
+    for f in files:
+        rel = os.path.relpath(f, REPO_ROOT)
+        lint_file(f, rel, stripped_texts[f], unordered_names, hot_files,
+                  violations)
+    for rel, lineno, rule, msg in violations:
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    return violations
+
+
+def self_test():
+    """Each fixture's first line declares its expected findings:
+    `// expect: rule rule ...` (with multiplicity) or `// expect: none`.
+    Fixtures are linted as if they lived in src/ and were hot-path."""
+    failures = 0
+    fixtures = sorted(
+        os.path.join(FIXTURE_DIR, f) for f in os.listdir(FIXTURE_DIR)
+        if f.endswith(CXX_EXTS))
+    if not fixtures:
+        print("self-test: no fixtures found", file=sys.stderr)
+        return 1
+    for fx in fixtures:
+        with open(fx) as f:
+            first = f.readline().strip()
+        m = re.match(r"//\s*expect:\s*(.*)$", first)
+        if not m:
+            print(f"self-test: {fx}: missing '// expect:' header")
+            failures += 1
+            continue
+        expected = sorted(m.group(1).split()) if m.group(1) != "none" else []
+        rel = os.path.relpath(fx, REPO_ROOT)
+        hot = {rel} if "hot_path" in os.path.basename(fx) else set()
+        import io
+        import contextlib
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            got = run_lint([fx], hot)
+        got_rules = sorted(r for _f, _l, r, _m in got)
+        name = os.path.basename(fx)
+        if got_rules == expected:
+            print(f"self-test: {name}: ok ({len(got_rules)} finding(s))")
+        else:
+            print(f"self-test: {name}: FAIL\n  expected {expected}\n"
+                  f"  got      {got_rules}")
+            for line in buf.getvalue().splitlines():
+                print(f"    {line}")
+            failures += 1
+    if failures:
+        print(f"self-test: {failures} fixture(s) failed", file=sys.stderr)
+        return 1
+    print(f"self-test: all {len(fixtures)} fixtures pass")
+    return 0
+
+
+def main(argv):
+    if "--self-test" in argv:
+        return self_test()
+    paths = [a for a in argv if not a.startswith("-")]
+    if not paths:
+        paths = [os.path.join(REPO_ROOT, "src")]
+    violations = run_lint(paths, hot_path_files())
+    if isinstance(violations, int):
+        return violations
+    if violations:
+        print(f"\n{len(violations)} determinism violation(s) "
+              "(see scripts/lint_determinism.py docstring; escape hatch: "
+              "// scda-lint: allow(<rule>))", file=sys.stderr)
+        return 1
+    print("determinism lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,26 @@
+// expect: none
+// Fixture: the escape hatch. Each would-be violation carries a
+// `// scda-lint: allow(<rule>)` with a justification, on the same line
+// or on the line directly above.
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+struct Key {
+  double v;
+  // scda-lint: allow(float-eq) exact representation compare for map keys
+  bool operator==(const Key& o) const { return v == o.v; }
+};
+
+int legacy_shuffle(int n) {
+  return rand() % n;  // scda-lint: allow(rand) exercising the escape hatch
+}
+
+long count_all(const std::unordered_map<int, long>& m) {
+  long n = 0;
+  // scda-lint: allow(unordered-iter) integer sum is order-independent
+  for (const auto& [k, v] : m) {
+    n += v;
+  }
+  return n;
+}

@@ -1,0 +1,21 @@
+// expect: none
+// Fixture: idiomatic project code — typed ids and times, explicit seed,
+// ordered emission — triggers nothing. Mentions of rand()/time() inside
+// comments and string literals are stripped before matching.
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+// A comment saying rand() or time(nullptr) is not a violation.
+const char* kHelp = "do not call rand() or std::random_device";
+
+double mean(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+}
+
+void emit(std::uint64_t seed, double v) {
+  std::printf("# seed=%llu v=%.9g\n", static_cast<unsigned long long>(seed),
+              v);
+}

@@ -1,0 +1,7 @@
+// expect: float-eq float-eq
+// Fixture: exact floating-point equality. Branching on == against a
+// computed double makes control flow sensitive to rounding, which is
+// sensitive to accumulation order.
+bool drained(double backlog_bytes) { return backlog_bytes == 0.0; }
+
+bool deadline_hit(double t_s) { return t_s != 1.5e-3 && t_s > 0.0; }

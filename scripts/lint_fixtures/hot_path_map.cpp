@@ -1,0 +1,11 @@
+// expect: map-hot-path map-hot-path
+// Fixture: tree containers in a file the perf doc lists as hot-path
+// (the self-test injects this file into the hot list). Every lookup is
+// a pointer-chasing red-black-tree walk; hot paths use dense tables.
+#include <map>
+#include <set>
+
+struct Queues {
+  std::map<int, double> backlog;
+  std::set<int> active;
+};

@@ -1,0 +1,9 @@
+// expect: rand rand
+// Fixture: C PRNG calls. Global-state rand() is not seed-reproducible
+// across platforms; simulations must draw from the per-instance sim::Rng.
+#include <cstdlib>
+
+int pick_server(int n) {
+  std::srand(42);
+  return rand() % n;
+}

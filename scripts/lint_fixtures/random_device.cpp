@@ -1,0 +1,9 @@
+// expect: random-device
+// Fixture: hardware entropy. A random_device-seeded run can never be
+// replayed; seeds must be explicit and logged.
+#include <random>
+
+unsigned fresh_seed() {
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,14 @@
+// expect: unordered-iter
+// Fixture: accumulating over unordered_map iteration order. Floating
+// addition is not associative, so the sum depends on bucket order —
+// which is implementation-defined and changes with rehashing.
+#include <string>
+#include <unordered_map>
+
+double total_rate(const std::unordered_map<int, double>& rates) {
+  double sum = 0.0;
+  for (const auto& [id, r] : rates) {
+    sum += r;
+  }
+  return sum;
+}

@@ -1,0 +1,23 @@
+// expect: none
+// Fixture: unordered iteration that only collects into an intermediate
+// which is then sorted is deterministic — and loops over *ordered*
+// containers are always fine.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+std::vector<int> sorted_keys(const std::unordered_map<int, double>& m) {
+  std::vector<int> keys;
+  for (const auto& [id, r] : m) {
+    keys.push_back(id);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+double total(const std::map<int, double>& ordered) {
+  double sum = 0.0;
+  for (const auto& [id, r] : ordered) sum += r;
+  return sum;
+}

@@ -1,0 +1,11 @@
+// expect: wall-clock wall-clock
+// Fixture: wall-clock reads. Output stamped with real time differs
+// between runs of the same seed.
+#include <chrono>
+#include <ctime>
+
+double stamp() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return static_cast<double>(time(nullptr)) +
+         std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

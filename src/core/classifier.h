@@ -21,6 +21,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "sim/types.h"
 #include "transport/flow.h"
 
 namespace scda::core {
@@ -35,14 +36,14 @@ class ContentClassifier {
  public:
   explicit ContentClassifier(ClassifierConfig cfg = {}) : cfg_(cfg) {}
 
-  void record_write(std::int64_t content, double now) {
+  void record_write(std::int64_t content, sim::SimTime now) {
     auto& h = history_[content];
     trim(h, now);
     h.writes.push_back(now);
     update_interleave(h, now);
   }
 
-  void record_read(std::int64_t content, double now) {
+  void record_read(std::int64_t content, sim::SimTime now) {
     auto& h = history_[content];
     trim(h, now);
     h.reads.push_back(now);
@@ -51,7 +52,7 @@ class ContentClassifier {
 
   /// Learned class from the access pattern observed so far.
   [[nodiscard]] transport::ContentClass classify(std::int64_t content,
-                                                 double now) {
+                                                 sim::SimTime now) {
     const auto it = history_.find(content);
     if (it == history_.end()) return transport::ContentClass::kPassive;
     auto& h = it->second;
@@ -66,7 +67,7 @@ class ContentClassifier {
 
   /// Accesses of either kind within the window.
   [[nodiscard]] std::size_t accesses_in_window(std::int64_t content,
-                                               double now) {
+                                               sim::SimTime now) {
     const auto it = history_.find(content);
     if (it == history_.end()) return 0;
     trim(it->second, now);
@@ -79,26 +80,26 @@ class ContentClassifier {
 
  private:
   struct History {
-    std::deque<double> writes;
-    std::deque<double> reads;
-    double last_access = -1;
+    std::deque<sim::SimTime> writes;
+    std::deque<sim::SimTime> reads;
+    sim::SimTime last_access{-1};
     /// True while consecutive accesses interleave within the
     /// interactivity interval.
     bool tight_interleaving = false;
   };
 
-  void trim(History& h, double now) const {
-    const double cutoff = now - cfg_.window_s;
+  void trim(History& h, sim::SimTime now) const {
+    const sim::SimTime cutoff = now - sim::SimTime{cfg_.window_s};
     while (!h.writes.empty() && h.writes.front() < cutoff)
       h.writes.pop_front();
     while (!h.reads.empty() && h.reads.front() < cutoff)
       h.reads.pop_front();
   }
 
-  void update_interleave(History& h, double now) {
-    if (h.last_access >= 0) {
+  void update_interleave(History& h, sim::SimTime now) {
+    if (h.last_access >= sim::SimTime{}) {
       h.tight_interleaving =
-          (now - h.last_access) <= cfg_.interactivity_interval_s;
+          now - h.last_access <= sim::SimTime{cfg_.interactivity_interval_s};
     }
     h.last_access = now;
   }

@@ -56,7 +56,7 @@ Cloud::Cloud(sim::Simulator& sim, CloudConfig cfg)
     if (servers_[s].failed()) return false;
     if (servers_[s].resources().free_bytes() <= 0) return false;
     if (cfg_.placement == PlacementPolicy::kScda) {
-      const double now = sim_.now();
+      const sim::Time now = sim_.now();
       if (sla_.recently_violated(topo_.server_uplink(s), now) ||
           sla_.recently_violated(topo_.server_downlink(s), now))
         return false;
@@ -70,7 +70,7 @@ Cloud::Cloud(sim::Simulator& sim, CloudConfig cfg)
   });
 
   allocator_.set_sla_callback(
-      [this](net::LinkId l, double demand, double gamma, double t) {
+      [this](net::LinkId l, double demand, double gamma, sim::Time t) {
         sla_.on_violation(l, demand, gamma, t);
       });
 
@@ -79,13 +79,14 @@ Cloud::Cloud(sim::Simulator& sim, CloudConfig cfg)
 
   // Control loop: RM/RA computation every tau (sections IV and VI).
   control_loop_ = std::make_unique<sim::PeriodicProcess>(
-      sim_, cfg_.params.tau, [this] { control_tick(); });
-  control_loop_->start(cfg_.params.tau);
+      sim_, sim::Time{cfg_.params.tau}, [this] { control_tick(); });
+  control_loop_->start(sim::Time{cfg_.params.tau});
 
   if (cfg_.params.migration_interval_s > 0) {
     migration_loop_ = std::make_unique<sim::PeriodicProcess>(
-        sim_, cfg_.params.migration_interval_s, [this] { migration_scan(); });
-    migration_loop_->start(cfg_.params.migration_interval_s);
+        sim_, sim::Time{cfg_.params.migration_interval_s},
+        [this] { migration_scan(); });
+    migration_loop_->start(sim::Time{cfg_.params.migration_interval_s});
   }
 
   hierarchy_.update();
@@ -117,7 +118,7 @@ void Cloud::control_tick() {
   count_ctrl(reporters, reporters * kCtrlMsgBytes);
 
   if (obs::TraceRecorder* tr = obs::tracer_of(sim_)) {
-    const double now = sim_.now();
+    const sim::Time now = sim_.now();
     tr->counter(now, "active_flows", static_cast<double>(ops_.size()));
     tr->counter(now, "eventq_pending",
                 static_cast<double>(sim_.queue().scheduled()));
@@ -178,7 +179,7 @@ void Cloud::migration_scan() {
   // servers' load shrinks and the dormant pool grows.
   if (cfg_.params.rscale_bps <= 0) return;
   std::int32_t started = 0;
-  const double now = sim_.now();
+  const sim::Time now = sim_.now();
   for (auto& nns : name_nodes_) {
     if (started >= cfg_.params.max_migrations_per_scan) break;
     for (const ContentId id : nns->content_ids()) {
@@ -191,7 +192,7 @@ void Cloud::migration_scan() {
       // it must have been accessed at least once and be quiet since.
       if (classifier_.classify(id, now) != ContentClass::kPassive) continue;
       if (now - meta->last_access_time <
-          classifier_.config().interactivity_interval_s)
+          sim::Time{classifier_.config().interactivity_interval_s})
         continue;
 
       const std::int32_t source = meta->replicas.front();
@@ -218,7 +219,7 @@ void Cloud::migration_scan() {
       const net::NodeId dst_node =
           topo_.servers()[static_cast<std::size_t>(target)];
       const std::int64_t bytes = meta->size_bytes;
-      sim_.schedule_in(2 * cfg_.params.ctrl_dc_latency_s,
+      sim_.post_in(sim::Time{2 * cfg_.params.ctrl_dc_latency_s},
                        [this, op, bytes, src_node, dst_node] {
                          start_data_flow(src_node, dst_node, bytes, op,
                                          /*priority=*/1.0,
@@ -247,7 +248,8 @@ bool Cloud::write(std::size_t client_idx, ContentId id, std::int64_t bytes,
   count_ctrl(2, 2 * kCtrlMsgBytes);
 
   NameNode* nns_ptr = &nns;
-  sim_.schedule_in(to_nns, [this, client_idx, id, bytes, content_class,
+  sim_.post_in(sim::Time{to_nns},
+                   [this, client_idx, id, bytes, content_class,
                             priority, reserved_bps, nns_ptr] {
     nns_ptr->submit([this, client_idx, id, bytes, content_class, priority,
                      reserved_bps, nns_ptr] {
@@ -287,7 +289,8 @@ bool Cloud::write(std::size_t client_idx, ContentId id, std::int64_t bytes,
       op.kind = CloudOp::Kind::kWrite;
       op.server = target;
       op.client = static_cast<std::int64_t>(client_idx);
-      sim_.schedule_in(setup, [this, op, bytes, priority, reserved_bps,
+      sim_.post_in(sim::Time{setup},
+                       [this, op, bytes, priority, reserved_bps,
                                client_idx, target] {
         start_data_flow(topo_.clients()[client_idx],
                         topo_.servers()[static_cast<std::size_t>(target)],
@@ -307,7 +310,8 @@ bool Cloud::read(std::size_t client_idx, ContentId id, double priority) {
   count_ctrl(2, 2 * kCtrlMsgBytes);
 
   NameNode* nns_ptr = &nns;
-  sim_.schedule_in(to_nns, [this, client_idx, id, priority, nns_ptr] {
+  sim_.post_in(sim::Time{to_nns},
+                   [this, client_idx, id, priority, nns_ptr] {
     nns_ptr->submit([this, client_idx, id, priority, nns_ptr] {
       ContentMeta* meta = nns_ptr->find(id);
       if (meta == nullptr || meta->replicas.empty()) {
@@ -337,8 +341,8 @@ bool Cloud::read(std::size_t client_idx, ContentId id, double priority) {
       op.server = source;
       op.client = static_cast<std::int64_t>(client_idx);
       const std::int64_t bytes = meta->size_bytes;
-      sim_.schedule_in(setup, [this, op, bytes, priority, client_idx,
-                               source] {
+      sim_.post_in(sim::Time{setup},
+                       [this, op, bytes, priority, client_idx, source] {
         start_data_flow(topo_.servers()[static_cast<std::size_t>(source)],
                         topo_.clients()[client_idx], bytes, op, priority,
                         /*reserved_bps=*/0.0);
@@ -358,8 +362,8 @@ bool Cloud::append(std::size_t client_idx, ContentId id, std::int64_t bytes,
   count_ctrl(2, 2 * kCtrlMsgBytes);
 
   NameNode* nns_ptr = &nns;
-  sim_.schedule_in(to_nns, [this, client_idx, id, bytes, priority,
-                            nns_ptr] {
+  sim_.post_in(sim::Time{to_nns}, [this, client_idx, id, bytes,
+                                       priority, nns_ptr] {
     nns_ptr->submit([this, client_idx, id, bytes, priority, nns_ptr] {
       ContentMeta* meta = nns_ptr->find(id);
       if (meta == nullptr || meta->replicas.empty()) {
@@ -383,8 +387,8 @@ bool Cloud::append(std::size_t client_idx, ContentId id, std::int64_t bytes,
       op.client = static_cast<std::int64_t>(client_idx);
       const double setup = 2 * cfg_.params.ctrl_dc_latency_s +
                            cfg_.params.ctrl_wan_latency_s;
-      sim_.schedule_in(setup, [this, op, bytes, priority, client_idx,
-                               target] {
+      sim_.post_in(sim::Time{setup},
+                       [this, op, bytes, priority, client_idx, target] {
         start_data_flow(topo_.clients()[client_idx],
                         topo_.servers()[static_cast<std::size_t>(target)],
                         bytes, op, priority, /*reserved_bps=*/0.0);
@@ -423,7 +427,7 @@ void Cloud::begin_replication(const CloudOp& write_op, std::int64_t bytes) {
     const net::NodeId src =
         topo_.servers()[static_cast<std::size_t>(write_op.server)];
     const net::NodeId dst = topo_.servers()[static_cast<std::size_t>(target)];
-    sim_.schedule_in(setup, [this, op, bytes, src, dst] {
+    sim_.post_in(sim::Time{setup}, [this, op, bytes, src, dst] {
       start_data_flow(src, dst, bytes, op, /*priority=*/1.0,
                       /*reserved_bps=*/0.0);
     });
@@ -590,7 +594,7 @@ void CloudSnapshot::print(std::FILE* out) const {
 
 CloudSnapshot Cloud::snapshot() const {
   CloudSnapshot s;
-  s.time_s = sim_.now();
+  s.time_s = sim_.now().seconds();
   s.active_flows = ops_.size();
 
   std::uint64_t served = 0;

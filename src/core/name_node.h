@@ -28,7 +28,7 @@ struct ContentMeta {
   std::vector<std::int32_t> replicas;
   std::uint64_t writes = 0;
   std::uint64_t reads = 0;
-  double last_access_time = 0;
+  sim::Time last_access_time{};
 };
 
 class NameNode {
@@ -42,15 +42,15 @@ class NameNode {
   /// Enqueue a metadata request; `handler` runs after the queueing +
   /// service delay. Returns the delay the request will experience.
   double submit(std::function<void()> handler) {
-    const double now = sim_.now();
-    const double start = std::max(now, busy_until_);
-    busy_until_ = start + service_time_s_;
-    const double delay = busy_until_ - now;
-    max_delay_ = std::max(max_delay_, delay);
-    total_delay_ += delay;
+    const sim::Time now = sim_.now();
+    const sim::Time start = std::max(now, busy_until_);
+    busy_until_ = start + sim::Time{service_time_s_};
+    const sim::Time delay = busy_until_ - now;
+    max_delay_ = std::max(max_delay_, delay.seconds());
+    total_delay_ += delay.seconds();
     ++served_;
-    sim_.schedule_in(delay, std::move(handler));
-    return delay;
+    sim_.post_in(delay, std::move(handler));
+    return delay.seconds();
   }
 
   // --- metadata ---------------------------------------------------------------
@@ -90,7 +90,7 @@ class NameNode {
   sim::Simulator& sim_;
   std::int32_t index_;
   double service_time_s_;
-  double busy_until_ = 0;
+  sim::Time busy_until_{};
   std::uint64_t served_ = 0;
   double total_delay_ = 0;
   double max_delay_ = 0;

@@ -28,20 +28,20 @@ WidestPathResult widest_path(const net::Network& net, net::NodeId src,
   };
 
   std::priority_queue<Entry> pq;
-  width[static_cast<std::size_t>(src)] = kInf;
+  width[src.index()] = kInf;
   pq.push({kInf, 0, src});
 
   while (!pq.empty()) {
     const Entry e = pq.top();
     pq.pop();
-    const auto u = static_cast<std::size_t>(e.node);
+    const auto u = e.node.index();
     if (e.width < width[u] || (e.width == width[u] && e.hops > hops[u]))
       continue;  // stale entry
     if (e.node == dst) break;
     for (const net::LinkId lid : net.out_links(e.node)) {
       const net::Link& l = net.link(lid);
       const double w = std::min(e.width, rate(lid));
-      const auto v = static_cast<std::size_t>(l.to());
+      const auto v = l.to().index();
       if (w > width[v] ||
           (w == width[v] && e.hops + 1 < hops[v])) {
         width[v] = w;
@@ -52,14 +52,14 @@ WidestPathResult widest_path(const net::Network& net, net::NodeId src,
     }
   }
 
-  const auto d = static_cast<std::size_t>(dst);
+  const auto d = dst.index();
   if (width[d] < 0) return out;  // unreachable
 
   // Walk back from dst via the predecessor links.
   std::vector<net::LinkId> rev;
   net::NodeId at = dst;
   while (at != src) {
-    const net::LinkId lid = via[static_cast<std::size_t>(at)];
+    const net::LinkId lid = via[at.index()];
     rev.push_back(lid);
     at = net.link(lid).from();
   }

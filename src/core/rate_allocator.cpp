@@ -16,7 +16,7 @@ RateAllocator::RateAllocator(net::Network& net, const ScdaParams& params)
   links_.resize(net_.link_count());
   for (std::size_t l = 0; l < links_.size(); ++l) {
     // An idle link initially offers its full effective capacity.
-    const double c = net_.link(static_cast<net::LinkId>(l)).capacity_bps();
+    const double c = net_.link(net::LinkId::from_index(l)).capacity_bps();
     links_[l].rate = params_.alpha * c;
     links_[l].gamma = params_.alpha * c;
   }
@@ -52,7 +52,7 @@ void RateAllocator::register_flow_on_path(net::FlowId id,
   // gamma/(N-hat + 1), gamma/(N-hat + 2), ... instead of all receiving the
   // full link rate. The next tick recomputes the exact values.
   for (const net::LinkId l : fs.path) {
-    auto& st = links_[static_cast<std::size_t>(l)];
+    auto& st = links_[l.index()];
     st.reserved += reserved_bps;
     st.nhat += priority;
     const double shareable =
@@ -71,7 +71,7 @@ void RateAllocator::unregister_flow(net::FlowId id) {
   const auto it = flows_.find(id);
   if (it == flows_.end()) return;
   for (const net::LinkId l : it->second.path)
-    links_[static_cast<std::size_t>(l)].reserved -= it->second.reserved_bps;
+    links_[l.index()].reserved -= it->second.reserved_bps;
   flows_.erase(it);
 }
 
@@ -95,7 +95,7 @@ double RateAllocator::path_rate(net::NodeId src, net::NodeId dst) const {
 double RateAllocator::path_rate(const std::vector<net::LinkId>& path) const {
   double r = std::numeric_limits<double>::infinity();
   for (const net::LinkId l : path)
-    r = std::min(r, links_[static_cast<std::size_t>(l)].rate);
+    r = std::min(r, links_[l.index()].rate);
   return std::isfinite(r) ? r : 0.0;
 }
 
@@ -103,7 +103,7 @@ void RateAllocator::refresh_flow_rates() {
   for (auto& [id, fs] : flows_) {
     double base = std::numeric_limits<double>::infinity();
     for (const net::LinkId l : fs.path)
-      base = std::min(base, links_[static_cast<std::size_t>(l)].rate);
+      base = std::min(base, links_[l.index()].rate);
     if (!std::isfinite(base)) base = 0.0;
     double r = fs.reserved_bps + fs.priority * base;
     if (fs.r_other_send) r = std::min(r, fs.r_other_send());
@@ -114,7 +114,7 @@ void RateAllocator::refresh_flow_rates() {
 
 void RateAllocator::tick() {
   const double tau = params_.tau;
-  const double now = net_.sim().now();
+  const sim::Time now = net_.sim().now();
   ++control_stats_.ticks;
   control_stats_.flow_updates += flows_.size();
   control_stats_.link_updates += links_.size();
@@ -123,7 +123,7 @@ void RateAllocator::tick() {
   // (and L(t) for the simplified metric).
   for (std::size_t l = 0; l < links_.size(); ++l) {
     auto& st = links_[l];
-    net::Link& link = net_.link(static_cast<net::LinkId>(l));
+    net::Link& link = net_.link(net::LinkId::from_index(l));
     const double q_bits = static_cast<double>(link.queue_bytes()) * 8.0;
     st.gamma = effective_capacity(link.capacity_bps(), q_bits, tau,
                                   params_.alpha, params_.beta);
@@ -134,10 +134,18 @@ void RateAllocator::tick() {
   // Pass 2: per-flow end-to-end allocation from the *previous* interval's
   // link rates (this is the information the top-down RA pass delivered to
   // each RM), accumulated into each crossed link's S.
+  //
+  // The accumulation order is the unordered_map's iteration order, which
+  // for a fixed libstdc++ and insertion sequence is stable (all committed
+  // baselines depend on it) but is not portable across standard-library
+  // implementations. Switching to sorted-id order would change every
+  // committed figure by float-rounding noise, so it is deferred — see
+  // ROADMAP "Open items".
+  // scda-lint: allow(unordered-iter)
   for (auto& [id, fs] : flows_) {
     double base = std::numeric_limits<double>::infinity();
     for (const net::LinkId l : fs.path)
-      base = std::min(base, links_[static_cast<std::size_t>(l)].rate);
+      base = std::min(base, links_[l.index()].rate);
     if (!std::isfinite(base)) base = 0.0;
 
     double r = fs.reserved_bps + fs.priority * base;
@@ -147,8 +155,8 @@ void RateAllocator::tick() {
 
     const double share = std::max(0.0, fs.rate - fs.reserved_bps);
     for (const net::LinkId l : fs.path) {
-      links_[static_cast<std::size_t>(l)].rate_sum += fs.rate;
-      links_[static_cast<std::size_t>(l)].share_sum += share;
+      links_[l.index()].rate_sum += fs.rate;
+      links_[l.index()].share_sum += share;
     }
   }
 
@@ -157,7 +165,7 @@ void RateAllocator::tick() {
   // against the full effective capacity (section IV-A).
   for (std::size_t l = 0; l < links_.size(); ++l) {
     auto& st = links_[l];
-    net::Link& link = net_.link(static_cast<net::LinkId>(l));
+    net::Link& link = net_.link(net::LinkId::from_index(l));
     const double shareable =
         std::max(st.gamma - st.reserved, params_.min_rate_bps);
 
@@ -184,7 +192,7 @@ void RateAllocator::tick() {
                      {"gamma_bps", st.gamma}});
       }
       if (on_sla_)
-        on_sla_(static_cast<net::LinkId>(l), st.rate_sum, st.gamma, now);
+        on_sla_(net::LinkId::from_index(l), st.rate_sum, st.gamma, now);
     }
   }
 

@@ -29,7 +29,7 @@ namespace scda::core {
 /// Callback invoked when a link's demand exceeds its effective capacity
 /// (SLA violation, section IV-A): (link, S, gamma, time).
 using SlaViolationFn =
-    std::function<void(net::LinkId, double, double, double)>;
+    std::function<void(net::LinkId, double, double, sim::Time)>;
 
 class RateAllocator {
  public:
@@ -79,15 +79,15 @@ class RateAllocator {
   // --- queries ---------------------------------------------------------------
   /// Per-flow fair rate currently advertised by a link (R_l).
   [[nodiscard]] double link_rate(net::LinkId l) const {
-    return links_.at(static_cast<std::size_t>(l)).rate;
+    return links_.at(l.index()).rate;
   }
   /// Effective capacity gamma of a link from the last tick.
   [[nodiscard]] double link_gamma(net::LinkId l) const {
-    return links_.at(static_cast<std::size_t>(l)).gamma;
+    return links_.at(l.index()).gamma;
   }
   /// Sum of flow rates S crossing the link in the last tick.
   [[nodiscard]] double link_rate_sum(net::LinkId l) const {
-    return links_.at(static_cast<std::size_t>(l)).rate_sum;
+    return links_.at(l.index()).rate_sum;
   }
   /// Rate a prospective new flow of the given weight would get on the link:
   /// gamma_share / (N-hat + priority). This is the link weight route
@@ -95,7 +95,7 @@ class RateAllocator {
   /// distinguishes an idle link from one whose single flow uses it fully.
   [[nodiscard]] double prospective_link_rate(net::LinkId l,
                                              double priority = 1.0) const {
-    const auto& st = links_.at(static_cast<std::size_t>(l));
+    const auto& st = links_.at(l.index());
     const double shareable =
         std::max(st.gamma - st.reserved, params_.min_rate_bps);
     return std::clamp(shareable / std::max(st.nhat + priority, 1.0),
@@ -131,7 +131,7 @@ class RateAllocator {
     return total_sla_violations_;
   }
   [[nodiscard]] std::uint64_t sla_violations(net::LinkId l) const {
-    return links_.at(static_cast<std::size_t>(l)).sla_violations;
+    return links_.at(l.index()).sla_violations;
   }
 
   [[nodiscard]] const ScdaParams& params() const noexcept { return params_; }

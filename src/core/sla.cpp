@@ -6,7 +6,7 @@
 namespace scda::core {
 
 void SlaManager::on_violation(net::LinkId link, double demand, double gamma,
-                              double time) {
+                              sim::Time time) {
   events_.push_back(SlaEvent{time, link, demand, gamma});
   last_violation_[link] = time;
 
@@ -18,12 +18,12 @@ void SlaManager::on_violation(net::LinkId link, double demand, double gamma,
     ++boosts_applied_;
     if (obs::TraceRecorder* tr = obs::tracer_of(net_.sim())) {
       tr->instant(time, "control", "sla_capacity_boost", obs::kTrackControl,
-                  {{"link", static_cast<double>(link)},
+                  {{"link", static_cast<double>(link.value())},
                    {"boost_factor", boost_factor_},
                    {"capacity_bps", l.capacity_bps()}});
     }
-    SCDA_LOG_INFO("sla: boosted link %d capacity x%.2f at t=%.3f", link,
-                  boost_factor_, time);
+    SCDA_LOG_INFO("sla: boosted link %d capacity x%.2f at t=%.3f",
+                  link.value(), boost_factor_, time.seconds());
   }
 }
 

@@ -16,7 +16,7 @@
 namespace scda::core {
 
 struct SlaEvent {
-  double time = 0;
+  sim::Time time{};
   net::LinkId link = net::kInvalidLink;
   double demand_bps = 0;   ///< S at detection
   double capacity_bps = 0; ///< effective capacity gamma at detection
@@ -38,13 +38,15 @@ class SlaManager {
   }
 
   void on_violation(net::LinkId link, double demand, double gamma,
-                    double time);
+                    sim::Time time);
 
   /// True when the link violated its SLA within the cooldown window —
   /// the NNS avoids servers behind such links when placing new content.
-  [[nodiscard]] bool recently_violated(net::LinkId link, double now) const {
+  [[nodiscard]] bool recently_violated(net::LinkId link,
+                                       sim::Time now) const {
     const auto it = last_violation_.find(link);
-    return it != last_violation_.end() && now - it->second < cooldown_s_;
+    return it != last_violation_.end() &&
+           now - it->second < sim::Time{cooldown_s_};
   }
 
   [[nodiscard]] const std::vector<SlaEvent>& events() const noexcept {
@@ -60,7 +62,7 @@ class SlaManager {
   std::uint32_t boost_threshold_ = 0;
   double boost_factor_ = 1.0;
   std::vector<SlaEvent> events_;
-  std::unordered_map<net::LinkId, double> last_violation_;
+  std::unordered_map<net::LinkId, sim::Time> last_violation_;
   std::unordered_map<net::LinkId, std::uint32_t> consecutive_;
   std::unordered_map<net::LinkId, bool> boosted_;
   std::uint64_t boosts_applied_ = 0;

@@ -52,7 +52,7 @@ class TargetRateController {
   /// allocator tick. `remaining_bytes_of` reports a flow's unsent bytes
   /// (deadline targets); `now` is the current simulation time.
   template <typename RemainingFn>
-  void update(double now, RemainingFn&& remaining_bytes_of) {
+  void update(sim::Time now, RemainingFn&& remaining_bytes_of) {
     for (auto it = targets_.begin(); it != targets_.end();) {
       const net::FlowId id = it->first;
       if (!alloc_.has_flow(id)) {
@@ -67,7 +67,8 @@ class TargetRateController {
             static_cast<double>(remaining_bytes_of(id)) * 8.0;
         // Aim to finish a little early: window quantization, control
         // latency and the tick cadence all eat into the budget.
-        const double time_left = (g.deadline_s - now) * deadline_safety_;
+        const double time_left =
+            (g.deadline_s - now.seconds()) * deadline_safety_;
         // Past-deadline flows push as hard as the clamp allows.
         target = time_left > 1e-3 ? remaining / time_left
                                   : remaining / 1e-3;

@@ -18,18 +18,18 @@ void water_fill(std::vector<ReferenceFlow>& flows,
   // LinkIds are small sequential integers, so the capacity map flattens
   // into dense LinkId-indexed tables: every per-link lookup in the O(L*F)
   // inner loops becomes an array index instead of a red-black-tree walk.
-  net::LinkId max_id = -1;
+  net::LinkId max_id{-1};
   for (const auto& [l, c] : capacity_bps) max_id = std::max(max_id, l);
-  const std::size_t n = static_cast<std::size_t>(max_id + 1);
+  const std::size_t n = static_cast<std::size_t>(max_id.value() + 1);
   std::vector<double> residual(n, 0.0);
   std::vector<char> has_cap(n, 0);
   for (const auto& [l, c] : capacity_bps) {
-    residual[static_cast<std::size_t>(l)] = c;
-    has_cap[static_cast<std::size_t>(l)] = 1;
+    residual[l.index()] = c;
+    has_cap[l.index()] = 1;
   }
   const auto check = [&](net::LinkId l) -> std::size_t {
-    const auto i = static_cast<std::size_t>(l);
-    if (l < 0 || i >= n || !has_cap[i]) missing_capacity();
+    const auto i = l.index();
+    if (!l.valid() || i >= n || !has_cap[i]) missing_capacity();
     return i;
   };
 
@@ -48,8 +48,8 @@ void water_fill(std::vector<ReferenceFlow>& flows,
   while (unfrozen > 0) {
     // Weight sums of unfrozen flows per link.
     for (const auto l : touched) {
-      wsum[static_cast<std::size_t>(l)] = 0.0;
-      is_touched[static_cast<std::size_t>(l)] = 0;
+      wsum[l.index()] = 0.0;
+      is_touched[l.index()] = 0;
     }
     touched.clear();
     for (const auto& f : flows) {
@@ -71,7 +71,7 @@ void water_fill(std::vector<ReferenceFlow>& flows,
     double level = -1;
     net::LinkId arg = net::kInvalidLink;
     for (const auto l : touched) {
-      const std::size_t i = static_cast<std::size_t>(l);
+      const std::size_t i = l.index();
       if (wsum[i] <= 0) continue;
       const double lv = std::max(residual[i], 0.0) / wsum[i];
       if (level < 0 || lv < level) {
@@ -95,9 +95,19 @@ void water_fill(std::vector<ReferenceFlow>& flows,
       f.rate_bps = f.reserved_bps + share;
       --unfrozen;
       for (const auto l : f.path)
-        residual[static_cast<std::size_t>(l)] -= share;
+        residual[l.index()] -= share;
     }
   }
+}
+
+std::vector<double> water_fill_rates(
+    std::vector<ReferenceFlow> flows,
+    const std::map<net::LinkId, double>& capacity_bps) {
+  water_fill(flows, capacity_bps);
+  std::vector<double> rates;
+  rates.reserve(flows.size());
+  for (const auto& f : flows) rates.push_back(f.rate_bps);
+  return rates;
 }
 
 }  // namespace scda::core

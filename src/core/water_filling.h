@@ -35,4 +35,11 @@ struct ReferenceFlow {
 void water_fill(std::vector<ReferenceFlow>& flows,
                 const std::map<net::LinkId, double>& capacity_bps);
 
+/// Pure variant: the allocation for each flow, in input order, without
+/// mutating `flows`. [[nodiscard]] because the return value is the whole
+/// point — a dropped result means the call did nothing observable.
+[[nodiscard]] std::vector<double> water_fill_rates(
+    std::vector<ReferenceFlow> flows,
+    const std::map<net::LinkId, double>& capacity_bps);
+
 }  // namespace scda::core

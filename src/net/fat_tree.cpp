@@ -79,22 +79,22 @@ std::vector<std::vector<LinkId>> all_shortest_paths(const Network& net,
   std::vector<std::int32_t> dist_to_dst(n, -1);
   {
     std::deque<NodeId> q;
-    dist_to_dst[static_cast<std::size_t>(dst)] = 0;
+    dist_to_dst[dst.index()] = 0;
     q.push_back(dst);
     while (!q.empty()) {
       const NodeId u = q.front();
       q.pop_front();
       for (const LinkId l : net.out_links(u)) {
         const NodeId v = net.link(l).to();
-        if (dist_to_dst[static_cast<std::size_t>(v)] == -1) {
-          dist_to_dst[static_cast<std::size_t>(v)] =
-              dist_to_dst[static_cast<std::size_t>(u)] + 1;
+        if (dist_to_dst[v.index()] == -1) {
+          dist_to_dst[v.index()] =
+              dist_to_dst[u.index()] + 1;
           q.push_back(v);
         }
       }
     }
   }
-  if (dist_to_dst[static_cast<std::size_t>(src)] == -1) return out;
+  if (dist_to_dst[src.index()] == -1) return out;
 
   std::vector<LinkId> cur;
   // Iterative DFS with an explicit stack of (node, next out-link index).
@@ -116,8 +116,8 @@ std::vector<std::vector<LinkId>> all_shortest_paths(const Network& net,
     while (f.next < links.size()) {
       const LinkId l = links[f.next++];
       const NodeId v = net.link(l).to();
-      if (dist_to_dst[static_cast<std::size_t>(v)] ==
-          dist_to_dst[static_cast<std::size_t>(f.node)] - 1) {
+      if (dist_to_dst[v.index()] ==
+          dist_to_dst[f.node.index()] - 1) {
         cur.push_back(l);
         stack.push_back({v, 0});
         descended = true;
@@ -137,7 +137,7 @@ std::vector<LinkId> ecmp_path(const Network& net, NodeId src, NodeId dst,
   auto paths = all_shortest_paths(net, src, dst);
   if (paths.empty()) return {};
   // splitmix64 of the flow id picks the path, like a 5-tuple hash would.
-  std::uint64_t x = static_cast<std::uint64_t>(flow) + 0x9e3779b97f4a7c15ULL;
+  std::uint64_t x = static_cast<std::uint64_t>(flow.value()) + 0x9e3779b97f4a7c15ULL;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   x ^= x >> 31;

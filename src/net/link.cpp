@@ -10,8 +10,8 @@ namespace scda::net {
 void Link::trace_drop(const Packet& p, const char* reason) {
   if (obs::TraceRecorder* tr = obs::tracer_of(sim_)) {
     tr->instant(sim_.now(), "net", reason, obs::kTrackNet,
-                {{"link", static_cast<double>(id_)},
-                 {"flow", static_cast<double>(p.flow)},
+                {{"link", static_cast<double>(id_.value())},
+                 {"flow", static_cast<double>(p.flow.value())},
                  {"seq", static_cast<double>(p.seq)},
                  {"queue_bytes", static_cast<double>(queued_bytes_)}});
   }
@@ -29,8 +29,8 @@ bool Link::enqueue(Packet&& p) {
   if (queued_bytes_ + p.size_bytes > queue_limit_bytes_) {
     ++stats_.dropped_packets;
     stats_.dropped_bytes += static_cast<std::uint64_t>(p.size_bytes);
-    SCDA_LOG_TRACE("link %d drop flow=%lld seq=%lld q=%lld", id_,
-                   static_cast<long long>(p.flow),
+    SCDA_LOG_TRACE("link %d drop flow=%lld seq=%lld q=%lld", id_.value(),
+                   static_cast<long long>(p.flow.value()),
                    static_cast<long long>(p.seq),
                    static_cast<long long>(queued_bytes_));
     trace_drop(p, "drop_tail");
@@ -51,7 +51,7 @@ void Link::start_transmission() {
   const Packet& head = queue_.packet(cur_node_);
   const double tx_time =
       static_cast<double>(head.size_bytes) * 8.0 / capacity_bps_;
-  sim_.schedule_in(tx_time, [this] { on_tx_complete(); });
+  sim_.post_in(sim::Time{tx_time}, [this] { on_tx_complete(); });
 }
 
 void Link::on_tx_complete() {
@@ -64,10 +64,11 @@ void Link::on_tx_complete() {
 
   // Propagation: park the packet on the in-flight ring; the single armed
   // delivery timer walks the ring head-by-head (constant delay => FIFO).
-  inflight_.emplace_back(sim_.now() + prop_delay_s_, std::move(p));
+  inflight_.emplace_back(sim_.now() + sim::Time{prop_delay_s_},
+                         std::move(p));
   if (!delivery_armed_) {
     delivery_armed_ = true;
-    sim_.schedule_in(prop_delay_s_, [this] { deliver_head(); });
+    sim_.post_in(sim::Time{prop_delay_s_}, [this] { deliver_head(); });
   }
 
   if (!queue_.empty()) {
@@ -84,7 +85,7 @@ void Link::deliver_head() {
     const sim::Time due = inflight_.front().first;
     const sim::Time now = sim_.now();
     if (due < now) ++stats_.delivery_clamps;
-    sim_.schedule_in(delivery_delay(due, now), [this] { deliver_head(); });
+    sim_.post_in(delivery_delay(due, now), [this] { deliver_head(); });
   } else {
     delivery_armed_ = false;
   }

@@ -131,10 +131,12 @@ class Link {
   [[nodiscard]] static sim::Time delivery_delay(sim::Time due,
                                                 sim::Time now) noexcept {
     const sim::Time delay = due - now;
-    if (delay >= 0) return delay;
-    assert(now - due <=
-           1e-9 * (now > 1.0 ? now : 1.0));  // only FP noise may clamp
-    return 0;
+    if (delay >= sim::Time{}) return delay;
+    assert((now - due).seconds() <=
+           1e-9 * (now.seconds() > 1.0
+                       ? now.seconds()
+                       : 1.0));  // only FP noise may clamp
+    return sim::Time{};
   }
 
  private:

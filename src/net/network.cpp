@@ -10,7 +10,7 @@ namespace scda::net {
 NodeId Network::add_node(NodeRole role, std::string name) {
   if (routes_built_)
     throw std::logic_error("Network::add_node after build_routes");
-  const auto id = static_cast<NodeId>(nodes_.size());
+  const auto id = NodeId::from_index(nodes_.size());
   nodes_.push_back(std::make_unique<Node>(id, role, std::move(name)));
   out_links_.emplace_back();
   return id;
@@ -26,12 +26,12 @@ LinkId Network::add_link(NodeId a, NodeId b, double capacity_bps,
   if (a == b) throw std::invalid_argument("Network::add_link: self loop");
   if (capacity_bps <= 0)
     throw std::invalid_argument("Network::add_link: capacity must be > 0");
-  const auto id = static_cast<LinkId>(links_.size());
+  const auto id = LinkId::from_index(links_.size());
   links_.push_back(std::make_unique<Link>(sim_, id, a, b, capacity_bps,
                                           prop_delay_s, queue_limit_bytes));
   Link* raw = links_.back().get();
   raw->set_deliver([this, to = b](Packet&& p) { forward(std::move(p), to); });
-  out_links_[static_cast<std::size_t>(a)].push_back(id);
+  out_links_[a.index()].push_back(id);
   return id;
 }
 
@@ -59,19 +59,19 @@ void Network::build_routes() {
     std::fill(dist.begin(), dist.end(), -1);
     std::fill(first_hop.begin(), first_hop.end(), kInvalidNode);
     std::deque<NodeId> q;
-    const auto src = static_cast<NodeId>(s);
+    const auto src = NodeId::from_index(s);
     dist[s] = 0;
     q.push_back(src);
     while (!q.empty()) {
       const NodeId u = q.front();
       q.pop_front();
-      for (const LinkId lid : out_links_[static_cast<std::size_t>(u)]) {
-        const NodeId v = links_[static_cast<std::size_t>(lid)]->to();
-        if (dist[static_cast<std::size_t>(v)] != -1) continue;
-        dist[static_cast<std::size_t>(v)] =
-            dist[static_cast<std::size_t>(u)] + 1;
-        first_hop[static_cast<std::size_t>(v)] =
-            (u == src) ? v : first_hop[static_cast<std::size_t>(u)];
+      for (const LinkId lid : out_links_[u.index()]) {
+        const NodeId v = links_[lid.index()]->to();
+        if (dist[v.index()] != -1) continue;
+        dist[v.index()] =
+            dist[u.index()] + 1;
+        first_hop[v.index()] =
+            (u == src) ? v : first_hop[u.index()];
         q.push_back(v);
       }
     }
@@ -83,7 +83,7 @@ void Network::build_routes() {
 
 LinkId Network::link_between(NodeId a, NodeId b) const {
   for (const LinkId lid : out_links_.at(checked(a))) {
-    if (links_[static_cast<std::size_t>(lid)]->to() == b) return lid;
+    if (links_[lid.index()]->to() == b) return lid;
   }
   return kInvalidLink;
 }
@@ -107,9 +107,9 @@ void Network::pin_flow_route(FlowId flow, const std::vector<LinkId>& path) {
   if (path.empty())
     throw std::invalid_argument("pin_flow_route: empty path");
   std::unordered_map<NodeId, LinkId> hops;
-  NodeId at = links_[static_cast<std::size_t>(path.front())]->from();
+  NodeId at = links_[path.front().index()]->from();
   for (const LinkId lid : path) {
-    const Link& l = *links_.at(static_cast<std::size_t>(lid));
+    const Link& l = *links_.at(lid.index());
     if (l.from() != at)
       throw std::invalid_argument("pin_flow_route: path not contiguous");
     hops[at] = lid;
@@ -137,7 +137,7 @@ void Network::forward(Packet&& p, NodeId at) {
     if (fit != pinned_.end()) {
       const auto hit = fit->second.find(at);
       if (hit != fit->second.end()) {
-        (void)links_[static_cast<std::size_t>(hit->second)]->enqueue(
+        (void)links_[hit->second.index()]->enqueue(
             std::move(p));
         return;
       }
@@ -145,14 +145,14 @@ void Network::forward(Packet&& p, NodeId at) {
   }
   const NodeId nh = next_hop(at, p.dst);
   if (nh == kInvalidNode) {
-    SCDA_LOG_WARN("network: no route from %d to %d, packet dropped", at,
-                  p.dst);
+    SCDA_LOG_WARN("network: no route from %d to %d, packet dropped",
+                  at.value(), p.dst.value());
     return;
   }
   const LinkId lid = link_between(at, nh);
   // Drop-tail: enqueue may refuse the packet; loss is recovered by the
   // transport layer, exactly as in the real network.
-  (void)links_[static_cast<std::size_t>(lid)]->enqueue(std::move(p));
+  (void)links_[lid.index()]->enqueue(std::move(p));
 }
 
 }  // namespace scda::net

@@ -55,10 +55,10 @@ class Network {
     return *nodes_.at(checked(id));
   }
   [[nodiscard]] Link& link(LinkId id) {
-    return *links_.at(static_cast<std::size_t>(id));
+    return *links_.at(id.index());
   }
   [[nodiscard]] const Link& link(LinkId id) const {
-    return *links_.at(static_cast<std::size_t>(id));
+    return *links_.at(id.index());
   }
 
   /// The link leaving `a` towards neighbour `b`; kInvalidLink if none.
@@ -99,9 +99,9 @@ class Network {
 
  private:
   std::size_t checked(NodeId id) const {
-    if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size())
+    if (!id.valid() || id.index() >= nodes_.size())
       throw std::out_of_range("Network: bad node id");
-    return static_cast<std::size_t>(id);
+    return id.index();
   }
 
   void forward(Packet&& p, NodeId at);

@@ -9,15 +9,20 @@
 
 #include <cstdint>
 
+#include "sim/types.h"
+
 namespace scda::net {
 
-using NodeId = std::int32_t;
-using LinkId = std::int32_t;
-using FlowId = std::int64_t;
+// Tag types give each id space its own C++ type: a NodeId handed to a
+// parameter expecting a LinkId (or a FlowId truncated into an int32
+// parameter) is now a compile error instead of a wrong figure.
+using NodeId = sim::StrongId<struct NodeIdTag, std::int32_t>;
+using LinkId = sim::StrongId<struct LinkIdTag, std::int32_t>;
+using FlowId = sim::StrongId<struct FlowIdTag, std::int64_t>;
 
-constexpr NodeId kInvalidNode = -1;
-constexpr LinkId kInvalidLink = -1;
-constexpr FlowId kInvalidFlow = -1;
+constexpr NodeId kInvalidNode{-1};
+constexpr LinkId kInvalidLink{-1};
+constexpr FlowId kInvalidFlow{-1};
 
 enum class PacketType : std::uint8_t {
   kData = 0,  ///< payload-carrying segment
@@ -48,8 +53,8 @@ struct Packet {
 
   /// Sender timestamp; the receiver echoes it back in `echo_ts` so the
   /// sender can measure RTT without per-packet state.
-  double ts = 0.0;
-  double echo_ts = 0.0;
+  sim::SimTime ts{};
+  sim::SimTime echo_ts{};
 
   /// Receive-window advertisement in bytes (rcvw, paper section VIII).
   std::int64_t rcvw_bytes = 0;
@@ -62,7 +67,8 @@ struct Packet {
 /// Build a data segment with standard header accounting.
 [[nodiscard]] inline Packet make_data(FlowId flow, NodeId src, NodeId dst,
                                       std::int64_t seq,
-                                      std::int32_t payload_bytes, double now) {
+                                      std::int32_t payload_bytes,
+                                      sim::SimTime now) {
   Packet p;
   p.flow = flow;
   p.src = src;
@@ -77,8 +83,8 @@ struct Packet {
 
 /// Build a cumulative ACK for `ack_seq` (next byte expected).
 [[nodiscard]] inline Packet make_ack(FlowId flow, NodeId src, NodeId dst,
-                                     std::int64_t ack_seq, double now,
-                                     double echo_ts,
+                                     std::int64_t ack_seq, sim::SimTime now,
+                                     sim::SimTime echo_ts,
                                      std::int64_t rcvw_bytes) {
   Packet p;
   p.flow = flow;

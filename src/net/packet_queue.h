@@ -133,6 +133,10 @@ class PacketQueue {
   QueueDiscipline discipline_ = QueueDiscipline::kFifo;
   /// Per-flow state; chains/index only maintained while SJF is active.
   std::unordered_map<FlowId, FlowState> flows_;
+  /// SJF needs min-remaining-size selection with arbitrary removal; an
+  /// ordered index is the data structure, and it is only populated while
+  /// the SJF discipline is active (see `sjf_selects` in docs/perf.md).
+  // scda-lint: allow(map-hot-path)
   std::set<SjfKey> sjf_order_;
 
   Perf perf_;

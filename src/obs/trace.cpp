@@ -59,7 +59,7 @@ void TraceRecorder::instant(sim::Time t, const char* cat, const char* name,
                             std::initializer_list<TraceArg> args) {
   Event e;
   e.ph = 'i';
-  e.ts_us = t * kUsPerSecond;
+  e.ts_us = t.seconds() * kUsPerSecond;
   e.cat = cat;
   e.name = name;
   e.tid = tid;
@@ -72,7 +72,7 @@ void TraceRecorder::async_begin(sim::Time t, const char* cat,
                                 std::initializer_list<TraceArg> args) {
   Event e;
   e.ph = 'b';
-  e.ts_us = t * kUsPerSecond;
+  e.ts_us = t.seconds() * kUsPerSecond;
   e.cat = cat;
   e.name = name;
   e.tid = kTrackFlows;
@@ -86,7 +86,7 @@ void TraceRecorder::async_end(sim::Time t, const char* cat, const char* name,
                               std::initializer_list<TraceArg> args) {
   Event e;
   e.ph = 'e';
-  e.ts_us = t * kUsPerSecond;
+  e.ts_us = t.seconds() * kUsPerSecond;
   e.cat = cat;
   e.name = name;
   e.tid = kTrackFlows;
@@ -100,8 +100,8 @@ void TraceRecorder::complete(sim::Time t, sim::Time dur, const char* cat,
                              std::initializer_list<TraceArg> args) {
   Event e;
   e.ph = 'X';
-  e.ts_us = t * kUsPerSecond;
-  e.dur_us = dur * kUsPerSecond;
+  e.ts_us = t.seconds() * kUsPerSecond;
+  e.dur_us = dur.seconds() * kUsPerSecond;
   e.cat = cat;
   e.name = name;
   e.tid = tid;
@@ -112,7 +112,7 @@ void TraceRecorder::complete(sim::Time t, sim::Time dur, const char* cat,
 void TraceRecorder::counter(sim::Time t, const char* name, double value) {
   Event e;
   e.ph = 'C';
-  e.ts_us = t * kUsPerSecond;
+  e.ts_us = t.seconds() * kUsPerSecond;
   e.cat = "counter";
   e.name = name;
   e.tid = kTrackCounters;

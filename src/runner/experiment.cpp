@@ -42,7 +42,7 @@ stats::RunResult run_once(const ExperimentConfig& cfg,
   driver.start();
 
   stats::RunResult r;
-  r.events = sim.run_until(cfg.sim_time_s);
+  r.events = sim.run_until(sim::secs(cfg.sim_time_s));
   thpt.stop();
 
   r.summary = collector.summary();

@@ -25,10 +25,11 @@
 #include <vector>
 
 #include "sim/small_fn.h"
+#include "sim/types.h"
 
 namespace scda::sim {
 
-using Time = double;  ///< simulation time in seconds
+using Time = SimTime;  ///< simulation time (strong wrapper over seconds)
 using EventId = std::uint64_t;
 
 /// Handle that allows cancelling a scheduled event. A default-constructed
@@ -57,7 +58,7 @@ class EventQueue {
   using Callback = SmallFn;
 
   /// Schedule `cb` at absolute time `t`. Returns a cancellable handle.
-  EventHandle schedule(Time t, Callback cb) {
+  [[nodiscard]] EventHandle schedule(Time t, Callback cb) {
     const std::uint32_t s = acquire_slot();
     cbs_[s] = std::move(cb);
     return finish_schedule(t, s);
@@ -69,10 +70,17 @@ class EventQueue {
             std::enable_if_t<!std::is_same_v<std::decay_t<F>, Callback> &&
                                  std::is_invocable_r_v<void, std::decay_t<F>&>,
                              int> = 0>
-  EventHandle schedule(Time t, F&& f) {
+  [[nodiscard]] EventHandle schedule(Time t, F&& f) {
     const std::uint32_t s = acquire_slot();
     cbs_[s].emplace(std::forward<F>(f));
     return finish_schedule(t, s);
+  }
+
+  /// Fire-and-forget schedule: schedule() with the handle deliberately
+  /// dropped (mirrors Simulator::post_in/post_at at the queue level).
+  template <typename F>
+  void post(Time t, F&& f) {
+    static_cast<void>(schedule(t, std::forward<F>(f)));
   }
 
   /// Cancel a previously scheduled event in O(log n). Cancelling an event
@@ -95,7 +103,7 @@ class EventQueue {
   [[nodiscard]] std::size_t scheduled() const noexcept { return heap_.size(); }
 
   struct Fired {
-    Time time = 0;
+    Time time{};
     Callback cb;
   };
 

@@ -43,6 +43,7 @@ class Rng {
     if (xm <= 0 || shape <= 0)
       throw std::invalid_argument("Rng::pareto: xm and shape must be > 0");
     double u;
+    // scda-lint: allow(float-eq) rejecting exactly-zero u (would div by 0)
     do { u = uniform(); } while (u == 0.0);
     return xm / std::pow(u, 1.0 / shape);
   }
@@ -61,6 +62,7 @@ class Rng {
       throw std::invalid_argument("Rng::bounded_pareto: cap must be > xm");
     const double ha = std::pow(xm / cap, shape);
     double u;
+    // scda-lint: allow(float-eq) rejecting exactly-zero u (log/pow domain)
     do { u = uniform(); } while (u == 0.0);
     return xm / std::pow(1.0 - u * (1.0 - ha), 1.0 / shape);
   }

@@ -44,17 +44,33 @@ class Simulator {
 
   /// Schedule a callable `delay` seconds from now (delay >= 0). The
   /// callable is forwarded into the event pool without a temporary.
+  /// The returned handle is the only way to cancel() the event — callers
+  /// that mean fire-and-forget use post_in() instead.
   template <typename F>
-  EventHandle schedule_in(Time delay, F&& f) {
-    if (delay < 0) throw std::invalid_argument("schedule_in: negative delay");
+  [[nodiscard]] EventHandle schedule_in(Time delay, F&& f) {
+    if (delay < Time{}) throw std::invalid_argument("schedule_in: negative delay");
     return queue_.schedule(now_ + delay, std::forward<F>(f));
   }
 
-  /// Schedule a callable at absolute time `t` (t >= now).
+  /// Schedule a callable at absolute time `t` (t >= now). See schedule_in
+  /// for the handle contract.
   template <typename F>
-  EventHandle schedule_at(Time t, F&& f) {
+  [[nodiscard]] EventHandle schedule_at(Time t, F&& f) {
     if (t < now_) throw std::invalid_argument("schedule_at: time in the past");
     return queue_.schedule(t, std::forward<F>(f));
+  }
+
+  /// Fire-and-forget variants: schedule with no intent to cancel. Same
+  /// semantics as schedule_in/schedule_at with the handle dropped, spelled
+  /// so that an accidentally dropped *cancellable* handle is a compile
+  /// error ([[nodiscard]] above).
+  template <typename F>
+  void post_in(Time delay, F&& f) {
+    static_cast<void>(schedule_in(delay, std::forward<F>(f)));
+  }
+  template <typename F>
+  void post_at(Time t, F&& f) {
+    static_cast<void>(schedule_at(t, std::forward<F>(f)));
   }
 
   void cancel(EventHandle h) { queue_.cancel(h); }
@@ -87,7 +103,7 @@ class Simulator {
   }
 
  private:
-  Time now_ = 0;
+  Time now_{};
   EventQueue queue_;
   Rng rng_;
   obs::Observability* obs_ = nullptr;
@@ -99,7 +115,7 @@ class PeriodicProcess {
  public:
   PeriodicProcess(Simulator& sim, Time period, std::function<void()> tick)
       : sim_(sim), period_(period), tick_(std::move(tick)) {
-    if (period <= 0)
+    if (period <= Time{})
       throw std::invalid_argument("PeriodicProcess: period must be > 0");
   }
 
@@ -107,7 +123,7 @@ class PeriodicProcess {
   PeriodicProcess(const PeriodicProcess&) = delete;
   PeriodicProcess& operator=(const PeriodicProcess&) = delete;
 
-  void start(Time first_delay = 0) {
+  void start(Time first_delay = Time{}) {
     stop();
     running_ = true;
     handle_ = sim_.schedule_in(first_delay, [this] { fire(); });
@@ -123,7 +139,7 @@ class PeriodicProcess {
   [[nodiscard]] bool running() const noexcept { return running_; }
   [[nodiscard]] Time period() const noexcept { return period_; }
   void set_period(Time p) {
-    if (p <= 0) throw std::invalid_argument("set_period: period must be > 0");
+    if (p <= Time{}) throw std::invalid_argument("set_period: period must be > 0");
     period_ = p;
   }
 

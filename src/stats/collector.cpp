@@ -22,8 +22,8 @@ void FlowStatsCollector::record(const transport::FlowRecord& rec,
   CompletionRecord r;
   r.size_bytes = rec.size_bytes;
   r.fct_s = rec.fct();
-  r.start_time = rec.start_time;
-  r.finish_time = rec.finish_time;
+  r.start_time = rec.start_time.seconds();
+  r.finish_time = rec.finish_time.seconds();
   r.kind = op.kind;
   r.content_class = op.content_class;
   r.control = rec.size_bytes < 5 * 1000;  // paper: control flows are < 5 KB

@@ -10,7 +10,7 @@ namespace scda::stats {
 
 void collect_run_metrics(obs::MetricsRegistry& reg, const sim::Simulator& sim,
                          core::Cloud& cloud) {
-  const double now = sim.now();
+  const double now = sim.now().seconds();
 
   // --- event engine ---------------------------------------------------------
   const sim::EventQueueStats& q = sim.perf();
@@ -28,7 +28,7 @@ void collect_run_metrics(obs::MetricsRegistry& reg, const sim::Simulator& sim,
   std::uint64_t tx_packets = 0, tx_bytes = 0, dropped_packets = 0,
                 dropped_bytes = 0, enqueued = 0, queue_hwm = 0;
   for (std::size_t i = 0; i < net.link_count(); ++i) {
-    const net::Link& l = net.link(static_cast<net::LinkId>(i));
+    const net::Link& l = net.link(net::LinkId::from_index(i));
     const net::LinkStats& ls = l.stats();
     tx_packets += ls.tx_packets;
     tx_bytes += ls.tx_bytes;

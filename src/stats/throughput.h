@@ -23,8 +23,9 @@ class ThroughputSampler {
       : transports_(transports),
         interval_s_(interval_s),
         process_(std::make_unique<sim::PeriodicProcess>(
-            sim, interval_s, [this, &sim] { sample(sim.now()); })) {
-    process_->start(interval_s);
+            sim, sim::Time{interval_s},
+            [this, &sim] { sample(sim.now()); })) {
+    process_->start(sim::Time{interval_s});
   }
 
   [[nodiscard]] const std::vector<ThroughputSample>& series() const noexcept {
@@ -43,13 +44,13 @@ class ThroughputSampler {
   void stop() { process_->stop(); }
 
  private:
-  void sample(double now) {
+  void sample(sim::Time now) {
     const std::int64_t delivered = transports_.total_delivered_bytes();
     const double kbps =
         static_cast<double>(delivered - last_delivered_) / 1000.0 /
         interval_s_;
     last_delivered_ = delivered;
-    series_.push_back({now, kbps});
+    series_.push_back({now.seconds(), kbps});
   }
 
   const transport::TransportManager& transports_;

@@ -33,8 +33,8 @@ struct FlowRecord {
   net::NodeId src = net::kInvalidNode;
   net::NodeId dst = net::kInvalidNode;
   std::int64_t size_bytes = 0;
-  sim::Time start_time = 0;
-  sim::Time finish_time = -1;  ///< set when all bytes are delivered
+  sim::Time start_time{};
+  sim::Time finish_time{-1};  ///< set when all bytes are delivered
   TransportKind transport = TransportKind::kTcp;
   ContentClass content = ContentClass::kSemiInteractive;
   /// Priority weight (paper eq. 6); 1.0 = unweighted max-min share.
@@ -42,9 +42,11 @@ struct FlowRecord {
   /// Reserved minimum rate M_j in bps (paper section IV-C); 0 = none.
   double reserved_bps = 0.0;
 
-  [[nodiscard]] bool finished() const noexcept { return finish_time >= 0; }
+  [[nodiscard]] bool finished() const noexcept {
+    return finish_time >= sim::Time{};
+  }
   [[nodiscard]] double fct() const noexcept {
-    return finished() ? finish_time - start_time : -1.0;
+    return finished() ? (finish_time - start_time).seconds() : -1.0;
   }
 };
 

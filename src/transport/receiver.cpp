@@ -35,7 +35,7 @@ void Receiver::handle(net::Packet&& p) {
     } else if (!ack_timer_armed_) {
       ack_timer_armed_ = true;
       const auto epoch = ++ack_timer_epoch_;
-      net_.sim().schedule_in(ack_delay_s_, [this, epoch] {
+      net_.sim().post_in(sim::SimTime{ack_delay_s_}, [this, epoch] {
         if (epoch != ack_timer_epoch_ || !ack_timer_armed_) return;
         ack_timer_armed_ = false;
         if (unacked_segments_ > 0) {
@@ -53,8 +53,8 @@ void Receiver::handle(net::Packet&& p) {
   }
 }
 
-void Receiver::send_ack(double echo_ts) {
-  const double now = net_.sim().now();
+void Receiver::send_ack(sim::SimTime echo_ts) {
+  const sim::SimTime now = net_.sim().now();
   net::Packet ack = net::make_ack(rec_.id, /*src=*/rec_.dst, /*dst=*/rec_.src,
                                   next_expected_, now, echo_ts, rcvw_bytes_);
   net_.send(std::move(ack));

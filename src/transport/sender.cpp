@@ -40,7 +40,8 @@ void WindowSender::handle(net::Packet&& p) {
     const std::int64_t newly = p.seq - acked_;
     acked_ = p.seq;
     dup_acks_ = 0;
-    if (p.echo_ts > 0) update_rtt(net_.sim().now() - p.echo_ts);
+    if (p.echo_ts > sim::SimTime{})
+      update_rtt((net_.sim().now() - p.echo_ts).seconds());
 
     if (in_recovery_) {
       if (acked_ >= recover_seq_) {
@@ -136,7 +137,7 @@ void WindowSender::pump_paced() {
       pacing_rate_bps_;
   pace_armed_ = true;
   const auto epoch = ++pace_epoch_;
-  net_.sim().schedule_in(gap, [this, epoch] {
+  net_.sim().post_in(sim::SimTime{gap}, [this, epoch] {
     if (epoch != pace_epoch_) return;
     pace_armed_ = false;
     maybe_send();
@@ -149,7 +150,7 @@ void WindowSender::retransmit_at(std::int64_t seq) {
   if (obs::TraceRecorder* tr = obs::tracer_of(net_.sim())) {
     tr->instant(net_.sim().now(), "transport", "retransmit",
                 obs::kTrackTransport,
-                {{"flow", static_cast<double>(rec_.id)},
+                {{"flow", static_cast<double>(rec_.id.value())},
                  {"seq", static_cast<double>(seq)},
                  {"cwnd_bytes", cwnd_}});
   }
@@ -162,7 +163,8 @@ void WindowSender::send_segment(std::int64_t seq, bool is_retransmit) {
   net::Packet p =
       net::make_data(rec_.id, rec_.src, rec_.dst, seq, payload,
                      net_.sim().now());
-  if (is_retransmit) p.ts = 0;  // Karn's rule: no RTT sample on retransmits
+  if (is_retransmit)
+    p.ts = sim::SimTime{};  // Karn's rule: no RTT sample on retransmits
   ++stats_.data_packets_sent;
   net_.send(std::move(p));
 }
@@ -171,7 +173,7 @@ void WindowSender::arm_rto() {
   disarm_rto();
   rto_armed_ = true;
   const auto epoch = ++rto_epoch_;
-  rto_handle_ = net_.sim().schedule_in(rto_, [this, epoch] {
+  rto_handle_ = net_.sim().schedule_in(sim::SimTime{rto_}, [this, epoch] {
     if (epoch == rto_epoch_ && rto_armed_) handle_timeout();
   });
 }
@@ -226,7 +228,8 @@ void TcpSender::on_new_ack(std::int64_t newly_acked) {
   if (in_recovery_) return;  // window frozen during recovery (deflation)
   if (cwnd_ < ssthresh_) {
     // Slow start: one MSS per ACKed segment (byte counting).
-    set_cwnd(cwnd_ + std::min<std::int64_t>(newly_acked, mss_));
+    set_cwnd(cwnd_ +
+             static_cast<double>(std::min<std::int64_t>(newly_acked, mss_)));
   } else {
     // Congestion avoidance: ~one MSS per RTT.
     set_cwnd(cwnd_ + static_cast<double>(mss_) * mss_ / cwnd_);

@@ -24,7 +24,7 @@ FlowRecord& TransportManager::new_record(net::NodeId src, net::NodeId dst,
                                          TransportKind kind,
                                          ContentClass content) {
   auto rec = std::make_unique<FlowRecord>();
-  rec->id = static_cast<net::FlowId>(records_.size());
+  rec->id = net::FlowId::from_index(records_.size());
   rec->src = src;
   rec->dst = dst;
   rec->size_bytes = size_bytes;
@@ -36,9 +36,9 @@ FlowRecord& TransportManager::new_record(net::NodeId src, net::NodeId dst,
   if (obs::TraceRecorder* tr = obs::tracer_of(net_.sim())) {
     tr->async_begin(r.start_time, "flow",
                     kind == TransportKind::kTcp ? "tcp_flow" : "scda_flow",
-                    static_cast<std::uint64_t>(r.id),
-                    {{"src", static_cast<double>(r.src)},
-                     {"dst", static_cast<double>(r.dst)},
+                    static_cast<std::uint64_t>(r.id.value()),
+                    {{"src", static_cast<double>(r.src.value())},
+                     {"dst", static_cast<double>(r.dst.value())},
                      {"bytes", static_cast<double>(r.size_bytes)}});
   }
   return r;
@@ -49,7 +49,7 @@ void TransportManager::finish_flow(const FlowRecord& r) {
     tr->async_end(r.finish_time, "flow",
                   r.transport == TransportKind::kTcp ? "tcp_flow"
                                                      : "scda_flow",
-                  static_cast<std::uint64_t>(r.id),
+                  static_cast<std::uint64_t>(r.id.value()),
                   {{"fct_s", r.fct()},
                    {"bytes", static_cast<double>(r.size_bytes)}});
   }

@@ -66,10 +66,10 @@ class TransportManager {
                                   double priority = 1.0);
 
   [[nodiscard]] const FlowRecord& record(net::FlowId id) const {
-    return *records_.at(static_cast<std::size_t>(id));
+    return *records_.at(id.index());
   }
   [[nodiscard]] FlowRecord& record(net::FlowId id) {
-    return *records_.at(static_cast<std::size_t>(id));
+    return *records_.at(id.index());
   }
   [[nodiscard]] std::size_t flow_count() const noexcept {
     return records_.size();
@@ -77,7 +77,7 @@ class TransportManager {
   /// Id the next started flow will receive — lets callers pin a source
   /// route in the Network before starting the flow (section IX).
   [[nodiscard]] net::FlowId next_flow_id() const noexcept {
-    return static_cast<net::FlowId>(records_.size());
+    return net::FlowId::from_index(records_.size());
   }
   [[nodiscard]] const std::vector<std::unique_ptr<FlowRecord>>& records()
       const noexcept {

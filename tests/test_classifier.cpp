@@ -9,36 +9,36 @@ using transport::ContentClass;
 
 TEST(Classifier, UnknownContentIsPassive) {
   ContentClassifier c;
-  EXPECT_EQ(c.classify(1, 0.0), ContentClass::kPassive);
+  EXPECT_EQ(c.classify(1, scda::sim::secs(0.0)), ContentClass::kPassive);
 }
 
 TEST(Classifier, FewAccessesStayPassive) {
   ContentClassifier c;
-  c.record_write(1, 0.0);
-  c.record_read(1, 10.0);
-  EXPECT_EQ(c.classify(1, 20.0), ContentClass::kPassive);
+  c.record_write(1, scda::sim::secs(0.0));
+  c.record_read(1, scda::sim::secs(10.0));
+  EXPECT_EQ(c.classify(1, scda::sim::secs(20.0)), ContentClass::kPassive);
 }
 
 TEST(Classifier, HighReadsOnlyIsSemiInteractive) {
   ContentClassifier c;
-  for (int i = 0; i < 6; ++i) c.record_read(1, i * 2.0);
-  EXPECT_EQ(c.classify(1, 12.0), ContentClass::kSemiInteractive);
+  for (int i = 0; i < 6; ++i) c.record_read(1, scda::sim::secs(i * 2.0));
+  EXPECT_EQ(c.classify(1, scda::sim::secs(12.0)), ContentClass::kSemiInteractive);
 }
 
 TEST(Classifier, HighWritesOnlyIsSemiInteractive) {
   ContentClassifier c;
-  for (int i = 0; i < 6; ++i) c.record_write(1, i * 2.0);
-  EXPECT_EQ(c.classify(1, 12.0), ContentClass::kSemiInteractive);
+  for (int i = 0; i < 6; ++i) c.record_write(1, scda::sim::secs(i * 2.0));
+  EXPECT_EQ(c.classify(1, scda::sim::secs(12.0)), ContentClass::kSemiInteractive);
 }
 
 TEST(Classifier, TightInterleavingIsInteractive) {
   ContentClassifier c;
   // writes and reads interleaved every second: HWHR with gaps << 5 s.
   for (int i = 0; i < 5; ++i) {
-    c.record_write(1, i * 2.0);
-    c.record_read(1, i * 2.0 + 1.0);
+    c.record_write(1, scda::sim::secs(i * 2.0));
+    c.record_read(1, scda::sim::secs(i * 2.0 + 1.0));
   }
-  EXPECT_EQ(c.classify(1, 10.0), ContentClass::kInteractive);
+  EXPECT_EQ(c.classify(1, scda::sim::secs(10.0)), ContentClass::kInteractive);
 }
 
 TEST(Classifier, LooseInterleavingIsNotInteractive) {
@@ -47,43 +47,43 @@ TEST(Classifier, LooseInterleavingIsNotInteractive) {
   ContentClassifier c(cfg);
   // High write and read counts, but 30 s apart (> 5 s interactivity gap).
   for (int i = 0; i < 5; ++i) {
-    c.record_write(1, i * 60.0);
-    c.record_read(1, i * 60.0 + 30.0);
+    c.record_write(1, scda::sim::secs(i * 60.0));
+    c.record_read(1, scda::sim::secs(i * 60.0 + 30.0));
   }
-  EXPECT_EQ(c.classify(1, 290.0), ContentClass::kSemiInteractive);
+  EXPECT_EQ(c.classify(1, scda::sim::secs(290.0)), ContentClass::kSemiInteractive);
 }
 
 TEST(Classifier, WindowForgetsOldAccesses) {
   ContentClassifier c;  // 60 s window
-  for (int i = 0; i < 6; ++i) c.record_read(1, i * 1.0);
-  EXPECT_EQ(c.classify(1, 6.0), ContentClass::kSemiInteractive);
+  for (int i = 0; i < 6; ++i) c.record_read(1, scda::sim::secs(i * 1.0));
+  EXPECT_EQ(c.classify(1, scda::sim::secs(6.0)), ContentClass::kSemiInteractive);
   // Two minutes later the burst is outside the window.
-  EXPECT_EQ(c.classify(1, 130.0), ContentClass::kPassive);
+  EXPECT_EQ(c.classify(1, scda::sim::secs(130.0)), ContentClass::kPassive);
 }
 
 TEST(Classifier, AccessCountRespectsWindow) {
   ContentClassifier c;
-  c.record_write(1, 0.0);
-  c.record_read(1, 30.0);
-  EXPECT_EQ(c.accesses_in_window(1, 40.0), 2u);
-  EXPECT_EQ(c.accesses_in_window(1, 70.0), 1u);   // write expired
-  EXPECT_EQ(c.accesses_in_window(1, 100.0), 0u);  // all expired
+  c.record_write(1, scda::sim::secs(0.0));
+  c.record_read(1, scda::sim::secs(30.0));
+  EXPECT_EQ(c.accesses_in_window(1, scda::sim::secs(40.0)), 2u);
+  EXPECT_EQ(c.accesses_in_window(1, scda::sim::secs(70.0)), 1u);   // write expired
+  EXPECT_EQ(c.accesses_in_window(1, scda::sim::secs(100.0)), 0u);  // all expired
 }
 
 TEST(Classifier, ContentsAreIndependent) {
   ContentClassifier c;
-  for (int i = 0; i < 6; ++i) c.record_read(1, i * 1.0);
-  EXPECT_EQ(c.classify(1, 6.0), ContentClass::kSemiInteractive);
-  EXPECT_EQ(c.classify(2, 6.0), ContentClass::kPassive);
+  for (int i = 0; i < 6; ++i) c.record_read(1, scda::sim::secs(i * 1.0));
+  EXPECT_EQ(c.classify(1, scda::sim::secs(6.0)), ContentClass::kSemiInteractive);
+  EXPECT_EQ(c.classify(2, scda::sim::secs(6.0)), ContentClass::kPassive);
 }
 
 TEST(Classifier, ThresholdConfigurable) {
   ClassifierConfig cfg;
   cfg.high_accesses_per_window = 2;
   ContentClassifier c(cfg);
-  c.record_read(1, 0.0);
-  c.record_read(1, 1.0);
-  EXPECT_EQ(c.classify(1, 2.0), ContentClass::kSemiInteractive);
+  c.record_read(1, scda::sim::secs(0.0));
+  c.record_read(1, scda::sim::secs(1.0));
+  EXPECT_EQ(c.classify(1, scda::sim::secs(2.0)), ContentClass::kSemiInteractive);
 }
 
 }  // namespace

@@ -46,7 +46,7 @@ class CloudTest : public ::testing::Test {
 TEST_F(CloudTest, WriteCompletesAndStoresContent) {
   build(small_config());
   EXPECT_TRUE(cloud_->write(0, 1, util::megabytes(4)));
-  sim_->run_until(20.0);
+  sim_->run_until(scda::sim::secs(20.0));
   EXPECT_EQ(count(CloudOp::Kind::kWrite), 1u);
   // Written once, replicated once -> two servers hold the block.
   const auto* meta = cloud_->fes().dispatch_by_content(1).find(1);
@@ -74,8 +74,8 @@ TEST_F(CloudTest, InvalidArgumentsRejected) {
 TEST_F(CloudTest, ReadAfterWriteRoundTrips) {
   build(small_config());
   cloud_->write(0, 42, util::megabytes(2));
-  sim_->schedule_at(10.0, [&] { cloud_->read(1, 42); });
-  sim_->run_until(30.0);
+  sim_->post_at(scda::sim::secs(10.0), [&] { cloud_->read(1, 42); });
+  sim_->run_until(scda::sim::secs(30.0));
   ASSERT_EQ(count(CloudOp::Kind::kRead), 1u);
   for (const auto& [rec, op] : done_) {
     if (op.kind == CloudOp::Kind::kRead) {
@@ -90,7 +90,7 @@ TEST_F(CloudTest, ReadAfterWriteRoundTrips) {
 TEST_F(CloudTest, ReadOfUnknownContentFails) {
   build(small_config());
   cloud_->read(0, 777);
-  sim_->run_until(5.0);
+  sim_->run_until(scda::sim::secs(5.0));
   EXPECT_EQ(cloud_->failed_reads(), 1u);
   EXPECT_EQ(count(CloudOp::Kind::kRead), 0u);
 }
@@ -101,8 +101,8 @@ TEST_F(CloudTest, RandTcpModeServesSameApi) {
   cfg.transport = transport::TransportKind::kTcp;
   build(cfg);
   cloud_->write(0, 1, util::megabytes(1));
-  sim_->schedule_at(15.0, [&] { cloud_->read(1, 1); });
-  sim_->run_until(60.0);
+  sim_->post_at(scda::sim::secs(15.0), [&] { cloud_->read(1, 1); });
+  sim_->run_until(scda::sim::secs(60.0));
   EXPECT_EQ(count(CloudOp::Kind::kWrite), 1u);
   EXPECT_EQ(count(CloudOp::Kind::kRead), 1u);
   EXPECT_EQ(count(CloudOp::Kind::kReplication), 1u);
@@ -113,7 +113,7 @@ TEST_F(CloudTest, ReplicationDisabledLeavesSingleCopy) {
   cfg.enable_replication = false;
   build(cfg);
   cloud_->write(0, 1, util::megabytes(1));
-  sim_->run_until(20.0);
+  sim_->run_until(scda::sim::secs(20.0));
   EXPECT_EQ(count(CloudOp::Kind::kReplication), 0u);
   const auto* meta = cloud_->fes().dispatch_by_content(1).find(1);
   EXPECT_EQ(meta->replicas.size(), 1u);
@@ -130,7 +130,7 @@ TEST_F(CloudTest, PriorityFlowFinishesFasterUnderContention) {
                 /*priority=*/4.0);
   cloud_->write(5, 2, util::megabytes(8), ContentClass::kSemiInteractive,
                 /*priority=*/1.0);
-  sim_->run_until(60.0);
+  sim_->run_until(scda::sim::secs(60.0));
   double fct_hi = -1, fct_lo = -1;
   for (const auto& [rec, op] : done_) {
     if (op.content == 1) fct_hi = rec.fct();
@@ -151,7 +151,7 @@ TEST_F(CloudTest, ReservedFlowMeetsDeadlineUnderLoad) {
   // latency + convergence slack.
   cloud_->write(0, 1, util::megabytes(4), ContentClass::kSemiInteractive,
                 1.0, /*reserved_bps=*/util::mbps(100));
-  sim_->run_until(60.0);
+  sim_->run_until(scda::sim::secs(60.0));
   for (const auto& [rec, op] : done_) {
     if (op.content == 1 && op.kind == CloudOp::Kind::kWrite) {
       EXPECT_LT(rec.fct(), 1.0);
@@ -162,17 +162,17 @@ TEST_F(CloudTest, ReservedFlowMeetsDeadlineUnderLoad) {
 TEST_F(CloudTest, ControlOverheadAccounted) {
   build(small_config());
   cloud_->write(0, 1, 100000);
-  sim_->run_until(5.0);
+  sim_->run_until(scda::sim::secs(5.0));
   EXPECT_GT(cloud_->control_messages(), 0u);
   EXPECT_GT(cloud_->control_bytes(), cloud_->control_messages());
 }
 
 TEST_F(CloudTest, EnergyAccumulates) {
   build(small_config());
-  sim_->run_until(2.0);
+  sim_->run_until(scda::sim::secs(2.0));
   const double e1 = cloud_->total_energy_j();
   EXPECT_GT(e1, 0.0);
-  sim_->run_until(4.0);
+  sim_->run_until(scda::sim::secs(4.0));
   EXPECT_GT(cloud_->total_energy_j(), e1);
 }
 
@@ -195,7 +195,7 @@ TEST_F(CloudTest, PassiveContentScalesServersDown) {
   cfg.params.rscale_bps = util::mbps(400);
   build(cfg);
   cloud_->write(0, 1, util::megabytes(1), ContentClass::kPassive);
-  sim_->run_until(30.0);
+  sim_->run_until(scda::sim::secs(30.0));
   // The passive content's replica landed on a dormant-eligible server and
   // idle servers holding only passive content were scaled down.
   EXPECT_GT(cloud_->dormant_servers(), 0u);
@@ -206,15 +206,15 @@ TEST_F(CloudTest, ReadWakesDormantServer) {
   cfg.params.rscale_bps = util::mbps(400);
   build(cfg);
   cloud_->write(0, 1, util::megabytes(1), ContentClass::kPassive);
-  sim_->schedule_at(20.0, [&] { cloud_->read(1, 1); });
-  sim_->run_until(60.0);
+  sim_->post_at(scda::sim::secs(20.0), [&] { cloud_->read(1, 1); });
+  sim_->run_until(scda::sim::secs(60.0));
   EXPECT_EQ(count(CloudOp::Kind::kRead), 1u);
 }
 
 TEST_F(CloudTest, ScdaFlowsDeregisterOnCompletion) {
   build(small_config());
   cloud_->write(0, 1, util::megabytes(1));
-  sim_->run_until(20.0);
+  sim_->run_until(scda::sim::secs(20.0));
   EXPECT_EQ(cloud_->allocator().active_flows(), 0u);
 }
 
@@ -224,7 +224,7 @@ TEST_F(CloudTest, SingleNameNodeModeWorks) {
   build(cfg);
   for (int i = 0; i < 10; ++i)
     cloud_->write(static_cast<std::size_t>(i % 8), i + 1, 50000);
-  sim_->run_until(20.0);
+  sim_->run_until(scda::sim::secs(20.0));
   EXPECT_EQ(count(CloudOp::Kind::kWrite), 10u);
   EXPECT_EQ(cloud_->fes().nns_count(), 1u);
 }
@@ -233,7 +233,7 @@ TEST_F(CloudTest, ManyContentsSpreadAcrossNameNodes) {
   build(small_config());
   for (int i = 0; i < 40; ++i)
     cloud_->write(static_cast<std::size_t>(i % 8), i + 1, 20000);
-  sim_->run_until(30.0);
+  sim_->run_until(scda::sim::secs(30.0));
   std::size_t nns_with_content = 0;
   for (std::size_t i = 0; i < cloud_->fes().nns_count(); ++i)
     if (cloud_->fes().node(i).content_count() > 0) ++nns_with_content;
@@ -250,7 +250,7 @@ TEST_F(CloudTest, ColdContentMigratesToDormantEligibleServer) {
   // learns it is passive and the migration scan moves it (section VII-C).
   cloud_->write(0, 1, util::megabytes(1),
                 ContentClass::kSemiInteractive);
-  sim_->run_until(120.0);
+  sim_->run_until(scda::sim::secs(120.0));
   EXPECT_GE(cloud_->migrations_completed(), 1u);
   const auto* meta = cloud_->fes().dispatch_by_content(1).find(1);
   ASSERT_NE(meta, nullptr);
@@ -274,15 +274,15 @@ TEST_F(CloudTest, HotContentIsNotMigrated) {
   cloud_->write(0, 1, util::kilobytes(256), ContentClass::kSemiInteractive);
   // Keep it hot: a read every 4 seconds.
   for (int i = 1; i <= 20; ++i) {
-    sim_->schedule_at(4.0 * i, [this] { cloud_->read(1, 1); });
+    sim_->post_at(scda::sim::secs(4.0 * i), [this] { cloud_->read(1, 1); });
   }
-  sim_->run_until(90.0);
+  sim_->run_until(scda::sim::secs(90.0));
   EXPECT_EQ(cloud_->migrations_completed(), 0u);
 }
 
 TEST_F(CloudTest, SetFlowPriorityIsSafeForUnknownFlows) {
   build(small_config());
-  EXPECT_NO_THROW(cloud_->set_flow_priority(12345, 2.0));
+  EXPECT_NO_THROW(cloud_->set_flow_priority(scda::net::FlowId{12345}, 2.0));
 }
 
 }  // namespace

@@ -67,7 +67,7 @@ TEST_P(CloudMatrix, ShortWorkloadRunsClean) {
   workload::WorkloadDriver driver(
       cloud, std::make_unique<workload::ParetoPoissonWorkload>(pc), dc);
   driver.start();
-  sim.run_until(60.0);
+  sim.run_until(scda::sim::secs(60.0));
 
   const stats::Summary s = col.summary();
   EXPECT_GT(s.flows, 20u) << "workload barely ran";

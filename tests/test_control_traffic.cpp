@@ -31,7 +31,7 @@ class ControlTrafficTest : public ::testing::Test {
 
 TEST_F(ControlTrafficTest, OneReportPerReporterPerInterval) {
   ControlTraffic ctrl(*topo_, *alloc_, /*interval=*/0.05);
-  sim_.run_until(0.26);  // 5 ticks
+  sim_.run_until(scda::sim::secs(0.26));  // 5 ticks
   ctrl.stop();
   // Reporters per tick: 8 RMs + 4 ToR RAs + 2 Agg RAs = 14.
   EXPECT_EQ(ctrl.reports_sent(), 5u * 14u);
@@ -40,9 +40,9 @@ TEST_F(ControlTrafficTest, OneReportPerReporterPerInterval) {
 
 TEST_F(ControlTrafficTest, ReportsAreDelivered) {
   ControlTraffic ctrl(*topo_, *alloc_, 0.05);
-  sim_.run_until(1.0);
+  sim_.run_until(scda::sim::secs(1.0));
   ctrl.stop();
-  sim_.run_until(1.5);  // drain in-flight reports
+  sim_.run_until(scda::sim::secs(1.5));  // drain in-flight reports
   EXPECT_EQ(ctrl.reports_received(), ctrl.reports_sent());
   EXPECT_EQ(ctrl.bytes_on_wire(),
             ctrl.reports_sent() * ControlTraffic::kReportBytes);
@@ -52,7 +52,7 @@ TEST_F(ControlTrafficTest, DeltaEncodingSuppressesStableReports) {
   // Rates never change on an idle network: after the first report per RM,
   // every subsequent one is suppressed (RA forwarding still flows).
   ControlTraffic ctrl(*topo_, *alloc_, 0.05, /*delta_threshold=*/0.01);
-  sim_.run_until(0.51);  // 10 ticks
+  sim_.run_until(scda::sim::secs(0.51));  // 10 ticks
   ctrl.stop();
   // RM reports: 8 on the first tick, then suppressed; RA reports: 6/tick.
   EXPECT_EQ(ctrl.reports_suppressed(), 9u * 8u);
@@ -61,15 +61,15 @@ TEST_F(ControlTrafficTest, DeltaEncodingSuppressesStableReports) {
 
 TEST_F(ControlTrafficTest, RateChangeTriggersNewReport) {
   ControlTraffic ctrl(*topo_, *alloc_, 0.05, 0.01);
-  sim_.run_until(0.26);
+  sim_.run_until(scda::sim::secs(0.26));
   const auto before = ctrl.reports_sent();
   // A new flow halves the advertised rate on server 0's uplink.
-  alloc_->register_flow(1, topo_->servers()[0],
+  alloc_->register_flow(scda::net::FlowId{1}, topo_->servers()[0],
                         topo_->tors()[0]);
-  alloc_->register_flow(2, topo_->servers()[0],
+  alloc_->register_flow(scda::net::FlowId{2}, topo_->servers()[0],
                         topo_->tors()[0]);
   for (int i = 0; i < 3; ++i) alloc_->tick();
-  sim_.run_until(0.31);  // one more control tick
+  sim_.run_until(scda::sim::secs(0.31));  // one more control tick
   ctrl.stop();
   EXPECT_GT(ctrl.reports_sent(), before + 6u);  // RA reports + RM 0's
 }
@@ -81,7 +81,7 @@ TEST_F(ControlTrafficTest, DataFlowsCompleteAlongsideControlTraffic) {
   tm.set_completion_callback([&](const transport::FlowRecord&) { ++done; });
   tm.start_scda_flow(topo_->clients()[0], topo_->servers()[0], 2'000'000,
                      50e6, 50e6);
-  sim_.run_until(10.0);
+  sim_.run_until(scda::sim::secs(10.0));
   ctrl.stop();
   EXPECT_EQ(done, 1);
   EXPECT_GT(ctrl.reports_received(), 0u);
@@ -89,7 +89,7 @@ TEST_F(ControlTrafficTest, DataFlowsCompleteAlongsideControlTraffic) {
 
 TEST_F(ControlTrafficTest, OverheadIsTinyVersusLinkCapacity) {
   ControlTraffic ctrl(*topo_, *alloc_, 0.05);
-  sim_.run_until(10.0);
+  sim_.run_until(scda::sim::secs(10.0));
   ctrl.stop();
   // 14 reporters * 64 B / 50 ms ~ 18 KB/s of control traffic for the whole
   // 8-server cloud — far below one link's 100 Mbps.

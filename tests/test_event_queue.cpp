@@ -19,9 +19,9 @@ TEST(EventQueue, StartsEmpty) {
 TEST(EventQueue, PopsInTimeOrder) {
   EventQueue q;
   std::vector<int> order;
-  q.schedule(3.0, [&] { order.push_back(3); });
-  q.schedule(1.0, [&] { order.push_back(1); });
-  q.schedule(2.0, [&] { order.push_back(2); });
+  q.post(scda::sim::secs(3.0), [&] { order.push_back(3); });
+  q.post(scda::sim::secs(1.0), [&] { order.push_back(1); });
+  q.post(scda::sim::secs(2.0), [&] { order.push_back(2); });
   EventQueue::Fired f;
   while (q.pop(f)) f.cb();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
@@ -31,7 +31,7 @@ TEST(EventQueue, EqualTimestampsAreFifo) {
   EventQueue q;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i)
-    q.schedule(1.0, [&order, i] { order.push_back(i); });
+    q.post(scda::sim::secs(1.0), [&order, i] { order.push_back(i); });
   EventQueue::Fired f;
   while (q.pop(f)) f.cb();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
@@ -39,25 +39,25 @@ TEST(EventQueue, EqualTimestampsAreFifo) {
 
 TEST(EventQueue, PopReportsScheduledTime) {
   EventQueue q;
-  q.schedule(2.5, [] {});
+  q.post(scda::sim::secs(2.5), [] {});
   EventQueue::Fired f;
   ASSERT_TRUE(q.pop(f));
-  EXPECT_DOUBLE_EQ(f.time, 2.5);
+  EXPECT_DOUBLE_EQ(f.time.seconds(), 2.5);
 }
 
 TEST(EventQueue, NextTimeSeesEarliestLiveEvent) {
   EventQueue q;
-  auto h = q.schedule(1.0, [] {});
-  q.schedule(2.0, [] {});
-  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+  auto h = q.schedule(scda::sim::secs(1.0), [] {});
+  q.post(scda::sim::secs(2.0), [] {});
+  EXPECT_DOUBLE_EQ(q.next_time().seconds(), 1.0);
   q.cancel(h);
-  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  EXPECT_DOUBLE_EQ(q.next_time().seconds(), 2.0);
 }
 
 TEST(EventQueue, CancelPreventsExecution) {
   EventQueue q;
   bool ran = false;
-  auto h = q.schedule(1.0, [&] { ran = true; });
+  auto h = q.schedule(scda::sim::secs(1.0), [&] { ran = true; });
   q.cancel(h);
   EXPECT_TRUE(q.empty());
   EventQueue::Fired f;
@@ -68,9 +68,9 @@ TEST(EventQueue, CancelPreventsExecution) {
 TEST(EventQueue, CancelOnlyAffectsTarget) {
   EventQueue q;
   int sum = 0;
-  q.schedule(1.0, [&] { sum += 1; });
-  auto h = q.schedule(1.0, [&] { sum += 10; });
-  q.schedule(1.0, [&] { sum += 100; });
+  q.post(scda::sim::secs(1.0), [&] { sum += 1; });
+  auto h = q.schedule(scda::sim::secs(1.0), [&] { sum += 10; });
+  q.post(scda::sim::secs(1.0), [&] { sum += 100; });
   q.cancel(h);
   EventQueue::Fired f;
   while (q.pop(f)) f.cb();
@@ -79,20 +79,20 @@ TEST(EventQueue, CancelOnlyAffectsTarget) {
 
 TEST(EventQueue, CancelAfterFireIsNoop) {
   EventQueue q;
-  auto h = q.schedule(1.0, [] {});
+  auto h = q.schedule(scda::sim::secs(1.0), [] {});
   EventQueue::Fired f;
   ASSERT_TRUE(q.pop(f));
   q.cancel(h);  // must not crash or affect later events
-  q.schedule(2.0, [] {});
+  q.post(scda::sim::secs(2.0), [] {});
   EXPECT_FALSE(q.empty());
   ASSERT_TRUE(q.pop(f));
-  EXPECT_DOUBLE_EQ(f.time, 2.0);
+  EXPECT_DOUBLE_EQ(f.time.seconds(), 2.0);
 }
 
 TEST(EventQueue, InvalidHandleCancelIsNoop) {
   EventQueue q;
   q.cancel(EventHandle{});  // default handle is invalid
-  q.schedule(1.0, [] {});
+  q.post(scda::sim::secs(1.0), [] {});
   EXPECT_EQ(q.scheduled(), 1u);
   EXPECT_FALSE(q.empty());
 }
@@ -101,12 +101,12 @@ TEST(EventQueue, ManyEventsDrainCompletely) {
   EventQueue q;
   int count = 0;
   for (int i = 0; i < 10000; ++i)
-    q.schedule(static_cast<double>(i % 100), [&] { ++count; });
+    q.post(scda::sim::secs(static_cast<double>(i % 100)), [&] { ++count; });
   EventQueue::Fired f;
   double prev = -1;
   while (q.pop(f)) {
-    EXPECT_GE(f.time, prev);
-    prev = f.time;
+    EXPECT_GE(f.time.seconds(), prev);
+    prev = f.time.seconds();
     f.cb();
   }
   EXPECT_EQ(count, 10000);
@@ -115,7 +115,7 @@ TEST(EventQueue, ManyEventsDrainCompletely) {
 TEST(EventQueue, CancelAllLeavesEmpty) {
   EventQueue q;
   std::vector<EventHandle> hs;
-  for (int i = 0; i < 50; ++i) hs.push_back(q.schedule(1.0, [] {}));
+  for (int i = 0; i < 50; ++i) hs.push_back(q.schedule(scda::sim::secs(1.0), [] {}));
   for (auto h : hs) q.cancel(h);
   EXPECT_TRUE(q.empty());
 }
@@ -132,8 +132,8 @@ TEST(EventQueue, ScheduleFireCancelChurnKeepsBookkeepingBounded) {
   std::uint64_t fired = 0;
   EventQueue::Fired f;
   for (int i = 0; i < 1'000'000; ++i) {
-    EventHandle rto = q.schedule(t + 1.0, [&fired] { ++fired; });
-    q.schedule(t + 0.5, [&fired] { ++fired; });
+    EventHandle rto = q.schedule(scda::sim::secs(t + 1.0), [&fired] { ++fired; });
+    q.post(scda::sim::secs(t + 0.5), [&fired] { ++fired; });
     ASSERT_TRUE(q.pop(f));  // the "ACK" arrives first...
     f.cb();
     q.cancel(rto);          // ...and cancels the pending retransmit
@@ -155,12 +155,12 @@ TEST(EventQueue, StaleHandleCannotCancelRecycledSlot) {
   EventQueue q;
   bool first = false;
   bool second = false;
-  EventHandle h1 = q.schedule(1.0, [&] { first = true; });
+  EventHandle h1 = q.schedule(scda::sim::secs(1.0), [&] { first = true; });
   EventQueue::Fired f;
   ASSERT_TRUE(q.pop(f));
   f.cb();
   // The new event recycles h1's slot (single-slot pool).
-  EventHandle h2 = q.schedule(2.0, [&] { second = true; });
+  EventHandle h2 = q.schedule(scda::sim::secs(2.0), [&] { second = true; });
   EXPECT_EQ(h2.slot, h1.slot);
   q.cancel(h1);  // stale: must be a counted no-op, not cancel h2's event
   EXPECT_EQ(q.scheduled(), 1u);
@@ -174,7 +174,7 @@ TEST(EventQueue, StaleHandleCannotCancelRecycledSlot) {
 
 TEST(EventQueue, DoubleCancelIsCountedStale) {
   EventQueue q;
-  EventHandle h = q.schedule(1.0, [] {});
+  EventHandle h = q.schedule(scda::sim::secs(1.0), [] {});
   q.cancel(h);
   q.cancel(h);  // second cancel of the same handle: stale no-op
   EXPECT_EQ(q.perf().cancelled, 1u);
@@ -189,14 +189,14 @@ TEST(EventQueue, CancelInteriorPreservesOrdering) {
   std::vector<int> order;
   for (int i = 0; i < 1000; ++i) {
     const double t = static_cast<double>((i * 7919) % 257);
-    hs.push_back(q.schedule(t, [&order, i] { order.push_back(i); }));
+    hs.push_back(q.schedule(scda::sim::secs(t), [&order, i] { order.push_back(i); }));
   }
   for (std::size_t i = 0; i < hs.size(); i += 3) q.cancel(hs[i]);
   EventQueue::Fired f;
   double prev = -1;
   while (q.pop(f)) {
-    EXPECT_GE(f.time, prev);
-    prev = f.time;
+    EXPECT_GE(f.time.seconds(), prev);
+    prev = f.time.seconds();
     f.cb();
   }
   EXPECT_EQ(order.size(), 666u);
@@ -210,7 +210,7 @@ TEST(EventQueue, LargeCapturesSpillToHeapAndStillRun) {
     double a[8] = {1, 2, 3, 4, 5, 6, 7, 8};
   } big;
   double sum = 0;
-  q.schedule(1.0, [big, &sum] {
+  q.post(scda::sim::secs(1.0), [big, &sum] {
     for (double v : big.a) sum += v;
   });
   EXPECT_EQ(q.perf().callbacks_heap, 1u);

@@ -41,7 +41,7 @@ class FailureTest : public ::testing::Test {
 
 TEST_F(FailureTest, ReadFailsOverToSurvivingReplica) {
   cloud_->write(0, 1, util::megabytes(2));
-  sim_->run_until(10.0);  // write + replication done: 2 copies
+  sim_->run_until(scda::sim::secs(10.0));  // write + replication done: 2 copies
   const auto* meta = cloud_->fes().dispatch_by_content(1).find(1);
   ASSERT_NE(meta, nullptr);
   ASSERT_EQ(meta->replicas.size(), 2u);
@@ -49,32 +49,32 @@ TEST_F(FailureTest, ReadFailsOverToSurvivingReplica) {
 
   cloud_->fail_server(primary, /*re_replicate=*/false);
   cloud_->read(1, 1);
-  sim_->run_until(30.0);
+  sim_->run_until(scda::sim::secs(30.0));
   EXPECT_EQ(reads_completed(), 1u);
   EXPECT_EQ(cloud_->failed_reads(), 0u);
 }
 
 TEST_F(FailureTest, AllReplicasFailedMeansFailedRead) {
   cloud_->write(0, 1, util::megabytes(1));
-  sim_->run_until(10.0);
+  sim_->run_until(scda::sim::secs(10.0));
   const auto* meta = cloud_->fes().dispatch_by_content(1).find(1);
   ASSERT_NE(meta, nullptr);
   for (const auto r : std::vector<std::int32_t>(meta->replicas))
     cloud_->fail_server(static_cast<std::size_t>(r), false);
   cloud_->read(1, 1);
-  sim_->run_until(20.0);
+  sim_->run_until(scda::sim::secs(20.0));
   EXPECT_EQ(reads_completed(), 0u);
   EXPECT_EQ(cloud_->failed_reads(), 1u);
 }
 
 TEST_F(FailureTest, FailureTriggersReReplication) {
   cloud_->write(0, 1, util::megabytes(2));
-  sim_->run_until(10.0);
+  sim_->run_until(scda::sim::secs(10.0));
   const auto* meta = cloud_->fes().dispatch_by_content(1).find(1);
   ASSERT_EQ(meta->replicas.size(), 2u);
   const auto lost = static_cast<std::size_t>(meta->replicas[0]);
   cloud_->fail_server(lost, /*re_replicate=*/true);
-  sim_->run_until(30.0);
+  sim_->run_until(scda::sim::secs(30.0));
   // Replication factor restored on alive servers.
   meta = cloud_->fes().dispatch_by_content(1).find(1);
   ASSERT_EQ(meta->replicas.size(), 2u);
@@ -92,7 +92,7 @@ TEST_F(FailureTest, NewWritesAvoidFailedServers) {
   for (int i = 0; i < 12; ++i)
     cloud_->write(static_cast<std::size_t>(i % 8), i + 1,
                   util::kilobytes(100));
-  sim_->run_until(30.0);
+  sim_->run_until(scda::sim::secs(30.0));
   EXPECT_FALSE(cloud_->servers()[0].has(3));
   EXPECT_EQ(cloud_->servers()[0].block_count(), 0u);
   EXPECT_EQ(cloud_->servers()[1].block_count(), 0u);
@@ -104,12 +104,12 @@ TEST_F(FailureTest, RecoveryMakesServerEligibleAgain) {
   for (std::size_t s = 0; s < cloud_->servers().size(); ++s)
     if (s != 3) cloud_->fail_server(s, false);
   cloud_->write(0, 1, util::kilobytes(64));
-  sim_->run_until(5.0);
+  sim_->run_until(scda::sim::secs(5.0));
   EXPECT_TRUE(cloud_->servers()[3].has(1));
 
   cloud_->recover_server(5);
   cloud_->write(0, 2, util::kilobytes(64));
-  sim_->run_until(10.0);
+  sim_->run_until(scda::sim::secs(10.0));
   // Content 2's copies can only be on 3 or 5.
   const auto* meta = cloud_->fes().dispatch_by_content(2).find(2);
   ASSERT_NE(meta, nullptr);

@@ -55,9 +55,9 @@ TEST(LiveFairness, ConcurrentEqualFlowsScoreNearOne) {
   core::Cloud cloud(sim, cfg);
   for (int i = 0; i < 8; ++i)
     cloud.write(0, i + 1, util::megabytes(200));
-  sim.run_until(3.0);
+  sim.run_until(scda::sim::secs(3.0));
   std::vector<double> rates;
-  for (net::FlowId f = 0; f < 8; ++f)
+  for (net::FlowId f{0}; f < net::FlowId{8}; ++f)
     rates.push_back(cloud.allocator().flow_rate(f));
   EXPECT_GT(jain_index(rates), 0.99);
 }

@@ -90,7 +90,7 @@ TEST_F(FatTreeTest, EcmpIsDeterministicPerFlowAndSpreads) {
   const NodeId a = ft_->servers()[0];
   const NodeId b = ft_->servers()[15];
   std::set<std::vector<LinkId>> chosen;
-  for (FlowId f = 0; f < 64; ++f) {
+  for (FlowId f{0}; f < FlowId{64}; ++f) {
     const auto p1 = ecmp_path(ft_->net(), a, b, f);
     const auto p2 = ecmp_path(ft_->net(), a, b, f);
     EXPECT_EQ(p1, p2);  // same flow -> same path
@@ -108,7 +108,7 @@ TEST_F(FatTreeTest, PinnedEcmpFlowDeliversData) {
   const FlowId id = tm.next_flow_id();
   ft_->net().pin_flow_route(id, ecmp_path(ft_->net(), a, b, id));
   tm.start_scda_flow(a, b, 500'000, 100e6, 100e6);
-  sim_.run_until(30.0);
+  sim_.run_until(scda::sim::secs(30.0));
   EXPECT_EQ(done, 1);
 }
 

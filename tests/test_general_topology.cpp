@@ -71,7 +71,7 @@ TEST(WidestPath, PicksLessLoadedSpine) {
   core::RateAllocator alloc(ls.net(), params);
 
   // Congest spine 0 on the leaf0->spine0 segment.
-  for (net::FlowId f = 100; f < 104; ++f) {
+  for (net::FlowId f{100}; f < net::FlowId{104}; ++f) {
     alloc.register_flow_on_path(
         f, {ls.leaf_to_spine(0, 0)}, 1.0);
   }
@@ -133,7 +133,7 @@ TEST(RoutePinning, PinnedDataFollowsExplicitPath) {
   const net::FlowId id = tm.next_flow_id();
   ls.net().pin_flow_route(id, via_spine1);
   tm.start_scda_flow(ls.servers()[0], ls.servers()[5], 500'000, 50e6, 50e6);
-  sim.run_until(30.0);
+  sim.run_until(scda::sim::secs(30.0));
   EXPECT_EQ(done, 1);
   EXPECT_GT(ls.net().link(ls.leaf_to_spine(0, 1)).stats().tx_bytes, 400'000u);
   EXPECT_EQ(ls.net().link(ls.leaf_to_spine(0, 0)).stats().tx_packets, 0u);
@@ -142,10 +142,10 @@ TEST(RoutePinning, PinnedDataFollowsExplicitPath) {
 TEST(RoutePinning, BadPathsRejected) {
   sim::Simulator sim;
   net::LeafSpine ls(sim, small_cfg());
-  EXPECT_THROW(ls.net().pin_flow_route(1, {}), std::invalid_argument);
+  EXPECT_THROW(ls.net().pin_flow_route(scda::net::FlowId{1}, {}), std::invalid_argument);
   // Non-contiguous: server uplink then an unrelated spine-gw link.
   EXPECT_THROW(ls.net().pin_flow_route(
-                   1, {ls.server_uplink(0), ls.server_uplink(3)}),
+                   scda::net::FlowId{1}, {ls.server_uplink(0), ls.server_uplink(3)}),
                std::invalid_argument);
 }
 
@@ -155,10 +155,10 @@ TEST(RoutePinning, UnpinRestoresDefaultRouting) {
   std::vector<net::LinkId> via_spine1 = {
       ls.server_uplink(0), ls.leaf_to_spine(0, 1), ls.spine_to_leaf(2, 1),
       ls.server_downlink(5)};
-  ls.net().pin_flow_route(7, via_spine1);
-  EXPECT_TRUE(ls.net().has_pinned_route(7));
-  ls.net().unpin_flow_route(7);
-  EXPECT_FALSE(ls.net().has_pinned_route(7));
+  ls.net().pin_flow_route(scda::net::FlowId{7}, via_spine1);
+  EXPECT_TRUE(ls.net().has_pinned_route(scda::net::FlowId{7}));
+  ls.net().unpin_flow_route(scda::net::FlowId{7});
+  EXPECT_FALSE(ls.net().has_pinned_route(scda::net::FlowId{7}));
 }
 
 TEST(GeneralTopologyAllocation, FairSharesOnLeafSpine) {
@@ -171,12 +171,12 @@ TEST(GeneralTopologyAllocation, FairSharesOnLeafSpine) {
   core::RateAllocator alloc(ls.net(), params);
   std::vector<net::LinkId> shared = {ls.server_uplink(0),
                                      ls.leaf_to_spine(0, 0)};
-  alloc.register_flow_on_path(1, shared);
-  alloc.register_flow_on_path(2, {ls.server_uplink(1),
+  alloc.register_flow_on_path(scda::net::FlowId{1}, shared);
+  alloc.register_flow_on_path(scda::net::FlowId{2}, {ls.server_uplink(1),
                                   ls.leaf_to_spine(0, 0)});
   for (int i = 0; i < 50; ++i) alloc.tick();
-  EXPECT_NEAR(alloc.flow_rate(1), 50e6, 1e5);
-  EXPECT_NEAR(alloc.flow_rate(2), 50e6, 1e5);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 50e6, 1e5);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}), 50e6, 1e5);
 }
 
 }  // namespace

@@ -59,7 +59,7 @@ TEST_F(HierarchyTest, ROtherCapsServerValue) {
 TEST_F(HierarchyTest, BestServerPrefersUnloaded) {
   // Load server 0's uplink with flows so its rate drops; the best-uplink
   // server must be someone else.
-  for (net::FlowId f = 1; f <= 4; ++f)
+  for (net::FlowId f{1}; f <= net::FlowId{4}; ++f)
     alloc_->register_flow(f, topo_->servers()[0], topo_->clients()[0]);
   for (int i = 0; i < 50; ++i) alloc_->tick();
   hier_->update();
@@ -72,7 +72,7 @@ TEST_F(HierarchyTest, BestServerPrefersUnloaded) {
 TEST_F(HierarchyTest, BestServerMinUpDownUsesWorseDirection) {
   hier_->set_r_other_provider([](std::size_t) { return 1e9; });
   // Load server 1's downlink only.
-  for (net::FlowId f = 1; f <= 4; ++f)
+  for (net::FlowId f{1}; f <= net::FlowId{4}; ++f)
     alloc_->register_flow(f, topo_->clients()[0], topo_->servers()[1]);
   for (int i = 0; i < 50; ++i) alloc_->tick();
   hier_->update();
@@ -116,8 +116,8 @@ TEST_F(HierarchyTest, ReweightChangesWinner) {
 
 TEST_F(HierarchyTest, RmLevelRatesAreMinOfChain) {
   // Congest the ToR-0 uplink via flows from both rack-0 servers.
-  for (net::FlowId f = 1; f <= 8; ++f)
-    alloc_->register_flow(f, topo_->servers()[f % 2],
+  for (net::FlowId f{1}; f <= net::FlowId{8}; ++f)
+    alloc_->register_flow(f, topo_->servers()[f.index() % 2],
                           topo_->clients()[0]);
   for (int i = 0; i < 50; ++i) alloc_->tick();
   hier_->update();
@@ -130,9 +130,9 @@ TEST_F(HierarchyTest, RmLevelRatesAreMinOfChain) {
 
 TEST_F(HierarchyTest, SlaReportAttributesPerLevel) {
   // Oversubscribe one server downlink via reservations.
-  alloc_->register_flow(1, topo_->clients()[0], topo_->servers()[0], 1.0,
+  alloc_->register_flow(scda::net::FlowId{1}, topo_->clients()[0], topo_->servers()[0], 1.0,
                         80e6);
-  alloc_->register_flow(2, topo_->clients()[1], topo_->servers()[0], 1.0,
+  alloc_->register_flow(scda::net::FlowId{2}, topo_->clients()[1], topo_->servers()[0], 1.0,
                         80e6);
   for (int i = 0; i < 5; ++i) alloc_->tick();
   hier_->update();

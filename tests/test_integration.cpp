@@ -65,7 +65,7 @@ MiniRun run_workload(PlacementPolicy placement, TransportKind transport,
   workload::WorkloadDriver driver(
       cloud, std::make_unique<workload::ParetoPoissonWorkload>(pc), dc);
   driver.start();
-  sim.run_until(60.0);
+  sim.run_until(scda::sim::secs(60.0));
 
   out.summary = col.summary();
   out.failed_reads = cloud.failed_reads();
@@ -102,10 +102,10 @@ TEST(Integration, MaxMinFairnessEmergesInLiveSimulation) {
   Cloud cloud(sim, cfg);
   cloud.write(0, 1, util::megabytes(60));
   cloud.write(0, 2, util::megabytes(60));
-  sim.run_until(2.0);  // well past several control intervals
+  sim.run_until(scda::sim::secs(2.0));  // well past several control intervals
   ASSERT_EQ(cloud.allocator().active_flows(), 2u);
-  const double r1 = cloud.allocator().flow_rate(0);
-  const double r2 = cloud.allocator().flow_rate(1);
+  const double r1 = cloud.allocator().flow_rate(scda::net::FlowId{0});
+  const double r2 = cloud.allocator().flow_rate(scda::net::FlowId{1});
   ASSERT_GT(r1, 0);
   EXPECT_NEAR(r1 / r2, 1.0, 0.05);
   const double cap = cfg.topology.base_bps * cfg.params.alpha;
@@ -128,7 +128,7 @@ TEST(Integration, PrioritizedFlowGetsProportionallyMoreBandwidth) {
                 1.0);
   cloud.write(0, 99, util::megabytes(5), ContentClass::kSemiInteractive,
               3.0);
-  sim.run_until(120.0);
+  sim.run_until(scda::sim::secs(120.0));
   ASSERT_EQ(results.size(), 5u);
   double hi = 0, lo_sum = 0;
   int lo_n = 0;
@@ -153,7 +153,7 @@ TEST(Integration, SlaDetectionFiresUnderReservationOverload) {
     cloud.write(static_cast<std::size_t>(i % 8), i + 1, util::megabytes(3),
                 ContentClass::kSemiInteractive, 1.0,
                 /*reserved_bps=*/util::mbps(80));
-  sim.run_until(30.0);
+  sim.run_until(scda::sim::secs(30.0));
   EXPECT_GT(cloud.allocator().sla_violations(), 0u);
   EXPECT_FALSE(cloud.sla().events().empty());
 }
@@ -169,7 +169,7 @@ TEST(Integration, DormantPolicySavesEnergy) {
     for (int i = 0; i < 8; ++i)
       cloud.write(static_cast<std::size_t>(i % 8), i + 1,
                   util::kilobytes(200), ContentClass::kPassive);
-    sim.run_until(120.0);
+    sim.run_until(scda::sim::secs(120.0));
     return cloud.total_energy_j();
   };
   const double without = run(0.0);
@@ -191,7 +191,7 @@ TEST(Integration, SimplifiedMetricAlsoOutperformsBaseline) {
   workload::WorkloadDriver driver(
       cloud, std::make_unique<workload::ParetoPoissonWorkload>(pc), dc);
   driver.start();
-  sim.run_until(60.0);
+  sim.run_until(scda::sim::secs(60.0));
   ASSERT_GT(col.count(), 50u);
   const MiniRun rand =
       run_workload(PlacementPolicy::kRandom, TransportKind::kTcp, 31, 20.0);

@@ -12,8 +12,8 @@
 namespace scda::net {
 namespace {
 
-Packet data_packet(std::int32_t payload, FlowId flow = 1) {
-  return make_data(flow, 0, 1, 0, payload, 0.0);
+Packet data_packet(std::int32_t payload, FlowId flow = FlowId{1}) {
+  return make_data(flow, NodeId{0}, NodeId{1}, 0, payload, sim::Time{});
 }
 
 class LinkTest : public ::testing::Test {
@@ -23,9 +23,9 @@ class LinkTest : public ::testing::Test {
 
 TEST_F(LinkTest, SinglePacketTimingIsTxPlusPropagation) {
   // 1500B wire @ 1 Mbps = 12 ms tx, plus 10 ms propagation.
-  Link link(sim_, 0, 0, 1, 1e6, 0.010, 1 << 20);
+  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, 1e6, 0.010, 1 << 20);
   std::vector<double> arrivals;
-  link.set_deliver([&](Packet&&) { arrivals.push_back(sim_.now()); });
+  link.set_deliver([&](Packet&&) { arrivals.push_back(sim_.now().seconds()); });
   ASSERT_TRUE(link.enqueue(data_packet(1500 - kHeaderBytes)));
   sim_.run();
   ASSERT_EQ(arrivals.size(), 1u);
@@ -33,9 +33,9 @@ TEST_F(LinkTest, SinglePacketTimingIsTxPlusPropagation) {
 }
 
 TEST_F(LinkTest, BackToBackPacketsSerialize) {
-  Link link(sim_, 0, 0, 1, 1e6, 0.010, 1 << 20);
+  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, 1e6, 0.010, 1 << 20);
   std::vector<double> arrivals;
-  link.set_deliver([&](Packet&&) { arrivals.push_back(sim_.now()); });
+  link.set_deliver([&](Packet&&) { arrivals.push_back(sim_.now().seconds()); });
   ASSERT_TRUE(link.enqueue(data_packet(1500 - kHeaderBytes)));
   ASSERT_TRUE(link.enqueue(data_packet(1500 - kHeaderBytes)));
   sim_.run();
@@ -45,7 +45,7 @@ TEST_F(LinkTest, BackToBackPacketsSerialize) {
 
 TEST_F(LinkTest, DropTailWhenQueueFull) {
   // Queue fits exactly two 1500-byte packets.
-  Link link(sim_, 0, 0, 1, 1e6, 0.001, 3000);
+  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, 1e6, 0.001, 3000);
   int delivered = 0;
   link.set_deliver([&](Packet&&) { ++delivered; });
   EXPECT_TRUE(link.enqueue(data_packet(1460)));
@@ -58,7 +58,7 @@ TEST_F(LinkTest, DropTailWhenQueueFull) {
 }
 
 TEST_F(LinkTest, QueueBytesReflectsOccupancy) {
-  Link link(sim_, 0, 0, 1, 1e6, 0.001, 1 << 20);
+  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, 1e6, 0.001, 1 << 20);
   EXPECT_EQ(link.queue_bytes(), 0);
   ASSERT_TRUE(link.enqueue(data_packet(1460)));
   ASSERT_TRUE(link.enqueue(data_packet(1460)));
@@ -68,7 +68,7 @@ TEST_F(LinkTest, QueueBytesReflectsOccupancy) {
 }
 
 TEST_F(LinkTest, IntervalArrivalCounterIncludesDrops) {
-  Link link(sim_, 0, 0, 1, 1e6, 0.001, 1500);
+  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, 1e6, 0.001, 1500);
   ASSERT_TRUE(link.enqueue(data_packet(1460)));
   EXPECT_FALSE(link.enqueue(data_packet(1460)));  // dropped but offered
   EXPECT_EQ(link.interval_arrived_bytes(), 3000);
@@ -77,7 +77,7 @@ TEST_F(LinkTest, IntervalArrivalCounterIncludesDrops) {
 }
 
 TEST_F(LinkTest, StatsAccumulateBytes) {
-  Link link(sim_, 0, 0, 1, 1e6, 0.001, 1 << 20);
+  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, 1e6, 0.001, 1 << 20);
   link.set_deliver([](Packet&&) {});
   ASSERT_TRUE(link.enqueue(data_packet(1460)));
   sim_.run();
@@ -86,7 +86,7 @@ TEST_F(LinkTest, StatsAccumulateBytes) {
 }
 
 TEST_F(LinkTest, UtilizationMatchesTransmittedBits) {
-  Link link(sim_, 0, 0, 1, 1e6, 0.0, 1 << 20);
+  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, 1e6, 0.0, 1 << 20);
   link.set_deliver([](Packet&&) {});
   // 10 packets * 1500 B = 120 kbit over 1 s at 1 Mbps -> 12% utilization
   for (int i = 0; i < 10; ++i) ASSERT_TRUE(link.enqueue(data_packet(1460)));
@@ -95,9 +95,9 @@ TEST_F(LinkTest, UtilizationMatchesTransmittedBits) {
 }
 
 TEST_F(LinkTest, CapacityChangeAffectsSubsequentPackets) {
-  Link link(sim_, 0, 0, 1, 1e6, 0.0, 1 << 20);
+  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, 1e6, 0.0, 1 << 20);
   std::vector<double> arrivals;
-  link.set_deliver([&](Packet&&) { arrivals.push_back(sim_.now()); });
+  link.set_deliver([&](Packet&&) { arrivals.push_back(sim_.now().seconds()); });
   ASSERT_TRUE(link.enqueue(data_packet(1460)));
   sim_.run();
   link.set_capacity_bps(2e6);  // reserve capacity switched in
@@ -109,20 +109,20 @@ TEST_F(LinkTest, CapacityChangeAffectsSubsequentPackets) {
 }
 
 TEST_F(LinkTest, DeliveryPreservesPacketFields) {
-  Link link(sim_, 7, 0, 1, 1e6, 0.001, 1 << 20);
+  Link link(sim_, LinkId{7}, NodeId{0}, NodeId{1}, 1e6, 0.001, 1 << 20);
   Packet got;
   link.set_deliver([&](Packet&& p) { got = p; });
-  Packet p = make_data(42, 3, 9, 1000, 500, 1.25);
+  Packet p = make_data(scda::net::FlowId{42}, scda::net::NodeId{3}, scda::net::NodeId{9}, 1000, 500, sim::Time{1.25});
   p.rcvw_bytes = 777;
   ASSERT_TRUE(link.enqueue(std::move(p)));
   sim_.run();
-  EXPECT_EQ(got.flow, 42);
-  EXPECT_EQ(got.src, 3);
-  EXPECT_EQ(got.dst, 9);
+  EXPECT_EQ(got.flow, FlowId{42});
+  EXPECT_EQ(got.src, NodeId{3});
+  EXPECT_EQ(got.dst, NodeId{9});
   EXPECT_EQ(got.seq, 1000);
   EXPECT_EQ(got.payload_bytes, 500);
   EXPECT_EQ(got.rcvw_bytes, 777);
-  EXPECT_DOUBLE_EQ(got.ts, 1.25);
+  EXPECT_DOUBLE_EQ(got.ts.seconds(), 1.25);
 }
 
 // Regression for the negative-delay crash: the delivery timer computes
@@ -131,8 +131,8 @@ TEST_F(LinkTest, DeliveryPreservesPacketFields) {
 // difference to Simulator::schedule_in, which throws on negative delays and
 // tore down whole runs. delivery_delay must clamp FP noise to zero.
 TEST(LinkDeliveryDelay, PositiveDelayPassesThrough) {
-  EXPECT_DOUBLE_EQ(Link::delivery_delay(2.0, 1.0), 1.0);
-  EXPECT_DOUBLE_EQ(Link::delivery_delay(1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Link::delivery_delay(scda::sim::secs(2.0), scda::sim::secs(1.0)).seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(Link::delivery_delay(scda::sim::secs(1.0), scda::sim::secs(1.0)).seconds(), 0.0);
 }
 
 TEST(LinkDeliveryDelay, UlpNegativeDelayClampsToZero) {
@@ -141,11 +141,11 @@ TEST(LinkDeliveryDelay, UlpNegativeDelayClampsToZero) {
   const double now = 1000.0;
   const double due = std::nextafter(now, 0.0);
   ASSERT_LT(due - now, 0.0);
-  EXPECT_DOUBLE_EQ(Link::delivery_delay(due, now), 0.0);
+  EXPECT_DOUBLE_EQ(Link::delivery_delay(scda::sim::secs(due), scda::sim::secs(now)).seconds(), 0.0);
 
   const double small_now = 1e-3;
   const double small_due = std::nextafter(small_now, 0.0);
-  EXPECT_DOUBLE_EQ(Link::delivery_delay(small_due, small_now), 0.0);
+  EXPECT_DOUBLE_EQ(Link::delivery_delay(scda::sim::secs(small_due), scda::sim::secs(small_now)).seconds(), 0.0);
 }
 
 TEST_F(LinkTest, AdversarialPropagationDelaysNeverThrow) {
@@ -157,7 +157,7 @@ TEST_F(LinkTest, AdversarialPropagationDelaysNeverThrow) {
   //
   // capacity chosen so tx time per 83-byte wire packet = 83*8/0.9e6 s
   // (a repeating binary fraction); prop delay 1/3e-4 likewise.
-  Link link(sim_, 0, 0, 1, 0.9e6, 1.0 / 3.0 * 1e-4, 1 << 22);
+  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, 0.9e6, 1.0 / 3.0 * 1e-4, 1 << 22);
   std::uint64_t delivered = 0;
   std::uint64_t sent = 0;
   const std::uint64_t kPackets = 50'000;
@@ -165,13 +165,13 @@ TEST_F(LinkTest, AdversarialPropagationDelaysNeverThrow) {
     ++delivered;
     if (sent < kPackets) {
       ++sent;
-      ASSERT_TRUE(link.enqueue(make_data(1, 0, 1, 0, 83 - kHeaderBytes,
+      ASSERT_TRUE(link.enqueue(make_data(scda::net::FlowId{1}, scda::net::NodeId{0}, scda::net::NodeId{1}, 0, 83 - kHeaderBytes,
                                          sim_.now())));
     }
   });
   for (int i = 0; i < 3; ++i) {
     ++sent;
-    ASSERT_TRUE(link.enqueue(make_data(1, 0, 1, 0, 83 - kHeaderBytes, 0.0)));
+    ASSERT_TRUE(link.enqueue(make_data(scda::net::FlowId{1}, scda::net::NodeId{0}, scda::net::NodeId{1}, 0, 83 - kHeaderBytes, sim::Time{})));
   }
   ASSERT_NO_THROW(sim_.run());
   EXPECT_EQ(delivered, sent);

@@ -41,21 +41,23 @@ class LossyPath : public ::testing::TestWithParam<double> {
 TEST_P(LossyPath, TcpDeliversEverythingUnderLoss) {
   build(GetParam());
   tm_->start_tcp_flow(a_, b_, 600'000);
-  sim_->run_until(300.0);
+  sim_->run_until(scda::sim::secs(300.0));
   ASSERT_EQ(completed_.size(), 1u);
-  auto* r = tm_->receiver(0);
+  auto* r = tm_->receiver(scda::net::FlowId{0});
   EXPECT_EQ(r->next_expected(), 600'000);
 }
 
 TEST_P(LossyPath, ScdaDeliversEverythingUnderLoss) {
   build(GetParam());
   auto h = tm_->start_scda_flow(a_, b_, 600'000, 10e6, 10e6);
-  sim_->run_until(300.0);
+  sim_->run_until(scda::sim::secs(300.0));
   ASSERT_EQ(completed_.size(), 1u);
   EXPECT_EQ(h.receiver->next_expected(), 600'000);
   // At 0.1% loss a ~400-packet flow often sees no drop at all; only the
   // heavier rates are guaranteed to exercise the repair path.
-  if (GetParam() >= 0.01) EXPECT_GT(h.sender->stats().retransmits, 0u);
+  if (GetParam() >= 0.01) {
+    EXPECT_GT(h.sender->stats().retransmits, 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(LossRates, LossyPath,
@@ -75,7 +77,7 @@ TEST(BidirectionalLoss, AckLossIsSurvivable) {
   tm.set_completion_callback([&](const transport::FlowRecord&) { ++done; });
   tm.start_tcp_flow(a, b, 300'000);
   tm.start_scda_flow(a, b, 300'000, 8e6, 8e6);
-  sim.run_until(300.0);
+  sim.run_until(scda::sim::secs(300.0));
   EXPECT_EQ(done, 2);
 }
 
@@ -93,7 +95,7 @@ TEST_P(ReassemblyFuzz, RandomOrderDuplicatesAndOverlaps) {
 
   constexpr std::int64_t kSize = 200'000;
   transport::FlowRecord rec;
-  rec.id = 1;
+  rec.id = net::FlowId{1};
   rec.src = a;
   rec.dst = b;
   rec.size_bytes = kSize;
@@ -127,7 +129,7 @@ TEST_P(ReassemblyFuzz, RandomOrderDuplicatesAndOverlaps) {
   std::shuffle(segs.begin(), segs.end(), rng.engine());
 
   for (const auto& [seq, len] : segs)
-    recv.handle(net::make_data(1, a, b, seq, len, sim.now()));
+    recv.handle(net::make_data(scda::net::FlowId{1}, a, b, seq, len, sim.now()));
 
   EXPECT_EQ(recv.next_expected(), kSize);
   EXPECT_EQ(delivered, kSize);  // every byte delivered exactly once

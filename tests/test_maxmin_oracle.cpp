@@ -56,10 +56,10 @@ TEST_P(MaxMinOracle, AllocatorMatchesWaterFilling) {
     const bool up = rng.bernoulli(0.5);
     const net::NodeId src = up ? topo.servers()[s] : topo.clients()[c];
     const net::NodeId dst = up ? topo.clients()[c] : topo.servers()[s];
-    const double w = rng.uniform_int(1, 4);
+    const double w = static_cast<double>(rng.uniform_int(1, 4));
     flows[f].path = topo.net().path(src, dst);
     flows[f].weight = w;
-    alloc.register_flow(static_cast<net::FlowId>(f), src, dst, w);
+    alloc.register_flow(net::FlowId::from_index(f), src, dst, w);
   }
 
   // Oracle capacities (alpha * C, no queues in a traffic-free network).
@@ -73,7 +73,7 @@ TEST_P(MaxMinOracle, AllocatorMatchesWaterFilling) {
   for (int i = 0; i < 400; ++i) alloc.tick();
 
   for (std::size_t f = 0; f < n_flows; ++f) {
-    const double got = alloc.flow_rate(static_cast<net::FlowId>(f));
+    const double got = alloc.flow_rate(net::FlowId::from_index(f));
     const double want = flows[f].rate_bps;
     ASSERT_GT(want, 0) << "oracle failed to freeze flow " << f;
     EXPECT_NEAR(got / want, 1.0, 0.03)

@@ -43,8 +43,8 @@ TEST(HierarchyLevels, LowerLevelIgnoresCoreCongestion) {
   core::Hierarchy hier(topo, alloc);
 
   // Saturate the core->gw uplink with many flows.
-  for (net::FlowId f = 1; f <= 8; ++f)
-    alloc.register_flow(f, topo.servers()[static_cast<std::size_t>(f) % 8],
+  for (net::FlowId f{1}; f <= net::FlowId{8}; ++f)
+    alloc.register_flow(f, topo.servers()[f.index() % 8],
                         topo.clients()[0]);
   for (int i = 0; i < 60; ++i) alloc.tick();
   hier.update();
@@ -75,7 +75,7 @@ TEST(CloudAppend, UnknownContentCountsAsFailedWrite) {
   sim::Simulator sim(2);
   core::Cloud cloud(sim, tiny_cloud());
   EXPECT_TRUE(cloud.append(0, /*content=*/99, 1000));  // accepted async...
-  sim.run_until(5.0);
+  sim.run_until(scda::sim::secs(5.0));
   EXPECT_EQ(cloud.failed_writes(), 1u);  // ...but fails at the NNS
 }
 
@@ -90,9 +90,9 @@ TEST(CloudAppend, GrowsStoredSizeAndMetadata) {
   sim::Simulator sim(3);
   core::Cloud cloud(sim, tiny_cloud());
   cloud.write(0, 1, util::kilobytes(100));
-  sim.run_until(5.0);
+  sim.run_until(scda::sim::secs(5.0));
   cloud.append(1, 1, util::kilobytes(50));
-  sim.run_until(10.0);
+  sim.run_until(scda::sim::secs(10.0));
   const auto* meta = cloud.fes().dispatch_by_content(1).find(1);
   ASSERT_NE(meta, nullptr);
   EXPECT_EQ(meta->size_bytes, util::kilobytes(150));
@@ -107,7 +107,7 @@ TEST(CloudRead, PriorityReadsFinishFasterUnderContention) {
   auto cfg = tiny_cloud();
   core::Cloud cloud(sim, cfg);
   cloud.write(0, 1, util::megabytes(5));
-  sim.run_until(10.0);
+  sim.run_until(scda::sim::secs(10.0));
   double hi = -1, lo = -1;
   cloud.add_completion_callback(
       [&](const transport::FlowRecord& rec, const core::CloudOp& op) {
@@ -122,7 +122,7 @@ TEST(CloudRead, PriorityReadsFinishFasterUnderContention) {
   // the prioritized one must finish first.
   cloud.read(1, 1, /*priority=*/4.0);
   cloud.read(1, 1, /*priority=*/1.0);
-  sim.run_until(60.0);
+  sim.run_until(scda::sim::secs(60.0));
   ASSERT_GT(hi, 0);
   ASSERT_GT(lo, 0);
   EXPECT_LT(hi, lo);
@@ -146,7 +146,7 @@ TEST(SjfWithLoss, FlowsCompleteWithBothFeaturesActive) {
   tm.start_tcp_flow(a, b, 2'000'000);
   tm.start_tcp_flow(a, b, 100'000);
   tm.start_scda_flow(a, b, 500'000, 5e6, 5e6);
-  sim.run_until(300.0);
+  sim.run_until(scda::sim::secs(300.0));
   EXPECT_EQ(done, 3);
 }
 

@@ -13,7 +13,7 @@ TEST(NameNode, ServesRequestAfterServiceTime) {
   sim::Simulator sim;
   NameNode nns(sim, 0, /*service_time=*/0.001);
   double served_at = -1;
-  nns.submit([&] { served_at = sim.now(); });
+  nns.submit([&] { served_at = sim.now().seconds(); });
   sim.run();
   EXPECT_DOUBLE_EQ(served_at, 0.001);
   EXPECT_EQ(nns.served(), 1u);
@@ -24,7 +24,7 @@ TEST(NameNode, ConcurrentRequestsQueue) {
   NameNode nns(sim, 0, 0.001);
   std::vector<double> times;
   for (int i = 0; i < 5; ++i)
-    nns.submit([&] { times.push_back(sim.now()); });
+    nns.submit([&] { times.push_back(sim.now().seconds()); });
   sim.run();
   ASSERT_EQ(times.size(), 5u);
   for (int i = 0; i < 5; ++i)
@@ -37,9 +37,9 @@ TEST(NameNode, QueueDrainsBetweenBursts) {
   sim::Simulator sim;
   NameNode nns(sim, 0, 0.001);
   std::vector<double> times;
-  nns.submit([&] { times.push_back(sim.now()); });
-  sim.schedule_at(1.0, [&] {
-    nns.submit([&] { times.push_back(sim.now()); });
+  nns.submit([&] { times.push_back(sim.now().seconds()); });
+  sim.post_at(scda::sim::secs(1.0), [&] {
+    nns.submit([&] { times.push_back(sim.now().seconds()); });
   });
   sim.run();
   ASSERT_EQ(times.size(), 2u);

@@ -14,7 +14,7 @@ class NetworkTest : public ::testing::Test {
   /// Line topology: n0 - n1 - n2 - n3.
   void build_line() {
     for (int i = 0; i < 4; ++i)
-      ids_.push_back(net_.add_node(NodeRole::kOther, "n" + std::to_string(i)));
+      ids_.push_back(net_.add_node(NodeRole::kOther, std::string("n") + std::to_string(i)));
     for (int i = 0; i < 3; ++i)
       net_.add_duplex(ids_[i], ids_[i + 1], 1e6, 0.001, 1 << 20);
     net_.build_routes();
@@ -26,11 +26,11 @@ class NetworkTest : public ::testing::Test {
 };
 
 TEST_F(NetworkTest, AddNodeAssignsSequentialIds) {
-  EXPECT_EQ(net_.add_node(NodeRole::kClient, "a"), 0);
-  EXPECT_EQ(net_.add_node(NodeRole::kServer, "b"), 1);
+  EXPECT_EQ(net_.add_node(NodeRole::kClient, "a"), NodeId{0});
+  EXPECT_EQ(net_.add_node(NodeRole::kServer, "b"), NodeId{1});
   EXPECT_EQ(net_.node_count(), 2u);
-  EXPECT_EQ(net_.node(0).role(), NodeRole::kClient);
-  EXPECT_EQ(net_.node(1).name(), "b");
+  EXPECT_EQ(net_.node(NodeId{0}).role(), NodeRole::kClient);
+  EXPECT_EQ(net_.node(NodeId{1}).name(), "b");
 }
 
 TEST_F(NetworkTest, SelfLoopRejected) {
@@ -97,18 +97,18 @@ TEST_F(NetworkTest, SendDeliversAcrossMultipleHops) {
     got = p;
     ++count;
   });
-  Packet p = make_data(5, ids_[0], ids_[3], 0, 1000, 0.0);
+  Packet p = make_data(scda::net::FlowId{5}, ids_[0], ids_[3], 0, 1000, scda::sim::secs(0.0));
   net_.send(std::move(p));
   sim_.run();
   EXPECT_EQ(count, 1);
-  EXPECT_EQ(got.flow, 5);
+  EXPECT_EQ(got.flow, FlowId{5});
   // 3 hops: 3 tx times (1040B @ 1 Mbps = 8.32 ms) + 3 ms propagation
-  EXPECT_NEAR(sim_.now(), 3 * (1040.0 * 8 / 1e6) + 0.003, 1e-9);
+  EXPECT_NEAR(sim_.now().seconds(), 3 * (1040.0 * 8 / 1e6) + 0.003, 1e-9);
 }
 
 TEST_F(NetworkTest, PacketToNodeWithoutSinkIsDiscarded) {
   build_line();
-  net_.send(make_data(1, ids_[0], ids_[2], 0, 100, 0.0));
+  net_.send(make_data(scda::net::FlowId{1}, ids_[0], ids_[2], 0, 100, scda::sim::secs(0.0)));
   EXPECT_NO_THROW(sim_.run());
 }
 

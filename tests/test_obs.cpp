@@ -124,11 +124,11 @@ std::string trace_json(const obs::TraceRecorder& tr) {
 
 TEST(Trace, RecordsAllPhases) {
   obs::TraceRecorder tr(64);
-  tr.async_begin(0.5, "flow", "tcp_flow", 7, {{"bytes", 1000.0}});
-  tr.instant(1.0, "net", "packet_drop", obs::kTrackNet, {{"link", 3.0}});
-  tr.complete(1.5, 0.0, "control", "ra_round", obs::kTrackControl);
-  tr.counter(2.0, "active_flows", 5.0);
-  tr.async_end(2.5, "flow", "tcp_flow", 7, {{"fct_s", 2.0}});
+  tr.async_begin(scda::sim::secs(0.5), "flow", "tcp_flow", 7, {{"bytes", 1000.0}});
+  tr.instant(scda::sim::secs(1.0), "net", "packet_drop", obs::kTrackNet, {{"link", 3.0}});
+  tr.complete(scda::sim::secs(1.5), scda::sim::secs(0.0), "control", "ra_round", obs::kTrackControl);
+  tr.counter(scda::sim::secs(2.0), "active_flows", 5.0);
+  tr.async_end(scda::sim::secs(2.5), "flow", "tcp_flow", 7, {{"fct_s", 2.0}});
   EXPECT_EQ(tr.recorded(), 5u);
   EXPECT_EQ(tr.dropped(), 0u);
 
@@ -150,7 +150,7 @@ TEST(Trace, RecordsAllPhases) {
 TEST(Trace, RingOverflowDropsOldestAndCounts) {
   obs::TraceRecorder tr(8);
   for (int i = 0; i < 20; ++i)
-    tr.instant(static_cast<double>(i), "net", "tick", obs::kTrackNet);
+    tr.instant(scda::sim::secs(static_cast<double>(i)), "net", "tick", obs::kTrackNet);
   EXPECT_EQ(tr.capacity(), 8u);
   EXPECT_EQ(tr.size(), 8u);
   EXPECT_EQ(tr.recorded(), 20u);
@@ -266,7 +266,7 @@ TEST(Obs, DisabledHotPathDoesNotAllocate) {
     std::uint64_t budget = 0;
     double period = 1e-3;
     void fire() {
-      if (--budget > 0) sim->schedule_in(period, [this] { fire(); });
+      if (--budget > 0) sim->post_in(scda::sim::secs(period), [this] { fire(); });
     }
   };
   std::vector<Chain> chains(64);
@@ -277,7 +277,7 @@ TEST(Obs, DisabledHotPathDoesNotAllocate) {
   const auto drive = [&](std::uint64_t budget) {
     for (Chain& c : chains) {
       c.budget = budget;
-      sim.schedule_in(c.period, [&c] { c.fire(); });
+      sim.post_in(scda::sim::secs(c.period), [&c] { c.fire(); });
     }
     sim.run();
   };

@@ -11,7 +11,7 @@ namespace scda::net {
 namespace {
 
 Packet pkt(FlowId flow, std::int64_t seq = 0) {
-  return make_data(flow, 0, 1, seq, 1000, 0.0);
+  return make_data(flow, scda::net::NodeId{0}, scda::net::NodeId{1}, seq, 1000, scda::sim::secs(0.0));
 }
 
 /// Drain the queue through the select/take service cycle a link performs,
@@ -36,7 +36,7 @@ TEST(PacketQueue, StartsEmpty) {
 
 TEST(PacketQueue, FifoServesArrivalOrder) {
   PacketQueue q;
-  for (int i = 0; i < 5; ++i) q.push(pkt(static_cast<FlowId>(i % 2), i));
+  for (int i = 0; i < 5; ++i) q.push(pkt(FlowId{i % 2}, i));
   const auto order = drain(q);
   ASSERT_EQ(order.size(), 5u);
   for (int i = 0; i < 5; ++i) EXPECT_EQ(order[static_cast<size_t>(i)].second, i);
@@ -46,26 +46,26 @@ TEST(PacketQueue, SjfServesLeastTransmittedFlowFirst) {
   PacketQueue q;
   q.set_discipline(QueueDiscipline::kSjf);
   // Flow 1 has already transmitted 3 packets; flow 2 none.
-  for (int i = 0; i < 3; ++i) q.note_transmitted(1);
-  q.push(pkt(1, 10));
-  q.push(pkt(2, 20));
+  for (int i = 0; i < 3; ++i) q.note_transmitted(scda::net::FlowId{1});
+  q.push(pkt(scda::net::FlowId{1}, 10));
+  q.push(pkt(scda::net::FlowId{2}, 20));
   const auto order = drain(q);
   ASSERT_EQ(order.size(), 2u);
-  EXPECT_EQ(order[0].first, 2);  // fewest transmitted goes first
-  EXPECT_EQ(order[1].first, 1);
+  EXPECT_EQ(order[0].first, FlowId{2});  // fewest transmitted goes first
+  EXPECT_EQ(order[1].first, FlowId{1});
 }
 
 TEST(PacketQueue, SjfTieBreaksByLongestWaitingFlow) {
   PacketQueue q;
   q.set_discipline(QueueDiscipline::kSjf);
-  q.push(pkt(7, 1));  // flow 7 queued first
-  q.push(pkt(3, 2));
+  q.push(pkt(scda::net::FlowId{7}, 1));  // flow 7 queued first
+  q.push(pkt(scda::net::FlowId{3}, 2));
   const auto order = drain(q);
   // Equal counts after each transmission, so service alternates starting
   // from the flow whose oldest packet has waited longest.
   ASSERT_EQ(order.size(), 2u);
-  EXPECT_EQ(order[0].first, 7);
-  EXPECT_EQ(order[1].first, 3);
+  EXPECT_EQ(order[0].first, FlowId{7});
+  EXPECT_EQ(order[1].first, FlowId{3});
 }
 
 TEST(PacketQueue, SjfNeverReordersWithinAFlow) {
@@ -73,13 +73,13 @@ TEST(PacketQueue, SjfNeverReordersWithinAFlow) {
   // the indexed queue must serve each flow strictly FIFO.
   PacketQueue q;
   q.set_discipline(QueueDiscipline::kSjf);
-  for (int i = 0; i < 8; ++i) q.push(pkt(1, i));
-  for (int i = 0; i < 8; ++i) q.push(pkt(2, 100 + i));
+  for (int i = 0; i < 8; ++i) q.push(pkt(scda::net::FlowId{1}, i));
+  for (int i = 0; i < 8; ++i) q.push(pkt(scda::net::FlowId{2}, 100 + i));
   const auto order = drain(q);
   std::int64_t prev1 = -1;
   std::int64_t prev2 = -1;
   for (const auto& [flow, seq] : order) {
-    if (flow == 1) {
+    if (flow == FlowId{1}) {
       EXPECT_GT(seq, prev1);
       prev1 = seq;
     } else {
@@ -93,24 +93,24 @@ TEST(PacketQueue, SwitchToSjfWithQueuedPacketsRebuildsIndex) {
   PacketQueue q;
   // Queue under FIFO, then enable SJF: the per-flow index must be rebuilt
   // from the arrival-order list, and service must follow SJF rules.
-  for (int i = 0; i < 4; ++i) q.push(pkt(1, i));
-  q.push(pkt(2, 100));
+  for (int i = 0; i < 4; ++i) q.push(pkt(scda::net::FlowId{1}, i));
+  q.push(pkt(scda::net::FlowId{2}, 100));
   q.set_discipline(QueueDiscipline::kSjf);
   const auto first = q.packet(q.select_next());
   // Both flows have count 0; flow 1 queued first so it goes, then counts
   // alternate service until flow 1's backlog is drained.
-  EXPECT_EQ(first.flow, 1);
+  EXPECT_EQ(first.flow, FlowId{1});
   const auto order = drain(q);
   ASSERT_EQ(order.size(), 5u);
-  EXPECT_EQ(order[1].first, 2);  // after one flow-1 tx, flow 2 has fewer
+  EXPECT_EQ(order[1].first, FlowId{2});  // after one flow-1 tx, flow 2 has fewer
 }
 
 TEST(PacketQueue, SwitchBackToFifoRestoresArrivalOrder) {
   PacketQueue q;
   q.set_discipline(QueueDiscipline::kSjf);
-  q.push(pkt(1, 0));
-  q.push(pkt(2, 1));
-  q.push(pkt(1, 2));
+  q.push(pkt(scda::net::FlowId{1}, 0));
+  q.push(pkt(scda::net::FlowId{2}, 1));
+  q.push(pkt(scda::net::FlowId{1}, 2));
   q.set_discipline(QueueDiscipline::kFifo);
   const auto order = drain(q);
   ASSERT_EQ(order.size(), 3u);
@@ -119,19 +119,19 @@ TEST(PacketQueue, SwitchBackToFifoRestoresArrivalOrder) {
 
 TEST(PacketQueue, TxCountsOnlyAdvanceUnderSjf) {
   PacketQueue q;
-  q.note_transmitted(5);  // FIFO mode: no SJF bookkeeping exists
-  EXPECT_EQ(q.tx_count(5), 0u);
+  q.note_transmitted(scda::net::FlowId{5});  // FIFO mode: no SJF bookkeeping exists
+  EXPECT_EQ(q.tx_count(scda::net::FlowId{5}), 0u);
   q.set_discipline(QueueDiscipline::kSjf);
-  q.note_transmitted(5);
-  q.note_transmitted(5);
-  EXPECT_EQ(q.tx_count(5), 2u);
+  q.note_transmitted(scda::net::FlowId{5});
+  q.note_transmitted(scda::net::FlowId{5});
+  EXPECT_EQ(q.tx_count(scda::net::FlowId{5}), 2u);
 }
 
 TEST(PacketQueue, PoolIsRecycledAcrossChurn) {
   PacketQueue q;
   for (int round = 0; round < 10'000; ++round) {
-    q.push(pkt(1, round));
-    q.push(pkt(2, round));
+    q.push(pkt(scda::net::FlowId{1}, round));
+    q.push(pkt(scda::net::FlowId{2}, round));
     (void)q.take(q.select_next());
     (void)q.take(q.select_next());
   }
@@ -144,9 +144,9 @@ TEST(PacketQueue, SelectedHandleSurvivesPushes) {
   // A link selects a packet when transmission starts and takes it when
   // transmission completes; packets arriving in between must not move it.
   PacketQueue q;
-  q.push(pkt(1, 42));
+  q.push(pkt(scda::net::FlowId{1}, 42));
   const PacketQueue::NodeIndex n = q.select_next();
-  for (int i = 0; i < 100; ++i) q.push(pkt(2, i));
+  for (int i = 0; i < 100; ++i) q.push(pkt(scda::net::FlowId{2}, i));
   EXPECT_EQ(q.packet(n).seq, 42);
   EXPECT_EQ(q.take(n).seq, 42);
   EXPECT_EQ(q.size(), 100u);
@@ -155,7 +155,7 @@ TEST(PacketQueue, SelectedHandleSurvivesPushes) {
 TEST(PacketQueue, PerfCountersTrackDepthAndSjfUse) {
   PacketQueue q;
   q.set_discipline(QueueDiscipline::kSjf);
-  for (int i = 0; i < 6; ++i) q.push(pkt(static_cast<FlowId>(i), i));
+  for (int i = 0; i < 6; ++i) q.push(pkt(FlowId{i}, i));
   const auto order = drain(q);
   ASSERT_EQ(order.size(), 6u);
   EXPECT_EQ(q.perf().pool_hwm, 6u);

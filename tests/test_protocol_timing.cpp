@@ -32,7 +32,7 @@ class ProtocolTimingTest : public ::testing::Test {
   [[nodiscard]] double first_flow_start() const {
     return cloud_->transports().records().empty()
                ? -1.0
-               : cloud_->transports().records().front()->start_time;
+               : cloud_->transports().records().front()->start_time.seconds();
   }
 
   CloudConfig cfg_;
@@ -46,23 +46,23 @@ TEST_F(ProtocolTimingTest, ExternalWriteFollowsFigure3Sequence) {
   // (0.5 ms). Steps 3-9: NNS<->RA (2 x 1 ms) + BS->UCL greeting (50 ms).
   // Expected flow start: 50 + 1 + 0.5 + 2 + 50 = 103.5 ms.
   cloud_->write(0, 1, util::kilobytes(100));
-  sim_->run_until(1.0);
+  sim_->run_until(scda::sim::secs(1.0));
   EXPECT_NEAR(first_flow_start(), 0.1035, 1e-9);
 }
 
 TEST_F(ProtocolTimingTest, ExternalReadFollowsFigure5Sequence) {
   build();
   cloud_->write(0, 1, util::kilobytes(100));
-  sim_->run_until(5.0);
+  sim_->run_until(scda::sim::secs(5.0));
   const auto flows_before = cloud_->transports().records().size();
-  const double t0 = sim_->now();
+  const double t0 = sim_->now().seconds();
   cloud_->read(1, 1);
-  sim_->run_until(t0 + 1.0);
+  sim_->run_until(scda::sim::secs(t0 + 1.0));
   ASSERT_GT(cloud_->transports().records().size(), flows_before);
   const auto& rec = *cloud_->transports().records()[flows_before];
   // Steps 1-2: WAN + DC + NNS service; step 3: NNS->BS (DC).
   // Expected: 50 + 1 + 0.5 + 1 = 52.5 ms after the read request.
-  EXPECT_NEAR(rec.start_time - t0, 0.0525, 1e-9);
+  EXPECT_NEAR((rec.start_time - scda::sim::secs(t0)).seconds(), 0.0525, 1e-9);
   // The read flow runs server -> client.
   EXPECT_EQ(cloud_->topology().net().node(rec.src).role(),
             net::NodeRole::kServer);
@@ -74,7 +74,7 @@ TEST_F(ProtocolTimingTest, ReplicationStartsOnlyAfterPrimaryWrite) {
   cfg_.enable_replication = true;
   build();
   cloud_->write(0, 1, util::megabytes(1));
-  sim_->run_until(10.0);
+  sim_->run_until(scda::sim::secs(10.0));
   const auto& recs = cloud_->transports().records();
   ASSERT_EQ(recs.size(), 2u);  // upload + replication
   const auto& upload = *recs[0];
@@ -96,12 +96,12 @@ TEST_F(ProtocolTimingTest, NnsQueueDelaysSecondConcurrentRequest) {
   build();
   cloud_->write(0, 1, util::kilobytes(10));
   cloud_->write(1, 2, util::kilobytes(10));
-  sim_->run_until(1.0);
+  sim_->run_until(scda::sim::secs(1.0));
   const auto& recs = cloud_->transports().records();
   ASSERT_EQ(recs.size(), 2u);
   // Same arrival instant, one NNS: the second flow starts one service
   // time after the first.
-  EXPECT_NEAR(recs[1]->start_time - recs[0]->start_time, 5e-3, 1e-9);
+  EXPECT_NEAR((recs[1]->start_time - recs[0]->start_time).seconds(), 5e-3, 1e-9);
 }
 
 TEST_F(ProtocolTimingTest, ControlLatencyConfigurable) {
@@ -109,7 +109,7 @@ TEST_F(ProtocolTimingTest, ControlLatencyConfigurable) {
   cfg_.params.ctrl_dc_latency_s = 0.2e-3;
   build();
   cloud_->write(0, 1, util::kilobytes(100));
-  sim_->run_until(1.0);
+  sim_->run_until(scda::sim::secs(1.0));
   // 10 + 0.2 + 0.5 + 0.4 + 10 = 21.1 ms
   EXPECT_NEAR(first_flow_start(), 0.0211, 1e-9);
 }

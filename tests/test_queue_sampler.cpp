@@ -22,8 +22,8 @@ TEST(QueueSampler, MeasuresStandingQueue) {
   // Dump 100 packets instantly into a 1 Mbps link: a queue must build and
   // drain over ~1.2 s.
   for (int i = 0; i < 100; ++i)
-    net.send(net::make_data(1, a, b, i * 1460, 1460, 0.0));
-  sim.run_until(2.0);
+    net.send(net::make_data(scda::net::FlowId{1}, a, b, i * 1460, 1460, scda::sim::secs(0.0)));
+  sim.run_until(scda::sim::secs(2.0));
   sampler.stop();
   EXPECT_GT(sampler.max_queue_bytes(), 50 * 1500.0);
   EXPECT_GT(sampler.mean_queue_bytes(), 0.0);
@@ -39,7 +39,7 @@ TEST(QueueSampler, IdleLinkShowsZero) {
   (void)ba;
   net.build_routes();
   QueueSampler sampler(sim, net, {ab}, 0.01);
-  sim.run_until(1.0);
+  sim.run_until(scda::sim::secs(1.0));
   EXPECT_DOUBLE_EQ(sampler.max_queue_bytes(), 0.0);
   EXPECT_DOUBLE_EQ(sampler.mean_queue_bytes(), 0.0);
 }
@@ -65,7 +65,7 @@ TEST(QueueSampler, ScdaKeepsQueuesNearEmptyUnderLoad) {
 
   for (int i = 0; i < 4; ++i)
     cloud.write(0, i + 1, util::megabytes(20));
-  sim.run_until(8.0);
+  sim.run_until(scda::sim::secs(8.0));
   sampler.stop();
 
   const double limit =

@@ -56,17 +56,17 @@ TEST_F(RateAllocatorTest, PathRateIsBottleneckMin) {
 
 TEST_F(RateAllocatorTest, SingleFlowGetsBottleneckCapacity) {
   auto alloc = make();
-  alloc.register_flow(1, a_, b_);
+  alloc.register_flow(scda::net::FlowId{1}, a_, b_);
   settle(alloc);
-  EXPECT_NEAR(alloc.flow_rate(1), 50e6, 1e3);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 50e6, 1e3);
 }
 
 TEST_F(RateAllocatorTest, EqualFlowsShareEqually) {
   auto alloc = make();
-  for (net::FlowId f = 1; f <= 4; ++f) alloc.register_flow(f, a_, b_);
+  for (net::FlowId f{1}; f <= net::FlowId{4}; ++f) alloc.register_flow(f, a_, b_);
   settle(alloc);
-  for (net::FlowId f = 1; f <= 4; ++f)
-    EXPECT_NEAR(alloc.flow_rate(f), 50e6 / 4, 1e3) << "flow " << f;
+  for (net::FlowId f{1}; f <= net::FlowId{4}; ++f)
+    EXPECT_NEAR(alloc.flow_rate(f), 50e6 / 4, 1e3) << "flow " << f.value();
 }
 
 TEST_F(RateAllocatorTest, MaxMinFairnessAcrossHeterogeneousPaths) {
@@ -74,11 +74,11 @@ TEST_F(RateAllocatorTest, MaxMinFairnessAcrossHeterogeneousPaths) {
   // Long flow is bottlenecked at the 50M link; the three short flows split
   // the remaining 100M - share so that the a->m link is fully used.
   auto alloc = make();
-  alloc.register_flow(1, a_, b_);
-  for (net::FlowId f = 2; f <= 4; ++f) alloc.register_flow(f, a_, m_);
+  alloc.register_flow(scda::net::FlowId{1}, a_, b_);
+  for (net::FlowId f{2}; f <= net::FlowId{4}; ++f) alloc.register_flow(f, a_, m_);
   settle(alloc, 200);
-  const double long_rate = alloc.flow_rate(1);
-  const double short_rate = alloc.flow_rate(2);
+  const double long_rate = alloc.flow_rate(scda::net::FlowId{1});
+  const double short_rate = alloc.flow_rate(scda::net::FlowId{2});
   // Weighted max-min fixed point: long flow limited by the 50M link but the
   // a->m link's fair share is 100/4 = 25M < 50M, so all four flows get 25M
   // ... unless the long flow is counted fractionally. With the long flow
@@ -94,64 +94,64 @@ TEST_F(RateAllocatorTest, BottleneckedElsewhereFreesCapacity) {
   // One flow a->b (bottleneck 50M at mb), one flow a->m. The a->m flow
   // should get 100 - 50 = 50M, not 100/2 (max-min property, eq. 3).
   auto alloc = make();
-  alloc.register_flow(1, a_, b_);
-  alloc.register_flow(2, a_, m_);
+  alloc.register_flow(scda::net::FlowId{1}, a_, b_);
+  alloc.register_flow(scda::net::FlowId{2}, a_, m_);
   settle(alloc, 200);
-  EXPECT_NEAR(alloc.flow_rate(1), 50e6, 5e5);
-  EXPECT_NEAR(alloc.flow_rate(2), 50e6, 5e5);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 50e6, 5e5);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}), 50e6, 5e5);
 }
 
 TEST_F(RateAllocatorTest, PriorityWeightsSkewShares) {
   auto alloc = make();
-  alloc.register_flow(1, a_, b_, /*priority=*/3.0);
-  alloc.register_flow(2, a_, b_, /*priority=*/1.0);
+  alloc.register_flow(scda::net::FlowId{1}, a_, b_, /*priority=*/3.0);
+  alloc.register_flow(scda::net::FlowId{2}, a_, b_, /*priority=*/1.0);
   settle(alloc, 100);
   // Weighted fair: 3:1 split of 50M.
-  EXPECT_NEAR(alloc.flow_rate(1), 37.5e6, 5e5);
-  EXPECT_NEAR(alloc.flow_rate(2), 12.5e6, 5e5);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 37.5e6, 5e5);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}), 12.5e6, 5e5);
 }
 
 TEST_F(RateAllocatorTest, PriorityChangeTakesEffect) {
   auto alloc = make();
-  alloc.register_flow(1, a_, b_, 1.0);
-  alloc.register_flow(2, a_, b_, 1.0);
+  alloc.register_flow(scda::net::FlowId{1}, a_, b_, 1.0);
+  alloc.register_flow(scda::net::FlowId{2}, a_, b_, 1.0);
   settle(alloc, 50);
-  EXPECT_NEAR(alloc.flow_rate(1), 25e6, 5e5);
-  alloc.set_priority(1, 4.0);
-  EXPECT_DOUBLE_EQ(alloc.priority(1), 4.0);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 25e6, 5e5);
+  alloc.set_priority(scda::net::FlowId{1}, 4.0);
+  EXPECT_DOUBLE_EQ(alloc.priority(scda::net::FlowId{1}), 4.0);
   settle(alloc, 100);
-  EXPECT_NEAR(alloc.flow_rate(1), 40e6, 5e5);
-  EXPECT_NEAR(alloc.flow_rate(2), 10e6, 5e5);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 40e6, 5e5);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}), 10e6, 5e5);
 }
 
 TEST_F(RateAllocatorTest, ReservationGuaranteesMinimumRate) {
   auto alloc = make();
   // 10 unit flows plus one with a 30M reservation on the 50M bottleneck.
-  alloc.register_flow(1, a_, b_, 1.0, /*reserved_bps=*/30e6);
-  for (net::FlowId f = 2; f <= 11; ++f) alloc.register_flow(f, a_, b_);
+  alloc.register_flow(scda::net::FlowId{1}, a_, b_, 1.0, /*reserved_bps=*/30e6);
+  for (net::FlowId f{2}; f <= net::FlowId{11}; ++f) alloc.register_flow(f, a_, b_);
   settle(alloc, 200);
-  EXPECT_GE(alloc.flow_rate(1), 30e6);
+  EXPECT_GE(alloc.flow_rate(scda::net::FlowId{1}), 30e6);
   // Others share the remaining ~20M.
-  EXPECT_NEAR(alloc.flow_rate(2), 20e6 / 11.0, 5e5);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}), 20e6 / 11.0, 5e5);
 }
 
 TEST_F(RateAllocatorTest, UnregisterRestoresShares) {
   auto alloc = make();
-  alloc.register_flow(1, a_, b_);
-  alloc.register_flow(2, a_, b_);
+  alloc.register_flow(scda::net::FlowId{1}, a_, b_);
+  alloc.register_flow(scda::net::FlowId{2}, a_, b_);
   settle(alloc, 50);
-  EXPECT_NEAR(alloc.flow_rate(1), 25e6, 5e5);
-  alloc.unregister_flow(2);
-  EXPECT_FALSE(alloc.has_flow(2));
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 25e6, 5e5);
+  alloc.unregister_flow(scda::net::FlowId{2});
+  EXPECT_FALSE(alloc.has_flow(scda::net::FlowId{2}));
   settle(alloc, 50);
-  EXPECT_NEAR(alloc.flow_rate(1), 50e6, 5e5);
-  EXPECT_DOUBLE_EQ(alloc.flow_rate(2), 0.0);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 50e6, 5e5);
+  EXPECT_DOUBLE_EQ(alloc.flow_rate(scda::net::FlowId{2}), 0.0);
 }
 
 TEST_F(RateAllocatorTest, DoubleRegistrationThrows) {
   auto alloc = make();
-  alloc.register_flow(1, a_, b_);
-  EXPECT_THROW(alloc.register_flow(1, a_, b_), std::logic_error);
+  alloc.register_flow(scda::net::FlowId{1}, a_, b_);
+  EXPECT_THROW(alloc.register_flow(scda::net::FlowId{1}, a_, b_), std::logic_error);
 }
 
 TEST_F(RateAllocatorTest, ImmediateFeedbackOnRegistration) {
@@ -159,12 +159,12 @@ TEST_F(RateAllocatorTest, ImmediateFeedbackOnRegistration) {
   // the full link rate (the burst-loss bug this guards against).
   auto alloc = make();
   settle(alloc, 2);
-  alloc.register_flow(1, a_, b_);
-  EXPECT_NEAR(alloc.flow_rate(1), 50e6, 1e3);  // first: full bottleneck
-  alloc.register_flow(2, a_, b_);
-  EXPECT_NEAR(alloc.flow_rate(2), 25e6, 1e3);  // second: gamma/2
-  alloc.register_flow(3, a_, b_);
-  EXPECT_NEAR(alloc.flow_rate(3), 50e6 / 3, 1e3);  // third: gamma/3
+  alloc.register_flow(scda::net::FlowId{1}, a_, b_);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 50e6, 1e3);  // first: full bottleneck
+  alloc.register_flow(scda::net::FlowId{2}, a_, b_);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}), 25e6, 1e3);  // second: gamma/2
+  alloc.register_flow(scda::net::FlowId{3}, a_, b_);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{3}), 50e6 / 3, 1e3);  // third: gamma/3
 }
 
 TEST_F(RateAllocatorTest, ProspectiveRateAnticipatesNewFlow) {
@@ -172,7 +172,7 @@ TEST_F(RateAllocatorTest, ProspectiveRateAnticipatesNewFlow) {
   settle(alloc, 2);
   // Idle link: a new flow would get the whole capacity.
   EXPECT_NEAR(alloc.prospective_link_rate(mb_), 50e6, 1e3);
-  alloc.register_flow(1, a_, b_);
+  alloc.register_flow(scda::net::FlowId{1}, a_, b_);
   settle(alloc, 50);
   // link_rate still advertises the single flow's full share, but the
   // prospective rate halves — this is what route selection compares.
@@ -184,19 +184,19 @@ TEST_F(RateAllocatorTest, ProspectiveRateAnticipatesNewFlow) {
 
 TEST_F(RateAllocatorTest, ROtherConstrainsFlowRate) {
   auto alloc = make();
-  alloc.register_flow(1, a_, b_, 1.0, 0.0, /*send=*/nullptr,
+  alloc.register_flow(scda::net::FlowId{1}, a_, b_, 1.0, 0.0, /*send=*/nullptr,
                       /*recv=*/[] { return 7e6; });
   settle(alloc);
-  EXPECT_NEAR(alloc.flow_rate(1), 7e6, 1e3);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 7e6, 1e3);
 }
 
 TEST_F(RateAllocatorTest, ROtherReleasedCapacityGoesToOthers) {
   auto alloc = make();
-  alloc.register_flow(1, a_, b_, 1.0, 0.0, nullptr, [] { return 5e6; });
-  alloc.register_flow(2, a_, b_);
+  alloc.register_flow(scda::net::FlowId{1}, a_, b_, 1.0, 0.0, nullptr, [] { return 5e6; });
+  alloc.register_flow(scda::net::FlowId{2}, a_, b_);
   settle(alloc, 200);
-  EXPECT_NEAR(alloc.flow_rate(1), 5e6, 1e3);
-  EXPECT_NEAR(alloc.flow_rate(2), 45e6, 5e5);  // picks up the slack
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 5e6, 1e3);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}), 45e6, 5e5);  // picks up the slack
 }
 
 TEST_F(RateAllocatorTest, SlaViolationDetectedOnOversubscription) {
@@ -204,14 +204,14 @@ TEST_F(RateAllocatorTest, SlaViolationDetectedOnOversubscription) {
   std::uint64_t events = 0;
   net::LinkId last_link = net::kInvalidLink;
   alloc.set_sla_callback(
-      [&](net::LinkId l, double s, double g, double) {
+      [&](net::LinkId l, double s, double g, sim::Time) {
         ++events;
         last_link = l;
         EXPECT_GT(s, g);
       });
   // Reservations exceeding the bottleneck capacity guarantee violation.
-  alloc.register_flow(1, a_, b_, 1.0, 40e6);
-  alloc.register_flow(2, a_, b_, 1.0, 40e6);
+  alloc.register_flow(scda::net::FlowId{1}, a_, b_, 1.0, 40e6);
+  alloc.register_flow(scda::net::FlowId{2}, a_, b_, 1.0, 40e6);
   settle(alloc, 5);
   EXPECT_GT(events, 0u);
   EXPECT_GT(alloc.sla_violations(), 0u);
@@ -221,8 +221,8 @@ TEST_F(RateAllocatorTest, SlaViolationDetectedOnOversubscription) {
 
 TEST_F(RateAllocatorTest, NoSlaViolationUnderNormalLoad) {
   auto alloc = make();
-  alloc.register_flow(1, a_, b_);
-  alloc.register_flow(2, a_, b_);
+  alloc.register_flow(scda::net::FlowId{1}, a_, b_);
+  alloc.register_flow(scda::net::FlowId{2}, a_, b_);
   settle(alloc, 50);
   // Converged allocations sum below capacity: no violations after the
   // transient (allow the registration transient itself).
@@ -233,11 +233,11 @@ TEST_F(RateAllocatorTest, NoSlaViolationUnderNormalLoad) {
 
 TEST_F(RateAllocatorTest, RatesStayNonNegativeAndBounded) {
   auto alloc = make();
-  for (net::FlowId f = 1; f <= 50; ++f)
-    alloc.register_flow(f, a_, b_, 1.0 + (f % 3));
+  for (net::FlowId f{1}; f <= net::FlowId{50}; ++f)
+    alloc.register_flow(f, a_, b_, 1.0 + static_cast<double>(f.value() % 3));
   for (int i = 0; i < 100; ++i) {
     alloc.tick();
-    for (net::FlowId f = 1; f <= 50; ++f) {
+    for (net::FlowId f{1}; f <= net::FlowId{50}; ++f) {
       EXPECT_GE(alloc.flow_rate(f), params_.min_rate_bps * 0.99);
       EXPECT_LE(alloc.flow_rate(f), 100e6 * 3 + 1);
     }
@@ -259,10 +259,10 @@ TEST_P(MetricKindSweep, SingleFlowGetsFullRateOnIdleNetwork) {
   p.alpha = 1.0;
   p.metric = GetParam();
   RateAllocator alloc(net, p);
-  alloc.register_flow(1, a, b);
+  alloc.register_flow(scda::net::FlowId{1}, a, b);
   for (int i = 0; i < 20; ++i) alloc.tick();
   // With no measured traffic the simplified metric also reports gamma.
-  EXPECT_NEAR(alloc.flow_rate(1), 100e6, 1e6);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 100e6, 1e6);
 }
 
 INSTANTIATE_TEST_SUITE_P(Kinds, MetricKindSweep,

@@ -19,11 +19,11 @@ class ReceiverTest : public ::testing::Test {
     net_.add_duplex(a_, b_, 100e6, 0.001, 1 << 20);
     net_.build_routes();
 
-    rec_.id = 1;
+    rec_.id = net::FlowId{1};
     rec_.src = a_;
     rec_.dst = b_;
     rec_.size_bytes = 4000;
-    rec_.start_time = 0;
+    rec_.start_time = sim::Time{};
 
     net_.node(a_).set_sink([this](net::Packet&& p) { acks_.push_back(p); });
   }
@@ -34,7 +34,7 @@ class ReceiverTest : public ::testing::Test {
   }
 
   net::Packet data(std::int64_t seq, std::int32_t n) {
-    return net::make_data(1, a_, b_, seq, n, sim_.now());
+    return net::make_data(scda::net::FlowId{1}, a_, b_, seq, n, sim_.now());
   }
 
   sim::Simulator sim_;
@@ -104,22 +104,22 @@ TEST_F(ReceiverTest, CompletionFiresExactlyOnce) {
 
 TEST_F(ReceiverTest, CompletionRecordsFinishTime) {
   auto r = make_receiver();
-  sim_.schedule_at(2.0, [&] {
+  sim_.post_at(scda::sim::secs(2.0), [&] {
     r.handle(data(0, 4000));
   });
   sim_.run();
-  EXPECT_DOUBLE_EQ(rec_.finish_time, 2.0);
+  EXPECT_DOUBLE_EQ(rec_.finish_time.seconds(), 2.0);
   EXPECT_DOUBLE_EQ(rec_.fct(), 2.0);
 }
 
 TEST_F(ReceiverTest, AckEchoesSenderTimestamp) {
   auto r = make_receiver();
   auto p = data(0, 1000);
-  p.ts = 1.75;
+  p.ts = sim::SimTime{1.75};
   r.handle(std::move(p));
   sim_.run();
   ASSERT_EQ(acks_.size(), 1u);
-  EXPECT_DOUBLE_EQ(acks_[0].echo_ts, 1.75);
+  EXPECT_DOUBLE_EQ(acks_[0].echo_ts.seconds(), 1.75);
 }
 
 TEST_F(ReceiverTest, AckCarriesAdvertisedWindow) {
@@ -146,7 +146,7 @@ TEST_F(ReceiverTest, RcvwFlooredAtOneSegment) {
 
 TEST_F(ReceiverTest, NonDataPacketsIgnored) {
   auto r = make_receiver();
-  auto ack = net::make_ack(1, a_, b_, 500, 0.0, 0.0, 0);
+  auto ack = net::make_ack(scda::net::FlowId{1}, a_, b_, 500, scda::sim::secs(0.0), scda::sim::secs(0.0), 0);
   r.handle(std::move(ack));
   EXPECT_EQ(r.next_expected(), 0);
   EXPECT_TRUE(acks_.empty());

@@ -55,8 +55,8 @@ ReplayResult run_datacenter_once(core::PlacementPolicy placement,
   driver.start();
 
   ReplayResult r;
-  r.events = sim.run_until(8.0);
-  r.final_time = sim.now();
+  r.events = sim.run_until(scda::sim::secs(8.0));
+  r.final_time = sim.now().seconds();
   r.records = collector.records();
   return r;
 }

@@ -197,7 +197,7 @@ struct SlicedRun {
         *cloud, cfg.make_generator(), cfg.driver);
     driver->start();
   }
-  std::uint64_t advance_to(double t) { return sim.run_until(t); }
+  std::uint64_t advance_to(double t) { return sim.run_until(scda::sim::secs(t)); }
 
   runner::ExperimentConfig config;
   sim::Simulator sim;

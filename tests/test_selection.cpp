@@ -55,7 +55,7 @@ class SelectionTest : public ::testing::Test {
   std::unique_ptr<RateAllocator> alloc_;
   std::unique_ptr<Hierarchy> hier_;
   std::vector<BlockServer> servers_;
-  net::FlowId next_flow_ = 1;
+  net::FlowId next_flow_ = scda::net::FlowId{1};
 };
 
 TEST_F(SelectionTest, ScdaAvoidsLoadedServerForWrites) {

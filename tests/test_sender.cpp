@@ -41,7 +41,7 @@ class SenderTest : public ::testing::Test {
 
 TEST_F(SenderTest, TcpFlowCompletes) {
   const auto id = tm_->start_tcp_flow(a_, b_, 100000);
-  sim_->run_until(30.0);
+  sim_->run_until(scda::sim::secs(30.0));
   ASSERT_EQ(completed_.size(), 1u);
   EXPECT_EQ(completed_[0], id);
   EXPECT_TRUE(tm_->record(id).finished());
@@ -53,14 +53,14 @@ TEST_F(SenderTest, TcpSlowStartDoublesWindowEachRtt) {
   const auto id = tm_->start_tcp_flow(a_, b_, 10'000'000);
   auto* s = tm_->sender(id);
   const double w0 = s->cwnd_bytes();
-  sim_->run_until(0.012);  // one RTT (10 ms) in
+  sim_->run_until(scda::sim::secs(0.012));  // one RTT (10 ms) in
   const double w1 = s->cwnd_bytes();
   EXPECT_NEAR(w1, 2 * w0, static_cast<double>(net::kDefaultMtuBytes));
 }
 
 TEST_F(SenderTest, TcpMeasuresRtt) {
   const auto id = tm_->start_tcp_flow(a_, b_, 50000);
-  sim_->run_until(5.0);
+  sim_->run_until(scda::sim::secs(5.0));
   auto* s = tm_->sender(id);
   // base RTT 10 ms plus serialization
   EXPECT_GT(s->srtt(), 0.009);
@@ -70,7 +70,7 @@ TEST_F(SenderTest, TcpMeasuresRtt) {
 TEST_F(SenderTest, TcpRecoversFromHeavyLoss) {
   build(5 * 1500);  // tiny buffer forces drops
   const auto id = tm_->start_tcp_flow(a_, b_, 500'000);
-  sim_->run_until(60.0);
+  sim_->run_until(scda::sim::secs(60.0));
   ASSERT_EQ(completed_.size(), 1u);
   auto* s = tm_->sender(id);
   EXPECT_GT(s->stats().retransmits, 0u);
@@ -79,9 +79,9 @@ TEST_F(SenderTest, TcpRecoversFromHeavyLoss) {
 TEST_F(SenderTest, TcpThroughputApproachesCapacityOnCleanLink) {
   const std::int64_t size = 2'000'000;
   tm_->start_tcp_flow(a_, b_, size);
-  sim_->run_until(60.0);
+  sim_->run_until(scda::sim::secs(60.0));
   ASSERT_EQ(completed_.size(), 1u);
-  const auto& rec = tm_->record(0);
+  const auto& rec = tm_->record(net::FlowId{0});
   const double rate = static_cast<double>(size) * 8 / rec.fct();
   EXPECT_GT(rate, 0.5 * kCap);  // at least half capacity incl. slow start
 }
@@ -89,7 +89,7 @@ TEST_F(SenderTest, TcpThroughputApproachesCapacityOnCleanLink) {
 TEST_F(SenderTest, ScdaFlowCompletesAtAllocatedRate) {
   const std::int64_t size = 1'000'000;
   auto h = tm_->start_scda_flow(a_, b_, size, 8e6, 8e6);
-  sim_->run_until(30.0);
+  sim_->run_until(scda::sim::secs(30.0));
   ASSERT_EQ(completed_.size(), 1u);
   const double fct = tm_->record(h.id).fct();
   // 1 MB at 8 Mbps ~ 1.0 s + RTT overheads; pacing keeps it close
@@ -104,7 +104,7 @@ TEST_F(SenderTest, ScdaPacingSpacesPackets) {
   double max_queue = 0;
   const net::LinkId l = net_->link_between(a_, b_);
   for (int i = 1; i < 200; ++i) {
-    sim_->run_until(i * 0.01);
+    sim_->run_until(scda::sim::secs(i * 0.01));
     max_queue = std::max(
         max_queue, static_cast<double>(net_->link(l).queue_bytes()));
   }
@@ -113,8 +113,8 @@ TEST_F(SenderTest, ScdaPacingSpacesPackets) {
 
 TEST_F(SenderTest, ScdaRateIncreaseSpeedsUpTransfer) {
   auto h = tm_->start_scda_flow(a_, b_, 2'000'000, 1e6, 1e7);
-  sim_->schedule_at(0.5, [h] { h.sender->set_rate(9e6); });
-  sim_->run_until(30.0);
+  sim_->post_at(scda::sim::secs(0.5), [h] { h.sender->set_rate(9e6); });
+  sim_->run_until(scda::sim::secs(30.0));
   ASSERT_EQ(completed_.size(), 1u);
   const double fct = tm_->record(h.id).fct();
   // all at 1 Mbps would be ~16 s; the boost must cut it under 3.5 s
@@ -124,7 +124,7 @@ TEST_F(SenderTest, ScdaRateIncreaseSpeedsUpTransfer) {
 TEST_F(SenderTest, ScdaRateFloorPreventsStall) {
   auto h = tm_->start_scda_flow(a_, b_, 30000, 1e6, 1e6);
   h.sender->set_rate(0.0);  // floored internally, must not deadlock
-  sim_->run_until(60.0);
+  sim_->run_until(scda::sim::secs(60.0));
   EXPECT_EQ(completed_.size(), 1u);
 }
 
@@ -132,8 +132,8 @@ TEST_F(SenderTest, ScdaRecoversFromBurstLossViaGoBackN) {
   build(4 * 1500);
   // Initial rate far above capacity: the first window overruns the queue.
   auto h = tm_->start_scda_flow(a_, b_, 400'000, 50e6, 50e6);
-  sim_->schedule_at(0.3, [h] { h.sender->set_rate(8e6); });
-  sim_->run_until(30.0);
+  sim_->post_at(scda::sim::secs(0.3), [h] { h.sender->set_rate(8e6); });
+  sim_->run_until(scda::sim::secs(30.0));
   ASSERT_EQ(completed_.size(), 1u);
   EXPECT_GT(h.sender->stats().retransmits, 0u);
 }
@@ -143,30 +143,30 @@ TEST_F(SenderTest, ReceiverWindowLimitsSender) {
   // 1500 B per RTT ~ 150 KB/s, so 300 KB needs ~2 s.
   auto h = tm_->start_scda_flow(a_, b_, 300'000, 10e6, 10e6);
   h.receiver->set_rcvw_bytes(1500);
-  sim_->run_until(1.0);
+  sim_->run_until(scda::sim::secs(1.0));
   EXPECT_FALSE(h.sender->fully_acked());
   EXPECT_EQ(h.sender->peer_rcvw_bytes(), 1500);
-  sim_->run_until(10.0);
+  sim_->run_until(scda::sim::secs(10.0));
   EXPECT_TRUE(h.sender->fully_acked());
 }
 
 TEST_F(SenderTest, SenderStatsCountDataPackets) {
   tm_->start_tcp_flow(a_, b_, 14600);  // exactly 10 MSS
-  sim_->run_until(10.0);
-  auto* s = tm_->sender(0);
+  sim_->run_until(scda::sim::secs(10.0));
+  auto* s = tm_->sender(scda::net::FlowId{0});
   EXPECT_GE(s->stats().data_packets_sent, 10u);
 }
 
 TEST_F(SenderTest, ZeroByteFlowEdgeCase) {
   // A 1-byte flow must complete (empty flows are not created by the cloud).
   tm_->start_tcp_flow(a_, b_, 1);
-  sim_->run_until(5.0);
+  sim_->run_until(scda::sim::secs(5.0));
   EXPECT_EQ(completed_.size(), 1u);
 }
 
 TEST_F(SenderTest, ManyParallelFlowsAllComplete) {
   for (int i = 0; i < 20; ++i) tm_->start_tcp_flow(a_, b_, 50'000);
-  sim_->run_until(120.0);
+  sim_->run_until(scda::sim::secs(120.0));
   EXPECT_EQ(completed_.size(), 20u);
 }
 

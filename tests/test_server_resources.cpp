@@ -45,7 +45,7 @@ TEST(ServerResources, StorageReserveAndRelease) {
 }
 
 TEST(BlockServer, StoreTracksBlocksAndSpace) {
-  BlockServer bs(0, 100);
+  BlockServer bs(0, net::NodeId{100});
   bs.resources().set_capacity_bytes(10000);
   EXPECT_TRUE(bs.store(1, 4000));
   EXPECT_TRUE(bs.store(2, 4000));
@@ -57,7 +57,7 @@ TEST(BlockServer, StoreTracksBlocksAndSpace) {
 }
 
 TEST(BlockServer, RemoveFreesSpace) {
-  BlockServer bs(0, 100);
+  BlockServer bs(0, net::NodeId{100});
   bs.resources().set_capacity_bytes(10000);
   ASSERT_TRUE(bs.store(1, 8000));
   bs.remove(1);
@@ -66,14 +66,14 @@ TEST(BlockServer, RemoveFreesSpace) {
 }
 
 TEST(BlockServer, GrowingExistingBlockAccumulates) {
-  BlockServer bs(0, 100);
+  BlockServer bs(0, net::NodeId{100});
   ASSERT_TRUE(bs.store(1, 100));
   ASSERT_TRUE(bs.store(1, 200));
   EXPECT_EQ(bs.stored_bytes(1), 300);
 }
 
 TEST(BlockServer, AccessCountingLearnsPopularity) {
-  BlockServer bs(0, 100);
+  BlockServer bs(0, net::NodeId{100});
   EXPECT_EQ(bs.access_count(5), 0u);
   bs.record_access(5);
   bs.record_access(5);
@@ -83,7 +83,7 @@ TEST(BlockServer, AccessCountingLearnsPopularity) {
 }
 
 TEST(BlockServer, FlowActivityTracking) {
-  BlockServer bs(0, 100);
+  BlockServer bs(0, net::NodeId{100});
   EXPECT_EQ(bs.active_flows(), 0);
   bs.flow_started();
   bs.flow_started();
@@ -95,7 +95,7 @@ TEST(BlockServer, FlowActivityTracking) {
 }
 
 TEST(BlockServer, DormancyDelegatesToPowerModel) {
-  BlockServer bs(0, 100);
+  BlockServer bs(0, net::NodeId{100});
   EXPECT_FALSE(bs.dormant());
   bs.set_dormant(true);
   EXPECT_TRUE(bs.dormant());

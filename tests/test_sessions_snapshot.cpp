@@ -43,7 +43,7 @@ TEST(InteractiveSessions, SessionsIssueAppendsAndReads) {
   workload::WorkloadDriver driver(
       cloud, std::make_unique<workload::ParetoPoissonWorkload>(pc), dc);
   driver.start();
-  sim.run_until(60.0);
+  sim.run_until(scda::sim::secs(60.0));
 
   EXPECT_GT(driver.sessions_started(), 0u);
   EXPECT_EQ(driver.session_ops_issued(),
@@ -69,7 +69,7 @@ TEST(InteractiveSessions, SessionContentLearnsInteractiveClass) {
   workload::WorkloadDriver driver(
       cloud, std::make_unique<workload::ParetoPoissonWorkload>(pc), dc);
   driver.start();
-  sim.run_until(40.0);
+  sim.run_until(scda::sim::secs(40.0));
   ASSERT_GT(driver.sessions_started(), 0u);
   // Content 1 was session-driven: the classifier must see HWHR.
   EXPECT_EQ(cloud.classifier().classify(1, sim.now()),
@@ -81,9 +81,9 @@ TEST(Snapshot, ReflectsCloudState) {
   core::Cloud cloud(sim, small_cloud());
   cloud.write(0, 1, util::megabytes(1));
   cloud.write(1, 2, util::megabytes(1));
-  sim.run_until(20.0);
+  sim.run_until(scda::sim::secs(20.0));
   cloud.read(2, 1);
-  sim.run_until(40.0);
+  sim.run_until(scda::sim::secs(40.0));
   cloud.fail_server(0, false);
 
   const core::CloudSnapshot s = cloud.snapshot();
@@ -100,7 +100,7 @@ TEST(Snapshot, ReflectsCloudState) {
 TEST(Snapshot, PrintProducesOutput) {
   sim::Simulator sim(13);
   core::Cloud cloud(sim, small_cloud());
-  sim.run_until(1.0);
+  sim.run_until(scda::sim::secs(1.0));
   char buf[2048];
   std::FILE* f = fmemopen(buf, sizeof buf, "w");
   cloud.snapshot().print(f);

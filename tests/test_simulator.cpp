@@ -9,66 +9,66 @@ namespace {
 
 TEST(Simulator, ClockStartsAtZero) {
   Simulator sim;
-  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_DOUBLE_EQ(sim.now().seconds(), 0.0);
 }
 
 TEST(Simulator, ScheduleInAdvancesClock) {
   Simulator sim;
   double seen = -1;
-  sim.schedule_in(1.5, [&] { seen = sim.now(); });
+  sim.post_in(scda::sim::secs(1.5), [&] { seen = sim.now().seconds(); });
   sim.run();
   EXPECT_DOUBLE_EQ(seen, 1.5);
-  EXPECT_DOUBLE_EQ(sim.now(), 1.5);
+  EXPECT_DOUBLE_EQ(sim.now().seconds(), 1.5);
 }
 
 TEST(Simulator, ScheduleAtAbsoluteTime) {
   Simulator sim;
   double seen = -1;
-  sim.schedule_at(3.0, [&] { seen = sim.now(); });
+  sim.post_at(scda::sim::secs(3.0), [&] { seen = sim.now().seconds(); });
   sim.run();
   EXPECT_DOUBLE_EQ(seen, 3.0);
 }
 
 TEST(Simulator, NegativeDelayThrows) {
   Simulator sim;
-  EXPECT_THROW(sim.schedule_in(-0.1, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.post_in(scda::sim::secs(-0.1), [] {}), std::invalid_argument);
 }
 
 TEST(Simulator, PastAbsoluteTimeThrows) {
   Simulator sim;
-  sim.schedule_in(1.0, [] {});
+  sim.post_in(scda::sim::secs(1.0), [] {});
   sim.run();
-  EXPECT_THROW(sim.schedule_at(0.5, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.post_at(scda::sim::secs(0.5), [] {}), std::invalid_argument);
 }
 
 TEST(Simulator, RunUntilStopsAtBoundary) {
   Simulator sim;
   int ran = 0;
-  sim.schedule_at(1.0, [&] { ++ran; });
-  sim.schedule_at(2.0, [&] { ++ran; });
-  sim.schedule_at(3.0, [&] { ++ran; });
-  const auto n = sim.run_until(2.0);
+  sim.post_at(scda::sim::secs(1.0), [&] { ++ran; });
+  sim.post_at(scda::sim::secs(2.0), [&] { ++ran; });
+  sim.post_at(scda::sim::secs(3.0), [&] { ++ran; });
+  const auto n = sim.run_until(scda::sim::secs(2.0));
   EXPECT_EQ(n, 2u);
   EXPECT_EQ(ran, 2);
-  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_DOUBLE_EQ(sim.now().seconds(), 2.0);
   sim.run();
   EXPECT_EQ(ran, 3);
 }
 
 TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
   Simulator sim;
-  sim.run_until(5.0);
-  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run_until(scda::sim::secs(5.0));
+  EXPECT_DOUBLE_EQ(sim.now().seconds(), 5.0);
 }
 
 TEST(Simulator, EventsCanScheduleMoreEvents) {
   Simulator sim;
   std::vector<double> times;
   std::function<void()> chain = [&] {
-    times.push_back(sim.now());
-    if (times.size() < 5) sim.schedule_in(1.0, chain);
+    times.push_back(sim.now().seconds());
+    if (times.size() < 5) sim.post_in(scda::sim::secs(1.0), chain);
   };
-  sim.schedule_in(1.0, chain);
+  sim.post_in(scda::sim::secs(1.0), chain);
   sim.run();
   ASSERT_EQ(times.size(), 5u);
   for (size_t i = 0; i < 5; ++i)
@@ -78,7 +78,7 @@ TEST(Simulator, EventsCanScheduleMoreEvents) {
 TEST(Simulator, CancelStopsScheduledEvent) {
   Simulator sim;
   bool ran = false;
-  auto h = sim.schedule_in(1.0, [&] { ran = true; });
+  auto h = sim.schedule_in(scda::sim::secs(1.0), [&] { ran = true; });
   sim.cancel(h);
   sim.run();
   EXPECT_FALSE(ran);
@@ -86,16 +86,16 @@ TEST(Simulator, CancelStopsScheduledEvent) {
 
 TEST(Simulator, RunReturnsEventCount) {
   Simulator sim;
-  for (int i = 0; i < 7; ++i) sim.schedule_in(0.1 * (i + 1), [] {});
+  for (int i = 0; i < 7; ++i) sim.post_in(scda::sim::secs(0.1 * (i + 1)), [] {});
   EXPECT_EQ(sim.run(), 7u);
 }
 
 TEST(PeriodicProcess, FiresAtPeriod) {
   Simulator sim;
   std::vector<double> ticks;
-  PeriodicProcess p(sim, 0.5, [&] { ticks.push_back(sim.now()); });
-  p.start(0.5);
-  sim.run_until(2.1);
+  PeriodicProcess p(sim, secs(0.5), [&] { ticks.push_back(sim.now().seconds()); });
+  p.start(scda::sim::secs(0.5));
+  sim.run_until(scda::sim::secs(2.1));
   ASSERT_EQ(ticks.size(), 4u);
   EXPECT_DOUBLE_EQ(ticks[0], 0.5);
   EXPECT_DOUBLE_EQ(ticks[3], 2.0);
@@ -104,9 +104,9 @@ TEST(PeriodicProcess, FiresAtPeriod) {
 TEST(PeriodicProcess, StartWithCustomFirstDelay) {
   Simulator sim;
   std::vector<double> ticks;
-  PeriodicProcess p(sim, 1.0, [&] { ticks.push_back(sim.now()); });
-  p.start(0.25);
-  sim.run_until(2.5);
+  PeriodicProcess p(sim, secs(1.0), [&] { ticks.push_back(sim.now().seconds()); });
+  p.start(scda::sim::secs(0.25));
+  sim.run_until(scda::sim::secs(2.5));
   ASSERT_GE(ticks.size(), 2u);
   EXPECT_DOUBLE_EQ(ticks[0], 0.25);
   EXPECT_DOUBLE_EQ(ticks[1], 1.25);
@@ -115,10 +115,10 @@ TEST(PeriodicProcess, StartWithCustomFirstDelay) {
 TEST(PeriodicProcess, StopHaltsTicks) {
   Simulator sim;
   int n = 0;
-  PeriodicProcess p(sim, 0.5, [&] { ++n; });
-  p.start(0.5);
-  sim.schedule_at(1.1, [&] { p.stop(); });
-  sim.run_until(5.0);
+  PeriodicProcess p(sim, secs(0.5), [&] { ++n; });
+  p.start(scda::sim::secs(0.5));
+  sim.post_at(scda::sim::secs(1.1), [&] { p.stop(); });
+  sim.run_until(scda::sim::secs(5.0));
   EXPECT_EQ(n, 2);
   EXPECT_FALSE(p.running());
 }
@@ -126,29 +126,29 @@ TEST(PeriodicProcess, StopHaltsTicks) {
 TEST(PeriodicProcess, CanStopItselfFromTick) {
   Simulator sim;
   int n = 0;
-  PeriodicProcess p(sim, 0.5, [&] {
+  PeriodicProcess p(sim, secs(0.5), [&] {
     if (++n == 3) p.stop();
   });
-  p.start(0.5);
-  sim.run_until(10.0);
+  p.start(scda::sim::secs(0.5));
+  sim.run_until(scda::sim::secs(10.0));
   EXPECT_EQ(n, 3);
 }
 
 TEST(PeriodicProcess, InvalidPeriodThrows) {
   Simulator sim;
-  EXPECT_THROW(PeriodicProcess(sim, 0.0, [] {}), std::invalid_argument);
-  PeriodicProcess p(sim, 1.0, [] {});
-  EXPECT_THROW(p.set_period(-1.0), std::invalid_argument);
+  EXPECT_THROW(PeriodicProcess(sim, secs(0.0), [] {}), std::invalid_argument);
+  PeriodicProcess p(sim, secs(1.0), [] {});
+  EXPECT_THROW(p.set_period(scda::sim::secs(-1.0)), std::invalid_argument);
 }
 
 TEST(PeriodicProcess, RestartResetsSchedule) {
   Simulator sim;
   std::vector<double> ticks;
-  PeriodicProcess p(sim, 1.0, [&] { ticks.push_back(sim.now()); });
-  p.start(1.0);
-  sim.run_until(1.5);
-  p.start(1.0);  // restart at t=1.5 -> next tick 2.5
-  sim.run_until(3.0);
+  PeriodicProcess p(sim, secs(1.0), [&] { ticks.push_back(sim.now().seconds()); });
+  p.start(scda::sim::secs(1.0));
+  sim.run_until(scda::sim::secs(1.5));
+  p.start(scda::sim::secs(1.0));  // restart at t=1.5 -> next tick 2.5
+  sim.run_until(scda::sim::secs(3.0));
   ASSERT_EQ(ticks.size(), 2u);
   EXPECT_DOUBLE_EQ(ticks[1], 2.5);
 }

@@ -15,8 +15,8 @@ using transport::FlowRecord;
 FlowRecord flow(std::int64_t size, double start, double finish) {
   FlowRecord r;
   r.size_bytes = size;
-  r.start_time = start;
-  r.finish_time = finish;
+  r.start_time = sim::Time{start};
+  r.finish_time = sim::Time{finish};
   return r;
 }
 
@@ -148,7 +148,7 @@ TEST(ThroughputSampler, SamplesDeltas) {
   transport::TransportManager tm(net);
   ThroughputSampler sampler(sim, tm, 0.5);
   tm.start_scda_flow(a, b, 1'000'000, 50e6, 50e6);
-  sim.run_until(3.0);
+  sim.run_until(scda::sim::secs(3.0));
   const auto& series = sampler.series();
   ASSERT_GE(series.size(), 5u);
   double total = 0;

@@ -1,0 +1,158 @@
+// Unit tests for the strong value types (sim/types.h): typed ids and
+// simulation time. These lock the properties the tree-wide conversion
+// relies on — zero-cost layout, closed arithmetic, hashing, ordering,
+// and byte-stable %.9g formatting at the JSON emission boundary.
+#include "sim/types.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/packet.h"
+
+namespace scda::sim {
+namespace {
+
+// --- compile-time contract ---------------------------------------------------
+
+// Zero-cost: a StrongId is layout-identical to its representation and a
+// SimTime to a double; passing either by value is passing the raw rep.
+static_assert(sizeof(net::NodeId) == sizeof(net::NodeId::rep_type));
+static_assert(sizeof(SimTime) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<net::NodeId>);
+static_assert(std::is_trivially_copyable_v<SimTime>);
+
+// No implicit conversions in or out, and distinct id spaces do not mix.
+static_assert(!std::is_convertible_v<int, net::NodeId>);
+static_assert(!std::is_convertible_v<net::NodeId, int>);
+static_assert(!std::is_convertible_v<net::NodeId, net::LinkId>);
+static_assert(!std::is_convertible_v<net::FlowId, net::NodeId>);
+static_assert(!std::is_convertible_v<double, SimTime>);
+static_assert(!std::is_convertible_v<SimTime, double>);
+static_assert(std::is_constructible_v<SimTime, double>);  // explicit ok
+
+TEST(StrongId, ValueRoundTripAndValidity) {
+  const net::NodeId n{7};
+  EXPECT_EQ(n.value(), 7);
+  EXPECT_TRUE(n.valid());
+  EXPECT_EQ(n.index(), 7u);
+  EXPECT_EQ(net::NodeId::from_index(7u), n);
+
+  const net::NodeId invalid{-1};
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_TRUE(net::NodeId{}.valid());  // default is Rep{} == 0
+  EXPECT_EQ(net::NodeId{}.value(), 0);
+}
+
+TEST(StrongId, OrderingAndEquality) {
+  const net::FlowId a{1};
+  const net::FlowId b{2};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a <= b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(b >= a);
+  EXPECT_TRUE(a != b);
+  EXPECT_TRUE(a == net::FlowId{1});
+}
+
+TEST(StrongId, IncrementGeneratesSequentialIds) {
+  net::FlowId id{5};
+  EXPECT_EQ((id++).value(), 5);
+  EXPECT_EQ(id.value(), 6);
+  EXPECT_EQ((++id).value(), 7);
+}
+
+TEST(StrongId, HashMatchesRepHashAndWorksInUnorderedContainers) {
+  const net::LinkId l{42};
+  EXPECT_EQ(std::hash<net::LinkId>{}(l),
+            std::hash<net::LinkId::rep_type>{}(l.value()));
+
+  std::unordered_map<net::FlowId, double> m;
+  m[net::FlowId{1}] = 1.5;
+  m[net::FlowId{2}] = 2.5;
+  EXPECT_DOUBLE_EQ(m.at(net::FlowId{1}), 1.5);
+  EXPECT_EQ(m.count(net::FlowId{3}), 0u);
+
+  std::unordered_set<net::NodeId> s{net::NodeId{0}, net::NodeId{0},
+                                    net::NodeId{9}};
+  EXPECT_EQ(s.size(), 2u);
+}
+
+// --- SimTime -----------------------------------------------------------------
+
+TEST(SimTime, ArithmeticIsClosedAndMatchesRawDoubles) {
+  const SimTime a{1.25};
+  const SimTime b{0.75};
+  EXPECT_DOUBLE_EQ((a + b).seconds(), 2.0);
+  EXPECT_DOUBLE_EQ((a - b).seconds(), 0.5);
+  EXPECT_DOUBLE_EQ((-a).seconds(), -1.25);
+  EXPECT_DOUBLE_EQ((a * 2.0).seconds(), 2.5);
+  EXPECT_DOUBLE_EQ((2.0 * a).seconds(), 2.5);
+  EXPECT_DOUBLE_EQ((a / 2.0).seconds(), 0.625);
+  EXPECT_DOUBLE_EQ(a / b, 1.25 / 0.75);  // ratio is a scalar
+
+  SimTime t{};
+  t += a;
+  t -= b;
+  EXPECT_DOUBLE_EQ(t.seconds(), 0.5);
+}
+
+TEST(SimTime, OrderingTotalAndConsistent) {
+  const SimTime early{1.0};
+  const SimTime late{2.0};
+  EXPECT_TRUE(early < late);
+  EXPECT_TRUE(early <= late);
+  EXPECT_TRUE(late > early);
+  EXPECT_TRUE(late >= early);
+  EXPECT_TRUE(early != late);
+  EXPECT_TRUE(SimTime{2.0} == late);
+  EXPECT_TRUE(SimTime::zero() < early);
+}
+
+TEST(SimTime, SecsHelperAndDefaultAreExact) {
+  EXPECT_DOUBLE_EQ(secs(0.05).seconds(), 0.05);
+  EXPECT_DOUBLE_EQ(SimTime{}.seconds(), 0.0);
+  EXPECT_TRUE(SimTime{} == SimTime::zero());
+}
+
+TEST(SimTime, HashMatchesDoubleHash) {
+  EXPECT_EQ(std::hash<SimTime>{}(SimTime{3.5}),
+            std::hash<double>{}(3.5));
+}
+
+// --- %.9g formatting stability ----------------------------------------------
+
+// Every JSON emitter in the tree prints times as %.9g of .seconds().
+// The conversion is observably zero-cost only if that formatting is
+// byte-identical to formatting the raw double the field used to hold.
+std::string fmt9g(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+TEST(SimTime, Format9gIsByteIdenticalToRawDouble) {
+  const double samples[] = {0.0,       1.0,          0.05,
+                            1e-9,      123456789.0,  1.0 / 3.0,
+                            5e-6,      2.000000001,  -0.25,
+                            60.0,      1e300,        3.1415926535897931};
+  for (const double v : samples) {
+    EXPECT_EQ(fmt9g(SimTime{v}.seconds()), fmt9g(v)) << "sample " << v;
+  }
+}
+
+TEST(StrongId, FormattingGoesThroughValue) {
+  // Ids print through value() with integer formats; lock the idiom used
+  // by the emitters (e.g. "flow_%d" with FlowId::value()).
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld",
+                static_cast<long long>(net::FlowId{37}.value()));
+  EXPECT_STREQ(buf, "37");
+}
+
+}  // namespace
+}  // namespace scda::sim

@@ -30,7 +30,7 @@ class TargetRateTest : public ::testing::Test {
     for (int i = 0; i < rounds; ++i) {
       alloc_->tick();
       now_ += dt;
-      ctrl_->update(now_, [](net::FlowId) { return std::int64_t{1 << 30}; });
+      ctrl_->update(sim::Time{now_}, [](net::FlowId) { return std::int64_t{1 << 30}; });
     }
   }
 
@@ -45,62 +45,62 @@ class TargetRateTest : public ::testing::Test {
 
 TEST_F(TargetRateTest, FlowReachesFixedTargetUnderContention) {
   // 4 competing unit flows; the target flow wants 60 Mbps of the 100.
-  for (net::FlowId f = 1; f <= 4; ++f) alloc_->register_flow(f, a_, b_);
-  ctrl_->set_target_rate(1, 60e6);
+  for (net::FlowId f{1}; f <= net::FlowId{4}; ++f) alloc_->register_flow(f, a_, b_);
+  ctrl_->set_target_rate(scda::net::FlowId{1}, 60e6);
   settle(200);
-  EXPECT_NEAR(alloc_->flow_rate(1), 60e6, 3e6);
+  EXPECT_NEAR(alloc_->flow_rate(scda::net::FlowId{1}), 60e6, 3e6);
   // The rest share the remainder equally.
-  EXPECT_NEAR(alloc_->flow_rate(2), 40e6 / 3, 2e6);
+  EXPECT_NEAR(alloc_->flow_rate(scda::net::FlowId{2}), 40e6 / 3, 2e6);
 }
 
 TEST_F(TargetRateTest, InfeasibleTargetIsClampedNotDivergent) {
-  for (net::FlowId f = 1; f <= 3; ++f) alloc_->register_flow(f, a_, b_);
-  ctrl_->set_target_rate(1, 500e6);  // more than the link can give
+  for (net::FlowId f{1}; f <= net::FlowId{3}; ++f) alloc_->register_flow(f, a_, b_);
+  ctrl_->set_target_rate(scda::net::FlowId{1}, 500e6);  // more than the link can give
   settle(300);
   // Priority is clamped; the flow gets the max-weight share, others the
   // floor share — and the allocator stays finite and positive.
-  EXPECT_GT(alloc_->flow_rate(1), 50e6);
-  EXPECT_GT(alloc_->flow_rate(2), 0.0);
-  EXPECT_LE(alloc_->priority(1), TargetRateController::kMaxPriority);
+  EXPECT_GT(alloc_->flow_rate(scda::net::FlowId{1}), 50e6);
+  EXPECT_GT(alloc_->flow_rate(scda::net::FlowId{2}), 0.0);
+  EXPECT_LE(alloc_->priority(scda::net::FlowId{1}), TargetRateController::kMaxPriority);
 }
 
 TEST_F(TargetRateTest, ClearStopsAdjusting) {
-  alloc_->register_flow(1, a_, b_);
-  alloc_->register_flow(2, a_, b_);
-  ctrl_->set_target_rate(1, 80e6);
+  alloc_->register_flow(scda::net::FlowId{1}, a_, b_);
+  alloc_->register_flow(scda::net::FlowId{2}, a_, b_);
+  ctrl_->set_target_rate(scda::net::FlowId{1}, 80e6);
   settle(100);
-  EXPECT_GT(alloc_->flow_rate(1), 70e6);
-  ctrl_->clear(1);
-  EXPECT_FALSE(ctrl_->has_target(1));
-  alloc_->set_priority(1, 1.0);
+  EXPECT_GT(alloc_->flow_rate(scda::net::FlowId{1}), 70e6);
+  ctrl_->clear(scda::net::FlowId{1});
+  EXPECT_FALSE(ctrl_->has_target(scda::net::FlowId{1}));
+  alloc_->set_priority(scda::net::FlowId{1}, 1.0);
   settle(100);
-  EXPECT_NEAR(alloc_->flow_rate(1), 50e6, 2e6);
+  EXPECT_NEAR(alloc_->flow_rate(scda::net::FlowId{1}), 50e6, 2e6);
 }
 
 TEST_F(TargetRateTest, UnregisteredFlowsAreDropped) {
-  alloc_->register_flow(1, a_, b_);
-  ctrl_->set_target_rate(1, 50e6);
+  alloc_->register_flow(scda::net::FlowId{1}, a_, b_);
+  ctrl_->set_target_rate(scda::net::FlowId{1}, 50e6);
   EXPECT_EQ(ctrl_->active(), 1u);
-  alloc_->unregister_flow(1);
+  alloc_->unregister_flow(scda::net::FlowId{1});
   settle(1);
   EXPECT_EQ(ctrl_->active(), 0u);
 }
 
 TEST_F(TargetRateTest, DeadlineTargetGrowsAsTimeShrinks) {
-  alloc_->register_flow(1, a_, b_);
-  for (net::FlowId f = 2; f <= 6; ++f) alloc_->register_flow(f, a_, b_);
+  alloc_->register_flow(scda::net::FlowId{1}, a_, b_);
+  for (net::FlowId f{2}; f <= net::FlowId{6}; ++f) alloc_->register_flow(f, a_, b_);
   // 100 Mbit to move in 2 seconds -> needs ~50 Mbps on average.
   const std::int64_t total = util::bytes_of_bits(100e6);
-  ctrl_->set_deadline(1, total, 2.0);
+  ctrl_->set_deadline(scda::net::FlowId{1}, total, 2.0);
   // Remaining bytes stay fixed in this unit test (flow never drains), so
   // the implied target rate must rise as the deadline approaches.
   alloc_->tick();
-  ctrl_->update(0.1, [&](net::FlowId) { return total; });
+  ctrl_->update(sim::Time{0.1}, [&](net::FlowId) { return total; });
   alloc_->tick();
-  const double p_early = alloc_->priority(1);
-  ctrl_->update(1.8, [&](net::FlowId) { return total; });
+  const double p_early = alloc_->priority(scda::net::FlowId{1});
+  ctrl_->update(sim::Time{1.8}, [&](net::FlowId) { return total; });
   alloc_->tick();
-  const double p_late = alloc_->priority(1);
+  const double p_late = alloc_->priority(scda::net::FlowId{1});
   EXPECT_GT(p_late, p_early);
 }
 
@@ -118,8 +118,8 @@ TEST(CloudDeadline, WriteWithDeadlineFinishesOnTime) {
   double deadline_fct = -1, besteffort_fct = -1;
   cloud.add_completion_callback(
       [&](const transport::FlowRecord& rec, const CloudOp& op) {
-        if (op.content == 1) deadline_fct = rec.finish_time;
-        if (op.content == 2) besteffort_fct = rec.finish_time;
+        if (op.content == 1) deadline_fct = rec.finish_time.seconds();
+        if (op.content == 2) besteffort_fct = rec.finish_time.seconds();
       });
 
   // Heavy background from the same client; the deadline write must finish
@@ -128,7 +128,7 @@ TEST(CloudDeadline, WriteWithDeadlineFinishesOnTime) {
     cloud.write(0, 10 + i, util::megabytes(20));
   cloud.write_with_deadline(0, 1, util::megabytes(20), /*deadline=*/3.0);
   cloud.write(0, 2, util::megabytes(20));
-  sim.run_until(60.0);
+  sim.run_until(scda::sim::secs(60.0));
 
   ASSERT_GT(deadline_fct, 0);
   ASSERT_GT(besteffort_fct, 0);

@@ -41,18 +41,18 @@ TEST_F(TcpOptionsTest, LargerInitialWindowSpeedsShortFlows) {
   c.init_cwnd_segments = 10;
   tm_->set_tcp_config(c);
   tm_->start_tcp_flow(a_, b_, 14600);  // 10 MSS: one RTT with IW10
-  sim_->run_until(10.0);
+  sim_->run_until(scda::sim::secs(10.0));
   ASSERT_EQ(completed_.size(), 1u);
-  const double fct_iw10 = tm_->record(0).fct();
+  const double fct_iw10 = tm_->record(net::FlowId{0}).fct();
 
   Rig fresh;
   TransportManager::TcpConfig c2;
   c2.init_cwnd_segments = 2;
   fresh.tm_->set_tcp_config(c2);
   fresh.tm_->start_tcp_flow(fresh.a_, fresh.b_, 14600);
-  fresh.sim_->run_until(10.0);
+  fresh.sim_->run_until(scda::sim::secs(10.0));
   ASSERT_EQ(fresh.completed_.size(), 1u);
-  const double fct_iw2 = fresh.tm_->record(0).fct();
+  const double fct_iw2 = fresh.tm_->record(net::FlowId{0}).fct();
 
   EXPECT_LT(fct_iw10, fct_iw2);
 }
@@ -62,7 +62,7 @@ TEST_F(TcpOptionsTest, DelayedAckHalvesAckTraffic) {
   c.delayed_ack = true;
   tm_->set_tcp_config(c);
   tm_->start_tcp_flow(a_, b_, 1'000'000);
-  sim_->run_until(60.0);
+  sim_->run_until(scda::sim::secs(60.0));
   ASSERT_EQ(completed_.size(), 1u);
   const auto acks = net_->link(ba_).stats().tx_packets;
   const auto data = net_->link(ab_).stats().tx_packets;
@@ -73,7 +73,7 @@ TEST_F(TcpOptionsTest, DelayedAckHalvesAckTraffic) {
 
 TEST_F(TcpOptionsTest, PerPacketAcksByDefault) {
   tm_->start_tcp_flow(a_, b_, 1'000'000);
-  sim_->run_until(60.0);
+  sim_->run_until(scda::sim::secs(60.0));
   ASSERT_EQ(completed_.size(), 1u);
   const auto acks = net_->link(ba_).stats().tx_packets;
   const auto data = net_->link(ab_).stats().tx_packets;
@@ -86,7 +86,7 @@ TEST_F(TcpOptionsTest, DelayedAckFlowStillCompletesUnderLoss) {
   c.delayed_ack = true;
   tm_->set_tcp_config(c);
   tm_->start_tcp_flow(a_, b_, 400'000);
-  sim_->run_until(300.0);
+  sim_->run_until(scda::sim::secs(300.0));
   EXPECT_EQ(completed_.size(), 1u);
 }
 
@@ -97,7 +97,7 @@ TEST_F(TcpOptionsTest, AckTimerFlushesTailSegment) {
   c.delayed_ack = true;
   tm_->set_tcp_config(c);
   tm_->start_tcp_flow(a_, b_, 1460 * 7);
-  sim_->run_until(10.0);
+  sim_->run_until(scda::sim::secs(10.0));
   EXPECT_EQ(completed_.size(), 1u);
 }
 
@@ -106,7 +106,7 @@ TEST_F(TcpOptionsTest, ScdaFlowsUnaffectedByTcpConfig) {
   c.delayed_ack = true;
   tm_->set_tcp_config(c);
   auto h = tm_->start_scda_flow(a_, b_, 500'000, 8e6, 8e6);
-  sim_->run_until(10.0);
+  sim_->run_until(scda::sim::secs(10.0));
   EXPECT_EQ(completed_.size(), 1u);
   (void)h;
   // SCDA sink acks every packet: ack count tracks data count.

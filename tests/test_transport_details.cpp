@@ -39,7 +39,7 @@ struct Rig {
 TEST(TransportDetails, SrttConvergesToPathRtt) {
   Rig rig;
   auto h = rig.tm->start_scda_flow(rig.a, rig.b, 2'000'000, 5e6, 5e6);
-  rig.sim->run_until(10.0);
+  rig.sim->run_until(scda::sim::secs(10.0));
   // Path RTT: 2*5ms propagation + serialization (1500B @ 10M ~ 1.2 ms)
   // + ack serialization. Converged SRTT must be close to that.
   EXPECT_GT(h.sender->srtt(), 0.010);
@@ -53,10 +53,10 @@ TEST(TransportDetails, KarnsRuleNoRttFromRetransmits) {
   Rig rig;
   rig.net->link(rig.ab).set_error_model(1.0, &rig.sim->rng());
   auto h = rig.tm->start_scda_flow(rig.a, rig.b, 100'000, 5e6, 5e6);
-  rig.sim->schedule_at(3.0, [&] {
+  rig.sim->post_at(scda::sim::secs(3.0), [&] {
     rig.net->link(rig.ab).set_error_model(0.0, nullptr);
   });
-  rig.sim->run_until(60.0);
+  rig.sim->run_until(scda::sim::secs(60.0));
   ASSERT_EQ(rig.completed.size(), 1u);
   EXPECT_GT(h.sender->stats().timeouts, 0u);
   // A contaminated sample would push SRTT towards seconds.
@@ -70,7 +70,7 @@ TEST(TransportDetails, RtoBacksOffExponentially) {
   Rig rig;
   rig.net->link(rig.ab).set_error_model(1.0, &rig.sim->rng());
   auto h = rig.tm->start_scda_flow(rig.a, rig.b, 50'000, 5e6, 5e6);
-  rig.sim->run_until(15.0);
+  rig.sim->run_until(scda::sim::secs(15.0));
   EXPECT_FALSE(h.sender->fully_acked());
   EXPECT_GE(h.sender->stats().timeouts, 2u);
   EXPECT_LE(h.sender->stats().timeouts, 6u);  // backoff caps the count
@@ -79,10 +79,10 @@ TEST(TransportDetails, RtoBacksOffExponentially) {
 TEST(TransportDetails, SenderStopsAfterFullAck) {
   Rig rig;
   auto h = rig.tm->start_scda_flow(rig.a, rig.b, 100'000, 8e6, 8e6);
-  rig.sim->run_until(10.0);
+  rig.sim->run_until(scda::sim::secs(10.0));
   ASSERT_TRUE(h.sender->fully_acked());
   const auto sent = h.sender->stats().data_packets_sent;
-  rig.sim->run_until(30.0);  // nothing further should happen
+  rig.sim->run_until(scda::sim::secs(30.0));  // nothing further should happen
   EXPECT_EQ(h.sender->stats().data_packets_sent, sent);
   EXPECT_EQ(rig.net->link(rig.ab).queue_bytes(), 0);
 }
@@ -91,7 +91,7 @@ TEST(TransportDetails, CompletionReportedExactlyOncePerFlow) {
   Rig rig;
   for (int i = 0; i < 10; ++i)
     rig.tm->start_scda_flow(rig.a, rig.b, 50'000, 2e6, 2e6);
-  rig.sim->run_until(60.0);
+  rig.sim->run_until(scda::sim::secs(60.0));
   ASSERT_EQ(rig.completed.size(), 10u);
   std::set<net::FlowId> unique(rig.completed.begin(), rig.completed.end());
   EXPECT_EQ(unique.size(), 10u);
@@ -103,7 +103,7 @@ TEST(TransportDetails, FlowRecordsTrackLifecycle) {
   const FlowRecord& rec = rig.tm->record(id);
   EXPECT_FALSE(rec.finished());
   EXPECT_DOUBLE_EQ(rec.fct(), -1.0);
-  rig.sim->run_until(10.0);
+  rig.sim->run_until(scda::sim::secs(10.0));
   EXPECT_TRUE(rec.finished());
   EXPECT_GT(rec.fct(), 0.0);
   EXPECT_EQ(rec.transport, TransportKind::kTcp);
@@ -115,7 +115,7 @@ TEST(TransportDetails, MinRcvwNeverStallsScdaFlow) {
   Rig rig;
   auto h = rig.tm->start_scda_flow(rig.a, rig.b, 30'000, 5e6, 5e6);
   h.receiver->set_rcvw_bytes(0);
-  rig.sim->run_until(30.0);
+  rig.sim->run_until(scda::sim::secs(30.0));
   EXPECT_EQ(rig.completed.size(), 1u);
 }
 
@@ -125,10 +125,10 @@ TEST(TransportDetails, TwoCompetingScdaFlowsShareFairlyWhenRatesSay) {
   auto h2 = rig.tm->start_scda_flow(rig.a, rig.b, 4'000'000, 5e6, 5e6);
   (void)h1;
   (void)h2;
-  rig.sim->run_until(60.0);
+  rig.sim->run_until(scda::sim::secs(60.0));
   ASSERT_EQ(rig.completed.size(), 2u);
-  const double f1 = rig.tm->record(0).fct();
-  const double f2 = rig.tm->record(1).fct();
+  const double f1 = rig.tm->record(net::FlowId{0}).fct();
+  const double f2 = rig.tm->record(net::FlowId{1}).fct();
   EXPECT_NEAR(f1 / f2, 1.0, 0.1);  // both paced at 5M on a 10M link
 }
 

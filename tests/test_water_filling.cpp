@@ -11,19 +11,33 @@
 namespace scda::core {
 namespace {
 
+std::vector<net::LinkId> links(std::initializer_list<int> ids) {
+  std::vector<net::LinkId> v;
+  for (const int i : ids) v.emplace_back(i);
+  return v;
+}
+
+std::map<net::LinkId, double> caps_of(
+    std::initializer_list<std::pair<int, double>> caps) {
+  std::map<net::LinkId, double> m;
+  for (const auto& [l, c] : caps) m.emplace(net::LinkId{l}, c);
+  return m;
+}
+
+
 TEST(WaterFill, SingleLinkEqualSplit) {
   std::vector<ReferenceFlow> flows(4);
-  for (auto& f : flows) f.path = {0};
-  water_fill(flows, {{0, 100.0}});
+  for (auto& f : flows) f.path = links({0});
+  water_fill(flows, caps_of({{0, 100.0}}));
   for (const auto& f : flows) EXPECT_DOUBLE_EQ(f.rate_bps, 25.0);
 }
 
 TEST(WaterFill, WeightedSplit) {
   std::vector<ReferenceFlow> flows(2);
-  flows[0].path = {0};
+  flows[0].path = links({0});
   flows[0].weight = 3.0;
-  flows[1].path = {0};
-  water_fill(flows, {{0, 100.0}});
+  flows[1].path = links({0});
+  water_fill(flows, caps_of({{0, 100.0}}));
   EXPECT_DOUBLE_EQ(flows[0].rate_bps, 75.0);
   EXPECT_DOUBLE_EQ(flows[1].rate_bps, 25.0);
 }
@@ -31,10 +45,10 @@ TEST(WaterFill, WeightedSplit) {
 TEST(WaterFill, ParkingLot) {
   // Long flow over links 0 and 1; one short flow on each.
   std::vector<ReferenceFlow> flows(3);
-  flows[0].path = {0, 1};
-  flows[1].path = {0};
-  flows[2].path = {1};
-  water_fill(flows, {{0, 100.0}, {1, 60.0}});
+  flows[0].path = links({0, 1});
+  flows[1].path = links({0});
+  flows[2].path = links({1});
+  water_fill(flows, caps_of({{0, 100.0}, {1, 60.0}}));
   // Link 1 is tighter: level 30 freezes flows 0 and 2; flow 1 then gets
   // the rest of link 0.
   EXPECT_DOUBLE_EQ(flows[0].rate_bps, 30.0);
@@ -44,10 +58,10 @@ TEST(WaterFill, ParkingLot) {
 
 TEST(WaterFill, ReservationGrantedOffTheTop) {
   std::vector<ReferenceFlow> flows(2);
-  flows[0].path = {0};
+  flows[0].path = links({0});
   flows[0].reserved_bps = 60.0;
-  flows[1].path = {0};
-  water_fill(flows, {{0, 100.0}});
+  flows[1].path = links({0});
+  water_fill(flows, caps_of({{0, 100.0}}));
   // 40 shareable, split equally: 20 each; reserved flow adds its 60.
   EXPECT_DOUBLE_EQ(flows[0].rate_bps, 80.0);
   EXPECT_DOUBLE_EQ(flows[1].rate_bps, 20.0);
@@ -55,20 +69,34 @@ TEST(WaterFill, ReservationGrantedOffTheTop) {
 
 TEST(WaterFill, OversubscribedReservationsFloorShares) {
   std::vector<ReferenceFlow> flows(2);
-  flows[0].path = {0};
+  flows[0].path = links({0});
   flows[0].reserved_bps = 80.0;
-  flows[1].path = {0};
+  flows[1].path = links({0});
   flows[1].reserved_bps = 50.0;
-  water_fill(flows, {{0, 100.0}});
+  water_fill(flows, caps_of({{0, 100.0}}));
   // Residual is negative: the shared level is 0; each keeps only M_j.
   EXPECT_DOUBLE_EQ(flows[0].rate_bps, 80.0);
   EXPECT_DOUBLE_EQ(flows[1].rate_bps, 50.0);
 }
 
+TEST(WaterFill, PureVariantMatchesInPlaceAndLeavesInputAlone) {
+  std::vector<ReferenceFlow> flows(3);
+  flows[0].path = links({0, 1});
+  flows[1].path = links({0});
+  flows[2].path = links({1});
+  const auto rates =
+      water_fill_rates(flows, caps_of({{0, 100.0}, {1, 60.0}}));
+  for (const auto& f : flows) EXPECT_DOUBLE_EQ(f.rate_bps, -1.0);
+  water_fill(flows, caps_of({{0, 100.0}, {1, 60.0}}));
+  ASSERT_EQ(rates.size(), flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i)
+    EXPECT_DOUBLE_EQ(rates[i], flows[i].rate_bps);
+}
+
 TEST(WaterFill, MissingCapacityThrows) {
   std::vector<ReferenceFlow> flows(1);
-  flows[0].path = {7};
-  std::map<net::LinkId, double> caps{{0, 10.0}};
+  flows[0].path = links({7});
+  std::map<net::LinkId, double> caps{{net::LinkId{0}, 10.0}};
   EXPECT_THROW(water_fill(flows, caps), std::invalid_argument);
 }
 
@@ -95,9 +123,9 @@ TEST(WaterFillVsAllocator, ReservationScenarioMatches) {
   params.alpha = 1.0;
   params.min_rate_bps = 1.0;
   RateAllocator alloc(net, params);
-  alloc.register_flow(0, a, b, 1.0, /*reserved=*/30e6);
-  alloc.register_flow(1, a, b, 2.0);
-  alloc.register_flow(2, a, m, 1.0);
+  alloc.register_flow(scda::net::FlowId{0}, a, b, 1.0, /*reserved=*/30e6);
+  alloc.register_flow(scda::net::FlowId{1}, a, b, 2.0);
+  alloc.register_flow(scda::net::FlowId{2}, a, m, 1.0);
   for (int i = 0; i < 400; ++i) alloc.tick();
 
   std::vector<ReferenceFlow> ref(3);
@@ -111,10 +139,10 @@ TEST(WaterFillVsAllocator, ReservationScenarioMatches) {
     for (const auto l : f.path) caps[l] = net.link(l).capacity_bps();
   water_fill(ref, caps);
 
-  for (net::FlowId f = 0; f < 3; ++f) {
-    EXPECT_NEAR(alloc.flow_rate(f) / ref[static_cast<std::size_t>(f)].rate_bps,
+  for (net::FlowId f{0}; f < net::FlowId{3}; ++f) {
+    EXPECT_NEAR(alloc.flow_rate(f) / ref[f.index()].rate_bps,
                 1.0, 0.03)
-        << "flow " << f;
+        << "flow " << f.value();
   }
 }
 

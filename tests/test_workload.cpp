@@ -126,7 +126,7 @@ TEST(WorkloadDriver, IssuesTrafficIntoCloud) {
   WorkloadDriver driver(cloud,
                         std::make_unique<ParetoPoissonWorkload>(pc), dc);
   driver.start();
-  sim.run_until(20.0);
+  sim.run_until(scda::sim::secs(20.0));
   EXPECT_GT(driver.issued_writes(), 10u);
   EXPECT_GT(driver.issued_reads(), 0u);
   EXPECT_EQ(cloud.failed_reads(), 0u);  // driver only reads stored content
@@ -149,9 +149,9 @@ TEST(WorkloadDriver, StopsIssuingAtEndTime) {
   WorkloadDriver driver(cloud,
                         std::make_unique<ParetoPoissonWorkload>(pc), dc);
   driver.start();
-  sim.run_until(2.0);
+  sim.run_until(scda::sim::secs(2.0));
   const auto at_end = driver.issued_writes() + driver.issued_reads();
-  sim.run_until(10.0);
+  sim.run_until(scda::sim::secs(10.0));
   EXPECT_EQ(driver.issued_writes() + driver.issued_reads(), at_end);
   EXPECT_NEAR(static_cast<double>(at_end), 100.0, 40.0);  // ~50/s * 2 s
 }

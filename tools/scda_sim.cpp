@@ -164,7 +164,7 @@ int main(int argc, char** argv) {
     driver.start();
 
     const double horizon = dc.end_time_s + args.get_double("drain", 20.0);
-    const auto events = sim.run_until(horizon);
+    const auto events = sim.run_until(sim::secs(horizon));
     thpt.stop();
 
     const stats::Summary s = collector.summary();

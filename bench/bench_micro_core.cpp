@@ -24,7 +24,7 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   for (auto _ : state) {
     sim::EventQueue q;
     for (int i = 0; i < n; ++i)
-      q.post(sim::Time{static_cast<double>(i % 97)}, [] {});
+      q.post(sim::secs(static_cast<double>(i % 97)), [] {});
     sim::EventQueue::Fired f;
     while (q.pop(f)) benchmark::DoNotOptimize(f.time);
   }
@@ -42,10 +42,10 @@ void BM_EventQueueCancelChurn(benchmark::State& state) {
     sim::EventQueue::Fired f;
     for (int i = 0; i < n; ++i) {
       const auto t = static_cast<double>(i);
-      q.post(sim::Time{t + 0.1}, [] {});
-      auto rto = q.schedule(sim::Time{t + 5.0}, [] {});
+      q.post(sim::secs(t + 0.1), [] {});
+      auto rto = q.schedule(sim::secs(t + 5.0), [] {});
       while (q.pop(f)) {
-        if (f.time > sim::Time{t + 0.2}) break;  // fired the near event
+        if (f.time > sim::secs(t + 0.2)) break;  // fired the near event
       }
       q.cancel(rto);
     }

@@ -31,6 +31,13 @@ Escape hatch: append `// scda-lint: allow(<rule>)` to the offending line
 
     std::map<std::int64_t, std::int64_t> ooo_;  // scda-lint: allow(map-hot-path) ordered reassembly
 
+Some rules no longer accept escapes outside the fixture suite: every
+accumulation loop in src/ now iterates a deterministically ordered
+container (the sorted flow-id index replaced the last unordered_map
+walk), so a new `allow(unordered-iter)` would reintroduce exactly the
+bug class this repo re-baselined to remove. Fix the iteration order
+instead. The fixtures keep an escape so detection itself stays tested.
+
 Usage:
   scripts/lint_determinism.py              # lint src/ (the default scope)
   scripts/lint_determinism.py FILE...      # lint specific files
@@ -53,6 +60,10 @@ FLOAT_LIT = re.compile(r"(?<![\w.])(\d+\.\d*|\.\d+)(e[+-]?\d+)?[fF]?(?![\w.])|"
 
 RULES = ("rand", "wall-clock", "random-device", "unordered-iter",
          "map-hot-path", "float-eq")
+
+# Rules whose allow() escape is itself a violation outside the fixture
+# suite (see the docstring).
+FORBIDDEN_ESCAPES = ("unordered-iter",)
 
 
 def strip_code(text):
@@ -304,6 +315,26 @@ def gather_files(paths):
     return files
 
 
+def find_forbidden_escapes(files):
+    """allow() escapes for FORBIDDEN_ESCAPES rules, outside the fixture
+    suite. Returns (rel, lineno, rule) tuples."""
+    hits = []
+    for f in files:
+        if os.path.commonpath([os.path.abspath(f), FIXTURE_DIR]) == \
+                FIXTURE_DIR:
+            continue
+        rel = os.path.relpath(f, REPO_ROOT)
+        with open(f) as fh:
+            for lineno, line in enumerate(fh, 1):
+                m = ALLOW_RE.search(line)
+                if not m:
+                    continue
+                for r in (x.strip() for x in m.group(1).split(",")):
+                    if r in FORBIDDEN_ESCAPES:
+                        hits.append((rel, lineno, r))
+    return hits
+
+
 def run_lint(paths, hot_files):
     files = gather_files(paths)
     stripped_texts = {}
@@ -320,6 +351,11 @@ def run_lint(paths, hot_files):
         rel = os.path.relpath(f, REPO_ROOT)
         lint_file(f, rel, stripped_texts[f], unordered_names, hot_files,
                   violations)
+    for rel, lineno, rule in find_forbidden_escapes(files):
+        violations.append(
+            (rel, lineno, rule,
+             f"allow({rule}) escapes are retired: fix the iteration "
+             "order (sorted index / dense table) instead"))
     for rel, lineno, rule, msg in violations:
         print(f"{rel}:{lineno}: [{rule}] {msg}")
     return violations
@@ -362,6 +398,32 @@ def self_test():
             for line in buf.getvalue().splitlines():
                 print(f"    {line}")
             failures += 1
+    # The fixture suite must keep exercising detection of every retired
+    # rule (an escape inside fixtures is the sanctioned way to carry the
+    # pattern), while src/ itself must be escape-free for those rules.
+    fixture_escaped = set()
+    for fx in fixtures:
+        with open(fx) as f:
+            for line in f:
+                m = ALLOW_RE.search(line)
+                if m:
+                    fixture_escaped.update(
+                        r.strip() for r in m.group(1).split(","))
+    for rule in FORBIDDEN_ESCAPES:
+        if rule not in fixture_escaped:
+            print(f"self-test: no fixture carries an allow({rule}) escape "
+                  "— detection of the retired rule is untested")
+            failures += 1
+    src_hits = find_forbidden_escapes(
+        gather_files([os.path.join(REPO_ROOT, "src")]))
+    if src_hits:
+        for rel, lineno, rule in src_hits:
+            print(f"self-test: {rel}:{lineno}: retired escape "
+                  f"allow({rule}) present in src/")
+        failures += 1
+    else:
+        print("self-test: src/ escape-free for retired rules: "
+              + ", ".join(FORBIDDEN_ESCAPES))
     if failures:
         print(f"self-test: {failures} fixture(s) failed", file=sys.stderr)
         return 1

@@ -82,14 +82,14 @@ class ContentClassifier {
   struct History {
     std::deque<sim::SimTime> writes;
     std::deque<sim::SimTime> reads;
-    sim::SimTime last_access{-1};
+    sim::SimTime last_access = sim::secs(-1.0);
     /// True while consecutive accesses interleave within the
     /// interactivity interval.
     bool tight_interleaving = false;
   };
 
   void trim(History& h, sim::SimTime now) const {
-    const sim::SimTime cutoff = now - sim::SimTime{cfg_.window_s};
+    const sim::SimTime cutoff = now - sim::secs(cfg_.window_s);
     while (!h.writes.empty() && h.writes.front() < cutoff)
       h.writes.pop_front();
     while (!h.reads.empty() && h.reads.front() < cutoff)
@@ -99,7 +99,7 @@ class ContentClassifier {
   void update_interleave(History& h, sim::SimTime now) {
     if (h.last_access >= sim::SimTime{}) {
       h.tight_interleaving =
-          now - h.last_access <= sim::SimTime{cfg_.interactivity_interval_s};
+          now - h.last_access <= sim::secs(cfg_.interactivity_interval_s);
     }
     h.last_access = now;
   }

@@ -79,14 +79,14 @@ Cloud::Cloud(sim::Simulator& sim, CloudConfig cfg)
 
   // Control loop: RM/RA computation every tau (sections IV and VI).
   control_loop_ = std::make_unique<sim::PeriodicProcess>(
-      sim_, sim::Time{cfg_.params.tau}, [this] { control_tick(); });
-  control_loop_->start(sim::Time{cfg_.params.tau});
+      sim_, sim::secs(cfg_.params.tau), [this] { control_tick(); });
+  control_loop_->start(sim::secs(cfg_.params.tau));
 
   if (cfg_.params.migration_interval_s > 0) {
     migration_loop_ = std::make_unique<sim::PeriodicProcess>(
-        sim_, sim::Time{cfg_.params.migration_interval_s},
+        sim_, sim::secs(cfg_.params.migration_interval_s),
         [this] { migration_scan(); });
-    migration_loop_->start(sim::Time{cfg_.params.migration_interval_s});
+    migration_loop_->start(sim::secs(cfg_.params.migration_interval_s));
   }
 
   hierarchy_.update();
@@ -192,7 +192,7 @@ void Cloud::migration_scan() {
       // it must have been accessed at least once and be quiet since.
       if (classifier_.classify(id, now) != ContentClass::kPassive) continue;
       if (now - meta->last_access_time <
-          sim::Time{classifier_.config().interactivity_interval_s})
+          sim::secs(classifier_.config().interactivity_interval_s))
         continue;
 
       const std::int32_t source = meta->replicas.front();
@@ -219,7 +219,7 @@ void Cloud::migration_scan() {
       const net::NodeId dst_node =
           topo_.servers()[static_cast<std::size_t>(target)];
       const std::int64_t bytes = meta->size_bytes;
-      sim_.post_in(sim::Time{2 * cfg_.params.ctrl_dc_latency_s},
+      sim_.post_in(sim::secs(2 * cfg_.params.ctrl_dc_latency_s),
                        [this, op, bytes, src_node, dst_node] {
                          start_data_flow(src_node, dst_node, bytes, op,
                                          /*priority=*/1.0,
@@ -248,7 +248,7 @@ bool Cloud::write(std::size_t client_idx, ContentId id, std::int64_t bytes,
   count_ctrl(2, 2 * kCtrlMsgBytes);
 
   NameNode* nns_ptr = &nns;
-  sim_.post_in(sim::Time{to_nns},
+  sim_.post_in(sim::secs(to_nns),
                    [this, client_idx, id, bytes, content_class,
                             priority, reserved_bps, nns_ptr] {
     nns_ptr->submit([this, client_idx, id, bytes, content_class, priority,
@@ -289,7 +289,7 @@ bool Cloud::write(std::size_t client_idx, ContentId id, std::int64_t bytes,
       op.kind = CloudOp::Kind::kWrite;
       op.server = target;
       op.client = static_cast<std::int64_t>(client_idx);
-      sim_.post_in(sim::Time{setup},
+      sim_.post_in(sim::secs(setup),
                        [this, op, bytes, priority, reserved_bps,
                                client_idx, target] {
         start_data_flow(topo_.clients()[client_idx],
@@ -310,7 +310,7 @@ bool Cloud::read(std::size_t client_idx, ContentId id, double priority) {
   count_ctrl(2, 2 * kCtrlMsgBytes);
 
   NameNode* nns_ptr = &nns;
-  sim_.post_in(sim::Time{to_nns},
+  sim_.post_in(sim::secs(to_nns),
                    [this, client_idx, id, priority, nns_ptr] {
     nns_ptr->submit([this, client_idx, id, priority, nns_ptr] {
       ContentMeta* meta = nns_ptr->find(id);
@@ -341,7 +341,7 @@ bool Cloud::read(std::size_t client_idx, ContentId id, double priority) {
       op.server = source;
       op.client = static_cast<std::int64_t>(client_idx);
       const std::int64_t bytes = meta->size_bytes;
-      sim_.post_in(sim::Time{setup},
+      sim_.post_in(sim::secs(setup),
                        [this, op, bytes, priority, client_idx, source] {
         start_data_flow(topo_.servers()[static_cast<std::size_t>(source)],
                         topo_.clients()[client_idx], bytes, op, priority,
@@ -362,7 +362,7 @@ bool Cloud::append(std::size_t client_idx, ContentId id, std::int64_t bytes,
   count_ctrl(2, 2 * kCtrlMsgBytes);
 
   NameNode* nns_ptr = &nns;
-  sim_.post_in(sim::Time{to_nns}, [this, client_idx, id, bytes,
+  sim_.post_in(sim::secs(to_nns), [this, client_idx, id, bytes,
                                        priority, nns_ptr] {
     nns_ptr->submit([this, client_idx, id, bytes, priority, nns_ptr] {
       ContentMeta* meta = nns_ptr->find(id);
@@ -387,7 +387,7 @@ bool Cloud::append(std::size_t client_idx, ContentId id, std::int64_t bytes,
       op.client = static_cast<std::int64_t>(client_idx);
       const double setup = 2 * cfg_.params.ctrl_dc_latency_s +
                            cfg_.params.ctrl_wan_latency_s;
-      sim_.post_in(sim::Time{setup},
+      sim_.post_in(sim::secs(setup),
                        [this, op, bytes, priority, client_idx, target] {
         start_data_flow(topo_.clients()[client_idx],
                         topo_.servers()[static_cast<std::size_t>(target)],
@@ -427,7 +427,7 @@ void Cloud::begin_replication(const CloudOp& write_op, std::int64_t bytes) {
     const net::NodeId src =
         topo_.servers()[static_cast<std::size_t>(write_op.server)];
     const net::NodeId dst = topo_.servers()[static_cast<std::size_t>(target)];
-    sim_.post_in(sim::Time{setup}, [this, op, bytes, src, dst] {
+    sim_.post_in(sim::secs(setup), [this, op, bytes, src, dst] {
       start_data_flow(src, dst, bytes, op, /*priority=*/1.0,
                       /*reserved_bps=*/0.0);
     });

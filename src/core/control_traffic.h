@@ -37,12 +37,12 @@ class ControlTraffic {
         delta_threshold_(delta_threshold),
         last_sent_rate_(topo.servers().size(), -1.0),
         process_(std::make_unique<sim::PeriodicProcess>(
-            topo.net().sim(), sim::Time{interval_s}, [this] { tick(); })) {
+            topo.net().sim(), sim::secs(interval_s), [this] { tick(); })) {
     // Count reports arriving at each aggregation point.
     hook_sink(topo_.core());
     for (const auto agg : topo_.aggs()) hook_sink(agg);
     for (const auto tor : topo_.tors()) hook_sink(tor);
-    process_->start(sim::Time{interval_s});
+    process_->start(sim::secs(interval_s));
   }
 
   void stop() { process_->stop(); }

@@ -1,73 +1,86 @@
 #include "core/hierarchy.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace scda::core {
 
 Hierarchy::Hierarchy(net::ThreeTierTree& topo, RateAllocator& alloc)
     : topo_(topo), alloc_(alloc) {
-  const auto n = static_cast<std::size_t>(topo_.config().n_servers());
-  const std::vector<double> zero(kMaxLevel + 1, 0.0);
-  val_up_.assign(n, zero);
-  val_down_.assign(n, zero);
-  rcheck_up_.assign(n, zero);
-  rcheck_down_.assign(n, zero);
+  n_ = static_cast<std::size_t>(topo_.config().n_servers());
+  const std::size_t rows = static_cast<std::size_t>(kMaxLevel + 1) * n_;
+  val_up_.assign(rows, 0.0);
+  val_down_.assign(rows, 0.0);
+  rcheck_up_.assign(rows, 0.0);
+  rcheck_down_.assign(rows, 0.0);
+  tor_cums_.resize(topo_.tors().size());
 }
 
 void Hierarchy::update() {
-  const auto n = val_up_.size();
+  const double up3 = alloc_.link_rate(topo_.core_uplink());
+  const double dn3 = alloc_.link_rate(topo_.core_downlink());
+
+  // Hoist the per-ToR part of every chain: all servers under one ToR share
+  // the level-1..3 links, so the cumulative mins up the tree are computed
+  // once per ToR instead of once per server.
+  for (std::size_t t = 0; t < tor_cums_.size(); ++t) {
+    const std::size_t agg = topo_.agg_of_tor(t);
+    TorCums& c = tor_cums_[t];
+    c.up1 = alloc_.link_rate(topo_.tor_uplink(t));
+    c.up2 = std::min(c.up1, alloc_.link_rate(topo_.agg_uplink(agg)));
+    c.up3 = std::min(c.up2, up3);
+    c.dn1 = alloc_.link_rate(topo_.tor_downlink(t));
+    c.dn2 = std::min(c.dn1, alloc_.link_rate(topo_.agg_downlink(agg)));
+    c.dn3 = std::min(c.dn2, dn3);
+  }
+
+  double* const vu = val_up_.data();
+  double* const vd = val_down_.data();
+  double* const cu = rcheck_up_.data();
+  double* const cd = rcheck_down_.data();
+  const std::size_t n = n_;
   for (std::size_t s = 0; s < n; ++s) {
-    const std::size_t tor = topo_.tor_of_server(s);
-    const std::size_t agg = topo_.agg_of_tor(tor);
-
-    // Level-h link rates along this server's up and down paths.
+    const TorCums& c = tor_cums_[topo_.tor_of_server(s)];
     const double up0 = alloc_.link_rate(topo_.server_uplink(s));
-    const double up1 = alloc_.link_rate(topo_.tor_uplink(tor));
-    const double up2 = alloc_.link_rate(topo_.agg_uplink(agg));
-    const double up3 = alloc_.link_rate(topo_.core_uplink());
     const double dn0 = alloc_.link_rate(topo_.server_downlink(s));
-    const double dn1 = alloc_.link_rate(topo_.tor_downlink(tor));
-    const double dn2 = alloc_.link_rate(topo_.agg_downlink(agg));
-    const double dn3 = alloc_.link_rate(topo_.core_downlink());
-
     const double other = r_other_ ? r_other_(s)
                                   : std::numeric_limits<double>::infinity();
 
     // Bottom-up R-hat chain: the server's value at level h is the min of
     // its level-0 value and every link rate on the way up through level h.
-    val_up_[s][0] = std::min(up0, other);
-    val_up_[s][1] = std::min(val_up_[s][0], up1);
-    val_up_[s][2] = std::min(val_up_[s][1], up2);
-    val_up_[s][3] = std::min(val_up_[s][2], up3);
+    const double u0 = std::min(up0, other);
+    vu[s] = u0;
+    vu[n + s] = std::min(u0, c.up1);
+    vu[2 * n + s] = std::min(u0, c.up2);
+    vu[3 * n + s] = std::min(u0, c.up3);
 
-    val_down_[s][0] = std::min(dn0, other);
-    val_down_[s][1] = std::min(val_down_[s][0], dn1);
-    val_down_[s][2] = std::min(val_down_[s][1], dn2);
-    val_down_[s][3] = std::min(val_down_[s][2], dn3);
+    const double d0 = std::min(dn0, other);
+    vd[s] = d0;
+    vd[n + s] = std::min(d0, c.dn1);
+    vd[2 * n + s] = std::min(d0, c.dn2);
+    vd[3 * n + s] = std::min(d0, c.dn3);
 
     // Top-down R-check chain: min of the link rates from level h to the RM
     // (figure 2, "kept at RM").
-    rcheck_up_[s][0] = up0;
-    rcheck_up_[s][1] = std::min(up0, up1);
-    rcheck_up_[s][2] = std::min(rcheck_up_[s][1], up2);
-    rcheck_up_[s][3] = std::min(rcheck_up_[s][2], up3);
+    cu[s] = up0;
+    cu[n + s] = std::min(up0, c.up1);
+    cu[2 * n + s] = std::min(up0, c.up2);
+    cu[3 * n + s] = std::min(up0, c.up3);
 
-    rcheck_down_[s][0] = dn0;
-    rcheck_down_[s][1] = std::min(dn0, dn1);
-    rcheck_down_[s][2] = std::min(rcheck_down_[s][1], dn2);
-    rcheck_down_[s][3] = std::min(rcheck_down_[s][2], dn3);
+    cd[s] = dn0;
+    cd[n + s] = std::min(dn0, c.dn1);
+    cd[2 * n + s] = std::min(dn0, c.dn2);
+    cd[3 * n + s] = std::min(dn0, c.dn3);
   }
 }
 
 namespace {
-double metric_value(const std::vector<std::vector<double>>& up,
-                    const std::vector<std::vector<double>>& down,
-                    std::size_t s, int level, SelectionMetric m) {
-  const auto h = static_cast<std::size_t>(level);
+double metric_value(const double* up_row, const double* down_row,
+                    std::size_t s, SelectionMetric m) {
   switch (m) {
-    case SelectionMetric::kDown: return down[s][h];
-    case SelectionMetric::kUp: return up[s][h];
-    case SelectionMetric::kMinUpDown: return std::min(up[s][h], down[s][h]);
+    case SelectionMetric::kDown: return down_row[s];
+    case SelectionMetric::kUp: return up_row[s];
+    case SelectionMetric::kMinUpDown: return std::min(up_row[s], down_row[s]);
   }
   return 0;
 }
@@ -75,8 +88,10 @@ double metric_value(const std::vector<std::vector<double>>& up,
 
 BestServer Hierarchy::best_server(SelectionMetric m, int level) const {
   BestServer best;
-  for (std::size_t s = 0; s < val_up_.size(); ++s) {
-    const double v = metric_value(val_up_, val_down_, s, level, m);
+  const double* up = val_up_.data() + static_cast<std::size_t>(level) * n_;
+  const double* down = val_down_.data() + static_cast<std::size_t>(level) * n_;
+  for (std::size_t s = 0; s < n_; ++s) {
+    const double v = metric_value(up, down, s, m);
     if (v > best.value_bps) {
       best.value_bps = v;
       best.server = static_cast<std::int32_t>(s);
@@ -91,9 +106,11 @@ BestServer Hierarchy::best_server_in_rack(std::size_t tor_idx,
   const auto per_tor =
       static_cast<std::size_t>(topo_.config().servers_per_tor);
   const std::size_t lo = tor_idx * per_tor;
-  const std::size_t hi = std::min(lo + per_tor, val_up_.size());
+  const std::size_t hi = std::min(lo + per_tor, n_);
+  const double* up = val_up_.data();  // level-0 row
+  const double* down = val_down_.data();
   for (std::size_t s = lo; s < hi; ++s) {
-    const double v = metric_value(val_up_, val_down_, s, /*level=*/0, m);
+    const double v = metric_value(up, down, s, m);
     if (v > best.value_bps) {
       best.value_bps = v;
       best.server = static_cast<std::int32_t>(s);
@@ -107,9 +124,11 @@ BestServer Hierarchy::best_server_filtered(
     const std::function<bool(std::size_t)>& admit,
     const std::function<double(std::size_t, double)>& reweight) const {
   BestServer best;
-  for (std::size_t s = 0; s < val_up_.size(); ++s) {
+  const double* up = val_up_.data() + static_cast<std::size_t>(level) * n_;
+  const double* down = val_down_.data() + static_cast<std::size_t>(level) * n_;
+  for (std::size_t s = 0; s < n_; ++s) {
     if (admit && !admit(s)) continue;
-    double v = metric_value(val_up_, val_down_, s, level, m);
+    double v = metric_value(up, down, s, m);
     if (reweight) v = reweight(s, v);
     if (v > best.value_bps) {
       best.value_bps = v;
@@ -121,8 +140,7 @@ BestServer Hierarchy::best_server_filtered(
 
 SlaLevelReport Hierarchy::sla_report() const {
   SlaLevelReport rep;
-  const auto n = val_up_.size();
-  for (std::size_t s = 0; s < n; ++s) {
+  for (std::size_t s = 0; s < n_; ++s) {
     rep.per_level[0] += alloc_.sla_violations(topo_.server_uplink(s)) +
                         alloc_.sla_violations(topo_.server_downlink(s));
   }

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <vector>
 
 #include "core/rate_allocator.h"
@@ -74,10 +75,10 @@ class Hierarchy {
   /// Value of server `s` at tree level `h`: min of its R-hat^0 and the link
   /// rates on its upward path through level h.
   [[nodiscard]] double server_value_up(std::size_t s, int level) const {
-    return val_up_.at(s).at(static_cast<std::size_t>(level));
+    return val_up_.at(idx(s, level));
   }
   [[nodiscard]] double server_value_down(std::size_t s, int level) const {
-    return val_down_.at(s).at(static_cast<std::size_t>(level));
+    return val_down_.at(idx(s, level));
   }
 
   /// Best block server across the whole datacenter at level `level`
@@ -100,40 +101,56 @@ class Hierarchy {
   // --- top-down results (kept at the RMs) ------------------------------------
   /// R-check: rate from level `h` down to server `s` (downlink direction).
   [[nodiscard]] double rm_level_rate_down(std::size_t s, int level) const {
-    return rcheck_down_.at(s).at(static_cast<std::size_t>(level));
+    return rcheck_down_.at(idx(s, level));
   }
   /// R-check for the uplink direction (server s up through level h).
   [[nodiscard]] double rm_level_rate_up(std::size_t s, int level) const {
-    return rcheck_up_.at(s).at(static_cast<std::size_t>(level));
+    return rcheck_up_.at(idx(s, level));
   }
 
   /// R-hat^0 at the RM: min(access link rate, R_other).
   [[nodiscard]] double rm_rhat_up(std::size_t s) const {
-    return val_up_.at(s).at(0);
+    return val_up_.at(idx(s, 0));
   }
   [[nodiscard]] double rm_rhat_down(std::size_t s) const {
-    return val_down_.at(s).at(0);
+    return val_down_.at(idx(s, 0));
   }
 
   /// SLA violations attributed to each level of the RM/RA tree.
   [[nodiscard]] SlaLevelReport sla_report() const;
 
-  [[nodiscard]] std::size_t server_count() const noexcept {
-    return val_up_.size();
-  }
+  [[nodiscard]] std::size_t server_count() const noexcept { return n_; }
   [[nodiscard]] net::ThreeTierTree& topology() noexcept { return topo_; }
 
  private:
+  /// Flat level-major index: level h's values for all servers are the
+  /// contiguous row [h*n_, (h+1)*n_), so best_server scans one cache-friendly
+  /// row instead of striding across per-server vectors.
+  [[nodiscard]] std::size_t idx(std::size_t s, int level) const {
+    if (s >= n_) throw std::out_of_range("Hierarchy: server index");
+    return static_cast<std::size_t>(level) * n_ + s;
+  }
+
   net::ThreeTierTree& topo_;
   RateAllocator& alloc_;
   std::function<double(std::size_t)> r_other_;
+  std::size_t n_ = 0;  ///< server count (row stride)
 
-  // val_*_[server][level]: bottom-up server values (R-hat chain).
-  std::vector<std::vector<double>> val_up_;
-  std::vector<std::vector<double>> val_down_;
-  // rcheck_*_[server][level]: top-down per-RM level rates.
-  std::vector<std::vector<double>> rcheck_up_;
-  std::vector<std::vector<double>> rcheck_down_;
+  // Level-major (kMaxLevel+1) x n_ tables.
+  // val_*: bottom-up server values (R-hat chain).
+  std::vector<double> val_up_;
+  std::vector<double> val_down_;
+  // rcheck_*: top-down per-RM level rates.
+  std::vector<double> rcheck_up_;
+  std::vector<double> rcheck_down_;
+  // Per-ToR cumulative upward-path mins (levels 1..3), recomputed each
+  // update(); min is associative so hoisting them out of the server loop
+  // yields bit-identical values.
+  struct TorCums {
+    double up1, up2, up3;
+    double dn1, dn2, dn3;
+  };
+  std::vector<TorCums> tor_cums_;
 };
 
 }  // namespace scda::core

@@ -44,7 +44,7 @@ class NameNode {
   double submit(std::function<void()> handler) {
     const sim::Time now = sim_.now();
     const sim::Time start = std::max(now, busy_until_);
-    busy_until_ = start + sim::Time{service_time_s_};
+    busy_until_ = start + sim::secs(service_time_s_);
     const sim::Time delay = busy_until_ - now;
     max_delay_ = std::max(max_delay_, delay.seconds());
     total_delay_ += delay.seconds();

@@ -22,6 +22,29 @@ RateAllocator::RateAllocator(net::Network& net, const ScdaParams& params)
   }
 }
 
+std::size_t RateAllocator::find_row(net::FlowId id) const noexcept {
+  const auto it = std::lower_bound(
+      by_id_.begin(), by_id_.end(), id,
+      [](const IndexEntry& e, net::FlowId v) { return e.id < v; });
+  if (it == by_id_.end() || it->id != id) return kNoRow;
+  return static_cast<std::size_t>(it - by_id_.begin());
+}
+
+std::uint32_t RateAllocator::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t s = free_slots_.back();
+    free_slots_.pop_back();
+    return s;
+  }
+  priority_.push_back(0.0);
+  reserved_bps_.push_back(0.0);
+  rate_.push_back(0.0);
+  path_.emplace_back();
+  r_other_send_.emplace_back();
+  r_other_recv_.emplace_back();
+  return static_cast<std::uint32_t>(priority_.size() - 1);
+}
+
 void RateAllocator::register_flow(net::FlowId id, net::NodeId src,
                                   net::NodeId dst, double priority,
                                   double reserved_bps,
@@ -37,21 +60,28 @@ void RateAllocator::register_flow_on_path(net::FlowId id,
                                           double reserved_bps,
                                           RateProviderFn r_other_send,
                                           RateProviderFn r_other_recv) {
-  if (flows_.count(id))
+  const auto it = std::lower_bound(
+      by_id_.begin(), by_id_.end(), id,
+      [](const IndexEntry& e, net::FlowId v) { return e.id < v; });
+  if (it != by_id_.end() && it->id == id)
     throw std::logic_error("RateAllocator: flow already registered");
-  FlowState fs;
-  fs.id = id;
-  fs.path = std::move(path);
-  fs.priority = priority;
-  fs.reserved_bps = reserved_bps;
-  fs.r_other_send = std::move(r_other_send);
-  fs.r_other_recv = std::move(r_other_recv);
+
+  const std::uint32_t s = acquire_slot();
+  priority_[s] = priority;
+  reserved_bps_[s] = reserved_bps;
+  // Reuse the recycled slot's path capacity instead of adopting the
+  // caller's buffer: steady churn then allocates nothing.
+  path_[s].assign(path.begin(), path.end());
+  r_other_send_[s] = std::move(r_other_send);
+  r_other_recv_[s] = std::move(r_other_recv);
+  by_id_.insert(it, IndexEntry{id, s});  // ids are monotonic: usually a push
+
   // Immediate feedback: each RA counts the new flow into its effective
   // flow total and lowers its advertised per-flow rate accordingly, so
   // several flows admitted within the same control interval are quoted
   // gamma/(N-hat + 1), gamma/(N-hat + 2), ... instead of all receiving the
   // full link rate. The next tick recomputes the exact values.
-  for (const net::LinkId l : fs.path) {
+  for (const net::LinkId l : path_[s]) {
     auto& st = links_[l.index()];
     st.reserved += reserved_bps;
     st.nhat += priority;
@@ -63,29 +93,37 @@ void RateAllocator::register_flow_on_path(net::FlowId id,
   // Seed the flow's rate with the post-admission quote so the first
   // interval's S already accounts for it (the NNS hands this same value to
   // the sender as the initial allocation).
-  fs.rate = reserved_bps + priority * path_rate(fs.path);
-  flows_.emplace(id, std::move(fs));
+  rate_[s] = reserved_bps + priority * path_rate(path_[s]);
 }
 
 void RateAllocator::unregister_flow(net::FlowId id) {
-  const auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  for (const net::LinkId l : it->second.path)
-    links_[l.index()].reserved -= it->second.reserved_bps;
-  flows_.erase(it);
+  const std::size_t row = find_row(id);
+  if (row == kNoRow) return;
+  const std::uint32_t s = by_id_[row].slot;
+  for (const net::LinkId l : path_[s])
+    links_[l.index()].reserved -= reserved_bps_[s];
+  path_[s].clear();  // keeps capacity for the next flow on this slot
+  r_other_send_[s] = nullptr;  // release captured state eagerly
+  r_other_recv_[s] = nullptr;
+  by_id_.erase(by_id_.begin() + static_cast<std::ptrdiff_t>(row));
+  free_slots_.push_back(s);
 }
 
 void RateAllocator::set_priority(net::FlowId id, double priority) {
-  flows_.at(id).priority = std::max(priority, 0.0);
+  const std::size_t row = find_row(id);
+  if (row == kNoRow) throw std::out_of_range("RateAllocator: unknown flow");
+  priority_[by_id_[row].slot] = std::max(priority, 0.0);
 }
 
 double RateAllocator::priority(net::FlowId id) const {
-  return flows_.at(id).priority;
+  const std::size_t row = find_row(id);
+  if (row == kNoRow) throw std::out_of_range("RateAllocator: unknown flow");
+  return priority_[by_id_[row].slot];
 }
 
 double RateAllocator::flow_rate(net::FlowId id) const {
-  const auto it = flows_.find(id);
-  return it == flows_.end() ? 0.0 : it->second.rate;
+  const std::size_t row = find_row(id);
+  return row == kNoRow ? 0.0 : rate_[by_id_[row].slot];
 }
 
 double RateAllocator::path_rate(net::NodeId src, net::NodeId dst) const {
@@ -100,15 +138,16 @@ double RateAllocator::path_rate(const std::vector<net::LinkId>& path) const {
 }
 
 void RateAllocator::refresh_flow_rates() {
-  for (auto& [id, fs] : flows_) {
+  for (const IndexEntry& e : by_id_) {
+    const std::uint32_t s = e.slot;
     double base = std::numeric_limits<double>::infinity();
-    for (const net::LinkId l : fs.path)
+    for (const net::LinkId l : path_[s])
       base = std::min(base, links_[l.index()].rate);
     if (!std::isfinite(base)) base = 0.0;
-    double r = fs.reserved_bps + fs.priority * base;
-    if (fs.r_other_send) r = std::min(r, fs.r_other_send());
-    if (fs.r_other_recv) r = std::min(r, fs.r_other_recv());
-    fs.rate = std::max(r, params_.min_rate_bps);
+    double r = reserved_bps_[s] + priority_[s] * base;
+    if (r_other_send_[s]) r = std::min(r, r_other_send_[s]());
+    if (r_other_recv_[s]) r = std::min(r, r_other_recv_[s]());
+    rate_[s] = std::max(r, params_.min_rate_bps);
   }
 }
 
@@ -116,7 +155,7 @@ void RateAllocator::tick() {
   const double tau = params_.tau;
   const sim::Time now = net_.sim().now();
   ++control_stats_.ticks;
-  control_stats_.flow_updates += flows_.size();
+  control_stats_.flow_updates += by_id_.size();
   control_stats_.link_updates += links_.size();
 
   // Pass 1: effective capacity per link from the switch counters Q(t)
@@ -135,27 +174,27 @@ void RateAllocator::tick() {
   // link rates (this is the information the top-down RA pass delivered to
   // each RM), accumulated into each crossed link's S.
   //
-  // The accumulation order is the unordered_map's iteration order, which
-  // for a fixed libstdc++ and insertion sequence is stable (all committed
-  // baselines depend on it) but is not portable across standard-library
-  // implementations. Switching to sorted-id order would change every
-  // committed figure by float-rounding noise, so it is deferred — see
-  // ROADMAP "Open items".
-  // scda-lint: allow(unordered-iter)
-  for (auto& [id, fs] : flows_) {
+  // The walk follows the sorted flow-id index, so the floating-point
+  // accumulation order into S is ascending-id — a pure function of the
+  // registered flow set, portable across standard libraries. (Until the
+  // integer-time re-baselining this loop walked unordered_map iteration
+  // order and every committed figure depended on libstdc++'s hashing.)
+  for (const IndexEntry& e : by_id_) {
+    const std::uint32_t s = e.slot;
     double base = std::numeric_limits<double>::infinity();
-    for (const net::LinkId l : fs.path)
+    for (const net::LinkId l : path_[s])
       base = std::min(base, links_[l.index()].rate);
     if (!std::isfinite(base)) base = 0.0;
 
-    double r = fs.reserved_bps + fs.priority * base;
-    if (fs.r_other_send) r = std::min(r, fs.r_other_send());
-    if (fs.r_other_recv) r = std::min(r, fs.r_other_recv());
-    fs.rate = std::max(r, params_.min_rate_bps);
+    double r = reserved_bps_[s] + priority_[s] * base;
+    if (r_other_send_[s]) r = std::min(r, r_other_send_[s]());
+    if (r_other_recv_[s]) r = std::min(r, r_other_recv_[s]());
+    const double rate = std::max(r, params_.min_rate_bps);
+    rate_[s] = rate;
 
-    const double share = std::max(0.0, fs.rate - fs.reserved_bps);
-    for (const net::LinkId l : fs.path) {
-      links_[l.index()].rate_sum += fs.rate;
+    const double share = std::max(0.0, rate - reserved_bps_[s]);
+    for (const net::LinkId l : path_[s]) {
+      links_[l.index()].rate_sum += rate;
       links_[l.index()].share_sum += share;
     }
   }
@@ -198,7 +237,7 @@ void RateAllocator::tick() {
 
   if (obs::TraceRecorder* tr = obs::tracer_of(net_.sim())) {
     tr->instant(now, "control", "ra_round", obs::kTrackControl,
-                {{"flows", static_cast<double>(flows_.size())},
+                {{"flows", static_cast<double>(by_id_.size())},
                  {"links", static_cast<double>(links_.size())},
                  {"violations", static_cast<double>(total_sla_violations_)}});
   }

@@ -46,7 +46,7 @@ class SlaManager {
                                        sim::Time now) const {
     const auto it = last_violation_.find(link);
     return it != last_violation_.end() &&
-           now - it->second < sim::Time{cooldown_s_};
+           now - it->second < sim::secs(cooldown_s_);
   }
 
   [[nodiscard]] const std::vector<SlaEvent>& events() const noexcept {

@@ -49,9 +49,11 @@ void Link::start_transmission() {
   // out of the queue when the transmission completes.
   cur_node_ = queue_.select_next();
   const Packet& head = queue_.packet(cur_node_);
+  // Serialization time rounds to the nearest nanosecond once, here; from
+  // this point on every timestamp derived from it is exact integer time.
   const double tx_time =
       static_cast<double>(head.size_bytes) * 8.0 / capacity_bps_;
-  sim_.post_in(sim::Time{tx_time}, [this] { on_tx_complete(); });
+  sim_.post_in(sim::secs(tx_time), [this] { on_tx_complete(); });
 }
 
 void Link::on_tx_complete() {
@@ -64,11 +66,12 @@ void Link::on_tx_complete() {
 
   // Propagation: park the packet on the in-flight ring; the single armed
   // delivery timer walks the ring head-by-head (constant delay => FIFO).
-  inflight_.emplace_back(sim_.now() + sim::Time{prop_delay_s_},
-                         std::move(p));
+  // The parked deadline and the armed timer are the same exact integer
+  // sum, so deliver_head always finds the head due at or after now.
+  inflight_.emplace_back(sim_.now() + prop_delay_, std::move(p));
   if (!delivery_armed_) {
     delivery_armed_ = true;
-    sim_.post_in(sim::Time{prop_delay_s_}, [this] { deliver_head(); });
+    sim_.post_in(prop_delay_, [this] { deliver_head(); });
   }
 
   if (!queue_.empty()) {
@@ -82,10 +85,8 @@ void Link::deliver_head() {
   Packet p = std::move(inflight_.front().second);
   inflight_.pop_front();
   if (!inflight_.empty()) {
-    const sim::Time due = inflight_.front().first;
-    const sim::Time now = sim_.now();
-    if (due < now) ++stats_.delivery_clamps;
-    sim_.post_in(delivery_delay(due, now), [this] { deliver_head(); });
+    sim_.post_in(delivery_delay(inflight_.front().first, sim_.now()),
+                 [this] { deliver_head(); });
   } else {
     delivery_armed_ = false;
   }

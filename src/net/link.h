@@ -29,9 +29,6 @@ struct LinkStats {
   std::uint64_t dropped_packets = 0;
   std::uint64_t dropped_bytes = 0;
   std::uint64_t enqueued_packets = 0;
-  /// Delivery timers whose computed delay went (negligibly) negative from
-  /// floating-point accumulation and were clamped to zero.
-  std::uint64_t delivery_clamps = 0;
 };
 
 class Link {
@@ -46,7 +43,7 @@ class Link {
         from_(from),
         to_(to),
         capacity_bps_(capacity_bps),
-        prop_delay_s_(prop_delay_s),
+        prop_delay_(sim::secs(prop_delay_s)),
         queue_limit_bytes_(queue_limit_bytes) {}
 
   Link(const Link&) = delete;
@@ -86,7 +83,12 @@ class Link {
   void set_capacity_bps(double c) noexcept {
     if (c > 0) capacity_bps_ = c;
   }
-  [[nodiscard]] double prop_delay_s() const noexcept { return prop_delay_s_; }
+  /// Propagation delay as exact simulation time (the value every delivery
+  /// deadline is built from; rounded once, at construction).
+  [[nodiscard]] sim::Time prop_delay() const noexcept { return prop_delay_; }
+  [[nodiscard]] double prop_delay_s() const noexcept {
+    return prop_delay_.seconds();
+  }
   [[nodiscard]] std::int64_t queue_limit_bytes() const noexcept {
     return queue_limit_bytes_;
   }
@@ -124,19 +126,17 @@ class Link {
            (capacity_bps_ * elapsed_s);
   }
 
-  /// Delay until the head of the propagation queue is due. Successive
-  /// delivery deadlines can drift a few ulps below `now` through repeated
-  /// float addition; treat that as "due now" rather than passing a negative
-  /// delay to the simulator. Anything beyond float noise is a logic error.
+  /// Delay until the head of the propagation queue is due. Deadlines are
+  /// exact integer-nanosecond sums of the same now + prop_delay values the
+  /// timers were armed with, so a head that is past due is a scheduling
+  /// bug, full stop — there is no floating-point drift to forgive. (The
+  /// double-seconds era clamped few-ulp negatives here and counted them
+  /// as `delivery_clamps`; that counter is gone because the condition is
+  /// now structurally impossible.)
   [[nodiscard]] static sim::Time delivery_delay(sim::Time due,
                                                 sim::Time now) noexcept {
-    const sim::Time delay = due - now;
-    if (delay >= sim::Time{}) return delay;
-    assert((now - due).seconds() <=
-           1e-9 * (now.seconds() > 1.0
-                       ? now.seconds()
-                       : 1.0));  // only FP noise may clamp
-    return sim::Time{};
+    assert(due >= now && "propagation deadline in the past: scheduling bug");
+    return due - now;
   }
 
  private:
@@ -152,7 +152,7 @@ class Link {
   NodeId from_;
   NodeId to_;
   double capacity_bps_;
-  double prop_delay_s_;
+  sim::Time prop_delay_;
   std::int64_t queue_limit_bytes_;
 
   PacketQueue queue_;

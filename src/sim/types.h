@@ -10,10 +10,16 @@
 //     or from the representation; ids with different tags do not mix.
 //     Container indexing goes through index()/from_index so the (checked)
 //     signed->size_t cast lives in exactly one place.
-//   - SimTime: simulation time in seconds. Explicit construction from
-//     double, typed arithmetic (time +- time, time * scalar, time/time
-//     -> ratio), totally ordered, hashable. seconds() unwraps at the
-//     boundaries where time feeds rate math or %.9g JSON emission.
+//   - SimTime: simulation time as a signed 64-bit integer count of
+//     nanoseconds. Point/duration sums, differences and comparisons are
+//     exact integer arithmetic, so equal-by-construction deadlines stay
+//     equal no matter how they were accumulated — the class of
+//     few-ulps-below-now drift that float time suffered is structurally
+//     impossible. Construction from fractional seconds goes through
+//     secs() / SimTime::from_seconds() (rounds to the nearest
+//     nanosecond, ties away from zero); seconds() unwraps to double only
+//     at the boundaries where time feeds rate math or %.9g JSON
+//     emission.
 //
 // Both are structural wrappers over their representation: passing or
 // returning them by value is byte-identical to passing the raw Rep, so
@@ -97,78 +103,123 @@ class StrongId {
   Rep v_ = Rep{};
 };
 
-/// Simulation time in seconds. Explicit construction keeps raw doubles
-/// (rates, sizes, ratios) from silently becoming times; arithmetic is
-/// closed over the operations that are meaningful for a time axis.
+/// Simulation time as an exact signed 64-bit nanosecond count. Named
+/// factories (from_nanos / from_seconds) keep raw doubles (rates, sizes,
+/// ratios) from silently becoming times and make every fractional-second
+/// rounding site explicit; arithmetic is closed over the operations that
+/// are meaningful for a time axis and is exact except where a double
+/// scalar enters (* and / round to the nearest nanosecond).
+///
+/// Range: +-2^63 ns is roughly +-292 years of simulated time — far beyond
+/// any run this simulator performs — and integer +/- within that range
+/// never loses precision, unlike the double-of-seconds representation
+/// this replaced (docs/perf.md, "delivery clamp" history).
 class SimTime {
  public:
-  constexpr SimTime() noexcept = default;
-  constexpr explicit SimTime(double s) noexcept : s_(s) {}
+  using rep_type = std::int64_t;
+  static constexpr rep_type kNanosPerSecond = 1'000'000'000;
 
-  /// Unwrap to raw seconds (rate math, %.9g JSON emission).
-  [[nodiscard]] constexpr double seconds() const noexcept { return s_; }
+  constexpr SimTime() noexcept = default;
+
+  /// Exact construction from a nanosecond count.
+  [[nodiscard]] static constexpr SimTime from_nanos(rep_type ns) noexcept {
+    return SimTime{ns};
+  }
+  /// Construction from fractional seconds: rounds to the nearest
+  /// nanosecond, ties away from zero. The only double -> time entry point.
+  [[nodiscard]] static constexpr SimTime from_seconds(double s) noexcept {
+    return SimTime{round_to_ns(s * static_cast<double>(kNanosPerSecond))};
+  }
+
+  /// Underlying exact nanosecond count.
+  [[nodiscard]] constexpr rep_type nanos() const noexcept { return ns_; }
+
+  /// Unwrap to seconds (rate math, %.9g JSON emission). Exact for counts
+  /// up to 2^53 ns (~104 simulated days); beyond that the double is the
+  /// nearest representable value, deterministically.
+  [[nodiscard]] constexpr double seconds() const noexcept {
+    return static_cast<double>(ns_) * 1e-9;
+  }
 
   [[nodiscard]] static constexpr SimTime zero() noexcept { return SimTime{}; }
 
   // --- typed arithmetic --------------------------------------------------
-  // point + duration and duration + duration share one type, exactly like
-  // the raw double this replaced; the compiled arithmetic is identical.
+  // point + duration and duration + duration share one type; sums and
+  // differences are exact integer arithmetic.
   friend constexpr SimTime operator+(SimTime a, SimTime b) noexcept {
-    return SimTime{a.s_ + b.s_};
+    return SimTime{a.ns_ + b.ns_};
   }
   friend constexpr SimTime operator-(SimTime a, SimTime b) noexcept {
-    return SimTime{a.s_ - b.s_};
+    return SimTime{a.ns_ - b.ns_};
   }
   friend constexpr SimTime operator-(SimTime a) noexcept {
-    return SimTime{-a.s_};
+    return SimTime{-a.ns_};
   }
+  /// Scaling by a double rounds to the nearest nanosecond (ties away from
+  /// zero) — scaling leaves the exact-integer domain and re-enters it.
   friend constexpr SimTime operator*(SimTime a, double k) noexcept {
-    return SimTime{a.s_ * k};
+    return SimTime{round_to_ns(static_cast<double>(a.ns_) * k)};
   }
   friend constexpr SimTime operator*(double k, SimTime a) noexcept {
-    return SimTime{k * a.s_};
+    return a * k;
   }
   friend constexpr SimTime operator/(SimTime a, double k) noexcept {
-    return SimTime{a.s_ / k};
+    return SimTime{round_to_ns(static_cast<double>(a.ns_) / k)};
   }
   /// Ratio of two times is a dimensionless scalar.
   friend constexpr double operator/(SimTime a, SimTime b) noexcept {
-    return a.s_ / b.s_;
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
   }
   constexpr SimTime& operator+=(SimTime o) noexcept {
-    s_ += o.s_;
+    ns_ += o.ns_;
     return *this;
   }
   constexpr SimTime& operator-=(SimTime o) noexcept {
-    s_ -= o.s_;
+    ns_ -= o.ns_;
     return *this;
   }
 
   friend constexpr bool operator==(SimTime a, SimTime b) noexcept {
-    return a.s_ == b.s_;  // scda-lint: allow(float-eq) exact key comparison
+    return a.ns_ == b.ns_;
   }
   friend constexpr bool operator!=(SimTime a, SimTime b) noexcept {
     return !(a == b);
   }
   friend constexpr bool operator<(SimTime a, SimTime b) noexcept {
-    return a.s_ < b.s_;
+    return a.ns_ < b.ns_;
   }
   friend constexpr bool operator<=(SimTime a, SimTime b) noexcept {
-    return a.s_ <= b.s_;
+    return a.ns_ <= b.ns_;
   }
   friend constexpr bool operator>(SimTime a, SimTime b) noexcept {
-    return a.s_ > b.s_;
+    return a.ns_ > b.ns_;
   }
   friend constexpr bool operator>=(SimTime a, SimTime b) noexcept {
-    return a.s_ >= b.s_;
+    return a.ns_ >= b.ns_;
   }
 
  private:
-  double s_ = 0.0;
+  constexpr explicit SimTime(rep_type ns) noexcept : ns_(ns) {}
+
+  /// Round-to-nearest, ties away from zero (constexpr; llround is not).
+  [[nodiscard]] static constexpr rep_type round_to_ns(double x) noexcept {
+    return x >= 0.0 ? static_cast<rep_type>(x + 0.5)
+                    : -static_cast<rep_type>(-x + 0.5);
+  }
+
+  rep_type ns_ = 0;
 };
 
-/// Self-documenting constructor for literal times: secs(0.05).
-[[nodiscard]] constexpr SimTime secs(double s) noexcept { return SimTime{s}; }
+/// Self-documenting converter for literal times: secs(0.05). Rounds to
+/// the nearest nanosecond like SimTime::from_seconds.
+[[nodiscard]] constexpr SimTime secs(double s) noexcept {
+  return SimTime::from_seconds(s);
+}
+
+/// Exact nanosecond literal: nanos(50) is 50 ns, no rounding involved.
+[[nodiscard]] constexpr SimTime nanos(std::int64_t ns) noexcept {
+  return SimTime::from_nanos(ns);
+}
 
 }  // namespace scda::sim
 
@@ -180,9 +231,14 @@ struct std::hash<scda::sim::StrongId<Tag, Rep>> {
   }
 };
 
+// Hash the exact integer representation. (The double-seconds predecessor
+// hashed through std::hash<double>, where 0.0 and -0.0 compare equal but
+// may hash differently — an unordered-container correctness bug. The
+// integer representation has one encoding per value, so equal times hash
+// equally by construction.)
 template <>
 struct std::hash<scda::sim::SimTime> {
   [[nodiscard]] std::size_t operator()(scda::sim::SimTime t) const noexcept {
-    return std::hash<double>{}(t.seconds());
+    return std::hash<scda::sim::SimTime::rep_type>{}(t.nanos());
   }
 };

@@ -27,7 +27,6 @@ CorePerf collect_core_perf(const sim::Simulator& sim,
     const auto& qp = l.queue_perf();
     if (qp.pool_hwm > p.link_queue_hwm) p.link_queue_hwm = qp.pool_hwm;
     p.sjf_selects += qp.sjf_selects;
-    p.delivery_clamps += l.stats().delivery_clamps;
   }
   return p;
 }
@@ -40,10 +39,10 @@ void emit_core_perf(std::FILE* out, const CorePerf& p) {
       ",\"heap_hwm\":%" PRIu64 ",\"event_pool_slots\":%" PRIu64
       ",\"callbacks_inline\":%" PRIu64 ",\"callbacks_heap\":%" PRIu64
       ",\"link_pool_slots\":%" PRIu64 ",\"link_queue_hwm\":%" PRIu64
-      ",\"sjf_selects\":%" PRIu64 ",\"delivery_clamps\":%" PRIu64 "}\n",
+      ",\"sjf_selects\":%" PRIu64 "}\n",
       p.events_scheduled, p.events_popped, p.events_cancelled, p.stale_cancels,
       p.heap_hwm, p.event_pool_slots, p.callbacks_inline, p.callbacks_heap,
-      p.link_pool_slots, p.link_queue_hwm, p.sjf_selects, p.delivery_clamps);
+      p.link_pool_slots, p.link_queue_hwm, p.sjf_selects);
 }
 
 }  // namespace scda::stats

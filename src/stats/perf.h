@@ -22,11 +22,13 @@ struct CorePerf {
   std::uint64_t callbacks_inline = 0;  ///< captures stored in-slot
   std::uint64_t callbacks_heap = 0;    ///< captures that hit the allocator
 
-  // Packet path, summed over all links.
+  // Packet path, summed over all links. (The delivery_clamps counter that
+  // used to live here is gone: with integer-nanosecond SimTime a clamped
+  // delivery delay is structurally impossible, so Link asserts instead of
+  // counting — see Link::delivery_delay.)
   std::uint64_t link_pool_slots = 0;   ///< packet slots allocated
   std::uint64_t link_queue_hwm = 0;    ///< max of per-link queue peaks
   std::uint64_t sjf_selects = 0;       ///< SJF index selections served
-  std::uint64_t delivery_clamps = 0;   ///< negative-delay clamps (FP noise)
 
   /// Events popped per second of wall-clock, when the caller timed the run.
   [[nodiscard]] double events_per_sec(double wall_s) const noexcept {

@@ -22,8 +22,8 @@ class QueueSampler {
         links_(std::move(links)),
         per_link_(links_.size()),
         process_(std::make_unique<sim::PeriodicProcess>(
-            sim, sim::Time{interval_s}, [this] { sample(); })) {
-    process_->start(sim::Time{interval_s});
+            sim, sim::secs(interval_s), [this] { sample(); })) {
+    process_->start(sim::secs(interval_s));
   }
 
   void stop() { process_->stop(); }

@@ -23,9 +23,9 @@ class ThroughputSampler {
       : transports_(transports),
         interval_s_(interval_s),
         process_(std::make_unique<sim::PeriodicProcess>(
-            sim, sim::Time{interval_s},
+            sim, sim::secs(interval_s),
             [this, &sim] { sample(sim.now()); })) {
-    process_->start(sim::Time{interval_s});
+    process_->start(sim::secs(interval_s));
   }
 
   [[nodiscard]] const std::vector<ThroughputSample>& series() const noexcept {

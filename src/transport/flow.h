@@ -34,7 +34,7 @@ struct FlowRecord {
   net::NodeId dst = net::kInvalidNode;
   std::int64_t size_bytes = 0;
   sim::Time start_time{};
-  sim::Time finish_time{-1};  ///< set when all bytes are delivered
+  sim::Time finish_time = sim::secs(-1.0);  ///< set when all bytes are delivered
   TransportKind transport = TransportKind::kTcp;
   ContentClass content = ContentClass::kSemiInteractive;
   /// Priority weight (paper eq. 6); 1.0 = unweighted max-min share.

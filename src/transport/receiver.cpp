@@ -35,7 +35,7 @@ void Receiver::handle(net::Packet&& p) {
     } else if (!ack_timer_armed_) {
       ack_timer_armed_ = true;
       const auto epoch = ++ack_timer_epoch_;
-      net_.sim().post_in(sim::SimTime{ack_delay_s_}, [this, epoch] {
+      net_.sim().post_in(sim::secs(ack_delay_s_), [this, epoch] {
         if (epoch != ack_timer_epoch_ || !ack_timer_armed_) return;
         ack_timer_armed_ = false;
         if (unacked_segments_ > 0) {

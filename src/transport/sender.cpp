@@ -137,7 +137,7 @@ void WindowSender::pump_paced() {
       pacing_rate_bps_;
   pace_armed_ = true;
   const auto epoch = ++pace_epoch_;
-  net_.sim().post_in(sim::SimTime{gap}, [this, epoch] {
+  net_.sim().post_in(sim::secs(gap), [this, epoch] {
     if (epoch != pace_epoch_) return;
     pace_armed_ = false;
     maybe_send();
@@ -173,7 +173,7 @@ void WindowSender::arm_rto() {
   disarm_rto();
   rto_armed_ = true;
   const auto epoch = ++rto_epoch_;
-  rto_handle_ = net_.sim().schedule_in(sim::SimTime{rto_}, [this, epoch] {
+  rto_handle_ = net_.sim().schedule_in(sim::secs(rto_), [this, epoch] {
     if (epoch == rto_epoch_ && rto_armed_) handle_timeout();
   });
 }

@@ -34,8 +34,8 @@ void WorkloadDriver::start() { schedule_next(); }
 void WorkloadDriver::schedule_next() {
   sim::Simulator& sim = cloud_.sim();
   const FlowRequest req = gen_->next(sim.rng());
-  const sim::Time at = sim.now() + sim::Time{req.inter_arrival_s};
-  if (at > sim::Time{cfg_.end_time_s})
+  const sim::Time at = sim.now() + sim::secs(req.inter_arrival_s);
+  if (at > sim::secs(cfg_.end_time_s))
     return;  // stop issuing; in-flight flows drain
   sim.post_at(at, [this, req] {
     issue(req);
@@ -81,7 +81,7 @@ void WorkloadDriver::run_session(core::ContentId id, std::size_t client,
                                  std::int64_t delta_bytes,
                                  std::int32_t ops_left) {
   if (ops_left <= 0) return;
-  cloud_.sim().post_in(sim::Time{cfg_.session_gap_s},
+  cloud_.sim().post_in(sim::secs(cfg_.session_gap_s),
                            [this, id, client, delta_bytes, ops_left] {
     ++session_ops_issued_;
     // Alternate edits (appends) and fetches (reads): HWHR interleaving.

@@ -112,7 +112,7 @@ TEST_F(LinkTest, DeliveryPreservesPacketFields) {
   Link link(sim_, LinkId{7}, NodeId{0}, NodeId{1}, 1e6, 0.001, 1 << 20);
   Packet got;
   link.set_deliver([&](Packet&& p) { got = p; });
-  Packet p = make_data(scda::net::FlowId{42}, scda::net::NodeId{3}, scda::net::NodeId{9}, 1000, 500, sim::Time{1.25});
+  Packet p = make_data(scda::net::FlowId{42}, scda::net::NodeId{3}, scda::net::NodeId{9}, 1000, 500, sim::secs(1.25));
   p.rcvw_bytes = 777;
   ASSERT_TRUE(link.enqueue(std::move(p)));
   sim_.run();

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
 #include "net/network.h"
 #include "sim/simulator.h"
 
@@ -242,6 +245,78 @@ TEST_F(RateAllocatorTest, RatesStayNonNegativeAndBounded) {
       EXPECT_LE(alloc.flow_rate(f), 100e6 * 3 + 1);
     }
   }
+}
+
+TEST_F(RateAllocatorTest, OutputIndependentOfInsertionOrder) {
+  // The same flow set registered in different orders must allocate
+  // bit-identically: tick() walks the sorted flow-id index, so neither a
+  // hash map's iteration order (the bug the sorted index replaced) nor the
+  // slot layout of the dense table may leak into the figures. Priorities
+  // and reservations are dyadic so the registration-time link sums are
+  // exact in any order; everything after the first tick is recomputed from
+  // link state alone.
+  struct Spec {
+    std::int64_t id;
+    bool to_b;  // a->b (two links) or a->m (one link)
+    double pri;
+    double res;
+  };
+  const std::vector<Spec> specs = {
+      {1, true, 1.0, 0.0},  {2, false, 2.0, 0.0}, {3, true, 0.5, 8e6},
+      {4, true, 4.0, 0.0},  {5, false, 1.0, 4e6}, {6, true, 2.0, 0.0},
+      {7, false, 0.5, 0.0}, {8, true, 1.0, 2e6},
+  };
+
+  auto run = [&](const std::vector<std::size_t>& order) {
+    auto alloc = make();
+    // Desynchronize slot numbering from id order: the recycled slot goes
+    // to whichever flow happens to register first.
+    alloc.register_flow(net::FlowId{99}, a_, b_);
+    alloc.unregister_flow(net::FlowId{99});
+    for (const std::size_t i : order) {
+      const Spec& s = specs[i];
+      alloc.register_flow(net::FlowId{s.id}, a_, s.to_b ? b_ : m_, s.pri,
+                          s.res);
+    }
+    for (int t = 0; t < 40; ++t) alloc.tick();
+    std::vector<double> out;
+    for (const Spec& s : specs) out.push_back(alloc.flow_rate(net::FlowId{s.id}));
+    out.push_back(alloc.link_rate(am_));
+    out.push_back(alloc.link_rate(mb_));
+    out.push_back(alloc.link_rate_sum(am_));
+    out.push_back(alloc.link_rate_sum(mb_));
+    return out;
+  };
+
+  const auto sorted = run({0, 1, 2, 3, 4, 5, 6, 7});
+  const auto shuffled = run({5, 2, 7, 0, 3, 6, 1, 4});
+  ASSERT_EQ(sorted.size(), shuffled.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    // Bit-exact, not EXPECT_DOUBLE_EQ: a one-ulp divergence here is an
+    // iteration-order leak that would already desynchronize a long run.
+    EXPECT_EQ(std::memcmp(&sorted[i], &shuffled[i], sizeof(double)), 0)
+        << "value " << i << ": " << sorted[i] << " vs " << shuffled[i];
+  }
+}
+
+TEST_F(RateAllocatorTest, SlotRecyclingSurvivesChurn) {
+  // Heavy register/unregister churn through the free list must keep the
+  // registry consistent (find_row on the sorted index) and keep rates
+  // finite and bounded.
+  auto alloc = make();
+  std::int64_t next_id = 1;
+  for (int round = 0; round < 50; ++round) {
+    for (int j = 0; j < 4; ++j)
+      alloc.register_flow(net::FlowId{next_id++}, a_, b_);
+    // Drop the two oldest still-active flows.
+    alloc.unregister_flow(net::FlowId{next_id - 4});
+    alloc.unregister_flow(net::FlowId{next_id - 3});
+    alloc.tick();
+  }
+  EXPECT_EQ(alloc.active_flows(), 100u);
+  EXPECT_FALSE(alloc.has_flow(net::FlowId{197}));
+  EXPECT_TRUE(alloc.has_flow(net::FlowId{199}));
+  EXPECT_GT(alloc.flow_rate(net::FlowId{200}), 0.0);
 }
 
 // --- metric-kind sweep: both variants converge on the basics ---------------

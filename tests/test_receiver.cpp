@@ -115,7 +115,7 @@ TEST_F(ReceiverTest, CompletionRecordsFinishTime) {
 TEST_F(ReceiverTest, AckEchoesSenderTimestamp) {
   auto r = make_receiver();
   auto p = data(0, 1000);
-  p.ts = sim::SimTime{1.75};
+  p.ts = sim::secs(1.75);
   r.handle(std::move(p));
   sim_.run();
   ASSERT_EQ(acks_.size(), 1u);

@@ -45,7 +45,7 @@ TEST_F(SlaTest, RecentlyViolatedWithinCooldown) {
 TEST_F(SlaTest, OtherLinksUnaffected) {
   SlaManager sla(net_);
   sla.on_violation(link_, 120e6, 95e6, scda::sim::secs(5.0));
-  EXPECT_FALSE(sla.recently_violated(net::LinkId{link_.value() + 1}, sim::Time{5.1}));
+  EXPECT_FALSE(sla.recently_violated(net::LinkId{link_.value() + 1}, sim::secs(5.1)));
 }
 
 TEST_F(SlaTest, CapacityBoostAfterThreshold) {

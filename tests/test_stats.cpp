@@ -15,8 +15,8 @@ using transport::FlowRecord;
 FlowRecord flow(std::int64_t size, double start, double finish) {
   FlowRecord r;
   r.size_bytes = size;
-  r.start_time = sim::Time{start};
-  r.finish_time = sim::Time{finish};
+  r.start_time = sim::secs(start);
+  r.finish_time = sim::secs(finish);
   return r;
 }
 

@@ -20,9 +20,11 @@ namespace {
 // --- compile-time contract ---------------------------------------------------
 
 // Zero-cost: a StrongId is layout-identical to its representation and a
-// SimTime to a double; passing either by value is passing the raw rep.
+// SimTime to its int64 nanosecond count; passing either by value is
+// passing the raw rep.
 static_assert(sizeof(net::NodeId) == sizeof(net::NodeId::rep_type));
-static_assert(sizeof(SimTime) == sizeof(double));
+static_assert(sizeof(SimTime) == sizeof(SimTime::rep_type));
+static_assert(sizeof(SimTime) == sizeof(std::int64_t));
 static_assert(std::is_trivially_copyable_v<net::NodeId>);
 static_assert(std::is_trivially_copyable_v<SimTime>);
 
@@ -33,7 +35,10 @@ static_assert(!std::is_convertible_v<net::NodeId, net::LinkId>);
 static_assert(!std::is_convertible_v<net::FlowId, net::NodeId>);
 static_assert(!std::is_convertible_v<double, SimTime>);
 static_assert(!std::is_convertible_v<SimTime, double>);
-static_assert(std::is_constructible_v<SimTime, double>);  // explicit ok
+// No direct construction from raw numbers at all: every double -> time
+// conversion must go through the named (rounding) factories.
+static_assert(!std::is_constructible_v<SimTime, double>);
+static_assert(!std::is_constructible_v<SimTime, std::int64_t>);
 
 TEST(StrongId, ValueRoundTripAndValidity) {
   const net::NodeId n{7};
@@ -84,32 +89,59 @@ TEST(StrongId, HashMatchesRepHashAndWorksInUnorderedContainers) {
 
 // --- SimTime -----------------------------------------------------------------
 
-TEST(SimTime, ArithmeticIsClosedAndMatchesRawDoubles) {
-  const SimTime a{1.25};
-  const SimTime b{0.75};
-  EXPECT_DOUBLE_EQ((a + b).seconds(), 2.0);
-  EXPECT_DOUBLE_EQ((a - b).seconds(), 0.5);
-  EXPECT_DOUBLE_EQ((-a).seconds(), -1.25);
-  EXPECT_DOUBLE_EQ((a * 2.0).seconds(), 2.5);
-  EXPECT_DOUBLE_EQ((2.0 * a).seconds(), 2.5);
-  EXPECT_DOUBLE_EQ((a / 2.0).seconds(), 0.625);
+TEST(SimTime, ArithmeticIsClosedAndExact) {
+  const SimTime a = secs(1.25);
+  const SimTime b = secs(0.75);
+  EXPECT_EQ((a + b).nanos(), 2'000'000'000);
+  EXPECT_EQ((a - b).nanos(), 500'000'000);
+  EXPECT_EQ((-a).nanos(), -1'250'000'000);
+  EXPECT_EQ((a * 2.0).nanos(), 2'500'000'000);
+  EXPECT_EQ((2.0 * a).nanos(), 2'500'000'000);
+  EXPECT_EQ((a / 2.0).nanos(), 625'000'000);
   EXPECT_DOUBLE_EQ(a / b, 1.25 / 0.75);  // ratio is a scalar
 
   SimTime t{};
   t += a;
   t -= b;
+  EXPECT_EQ(t.nanos(), 500'000'000);
   EXPECT_DOUBLE_EQ(t.seconds(), 0.5);
 }
 
+TEST(SimTime, FromSecondsRoundsToNearestNanosecond) {
+  EXPECT_EQ(secs(0.05).nanos(), 50'000'000);
+  EXPECT_EQ(secs(1e-9).nanos(), 1);
+  EXPECT_EQ(secs(0.49e-9).nanos(), 0);    // below half a nanosecond
+  EXPECT_EQ(secs(0.51e-9).nanos(), 1);    // above half a nanosecond
+  EXPECT_EQ(secs(-0.51e-9).nanos(), -1);  // symmetric for negative times
+  EXPECT_EQ(secs(-1.25).nanos(), -1'250'000'000);
+  EXPECT_EQ(nanos(42).nanos(), 42);
+  EXPECT_EQ(SimTime::from_nanos(-7).nanos(), -7);
+}
+
+TEST(SimTime, AccumulationNeverDrifts) {
+  // The bug this representation kills: repeatedly adding a step whose
+  // double-of-seconds encoding is inexact (5e-6 here) made deadlines
+  // drift a few ulps from t0 + n*step, which the link layer had to paper
+  // over with a delivery clamp. Integer nanoseconds accumulate exactly.
+  const SimTime step = secs(5e-6);  // 5000 ns exactly
+  SimTime t{};
+  constexpr int kRoundTrips = 10'000'000;
+  for (int i = 0; i < kRoundTrips; ++i) t += step;
+  EXPECT_EQ(t.nanos(), 5'000 * static_cast<std::int64_t>(kRoundTrips));
+  for (int i = 0; i < kRoundTrips; ++i) t -= step;
+  EXPECT_EQ(t.nanos(), 0);
+  EXPECT_TRUE(t == SimTime::zero());
+}
+
 TEST(SimTime, OrderingTotalAndConsistent) {
-  const SimTime early{1.0};
-  const SimTime late{2.0};
+  const SimTime early = secs(1.0);
+  const SimTime late = secs(2.0);
   EXPECT_TRUE(early < late);
   EXPECT_TRUE(early <= late);
   EXPECT_TRUE(late > early);
   EXPECT_TRUE(late >= early);
   EXPECT_TRUE(early != late);
-  EXPECT_TRUE(SimTime{2.0} == late);
+  EXPECT_TRUE(secs(2.0) == late);
   EXPECT_TRUE(SimTime::zero() < early);
 }
 
@@ -119,29 +151,42 @@ TEST(SimTime, SecsHelperAndDefaultAreExact) {
   EXPECT_TRUE(SimTime{} == SimTime::zero());
 }
 
-TEST(SimTime, HashMatchesDoubleHash) {
-  EXPECT_EQ(std::hash<SimTime>{}(SimTime{3.5}),
-            std::hash<double>{}(3.5));
+TEST(SimTime, HashesTheIntegerRepresentation) {
+  EXPECT_EQ(std::hash<SimTime>{}(secs(3.5)),
+            std::hash<std::int64_t>{}(std::int64_t{3'500'000'000}));
+  // Regression (the double-hash bug): 0.0 and -0.0 seconds are the same
+  // time and must land in the same unordered-container bucket. With
+  // std::hash<double> they were allowed to hash differently; the integer
+  // representation has exactly one encoding for zero.
+  EXPECT_TRUE(secs(0.0) == secs(-0.0));
+  EXPECT_EQ(std::hash<SimTime>{}(secs(0.0)), std::hash<SimTime>{}(secs(-0.0)));
+  std::unordered_set<SimTime> set{secs(0.0), secs(-0.0)};
+  EXPECT_EQ(set.size(), 1u);
 }
 
 // --- %.9g formatting stability ----------------------------------------------
 
 // Every JSON emitter in the tree prints times as %.9g of .seconds().
-// The conversion is observably zero-cost only if that formatting is
-// byte-identical to formatting the raw double the field used to hold.
+// seconds() is a pure function of the integer count, so the formatted
+// bytes are too; lock the representative values the figures emit.
 std::string fmt9g(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.9g", v);
   return buf;
 }
 
-TEST(SimTime, Format9gIsByteIdenticalToRawDouble) {
-  const double samples[] = {0.0,       1.0,          0.05,
-                            1e-9,      123456789.0,  1.0 / 3.0,
-                            5e-6,      2.000000001,  -0.25,
-                            60.0,      1e300,        3.1415926535897931};
+TEST(SimTime, Format9gIsAPureFunctionOfTheCount) {
+  const double samples[] = {0.0,  1.0,         0.05, 1e-9, 123456789.0,
+                            5e-6, 2.000000001, -0.25, 60.0, 3.1415926535897931};
   for (const double v : samples) {
-    EXPECT_EQ(fmt9g(SimTime{v}.seconds()), fmt9g(v)) << "sample " << v;
+    const SimTime t = secs(v);
+    // Deterministic: re-deriving the double from the count is bit-stable.
+    EXPECT_EQ(fmt9g(t.seconds()),
+              fmt9g(static_cast<double>(t.nanos()) * 1e-9))
+        << "sample " << v;
+    // And for values that are exact multiples of 1 ns, the quantized
+    // time formats byte-identically to the raw double.
+    EXPECT_EQ(fmt9g(t.seconds()), fmt9g(v)) << "sample " << v;
   }
 }
 

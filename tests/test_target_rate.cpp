@@ -30,7 +30,7 @@ class TargetRateTest : public ::testing::Test {
     for (int i = 0; i < rounds; ++i) {
       alloc_->tick();
       now_ += dt;
-      ctrl_->update(sim::Time{now_}, [](net::FlowId) { return std::int64_t{1 << 30}; });
+      ctrl_->update(sim::secs(now_), [](net::FlowId) { return std::int64_t{1 << 30}; });
     }
   }
 
@@ -95,10 +95,10 @@ TEST_F(TargetRateTest, DeadlineTargetGrowsAsTimeShrinks) {
   // Remaining bytes stay fixed in this unit test (flow never drains), so
   // the implied target rate must rise as the deadline approaches.
   alloc_->tick();
-  ctrl_->update(sim::Time{0.1}, [&](net::FlowId) { return total; });
+  ctrl_->update(sim::secs(0.1), [&](net::FlowId) { return total; });
   alloc_->tick();
   const double p_early = alloc_->priority(scda::net::FlowId{1});
-  ctrl_->update(sim::Time{1.8}, [&](net::FlowId) { return total; });
+  ctrl_->update(sim::secs(1.8), [&](net::FlowId) { return total; });
   alloc_->tick();
   const double p_late = alloc_->priority(scda::net::FlowId{1});
   EXPECT_GT(p_late, p_early);

@@ -352,4 +352,18 @@ BENCHMARK(BM_TopologyBuild);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The stock `library_build_type` context reports how *libbenchmark* was
+  // compiled, not this binary; record our own toolchain so
+  // scripts/bench_core.sh can assert the measured code was optimized.
+#ifdef NDEBUG
+  benchmark::AddCustomContext("scda_toolchain", "optimized");
+#else
+  benchmark::AddCustomContext("scda_toolchain", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -84,6 +84,20 @@ inline unsigned bench_workers() {
   return runner::default_workers();
 }
 
+/// Set SCDA_BENCH_FLUID=1 to run the SCDA arms in hybrid fluid/packet mode
+/// (docs/fluid_engine.md); SCDA_BENCH_FLUID_THRESHOLD overrides the
+/// elephant byte threshold.
+inline transport::FluidConfig bench_fluid() {
+  transport::FluidConfig f;
+  const char* v = std::getenv("SCDA_BENCH_FLUID");
+  f.enabled = v != nullptr && v[0] == '1';
+  if (const char* t = std::getenv("SCDA_BENCH_FLUID_THRESHOLD")) {
+    const long long n = std::strtoll(t, nullptr, 10);
+    if (n > 0) f.threshold_bytes = n;
+  }
+  return f;
+}
+
 inline ExperimentConfig quick_scaled(const ExperimentConfig& cfg_in) {
   ExperimentConfig cfg = cfg_in;
   if (quick_mode()) {
@@ -234,6 +248,7 @@ inline void run_comparison(const ExperimentConfig& cfg, const FigureIds& figs,
 
   runner::SweepSpec spec;
   spec.base = quick_scaled(cfg);
+  spec.base.fluid = bench_fluid();
   spec.binning = binning;
   spec.arms = {
       {"SCDA", core::PlacementPolicy::kScda, transport::TransportKind::kScda},

@@ -5,16 +5,18 @@
 # commit, build the same benchmark sources there, and fill seed_items_per_s
 # from its medians).
 #
-# Usage: scripts/bench_core.sh [build-dir]   (default: build)
+# The benchmark is built and measured in a dedicated Release tree
+# (default: build-bench) so a Debug working build can never leak into the
+# committed numbers; the recorded toolchain is asserted after the run.
+#
+# Usage: scripts/bench_core.sh [build-dir]   (default: build-bench)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build}"
+BUILD_DIR="${1:-build-bench}"
+cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "$BUILD_DIR" --target bench_micro_core -j2
 BENCH="$BUILD_DIR/bench/bench_micro_core"
-[ -x "$BENCH" ] || {
-  echo "error: $BENCH not built (cmake --build $BUILD_DIR --target bench_micro_core)" >&2
-  exit 1
-}
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
@@ -22,10 +24,15 @@ trap 'rm -f "$RAW"' EXIT
   --benchmark_format=json > "$RAW"
 
 python3 - "$RAW" <<'EOF'
-import json, subprocess, sys
-from datetime import date, timezone, datetime
+import json, sys
+from datetime import timezone, datetime
 
 raw = json.load(open(sys.argv[1]))
+# scda_toolchain is stamped by bench_micro_core itself from NDEBUG — the
+# stock library_build_type only describes how libbenchmark was compiled.
+toolchain = raw["context"].get("scda_toolchain", "unknown")
+assert toolchain == "optimized", (
+    f"refusing to record non-optimized numbers (toolchain={toolchain!r})")
 medians = {
     b["name"].removesuffix("_median"): b["items_per_second"]
     for b in raw["benchmarks"]
@@ -38,7 +45,7 @@ except FileNotFoundError:
     doc = {"benchmarks": {}}
 
 doc["date"] = datetime.now(timezone.utc).date().isoformat()
-doc["toolchain"] = raw["context"].get("library_build_type", "") or "unknown"
+doc["toolchain"] = toolchain
 for name, items in sorted(medians.items()):
     entry = doc["benchmarks"].setdefault(name, {"seed_items_per_s": None})
     entry["current_items_per_s"] = round(items)
@@ -46,5 +53,6 @@ for name, items in sorted(medians.items()):
         entry["speedup"] = round(items / entry["seed_items_per_s"], 2)
 
 json.dump(doc, open("BENCH_core.json", "w"), indent=2)
+open("BENCH_core.json", "a").write("\n")
 print(json.dumps(doc, indent=2))
 EOF

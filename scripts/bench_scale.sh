@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Refresh BENCH_scale.json: the fluid-engine k=32 fat-tree scale run
+# (8192 servers, >= 1M completed flows; see docs/fluid_engine.md).
+#
+# Builds bench_scale in a dedicated Release tree (default: build-bench),
+# runs the committed configuration (bench_scale's defaults), and asserts
+# that the run was optimized, completed at least 1M flows, and drained
+# fully before writing BENCH_scale.json at the repo root.
+#
+# Usage: scripts/bench_scale.sh [build-dir] [extra bench_scale args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-bench}"
+shift || true
+cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "$BUILD_DIR" --target bench_scale -j2
+BENCH="$BUILD_DIR/bench/bench_scale"
+
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+"$BENCH" "$@" > "$OUT"
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+assert doc["toolchain"] == "optimized", (
+    f"refusing to record non-optimized numbers ({doc['toolchain']!r})")
+assert doc["flows_completed"] >= 1_000_000, (
+    f"scale target missed: {doc['flows_completed']} flows completed")
+assert doc["flows_completed"] == doc["flows_started"], "run did not drain"
+
+json.dump(doc, open("BENCH_scale.json", "w"), indent=2)
+open("BENCH_scale.json", "a").write("\n")
+print(json.dumps(doc, indent=2))
+EOF

@@ -77,6 +77,18 @@ Cloud::Cloud(sim::Simulator& sim, CloudConfig cfg)
   transports_.set_completion_callback(
       [this](const transport::FlowRecord& rec) { on_flow_complete(rec); });
 
+  transports_.set_fluid_config(cfg_.fluid);
+  if (cfg_.fluid.enabled) {
+    // Fluid re-rate on every RA epoch: the allocator's end-of-tick hook
+    // fires after all allocations settle, so fluid flows integrate their
+    // old rate up to the epoch and continue at the fresh r_j.
+    allocator_.set_epoch_callback([this] {
+      transports_.fluid().rerate_all(
+          [this](net::FlowId id) { return allocator_.flow_rate(id); },
+          /*epoch=*/true);
+    });
+  }
+
   // Control loop: RM/RA computation every tau (sections IV and VI).
   control_loop_ = std::make_unique<sim::PeriodicProcess>(
       sim_, sim::secs(cfg_.params.tau), [this] { control_tick(); });
@@ -104,6 +116,8 @@ void Cloud::control_tick() {
   // rate targets or deadlines before windows are refreshed below.
   target_ctrl_.update(sim_.now(), [this](net::FlowId id) {
     const transport::FlowRecord& rec = transports_.record(id);
+    if (rec.fluid && transports_.fluid().has_flow(id))
+      return rec.size_bytes - transports_.fluid().delivered_bytes(id);
     const transport::WindowSender* s = transports_.sender(id);
     return s ? rec.size_bytes - s->acked_bytes() : std::int64_t{0};
   });
@@ -486,7 +500,15 @@ void Cloud::start_data_flow(net::NodeId src, net::NodeId dst,
   // flow does not ride on top of stale (higher) sender rates until the
   // next control interval.
   allocator_.refresh_flow_rates();
-  handles.sender->set_rate(allocator_.flow_rate(handles.id));
+  if (handles.sender != nullptr)
+    handles.sender->set_rate(allocator_.flow_rate(handles.id));
+  if (cfg_.fluid.enabled) {
+    // Post-admission re-rate for fluid flows (covers the new flow too):
+    // the non-epoch analogue of update_ongoing_flows() below.
+    transports_.fluid().rerate_all(
+        [this](net::FlowId id) { return allocator_.flow_rate(id); },
+        /*epoch=*/false);
+  }
   transports_.record(handles.id).reserved_bps = reserved_bps;
   update_ongoing_flows();
 
@@ -499,7 +521,9 @@ void Cloud::start_data_flow(net::NodeId src, net::NodeId dst,
       pending_deadline_.erase(dit);
     }
   }
-  active_scda_.emplace(handles.id, handles);
+  // Fluid flows have no sender/receiver to re-window each interval; the
+  // allocator's epoch callback drives their rates instead.
+  if (!handles.fluid) active_scda_.emplace(handles.id, handles);
   ops_.emplace(handles.id, op);
 }
 

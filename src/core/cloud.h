@@ -47,6 +47,9 @@ struct CloudConfig {
   /// Power-model heterogeneity: per-server inefficiency factor drawn
   /// uniformly from [1, 1 + power_heterogeneity] (section VII-D).
   double power_heterogeneity = 0.4;
+  /// Hybrid fluid/packet mode for SCDA data flows (docs/fluid_engine.md):
+  /// elephants advance analytically between RA epochs, mice stay packets.
+  transport::FluidConfig fluid;
 };
 
 /// What a completed flow was doing, reported alongside the flow record.

@@ -241,6 +241,10 @@ void RateAllocator::tick() {
                  {"links", static_cast<double>(links_.size())},
                  {"violations", static_cast<double>(total_sla_violations_)}});
   }
+
+  // Epoch notification last: subscribers (the fluid engine) see the fully
+  // settled allocations of this round.
+  if (on_epoch_) on_epoch_();
 }
 
 }  // namespace scda::core

@@ -124,6 +124,14 @@ class RateAllocator {
     return control_stats_;
   }
 
+  // --- epoch notification ----------------------------------------------------
+  /// Invoked at the end of every tick(), after all link rates and per-flow
+  /// allocations have settled. The fluid engine hooks this to re-rate its
+  /// analytic flows from the fresh allocations (docs/fluid_engine.md).
+  void set_epoch_callback(std::function<void()> fn) {
+    on_epoch_ = std::move(fn);
+  }
+
   // --- SLA -------------------------------------------------------------------
   void set_sla_callback(SlaViolationFn fn) { on_sla_ = std::move(fn); }
   [[nodiscard]] std::uint64_t sla_violations() const noexcept {
@@ -186,6 +194,7 @@ class RateAllocator {
   std::vector<RateProviderFn> r_other_recv_;
 
   SlaViolationFn on_sla_;
+  std::function<void()> on_epoch_;
   std::uint64_t total_sla_violations_ = 0;
   ControlStats control_stats_;
 };

@@ -31,7 +31,10 @@ FatTree::FatTree(sim::Simulator& sim, const FatTreeConfig& cfg)
       aggs_.push_back(agg);
       for (std::size_t i = 0; i < half; ++i) {
         const NodeId core = cores_[a * half + i];
-        net_.add_duplex(agg, core, cfg.link_bps, cfg.dc_delay_s, q);
+        auto [up, down] =
+            net_.add_duplex(agg, core, cfg.link_bps, cfg.dc_delay_s, q);
+        agg_core_up_.push_back(up);
+        core_agg_down_.push_back(down);
       }
     }
     // Edge switches: each connects to every agg in the pod.
@@ -41,8 +44,11 @@ FatTree::FatTree(sim::Simulator& sim, const FatTreeConfig& cfg)
           "edge" + std::to_string(p) + "_" + std::to_string(e));
       edges_.push_back(edge);
       for (std::size_t a = 0; a < half; ++a) {
-        net_.add_duplex(edge, agg(static_cast<std::size_t>(p), a),
-                        cfg.link_bps, cfg.dc_delay_s, q);
+        auto [up, down] =
+            net_.add_duplex(edge, agg(static_cast<std::size_t>(p), a),
+                            cfg.link_bps, cfg.dc_delay_s, q);
+        edge_agg_up_.push_back(up);
+        agg_edge_down_.push_back(down);
       }
       for (std::size_t s = 0; s < half; ++s) {
         const std::size_t si = servers_.size();
@@ -64,7 +70,54 @@ FatTree::FatTree(sim::Simulator& sim, const FatTreeConfig& cfg)
     net_.add_duplex(cl, gateway_, cfg.link_bps, cfg.wan_delay_s, q);
   }
 
-  net_.build_routes();
+  if (cfg.build_routes) net_.build_routes();
+}
+
+namespace {
+/// splitmix64 finalizer — the same per-flow hash ecmp_path() applies, so
+/// analytic and table-driven ECMP agree on "deterministic per flow id".
+std::uint64_t flow_hash(FlowId flow) {
+  std::uint64_t x =
+      static_cast<std::uint64_t>(flow.value()) + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+}  // namespace
+
+std::vector<LinkId> FatTree::server_path(std::size_t src, std::size_t dst,
+                                         FlowId flow) const {
+  if (src >= servers_.size() || dst >= servers_.size())
+    throw std::out_of_range("FatTree::server_path: bad server index");
+  if (src == dst) return {};
+
+  const auto half = static_cast<std::size_t>(cfg_.k / 2);
+  const std::size_t p_s = pod_of_server(src), p_d = pod_of_server(dst);
+  const std::size_t e_s = edge_index_of_server(src);
+  const std::size_t e_d = edge_index_of_server(dst);
+
+  // Same edge switch: two hops, no choice to hash over.
+  if (p_s == p_d && e_s == e_d)
+    return {server_up_[src], server_down_[dst]};
+
+  const std::uint64_t h = flow_hash(flow);
+  if (p_s == p_d) {
+    // Intra-pod: k/2 equal-cost paths, one per aggregation switch.
+    const std::size_t a = h % half;
+    return {server_up_[src], edge_agg_up_[(p_s * half + e_s) * half + a],
+            agg_edge_down_[(p_d * half + e_d) * half + a], server_down_[dst]};
+  }
+  // Inter-pod: (k/2)^2 equal-cost paths, one per core. Core c = a*half+i
+  // attaches to agg a in every pod.
+  const std::size_t c = h % (half * half);
+  const std::size_t a = c / half, i = c % half;
+  return {server_up_[src],
+          edge_agg_up_[(p_s * half + e_s) * half + a],
+          agg_core_up_[(p_s * half + a) * half + i],
+          core_agg_down_[(p_d * half + a) * half + i],
+          agg_edge_down_[(p_d * half + e_d) * half + a],
+          server_down_[dst]};
 }
 
 std::vector<std::vector<LinkId>> all_shortest_paths(const Network& net,

@@ -27,6 +27,11 @@ struct FatTreeConfig {
   double wan_delay_s = 50e-3;
   std::int64_t queue_limit_bytes = 256 * 1500;
 
+  /// Build the dense O(N^2) next-hop tables. Packet-mode traffic needs
+  /// them; fluid-only scale runs (k=32 -> ~9.5k nodes, ~360 MB of tables)
+  /// turn this off and use FatTree::server_path() instead.
+  bool build_routes = true;
+
   [[nodiscard]] std::int32_t pods() const noexcept { return k; }
   [[nodiscard]] std::int32_t edge_per_pod() const noexcept { return k / 2; }
   [[nodiscard]] std::int32_t agg_per_pod() const noexcept { return k / 2; }
@@ -83,12 +88,29 @@ class FatTree {
     return server_down_.at(s);
   }
 
+  /// Analytic server-to-server path (ordered link ids), independent of the
+  /// dense routing tables: the regular fat-tree wiring makes every shortest
+  /// path enumerable in O(1) from the stored link arrays. Among the
+  /// equal-cost choices the aggregation/core hop is picked by splitmix64 of
+  /// the flow id — the same ECMP hash ecmp_path() uses — so paths are
+  /// deterministic per flow. src == dst returns an empty path.
+  [[nodiscard]] std::vector<LinkId> server_path(std::size_t src,
+                                                std::size_t dst,
+                                                FlowId flow) const;
+
  private:
   FatTreeConfig cfg_;
   Network net_;
   NodeId gateway_ = kInvalidNode;
   std::vector<NodeId> cores_, aggs_, edges_, servers_, clients_;
   std::vector<LinkId> server_up_, server_down_;
+  /// Fabric links indexed for analytic routing:
+  ///   edge_agg_up_[(p*half + e)*half + a]   edge e of pod p -> agg a
+  ///   agg_edge_down_[(p*half + e)*half + a] agg a -> edge e of pod p
+  ///   agg_core_up_[(p*half + a)*half + i]   agg a of pod p -> core a*half+i
+  ///   core_agg_down_[(p*half + a)*half + i] core a*half+i -> agg a of pod p
+  std::vector<LinkId> edge_agg_up_, agg_edge_down_;
+  std::vector<LinkId> agg_core_up_, core_agg_down_;
 };
 
 /// Enumerate every shortest path between two nodes (deterministic order).

@@ -29,6 +29,9 @@ struct LinkStats {
   std::uint64_t dropped_packets = 0;
   std::uint64_t dropped_bytes = 0;
   std::uint64_t enqueued_packets = 0;
+  /// Bytes advanced analytically by fluid-mode flows (also counted in
+  /// tx_bytes so utilization/power see one unified byte stream).
+  std::uint64_t fluid_bytes = 0;
 };
 
 class Link {
@@ -110,6 +113,29 @@ class Link {
     return interval_arrived_bytes_;
   }
 
+  // --- fluid-mode accounting (docs/fluid_engine.md) -----------------------
+  // Fluid flows never enqueue packets; they charge the link in byte deltas
+  // at each rate-allocation epoch. The bytes land in tx_bytes (utilization,
+  // power) and in the L(t) interval counter (so the simplified rate metric
+  // sees fluid load), but never in Q(t) — a fluid-only link is queueless by
+  // construction.
+  /// Charge `bytes` of analytically-advanced fluid traffic to the link.
+  void add_fluid_bytes(std::int64_t bytes) noexcept {
+    stats_.fluid_bytes += static_cast<std::uint64_t>(bytes);
+    stats_.tx_bytes += static_cast<std::uint64_t>(bytes);
+    interval_arrived_bytes_ += bytes;
+  }
+  /// A fluid flow starts/stops crossing the link (no queue entry).
+  void fluid_flow_join() noexcept { ++fluid_flows_; }
+  void fluid_flow_leave() noexcept {
+    assert(fluid_flows_ > 0 && "fluid flow count underflow");
+    --fluid_flows_;
+  }
+  /// Fluid flows currently crossing the link.
+  [[nodiscard]] std::int32_t fluid_flows() const noexcept {
+    return fluid_flows_;
+  }
+
   [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
   /// Queue-structure perf counters (pool high-water mark, SJF index use).
   [[nodiscard]] const PacketQueue::Perf& queue_perf() const noexcept {
@@ -166,6 +192,7 @@ class Link {
   bool delivery_armed_ = false;
   std::int64_t queued_bytes_ = 0;
   std::int64_t interval_arrived_bytes_ = 0;
+  std::int32_t fluid_flows_ = 0;
   bool transmitting_ = false;
 
   DeliverFn deliver_;

@@ -43,6 +43,19 @@ class Network {
   /// before any traffic is injected.
   void build_routes();
 
+  /// Whether the dense next-hop tables exist. Large fluid-only topologies
+  /// (k=32 fat-tree: ~9.5k nodes -> ~90M table entries) skip build_routes()
+  /// and compute paths analytically instead.
+  [[nodiscard]] bool routes_built() const noexcept { return routes_built_; }
+  /// Total next-hop table entries (0 when routes were never built). The
+  /// scale guard tests assert this stays 0 for analytic-route topologies so
+  /// builder memory remains O(links).
+  [[nodiscard]] std::size_t route_table_entries() const noexcept {
+    std::size_t n = 0;
+    for (const auto& row : next_hop_) n += row.size();
+    return n;
+  }
+
   // --- access ---------------------------------------------------------------
   [[nodiscard]] std::size_t node_count() const noexcept {
     return nodes_.size();

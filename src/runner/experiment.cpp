@@ -32,6 +32,7 @@ stats::RunResult run_once(const ExperimentConfig& cfg,
   cc.placement = placement;
   cc.transport = transport;
   cc.enable_replication = cfg.enable_replication;
+  cc.fluid = cfg.fluid;
 
   core::Cloud cloud(sim, cc);
   stats::FlowStatsCollector collector(cloud);

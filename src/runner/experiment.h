@@ -38,6 +38,8 @@ struct ExperimentConfig {
   bool enable_replication = false;
   /// Metrics snapshot + optional flight-recorder trace (docs/observability.md).
   obs::ObsConfig obs;
+  /// Hybrid fluid/packet mode (docs/fluid_engine.md).
+  transport::FluidConfig fluid;
 };
 
 struct AfctBinning {

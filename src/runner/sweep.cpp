@@ -70,6 +70,12 @@ void apply_param(ExperimentConfig& cfg, const std::string& name,
     cfg.throughput_interval_s = value;
     return;
   }
+  // Hybrid fluid/packet mode (docs/fluid_engine.md).
+  if (name == "fluid") { cfg.fluid.enabled = value != 0; return; }
+  if (name == "fluid_threshold_bytes") {
+    cfg.fluid.threshold_bytes = static_cast<std::int64_t>(value);
+    return;
+  }
   throw std::invalid_argument("apply_param: unknown parameter '" + name +
                               "' (use SweepSpec::custom_param)");
 }

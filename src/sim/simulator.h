@@ -75,6 +75,15 @@ class Simulator {
 
   void cancel(EventHandle h) { queue_.cancel(h); }
 
+  /// Cancel-and-rearm in one call: the moving-deadline idiom (fluid flow
+  /// completions, RTO restarts). Cancelling a stale or invalid handle is a
+  /// no-op, so callers can pass the previous handle unconditionally.
+  template <typename F>
+  [[nodiscard]] EventHandle reschedule_at(EventHandle h, Time t, F&& f) {
+    queue_.cancel(h);
+    return schedule_at(t, std::forward<F>(f));
+  }
+
   /// Run until the queue drains or the clock passes `until`.
   /// Returns the number of events executed.
   std::uint64_t run_until(Time until) {

@@ -74,6 +74,21 @@ void collect_run_metrics(obs::MetricsRegistry& reg, const sim::Simulator& sim,
   reg.add("transport.delivered_bytes",
           static_cast<double>(tm.total_delivered_bytes()));
 
+  // --- hybrid fluid/packet engine --------------------------------------------
+  // Registered only when the mode is on: runs without it keep the exact
+  // historical metric set, so the committed expected/ artifacts stay
+  // byte-identical.
+  if (tm.fluid_config().enabled) {
+    const transport::FluidStats& fs = tm.fluid().stats();
+    reg.add("transport.fluid_flows_started", static_cast<double>(fs.started));
+    reg.add("transport.fluid_flows_completed",
+            static_cast<double>(fs.completed));
+    reg.add("transport.fluid_epochs", static_cast<double>(fs.epochs));
+    reg.add("transport.fluid_rerates", static_cast<double>(fs.rerates));
+    reg.add("transport.mode_switches",
+            static_cast<double>(tm.mode_switches()));
+  }
+
   // --- control plane (RM/RA round cost) + SLA -------------------------------
   const core::RateAllocator::ControlStats& cs =
       cloud.allocator().control_stats();

@@ -41,6 +41,9 @@ struct FlowRecord {
   double priority = 1.0;
   /// Reserved minimum rate M_j in bps (paper section IV-C); 0 = none.
   double reserved_bps = 0.0;
+  /// Advanced analytically by the fluid engine (no sender/receiver agents,
+  /// no packets); see fluid.h for the mode decision.
+  bool fluid = false;
 
   [[nodiscard]] bool finished() const noexcept {
     return finish_time >= sim::Time{};

@@ -1,0 +1,176 @@
+#include "transport/fluid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace scda::transport {
+
+std::size_t FluidEngine::find_row(net::FlowId id) const noexcept {
+  const auto it = std::lower_bound(
+      by_id_.begin(), by_id_.end(), id,
+      [](const IndexEntry& e, net::FlowId v) { return e.id < v; });
+  if (it == by_id_.end() || it->id != id) return kNoRow;
+  return static_cast<std::size_t>(it - by_id_.begin());
+}
+
+std::uint32_t FluidEngine::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t s = free_slots_.back();
+    free_slots_.pop_back();
+    return s;
+  }
+  size_.push_back(0);
+  delivered_.push_back(0);
+  accounted_.push_back(0);
+  rate_.push_back(0);
+  last_update_.emplace_back();
+  latency_.emplace_back();
+  completion_.emplace_back();
+  path_.emplace_back();
+  return static_cast<std::uint32_t>(size_.size() - 1);
+}
+
+void FluidEngine::start(net::FlowId id, std::int64_t size_bytes,
+                        double rate_bps,
+                        const std::vector<net::LinkId>& path) {
+  if (size_bytes < 0)
+    throw std::invalid_argument("FluidEngine::start: negative size");
+  const std::size_t row = find_row(id);
+  if (row != kNoRow)
+    throw std::invalid_argument("FluidEngine::start: duplicate flow id");
+
+  const std::uint32_t slot = acquire_slot();
+  size_[slot] = size_bytes;
+  delivered_[slot] = 0;
+  accounted_[slot] = 0;
+  rate_[slot] = std::max(rate_bps, 0.0);
+  last_update_[slot] = net_.sim().now();
+  completion_[slot] = sim::EventHandle{};
+  path_[slot].assign(path.begin(), path.end());
+
+  sim::Time lat{};
+  for (const net::LinkId l : path) {
+    lat = lat + net_.link(l).prop_delay();
+    net_.link(l).fluid_flow_join();
+  }
+  latency_[slot] = lat;
+
+  // Ids are issued monotonically, so the common insert is a push_back.
+  const auto it = std::lower_bound(
+      by_id_.begin(), by_id_.end(), id,
+      [](const IndexEntry& e, net::FlowId v) { return e.id < v; });
+  by_id_.insert(it, IndexEntry{id, slot});
+
+  ++stats_.started;
+  arm_completion(id, slot);
+}
+
+void FluidEngine::advance(std::uint32_t slot) {
+  const sim::Time now = net_.sim().now();
+  const sim::Time dt = now - last_update_[slot];
+  last_update_[slot] = now;
+  if (dt <= sim::Time{} || rate_[slot] <= 0) return;
+
+  delivered_[slot] =
+      std::min(static_cast<double>(size_[slot]),
+               delivered_[slot] + rate_[slot] * dt.seconds() / 8.0);
+  const auto whole = static_cast<std::int64_t>(delivered_[slot]);
+  const std::int64_t newly = whole - accounted_[slot];
+  if (newly > 0) {
+    for (const net::LinkId l : path_[slot]) net_.link(l).add_fluid_bytes(newly);
+    accounted_[slot] = whole;
+  }
+}
+
+void FluidEngine::arm_completion(net::FlowId id, std::uint32_t slot) {
+  const double remaining =
+      static_cast<double>(size_[slot]) - delivered_[slot];
+  if (remaining <= 0) {
+    // Injection already finished under an earlier rate; the completion
+    // event armed then (inject time + latency) is still correct. A
+    // zero-byte flow has no such event yet — complete it after latency.
+    if (!completion_[slot].valid()) {
+      completion_[slot] = net_.sim().schedule_at(
+          net_.sim().now() + latency_[slot], [this, id] { complete(id); });
+    }
+    return;
+  }
+  if (rate_[slot] <= 0) {
+    // Parked: no progress until a re-rate revives the flow.
+    net_.sim().cancel(completion_[slot]);
+    completion_[slot] = sim::EventHandle{};
+    return;
+  }
+  const sim::Time t = net_.sim().now() + sim::secs(remaining * 8.0 / rate_[slot]) +
+                      latency_[slot];
+  completion_[slot] = net_.sim().reschedule_at(completion_[slot], t,
+                                               [this, id] { complete(id); });
+}
+
+void FluidEngine::set_rate(net::FlowId id, double rate_bps) {
+  const std::size_t row = find_row(id);
+  if (row == kNoRow)
+    throw std::invalid_argument("FluidEngine::set_rate: unknown flow");
+  const std::uint32_t slot = by_id_[row].slot;
+  advance(slot);
+  rate_[slot] = std::max(rate_bps, 0.0);
+  ++stats_.rerates;
+  arm_completion(id, slot);
+}
+
+void FluidEngine::rerate_all(
+    const std::function<double(net::FlowId)>& rate_of, bool epoch) {
+  if (epoch) ++stats_.epochs;
+  // Ascending-id order; set_rate never mutates the index, so plain
+  // iteration is safe (completions only run from scheduled events).
+  for (std::size_t row = 0; row < by_id_.size(); ++row) {
+    const net::FlowId id = by_id_[row].id;
+    const std::uint32_t slot = by_id_[row].slot;
+    advance(slot);
+    rate_[slot] = std::max(rate_of(id), 0.0);
+    ++stats_.rerates;
+    arm_completion(id, slot);
+  }
+}
+
+void FluidEngine::complete(net::FlowId id) {
+  const std::size_t row = find_row(id);
+  assert(row != kNoRow && "fluid completion for unknown flow");
+  const std::uint32_t slot = by_id_[row].slot;
+
+  // Force the exact byte total: the event time was computed from the same
+  // remaining/rate pair, so any difference is float residue, not model
+  // error. Charge the tail to the links before they lose the flow.
+  const std::int64_t tail = size_[slot] - accounted_[slot];
+  for (const net::LinkId l : path_[slot]) {
+    if (tail > 0) net_.link(l).add_fluid_bytes(tail);
+    net_.link(l).fluid_flow_leave();
+  }
+  delivered_[slot] = static_cast<double>(size_[slot]);
+  accounted_[slot] = size_[slot];
+  completion_[slot] = sim::EventHandle{};  // fired; nothing to cancel
+
+  by_id_.erase(by_id_.begin() + static_cast<std::ptrdiff_t>(row));
+  free_slots_.push_back(slot);
+  ++stats_.completed;
+
+  if (on_complete_) on_complete_(id);
+}
+
+std::int64_t FluidEngine::delivered_bytes(net::FlowId id) const {
+  const std::size_t row = find_row(id);
+  if (row == kNoRow)
+    throw std::invalid_argument("FluidEngine::delivered_bytes: unknown flow");
+  return static_cast<std::int64_t>(delivered_[by_id_[row].slot]);
+}
+
+double FluidEngine::rate(net::FlowId id) const {
+  const std::size_t row = find_row(id);
+  if (row == kNoRow)
+    throw std::invalid_argument("FluidEngine::rate: unknown flow");
+  return rate_[by_id_[row].slot];
+}
+
+}  // namespace scda::transport

@@ -89,6 +89,22 @@ ScdaFlowHandles TransportManager::start_scda_flow(
   FlowRecord& rec = new_record(src, dst, size_bytes, TransportKind::kScda,
                                content);
   rec.priority = priority;
+
+  // Mode decision (docs/fluid_engine.md): elephants at or above the
+  // threshold advance analytically in the fluid engine; mice keep packet
+  // fidelity (counted as mode switches — the hybrid actually hybridized).
+  if (fluid_config_.enabled) {
+    if (size_bytes >= fluid_config_.threshold_bytes) {
+      rec.fluid = true;
+      fluid_.start(rec.id, size_bytes, initial_rate_bps, net_.path(src, dst));
+      ScdaFlowHandles out;
+      out.id = rec.id;
+      out.fluid = true;
+      return out;
+    }
+    ++mode_switches_;
+  }
+
   const double rtt = base_rtt(src, dst);
 
   // rcvw = downlink rate x RTT (paper Fig. 3, step 8).

@@ -11,6 +11,7 @@
 
 #include "net/network.h"
 #include "transport/flow.h"
+#include "transport/fluid.h"
 #include "transport/host.h"
 #include "transport/receiver.h"
 #include "transport/sender.h"
@@ -18,16 +19,26 @@
 namespace scda::transport {
 
 /// Live handles for an SCDA flow so the control plane can drive rate and
-/// window updates each control interval (paper section VIII-D).
+/// window updates each control interval (paper section VIII-D). Fluid-mode
+/// flows have no agents: sender/receiver stay null and `fluid` is set —
+/// their rate updates go through TransportManager::fluid() instead.
 struct ScdaFlowHandles {
   net::FlowId id = net::kInvalidFlow;
   ScdaSender* sender = nullptr;
   Receiver* receiver = nullptr;
+  bool fluid = false;
 };
 
 class TransportManager {
  public:
-  explicit TransportManager(net::Network& net) : net_(net) {}
+  explicit TransportManager(net::Network& net) : net_(net), fluid_(net) {
+    fluid_.set_completion_callback([this](net::FlowId id) {
+      FlowRecord& rec = *records_.at(id.index());
+      rec.finish_time = net_.sim().now();
+      total_delivered_bytes_ += rec.size_bytes;
+      finish_flow(rec);
+    });
+  }
 
   TransportManager(const TransportManager&) = delete;
   TransportManager& operator=(const TransportManager&) = delete;
@@ -49,6 +60,22 @@ class TransportManager {
   void set_tcp_config(const TcpConfig& c) noexcept { tcp_config_ = c; }
   [[nodiscard]] const TcpConfig& tcp_config() const noexcept {
     return tcp_config_;
+  }
+
+  /// Enable/tune the hybrid fluid/packet mode for SCDA flows: flows of at
+  /// least `threshold_bytes` advance analytically between RA epochs, mice
+  /// keep per-packet fidelity (docs/fluid_engine.md). TCP flows are never
+  /// fluid — their rate comes from congestion control, not the allocator.
+  void set_fluid_config(const FluidConfig& c) noexcept { fluid_config_ = c; }
+  [[nodiscard]] const FluidConfig& fluid_config() const noexcept {
+    return fluid_config_;
+  }
+  [[nodiscard]] FluidEngine& fluid() noexcept { return fluid_; }
+  [[nodiscard]] const FluidEngine& fluid() const noexcept { return fluid_; }
+  /// Flows that fell below the fluid threshold and took the packet path
+  /// while fluid mode was enabled (the mice half of the mode decision).
+  [[nodiscard]] std::uint64_t mode_switches() const noexcept {
+    return mode_switches_;
   }
 
   /// Start a TCP flow (RandTCP baseline). Returns its id.
@@ -115,6 +142,9 @@ class TransportManager {
   FlowCompletionFn on_complete_;
   std::int64_t tcp_rcvw_bytes_ = std::int64_t{1} << 24;  // 16 MB
   TcpConfig tcp_config_;
+  FluidEngine fluid_;
+  FluidConfig fluid_config_;
+  std::uint64_t mode_switches_ = 0;
   std::int64_t total_delivered_bytes_ = 0;
 
   std::unordered_map<net::NodeId, std::unique_ptr<Host>> hosts_;

@@ -61,4 +61,14 @@ FlowRequest ParetoPoissonWorkload::next(sim::Rng& rng) {
   return r;
 }
 
+FlowRequest ScaleWorkload::next(sim::Rng& rng) {
+  FlowRequest r;
+  r.inter_arrival_s = rng.exponential(1.0 / cfg_.arrival_rate);
+  r.size_bytes = static_cast<std::int64_t>(
+      rng.bounded_pareto(static_cast<double>(cfg_.min_bytes), cfg_.shape,
+                         static_cast<double>(cfg_.cap_bytes)));
+  r.content_class = ContentClass::kSemiInteractive;
+  return r;
+}
+
 }  // namespace scda::workload

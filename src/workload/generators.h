@@ -120,4 +120,32 @@ class ParetoPoissonWorkload final : public Generator {
   ParetoPoissonConfig cfg_;
 };
 
+// ---------------------------------------------------------------------------
+
+struct ScaleWorkloadConfig {
+  /// Aggregate flow arrival rate across the fabric (flows/sec). The scale
+  /// bench uses ~1e4 to reach 1M flows in ~100 simulated seconds.
+  double arrival_rate = 10000.0;
+  /// Bounded-Pareto elephant sizes [min, cap] — every flow is above the
+  /// default fluid threshold, so a fluid run is all-analytic.
+  std::int64_t min_bytes = 2 * 1000 * 1000;
+  std::int64_t cap_bytes = 200 * 1000 * 1000;
+  double shape = 1.4;
+};
+
+/// Elephants-only server-to-server traffic for the k=32 scale bench
+/// (BENCH_scale.json): Poisson arrivals at datacenter aggregate rates,
+/// heavy-tailed transfer sizes sized for the fluid engine.
+class ScaleWorkload final : public Generator {
+ public:
+  explicit ScaleWorkload(ScaleWorkloadConfig cfg = {}) : cfg_(cfg) {}
+  [[nodiscard]] FlowRequest next(sim::Rng& rng) override;
+  [[nodiscard]] const ScaleWorkloadConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  ScaleWorkloadConfig cfg_;
+};
+
 }  // namespace scda::workload

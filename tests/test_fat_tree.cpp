@@ -112,6 +112,111 @@ TEST_F(FatTreeTest, PinnedEcmpFlowDeliversData) {
   EXPECT_EQ(done, 1);
 }
 
+// ------------------------------------------------------ scale guards ----
+//
+// The fluid scale bench (bench_scale, BENCH_scale.json) builds k=16/k=32
+// fabrics with build_routes=false and analytic FatTree::server_path. These
+// tests pin the construction counts, prove builder memory stays O(links)
+// (no next-hop tables), and validate the analytic paths against the
+// BFS-enumerated shortest paths.
+
+TEST(FatTreeScale, K16CountsWithoutRouteTables) {
+  sim::Simulator sim;
+  FatTreeConfig cfg;
+  cfg.k = 16;
+  cfg.n_clients = 0;
+  cfg.build_routes = false;
+  FatTree ft(sim, cfg);
+  EXPECT_EQ(ft.servers().size(), 1024u);  // k^3/4
+  EXPECT_EQ(ft.cores().size(), 64u);      // (k/2)^2
+  // gw + cores + k*k pod switches + servers
+  EXPECT_EQ(ft.net().node_count(), 1u + 64u + 256u + 1024u);
+  // duplex: (k/2)^2 core-gw + 3*(k^3/4) fabric/server = 3136 -> x2
+  EXPECT_EQ(ft.net().link_count(), 6272u);
+  EXPECT_FALSE(ft.net().routes_built());
+  EXPECT_EQ(ft.net().route_table_entries(), 0u);
+}
+
+TEST(FatTreeScale, K32CountsWithoutRouteTables) {
+  sim::Simulator sim;
+  FatTreeConfig cfg;
+  cfg.k = 32;
+  cfg.n_clients = 0;
+  cfg.build_routes = false;
+  FatTree ft(sim, cfg);
+  EXPECT_EQ(ft.servers().size(), 8192u);   // k^3/4
+  EXPECT_EQ(ft.cores().size(), 256u);      // (k/2)^2
+  EXPECT_EQ(ft.net().node_count(), 1u + 256u + 1024u + 8192u);
+  // duplex: 256 core-gw + 3*8192 = 24832 -> 49664 unidirectional, the
+  // committed BENCH_scale.json "links" value.
+  EXPECT_EQ(ft.net().link_count(), 49664u);
+  // O(links) builder memory: a dense next-hop table at this scale would
+  // be ~9.5k x 9.5k entries; analytic routing never materializes it.
+  EXPECT_EQ(ft.net().route_table_entries(), 0u);
+}
+
+TEST(FatTreeScale, ServerPathIsContiguousAndTiered) {
+  sim::Simulator sim;
+  FatTreeConfig cfg;
+  cfg.k = 16;
+  cfg.n_clients = 0;
+  cfg.build_routes = false;
+  FatTree ft(sim, cfg);
+  const std::size_t n = ft.servers().size();
+
+  auto check = [&](std::size_t src, std::size_t dst, std::size_t hops) {
+    const auto p = ft.server_path(src, dst, FlowId{1});
+    ASSERT_EQ(p.size(), hops) << src << "->" << dst;
+    EXPECT_EQ(ft.net().link(p.front()).from(), ft.servers()[src]);
+    EXPECT_EQ(ft.net().link(p.back()).to(), ft.servers()[dst]);
+    for (std::size_t i = 1; i < p.size(); ++i)
+      EXPECT_EQ(ft.net().link(p[i]).from(), ft.net().link(p[i - 1]).to());
+  };
+  check(0, 1, 2);          // same edge
+  check(0, 8, 4);          // same pod, different edge (k/2 per edge)
+  check(0, n - 1, 6);      // inter-pod, via core
+  check(n - 1, 0, 6);      // and the reverse direction
+  EXPECT_TRUE(ft.server_path(3, 3, FlowId{1}).empty());
+  EXPECT_THROW((void)ft.server_path(0, n, FlowId{1}), std::out_of_range);
+}
+
+TEST(FatTreeScale, ServerPathMatchesBfsShortestPaths) {
+  sim::Simulator sim;
+  FatTreeConfig cfg;
+  cfg.k = 8;
+  cfg.n_clients = 0;
+  cfg.build_routes = false;
+  FatTree ft(sim, cfg);
+  // Every analytic path must be one of the BFS-enumerated equal-cost
+  // shortest paths for that pair.
+  const std::size_t pairs[][2] = {{0, 1}, {0, 9}, {0, 127}, {63, 64}};
+  for (const auto& pr : pairs) {
+    const auto all = all_shortest_paths(ft.net(), ft.servers()[pr[0]],
+                                        ft.servers()[pr[1]]);
+    const std::set<std::vector<LinkId>> legal(all.begin(), all.end());
+    for (FlowId f{0}; f < FlowId{16}; ++f) {
+      const auto p = ft.server_path(pr[0], pr[1], f);
+      EXPECT_EQ(p, ft.server_path(pr[0], pr[1], f));  // deterministic
+      EXPECT_TRUE(legal.count(p)) << pr[0] << "->" << pr[1];
+    }
+  }
+}
+
+TEST(FatTreeScale, ServerPathSpreadsAcrossCores) {
+  sim::Simulator sim;
+  FatTreeConfig cfg;
+  cfg.k = 16;
+  cfg.n_clients = 0;
+  cfg.build_routes = false;
+  FatTree ft(sim, cfg);
+  std::set<std::vector<LinkId>> chosen;
+  for (FlowId f{0}; f < FlowId{512}; ++f)
+    chosen.insert(ft.server_path(0, ft.servers().size() - 1, f));
+  // (k/2)^2 = 64 equal-cost inter-pod paths; 512 hashed flows should
+  // cover nearly all of them.
+  EXPECT_GE(chosen.size(), 48u);
+}
+
 TEST_F(FatTreeTest, K6Scales) {
   FatTreeConfig big;
   big.k = 6;

@@ -45,6 +45,10 @@ void usage() {
       "  --agg N --tors N --servers N --clients N    topology shape\n"
       "  --tau SECONDS             control interval (default 0.05)\n"
       "  --metric exact|simplified rate metric (default exact)\n"
+      "  --fluid 0|1               hybrid fluid/packet mode: elephants\n"
+      "                            advance analytically between RA epochs\n"
+      "                            (default 0; docs/fluid_engine.md)\n"
+      "  --fluid-threshold-bytes B fluid/packet split point (default 1 MiB)\n"
       "  --rscale-mbps R           dormant-server threshold (default off)\n"
       "  --replicate 0|1           replicate written content (default 1)\n"
       "  --seed N                  RNG seed\n"
@@ -147,6 +151,9 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("unknown metric: " + metric);
     }
     cfg.enable_replication = args.get_bool("replicate", true);
+    cfg.fluid.enabled = args.get_bool("fluid", false);
+    cfg.fluid.threshold_bytes =
+        args.get_int("fluid-threshold-bytes", cfg.fluid.threshold_bytes);
     if (policy == "randtcp") {
       cfg.placement = core::PlacementPolicy::kRandom;
       cfg.transport = transport::TransportKind::kTcp;

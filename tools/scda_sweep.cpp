@@ -47,6 +47,9 @@ void usage() {
       "  --k FACTOR                agg<->core bandwidth factor (default 3)\n"
       "  --agg N --tors N --servers N --clients N    topology shape\n"
       "  --tau SECONDS             control interval (default 0.05)\n"
+      "  --fluid 0|1               hybrid fluid/packet mode (default 0;\n"
+      "                            also available as a --grid axis)\n"
+      "  --fluid-threshold-bytes B fluid/packet split point (default 1 MiB)\n"
       "  --seed N                  base RNG seed (replication r derives\n"
       "                            its seed from it; r0 uses it verbatim)\n"
       "  --json                    one JSON object per (cell, arm) instead\n"
@@ -117,6 +120,9 @@ int main(int argc, char** argv) {
     cfg.topology.n_clients =
         static_cast<std::int32_t>(args.get_int("clients", 16));
     cfg.params.tau = args.get_double("tau", 0.05);
+    cfg.fluid.enabled = args.get_bool("fluid", false);
+    cfg.fluid.threshold_bytes =
+        args.get_int("fluid-threshold-bytes", cfg.fluid.threshold_bytes);
     cfg.driver.end_time_s = args.get_double("duration", 30.0);
     cfg.sim_time_s = cfg.driver.end_time_s + args.get_double("drain", 15.0);
     cfg.driver.read_fraction = args.get_double("read-fraction", 0.3);

@@ -1,7 +1,7 @@
 // Ablation: energy-aware server selection (paper sections VII-C and VII-D).
 //
 // Three configurations under the same passive-heavy workload:
-//   (a) plain SCDA                      — no dormant policy, rate-only ranking
+//   (a) plain SCDA                      — no dormant policy, rate ranking
 //   (b) + dormant policy (R_scale > 0)  — passive content parked on idle
 //                                         servers which then scale down
 //   (c) + power-aware ranking           — candidates ranked by rate/power

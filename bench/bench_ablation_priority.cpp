@@ -32,13 +32,17 @@ core::CloudConfig small_cloud() {
 }
 
 void weighted_shares() {
-  std::printf("-- weighted max-min shares (one bottleneck, weights 1/2/4) --\n");
+  std::printf(
+      "-- weighted max-min shares (one bottleneck, weights 1/2/4) --\n");
   sim::Simulator sim(5);
   core::Cloud cloud(sim, small_cloud());
   // All from one client: its uplink is the shared bottleneck.
-  cloud.write(0, 1, util::megabytes(50), transport::ContentClass::kSemiInteractive, 1.0);
-  cloud.write(0, 2, util::megabytes(50), transport::ContentClass::kSemiInteractive, 2.0);
-  cloud.write(0, 3, util::megabytes(50), transport::ContentClass::kSemiInteractive, 4.0);
+  cloud.write(0, 1, util::megabytes(50),
+              transport::ContentClass::kSemiInteractive, 1.0);
+  cloud.write(0, 2, util::megabytes(50),
+              transport::ContentClass::kSemiInteractive, 2.0);
+  cloud.write(0, 3, util::megabytes(50),
+              transport::ContentClass::kSemiInteractive, 4.0);
   sim.run_until(scda::sim::secs(2.0));
   const double r1 = cloud.allocator().flow_rate(scda::net::FlowId{0});
   const double r2 = cloud.allocator().flow_rate(scda::net::FlowId{1});

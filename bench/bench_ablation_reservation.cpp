@@ -45,8 +45,10 @@ double tagged_fct(int background_flows, double reserved_bps,
 
 int main(int argc, char** argv) {
   scda::bench::init_cli(argc, argv);
-  std::printf("==== ablation: explicit minimum-rate reservation (sec IV-C) ====\n");
-  std::printf("# tagged flow: 10 MB; reservation: 50 Mbps; background: 40 MB flows\n");
+  std::printf(
+      "==== ablation: explicit minimum-rate reservation (sec IV-C) ====\n");
+  std::printf(
+      "# tagged flow: 10 MB; reservation: 50 Mbps; background: 40 MB flows\n");
   std::printf("%-12s %-20s %-20s\n", "bg_flows", "fct_no_reservation",
               "fct_with_reservation");
   const std::vector<int> bgs = {0, 2, 4, 8};

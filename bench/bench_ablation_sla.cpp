@@ -88,7 +88,8 @@ MitigationResult mitigation(bool boost) {
 
 int main(int argc, char** argv) {
   scda::bench::init_cli(argc, argv);
-  std::printf("==== ablation: SLA violation detection & mitigation (sec IV-A) ====\n");
+  std::printf(
+      "==== ablation: SLA violation detection & mitigation (sec IV-A) ====\n");
   const std::vector<double> taus = {0.01, 0.025, 0.05, 0.1};
   runner::WorkerPool pool(bench::bench_workers());
   std::vector<DetectionResult> detect(taus.size());

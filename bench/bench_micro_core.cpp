@@ -78,7 +78,8 @@ void BM_EventLoopThroughput(benchmark::State& state) {
     std::vector<Chain> cs;
     cs.reserve(static_cast<std::size_t>(chains));
     for (int i = 0; i < chains; ++i) {
-      cs.push_back(Chain{&sim, &fired, kEvents / static_cast<std::uint64_t>(chains),
+      cs.push_back(Chain{&sim, &fired,
+                         kEvents / static_cast<std::uint64_t>(chains),
                          1e-3 * (1.0 + 1e-4 * i)});
     }
     for (auto& c : cs) sim.post_in(sim::secs(c.period), [&c] { c.fire(); });

@@ -1,0 +1,258 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: compare a fresh bench_micro_core run
+against the committed BENCH_core.json and fail on a real slowdown.
+
+Raw items/s from a shared CI box are not comparable to the committed
+numbers: docs/perf.md documents +/-15% swings between runs of the same
+binary, and a different runner generation can shift every number 2x in
+either direction. The committed file handles this by trusting ratios,
+and this gate automates the same reading:
+
+  1. ratio[b]    = current_run[b] / baseline[b]  for every benchmark
+                   present in both the run and BENCH_core.json.
+  2. drift       = median(ratio.values()).  Any one change touches a
+                   minority of the suite, so the median ratio isolates
+                   how much faster or slower the *host* is, exactly the
+                   "estimate host drift from benchmarks the release did
+                   not touch" step docs/perf.md performs by hand.
+  3. adjusted[b] = ratio[b] / drift.  A benchmark fails the gate when
+                   adjusted[b] < threshold (default 0.75, i.e. more
+                   than a 25% regression beyond host drift).
+
+The input is the google-benchmark JSON of a 3-repetition
+aggregates-only run (the same invocation scripts/bench_core.sh uses to
+refresh the baseline); only the *_median rows are read. The run must
+carry scda_toolchain == "optimized" -- debug numbers are refused rather
+than compared.
+
+Usage:
+  bench_micro_core --benchmark_repetitions=3 \
+      --benchmark_report_aggregates_only=true \
+      --benchmark_format=json > run.json
+  scripts/bench_gate.py --input run.json            # gate vs BENCH_core.json
+  scripts/bench_gate.py --input run.json --threshold 0.6
+  scripts/bench_gate.py --self-test                 # fixture suite (ctest)
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+DEFAULT_THRESHOLD = 0.75  # adjusted ratio below this => >25% regression
+MIN_SHARED = 4  # fewer shared benchmarks than this makes the median drift
+# estimate meaningless; refuse to gate instead of passing vacuously.
+
+
+def load_run_medians(raw):
+    """Extract {name: items_per_s} medians from google-benchmark JSON."""
+    toolchain = raw.get("context", {}).get("scda_toolchain", "unknown")
+    if toolchain != "optimized":
+        raise SystemExit(
+            f"bench_gate: refusing to gate non-optimized numbers "
+            f"(scda_toolchain={toolchain!r}); build the benchmark in Release"
+        )
+    medians = {}
+    for b in raw.get("benchmarks", []):
+        name = b.get("name", "")
+        if name.endswith("_median") and "items_per_second" in b:
+            medians[name[: -len("_median")]] = b["items_per_second"]
+    if not medians:
+        raise SystemExit(
+            "bench_gate: no *_median rows with items_per_second in the run; "
+            "invoke with --benchmark_repetitions=3 "
+            "--benchmark_report_aggregates_only=true --benchmark_format=json"
+        )
+    return medians
+
+
+def gate(baseline, run_medians, threshold):
+    """Return (report_rows, failures, drift).
+
+    report_rows: [(name, base, cur, ratio, adjusted, ok)] sorted by name.
+    failures:    subset of names whose adjusted ratio < threshold, plus
+                 baseline benchmarks missing from the run (a silently
+                 dropped benchmark must not silently pass the gate).
+    """
+    ratios = {}
+    missing = []
+    for name, entry in baseline.items():
+        base = entry.get("current_items_per_s")
+        if not base:
+            continue  # baseline row never filled in; nothing to compare
+        if name not in run_medians:
+            missing.append(name)
+            continue
+        ratios[name] = run_medians[name] / base
+
+    if len(ratios) < MIN_SHARED:
+        raise SystemExit(
+            f"bench_gate: only {len(ratios)} benchmark(s) shared with the "
+            f"baseline (need >= {MIN_SHARED} for a drift estimate); "
+            "benchmark names have diverged from BENCH_core.json"
+        )
+
+    drift = statistics.median(ratios.values())
+    rows = []
+    failures = list(missing)
+    for name in sorted(ratios):
+        base = baseline[name]["current_items_per_s"]
+        cur = run_medians[name]
+        ratio = ratios[name]
+        adjusted = ratio / drift
+        ok = adjusted >= threshold
+        if not ok:
+            failures.append(name)
+        rows.append((name, base, cur, ratio, adjusted, ok))
+    return rows, failures, drift
+
+
+def run_gate(args):
+    with open(args.input) as f:
+        run_medians = load_run_medians(json.load(f))
+    with open(args.baseline) as f:
+        baseline = json.load(f).get("benchmarks", {})
+
+    rows, failures, drift = gate(baseline, run_medians, args.threshold)
+
+    print(
+        f"bench_gate: {len(rows)} benchmarks vs {args.baseline}, "
+        f"host drift x{drift:.2f} (median raw ratio), "
+        f"threshold {args.threshold:.2f} adjusted"
+    )
+    width = max(len(r[0]) for r in rows)
+    for name, base, cur, ratio, adjusted, ok in rows:
+        flag = "ok  " if ok else "FAIL"
+        print(
+            f"  {flag} {name:<{width}}  base {base:>12,.0f}  "
+            f"cur {cur:>12,.0f}  raw x{ratio:5.2f}  adj x{adjusted:5.2f}"
+        )
+    for name in failures:
+        if name not in {r[0] for r in rows}:
+            print(f"  FAIL {name:<{width}}  in baseline but absent from run")
+
+    if failures:
+        print(
+            f"bench_gate: FAIL -- {len(failures)} benchmark(s) regressed "
+            f">{(1 - args.threshold) * 100:.0f}% beyond host drift: "
+            + ", ".join(sorted(failures))
+        )
+        return 1
+    print("bench_gate: PASS")
+    return 0
+
+
+# --- self-test fixtures ----------------------------------------------------
+
+
+def _fake_baseline(values):
+    return {n: {"current_items_per_s": v} for n, v in values.items()}
+
+
+def _expect(cond, label):
+    if not cond:
+        raise SystemExit(f"bench_gate --self-test: FAILED: {label}")
+    print(f"  ok: {label}")
+
+
+def self_test():
+    base = _fake_baseline(
+        {"BM_A": 100.0, "BM_B": 200.0, "BM_C": 400.0, "BM_D": 800.0, "BM_E": 50.0}
+    )
+
+    # Identical numbers: drift 1.0, everything passes.
+    rows, failures, drift = gate(
+        base, {"BM_A": 100, "BM_B": 200, "BM_C": 400, "BM_D": 800, "BM_E": 50}, 0.75
+    )
+    _expect(not failures and abs(drift - 1.0) < 1e-9, "identical run passes")
+
+    # Uniformly slow host (0.5x everywhere): pure drift, still passes.
+    rows, failures, drift = gate(
+        base, {"BM_A": 50, "BM_B": 100, "BM_C": 200, "BM_D": 400, "BM_E": 25}, 0.75
+    )
+    _expect(not failures and abs(drift - 0.5) < 1e-9, "uniform 0.5x drift passes")
+
+    # Fast host hiding a real regression: everything 2x except BM_C at
+    # 1.0x raw = 0.5x adjusted. Raw comparison would call BM_C fine.
+    rows, failures, drift = gate(
+        base, {"BM_A": 200, "BM_B": 400, "BM_C": 400, "BM_D": 1600, "BM_E": 100}, 0.75
+    )
+    _expect(
+        failures == ["BM_C"] and abs(drift - 2.0) < 1e-9,
+        "regression behind 2x host drift caught",
+    )
+
+    # Borderline: exactly at threshold passes (>=), just below fails.
+    rows, failures, _ = gate(
+        base, {"BM_A": 75, "BM_B": 150, "BM_C": 300, "BM_D": 600, "BM_E": 37.5}, 0.75
+    )
+    _expect(not failures, "drift 0.75 with no outlier passes")
+    rows, failures, _ = gate(
+        base, {"BM_A": 100, "BM_B": 200, "BM_C": 400, "BM_D": 800, "BM_E": 37}, 0.75
+    )
+    _expect(failures == ["BM_E"], "single outlier below threshold fails")
+
+    # A benchmark silently dropped from the run fails the gate.
+    rows, failures, _ = gate(
+        base, {"BM_A": 100, "BM_B": 200, "BM_C": 400, "BM_D": 800}, 0.75
+    )
+    _expect(failures == ["BM_E"], "baseline benchmark missing from run fails")
+
+    # Too few shared benchmarks refuses to gate.
+    try:
+        gate(base, {"BM_A": 100, "BM_B": 200}, 0.75)
+        _expect(False, "sparse overlap refused")
+    except SystemExit as e:
+        _expect("shared" in str(e), "sparse overlap refused")
+
+    # Debug toolchain refused at ingestion.
+    try:
+        load_run_medians({"context": {"scda_toolchain": "debug"}, "benchmarks": []})
+        _expect(False, "debug toolchain refused")
+    except SystemExit as e:
+        _expect("non-optimized" in str(e), "debug toolchain refused")
+
+    # Median extraction ignores mean/stddev aggregate rows.
+    medians = load_run_medians(
+        {
+            "context": {"scda_toolchain": "optimized"},
+            "benchmarks": [
+                {"name": "BM_A_mean", "items_per_second": 1.0},
+                {"name": "BM_A_median", "items_per_second": 2.0},
+                {"name": "BM_A_stddev", "items_per_second": 0.1},
+            ],
+        }
+    )
+    _expect(medians == {"BM_A": 2.0}, "only *_median rows ingested")
+
+    print("bench_gate --self-test: all fixtures passed")
+    return 0
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--input", help="google-benchmark JSON of the fresh run")
+    p.add_argument(
+        "--baseline", default="BENCH_core.json", help="committed baseline file"
+    )
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="minimum drift-adjusted ratio (default 0.75 = fail on >25%% "
+        "regression beyond host drift)",
+    )
+    p.add_argument(
+        "--self-test", action="store_true", help="run the fixture suite and exit"
+    )
+    args = p.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.input:
+        p.error("--input is required (or use --self-test)")
+    return run_gate(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,13 +35,25 @@ class BlockServer {
   [[nodiscard]] bool store(ContentId id, std::int64_t bytes) {
     if (!resources_.reserve_bytes(bytes)) return false;
     blocks_[id] += bytes;
+    stored_total_ += bytes;
     return true;
   }
   void remove(ContentId id) {
     const auto it = blocks_.find(id);
     if (it == blocks_.end()) return;
     resources_.release_bytes(it->second);
+    stored_total_ -= it->second;
     blocks_.erase(it);
+  }
+  /// Wipe every stored block and learned access count (server recovery
+  /// after a failure, docs/scenarios.md): the machine comes back empty and
+  /// refills through normal placement, so stale blocks never leak disk
+  /// across churn cycles.
+  void scrub() {
+    resources_.release_bytes(stored_total_);
+    stored_total_ = 0;
+    blocks_.clear();
+    access_counts_.clear();
   }
   [[nodiscard]] bool has(ContentId id) const { return blocks_.count(id) != 0; }
   [[nodiscard]] std::int64_t stored_bytes(ContentId id) const {
@@ -52,7 +64,7 @@ class BlockServer {
     return blocks_.size();
   }
 
-  // --- access-frequency learning (section VII-C) ------------------------------
+  // --- access-frequency learning (section VII-C) -----------------------------
   /// The RM counts content accesses to learn popularity; the cloud uses it
   /// to migrate cold content to dormant servers.
   void record_access(ContentId id) { ++access_counts_[id]; }
@@ -61,7 +73,7 @@ class BlockServer {
     return it == access_counts_.end() ? 0 : it->second;
   }
 
-  // --- activity tracking (dormancy policy) ------------------------------------
+  // --- activity tracking (dormancy policy) -----------------------------------
   void flow_started() noexcept { ++active_flows_; }
   void flow_finished() noexcept {
     if (active_flows_ > 0) --active_flows_;
@@ -87,6 +99,7 @@ class BlockServer {
   PowerModel power_;
   std::unordered_map<ContentId, std::int64_t> blocks_;
   std::unordered_map<ContentId, std::uint64_t> access_counts_;
+  std::int64_t stored_total_ = 0;  ///< sum over blocks_ (scrub in O(1))
   std::int32_t active_flows_ = 0;
   bool failed_ = false;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/churn.h"
 #include "obs/observability.h"
 #include "util/log.h"
 
@@ -71,6 +72,9 @@ Cloud::Cloud(sim::Simulator& sim, CloudConfig cfg)
 
   allocator_.set_sla_callback(
       [this](net::LinkId l, double demand, double gamma, sim::Time t) {
+        // SLA pressure attributable to repair traffic (docs/scenarios.md):
+        // violations while background re-replication is in flight.
+        if (repairs_in_flight_ > 0) ++churn_.sla_violations_during_repair;
         sla_.on_violation(l, demand, gamma, t);
       });
 
@@ -102,6 +106,11 @@ Cloud::Cloud(sim::Simulator& sim, CloudConfig cfg)
   }
 
   hierarchy_.update();
+
+  // Failure injection last: the schedule is a pure function of (config,
+  // topology shape, sim seed), posted up-front through the simulator.
+  if (cfg_.churn.enabled)
+    churn_injector_ = std::make_unique<ChurnInjector>(*this, cfg_.churn);
 }
 
 Cloud::~Cloud() = default;
@@ -123,6 +132,7 @@ void Cloud::control_tick() {
   });
   hierarchy_.update();
   if (cfg_.transport == TransportKind::kScda) update_ongoing_flows();
+  drain_repair_queue();
   integrate_power();
   dormancy_housekeeping();
   // Overhead: each RM and RA reports (or forwards) its rate sums once per
@@ -412,17 +422,38 @@ bool Cloud::append(std::size_t client_idx, ContentId id, std::int64_t bytes,
   return true;
 }
 
-void Cloud::begin_replication(const CloudOp& write_op, std::int64_t bytes) {
+void Cloud::begin_replication(const CloudOp& write_op, std::int64_t bytes,
+                              double priority, bool repair) {
   // Fig. 4: the BS holding the fresh copy asks the content's NNS for a
   // replication target offering the best upload rate for future reads.
   NameNode& nns = meta_owner(write_op.content);
   count_ctrl(2, 2 * kCtrlMsgBytes);
-  nns.submit([this, write_op, bytes] {
-    const std::int32_t target = selector_->select_replica_target(
-        write_op.content_class, write_op.server);
-    if (target < 0 || target == write_op.server) return;
+  nns.submit([this, write_op, bytes, priority, repair] {
+    // k-way placement: exclude every server already holding a copy plus
+    // the source, so chained replication never doubles up.
+    std::vector<std::int32_t> exclude;
+    if (const ContentMeta* meta =
+            meta_owner(write_op.content).find(write_op.content))
+      exclude = meta->replicas;
+    if (std::find(exclude.begin(), exclude.end(), write_op.server) ==
+        exclude.end())
+      exclude.push_back(write_op.server);
+
+    // Repair flows that cannot start (no admissible target, disk full) go
+    // back to the queue for a later control tick.
+    const auto requeue = [this, &write_op, repair] {
+      if (!repair) return;
+      --repairs_in_flight_;
+      ++churn_.repair_retries;
+      repair_pending_.erase(write_op.content);
+      enqueue_repair(write_op.content);
+    };
+
+    const std::int32_t target =
+        selector_->select_replica_target(write_op.content_class, exclude);
+    if (target < 0 || target == write_op.server) return requeue();
     BlockServer& bs = servers_[static_cast<std::size_t>(target)];
-    if (!bs.store(write_op.content, bytes)) return;
+    if (!bs.store(write_op.content, bytes)) return requeue();
     if (write_op.content_class != ContentClass::kPassive) {
       ++active_content_count_[static_cast<std::size_t>(target)];
       if (bs.dormant()) bs.set_dormant(false);
@@ -436,13 +467,16 @@ void Cloud::begin_replication(const CloudOp& write_op, std::int64_t bytes) {
     op.kind = CloudOp::Kind::kReplication;
     op.server = target;
     op.client = -1;
+    op.source_server = write_op.server;
+    op.repair = repair;
+    if (repair) ++churn_.repair_flows_started;
     count_ctrl(4, 4 * kCtrlMsgBytes);
     const double setup = 3 * cfg_.params.ctrl_dc_latency_s;
     const net::NodeId src =
         topo_.servers()[static_cast<std::size_t>(write_op.server)];
     const net::NodeId dst = topo_.servers()[static_cast<std::size_t>(target)];
-    sim_.post_in(sim::secs(setup), [this, op, bytes, src, dst] {
-      start_data_flow(src, dst, bytes, op, /*priority=*/1.0,
+    sim_.post_in(sim::secs(setup), [this, op, bytes, priority, src, dst] {
+      start_data_flow(src, dst, bytes, op, priority,
                       /*reserved_bps=*/0.0);
     });
   });
@@ -539,19 +573,46 @@ void Cloud::on_flow_complete(const transport::FlowRecord& rec) {
 
   NameNode& nns = meta_owner(op.content);
   ContentMeta* meta = nns.find(op.content);
-  if (meta != nullptr && op.server >= 0) {
+  // A flow can land on a server that failed after the NNS picked it (the
+  // selection-to-start control window, or a mid-transfer crash in packet
+  // mode): the delivered bytes are gone with the machine, so nothing may
+  // be registered against it.
+  const bool target_alive =
+      op.server >= 0 && !servers_[static_cast<std::size_t>(op.server)].failed();
+  if (meta != nullptr && target_alive) {
     BlockServer& bs = servers_[static_cast<std::size_t>(op.server)];
     switch (op.kind) {
       case CloudOp::Kind::kWrite:
         ++meta->writes;
         meta->replicas.push_back(op.server);
+        note_replicas_changed(*meta);
         bs.record_access(op.content);
         classifier_.record_write(op.content, sim_.now());
-        if (cfg_.enable_replication && cfg_.params.replicas > 1)
+        if (cfg_.enable_replication &&
+            static_cast<std::int32_t>(meta->replicas.size()) <
+                cfg_.params.replicas)
           begin_replication(op, rec.size_bytes);
         break;
       case CloudOp::Kind::kReplication:
         meta->replicas.push_back(op.server);
+        note_replicas_changed(*meta);
+        if (op.repair) {
+          --repairs_in_flight_;
+          ++churn_.repair_flows_completed;
+          churn_.repair_bytes += static_cast<std::uint64_t>(rec.size_bytes);
+          repair_pending_.erase(op.content);
+          if (static_cast<std::int32_t>(meta->replicas.size()) <
+              cfg_.params.replicas)
+            enqueue_repair(op.content);
+        } else if (cfg_.enable_replication &&
+                   static_cast<std::int32_t>(meta->replicas.size()) <
+                       cfg_.params.replicas) {
+          // Chain the next hop of k-way replication from the copy that just
+          // landed (closest source to the new target's rate metric).
+          CloudOp next = op;
+          next.kind = CloudOp::Kind::kWrite;  // source role
+          begin_replication(next, rec.size_bytes);
+        }
         break;
       case CloudOp::Kind::kRead:
         ++meta->reads;
@@ -586,6 +647,23 @@ void Cloud::on_flow_complete(const transport::FlowRecord& rec) {
     }
   } else if (op.kind == CloudOp::Kind::kMigration) {
     migrating_.erase(op.content);
+  } else if (op.kind == CloudOp::Kind::kReplication && op.repair) {
+    // Metadata vanished (or the target failed) while the repair flow ran;
+    // release the in-flight slot so the queue keeps draining, and requeue
+    // if the object still exists under-replicated.
+    --repairs_in_flight_;
+    repair_pending_.erase(op.content);
+    if (meta != nullptr && !meta->replicas.empty() &&
+        static_cast<std::int32_t>(meta->replicas.size()) <
+            std::max<std::int32_t>(1, cfg_.params.replicas))
+      enqueue_repair(op.content);
+  } else if (op.kind == CloudOp::Kind::kWrite && meta != nullptr &&
+             !target_alive) {
+    // The write's bytes arrived at a machine that is now dead: the client
+    // sees a failed write and may retry under the same content id.
+    ++failed_writes_;
+    known_content_.erase(op.content);
+    pending_deadline_.erase(op.content);
   }
 
   for (const auto& fn : on_complete_) fn(rec, op);
@@ -665,32 +743,218 @@ void Cloud::fail_server(std::size_t server_idx, bool re_replicate) {
   bs.set_failed(true);
   const auto idx = static_cast<std::int32_t>(server_idx);
 
-  // Scrub metadata: drop the failed replica everywhere and restore the
-  // replication factor from a surviving copy (what HDFS/GFS do on
-  // datanode loss; the paper's RM health monitoring provides the signal).
+  // Everything in flight that touches the dead machine is cut short; reads
+  // fail over to a surviving replica inside abort_flow.
+  abort_flows_touching_server(idx);
+
+  // Scrub metadata: drop the failed replica everywhere and queue the
+  // restoration of the replication factor from a surviving copy (what
+  // HDFS/GFS do on datanode loss; the paper's RM health monitoring
+  // provides the signal). Repairs go through the background queue so a
+  // correlated failure cannot stampede the fabric.
   for (auto& nns : name_nodes_) {
-    for (const ContentId id : nns->content_ids()) {
+    std::vector<ContentId> ids = nns->content_ids();
+    std::sort(ids.begin(), ids.end());
+    for (const ContentId id : ids) {
       ContentMeta* meta = nns->find(id);
       if (meta == nullptr) continue;
       const auto before = meta->replicas.size();
       std::erase(meta->replicas, idx);
       if (meta->replicas.size() == before) continue;
+      note_replicas_changed(*meta);
       if (re_replicate && !meta->replicas.empty() &&
           static_cast<std::int32_t>(meta->replicas.size()) <
-              cfg_.params.replicas) {
-        CloudOp op;
-        op.content = id;
-        op.content_class = meta->content_class;
-        op.kind = CloudOp::Kind::kWrite;  // source role for replication
-        op.server = meta->replicas.front();
-        begin_replication(op, meta->size_bytes);
-      }
+              std::max<std::int32_t>(1, cfg_.params.replicas))
+        enqueue_repair(id);
     }
   }
+  propagate_rate_changes();
 }
 
 void Cloud::recover_server(std::size_t server_idx) {
-  servers_.at(server_idx).set_failed(false);
+  BlockServer& bs = servers_.at(server_idx);
+  if (!bs.failed()) return;
+  bs.set_failed(false);
+  // A recovered machine comes back empty (disk replaced / re-imaged): its
+  // metadata entries were scrubbed at failure time, so any blocks still on
+  // disk are orphans.
+  bs.scrub();
+  active_content_count_.at(server_idx) = 0;
+}
+
+// --------------------------------------------------------------------------
+// churn: flow aborts, failover, background repair
+// --------------------------------------------------------------------------
+
+bool Cloud::abort_flow(net::FlowId id) {
+  const auto it = ops_.find(id);
+  if (it == ops_.end()) return false;
+  const CloudOp op = it->second;
+  const transport::FlowRecord& rec = transports_.record(id);
+  const double priority = rec.priority;
+  const auto client = op.client;
+
+  if (!transports_.abort_flow(id)) return false;
+  ++churn_.aborted_flows;
+  allocator_.unregister_flow(id);
+  target_ctrl_.clear(id);
+  active_scda_.erase(id);
+  ops_.erase(it);
+  if (op.server >= 0)
+    servers_[static_cast<std::size_t>(op.server)].flow_finished();
+
+  switch (op.kind) {
+    case CloudOp::Kind::kRead:
+      // Failover: re-issue the read against the surviving replicas. The
+      // NNS lookup inside read() picks the next-best source (Fig. 5).
+      ++churn_.failovers;
+      if (client >= 0)
+        read(static_cast<std::size_t>(client), op.content, priority);
+      break;
+    case CloudOp::Kind::kWrite:
+      ++failed_writes_;
+      rollback_partial_store(op);
+      known_content_.erase(op.content);  // allow a retry
+      pending_deadline_.erase(op.content);
+      break;
+    case CloudOp::Kind::kAppend:
+      ++failed_writes_;
+      break;
+    case CloudOp::Kind::kReplication:
+      rollback_partial_store(op);
+      if (op.repair) {
+        --repairs_in_flight_;
+        ++churn_.repair_retries;
+        repair_pending_.erase(op.content);
+      }
+      enqueue_repair(op.content);
+      break;
+    case CloudOp::Kind::kMigration:
+      rollback_partial_store(op);
+      migrating_.erase(op.content);
+      break;
+  }
+  return true;
+}
+
+void Cloud::rollback_partial_store(const CloudOp& op) {
+  // The target reserved disk for the incoming copy at setup time; an abort
+  // means the bytes never fully arrived. A failed target is scrubbed
+  // wholesale on recovery instead.
+  if (op.server < 0) return;
+  BlockServer& bs = servers_[static_cast<std::size_t>(op.server)];
+  if (bs.failed()) return;
+  if (!bs.has(op.content)) return;
+  bs.remove(op.content);
+  if (op.content_class != ContentClass::kPassive &&
+      active_content_count_[static_cast<std::size_t>(op.server)] > 0)
+    --active_content_count_[static_cast<std::size_t>(op.server)];
+}
+
+void Cloud::abort_flows_touching_server(std::int32_t server_idx) {
+  // Collect first (abort_flow mutates ops_), iterating the dense record
+  // table in flow-id order for determinism.
+  std::vector<net::FlowId> victims;
+  for (const auto& rec : transports_.records()) {
+    if (rec->finished() || rec->aborted) continue;
+    const auto oit = ops_.find(rec->id);
+    if (oit == ops_.end()) continue;
+    const CloudOp& op = oit->second;
+    if (op.server == server_idx || op.source_server == server_idx)
+      victims.push_back(rec->id);
+  }
+  for (const net::FlowId id : victims) abort_flow(id);
+}
+
+void Cloud::set_link_up(net::LinkId l, bool up, bool propagate) {
+  topo_.net().link(l).set_up(up);
+  allocator_.set_link_up(l, up);
+  if (propagate) propagate_rate_changes();
+}
+
+void Cloud::propagate_rate_changes() {
+  // After a topology change (server/link down or up) every surviving flow
+  // must re-rate immediately — fluid flows would otherwise integrate a
+  // stale rate across a dead link until the next RA epoch.
+  allocator_.refresh_flow_rates();
+  if (cfg_.fluid.enabled)
+    transports_.fluid().rerate_all(
+        [this](net::FlowId id) { return allocator_.flow_rate(id); },
+        /*epoch=*/false);
+  if (cfg_.transport == TransportKind::kScda) update_ongoing_flows();
+}
+
+void Cloud::enqueue_repair(ContentId id) {
+  if (repair_pending_.count(id)) return;
+  repair_pending_[id] = true;
+  repair_queue_.push_back(id);
+}
+
+void Cloud::drain_repair_queue() {
+  if (repair_queue_.empty()) return;
+  std::deque<ContentId> retry;
+  while (!repair_queue_.empty() &&
+         repairs_in_flight_ < cfg_.params.max_concurrent_repairs) {
+    const ContentId id = repair_queue_.front();
+    repair_queue_.pop_front();
+    ContentMeta* meta = meta_owner(id).find(id);
+    if (meta == nullptr || meta->replicas.empty() ||
+        static_cast<std::int32_t>(meta->replicas.size()) >=
+            std::max<std::int32_t>(1, cfg_.params.replicas)) {
+      repair_pending_.erase(id);  // lost, deleted, or already healthy
+      continue;
+    }
+    const std::int32_t source = selector_->select_read_replica(meta->replicas);
+    if (source < 0) {
+      retry.push_back(id);  // sources exist but are all down right now
+      continue;
+    }
+    CloudOp op;
+    op.content = id;
+    op.content_class = meta->content_class;
+    op.kind = CloudOp::Kind::kWrite;  // source role for replication
+    op.server = source;
+    ++repairs_in_flight_;
+    begin_replication(op, meta->size_bytes, cfg_.params.repair_priority,
+                      /*repair=*/true);
+  }
+  for (const ContentId id : retry) repair_queue_.push_back(id);
+}
+
+void Cloud::note_replicas_changed(ContentMeta& meta) {
+  const auto n = static_cast<std::int32_t>(meta.replicas.size());
+  const std::int32_t target = std::max<std::int32_t>(1, cfg_.params.replicas);
+  if (!meta.reached_target) {
+    // Durability accounting only starts once the object is fully
+    // replicated; the initial fill is not an under-replication episode.
+    if (n < target) return;
+    meta.reached_target = true;
+  }
+  const bool under = n < target;
+  if (under != meta.under_replicated) {
+    update_under_replicated_clock();
+    meta.under_replicated = under;
+    under_replicated_count_ += under ? 1 : -1;
+  }
+  // n == 0 is absorbing (fail_server only scrubs replicas it actually
+  // erased), so each object is counted lost at most once.
+  if (n == 0) ++churn_.objects_lost;
+}
+
+void Cloud::update_under_replicated_clock() {
+  const sim::Time now = sim_.now();
+  if (under_replicated_count_ > 0)
+    under_replicated_seconds_ += (now - under_last_update_).seconds() *
+                                 static_cast<double>(under_replicated_count_);
+  under_last_update_ = now;
+}
+
+double Cloud::under_replicated_seconds() const {
+  double total = under_replicated_seconds_;
+  if (under_replicated_count_ > 0)
+    total += (sim_.now() - under_last_update_).seconds() *
+             static_cast<double>(under_replicated_count_);
+  return total;
 }
 
 void Cloud::set_flow_priority(net::FlowId id, double priority) {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -28,10 +29,13 @@
 #include "core/sla.h"
 #include "core/target_rate.h"
 #include "net/topology.h"
+#include "sim/failure_schedule.h"
 #include "sim/simulator.h"
 #include "transport/transport_manager.h"
 
 namespace scda::core {
+
+class ChurnInjector;
 
 struct CloudConfig {
   net::TopologyConfig topology;
@@ -50,6 +54,9 @@ struct CloudConfig {
   /// Hybrid fluid/packet mode for SCDA data flows (docs/fluid_engine.md):
   /// elephants advance analytically between RA epochs, mice stay packets.
   transport::FluidConfig fluid;
+  /// Failure injection: seed-derived server/link churn plus scripted
+  /// outages, driven by a ChurnInjector the Cloud owns (docs/scenarios.md).
+  sim::ChurnConfig churn;
 };
 
 /// What a completed flow was doing, reported alongside the flow record.
@@ -66,7 +73,24 @@ struct CloudOp {
   } kind = Kind::kWrite;
   std::int32_t server = -1;   ///< block server index serving the op
   std::int64_t client = -1;   ///< client index (-1 for internal ops)
-  std::int32_t source_server = -1;  ///< migration: replica being vacated
+  std::int32_t source_server = -1;  ///< replication/migration: copy source
+  /// Background re-replication flow (docs/scenarios.md): runs at
+  /// ScdaParams::repair_priority and feeds the repair accounting.
+  bool repair = false;
+};
+
+/// Failure/replication scenario counters (docs/scenarios.md). Maintained
+/// unconditionally (plain increments); surfaced as metric ids only when
+/// churn is enabled so historical artifacts stay byte-identical.
+struct ChurnStats {
+  std::uint64_t failovers = 0;       ///< reads re-driven to another replica
+  std::uint64_t aborted_flows = 0;   ///< in-flight flows cut by a failure
+  std::uint64_t repair_flows_started = 0;
+  std::uint64_t repair_flows_completed = 0;
+  std::uint64_t repair_bytes = 0;    ///< payload re-protected by repair
+  std::uint64_t repair_retries = 0;  ///< repair flows aborted or re-queued
+  std::uint64_t sla_violations_during_repair = 0;
+  std::uint64_t objects_lost = 0;    ///< every replica gone (unreadable)
 };
 
 using CloudCompletionFn =
@@ -128,7 +152,7 @@ class Cloud {
     on_complete_.push_back(std::move(fn));
   }
 
-  // --- component access --------------------------------------------------------
+  // --- component access ------------------------------------------------------
   [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
   [[nodiscard]] net::ThreeTierTree& topology() noexcept { return topo_; }
   [[nodiscard]] transport::TransportManager& transports() noexcept {
@@ -144,7 +168,7 @@ class Cloud {
   }
   [[nodiscard]] const CloudConfig& config() const noexcept { return cfg_; }
 
-  // --- aggregate statistics -----------------------------------------------------
+  // --- aggregate statistics --------------------------------------------------
   [[nodiscard]] std::uint64_t failed_reads() const noexcept {
     return failed_reads_;
   }
@@ -187,14 +211,53 @@ class Cloud {
   /// Operational summary for monitoring/diagnosis.
   [[nodiscard]] CloudSnapshot snapshot() const;
 
-  // --- failure injection -------------------------------------------------------
-  /// Take a block server down. Its blocks become unavailable, selection
-  /// skips it, and (by default) every content it held is re-replicated
-  /// from a surviving copy so the replication factor recovers.
+  // --- failure injection -----------------------------------------------------
+  /// Take a block server down. In-flight flows touching it are aborted
+  /// (reads fail over, writes are failed back to the client), its blocks
+  /// become unavailable, selection skips it, and (by default) every content
+  /// it held is queued for background re-replication from a surviving copy
+  /// so the replication factor recovers.
   void fail_server(std::size_t server_idx, bool re_replicate = true);
-  /// Bring a failed server back (empty of metadata-tracked content; it
-  /// fills up again through normal placement).
+  /// Bring a failed server back. Its disk is scrubbed (stale blocks were
+  /// dropped from metadata at failure time); it fills up again through
+  /// normal placement.
   void recover_server(std::size_t server_idx);
+
+  /// Cut or restore a link (failure injection, docs/scenarios.md). The
+  /// link refuses packets and the allocator pins every flow crossing it to
+  /// zero. `propagate` pushes the new rates to senders and the fluid
+  /// engine immediately; batch callers toggle several links with
+  /// propagate=false and finish with one propagating call.
+  void set_link_up(net::LinkId l, bool up, bool propagate = true);
+
+  /// Abort one in-flight flow (replica failure): unregisters it, rolls
+  /// back partial placement state and triggers the per-kind retry policy
+  /// (read failover, write failure, repair re-queue). Returns false for
+  /// unknown/finished flows.
+  bool abort_flow(net::FlowId id);
+
+  // --- churn / repair accounting ---------------------------------------------
+  [[nodiscard]] const ChurnStats& churn_stats() const noexcept {
+    return churn_;
+  }
+  /// Object-seconds spent under-replicated (only objects that reached the
+  /// target replica count once; integrated exactly on transitions).
+  [[nodiscard]] double under_replicated_seconds() const;
+  /// Objects currently below their target replica count.
+  [[nodiscard]] std::int64_t under_replicated_objects() const noexcept {
+    return under_replicated_count_;
+  }
+  [[nodiscard]] std::int32_t repairs_in_flight() const noexcept {
+    return repairs_in_flight_;
+  }
+  [[nodiscard]] std::size_t repair_queue_depth() const noexcept {
+    return repair_queue_.size();
+  }
+  /// The failure injector driving scheduled churn, or nullptr when churn
+  /// is disabled.
+  [[nodiscard]] const ChurnInjector* churn() const noexcept {
+    return churn_injector_.get();
+  }
 
   /// Learned access classes (section VII-C); fed by completed operations.
   [[nodiscard]] ContentClassifier& classifier() noexcept {
@@ -219,7 +282,26 @@ class Cloud {
                        const CloudOp& op, double priority,
                        double reserved_bps);
   void on_flow_complete(const transport::FlowRecord& rec);
-  void begin_replication(const CloudOp& op, std::int64_t bytes);
+  /// Start one replication hop from op.server; `repair` flows run at
+  /// params.repair_priority and feed the repair accounting.
+  void begin_replication(const CloudOp& op, std::int64_t bytes,
+                         double priority = 1.0, bool repair = false);
+
+  // --- churn / repair machinery (docs/scenarios.md) --------------------------
+  /// Queue `id` for background re-replication (deduplicated).
+  void enqueue_repair(ContentId id);
+  /// Start queued repairs up to params.max_concurrent_repairs (control tick).
+  void drain_repair_queue();
+  /// Re-check an object's replica count against the target and move the
+  /// under-replicated clock (exact event-time integration).
+  void note_replicas_changed(ContentMeta& meta);
+  void update_under_replicated_clock();
+  /// Abort every in-flight flow whose op touches the failed server.
+  void abort_flows_touching_server(std::int32_t idx);
+  /// Undo the eager BlockServer::store of a flow that never completed.
+  void rollback_partial_store(const CloudOp& op);
+  /// Push refreshed allocations to senders and the fluid engine.
+  void propagate_rate_changes();
 
   [[nodiscard]] NameNode& meta_owner(ContentId id) {
     return fes_->dispatch_by_content(id);
@@ -267,6 +349,18 @@ class Cloud {
   std::uint64_t failed_writes_ = 0;
   std::uint64_t ctrl_messages_ = 0;
   std::uint64_t ctrl_bytes_ = 0;
+
+  // --- churn / repair state (docs/scenarios.md) ------------------------------
+  ChurnStats churn_;
+  std::unique_ptr<ChurnInjector> churn_injector_;
+  std::deque<ContentId> repair_queue_;
+  /// Content queued or repairing (deduplicates repair requests).
+  std::unordered_map<ContentId, bool> repair_pending_;
+  std::int32_t repairs_in_flight_ = 0;
+  /// Exact integration of object-seconds under-replicated.
+  std::int64_t under_replicated_count_ = 0;
+  double under_replicated_seconds_ = 0.0;
+  sim::Time under_last_update_{};
 };
 
 }  // namespace scda::core

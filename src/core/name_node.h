@@ -29,6 +29,12 @@ struct ContentMeta {
   std::uint64_t writes = 0;
   std::uint64_t reads = 0;
   sim::Time last_access_time{};
+  /// Durability tracking (docs/scenarios.md): set once the object first
+  /// reaches its target replica count; under-replication time only
+  /// accumulates for objects that were fully protected at some point.
+  bool reached_target = false;
+  /// Currently below the target count (maintained by Cloud churn logic).
+  bool under_replicated = false;
 };
 
 class NameNode {
@@ -53,7 +59,7 @@ class NameNode {
     return delay.seconds();
   }
 
-  // --- metadata ---------------------------------------------------------------
+  // --- metadata --------------------------------------------------------------
   [[nodiscard]] ContentMeta& upsert(ContentId id) {
     auto& m = meta_[id];
     m.id = id;
@@ -78,7 +84,7 @@ class NameNode {
     return out;
   }
 
-  // --- service-queue statistics ------------------------------------------------
+  // --- service-queue statistics ----------------------------------------------
   [[nodiscard]] std::int32_t index() const noexcept { return index_; }
   [[nodiscard]] std::uint64_t served() const noexcept { return served_; }
   [[nodiscard]] double mean_delay() const noexcept {

@@ -61,6 +61,14 @@ struct ScdaParams {
   /// Replication factor for stored content (initial copy + replicas - 1).
   std::int32_t replicas = 2;
 
+  /// Priority weight of background re-replication (repair) flows relative
+  /// to foreground traffic (weight 1.0). Repair competes through the same
+  /// RateAllocator weights as everything else (docs/scenarios.md).
+  double repair_priority = 0.2;
+  /// At most this many repair flows in flight at once (repair-storm
+  /// control, as in HDFS's replication work limits).
+  std::int32_t max_concurrent_repairs = 4;
+
   /// Cold-content migration (section VII-C): every this many seconds the
   /// cloud scans for content whose *learned* access class is passive and
   /// moves it from active servers to dormant-eligible ones. 0 disables.

@@ -80,11 +80,13 @@ void RateAllocator::register_flow_on_path(net::FlowId id,
   // flow total and lowers its advertised per-flow rate accordingly, so
   // several flows admitted within the same control interval are quoted
   // gamma/(N-hat + 1), gamma/(N-hat + 2), ... instead of all receiving the
-  // full link rate. The next tick recomputes the exact values.
+  // full link rate. The next tick recomputes the exact values. Down links
+  // keep their pinned zero rate.
   for (const net::LinkId l : path_[s]) {
     auto& st = links_[l.index()];
     st.reserved += reserved_bps;
     st.nhat += priority;
+    if (st.down) continue;
     const double shareable =
         std::max(st.gamma - st.reserved, params_.min_rate_bps);
     st.rate = std::clamp(shareable / std::max(st.nhat, 1.0),
@@ -137,13 +139,36 @@ double RateAllocator::path_rate(const std::vector<net::LinkId>& path) const {
   return std::isfinite(r) ? r : 0.0;
 }
 
+void RateAllocator::set_link_up(net::LinkId l, bool up) {
+  auto& st = links_.at(l.index());
+  st.down = !up;
+  if (!up) {
+    st.rate = 0.0;
+    st.gamma = 0.0;
+  } else {
+    // Recovered link: quote its idle rate (same seed as construction);
+    // the next tick recomputes the exact value from the counters.
+    const double c = net_.link(l).capacity_bps();
+    st.rate = params_.alpha * c;
+    st.gamma = params_.alpha * c;
+  }
+}
+
 void RateAllocator::refresh_flow_rates() {
   for (const IndexEntry& e : by_id_) {
     const std::uint32_t s = e.slot;
     double base = std::numeric_limits<double>::infinity();
-    for (const net::LinkId l : path_[s])
-      base = std::min(base, links_[l.index()].rate);
+    bool down = false;
+    for (const net::LinkId l : path_[s]) {
+      const auto& st = links_[l.index()];
+      down = down || st.down;
+      base = std::min(base, st.rate);
+    }
     if (!std::isfinite(base)) base = 0.0;
+    if (down) {
+      rate_[s] = 0.0;
+      continue;
+    }
     double r = reserved_bps_[s] + priority_[s] * base;
     if (r_other_send_[s]) r = std::min(r, r_other_send_[s]());
     if (r_other_recv_[s]) r = std::min(r, r_other_recv_[s]());
@@ -163,6 +188,14 @@ void RateAllocator::tick() {
   for (std::size_t l = 0; l < links_.size(); ++l) {
     auto& st = links_[l];
     net::Link& link = net_.link(net::LinkId::from_index(l));
+    st.down = !link.up();
+    if (st.down) {
+      st.gamma = 0.0;
+      st.rate = 0.0;
+      st.rate_sum = 0;
+      st.share_sum = 0;
+      continue;
+    }
     const double q_bits = static_cast<double>(link.queue_bytes()) * 8.0;
     st.gamma = effective_capacity(link.capacity_bps(), q_bits, tau,
                                   params_.alpha, params_.beta);
@@ -182,14 +215,21 @@ void RateAllocator::tick() {
   for (const IndexEntry& e : by_id_) {
     const std::uint32_t s = e.slot;
     double base = std::numeric_limits<double>::infinity();
-    for (const net::LinkId l : path_[s])
-      base = std::min(base, links_[l.index()].rate);
+    bool down = false;
+    for (const net::LinkId l : path_[s]) {
+      const auto& lst = links_[l.index()];
+      down = down || lst.down;
+      base = std::min(base, lst.rate);
+    }
     if (!std::isfinite(base)) base = 0.0;
 
     double r = reserved_bps_[s] + priority_[s] * base;
     if (r_other_send_[s]) r = std::min(r, r_other_send_[s]());
     if (r_other_recv_[s]) r = std::min(r, r_other_recv_[s]());
-    const double rate = std::max(r, params_.min_rate_bps);
+    // A path crossing a down link is allocated exactly 0 (not the min-rate
+    // floor): the fluid engine parks such flows and packet senders stall
+    // until recovery re-rates them.
+    const double rate = down ? 0.0 : std::max(r, params_.min_rate_bps);
     rate_[s] = rate;
 
     const double share = std::max(0.0, rate - reserved_bps_[s]);
@@ -205,6 +245,13 @@ void RateAllocator::tick() {
   for (std::size_t l = 0; l < links_.size(); ++l) {
     auto& st = links_[l];
     net::Link& link = net_.link(net::LinkId::from_index(l));
+    if (st.down) {
+      // Pinned at zero while down; drain the interval counter so stale
+      // pre-failure arrivals don't distort the first post-recovery round.
+      st.nhat = 0;
+      (void)link.take_interval_arrived_bytes();
+      continue;
+    }
     const double shareable =
         std::max(st.gamma - st.reserved, params_.min_rate_bps);
 

@@ -4,7 +4,7 @@
 // fair rate R_l(t) (eq. 2 exact, or eq. 5 simplified) and, for every
 // registered flow, its end-to-end allocation
 //
-//     r_j = min( M_j + p_j * min_{l in path} R_l,  R_other_send,  R_other_recv )
+//     r_j = min(M_j + p_j * min_{l in path} R_l, R_other_send, R_other_recv)
 //
 // which is exactly the distributed fixed point the RM/RA message exchanges
 // of paper section VI compute: a link where a flow is bottlenecked elsewhere
@@ -95,11 +95,21 @@ class RateAllocator {
   [[nodiscard]] double prospective_link_rate(net::LinkId l,
                                              double priority = 1.0) const {
     const auto& st = links_.at(l.index());
+    if (st.down) return 0.0;
     const double shareable =
         std::max(st.gamma - st.reserved, params_.min_rate_bps);
     return std::clamp(shareable / std::max(st.nhat + priority, 1.0),
                       params_.min_rate_bps, shareable);
   }
+
+  // --- link failure state ----------------------------------------------------
+  /// Mark a link down/up for allocation purposes (failure injection,
+  /// docs/scenarios.md). A down link advertises zero per-flow rate and zero
+  /// effective capacity, and every flow whose path crosses it is allocated
+  /// exactly 0 — bypassing the min-rate floor — so fluid flows park instead
+  /// of stranding their completion events. tick() also re-reads Link::up()
+  /// each round, so direct Link toggles converge within one interval.
+  void set_link_up(net::LinkId l, bool up);
   /// The flow's current end-to-end allocation r_j.
   [[nodiscard]] double flow_rate(net::FlowId id) const;
 
@@ -151,6 +161,7 @@ class RateAllocator {
     double share_sum = 0;   ///< S minus reserved portions (shared pool demand)
     double reserved = 0;    ///< sum of M_j over flows crossing the link
     double nhat = 0;        ///< effective flow count from the last tick
+    bool down = false;      ///< link failed: rate/gamma pinned to zero
     std::uint64_t sla_violations = 0;
   };
 

@@ -112,6 +112,50 @@ std::int32_t ServerSelector::select_replica_target(ContentClass content_class,
   return b.server;
 }
 
+std::int32_t ServerSelector::random_server(
+    const std::vector<std::int32_t>& exclude) {
+  const auto n = static_cast<std::int64_t>(servers_.size());
+  if (n == 0) return -1;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto s = static_cast<std::int32_t>(rng_.uniform_int(0, n - 1));
+    if (std::find(exclude.begin(), exclude.end(), s) == exclude.end() &&
+        admit(static_cast<std::size_t>(s)))
+      return s;
+  }
+  return -1;
+}
+
+std::int32_t ServerSelector::select_replica_target(
+    ContentClass content_class, const std::vector<std::int32_t>& exclude) {
+  if (policy_ == PlacementPolicy::kRandom) return random_server(exclude);
+
+  const auto not_excluded = [&exclude](std::size_t s) {
+    return std::find(exclude.begin(), exclude.end(),
+                     static_cast<std::int32_t>(s)) == exclude.end();
+  };
+
+  if (content_class == ContentClass::kPassive && params_.rscale_bps > 0) {
+    const auto dormant_ok = [&](std::size_t s) {
+      return not_excluded(s) && admit(s) &&
+             hier_.rm_rhat_up(s) > params_.rscale_bps;
+    };
+    const BestServer b = pick(SelectionMetric::kUp, dormant_ok);
+    if (b.server >= 0) return b.server;
+  }
+
+  const auto active_ok = [&](std::size_t s) {
+    return not_excluded(s) && admit_active(s);
+  };
+  BestServer b = pick(SelectionMetric::kUp, active_ok);
+  if (b.server < 0) {
+    const auto any_ok = [&](std::size_t s) {
+      return not_excluded(s) && admit(s);
+    };
+    b = pick(SelectionMetric::kUp, any_ok);
+  }
+  return b.server;
+}
+
 std::int32_t ServerSelector::select_read_replica(
     const std::vector<std::int32_t>& replicas) {
   if (replicas.empty()) return -1;

@@ -58,6 +58,13 @@ class ServerSelector {
   [[nodiscard]] std::int32_t select_replica_target(
       transport::ContentClass content_class, std::int32_t exclude);
 
+  /// k-way variant: excludes every server already holding a copy (plus the
+  /// repair source). Used by chained replication and background repair
+  /// (docs/scenarios.md).
+  [[nodiscard]] std::int32_t select_replica_target(
+      transport::ContentClass content_class,
+      const std::vector<std::int32_t>& exclude);
+
   /// Replica to read from: the one with the best uplink value (Fig. 5,
   /// step 3).
   [[nodiscard]] std::int32_t select_read_replica(
@@ -73,6 +80,8 @@ class ServerSelector {
   /// policy is on (R_scale > 0).
   [[nodiscard]] bool admit_active(std::size_t s) const;
   [[nodiscard]] std::int32_t random_server(std::int32_t exclude = -1);
+  [[nodiscard]] std::int32_t random_server(
+      const std::vector<std::int32_t>& exclude);
   [[nodiscard]] BestServer pick(SelectionMetric m,
                                 const std::function<bool(std::size_t)>& ok)
       const;

@@ -190,7 +190,8 @@ std::vector<LinkId> ecmp_path(const Network& net, NodeId src, NodeId dst,
   auto paths = all_shortest_paths(net, src, dst);
   if (paths.empty()) return {};
   // splitmix64 of the flow id picks the path, like a 5-tuple hash would.
-  std::uint64_t x = static_cast<std::uint64_t>(flow.value()) + 0x9e3779b97f4a7c15ULL;
+  std::uint64_t x =
+      static_cast<std::uint64_t>(flow.value()) + 0x9e3779b97f4a7c15ULL;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   x ^= x >> 31;

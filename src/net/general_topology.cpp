@@ -21,9 +21,9 @@ LeafSpine::LeafSpine(sim::Simulator& sim, const LeafSpineConfig& cfg)
         net_.add_node(NodeRole::kTorSwitch, "leaf" + std::to_string(l));
     leaves_.push_back(leaf);
     for (std::int32_t s = 0; s < cfg.n_spines; ++s) {
-      auto [up, down] = net_.add_duplex(leaf, spines_[static_cast<std::size_t>(s)],
-                                        cfg.fabric_bps, cfg.dc_delay_s,
-                                        cfg.queue_limit_bytes);
+      auto [up, down] = net_.add_duplex(
+          leaf, spines_[static_cast<std::size_t>(s)], cfg.fabric_bps,
+          cfg.dc_delay_s, cfg.queue_limit_bytes);
       leaf_up_.push_back(up);
       leaf_down_.push_back(down);
     }

@@ -18,6 +18,12 @@ void Link::trace_drop(const Packet& p, const char* reason) {
 }
 
 bool Link::enqueue(Packet&& p) {
+  if (!up_) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += static_cast<std::uint64_t>(p.size_bytes);
+    trace_drop(p, "drop_link_down");
+    return false;
+  }
   interval_arrived_bytes_ += p.size_bytes;
   if (loss_probability_ > 0 && loss_rng_ != nullptr &&
       loss_rng_->bernoulli(loss_probability_)) {

@@ -86,6 +86,14 @@ class Link {
   void set_capacity_bps(double c) noexcept {
     if (c > 0) capacity_bps_ = c;
   }
+  // --- up/down state (failure injection; docs/scenarios.md) ---------------
+  /// A down link refuses all offered packets (counted as drops) and is
+  /// treated as zero-capacity by the rate allocator, parking fluid flows.
+  /// Packets already transmitted keep propagating: a physical cut loses
+  /// what is on the wire *behind* the cut, and the queue is behind it.
+  void set_up(bool up) noexcept { up_ = up; }
+  [[nodiscard]] bool up() const noexcept { return up_; }
+
   /// Propagation delay as exact simulation time (the value every delivery
   /// deadline is built from; rounded once, at construction).
   [[nodiscard]] sim::Time prop_delay() const noexcept { return prop_delay_; }
@@ -194,6 +202,7 @@ class Link {
   std::int64_t interval_arrived_bytes_ = 0;
   std::int32_t fluid_flows_ = 0;
   bool transmitting_ = false;
+  bool up_ = true;
 
   DeliverFn deliver_;
   LinkStats stats_;

@@ -22,7 +22,9 @@ stats::RunResult run_once(const ExperimentConfig& cfg,
   obs::Observability observ;
   const bool want_obs = cfg.obs.metrics || !cfg.obs.trace_path.empty();
   if (want_obs) {
-    if (!cfg.obs.trace_path.empty()) observ.enable_trace(cfg.obs.trace_capacity);
+    if (!cfg.obs.trace_path.empty()) {
+      observ.enable_trace(cfg.obs.trace_capacity);
+    }
     sim.set_observability(&observ);
   }
 
@@ -33,6 +35,9 @@ stats::RunResult run_once(const ExperimentConfig& cfg,
   cc.transport = transport;
   cc.enable_replication = cfg.enable_replication;
   cc.fluid = cfg.fluid;
+  cc.churn = cfg.churn;
+  if (cc.churn.enabled && cc.churn.horizon_s <= 0.0)
+    cc.churn.horizon_s = cfg.sim_time_s;
 
   core::Cloud cloud(sim, cc);
   stats::FlowStatsCollector collector(cloud);

@@ -40,6 +40,9 @@ struct ExperimentConfig {
   obs::ObsConfig obs;
   /// Hybrid fluid/packet mode (docs/fluid_engine.md).
   transport::FluidConfig fluid;
+  /// Failure injection (docs/scenarios.md). run_once() fills horizon_s with
+  /// sim_time_s when the caller leaves it at 0.
+  sim::ChurnConfig churn;
 };
 
 struct AfctBinning {

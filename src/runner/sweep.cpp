@@ -76,6 +76,22 @@ void apply_param(ExperimentConfig& cfg, const std::string& name,
     cfg.fluid.threshold_bytes = static_cast<std::int64_t>(value);
     return;
   }
+  if (name == "replicate") { cfg.enable_replication = value != 0; return; }
+  // Failure injection (docs/scenarios.md).
+  if (name == "churn") { cfg.churn.enabled = value != 0; return; }
+  if (name == "server_mtbf_s") { cfg.churn.server_mtbf_s = value; return; }
+  if (name == "server_mttr_s") { cfg.churn.server_mttr_s = value; return; }
+  if (name == "link_mtbf_s") { cfg.churn.link_mtbf_s = value; return; }
+  if (name == "link_mttr_s") { cfg.churn.link_mttr_s = value; return; }
+  if (name == "churn_horizon_s") { cfg.churn.horizon_s = value; return; }
+  if (name == "repair_priority") {
+    cfg.params.repair_priority = value;
+    return;
+  }
+  if (name == "max_concurrent_repairs") {
+    cfg.params.max_concurrent_repairs = static_cast<std::int32_t>(value);
+    return;
+  }
   throw std::invalid_argument("apply_param: unknown parameter '" + name +
                               "' (use SweepSpec::custom_param)");
 }
@@ -187,7 +203,9 @@ std::vector<ArmSummary> aggregate_sweep(const SweepSpec& spec,
         s.label += " " + param + "=" + format_value(value);
       std::vector<const stats::RunResult*> group;
       group.reserve(seeds);
-      for (std::uint64_t r = 0; r < seeds; ++r) group.push_back(&res.results[i++]);
+      for (std::uint64_t r = 0; r < seeds; ++r) {
+        group.push_back(&res.results[i++]);
+      }
       s.agg = stats::aggregate_runs(group);
       out.push_back(std::move(s));
     }

@@ -1,0 +1,183 @@
+// FailureSchedule: deterministic, seed-derived churn event plan.
+//
+// SPECI-2 (PAPERS.md) argues cloud-scale simulation must treat failure as
+// the *normal* operating mode. This header turns that into a concrete,
+// replayable artifact: given a churn configuration, an entity census and
+// the run seed, build_failure_schedule() produces the complete list of
+// server/link down+up transitions for the whole horizon — before the
+// simulation starts. Injection is then trivial (post each event at its
+// time) and the schedule itself is a pure function of (config, shape,
+// seed), so identical seeds yield byte-identical runs at any worker count.
+//
+// Stochastic churn is an alternating renewal process per entity: up
+// durations ~ Exp(MTBF), down durations ~ Exp(MTTR). Each entity draws
+// from its own splitmix64-derived RNG stream, so adding servers or
+// enabling link churn never perturbs another entity's timeline.
+// Scripted entries ("kill pod 3 at t=30s") overlay the stochastic plan;
+// overlapping outages are resolved by the injector's per-entity down
+// counts (core/churn.h), not here — the schedule just lists transitions.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace scda::sim {
+
+enum class FailureKind : std::uint8_t {
+  kServerDown,
+  kServerUp,
+  kLinkDown,
+  kLinkUp,
+};
+
+[[nodiscard]] constexpr const char* to_string(FailureKind k) noexcept {
+  switch (k) {
+    case FailureKind::kServerDown: return "server_down";
+    case FailureKind::kServerUp: return "server_up";
+    case FailureKind::kLinkDown: return "link_down";
+    case FailureKind::kLinkUp: return "link_up";
+  }
+  return "?";
+}
+
+/// One scheduled transition. `index` is a server index for the server
+/// kinds and a trunk (ToR) index for the link kinds.
+struct FailureEvent {
+  SimTime at{};
+  FailureKind kind = FailureKind::kServerDown;
+  std::int32_t index = 0;
+};
+
+/// Operator-scripted failure: "kill pod 3 at t=30s for 20s". A pod entry
+/// expands to one event pair per server in the pod. duration_s <= 0 means
+/// the outage lasts to the end of the run (no up event is emitted).
+struct ScriptedFailure {
+  enum class Target : std::uint8_t { kServer, kLink, kPod };
+  double at_s = 0.0;
+  Target target = Target::kServer;
+  std::int32_t index = 0;
+  double duration_s = 0.0;
+};
+
+/// Churn knobs (docs/scenarios.md). An MTBF of 0 disables the stochastic
+/// process for that entity class; scripted entries always apply.
+struct ChurnConfig {
+  bool enabled = false;
+  double server_mtbf_s = 0.0;  ///< mean up-time between server failures
+  double server_mttr_s = 10.0; ///< mean server repair (down) time
+  double link_mtbf_s = 0.0;    ///< mean up-time between trunk failures
+  double link_mttr_s = 5.0;    ///< mean trunk repair time
+  /// Stochastic processes are generated over [0, horizon_s); the runner
+  /// sets this to the run's sim_time_s. <= 0 disables stochastic churn
+  /// (scripted entries still apply).
+  double horizon_s = 0.0;
+  std::vector<ScriptedFailure> scripted;
+};
+
+/// Entity census the schedule is built over: how many servers, how many
+/// ToR trunks (a "link failure" cuts one ToR's duplex uplink pair), and
+/// the pod size used to expand kPod scripted entries.
+struct ChurnShape {
+  std::int32_t n_servers = 0;
+  std::int32_t n_links = 0;        ///< ToR trunk count
+  std::int32_t servers_per_pod = 0;
+};
+
+/// splitmix64 — the repo's standard seed-mixing hash (same constants as
+/// the workload dispatch hash); good avalanche, so per-entity streams
+/// derived from (seed, tag, index) are effectively independent.
+[[nodiscard]] constexpr std::uint64_t churn_mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+namespace detail {
+
+/// Append one entity's alternating up/down renewal process over [0, horizon).
+inline void append_renewal(std::vector<FailureEvent>& out, std::uint64_t seed,
+                           std::uint64_t tag, std::int32_t index,
+                           double mtbf_s, double mttr_s, double horizon_s,
+                           FailureKind down, FailureKind up) {
+  if (mtbf_s <= 0.0 || horizon_s <= 0.0) return;
+  const std::uint64_t key =
+      (tag << 32) |
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(index));
+  Rng rng(churn_mix(seed ^ churn_mix(key)));
+  double t = rng.exponential(mtbf_s);
+  while (t < horizon_s) {
+    out.push_back({secs(t), down, index});
+    t += mttr_s > 0.0 ? rng.exponential(mttr_s) : 0.0;
+    if (t >= horizon_s) break;
+    out.push_back({secs(t), up, index});
+    t += rng.exponential(mtbf_s);
+  }
+}
+
+}  // namespace detail
+
+/// Build the full, sorted failure schedule for one run. Pure function of
+/// its arguments; cfg.horizon_s <= 0 disables the stochastic processes but
+/// still expands scripted entries.
+[[nodiscard]] inline std::vector<FailureEvent> build_failure_schedule(
+    const ChurnConfig& cfg, const ChurnShape& shape, std::uint64_t seed) {
+  std::vector<FailureEvent> out;
+  if (!cfg.enabled) return out;
+
+  for (std::int32_t s = 0; s < shape.n_servers; ++s)
+    detail::append_renewal(out, seed, /*tag=*/1, s, cfg.server_mtbf_s,
+                           cfg.server_mttr_s, cfg.horizon_s,
+                           FailureKind::kServerDown, FailureKind::kServerUp);
+  for (std::int32_t l = 0; l < shape.n_links; ++l)
+    detail::append_renewal(out, seed, /*tag=*/2, l, cfg.link_mtbf_s,
+                           cfg.link_mttr_s, cfg.horizon_s,
+                           FailureKind::kLinkDown, FailureKind::kLinkUp);
+
+  const auto push_pair = [&out](double at_s, double duration_s,
+                                FailureKind down, FailureKind up,
+                                std::int32_t index) {
+    if (at_s < 0.0) return;
+    out.push_back({secs(at_s), down, index});
+    if (duration_s > 0.0) out.push_back({secs(at_s + duration_s), up, index});
+  };
+  for (const ScriptedFailure& f : cfg.scripted) {
+    switch (f.target) {
+      case ScriptedFailure::Target::kServer:
+        if (f.index >= 0 && f.index < shape.n_servers)
+          push_pair(f.at_s, f.duration_s, FailureKind::kServerDown,
+                    FailureKind::kServerUp, f.index);
+        break;
+      case ScriptedFailure::Target::kLink:
+        if (f.index >= 0 && f.index < shape.n_links)
+          push_pair(f.at_s, f.duration_s, FailureKind::kLinkDown,
+                    FailureKind::kLinkUp, f.index);
+        break;
+      case ScriptedFailure::Target::kPod: {
+        // A pod is one aggregation subtree's worth of servers.
+        const std::int32_t per = shape.servers_per_pod;
+        if (per <= 0) break;
+        const std::int32_t first = f.index * per;
+        for (std::int32_t s = first; s < first + per; ++s)
+          if (s >= 0 && s < shape.n_servers)
+            push_pair(f.at_s, f.duration_s, FailureKind::kServerDown,
+                      FailureKind::kServerUp, s);
+        break;
+      }
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const FailureEvent& a, const FailureEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              return a.index < b.index;
+            });
+  return out;
+}
+
+}  // namespace scda::sim

@@ -19,7 +19,9 @@ class Rng {
   explicit Rng(std::uint64_t seed = 0x5cda2013ULL) : eng_(seed) {}
 
   /// Uniform double in [0, 1).
-  double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(eng_); }
+  double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(eng_);
+  }
 
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi) {

@@ -18,12 +18,17 @@ namespace scda::sim {
 
 class Simulator {
  public:
-  explicit Simulator(std::uint64_t seed = 0x5cda2013ULL) : rng_(seed) {}
+  explicit Simulator(std::uint64_t seed = 0x5cda2013ULL)
+      : seed_(seed), rng_(seed) {}
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   [[nodiscard]] Time now() const noexcept { return now_; }
+  /// The seed this simulator (and its RNG) was constructed with. Components
+  /// that derive their own RNG streams (the failure schedule) mix it so one
+  /// run seed determines every stream.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
   [[nodiscard]] EventQueue& queue() noexcept { return queue_; }
   [[nodiscard]] const EventQueue& queue() const noexcept { return queue_; }
@@ -48,7 +53,9 @@ class Simulator {
   /// that mean fire-and-forget use post_in() instead.
   template <typename F>
   [[nodiscard]] EventHandle schedule_in(Time delay, F&& f) {
-    if (delay < Time{}) throw std::invalid_argument("schedule_in: negative delay");
+    if (delay < Time{}) {
+      throw std::invalid_argument("schedule_in: negative delay");
+    }
     return queue_.schedule(now_ + delay, std::forward<F>(f));
   }
 
@@ -114,6 +121,7 @@ class Simulator {
  private:
   Time now_{};
   EventQueue queue_;
+  std::uint64_t seed_;
   Rng rng_;
   obs::Observability* obs_ = nullptr;
 };
@@ -148,7 +156,9 @@ class PeriodicProcess {
   [[nodiscard]] bool running() const noexcept { return running_; }
   [[nodiscard]] Time period() const noexcept { return period_; }
   void set_period(Time p) {
-    if (p <= Time{}) throw std::invalid_argument("set_period: period must be > 0");
+    if (p <= Time{}) {
+      throw std::invalid_argument("set_period: period must be > 0");
+    }
     period_ = p;
   }
 

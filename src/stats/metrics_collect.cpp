@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "core/churn.h"
 #include "core/cloud.h"
 #include "obs/observability.h"
 #include "sim/simulator.h"
@@ -87,6 +88,40 @@ void collect_run_metrics(obs::MetricsRegistry& reg, const sim::Simulator& sim,
     reg.add("transport.fluid_rerates", static_cast<double>(fs.rerates));
     reg.add("transport.mode_switches",
             static_cast<double>(tm.mode_switches()));
+  }
+
+  // --- churn / failure injection ---------------------------------------------
+  // Same conditional-registration rule as the fluid block above: churn-off
+  // runs keep the historical metric set byte-identical.
+  if (cloud.config().churn.enabled) {
+    const core::ChurnStats& ch = cloud.churn_stats();
+    reg.add("churn.failovers", static_cast<double>(ch.failovers));
+    reg.add("churn.aborted_flows", static_cast<double>(ch.aborted_flows));
+    reg.add("churn.repair_flows_started",
+            static_cast<double>(ch.repair_flows_started));
+    reg.add("churn.repair_flows_completed",
+            static_cast<double>(ch.repair_flows_completed));
+    reg.add("churn.repair_bytes", static_cast<double>(ch.repair_bytes));
+    reg.add("churn.repair_retries", static_cast<double>(ch.repair_retries));
+    reg.add("churn.objects_lost", static_cast<double>(ch.objects_lost));
+    reg.add("churn.sla_violations_during_repair",
+            static_cast<double>(ch.sla_violations_during_repair));
+    reg.set("churn.under_replicated_seconds",
+            cloud.under_replicated_seconds());
+    reg.set("churn.under_replicated_objects",
+            static_cast<double>(cloud.under_replicated_objects()));
+    reg.set("churn.repair_queue_depth",
+            static_cast<double>(cloud.repair_queue_depth()));
+    if (const core::ChurnInjector* inj = cloud.churn()) {
+      const core::ChurnInjectorStats& is = inj->stats();
+      reg.add("churn.events_scheduled", static_cast<double>(is.scheduled));
+      reg.add("churn.server_failures", static_cast<double>(is.server_downs));
+      reg.add("churn.server_recoveries", static_cast<double>(is.server_ups));
+      reg.add("churn.link_failures", static_cast<double>(is.link_downs));
+      reg.add("churn.link_recoveries", static_cast<double>(is.link_ups));
+    }
+    reg.add("transport.flows_aborted",
+            static_cast<double>(tm.aborted_flows()));
   }
 
   // --- control plane (RM/RA round cost) + SLA -------------------------------

@@ -34,8 +34,8 @@ CorePerf collect_core_perf(const sim::Simulator& sim,
 void emit_core_perf(std::FILE* out, const CorePerf& p) {
   std::fprintf(
       out,
-      "# core-perf: {\"events_scheduled\":%" PRIu64 ",\"events_popped\":%" PRIu64
-      ",\"events_cancelled\":%" PRIu64 ",\"stale_cancels\":%" PRIu64
+      "# core-perf: {\"events_scheduled\":%" PRIu64 ",\"events_popped\":%"
+      PRIu64 ",\"events_cancelled\":%" PRIu64 ",\"stale_cancels\":%" PRIu64
       ",\"heap_hwm\":%" PRIu64 ",\"event_pool_slots\":%" PRIu64
       ",\"callbacks_inline\":%" PRIu64 ",\"callbacks_heap\":%" PRIu64
       ",\"link_pool_slots\":%" PRIu64 ",\"link_queue_hwm\":%" PRIu64

@@ -34,7 +34,7 @@ struct FlowRecord {
   net::NodeId dst = net::kInvalidNode;
   std::int64_t size_bytes = 0;
   sim::Time start_time{};
-  sim::Time finish_time = sim::secs(-1.0);  ///< set when all bytes are delivered
+  sim::Time finish_time = sim::secs(-1.0);  ///< set once all bytes delivered
   TransportKind transport = TransportKind::kTcp;
   ContentClass content = ContentClass::kSemiInteractive;
   /// Priority weight (paper eq. 6); 1.0 = unweighted max-min share.
@@ -44,6 +44,9 @@ struct FlowRecord {
   /// Advanced analytically by the fluid engine (no sender/receiver agents,
   /// no packets); see fluid.h for the mode decision.
   bool fluid = false;
+  /// Cut short by a failure (docs/scenarios.md): never finished, never
+  /// counted as a completion, and ignored by FCT statistics.
+  bool aborted = false;
 
   [[nodiscard]] bool finished() const noexcept {
     return finish_time >= sim::Time{};

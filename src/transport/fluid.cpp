@@ -103,8 +103,8 @@ void FluidEngine::arm_completion(net::FlowId id, std::uint32_t slot) {
     completion_[slot] = sim::EventHandle{};
     return;
   }
-  const sim::Time t = net_.sim().now() + sim::secs(remaining * 8.0 / rate_[slot]) +
-                      latency_[slot];
+  const sim::Time t = net_.sim().now() +
+                      sim::secs(remaining * 8.0 / rate_[slot]) + latency_[slot];
   completion_[slot] = net_.sim().reschedule_at(completion_[slot], t,
                                                [this, id] { complete(id); });
 }
@@ -157,6 +157,23 @@ void FluidEngine::complete(net::FlowId id) {
   ++stats_.completed;
 
   if (on_complete_) on_complete_(id);
+}
+
+void FluidEngine::abort(net::FlowId id) {
+  const std::size_t row = find_row(id);
+  if (row == kNoRow)
+    throw std::invalid_argument("FluidEngine::abort: unknown flow");
+  const std::uint32_t slot = by_id_[row].slot;
+
+  // Charge what actually made it onto the wire, then detach from the path.
+  advance(slot);
+  for (const net::LinkId l : path_[slot]) net_.link(l).fluid_flow_leave();
+  net_.sim().cancel(completion_[slot]);
+  completion_[slot] = sim::EventHandle{};
+
+  by_id_.erase(by_id_.begin() + static_cast<std::ptrdiff_t>(row));
+  free_slots_.push_back(slot);
+  ++stats_.aborted;
 }
 
 std::int64_t FluidEngine::delivered_bytes(net::FlowId id) const {

@@ -53,6 +53,7 @@ struct FluidStats {
   std::uint64_t completed = 0;  ///< fluid completions delivered
   std::uint64_t epochs = 0;     ///< RA-epoch re-rate rounds observed
   std::uint64_t rerates = 0;    ///< individual flow re-rate operations
+  std::uint64_t aborted = 0;    ///< flows cut short by failure injection
 };
 
 class FluidEngine {
@@ -67,7 +68,9 @@ class FluidEngine {
   /// Fired when a flow's last byte lands at the receiver (injection done +
   /// one-way path latency). The flow is already removed when this runs, so
   /// the callback may start new flows freely.
-  void set_completion_callback(CompletionFn fn) { on_complete_ = std::move(fn); }
+  void set_completion_callback(CompletionFn fn) {
+    on_complete_ = std::move(fn);
+  }
 
   /// Admit a flow: it advances at `rate_bps` until re-rated. The path is
   /// copied into a recycled slot vector; each path link gets a
@@ -85,6 +88,12 @@ class FluidEngine {
   /// in the stats; admission re-rates pass false.
   void rerate_all(const std::function<double(net::FlowId)>& rate_of,
                   bool epoch);
+
+  /// Tear a flow down mid-transfer (failure injection): bytes delivered so
+  /// far stay charged to the links, the completion event is cancelled, and
+  /// the completion callback is NOT fired — the control plane that asked
+  /// for the abort owns the aftermath (retry, failover, repair).
+  void abort(net::FlowId id);
 
   [[nodiscard]] bool has_flow(net::FlowId id) const {
     return find_row(id) != kNoRow;

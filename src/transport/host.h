@@ -22,7 +22,8 @@ class Agent {
 class Host {
  public:
   Host(net::Network& net, net::NodeId node) : net_(net), node_(node) {
-    net_.node(node_).set_sink([this](net::Packet&& p) { dispatch(std::move(p)); });
+    net_.node(node_).set_sink(
+        [this](net::Packet&& p) { dispatch(std::move(p)); });
   }
 
   Host(const Host&) = delete;

@@ -33,6 +33,7 @@ void WindowSender::start() {
 void WindowSender::handle(net::Packet&& p) {
   if (p.type != net::PacketType::kAck) return;
   if (fully_acked()) return;  // stray ACKs after completion
+  if (stopped_) return;       // flow aborted; late ACKs must not revive it
 
   peer_rcvw_ = p.rcvw_bytes;
 
@@ -97,6 +98,7 @@ void WindowSender::handle(net::Packet&& p) {
 }
 
 void WindowSender::maybe_send() {
+  if (stopped_) return;
   if (pacing_rate_bps_ > 0) {
     pump_paced();
   } else {

@@ -40,6 +40,18 @@ class WindowSender : public Agent {
   /// Begin transmitting (schedules the first window immediately).
   void start();
 
+  /// Stop transmitting for good (flow aborted by failure injection): the
+  /// RTO is disarmed and any in-flight paced-send event is invalidated via
+  /// the epoch guard. The agent object stays alive — stray ACKs for dead
+  /// flows are ignored, same as after normal completion.
+  void stop() noexcept {
+    disarm_rto();
+    ++pace_epoch_;
+    pace_armed_ = false;
+    stopped_ = true;
+  }
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+
   void handle(net::Packet&& p) override;
 
   [[nodiscard]] bool fully_acked() const noexcept {
@@ -136,6 +148,7 @@ class WindowSender : public Agent {
   double pacing_rate_bps_ = 0;
   bool pace_armed_ = false;
   std::uint64_t pace_epoch_ = 0;
+  bool stopped_ = false;
 };
 
 /// TCP NewReno — the rate control of the RandTCP baseline.

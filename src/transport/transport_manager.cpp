@@ -56,6 +56,34 @@ void TransportManager::finish_flow(const FlowRecord& r) {
   if (on_complete_) on_complete_(r);
 }
 
+bool TransportManager::abort_flow(net::FlowId id) {
+  FlowRecord& rec = *records_.at(id.index());
+  if (rec.finished() || rec.aborted) return false;
+  rec.aborted = true;
+  ++aborted_flows_;
+
+  if (rec.fluid) {
+    fluid_.abort(id);
+  } else {
+    // Agents stay alive (stray packets for dead flows are dropped by the
+    // agents themselves), but the sender must stop emitting and the hosts
+    // stop routing this flow's packets up the stack.
+    if (WindowSender* s = sender(id)) s->stop();
+    host(rec.src).detach(id);
+    host(rec.dst).detach(id);
+  }
+
+  if (obs::TraceRecorder* tr = obs::tracer_of(net_.sim())) {
+    tr->async_end(net_.sim().now(), "flow",
+                  rec.transport == TransportKind::kTcp ? "tcp_flow"
+                                                       : "scda_flow",
+                  static_cast<std::uint64_t>(rec.id.value()),
+                  {{"aborted", 1.0},
+                   {"bytes", static_cast<double>(rec.size_bytes)}});
+  }
+  return true;
+}
+
 net::FlowId TransportManager::start_tcp_flow(net::NodeId src, net::NodeId dst,
                                              std::int64_t size_bytes,
                                              ContentClass content) {

@@ -79,9 +79,9 @@ class TransportManager {
   }
 
   /// Start a TCP flow (RandTCP baseline). Returns its id.
-  net::FlowId start_tcp_flow(net::NodeId src, net::NodeId dst,
-                             std::int64_t size_bytes,
-                             ContentClass content = ContentClass::kSemiInteractive);
+  net::FlowId start_tcp_flow(
+      net::NodeId src, net::NodeId dst, std::int64_t size_bytes,
+      ContentClass content = ContentClass::kSemiInteractive);
 
   /// Start an SCDA flow with the given initial rate allocation.
   ScdaFlowHandles start_scda_flow(net::NodeId src, net::NodeId dst,
@@ -91,6 +91,17 @@ class TransportManager {
                                   ContentClass content =
                                       ContentClass::kSemiInteractive,
                                   double priority = 1.0);
+
+  /// Tear a live flow down mid-transfer (failure injection). The record is
+  /// marked aborted, never finished; the completion callback is NOT fired.
+  /// Packet flows keep their (stopped) agents alive so in-flight packets
+  /// and timer events drain harmlessly; fluid flows leave the engine.
+  /// Returns false if the flow is already finished or aborted.
+  bool abort_flow(net::FlowId id);
+  /// Flows torn down by abort_flow over the run.
+  [[nodiscard]] std::uint64_t aborted_flows() const noexcept {
+    return aborted_flows_;
+  }
 
   [[nodiscard]] const FlowRecord& record(net::FlowId id) const {
     return *records_.at(id.index());
@@ -145,6 +156,7 @@ class TransportManager {
   FluidEngine fluid_;
   FluidConfig fluid_config_;
   std::uint64_t mode_switches_ = 0;
+  std::uint64_t aborted_flows_ = 0;
   std::int64_t total_delivered_bytes_ = 0;
 
   std::unordered_map<net::NodeId, std::unique_ptr<Host>> hosts_;

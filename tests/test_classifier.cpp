@@ -22,13 +22,15 @@ TEST(Classifier, FewAccessesStayPassive) {
 TEST(Classifier, HighReadsOnlyIsSemiInteractive) {
   ContentClassifier c;
   for (int i = 0; i < 6; ++i) c.record_read(1, scda::sim::secs(i * 2.0));
-  EXPECT_EQ(c.classify(1, scda::sim::secs(12.0)), ContentClass::kSemiInteractive);
+  EXPECT_EQ(c.classify(1, scda::sim::secs(12.0)),
+            ContentClass::kSemiInteractive);
 }
 
 TEST(Classifier, HighWritesOnlyIsSemiInteractive) {
   ContentClassifier c;
   for (int i = 0; i < 6; ++i) c.record_write(1, scda::sim::secs(i * 2.0));
-  EXPECT_EQ(c.classify(1, scda::sim::secs(12.0)), ContentClass::kSemiInteractive);
+  EXPECT_EQ(c.classify(1, scda::sim::secs(12.0)),
+            ContentClass::kSemiInteractive);
 }
 
 TEST(Classifier, TightInterleavingIsInteractive) {
@@ -50,13 +52,15 @@ TEST(Classifier, LooseInterleavingIsNotInteractive) {
     c.record_write(1, scda::sim::secs(i * 60.0));
     c.record_read(1, scda::sim::secs(i * 60.0 + 30.0));
   }
-  EXPECT_EQ(c.classify(1, scda::sim::secs(290.0)), ContentClass::kSemiInteractive);
+  EXPECT_EQ(c.classify(1, scda::sim::secs(290.0)),
+            ContentClass::kSemiInteractive);
 }
 
 TEST(Classifier, WindowForgetsOldAccesses) {
   ContentClassifier c;  // 60 s window
   for (int i = 0; i < 6; ++i) c.record_read(1, scda::sim::secs(i * 1.0));
-  EXPECT_EQ(c.classify(1, scda::sim::secs(6.0)), ContentClass::kSemiInteractive);
+  EXPECT_EQ(c.classify(1, scda::sim::secs(6.0)),
+            ContentClass::kSemiInteractive);
   // Two minutes later the burst is outside the window.
   EXPECT_EQ(c.classify(1, scda::sim::secs(130.0)), ContentClass::kPassive);
 }
@@ -66,14 +70,15 @@ TEST(Classifier, AccessCountRespectsWindow) {
   c.record_write(1, scda::sim::secs(0.0));
   c.record_read(1, scda::sim::secs(30.0));
   EXPECT_EQ(c.accesses_in_window(1, scda::sim::secs(40.0)), 2u);
-  EXPECT_EQ(c.accesses_in_window(1, scda::sim::secs(70.0)), 1u);   // write expired
-  EXPECT_EQ(c.accesses_in_window(1, scda::sim::secs(100.0)), 0u);  // all expired
+  EXPECT_EQ(c.accesses_in_window(1, scda::sim::secs(70.0)), 1u);  // w expired
+  EXPECT_EQ(c.accesses_in_window(1, scda::sim::secs(100.0)), 0u);  // expired
 }
 
 TEST(Classifier, ContentsAreIndependent) {
   ContentClassifier c;
   for (int i = 0; i < 6; ++i) c.record_read(1, scda::sim::secs(i * 1.0));
-  EXPECT_EQ(c.classify(1, scda::sim::secs(6.0)), ContentClass::kSemiInteractive);
+  EXPECT_EQ(c.classify(1, scda::sim::secs(6.0)),
+            ContentClass::kSemiInteractive);
   EXPECT_EQ(c.classify(2, scda::sim::secs(6.0)), ContentClass::kPassive);
 }
 
@@ -83,7 +88,8 @@ TEST(Classifier, ThresholdConfigurable) {
   ContentClassifier c(cfg);
   c.record_read(1, scda::sim::secs(0.0));
   c.record_read(1, scda::sim::secs(1.0));
-  EXPECT_EQ(c.classify(1, scda::sim::secs(2.0)), ContentClass::kSemiInteractive);
+  EXPECT_EQ(c.classify(1, scda::sim::secs(2.0)),
+            ContentClass::kSemiInteractive);
 }
 
 }  // namespace

@@ -115,7 +115,9 @@ TEST(EventQueue, ManyEventsDrainCompletely) {
 TEST(EventQueue, CancelAllLeavesEmpty) {
   EventQueue q;
   std::vector<EventHandle> hs;
-  for (int i = 0; i < 50; ++i) hs.push_back(q.schedule(scda::sim::secs(1.0), [] {}));
+  for (int i = 0; i < 50; ++i) {
+    hs.push_back(q.schedule(scda::sim::secs(1.0), [] {}));
+  }
   for (auto h : hs) q.cancel(h);
   EXPECT_TRUE(q.empty());
 }
@@ -132,7 +134,8 @@ TEST(EventQueue, ScheduleFireCancelChurnKeepsBookkeepingBounded) {
   std::uint64_t fired = 0;
   EventQueue::Fired f;
   for (int i = 0; i < 1'000'000; ++i) {
-    EventHandle rto = q.schedule(scda::sim::secs(t + 1.0), [&fired] { ++fired; });
+    EventHandle rto =
+        q.schedule(scda::sim::secs(t + 1.0), [&fired] { ++fired; });
     q.post(scda::sim::secs(t + 0.5), [&fired] { ++fired; });
     ASSERT_TRUE(q.pop(f));  // the "ACK" arrives first...
     f.cb();
@@ -189,7 +192,8 @@ TEST(EventQueue, CancelInteriorPreservesOrdering) {
   std::vector<int> order;
   for (int i = 0; i < 1000; ++i) {
     const double t = static_cast<double>((i * 7919) % 257);
-    hs.push_back(q.schedule(scda::sim::secs(t), [&order, i] { order.push_back(i); }));
+    hs.push_back(
+        q.schedule(scda::sim::secs(t), [&order, i] { order.push_back(i); }));
   }
   for (std::size_t i = 0; i < hs.size(); i += 3) q.cancel(hs[i]);
   EventQueue::Fired f;

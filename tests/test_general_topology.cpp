@@ -142,11 +142,13 @@ TEST(RoutePinning, PinnedDataFollowsExplicitPath) {
 TEST(RoutePinning, BadPathsRejected) {
   sim::Simulator sim;
   net::LeafSpine ls(sim, small_cfg());
-  EXPECT_THROW(ls.net().pin_flow_route(scda::net::FlowId{1}, {}), std::invalid_argument);
-  // Non-contiguous: server uplink then an unrelated spine-gw link.
-  EXPECT_THROW(ls.net().pin_flow_route(
-                   scda::net::FlowId{1}, {ls.server_uplink(0), ls.server_uplink(3)}),
+  EXPECT_THROW(ls.net().pin_flow_route(scda::net::FlowId{1}, {}),
                std::invalid_argument);
+  // Non-contiguous: server uplink then an unrelated spine-gw link.
+  EXPECT_THROW(
+      ls.net().pin_flow_route(scda::net::FlowId{1},
+                              {ls.server_uplink(0), ls.server_uplink(3)}),
+      std::invalid_argument);
 }
 
 TEST(RoutePinning, UnpinRestoresDefaultRouting) {

@@ -130,10 +130,10 @@ TEST_F(HierarchyTest, RmLevelRatesAreMinOfChain) {
 
 TEST_F(HierarchyTest, SlaReportAttributesPerLevel) {
   // Oversubscribe one server downlink via reservations.
-  alloc_->register_flow(scda::net::FlowId{1}, topo_->clients()[0], topo_->servers()[0], 1.0,
-                        80e6);
-  alloc_->register_flow(scda::net::FlowId{2}, topo_->clients()[1], topo_->servers()[0], 1.0,
-                        80e6);
+  alloc_->register_flow(scda::net::FlowId{1}, topo_->clients()[0],
+                        topo_->servers()[0], 1.0, 80e6);
+  alloc_->register_flow(scda::net::FlowId{2}, topo_->clients()[1],
+                        topo_->servers()[0], 1.0, 80e6);
   for (int i = 0; i < 5; ++i) alloc_->tick();
   hier_->update();
   const SlaLevelReport rep = hier_->sla_report();

@@ -112,7 +112,8 @@ TEST_F(LinkTest, DeliveryPreservesPacketFields) {
   Link link(sim_, LinkId{7}, NodeId{0}, NodeId{1}, 1e6, 0.001, 1 << 20);
   Packet got;
   link.set_deliver([&](Packet&& p) { got = p; });
-  Packet p = make_data(scda::net::FlowId{42}, scda::net::NodeId{3}, scda::net::NodeId{9}, 1000, 500, sim::secs(1.25));
+  Packet p = make_data(scda::net::FlowId{42}, scda::net::NodeId{3},
+                       scda::net::NodeId{9}, 1000, 500, sim::secs(1.25));
   p.rcvw_bytes = 777;
   ASSERT_TRUE(link.enqueue(std::move(p)));
   sim_.run();
@@ -131,8 +132,14 @@ TEST_F(LinkTest, DeliveryPreservesPacketFields) {
 // difference to Simulator::schedule_in, which throws on negative delays and
 // tore down whole runs. delivery_delay must clamp FP noise to zero.
 TEST(LinkDeliveryDelay, PositiveDelayPassesThrough) {
-  EXPECT_DOUBLE_EQ(Link::delivery_delay(scda::sim::secs(2.0), scda::sim::secs(1.0)).seconds(), 1.0);
-  EXPECT_DOUBLE_EQ(Link::delivery_delay(scda::sim::secs(1.0), scda::sim::secs(1.0)).seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      Link::delivery_delay(scda::sim::secs(2.0), scda::sim::secs(1.0))
+          .seconds(),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      Link::delivery_delay(scda::sim::secs(1.0), scda::sim::secs(1.0))
+          .seconds(),
+      0.0);
 }
 
 TEST(LinkDeliveryDelay, UlpNegativeDelayClampsToZero) {
@@ -141,11 +148,18 @@ TEST(LinkDeliveryDelay, UlpNegativeDelayClampsToZero) {
   const double now = 1000.0;
   const double due = std::nextafter(now, 0.0);
   ASSERT_LT(due - now, 0.0);
-  EXPECT_DOUBLE_EQ(Link::delivery_delay(scda::sim::secs(due), scda::sim::secs(now)).seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      Link::delivery_delay(scda::sim::secs(due), scda::sim::secs(now))
+          .seconds(),
+      0.0);
 
   const double small_now = 1e-3;
   const double small_due = std::nextafter(small_now, 0.0);
-  EXPECT_DOUBLE_EQ(Link::delivery_delay(scda::sim::secs(small_due), scda::sim::secs(small_now)).seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      Link::delivery_delay(scda::sim::secs(small_due),
+                           scda::sim::secs(small_now))
+          .seconds(),
+      0.0);
 }
 
 TEST_F(LinkTest, AdversarialPropagationDelaysNeverThrow) {
@@ -157,7 +171,8 @@ TEST_F(LinkTest, AdversarialPropagationDelaysNeverThrow) {
   //
   // capacity chosen so tx time per 83-byte wire packet = 83*8/0.9e6 s
   // (a repeating binary fraction); prop delay 1/3e-4 likewise.
-  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, 0.9e6, 1.0 / 3.0 * 1e-4, 1 << 22);
+  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, 0.9e6, 1.0 / 3.0 * 1e-4,
+            1 << 22);
   std::uint64_t delivered = 0;
   std::uint64_t sent = 0;
   const std::uint64_t kPackets = 50'000;
@@ -165,13 +180,16 @@ TEST_F(LinkTest, AdversarialPropagationDelaysNeverThrow) {
     ++delivered;
     if (sent < kPackets) {
       ++sent;
-      ASSERT_TRUE(link.enqueue(make_data(scda::net::FlowId{1}, scda::net::NodeId{0}, scda::net::NodeId{1}, 0, 83 - kHeaderBytes,
-                                         sim_.now())));
+      ASSERT_TRUE(link.enqueue(
+          make_data(scda::net::FlowId{1}, scda::net::NodeId{0},
+                    scda::net::NodeId{1}, 0, 83 - kHeaderBytes, sim_.now())));
     }
   });
   for (int i = 0; i < 3; ++i) {
     ++sent;
-    ASSERT_TRUE(link.enqueue(make_data(scda::net::FlowId{1}, scda::net::NodeId{0}, scda::net::NodeId{1}, 0, 83 - kHeaderBytes, sim::Time{})));
+    ASSERT_TRUE(link.enqueue(
+        make_data(scda::net::FlowId{1}, scda::net::NodeId{0},
+                  scda::net::NodeId{1}, 0, 83 - kHeaderBytes, sim::Time{})));
   }
   ASSERT_NO_THROW(sim_.run());
   EXPECT_EQ(delivered, sent);

@@ -129,7 +129,8 @@ TEST_P(ReassemblyFuzz, RandomOrderDuplicatesAndOverlaps) {
   std::shuffle(segs.begin(), segs.end(), rng.engine());
 
   for (const auto& [seq, len] : segs)
-    recv.handle(net::make_data(scda::net::FlowId{1}, a, b, seq, len, sim.now()));
+    recv.handle(
+        net::make_data(scda::net::FlowId{1}, a, b, seq, len, sim.now()));
 
   EXPECT_EQ(recv.next_expected(), kSize);
   EXPECT_EQ(delivered, kSize);  // every byte delivered exactly once

@@ -25,7 +25,7 @@ TEST(Units, ConversionsAreExact) {
   EXPECT_EQ(util::bytes_of_bits(8000.0), 1000);
 }
 
-// --- hierarchy level queries ----------------------------------------------------
+// --- hierarchy level queries -------------------------------------------------
 
 TEST(HierarchyLevels, LowerLevelIgnoresCoreCongestion) {
   sim::Simulator sim(1);
@@ -58,7 +58,7 @@ TEST(HierarchyLevels, LowerLevelIgnoresCoreCongestion) {
   EXPECT_GT(lvl0.value_bps, 80e6);
 }
 
-// --- cloud append edge cases ---------------------------------------------------
+// --- cloud append edge cases -------------------------------------------------
 
 core::CloudConfig tiny_cloud() {
   core::CloudConfig cfg;
@@ -128,7 +128,7 @@ TEST(CloudRead, PriorityReadsFinishFasterUnderContention) {
   EXPECT_LT(hi, lo);
 }
 
-// --- SJF discipline under loss ---------------------------------------------------
+// --- SJF discipline under loss -----------------------------------------------
 
 TEST(SjfWithLoss, FlowsCompleteWithBothFeaturesActive) {
   sim::Simulator sim(5);

@@ -14,7 +14,8 @@ class NetworkTest : public ::testing::Test {
   /// Line topology: n0 - n1 - n2 - n3.
   void build_line() {
     for (int i = 0; i < 4; ++i)
-      ids_.push_back(net_.add_node(NodeRole::kOther, std::string("n") + std::to_string(i)));
+      ids_.push_back(net_.add_node(NodeRole::kOther,
+                                   std::string("n") + std::to_string(i)));
     for (int i = 0; i < 3; ++i)
       net_.add_duplex(ids_[i], ids_[i + 1], 1e6, 0.001, 1 << 20);
     net_.build_routes();
@@ -97,7 +98,8 @@ TEST_F(NetworkTest, SendDeliversAcrossMultipleHops) {
     got = p;
     ++count;
   });
-  Packet p = make_data(scda::net::FlowId{5}, ids_[0], ids_[3], 0, 1000, scda::sim::secs(0.0));
+  Packet p = make_data(scda::net::FlowId{5}, ids_[0], ids_[3], 0, 1000,
+                       scda::sim::secs(0.0));
   net_.send(std::move(p));
   sim_.run();
   EXPECT_EQ(count, 1);
@@ -108,7 +110,8 @@ TEST_F(NetworkTest, SendDeliversAcrossMultipleHops) {
 
 TEST_F(NetworkTest, PacketToNodeWithoutSinkIsDiscarded) {
   build_line();
-  net_.send(make_data(scda::net::FlowId{1}, ids_[0], ids_[2], 0, 100, scda::sim::secs(0.0)));
+  net_.send(make_data(scda::net::FlowId{1}, ids_[0], ids_[2], 0, 100,
+                      scda::sim::secs(0.0)));
   EXPECT_NO_THROW(sim_.run());
 }
 

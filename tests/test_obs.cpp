@@ -124,9 +124,12 @@ std::string trace_json(const obs::TraceRecorder& tr) {
 
 TEST(Trace, RecordsAllPhases) {
   obs::TraceRecorder tr(64);
-  tr.async_begin(scda::sim::secs(0.5), "flow", "tcp_flow", 7, {{"bytes", 1000.0}});
-  tr.instant(scda::sim::secs(1.0), "net", "packet_drop", obs::kTrackNet, {{"link", 3.0}});
-  tr.complete(scda::sim::secs(1.5), scda::sim::secs(0.0), "control", "ra_round", obs::kTrackControl);
+  tr.async_begin(scda::sim::secs(0.5), "flow", "tcp_flow", 7,
+                 {{"bytes", 1000.0}});
+  tr.instant(scda::sim::secs(1.0), "net", "packet_drop", obs::kTrackNet,
+             {{"link", 3.0}});
+  tr.complete(scda::sim::secs(1.5), scda::sim::secs(0.0), "control",
+              "ra_round", obs::kTrackControl);
   tr.counter(scda::sim::secs(2.0), "active_flows", 5.0);
   tr.async_end(scda::sim::secs(2.5), "flow", "tcp_flow", 7, {{"fct_s", 2.0}});
   EXPECT_EQ(tr.recorded(), 5u);
@@ -150,7 +153,8 @@ TEST(Trace, RecordsAllPhases) {
 TEST(Trace, RingOverflowDropsOldestAndCounts) {
   obs::TraceRecorder tr(8);
   for (int i = 0; i < 20; ++i)
-    tr.instant(scda::sim::secs(static_cast<double>(i)), "net", "tick", obs::kTrackNet);
+    tr.instant(scda::sim::secs(static_cast<double>(i)), "net", "tick",
+               obs::kTrackNet);
   EXPECT_EQ(tr.capacity(), 8u);
   EXPECT_EQ(tr.size(), 8u);
   EXPECT_EQ(tr.recorded(), 20u);
@@ -266,7 +270,9 @@ TEST(Obs, DisabledHotPathDoesNotAllocate) {
     std::uint64_t budget = 0;
     double period = 1e-3;
     void fire() {
-      if (--budget > 0) sim->post_in(scda::sim::secs(period), [this] { fire(); });
+      if (--budget > 0) {
+        sim->post_in(scda::sim::secs(period), [this] { fire(); });
+      }
     }
   };
   std::vector<Chain> chains(64);

@@ -11,7 +11,8 @@ namespace scda::net {
 namespace {
 
 Packet pkt(FlowId flow, std::int64_t seq = 0) {
-  return make_data(flow, scda::net::NodeId{0}, scda::net::NodeId{1}, seq, 1000, scda::sim::secs(0.0));
+  return make_data(flow, scda::net::NodeId{0}, scda::net::NodeId{1}, seq,
+                   1000, scda::sim::secs(0.0));
 }
 
 /// Drain the queue through the select/take service cycle a link performs,
@@ -39,7 +40,9 @@ TEST(PacketQueue, FifoServesArrivalOrder) {
   for (int i = 0; i < 5; ++i) q.push(pkt(FlowId{i % 2}, i));
   const auto order = drain(q);
   ASSERT_EQ(order.size(), 5u);
-  for (int i = 0; i < 5; ++i) EXPECT_EQ(order[static_cast<size_t>(i)].second, i);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)].second, i);
+  }
 }
 
 TEST(PacketQueue, SjfServesLeastTransmittedFlowFirst) {
@@ -102,7 +105,7 @@ TEST(PacketQueue, SwitchToSjfWithQueuedPacketsRebuildsIndex) {
   EXPECT_EQ(first.flow, FlowId{1});
   const auto order = drain(q);
   ASSERT_EQ(order.size(), 5u);
-  EXPECT_EQ(order[1].first, FlowId{2});  // after one flow-1 tx, flow 2 has fewer
+  EXPECT_EQ(order[1].first, FlowId{2});  // after a flow-1 tx, flow 2 is next
 }
 
 TEST(PacketQueue, SwitchBackToFifoRestoresArrivalOrder) {
@@ -114,12 +117,14 @@ TEST(PacketQueue, SwitchBackToFifoRestoresArrivalOrder) {
   q.set_discipline(QueueDiscipline::kFifo);
   const auto order = drain(q);
   ASSERT_EQ(order.size(), 3u);
-  for (int i = 0; i < 3; ++i) EXPECT_EQ(order[static_cast<size_t>(i)].second, i);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)].second, i);
+  }
 }
 
 TEST(PacketQueue, TxCountsOnlyAdvanceUnderSjf) {
   PacketQueue q;
-  q.note_transmitted(scda::net::FlowId{5});  // FIFO mode: no SJF bookkeeping exists
+  q.note_transmitted(scda::net::FlowId{5});  // FIFO mode: no SJF bookkeeping
   EXPECT_EQ(q.tx_count(scda::net::FlowId{5}), 0u);
   q.set_discipline(QueueDiscipline::kSjf);
   q.note_transmitted(scda::net::FlowId{5});

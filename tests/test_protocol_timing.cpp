@@ -101,7 +101,8 @@ TEST_F(ProtocolTimingTest, NnsQueueDelaysSecondConcurrentRequest) {
   ASSERT_EQ(recs.size(), 2u);
   // Same arrival instant, one NNS: the second flow starts one service
   // time after the first.
-  EXPECT_NEAR((recs[1]->start_time - recs[0]->start_time).seconds(), 5e-3, 1e-9);
+  EXPECT_NEAR((recs[1]->start_time - recs[0]->start_time).seconds(), 5e-3,
+              1e-9);
 }
 
 TEST_F(ProtocolTimingTest, ControlLatencyConfigurable) {

@@ -22,7 +22,8 @@ TEST(QueueSampler, MeasuresStandingQueue) {
   // Dump 100 packets instantly into a 1 Mbps link: a queue must build and
   // drain over ~1.2 s.
   for (int i = 0; i < 100; ++i)
-    net.send(net::make_data(scda::net::FlowId{1}, a, b, i * 1460, 1460, scda::sim::secs(0.0)));
+    net.send(net::make_data(scda::net::FlowId{1}, a, b, i * 1460, 1460,
+                            scda::sim::secs(0.0)));
   sim.run_until(scda::sim::secs(2.0));
   sampler.stop();
   EXPECT_GT(sampler.max_queue_bytes(), 50 * 1500.0);

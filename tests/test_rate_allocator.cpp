@@ -66,7 +66,9 @@ TEST_F(RateAllocatorTest, SingleFlowGetsBottleneckCapacity) {
 
 TEST_F(RateAllocatorTest, EqualFlowsShareEqually) {
   auto alloc = make();
-  for (net::FlowId f{1}; f <= net::FlowId{4}; ++f) alloc.register_flow(f, a_, b_);
+  for (net::FlowId f{1}; f <= net::FlowId{4}; ++f) {
+    alloc.register_flow(f, a_, b_);
+  }
   settle(alloc);
   for (net::FlowId f{1}; f <= net::FlowId{4}; ++f)
     EXPECT_NEAR(alloc.flow_rate(f), 50e6 / 4, 1e3) << "flow " << f.value();
@@ -78,7 +80,9 @@ TEST_F(RateAllocatorTest, MaxMinFairnessAcrossHeterogeneousPaths) {
   // the remaining 100M - share so that the a->m link is fully used.
   auto alloc = make();
   alloc.register_flow(scda::net::FlowId{1}, a_, b_);
-  for (net::FlowId f{2}; f <= net::FlowId{4}; ++f) alloc.register_flow(f, a_, m_);
+  for (net::FlowId f{2}; f <= net::FlowId{4}; ++f) {
+    alloc.register_flow(f, a_, m_);
+  }
   settle(alloc, 200);
   const double long_rate = alloc.flow_rate(scda::net::FlowId{1});
   const double short_rate = alloc.flow_rate(scda::net::FlowId{2});
@@ -131,7 +135,9 @@ TEST_F(RateAllocatorTest, ReservationGuaranteesMinimumRate) {
   auto alloc = make();
   // 10 unit flows plus one with a 30M reservation on the 50M bottleneck.
   alloc.register_flow(scda::net::FlowId{1}, a_, b_, 1.0, /*reserved_bps=*/30e6);
-  for (net::FlowId f{2}; f <= net::FlowId{11}; ++f) alloc.register_flow(f, a_, b_);
+  for (net::FlowId f{2}; f <= net::FlowId{11}; ++f) {
+    alloc.register_flow(f, a_, b_);
+  }
   settle(alloc, 200);
   EXPECT_GE(alloc.flow_rate(scda::net::FlowId{1}), 30e6);
   // Others share the remaining ~20M.
@@ -154,7 +160,8 @@ TEST_F(RateAllocatorTest, UnregisterRestoresShares) {
 TEST_F(RateAllocatorTest, DoubleRegistrationThrows) {
   auto alloc = make();
   alloc.register_flow(scda::net::FlowId{1}, a_, b_);
-  EXPECT_THROW(alloc.register_flow(scda::net::FlowId{1}, a_, b_), std::logic_error);
+  EXPECT_THROW(alloc.register_flow(scda::net::FlowId{1}, a_, b_),
+               std::logic_error);
 }
 
 TEST_F(RateAllocatorTest, ImmediateFeedbackOnRegistration) {
@@ -163,11 +170,14 @@ TEST_F(RateAllocatorTest, ImmediateFeedbackOnRegistration) {
   auto alloc = make();
   settle(alloc, 2);
   alloc.register_flow(scda::net::FlowId{1}, a_, b_);
-  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 50e6, 1e3);  // first: full bottleneck
+  // first: the full bottleneck
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 50e6, 1e3);
   alloc.register_flow(scda::net::FlowId{2}, a_, b_);
-  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}), 25e6, 1e3);  // second: gamma/2
+  // second: gamma/2
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}), 25e6, 1e3);
   alloc.register_flow(scda::net::FlowId{3}, a_, b_);
-  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{3}), 50e6 / 3, 1e3);  // third: gamma/3
+  // third: gamma/3
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{3}), 50e6 / 3, 1e3);
 }
 
 TEST_F(RateAllocatorTest, ProspectiveRateAnticipatesNewFlow) {
@@ -195,11 +205,13 @@ TEST_F(RateAllocatorTest, ROtherConstrainsFlowRate) {
 
 TEST_F(RateAllocatorTest, ROtherReleasedCapacityGoesToOthers) {
   auto alloc = make();
-  alloc.register_flow(scda::net::FlowId{1}, a_, b_, 1.0, 0.0, nullptr, [] { return 5e6; });
+  alloc.register_flow(scda::net::FlowId{1}, a_, b_, 1.0, 0.0, nullptr,
+                      [] { return 5e6; });
   alloc.register_flow(scda::net::FlowId{2}, a_, b_);
   settle(alloc, 200);
   EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 5e6, 1e3);
-  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}), 45e6, 5e5);  // picks up the slack
+  // picks up the slack
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}), 45e6, 5e5);
 }
 
 TEST_F(RateAllocatorTest, SlaViolationDetectedOnOversubscription) {
@@ -280,7 +292,9 @@ TEST_F(RateAllocatorTest, OutputIndependentOfInsertionOrder) {
     }
     for (int t = 0; t < 40; ++t) alloc.tick();
     std::vector<double> out;
-    for (const Spec& s : specs) out.push_back(alloc.flow_rate(net::FlowId{s.id}));
+    for (const Spec& s : specs) {
+      out.push_back(alloc.flow_rate(net::FlowId{s.id}));
+    }
     out.push_back(alloc.link_rate(am_));
     out.push_back(alloc.link_rate(mb_));
     out.push_back(alloc.link_rate_sum(am_));

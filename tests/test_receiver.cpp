@@ -146,7 +146,8 @@ TEST_F(ReceiverTest, RcvwFlooredAtOneSegment) {
 
 TEST_F(ReceiverTest, NonDataPacketsIgnored) {
   auto r = make_receiver();
-  auto ack = net::make_ack(scda::net::FlowId{1}, a_, b_, 500, scda::sim::secs(0.0), scda::sim::secs(0.0), 0);
+  auto ack = net::make_ack(scda::net::FlowId{1}, a_, b_, 500,
+                           scda::sim::secs(0.0), scda::sim::secs(0.0), 0);
   r.handle(std::move(ack));
   EXPECT_EQ(r.next_expected(), 0);
   EXPECT_TRUE(acks_.empty());

@@ -197,7 +197,9 @@ struct SlicedRun {
         *cloud, cfg.make_generator(), cfg.driver);
     driver->start();
   }
-  std::uint64_t advance_to(double t) { return sim.run_until(scda::sim::secs(t)); }
+  std::uint64_t advance_to(double t) {
+    return sim.run_until(scda::sim::secs(t));
+  }
 
   runner::ExperimentConfig config;
   sim::Simulator sim;

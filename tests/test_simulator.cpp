@@ -31,7 +31,8 @@ TEST(Simulator, ScheduleAtAbsoluteTime) {
 
 TEST(Simulator, NegativeDelayThrows) {
   Simulator sim;
-  EXPECT_THROW(sim.post_in(scda::sim::secs(-0.1), [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.post_in(scda::sim::secs(-0.1), [] {}),
+               std::invalid_argument);
 }
 
 TEST(Simulator, PastAbsoluteTimeThrows) {
@@ -86,14 +87,17 @@ TEST(Simulator, CancelStopsScheduledEvent) {
 
 TEST(Simulator, RunReturnsEventCount) {
   Simulator sim;
-  for (int i = 0; i < 7; ++i) sim.post_in(scda::sim::secs(0.1 * (i + 1)), [] {});
+  for (int i = 0; i < 7; ++i) {
+    sim.post_in(scda::sim::secs(0.1 * (i + 1)), [] {});
+  }
   EXPECT_EQ(sim.run(), 7u);
 }
 
 TEST(PeriodicProcess, FiresAtPeriod) {
   Simulator sim;
   std::vector<double> ticks;
-  PeriodicProcess p(sim, secs(0.5), [&] { ticks.push_back(sim.now().seconds()); });
+  PeriodicProcess p(sim, secs(0.5),
+                    [&] { ticks.push_back(sim.now().seconds()); });
   p.start(scda::sim::secs(0.5));
   sim.run_until(scda::sim::secs(2.1));
   ASSERT_EQ(ticks.size(), 4u);
@@ -104,7 +108,8 @@ TEST(PeriodicProcess, FiresAtPeriod) {
 TEST(PeriodicProcess, StartWithCustomFirstDelay) {
   Simulator sim;
   std::vector<double> ticks;
-  PeriodicProcess p(sim, secs(1.0), [&] { ticks.push_back(sim.now().seconds()); });
+  PeriodicProcess p(sim, secs(1.0),
+                    [&] { ticks.push_back(sim.now().seconds()); });
   p.start(scda::sim::secs(0.25));
   sim.run_until(scda::sim::secs(2.5));
   ASSERT_GE(ticks.size(), 2u);
@@ -144,7 +149,8 @@ TEST(PeriodicProcess, InvalidPeriodThrows) {
 TEST(PeriodicProcess, RestartResetsSchedule) {
   Simulator sim;
   std::vector<double> ticks;
-  PeriodicProcess p(sim, secs(1.0), [&] { ticks.push_back(sim.now().seconds()); });
+  PeriodicProcess p(sim, secs(1.0),
+                    [&] { ticks.push_back(sim.now().seconds()); });
   p.start(scda::sim::secs(1.0));
   sim.run_until(scda::sim::secs(1.5));
   p.start(scda::sim::secs(1.0));  // restart at t=1.5 -> next tick 2.5

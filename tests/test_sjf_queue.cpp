@@ -11,12 +11,16 @@ namespace {
 
 class SjfQueueTest : public ::testing::Test {
  protected:
-  SjfQueueTest() : link_(sim_, LinkId{0}, NodeId{0}, NodeId{1}, 1e6, 0.001, 1 << 20) {
+  SjfQueueTest()
+      : link_(sim_, LinkId{0}, NodeId{0}, NodeId{1}, 1e6, 0.001, 1 << 20) {
     link_.set_discipline(QueueDiscipline::kSjf);
     link_.set_deliver([this](Packet&& p) { order_.push_back(p.flow); });
   }
 
-  Packet pkt(FlowId flow) { return make_data(flow, scda::net::NodeId{0}, scda::net::NodeId{1}, 0, 1000, scda::sim::secs(0.0)); }
+  Packet pkt(FlowId flow) {
+    return make_data(flow, scda::net::NodeId{0}, scda::net::NodeId{1}, 0, 1000,
+                     scda::sim::secs(0.0));
+  }
 
   sim::Simulator sim_;
   Link link_;
@@ -26,7 +30,9 @@ class SjfQueueTest : public ::testing::Test {
 TEST_F(SjfQueueTest, YoungFlowOvertakesQueuedElder) {
   // Flow 1 fills the queue; flow 2's first packet arrives later but must
   // be served before flow 1's backlog (flow 2 has sent 0 packets).
-  for (int i = 0; i < 5; ++i) ASSERT_TRUE(link_.enqueue(pkt(scda::net::FlowId{1})));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(link_.enqueue(pkt(scda::net::FlowId{1})));
+  }
   ASSERT_TRUE(link_.enqueue(pkt(scda::net::FlowId{2})));
   sim_.run();
   ASSERT_EQ(order_.size(), 6u);
@@ -53,11 +59,14 @@ TEST_F(SjfQueueTest, AlternatesBetweenEqualCountFlows) {
 
 TEST_F(SjfQueueTest, FifoDisciplinePreservesArrivalOrder) {
   link_.set_discipline(QueueDiscipline::kFifo);
-  for (int i = 0; i < 3; ++i) ASSERT_TRUE(link_.enqueue(pkt(scda::net::FlowId{1})));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(link_.enqueue(pkt(scda::net::FlowId{1})));
+  }
   ASSERT_TRUE(link_.enqueue(pkt(scda::net::FlowId{2})));
   ASSERT_TRUE(link_.enqueue(pkt(scda::net::FlowId{1})));
   sim_.run();
-  EXPECT_EQ(order_, (std::vector<FlowId>{FlowId{1}, FlowId{1}, FlowId{1}, FlowId{2}, FlowId{1}}));
+  EXPECT_EQ(order_, (std::vector<FlowId>{FlowId{1}, FlowId{1}, FlowId{1},
+                                         FlowId{2}, FlowId{1}}));
 }
 
 TEST(SjfEndToEnd, ShortTcpFlowFinishesFasterUnderSjf) {
@@ -79,7 +88,8 @@ TEST(SjfEndToEnd, ShortTcpFlowFinishesFasterUnderSjf) {
           if (r.size_bytes < 1'000'000) short_fct = r.fct();
         });
     tm.start_tcp_flow(a, b, 30'000'000);  // elephant
-    sim.post_at(scda::sim::secs(3.0), [&] { tm.start_tcp_flow(a, b, 150'000); });
+    sim.post_at(scda::sim::secs(3.0),
+                [&] { tm.start_tcp_flow(a, b, 150'000); });
     sim.run_until(scda::sim::secs(60.0));
     return short_fct;
   };

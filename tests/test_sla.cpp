@@ -45,7 +45,8 @@ TEST_F(SlaTest, RecentlyViolatedWithinCooldown) {
 TEST_F(SlaTest, OtherLinksUnaffected) {
   SlaManager sla(net_);
   sla.on_violation(link_, 120e6, 95e6, scda::sim::secs(5.0));
-  EXPECT_FALSE(sla.recently_violated(net::LinkId{link_.value() + 1}, sim::secs(5.1)));
+  EXPECT_FALSE(
+      sla.recently_violated(net::LinkId{link_.value() + 1}, sim::secs(5.1)));
 }
 
 TEST_F(SlaTest, CapacityBoostAfterThreshold) {
@@ -72,7 +73,9 @@ TEST_F(SlaTest, BoostAppliedAtMostOncePerLink) {
 TEST_F(SlaTest, BoostDisabledByDefault) {
   SlaManager sla(net_);
   const double c0 = net_.link(link_).capacity_bps();
-  for (int i = 0; i < 10; ++i) sla.on_violation(link_, 120e6, 95e6, scda::sim::secs(i));
+  for (int i = 0; i < 10; ++i) {
+    sla.on_violation(link_, 120e6, 95e6, scda::sim::secs(i));
+  }
   EXPECT_DOUBLE_EQ(net_.link(link_).capacity_bps(), c0);
   EXPECT_EQ(sla.boosts_applied(), 0u);
 }

@@ -30,7 +30,8 @@ class TargetRateTest : public ::testing::Test {
     for (int i = 0; i < rounds; ++i) {
       alloc_->tick();
       now_ += dt;
-      ctrl_->update(sim::secs(now_), [](net::FlowId) { return std::int64_t{1 << 30}; });
+      ctrl_->update(sim::secs(now_),
+                    [](net::FlowId) { return std::int64_t{1 << 30}; });
     }
   }
 
@@ -45,7 +46,9 @@ class TargetRateTest : public ::testing::Test {
 
 TEST_F(TargetRateTest, FlowReachesFixedTargetUnderContention) {
   // 4 competing unit flows; the target flow wants 60 Mbps of the 100.
-  for (net::FlowId f{1}; f <= net::FlowId{4}; ++f) alloc_->register_flow(f, a_, b_);
+  for (net::FlowId f{1}; f <= net::FlowId{4}; ++f) {
+    alloc_->register_flow(f, a_, b_);
+  }
   ctrl_->set_target_rate(scda::net::FlowId{1}, 60e6);
   settle(200);
   EXPECT_NEAR(alloc_->flow_rate(scda::net::FlowId{1}), 60e6, 3e6);
@@ -54,14 +57,17 @@ TEST_F(TargetRateTest, FlowReachesFixedTargetUnderContention) {
 }
 
 TEST_F(TargetRateTest, InfeasibleTargetIsClampedNotDivergent) {
-  for (net::FlowId f{1}; f <= net::FlowId{3}; ++f) alloc_->register_flow(f, a_, b_);
-  ctrl_->set_target_rate(scda::net::FlowId{1}, 500e6);  // more than the link can give
+  for (net::FlowId f{1}; f <= net::FlowId{3}; ++f) {
+    alloc_->register_flow(f, a_, b_);
+  }
+  ctrl_->set_target_rate(scda::net::FlowId{1}, 500e6);  // above link capacity
   settle(300);
   // Priority is clamped; the flow gets the max-weight share, others the
   // floor share — and the allocator stays finite and positive.
   EXPECT_GT(alloc_->flow_rate(scda::net::FlowId{1}), 50e6);
   EXPECT_GT(alloc_->flow_rate(scda::net::FlowId{2}), 0.0);
-  EXPECT_LE(alloc_->priority(scda::net::FlowId{1}), TargetRateController::kMaxPriority);
+  EXPECT_LE(alloc_->priority(scda::net::FlowId{1}),
+            TargetRateController::kMaxPriority);
 }
 
 TEST_F(TargetRateTest, ClearStopsAdjusting) {
@@ -88,7 +94,9 @@ TEST_F(TargetRateTest, UnregisteredFlowsAreDropped) {
 
 TEST_F(TargetRateTest, DeadlineTargetGrowsAsTimeShrinks) {
   alloc_->register_flow(scda::net::FlowId{1}, a_, b_);
-  for (net::FlowId f{2}; f <= net::FlowId{6}; ++f) alloc_->register_flow(f, a_, b_);
+  for (net::FlowId f{2}; f <= net::FlowId{6}; ++f) {
+    alloc_->register_flow(f, a_, b_);
+  }
   // 100 Mbit to move in 2 seconds -> needs ~50 Mbps on average.
   const std::int64_t total = util::bytes_of_bits(100e6);
   ctrl_->set_deadline(scda::net::FlowId{1}, total, 2.0);

@@ -51,14 +51,25 @@ void usage() {
       "  --fluid-threshold-bytes B fluid/packet split point (default 1 MiB)\n"
       "  --rscale-mbps R           dormant-server threshold (default off)\n"
       "  --replicate 0|1           replicate written content (default 1)\n"
+      "  --replicas K              replica count target (default 2)\n"
+      "  --churn 0|1               failure injection (default 0;\n"
+      "                            docs/scenarios.md)\n"
+      "  --server-mtbf S           mean server up-time (0 = no stochastic\n"
+      "                            server churn)\n"
+      "  --server-mttr S           mean server down-time (default 10)\n"
+      "  --link-mtbf S             mean ToR-trunk up-time (0 = off)\n"
+      "  --link-mttr S             mean ToR-trunk down-time (default 5)\n"
+      "  --kill SPEC               outage server|link|pod:IDX@AT[+DUR]\n"
+      "                            e.g. --kill pod:0@30+20 (repeatable via\n"
+      "                            comma: server:3@30+5,link:1@40+10)\n"
       "  --seed N                  RNG seed\n"
       "  --out PREFIX              write PREFIX_{cdf,afct,thpt}.csv\n"
       "  --trace-out FILE          record a Chrome trace-event JSON of the\n"
       "                            run to FILE (open with ui.perfetto.dev;\n"
       "                            --trace names an *input* workload trace)\n"
-      "  --metrics 0|1             print the metrics snapshot line (default 1)\n"
+      "  --metrics 0|1             print metrics snapshot line (default 1)\n"
       "  --record-trace FILE       sample the workload into FILE and exit\n"
-      "  --samples N               records for --record-trace (default 1000)\n");
+      "  --samples N               --record-trace records (default 1000)\n");
 }
 
 std::unique_ptr<workload::Generator> make_generator(
@@ -86,6 +97,46 @@ std::unique_ptr<workload::Generator> make_generator(
     return workload::TraceWorkload::from_file(path);
   }
   throw std::invalid_argument("unknown workload: " + name);
+}
+
+/// Parse "server:3@30+5,pod:0@30+20" into scripted failures. The duration
+/// suffix is optional; without it the outage is permanent.
+std::vector<sim::ScriptedFailure> parse_kill_specs(const std::string& specs) {
+  std::vector<sim::ScriptedFailure> out;
+  std::size_t pos = 0;
+  while (pos < specs.size()) {
+    std::size_t end = specs.find(',', pos);
+    if (end == std::string::npos) end = specs.size();
+    const std::string spec = specs.substr(pos, end - pos);
+    pos = end + 1;
+    if (spec.empty()) continue;
+
+    const std::size_t colon = spec.find(':');
+    const std::size_t at = spec.find('@');
+    if (colon == std::string::npos || at == std::string::npos || at < colon)
+      throw std::invalid_argument("--kill: expected TARGET:IDX@AT[+DUR], got " +
+                                  spec);
+    sim::ScriptedFailure f;
+    const std::string target = spec.substr(0, colon);
+    if (target == "server") {
+      f.target = sim::ScriptedFailure::Target::kServer;
+    } else if (target == "link") {
+      f.target = sim::ScriptedFailure::Target::kLink;
+    } else if (target == "pod") {
+      f.target = sim::ScriptedFailure::Target::kPod;
+    } else {
+      throw std::invalid_argument("--kill: unknown target " + target);
+    }
+    f.index = std::stoi(spec.substr(colon + 1, at - colon - 1));
+    const std::string when = spec.substr(at + 1);
+    const std::size_t plus = when.find('+');
+    f.at_s = std::stod(when.substr(0, plus));
+    if (plus != std::string::npos) {
+      f.duration_s = std::stod(when.substr(plus + 1));
+    }
+    out.push_back(f);
+  }
+  return out;
 }
 
 void write_csv(const std::string& path, const std::string& header,
@@ -151,9 +202,23 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("unknown metric: " + metric);
     }
     cfg.enable_replication = args.get_bool("replicate", true);
+    cfg.params.replicas = static_cast<std::int32_t>(
+        args.get_int("replicas", cfg.params.replicas));
     cfg.fluid.enabled = args.get_bool("fluid", false);
     cfg.fluid.threshold_bytes =
         args.get_int("fluid-threshold-bytes", cfg.fluid.threshold_bytes);
+    cfg.churn.enabled = args.get_bool("churn", false);
+    cfg.churn.server_mtbf_s = args.get_double("server-mtbf", 0.0);
+    cfg.churn.server_mttr_s = args.get_double("server-mttr", 10.0);
+    cfg.churn.link_mtbf_s = args.get_double("link-mtbf", 0.0);
+    cfg.churn.link_mttr_s = args.get_double("link-mttr", 5.0);
+    if (args.has("kill")) {
+      cfg.churn.scripted = parse_kill_specs(args.get("kill"));
+      cfg.churn.enabled = true;
+    }
+    if (cfg.churn.enabled)
+      cfg.churn.horizon_s =
+          args.get_double("duration", 60.0) + args.get_double("drain", 20.0);
     if (policy == "randtcp") {
       cfg.placement = core::PlacementPolicy::kRandom;
       cfg.transport = transport::TransportKind::kTcp;
@@ -189,6 +254,19 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cloud.failed_reads()),
                 cloud.total_energy_j() / 1e3,
                 static_cast<unsigned long long>(events));
+    if (cfg.churn.enabled) {
+      const core::ChurnStats& ch = cloud.churn_stats();
+      std::printf(
+          "churn: failovers=%llu aborted=%llu repairs=%llu/%llu "
+          "repair_bytes=%.1fMB under_replicated=%.2fs lost=%llu\n",
+          static_cast<unsigned long long>(ch.failovers),
+          static_cast<unsigned long long>(ch.aborted_flows),
+          static_cast<unsigned long long>(ch.repair_flows_completed),
+          static_cast<unsigned long long>(ch.repair_flows_started),
+          static_cast<double>(ch.repair_bytes) / 1e6,
+          cloud.under_replicated_seconds(),
+          static_cast<unsigned long long>(ch.objects_lost));
+    }
 
     if (args.get_bool("metrics", true)) {
       stats::collect_run_metrics(observ.metrics(), sim, cloud);

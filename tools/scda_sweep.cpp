@@ -50,6 +50,17 @@ void usage() {
       "  --fluid 0|1               hybrid fluid/packet mode (default 0;\n"
       "                            also available as a --grid axis)\n"
       "  --fluid-threshold-bytes B fluid/packet split point (default 1 MiB)\n"
+      "  --churn 0|1               failure injection (default 0; also a\n"
+      "                            --grid axis, as are server_mtbf_s,\n"
+      "                            server_mttr_s, link_mtbf_s, link_mttr_s,\n"
+      "                            replicas, repair_priority)\n"
+      "  --server-mtbf S           mean server up-time (0 = off)\n"
+      "  --server-mttr S           mean server down-time (default 10)\n"
+      "  --link-mtbf S             mean ToR-trunk up-time (0 = off)\n"
+      "  --link-mttr S             mean ToR-trunk down-time (default 5)\n"
+      "  --replicas K              replica count target (default 2)\n"
+      "  --replicate 0|1           replicate written content (default 0\n"
+      "                            in sweeps; required for churn repair)\n"
       "  --seed N                  base RNG seed (replication r derives\n"
       "                            its seed from it; r0 uses it verbatim)\n"
       "  --json                    one JSON object per (cell, arm) instead\n"
@@ -123,6 +134,14 @@ int main(int argc, char** argv) {
     cfg.fluid.enabled = args.get_bool("fluid", false);
     cfg.fluid.threshold_bytes =
         args.get_int("fluid-threshold-bytes", cfg.fluid.threshold_bytes);
+    cfg.churn.enabled = args.get_bool("churn", false);
+    cfg.churn.server_mtbf_s = args.get_double("server-mtbf", 0.0);
+    cfg.churn.server_mttr_s = args.get_double("server-mttr", 10.0);
+    cfg.churn.link_mtbf_s = args.get_double("link-mtbf", 0.0);
+    cfg.churn.link_mttr_s = args.get_double("link-mttr", 5.0);
+    cfg.params.replicas = static_cast<std::int32_t>(
+        args.get_int("replicas", cfg.params.replicas));
+    cfg.enable_replication = args.get_bool("replicate", cfg.enable_replication);
     cfg.driver.end_time_s = args.get_double("duration", 30.0);
     cfg.sim_time_s = cfg.driver.end_time_s + args.get_double("drain", 15.0);
     cfg.driver.read_fraction = args.get_double("read-fraction", 0.3);

@@ -25,12 +25,21 @@ refresh the baseline); only the *_median rows are read. The run must
 carry scda_toolchain == "optimized" -- debug numbers are refused rather
 than compared.
 
+The churn ablation gate (--churn-input) is different in kind: the
+bench_churn JSON's `checksum` folds the headline counters of every
+ablation cell and is a pure function of arguments and seed, so it is
+compared for *equality* against the committed BENCH_churn.json — any
+divergence is a determinism leak (or an unacknowledged behaviour
+change), never host noise. Wall time is deliberately not gated there.
+
 Usage:
   bench_micro_core --benchmark_repetitions=3 \
       --benchmark_report_aggregates_only=true \
       --benchmark_format=json > run.json
   scripts/bench_gate.py --input run.json            # gate vs BENCH_core.json
   scripts/bench_gate.py --input run.json --threshold 0.6
+  bench_churn > churn.json
+  scripts/bench_gate.py --churn-input churn.json    # vs BENCH_churn.json
   scripts/bench_gate.py --self-test                 # fixture suite (ctest)
 """
 
@@ -142,6 +151,64 @@ def run_gate(args):
     return 0
 
 
+def gate_churn(run, baseline):
+    """Return a list of failure strings comparing a bench_churn run to the
+    committed baseline. Empty list = pass.
+
+    The checksum is a pure function of (arguments, seed): equality is the
+    whole contract. The argument echo fields are compared first so a run
+    with different knobs fails as "wrong configuration", not as a scary
+    determinism leak.
+    """
+    failures = []
+    if run.get("toolchain") != "optimized":
+        failures.append(
+            f"toolchain is {run.get('toolchain')!r}, need 'optimized' "
+            "(build bench_churn in Release)"
+        )
+        return failures
+    for key in ("bench", "duration_s", "drain_s", "arrival_rate",
+                "server_mtbf_s", "server_mttr_s", "seed"):
+        if run.get(key) != baseline.get(key):
+            failures.append(
+                f"configuration mismatch: {key} = {run.get(key)!r}, "
+                f"baseline has {baseline.get(key)!r}"
+            )
+    if failures:
+        return failures
+    if len(run.get("cells", [])) != len(baseline.get("cells", [])):
+        failures.append(
+            f"cell count {len(run.get('cells', []))} != baseline "
+            f"{len(baseline.get('cells', []))}"
+        )
+    if run.get("checksum") != baseline.get("checksum"):
+        failures.append(
+            f"checksum {run.get('checksum')} != committed "
+            f"{baseline.get('checksum')} -- determinism leak or "
+            "unacknowledged behaviour change (refresh BENCH_churn.json "
+            "only with an explanation in the PR)"
+        )
+    return failures
+
+
+def run_churn_gate(args):
+    with open(args.churn_input) as f:
+        run = json.load(f)
+    with open(args.churn_baseline) as f:
+        baseline = json.load(f)
+    failures = gate_churn(run, baseline)
+    if failures:
+        for msg in failures:
+            print(f"  FAIL {msg}")
+        print(f"bench_gate: FAIL -- churn ablation vs {args.churn_baseline}")
+        return 1
+    print(
+        f"bench_gate: PASS -- churn checksum {run['checksum']} matches "
+        f"{args.churn_baseline} ({len(run.get('cells', []))} cells)"
+    )
+    return 0
+
+
 # --- self-test fixtures ----------------------------------------------------
 
 
@@ -225,6 +292,37 @@ def self_test():
     )
     _expect(medians == {"BM_A": 2.0}, "only *_median rows ingested")
 
+    # --- churn checksum gate fixtures -------------------------------------
+    committed = {
+        "bench": "churn", "duration_s": 30, "drain_s": 15,
+        "arrival_rate": 30, "server_mtbf_s": 60, "server_mttr_s": 4,
+        "seed": 1, "checksum": "abc123", "toolchain": "optimized",
+        "cells": [{}, {}],
+    }
+    good = dict(committed, wall_s=9.9)  # wall time may differ freely
+    _expect(gate_churn(good, committed) == [], "matching churn run passes")
+    _expect(
+        any("checksum" in m for m in
+            gate_churn(dict(good, checksum="def456"), committed)),
+        "churn checksum divergence fails",
+    )
+    _expect(
+        any("toolchain" in m for m in
+            gate_churn(dict(good, toolchain="debug"), committed)),
+        "debug churn run refused",
+    )
+    mismatched = gate_churn(dict(good, seed=2, checksum="zzz"), committed)
+    _expect(
+        any("configuration mismatch" in m for m in mismatched)
+        and not any("determinism" in m for m in mismatched),
+        "wrong knobs reported as configuration, not determinism",
+    )
+    _expect(
+        any("cell count" in m for m in
+            gate_churn(dict(good, cells=[{}]), committed)),
+        "missing ablation cell fails",
+    )
+
     print("bench_gate --self-test: all fixtures passed")
     return 0
 
@@ -243,14 +341,24 @@ def main():
         "regression beyond host drift)",
     )
     p.add_argument(
+        "--churn-input", help="bench_churn JSON to gate by checksum equality"
+    )
+    p.add_argument(
+        "--churn-baseline",
+        default="BENCH_churn.json",
+        help="committed churn ablation baseline",
+    )
+    p.add_argument(
         "--self-test", action="store_true", help="run the fixture suite and exit"
     )
     args = p.parse_args()
 
     if args.self_test:
         return self_test()
+    if args.churn_input:
+        return run_churn_gate(args)
     if not args.input:
-        p.error("--input is required (or use --self-test)")
+        p.error("--input or --churn-input is required (or use --self-test)")
     return run_gate(args)
 
 

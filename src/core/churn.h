@@ -7,6 +7,7 @@
 //
 //   server down/up -> Cloud::fail_server / recover_server
 //   link   down/up -> Cloud::set_link_up on the ToR's duplex trunk pair
+//   nns    down/up -> Cloud::fail_nns / recover_nns (metadata plane)
 //
 // Scripted and stochastic outages can overlap (a pod kill while a renewal
 // process already has a server down). Per-entity down *counts* resolve
@@ -30,6 +31,8 @@ struct ChurnInjectorStats {
   std::uint64_t server_ups = 0;
   std::uint64_t link_downs = 0;
   std::uint64_t link_ups = 0;
+  std::uint64_t nns_downs = 0;
+  std::uint64_t nns_ups = 0;
 };
 
 class ChurnInjector {
@@ -51,6 +54,7 @@ class ChurnInjector {
   std::vector<sim::FailureEvent> schedule_;
   std::vector<std::int32_t> server_down_count_;
   std::vector<std::int32_t> link_down_count_;
+  std::vector<std::int32_t> nns_down_count_;
   ChurnInjectorStats stats_;
 };
 

@@ -49,6 +49,19 @@ Cloud::Cloud(sim::Simulator& sim, CloudConfig cfg)
   for (auto& n : name_nodes_) nns_ptrs.push_back(n.get());
   fes_ = std::make_unique<FrontEnd>(std::move(nns_ptrs));
 
+  // Metadata-plane fault tolerance (docs/scenarios.md): when NNS churn is
+  // configured, every shard gets a standby mirror and the request paths
+  // grow failover + timeout/retry. Gated so that runs without NNS churn
+  // execute the exact historical event sequence.
+  nns_failover_ = sim::nns_churn_configured(cfg_.churn);
+  if (nns_failover_) {
+    for (std::int32_t i = 0; i < n_nns; ++i) {
+      standby_nodes_.push_back(std::make_unique<NameNode>(
+          sim_, n_nns + i, cfg_.params.nns_service_time_s));
+    }
+    nns_state_.assign(static_cast<std::size_t>(n_nns), NnsShardState{});
+  }
+
   selector_ = std::make_unique<ServerSelector>(
       hierarchy_, servers_, cfg_.params, sim_.rng(), cfg_.placement);
   // Admission: the server needs disk space, and for SCDA placements the NNS
@@ -105,6 +118,13 @@ Cloud::Cloud(sim::Simulator& sim, CloudConfig cfg)
     migration_loop_->start(sim::secs(cfg_.params.migration_interval_s));
   }
 
+  if (cfg_.params.rebalance_interval_s > 0) {
+    rebalance_loop_ = std::make_unique<sim::PeriodicProcess>(
+        sim_, sim::secs(cfg_.params.rebalance_interval_s),
+        [this] { rebalance_scan(); });
+    rebalance_loop_->start(sim::secs(cfg_.params.rebalance_interval_s));
+  }
+
   hierarchy_.update();
 
   // Failure injection last: the schedule is a pure function of (config,
@@ -133,6 +153,7 @@ void Cloud::control_tick() {
   hierarchy_.update();
   if (cfg_.transport == TransportKind::kScda) update_ongoing_flows();
   drain_repair_queue();
+  if (nns_failover_) drain_resync_queue();
   integrate_power();
   dormancy_housekeeping();
   // Overhead: each RM and RA reports (or forwards) its rate sums once per
@@ -204,11 +225,12 @@ void Cloud::migration_scan() {
   if (cfg_.params.rscale_bps <= 0) return;
   std::int32_t started = 0;
   const sim::Time now = sim_.now();
-  for (auto& nns : name_nodes_) {
+  for (std::size_t shard = 0; shard < name_nodes_.size(); ++shard) {
     if (started >= cfg_.params.max_migrations_per_scan) break;
-    for (const ContentId id : nns->content_ids()) {
+    NameNode& nns = authority_nns(shard);
+    for (const ContentId id : nns.content_ids()) {
       if (started >= cfg_.params.max_migrations_per_scan) break;
-      ContentMeta* meta = nns->find(id);
+      ContentMeta* meta = nns.find(id);
       if (meta == nullptr || meta->replicas.empty()) continue;
       if (meta->content_class == ContentClass::kPassive) continue;
       if (migrating_.count(id)) continue;
@@ -253,6 +275,123 @@ void Cloud::migration_scan() {
   }
 }
 
+void Cloud::rebalance_scan() {
+  // Proactive rebalancing (docs/scenarios.md): compute per-server load
+  // (metadata access counts summed over replicas) and stored-byte skew,
+  // then move the hottest object off each overloaded server to a cooler
+  // one as a background flow. Everything iterates sorted ids / dense
+  // vectors, so the scan is deterministic.
+  ++rebalance_stats_.scans;
+  const std::size_t n = servers_.size();
+  std::vector<double> load(n, 0.0);
+  std::vector<double> stored(n, 0.0);
+  struct Candidate {
+    double score = -1.0;
+    ContentId id = kInvalidContent;
+  };
+  std::vector<Candidate> hottest(n);
+  for (std::size_t shard = 0; shard < name_nodes_.size(); ++shard) {
+    NameNode& nns = authority_nns(shard);
+    for (const ContentId id : nns.content_ids()) {
+      const ContentMeta* meta = nns.find(id);
+      if (meta == nullptr || meta->replicas.empty()) continue;
+      const double score = static_cast<double>(meta->reads + meta->writes);
+      for (const std::int32_t r : meta->replicas) {
+        if (r < 0 || static_cast<std::size_t>(r) >= n) continue;
+        const auto ri = static_cast<std::size_t>(r);
+        load[ri] += score;
+        stored[ri] += static_cast<double>(meta->size_bytes);
+        if (migrating_.count(id)) continue;
+        Candidate& c = hottest[ri];
+        if (score > c.score ||
+            (score == c.score && (c.id == kInvalidContent || id < c.id)))
+          c = Candidate{score, id};
+      }
+    }
+  }
+
+  double sum_load = 0.0;
+  double sum_stored = 0.0;
+  std::size_t up = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (servers_[s].failed()) continue;
+    sum_load += load[s];
+    sum_stored += stored[s];
+    ++up;
+  }
+  if (up == 0) return;
+  const double mean_load = sum_load / static_cast<double>(up);
+  const double mean_stored = sum_stored / static_cast<double>(up);
+  const double thr = 1.0 + cfg_.params.rebalance_skew_threshold;
+
+  // Visit the most loaded servers first (deterministic tie-break on index).
+  std::vector<std::size_t> order(n);
+  for (std::size_t s = 0; s < n; ++s) order[s] = s;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (load[a] != load[b]) return load[a] > load[b];
+    return a < b;
+  });
+
+  std::int32_t started = 0;
+  for (const std::size_t s : order) {
+    if (started >= cfg_.params.max_rebalances_per_scan) break;
+    if (servers_[s].failed()) continue;
+    const bool hot = mean_load > 0 && load[s] > thr * mean_load;
+    const bool full = mean_stored > 0 && stored[s] > thr * mean_stored;
+    if (!hot && !full) continue;
+    const Candidate& c = hottest[s];
+    if (c.id == kInvalidContent) {
+      ++rebalance_stats_.skipped;
+      continue;
+    }
+    NameNode& nns = meta_owner(c.id);
+    ContentMeta* meta = nns.find(c.id);
+    if (meta == nullptr ||
+        std::find(meta->replicas.begin(), meta->replicas.end(),
+                  static_cast<std::int32_t>(s)) == meta->replicas.end()) {
+      ++rebalance_stats_.skipped;
+      continue;
+    }
+    const std::int32_t target =
+        selector_->select_replica_target(meta->content_class, meta->replicas);
+    if (target < 0 ||
+        load[static_cast<std::size_t>(target)] > mean_load) {
+      ++rebalance_stats_.skipped;  // no strictly cooler home available
+      continue;
+    }
+    BlockServer& dst = servers_[static_cast<std::size_t>(target)];
+    if (!dst.store(c.id, meta->size_bytes)) {
+      ++rebalance_stats_.skipped;
+      continue;
+    }
+    if (meta->content_class != ContentClass::kPassive) {
+      ++active_content_count_[static_cast<std::size_t>(target)];
+      if (dst.dormant()) dst.set_dormant(false);
+    }
+
+    CloudOp op;
+    op.content = c.id;
+    op.content_class = meta->content_class;
+    op.kind = CloudOp::Kind::kRebalance;
+    op.server = target;
+    op.source_server = static_cast<std::int32_t>(s);
+    migrating_[c.id] = true;
+    ++started;
+    ++rebalance_stats_.flows_started;
+    count_ctrl(4, 4 * kCtrlMsgBytes);
+    const net::NodeId src_node = topo_.servers()[s];
+    const net::NodeId dst_node =
+        topo_.servers()[static_cast<std::size_t>(target)];
+    const std::int64_t bytes = meta->size_bytes;
+    sim_.post_in(sim::secs(2 * cfg_.params.ctrl_dc_latency_s),
+                 [this, op, bytes, src_node, dst_node] {
+                   start_data_flow(src_node, dst_node, bytes, op,
+                                   cfg_.params.rebalance_priority,
+                                   /*reserved_bps=*/0.0);
+                 });
+  }
+}
+
 // --------------------------------------------------------------------------
 // request protocols (Figs. 3-5)
 // --------------------------------------------------------------------------
@@ -262,7 +401,6 @@ bool Cloud::write(std::size_t client_idx, ContentId id, std::int64_t bytes,
                   double reserved_bps) {
   if (client_idx >= topo_.clients().size() || bytes <= 0) return false;
   if (!known_content_.emplace(id, true).second) return false;  // duplicate
-  NameNode& nns = meta_owner(id);
 
   // Steps 1-2 (Fig. 3): UCL -> FES (WAN) -> NNS (intra-DC), then the NNS
   // service queue. Steps 3-7 happen inside the NNS handler; the data
@@ -271,55 +409,56 @@ bool Cloud::write(std::size_t client_idx, ContentId id, std::int64_t bytes,
       cfg_.params.ctrl_wan_latency_s + cfg_.params.ctrl_dc_latency_s;
   count_ctrl(2, 2 * kCtrlMsgBytes);
 
-  NameNode* nns_ptr = &nns;
-  sim_.post_in(sim::secs(to_nns),
-                   [this, client_idx, id, bytes, content_class,
-                            priority, reserved_bps, nns_ptr] {
-    nns_ptr->submit([this, client_idx, id, bytes, content_class, priority,
-                     reserved_bps, nns_ptr] {
-      // Steps 3-4: NNS asks the RA for the best BS (here: level hmax).
-      count_ctrl(2, 2 * kCtrlMsgBytes);
-      const std::int32_t target =
-          selector_->select_write_target(content_class);
-      if (target < 0) {
-        ++failed_writes_;
-        known_content_.erase(id);  // allow a retry
-        return;
-      }
-      BlockServer& bs = servers_[static_cast<std::size_t>(target)];
-      if (!bs.store(id, bytes)) {
-        ++failed_writes_;
-        known_content_.erase(id);
-        return;
-      }
-      if (content_class != ContentClass::kPassive) {
-        ++active_content_count_[static_cast<std::size_t>(target)];
-        if (bs.dormant()) bs.set_dormant(false);  // active content wakes it
-      }
+  auto handler = [this, client_idx, id, bytes, content_class, priority,
+                  reserved_bps](NameNode& serving) {
+    // Steps 3-4: NNS asks the RA for the best BS (here: level hmax).
+    count_ctrl(2, 2 * kCtrlMsgBytes);
+    const std::int32_t target = selector_->select_write_target(content_class);
+    if (target < 0) {
+      ++failed_writes_;
+      known_content_.erase(id);  // allow a retry
+      return;
+    }
+    BlockServer& bs = servers_[static_cast<std::size_t>(target)];
+    if (!bs.store(id, bytes)) {
+      ++failed_writes_;
+      known_content_.erase(id);
+      return;
+    }
+    if (content_class != ContentClass::kPassive) {
+      ++active_content_count_[static_cast<std::size_t>(target)];
+      if (bs.dormant()) bs.set_dormant(false);  // active content wakes it
+    }
 
-      ContentMeta& meta = nns_ptr->upsert(id);
-      meta.size_bytes = bytes;
-      meta.content_class = content_class;
-      meta.last_access_time = sim_.now();
+    ContentMeta& meta = serving.upsert(id);
+    meta.size_bytes = bytes;
+    meta.content_class = content_class;
+    meta.last_access_time = sim_.now();
+    mirror_meta(serving, id);
 
-      // Steps 5-9: RA forwards the UCL id to the BS; BS derives rcvw from
-      // its RM and greets the UCL (WAN hop); then the UCL starts writing.
-      count_ctrl(4, 4 * kCtrlMsgBytes);
-      const double setup = 2 * cfg_.params.ctrl_dc_latency_s +
-                           cfg_.params.ctrl_wan_latency_s;
-      CloudOp op;
-      op.content = id;
-      op.content_class = content_class;
-      op.kind = CloudOp::Kind::kWrite;
-      op.server = target;
-      op.client = static_cast<std::int64_t>(client_idx);
-      sim_.post_in(sim::secs(setup),
-                       [this, op, bytes, priority, reserved_bps,
-                               client_idx, target] {
-        start_data_flow(topo_.clients()[client_idx],
-                        topo_.servers()[static_cast<std::size_t>(target)],
-                        bytes, op, priority, reserved_bps);
-      });
+    // Steps 5-9: RA forwards the UCL id to the BS; BS derives rcvw from
+    // its RM and greets the UCL (WAN hop); then the UCL starts writing.
+    count_ctrl(4, 4 * kCtrlMsgBytes);
+    const double setup =
+        2 * cfg_.params.ctrl_dc_latency_s + cfg_.params.ctrl_wan_latency_s;
+    CloudOp op;
+    op.content = id;
+    op.content_class = content_class;
+    op.kind = CloudOp::Kind::kWrite;
+    op.server = target;
+    op.client = static_cast<std::int64_t>(client_idx);
+    sim_.post_in(sim::secs(setup), [this, op, bytes, priority, reserved_bps,
+                                    client_idx, target] {
+      start_data_flow(topo_.clients()[client_idx],
+                      topo_.servers()[static_cast<std::size_t>(target)],
+                      bytes, op, priority, reserved_bps);
+    });
+  };
+  sim_.post_in(sim::secs(to_nns), [this, id, h = std::move(handler)] {
+    submit_metadata_request(static_cast<std::uint64_t>(id), h, [this, id] {
+      ++failed_writes_;
+      known_content_.erase(id);
+      pending_deadline_.erase(id);
     });
   });
   return true;
@@ -327,51 +466,50 @@ bool Cloud::write(std::size_t client_idx, ContentId id, std::int64_t bytes,
 
 bool Cloud::read(std::size_t client_idx, ContentId id, double priority) {
   if (client_idx >= topo_.clients().size()) return false;
-  NameNode& nns = meta_owner(id);
 
   const double to_nns =
       cfg_.params.ctrl_wan_latency_s + cfg_.params.ctrl_dc_latency_s;
   count_ctrl(2, 2 * kCtrlMsgBytes);
 
-  NameNode* nns_ptr = &nns;
-  sim_.post_in(sim::secs(to_nns),
-                   [this, client_idx, id, priority, nns_ptr] {
-    nns_ptr->submit([this, client_idx, id, priority, nns_ptr] {
-      ContentMeta* meta = nns_ptr->find(id);
-      if (meta == nullptr || meta->replicas.empty()) {
-        ++failed_reads_;
-        return;
-      }
-      // Step 3 (Fig. 5): choose the replica with the best upload rate.
-      count_ctrl(2, 2 * kCtrlMsgBytes);
-      const std::int32_t source =
-          selector_->select_read_replica(meta->replicas);
-      if (source < 0) {
-        ++failed_reads_;
-        return;
-      }
-      BlockServer& bs = servers_[static_cast<std::size_t>(source)];
-      double setup = cfg_.params.ctrl_dc_latency_s;
-      if (bs.dormant()) {
-        bs.set_dormant(false);  // power-state transition penalty
-        setup += cfg_.dormant_wake_latency_s;
-      }
-      meta->last_access_time = sim_.now();
+  auto handler = [this, client_idx, id, priority](NameNode& serving) {
+    ContentMeta* meta = serving.find(id);
+    if (meta == nullptr || meta->replicas.empty()) {
+      ++failed_reads_;
+      return;
+    }
+    // Step 3 (Fig. 5): choose the replica with the best upload rate.
+    count_ctrl(2, 2 * kCtrlMsgBytes);
+    const std::int32_t source = selector_->select_read_replica(meta->replicas);
+    if (source < 0) {
+      ++failed_reads_;
+      return;
+    }
+    BlockServer& bs = servers_[static_cast<std::size_t>(source)];
+    double setup = cfg_.params.ctrl_dc_latency_s;
+    if (bs.dormant()) {
+      bs.set_dormant(false);  // power-state transition penalty
+      setup += cfg_.dormant_wake_latency_s;
+    }
+    meta->last_access_time = sim_.now();
+    mirror_meta(serving, id);
 
-      CloudOp op;
-      op.content = id;
-      op.content_class = meta->content_class;
-      op.kind = CloudOp::Kind::kRead;
-      op.server = source;
-      op.client = static_cast<std::int64_t>(client_idx);
-      const std::int64_t bytes = meta->size_bytes;
-      sim_.post_in(sim::secs(setup),
-                       [this, op, bytes, priority, client_idx, source] {
-        start_data_flow(topo_.servers()[static_cast<std::size_t>(source)],
-                        topo_.clients()[client_idx], bytes, op, priority,
-                        /*reserved_bps=*/0.0);
-      });
+    CloudOp op;
+    op.content = id;
+    op.content_class = meta->content_class;
+    op.kind = CloudOp::Kind::kRead;
+    op.server = source;
+    op.client = static_cast<std::int64_t>(client_idx);
+    const std::int64_t bytes = meta->size_bytes;
+    sim_.post_in(sim::secs(setup),
+                 [this, op, bytes, priority, client_idx, source] {
+      start_data_flow(topo_.servers()[static_cast<std::size_t>(source)],
+                      topo_.clients()[client_idx], bytes, op, priority,
+                      /*reserved_bps=*/0.0);
     });
+  };
+  sim_.post_in(sim::secs(to_nns), [this, id, h = std::move(handler)] {
+    submit_metadata_request(static_cast<std::uint64_t>(id), h,
+                            [this] { ++failed_reads_; });
   });
   return true;
 }
@@ -379,45 +517,45 @@ bool Cloud::read(std::size_t client_idx, ContentId id, double priority) {
 bool Cloud::append(std::size_t client_idx, ContentId id, std::int64_t bytes,
                    double priority) {
   if (client_idx >= topo_.clients().size() || bytes <= 0) return false;
-  NameNode& nns = meta_owner(id);
 
   const double to_nns =
       cfg_.params.ctrl_wan_latency_s + cfg_.params.ctrl_dc_latency_s;
   count_ctrl(2, 2 * kCtrlMsgBytes);
 
-  NameNode* nns_ptr = &nns;
-  sim_.post_in(sim::secs(to_nns), [this, client_idx, id, bytes,
-                                       priority, nns_ptr] {
-    nns_ptr->submit([this, client_idx, id, bytes, priority, nns_ptr] {
-      ContentMeta* meta = nns_ptr->find(id);
-      if (meta == nullptr || meta->replicas.empty()) {
-        ++failed_writes_;
-        return;
-      }
-      // Updates land on the primary replica (where the content lives).
-      const std::int32_t target = meta->replicas.front();
-      BlockServer& bs = servers_[static_cast<std::size_t>(target)];
-      if (bs.failed() || !bs.store(id, bytes)) {
-        ++failed_writes_;
-        return;
-      }
-      meta->last_access_time = sim_.now();
-      count_ctrl(4, 4 * kCtrlMsgBytes);
-      CloudOp op;
-      op.content = id;
-      op.content_class = meta->content_class;
-      op.kind = CloudOp::Kind::kAppend;
-      op.server = target;
-      op.client = static_cast<std::int64_t>(client_idx);
-      const double setup = 2 * cfg_.params.ctrl_dc_latency_s +
-                           cfg_.params.ctrl_wan_latency_s;
-      sim_.post_in(sim::secs(setup),
-                       [this, op, bytes, priority, client_idx, target] {
-        start_data_flow(topo_.clients()[client_idx],
-                        topo_.servers()[static_cast<std::size_t>(target)],
-                        bytes, op, priority, /*reserved_bps=*/0.0);
-      });
+  auto handler = [this, client_idx, id, bytes, priority](NameNode& serving) {
+    ContentMeta* meta = serving.find(id);
+    if (meta == nullptr || meta->replicas.empty()) {
+      ++failed_writes_;
+      return;
+    }
+    // Updates land on the primary replica (where the content lives).
+    const std::int32_t target = meta->replicas.front();
+    BlockServer& bs = servers_[static_cast<std::size_t>(target)];
+    if (bs.failed() || !bs.store(id, bytes)) {
+      ++failed_writes_;
+      return;
+    }
+    meta->last_access_time = sim_.now();
+    mirror_meta(serving, id);
+    count_ctrl(4, 4 * kCtrlMsgBytes);
+    CloudOp op;
+    op.content = id;
+    op.content_class = meta->content_class;
+    op.kind = CloudOp::Kind::kAppend;
+    op.server = target;
+    op.client = static_cast<std::int64_t>(client_idx);
+    const double setup =
+        2 * cfg_.params.ctrl_dc_latency_s + cfg_.params.ctrl_wan_latency_s;
+    sim_.post_in(sim::secs(setup),
+                 [this, op, bytes, priority, client_idx, target] {
+      start_data_flow(topo_.clients()[client_idx],
+                      topo_.servers()[static_cast<std::size_t>(target)],
+                      bytes, op, priority, /*reserved_bps=*/0.0);
     });
+  };
+  sim_.post_in(sim::secs(to_nns), [this, id, h = std::move(handler)] {
+    submit_metadata_request(static_cast<std::uint64_t>(id), h,
+                            [this] { ++failed_writes_; });
   });
   return true;
 }
@@ -426,14 +564,12 @@ void Cloud::begin_replication(const CloudOp& write_op, std::int64_t bytes,
                               double priority, bool repair) {
   // Fig. 4: the BS holding the fresh copy asks the content's NNS for a
   // replication target offering the best upload rate for future reads.
-  NameNode& nns = meta_owner(write_op.content);
   count_ctrl(2, 2 * kCtrlMsgBytes);
-  nns.submit([this, write_op, bytes, priority, repair] {
+  auto handler = [this, write_op, bytes, priority, repair](NameNode& serving) {
     // k-way placement: exclude every server already holding a copy plus
     // the source, so chained replication never doubles up.
     std::vector<std::int32_t> exclude;
-    if (const ContentMeta* meta =
-            meta_owner(write_op.content).find(write_op.content))
+    if (const ContentMeta* meta = serving.find(write_op.content))
       exclude = meta->replicas;
     if (std::find(exclude.begin(), exclude.end(), write_op.server) ==
         exclude.end())
@@ -479,16 +615,301 @@ void Cloud::begin_replication(const CloudOp& write_op, std::int64_t bytes,
       start_data_flow(src, dst, bytes, op, priority,
                       /*reserved_bps=*/0.0);
     });
+  };
+  submit_metadata_request(
+      static_cast<std::uint64_t>(write_op.content), std::move(handler),
+      [this, content = write_op.content, repair] {
+        // The metadata plane never answered: release the repair slot (if
+        // any) and leave the object to the background repair queue.
+        if (repair) {
+          --repairs_in_flight_;
+          ++churn_.repair_retries;
+          repair_pending_.erase(content);
+        }
+        enqueue_repair(content);
+      });
+}
+
+// --------------------------------------------------------------------------
+// metadata plane: sharding, failover, timeout/retry, mirroring, resync
+// --------------------------------------------------------------------------
+
+std::size_t Cloud::shard_of_key(std::uint64_t key) const {
+  return fes_->dispatch_index(key);
+}
+
+NameNode& Cloud::authority_nns(std::size_t shard) {
+  if (!nns_failover_) return *name_nodes_[shard];
+  const NnsShardState& st = nns_state_[shard];
+  if (st.primary_alive && !st.primary_syncing) return *name_nodes_[shard];
+  if (st.standby_alive && !st.standby_syncing) return *standby_nodes_[shard];
+  return *name_nodes_[shard];
+}
+
+const NameNode& Cloud::authority_nns(std::size_t shard) const {
+  return const_cast<Cloud*>(this)->authority_nns(shard);
+}
+
+NameNode& Cloud::meta_owner(ContentId id) {
+  return authority_nns(shard_of_key(static_cast<std::uint64_t>(id)));
+}
+
+NameNode* Cloud::serving_nns(std::size_t shard) {
+  if (!nns_failover_) return name_nodes_[shard].get();
+  const NnsShardState& st = nns_state_[shard];
+  if (st.primary_alive && !st.primary_syncing) return name_nodes_[shard].get();
+  if (st.standby_alive && !st.standby_syncing)
+    return standby_nodes_[shard].get();
+  return nullptr;
+}
+
+void Cloud::submit_metadata_request(std::uint64_t key,
+                                    std::function<void(NameNode&)> fn,
+                                    std::function<void()> on_give_up) {
+  const std::size_t shard = shard_of_key(key);
+  if (!nns_failover_) {
+    // Historical path: direct submit, no timeout machinery, no rng draws —
+    // byte-identical event sequence for churn-free runs.
+    NameNode* node = &fes_->node(shard);
+    node->submit([node, f = std::move(fn)] { f(*node); });
+    return;
+  }
+  auto req = std::make_shared<MetaRequest>();
+  req->fn = std::move(fn);
+  req->on_give_up = std::move(on_give_up);
+  dispatch_metadata(shard, 1, req);
+}
+
+void Cloud::dispatch_metadata(std::size_t shard, std::int32_t attempt,
+                              const std::shared_ptr<MetaRequest>& req) {
+  if (req->done) return;
+  // Re-dispatches pay the FES hop again (client -> FES -> NNS RPC pair).
+  if (attempt > 1) count_ctrl(2, 2 * kCtrlMsgBytes);
+  NameNode* node = serving_nns(shard);
+  if (node == nullptr) {
+    // Degraded window: both shard instances down (or resyncing). The
+    // request is queued behind the backoff timer, never lost.
+    ++meta_stats_.unavailable;
+    schedule_metadata_retry(shard, attempt, req);
+    return;
+  }
+  if (node != name_nodes_[shard].get()) ++meta_stats_.failovers;
+  const double delay = node->submit([req, node] {
+    if (req->done) return;
+    req->done = true;
+    req->fn(*node);
   });
+  if (delay < 0) {  // raced a same-timestamp failure
+    ++meta_stats_.unavailable;
+    schedule_metadata_retry(shard, attempt, req);
+    return;
+  }
+  // Client-side deadline: if the NNS dies with the request queued, the
+  // handler never fires and this timer re-drives the request.
+  sim_.post_in(sim::secs(cfg_.params.metadata_timeout_s),
+               [this, shard, attempt, req] {
+                 if (req->done) return;
+                 ++meta_stats_.requests_timed_out;
+                 schedule_metadata_retry(shard, attempt, req);
+               });
+}
+
+void Cloud::schedule_metadata_retry(std::size_t shard, std::int32_t attempt,
+                                    const std::shared_ptr<MetaRequest>& req) {
+  if (req->done) return;
+  if (attempt >= cfg_.params.metadata_max_attempts) {
+    req->done = true;
+    ++meta_stats_.requests_dropped;
+    if (req->on_give_up) req->on_give_up();
+    return;
+  }
+  ++meta_stats_.retries;
+  // Exponential backoff with jitter from the run's seeded RNG: the draw
+  // happens in event order, so runs stay deterministic per seed.
+  double backoff = cfg_.params.metadata_backoff_base_s;
+  for (std::int32_t i = 1; i < attempt; ++i) backoff *= 2.0;
+  backoff *= 1.0 + cfg_.params.metadata_backoff_jitter * sim_.rng().uniform();
+  sim_.post_in(sim::secs(backoff), [this, shard, attempt, req] {
+    dispatch_metadata(shard, attempt + 1, req);
+  });
+}
+
+void Cloud::mirror_meta(NameNode& from, ContentId id) {
+  if (!nns_failover_ || id == kInvalidContent) return;
+  const std::size_t shard = shard_of_key(static_cast<std::uint64_t>(id));
+  const NnsShardState& st = nns_state_[shard];
+  const bool from_primary = &from == name_nodes_[shard].get();
+  if (!from_primary && &from != standby_nodes_[shard].get()) return;
+  const bool peer_ready = from_primary
+                              ? (st.standby_alive && !st.standby_syncing)
+                              : (st.primary_alive && !st.primary_syncing);
+  if (!peer_ready) return;  // a dead/resyncing peer catches up via resync
+  const ContentMeta* m = from.find(id);
+  if (m == nullptr) return;
+  ++meta_stats_.mirror_updates;
+  count_ctrl(1, kCtrlMsgBytes + static_cast<std::uint64_t>(
+                                    cfg_.params.nns_meta_entry_bytes));
+  NameNode* peer =
+      from_primary ? standby_nodes_[shard].get() : name_nodes_[shard].get();
+  // The record copy rides one intra-DC control hop; the peer applies
+  // whatever was on the wire (by value) when it arrives.
+  sim_.post_in(sim::secs(cfg_.params.ctrl_dc_latency_s),
+               [peer, copy = *m] {
+                 if (peer->alive()) peer->apply_mirror(copy);
+               });
+}
+
+void Cloud::fail_nns(std::size_t instance) {
+  if (!nns_failover_ || instance >= nns_instance_count()) return;
+  const std::size_t n = name_nodes_.size();
+  const std::size_t shard = instance % n;
+  const bool is_standby = instance >= n;
+  NnsShardState& st = nns_state_[shard];
+  bool& alive = is_standby ? st.standby_alive : st.primary_alive;
+  bool& syncing = is_standby ? st.standby_syncing : st.primary_syncing;
+  if (!alive) return;
+  alive = false;
+  syncing = false;
+  nns_instance(instance).set_alive(false);
+  // Any in-flight resync in this shard involves the dead instance either
+  // as the recovering node or as the sync source: cut it.
+  if (st.sync_flow != net::kInvalidFlow) {
+    const net::FlowId f = st.sync_flow;
+    st.sync_flow = net::kInvalidFlow;
+    abort_flow(f);
+  }
+}
+
+void Cloud::recover_nns(std::size_t instance) {
+  if (!nns_failover_ || instance >= nns_instance_count()) return;
+  const std::size_t n = name_nodes_.size();
+  const std::size_t shard = instance % n;
+  const bool is_standby = instance >= n;
+  NnsShardState& st = nns_state_[shard];
+  bool& alive = is_standby ? st.standby_alive : st.primary_alive;
+  bool& syncing = is_standby ? st.standby_syncing : st.primary_syncing;
+  if (alive) return;
+  alive = true;
+  const bool peer_serving = is_standby
+                                ? (st.primary_alive && !st.primary_syncing)
+                                : (st.standby_alive && !st.standby_syncing);
+  if (!peer_serving) {
+    // No live source to sync from: rejoin immediately with whatever map
+    // survived (possibly stale; mirrors resume from here).
+    syncing = false;
+    nns_instance(instance).set_alive(true);
+    return;
+  }
+  syncing = true;
+  resync_queue_.push_back(instance);
+}
+
+void Cloud::drain_resync_queue() {
+  if (resync_queue_.empty()) return;
+  const std::size_t n = name_nodes_.size();
+  std::deque<std::size_t> retry;
+  while (!resync_queue_.empty()) {
+    const std::size_t instance = resync_queue_.front();
+    resync_queue_.pop_front();
+    const std::size_t shard = instance % n;
+    const bool is_standby = instance >= n;
+    NnsShardState& st = nns_state_[shard];
+    const bool alive = is_standby ? st.standby_alive : st.primary_alive;
+    const bool syncing =
+        is_standby ? st.standby_syncing : st.primary_syncing;
+    if (!alive || !syncing) continue;  // stale entry (died or rejoined)
+    if (st.sync_flow != net::kInvalidFlow || st.sync_pending)
+      continue;  // duplicate entry; the running sync covers it
+    const std::size_t peer_instance = is_standby ? shard : shard + n;
+    const bool peer_serving = is_standby
+                                  ? (st.primary_alive && !st.primary_syncing)
+                                  : (st.standby_alive && !st.standby_syncing);
+    if (!peer_serving) {
+      retry.push_back(instance);  // wait for a live source
+      continue;
+    }
+    const std::size_t src_host = nns_host_server(peer_instance);
+    const std::size_t dst_host = nns_host_server(instance);
+    if (servers_[src_host].failed() || servers_[dst_host].failed()) {
+      retry.push_back(instance);  // wait for the hosts to come back
+      continue;
+    }
+    const NameNode& peer = nns_instance(peer_instance);
+    const std::int64_t bytes = std::max<std::int64_t>(
+        1500, static_cast<std::int64_t>(peer.content_count()) *
+                  cfg_.params.nns_meta_entry_bytes);
+    st.sync_pending = true;
+    ++meta_stats_.resyncs_started;
+    count_ctrl(2, 2 * kCtrlMsgBytes);
+    CloudOp op;
+    op.content = kInvalidContent;
+    op.content_class = ContentClass::kPassive;
+    op.kind = CloudOp::Kind::kNnsSync;
+    op.server = static_cast<std::int32_t>(dst_host);
+    op.source_server = static_cast<std::int32_t>(src_host);
+    op.client = static_cast<std::int64_t>(instance);
+    const net::NodeId src_node = topo_.servers()[src_host];
+    const net::NodeId dst_node = topo_.servers()[dst_host];
+    sim_.post_in(
+        sim::secs(2 * cfg_.params.ctrl_dc_latency_s),
+        [this, op, bytes, src_node, dst_node, shard, instance, is_standby] {
+          // Conditions may have changed during the setup RPC window.
+          NnsShardState& st2 = nns_state_[shard];
+          st2.sync_pending = false;
+          const bool alive2 =
+              is_standby ? st2.standby_alive : st2.primary_alive;
+          const bool syncing2 =
+              is_standby ? st2.standby_syncing : st2.primary_syncing;
+          if (!alive2 || !syncing2) return;  // died again during setup
+          const bool peer_ok =
+              is_standby ? (st2.primary_alive && !st2.primary_syncing)
+                         : (st2.standby_alive && !st2.standby_syncing);
+          if (!peer_ok ||
+              servers_[static_cast<std::size_t>(op.source_server)].failed() ||
+              servers_[static_cast<std::size_t>(op.server)].failed()) {
+            resync_queue_.push_back(instance);
+            return;
+          }
+          st2.sync_flow =
+              start_data_flow(src_node, dst_node, bytes, op,
+                              cfg_.params.repair_priority,
+                              /*reserved_bps=*/0.0);
+        });
+  }
+  for (const std::size_t i : retry) resync_queue_.push_back(i);
+}
+
+void Cloud::finish_resync(std::size_t instance) {
+  const std::size_t n = name_nodes_.size();
+  const std::size_t shard = instance % n;
+  const bool is_standby = instance >= n;
+  NnsShardState& st = nns_state_[shard];
+  st.sync_flow = net::kInvalidFlow;
+  bool& alive = is_standby ? st.standby_alive : st.primary_alive;
+  bool& syncing = is_standby ? st.standby_syncing : st.primary_syncing;
+  if (!alive || !syncing) return;
+  const std::size_t peer_instance = is_standby ? shard : shard + n;
+  NameNode& me = nns_instance(instance);
+  me.adopt_meta_from(nns_instance(peer_instance));
+  syncing = false;
+  me.set_alive(true);
+  ++meta_stats_.resyncs_completed;
+}
+
+std::size_t Cloud::nns_host_server(std::size_t instance) const {
+  // The control plane is consolidated on a few servers (paper section
+  // III); model each NNS instance as hosted on a fixed server so sync
+  // traffic crosses the real fabric.
+  return instance % servers_.size();
 }
 
 // --------------------------------------------------------------------------
 // data plane
 // --------------------------------------------------------------------------
 
-void Cloud::start_data_flow(net::NodeId src, net::NodeId dst,
-                            std::int64_t bytes, const CloudOp& op,
-                            double priority, double reserved_bps) {
+net::FlowId Cloud::start_data_flow(net::NodeId src, net::NodeId dst,
+                                   std::int64_t bytes, const CloudOp& op,
+                                   double priority, double reserved_bps) {
   if (op.server >= 0)
     servers_[static_cast<std::size_t>(op.server)].flow_started();
 
@@ -498,7 +919,7 @@ void Cloud::start_data_flow(net::NodeId src, net::NodeId dst,
         op.kind == CloudOp::Kind::kRead ? ContentClass::kSemiInteractive
                                         : op.content_class);
     ops_.emplace(id, op);
-    return;
+    return id;
   }
 
   // SCDA: the initial rate is what the RM/RA hierarchy currently offers on
@@ -559,6 +980,7 @@ void Cloud::start_data_flow(net::NodeId src, net::NodeId dst,
   // allocator's epoch callback drives their rates instead.
   if (!handles.fluid) active_scda_.emplace(handles.id, handles);
   ops_.emplace(handles.id, op);
+  return handles.id;
 }
 
 void Cloud::on_flow_complete(const transport::FlowRecord& rec) {
@@ -570,6 +992,16 @@ void Cloud::on_flow_complete(const transport::FlowRecord& rec) {
     servers_[static_cast<std::size_t>(op.server)].flow_finished();
   allocator_.unregister_flow(rec.id);
   active_scda_.erase(rec.id);
+
+  if (op.kind == CloudOp::Kind::kNnsSync) {
+    // A recovering NNS instance finished pulling its peer's metadata map;
+    // it adopts the map and rejoins (docs/scenarios.md).
+    meta_stats_.resync_bytes += static_cast<std::uint64_t>(rec.size_bytes);
+    finish_resync(static_cast<std::size_t>(op.client));
+    for (const auto& fn : on_complete_) fn(rec, op);
+    if (it != ops_.end()) ops_.erase(it);
+    return;
+  }
 
   NameNode& nns = meta_owner(op.content);
   ContentMeta* meta = nns.find(op.content);
@@ -644,8 +1076,33 @@ void Cloud::on_flow_complete(const transport::FlowRecord& rec) {
         migrating_.erase(op.content);
         break;
       }
+      case CloudOp::Kind::kRebalance: {
+        // The hot/overfull copy now lives on the cooler target; vacate the
+        // source (docs/scenarios.md proactive rebalancing).
+        meta->replicas.push_back(op.server);
+        if (op.source_server >= 0) {
+          const auto src = static_cast<std::size_t>(op.source_server);
+          if (servers_[src].has(op.content)) {
+            servers_[src].remove(op.content);
+            if (meta->content_class != ContentClass::kPassive &&
+                active_content_count_[src] > 0)
+              --active_content_count_[src];
+          }
+          std::erase(meta->replicas, op.source_server);
+        }
+        note_replicas_changed(*meta);
+        ++rebalance_stats_.flows_completed;
+        rebalance_stats_.bytes_moved +=
+            static_cast<std::uint64_t>(rec.size_bytes);
+        migrating_.erase(op.content);
+        break;
+      }
+      case CloudOp::Kind::kNnsSync:
+        break;  // handled above (early return)
     }
-  } else if (op.kind == CloudOp::Kind::kMigration) {
+    mirror_meta(nns, op.content);
+  } else if (op.kind == CloudOp::Kind::kMigration ||
+             op.kind == CloudOp::Kind::kRebalance) {
     migrating_.erase(op.content);
   } else if (op.kind == CloudOp::Kind::kReplication && op.repair) {
     // Metadata vanished (or the target failed) while the repair flow ran;
@@ -699,11 +1156,18 @@ CloudSnapshot Cloud::snapshot() const {
   s.time_s = sim_.now().seconds();
   s.active_flows = ops_.size();
 
+  // Content is counted on each shard's authority map (primary unless
+  // failover moved authority); service stats aggregate every instance,
+  // standbys included, since requests they served are real requests.
   std::uint64_t served = 0;
+  for (std::size_t shard = 0; shard < name_nodes_.size(); ++shard)
+    s.contents_stored += authority_nns(shard).content_count();
   for (const auto& nn : name_nodes_) {
-    s.contents_stored += nn->content_count();
-    s.mean_nns_delay_s +=
-        nn->mean_delay() * static_cast<double>(nn->served());
+    s.mean_nns_delay_s += nn->mean_delay() * static_cast<double>(nn->served());
+    served += nn->served();
+  }
+  for (const auto& nn : standby_nodes_) {
+    s.mean_nns_delay_s += nn->mean_delay() * static_cast<double>(nn->served());
     served += nn->served();
   }
   if (served > 0) s.mean_nns_delay_s /= static_cast<double>(served);
@@ -751,12 +1215,13 @@ void Cloud::fail_server(std::size_t server_idx, bool re_replicate) {
   // restoration of the replication factor from a surviving copy (what
   // HDFS/GFS do on datanode loss; the paper's RM health monitoring
   // provides the signal). Repairs go through the background queue so a
-  // correlated failure cannot stampede the fabric.
-  for (auto& nns : name_nodes_) {
-    std::vector<ContentId> ids = nns->content_ids();
-    std::sort(ids.begin(), ids.end());
-    for (const ContentId id : ids) {
-      ContentMeta* meta = nns->find(id);
+  // correlated failure cannot stampede the fabric. Durability accounting
+  // runs on the authority map only; the standby mirror is scrubbed without
+  // accounting so the clock is not double-counted.
+  for (std::size_t shard = 0; shard < name_nodes_.size(); ++shard) {
+    NameNode& auth = authority_nns(shard);
+    for (const ContentId id : auth.content_ids()) {
+      ContentMeta* meta = auth.find(id);
       if (meta == nullptr) continue;
       const auto before = meta->replicas.size();
       std::erase(meta->replicas, idx);
@@ -766,6 +1231,13 @@ void Cloud::fail_server(std::size_t server_idx, bool re_replicate) {
           static_cast<std::int32_t>(meta->replicas.size()) <
               std::max<std::int32_t>(1, cfg_.params.replicas))
         enqueue_repair(id);
+    }
+    if (!nns_failover_) continue;
+    NameNode& peer = &auth == name_nodes_[shard].get()
+                         ? *standby_nodes_[shard]
+                         : *name_nodes_[shard];
+    for (const ContentId id : peer.content_ids()) {
+      if (ContentMeta* meta = peer.find(id)) std::erase(meta->replicas, idx);
     }
   }
   propagate_rate_changes();
@@ -833,6 +1305,26 @@ bool Cloud::abort_flow(net::FlowId id) {
       rollback_partial_store(op);
       migrating_.erase(op.content);
       break;
+    case CloudOp::Kind::kRebalance:
+      // The move never landed; the source copy was untouched (it is only
+      // vacated on completion), so just roll back the target reservation.
+      rollback_partial_store(op);
+      migrating_.erase(op.content);
+      break;
+    case CloudOp::Kind::kNnsSync: {
+      // The sync source or a host died mid-transfer. If the recovering
+      // instance is still up and waiting, queue a fresh attempt.
+      const auto instance = static_cast<std::size_t>(client);
+      const std::size_t n = name_nodes_.size();
+      NnsShardState& st = nns_state_[instance % n];
+      st.sync_flow = net::kInvalidFlow;
+      const bool is_standby = instance >= n;
+      const bool alive = is_standby ? st.standby_alive : st.primary_alive;
+      const bool syncing =
+          is_standby ? st.standby_syncing : st.primary_syncing;
+      if (alive && syncing) resync_queue_.push_back(instance);
+      break;
+    }
   }
   return true;
 }

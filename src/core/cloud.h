@@ -70,6 +70,8 @@ struct CloudOp {
     kReplication,
     kMigration,  ///< cold-content move to a dormant-eligible server (VII-C)
     kAppend,     ///< in-place update of existing content (HWHR traffic)
+    kRebalance,  ///< proactive hot/overfull move (docs/scenarios.md)
+    kNnsSync,    ///< recovering name node re-syncing from its peer
   } kind = Kind::kWrite;
   std::int32_t server = -1;   ///< block server index serving the op
   std::int64_t client = -1;   ///< client index (-1 for internal ops)
@@ -91,6 +93,31 @@ struct ChurnStats {
   std::uint64_t repair_retries = 0;  ///< repair flows aborted or re-queued
   std::uint64_t sla_violations_during_repair = 0;
   std::uint64_t objects_lost = 0;    ///< every replica gone (unreadable)
+};
+
+/// Metadata-plane fault-tolerance counters (docs/scenarios.md). Surfaced
+/// as `metadata.*` metric ids only when NNS churn is configured, so
+/// committed churn artifacts stay byte-identical.
+struct MetadataStats {
+  std::uint64_t requests_timed_out = 0;  ///< client deadline expiries
+  std::uint64_t retries = 0;             ///< re-dispatches (backoff path)
+  std::uint64_t failovers = 0;           ///< requests served by a standby
+  std::uint64_t unavailable = 0;   ///< dispatches finding no live replica
+  std::uint64_t requests_dropped = 0;  ///< attempts exhausted (failed op)
+  std::uint64_t mirror_updates = 0;    ///< primary->standby record copies
+  std::uint64_t resyncs_started = 0;   ///< recovery sync flows launched
+  std::uint64_t resyncs_completed = 0;
+  std::uint64_t resync_bytes = 0;      ///< payload moved by sync flows
+};
+
+/// Proactive-rebalancing counters (docs/scenarios.md). Surfaced as
+/// `rebalance.*` metric ids only when rebalancing is enabled.
+struct RebalanceStats {
+  std::uint64_t scans = 0;
+  std::uint64_t flows_started = 0;
+  std::uint64_t flows_completed = 0;
+  std::uint64_t bytes_moved = 0;
+  std::uint64_t skipped = 0;  ///< overloaded server with no viable move
 };
 
 using CloudCompletionFn =
@@ -236,6 +263,43 @@ class Cloud {
   /// unknown/finished flows.
   bool abort_flow(net::FlowId id);
 
+  // --- metadata-plane fault tolerance (docs/scenarios.md) --------------------
+  /// Whether the NNS failover layer (standby mirroring, liveness-aware
+  /// dispatch, timeout/retry) is active for this run.
+  [[nodiscard]] bool nns_failover_enabled() const noexcept {
+    return nns_failover_;
+  }
+  /// NNS instances: shard primaries first, then standbys (instance
+  /// n_shards + i is shard i's standby). Without failover there are only
+  /// the primaries.
+  [[nodiscard]] std::size_t nns_instance_count() const noexcept {
+    return name_nodes_.size() + standby_nodes_.size();
+  }
+  [[nodiscard]] NameNode& nns_instance(std::size_t instance) {
+    return instance < name_nodes_.size()
+               ? *name_nodes_[instance]
+               : *standby_nodes_.at(instance - name_nodes_.size());
+  }
+  /// Take an NNS instance down: it stops serving, its queued requests die
+  /// with it (clients recover via timeout + retry), and dispatch fails
+  /// over to the shard's surviving peer.
+  void fail_nns(std::size_t instance);
+  /// Bring an NNS instance back: it re-syncs its metadata from the live
+  /// peer as a low-priority background flow before rejoining; with no
+  /// live peer it rejoins immediately with whatever state it kept.
+  void recover_nns(std::size_t instance);
+  [[nodiscard]] const MetadataStats& meta_stats() const noexcept {
+    return meta_stats_;
+  }
+
+  // --- proactive rebalancing -------------------------------------------------
+  [[nodiscard]] bool rebalance_enabled() const noexcept {
+    return cfg_.params.rebalance_interval_s > 0;
+  }
+  [[nodiscard]] const RebalanceStats& rebalance_stats() const noexcept {
+    return rebalance_stats_;
+  }
+
   // --- churn / repair accounting ---------------------------------------------
   [[nodiscard]] const ChurnStats& churn_stats() const noexcept {
     return churn_;
@@ -273,14 +337,60 @@ class Cloud {
   void integrate_power();
   void dormancy_housekeeping();
   void migration_scan();
+  void rebalance_scan();
   void count_ctrl(std::uint64_t messages, std::uint64_t bytes) {
     ctrl_messages_ += messages;
     ctrl_bytes_ += bytes;
   }
 
-  void start_data_flow(net::NodeId src, net::NodeId dst, std::int64_t bytes,
-                       const CloudOp& op, double priority,
-                       double reserved_bps);
+  // --- metadata-plane machinery (docs/scenarios.md) --------------------------
+  /// One client-side metadata request: the handler runs on whichever NNS
+  /// instance ends up serving it; on_give_up fires when every attempt is
+  /// exhausted (the request is surfaced as a failed operation).
+  struct MetaRequest {
+    std::function<void(NameNode&)> fn;
+    std::function<void()> on_give_up;
+    bool done = false;
+  };
+  /// Liveness + recovery state of one metadata shard (primary/standby).
+  struct NnsShardState {
+    bool primary_alive = true;
+    bool standby_alive = true;
+    bool primary_syncing = false;  ///< recovering, not yet rejoined
+    bool standby_syncing = false;
+    net::FlowId sync_flow = net::kInvalidFlow;  ///< in-flight resync
+    bool sync_pending = false;  ///< resync setup RPC posted, flow not yet up
+  };
+
+  [[nodiscard]] std::size_t shard_of_key(std::uint64_t key) const;
+  /// The shard's serving node: primary unless down/syncing, else standby,
+  /// else nullptr (degraded window — requests queue and retry).
+  [[nodiscard]] NameNode* serving_nns(std::size_t shard);
+  /// Submit a metadata request keyed by `key` through the FES, with
+  /// failover + timeout/retry when the metadata plane can churn; reduces
+  /// to the historical direct submit otherwise.
+  void submit_metadata_request(std::uint64_t key,
+                               std::function<void(NameNode&)> fn,
+                               std::function<void()> on_give_up);
+  void dispatch_metadata(std::size_t shard, std::int32_t attempt,
+                         const std::shared_ptr<MetaRequest>& req);
+  void schedule_metadata_retry(std::size_t shard, std::int32_t attempt,
+                               const std::shared_ptr<MetaRequest>& req);
+  /// Mirror one record from the node that just mutated it to the shard's
+  /// peer (intra-DC consistency hop; the peer applies the copy one
+  /// ctrl_dc latency later).
+  void mirror_meta(NameNode& from, ContentId id);
+  /// Launch queued standby/primary re-sync flows (control tick; deferred
+  /// while the peer or a host server is down).
+  void drain_resync_queue();
+  void finish_resync(std::size_t instance);
+  /// Host server an NNS instance's sync traffic terminates on (the
+  /// control plane is consolidated on a few servers, paper section III).
+  [[nodiscard]] std::size_t nns_host_server(std::size_t instance) const;
+
+  net::FlowId start_data_flow(net::NodeId src, net::NodeId dst,
+                              std::int64_t bytes, const CloudOp& op,
+                              double priority, double reserved_bps);
   void on_flow_complete(const transport::FlowRecord& rec);
   /// Start one replication hop from op.server; `repair` flows run at
   /// params.repair_priority and feed the repair accounting.
@@ -303,9 +413,14 @@ class Cloud {
   /// Push refreshed allocations to senders and the fluid engine.
   void propagate_rate_changes();
 
-  [[nodiscard]] NameNode& meta_owner(ContentId id) {
-    return fes_->dispatch_by_content(id);
-  }
+  /// The authoritative metadata map for `id`: the shard's primary unless
+  /// failover handed authority to the standby. Falls back to the primary
+  /// when the whole shard is down (bookkeeping continues on the durable
+  /// map; *serving* requests is gated separately by serving_nns()).
+  [[nodiscard]] NameNode& meta_owner(ContentId id);
+  /// Per-shard version of meta_owner (same authority rule).
+  [[nodiscard]] NameNode& authority_nns(std::size_t shard);
+  [[nodiscard]] const NameNode& authority_nns(std::size_t shard) const;
 
   /// Server index of a server node id (node ids are not contiguous).
   [[nodiscard]] std::size_t server_index_of(net::NodeId node) const {
@@ -320,11 +435,21 @@ class Cloud {
   Hierarchy hierarchy_;
   SlaManager sla_;
   std::vector<std::unique_ptr<NameNode>> name_nodes_;
+  /// Shard standbys (same order as name_nodes_); populated only when NNS
+  /// churn is configured, so churn-free runs carry zero extra state.
+  std::vector<std::unique_ptr<NameNode>> standby_nodes_;
+  bool nns_failover_ = false;
+  std::vector<NnsShardState> nns_state_;
+  /// NNS instances waiting for a recovery sync (drained on control ticks).
+  std::deque<std::size_t> resync_queue_;
+  MetadataStats meta_stats_;
+  RebalanceStats rebalance_stats_;
   std::unique_ptr<FrontEnd> fes_;
   std::unique_ptr<ServerSelector> selector_;
   std::vector<BlockServer> servers_;
   std::unique_ptr<sim::PeriodicProcess> control_loop_;
   std::unique_ptr<sim::PeriodicProcess> migration_loop_;
+  std::unique_ptr<sim::PeriodicProcess> rebalance_loop_;
   ContentClassifier classifier_;
   TargetRateController target_ctrl_{allocator_};
   /// Deadlines requested before the upload flow exists, keyed by content.

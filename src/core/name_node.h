@@ -46,8 +46,13 @@ class NameNode {
   NameNode& operator=(const NameNode&) = delete;
 
   /// Enqueue a metadata request; `handler` runs after the queueing +
-  /// service delay. Returns the delay the request will experience.
+  /// service delay. Returns the delay the request will experience, or a
+  /// negative value when the node is down (the request is dropped — the
+  /// client-side timeout in Cloud recovers it). Requests queued when the
+  /// node crashes die with it: the crash bumps the generation and stale
+  /// handlers become no-ops when their service event fires.
   double submit(std::function<void()> handler) {
+    if (!alive_) return -1.0;
     const sim::Time now = sim_.now();
     const sim::Time start = std::max(now, busy_until_);
     busy_until_ = start + sim::secs(service_time_s_);
@@ -55,8 +60,25 @@ class NameNode {
     max_delay_ = std::max(max_delay_, delay.seconds());
     total_delay_ += delay.seconds();
     ++served_;
-    sim_.post_in(delay, std::move(handler));
+    sim_.post_in(delay, [this, gen = generation_,
+                         h = std::move(handler)] {
+      if (gen == generation_) h();
+    });
     return delay.seconds();
+  }
+
+  // --- liveness (metadata-plane churn, docs/scenarios.md) --------------------
+  [[nodiscard]] bool alive() const noexcept { return alive_; }
+  void set_alive(bool alive) {
+    if (alive_ == alive) return;
+    alive_ = alive;
+    if (!alive) {
+      // The machine died: everything sitting in its service queue is lost
+      // (clients recover via timeout + retry) and the queue drains empty,
+      // so a recovered node starts idle instead of paying ghost backlog.
+      ++generation_;
+      busy_until_ = sim::Time{};
+    }
   }
 
   // --- metadata --------------------------------------------------------------
@@ -76,13 +98,25 @@ class NameNode {
   [[nodiscard]] std::size_t content_count() const noexcept {
     return meta_.size();
   }
-  /// Snapshot of all content ids this NNS tracks (migration scans).
+  /// Snapshot of all content ids this NNS tracks, sorted — the ids feed
+  /// migration/rebalance scans, so handing out unordered_map iteration
+  /// order would be a latent determinism bug under the byte-identical
+  /// output contract.
   [[nodiscard]] std::vector<ContentId> content_ids() const {
     std::vector<ContentId> out;
     out.reserve(meta_.size());
     for (const auto& [id, m] : meta_) out.push_back(id);
+    std::sort(out.begin(), out.end());
     return out;
   }
+
+  /// Apply a mirrored metadata record (primary->standby consistency
+  /// traffic): the copy that was put on the wire replaces whatever this
+  /// node had for that id.
+  void apply_mirror(const ContentMeta& m) { meta_[m.id] = m; }
+  /// Bulk re-sync on recovery: adopt the peer's entire metadata map (the
+  /// background sync flow carried it; docs/scenarios.md).
+  void adopt_meta_from(const NameNode& peer) { meta_ = peer.meta_; }
 
   // --- service-queue statistics ----------------------------------------------
   [[nodiscard]] std::int32_t index() const noexcept { return index_; }
@@ -97,6 +131,8 @@ class NameNode {
   std::int32_t index_;
   double service_time_s_;
   sim::Time busy_until_{};
+  bool alive_ = true;
+  std::uint64_t generation_ = 0;
   std::uint64_t served_ = 0;
   double total_delay_ = 0;
   double max_delay_ = 0;
@@ -116,6 +152,13 @@ class FrontEnd {
   }
   [[nodiscard]] NameNode& dispatch_by_content(ContentId content) {
     return *nodes_[mix(static_cast<std::uint64_t>(content)) % nodes_.size()];
+  }
+  /// Shard index a key hashes to — the failover-aware paths in Cloud need
+  /// the index (to consult liveness and pick primary vs standby), not the
+  /// node reference. Same hash as dispatch_by_*, so the mapping is stable
+  /// across runs and worker counts.
+  [[nodiscard]] std::size_t dispatch_index(std::uint64_t key) const {
+    return mix(key) % nodes_.size();
   }
   [[nodiscard]] std::size_t nns_count() const noexcept {
     return nodes_.size();

@@ -92,6 +92,25 @@ void apply_param(ExperimentConfig& cfg, const std::string& name,
     cfg.params.max_concurrent_repairs = static_cast<std::int32_t>(value);
     return;
   }
+  // Metadata-plane fault tolerance + rebalancing (docs/scenarios.md).
+  if (name == "nns_mtbf_s") { cfg.churn.nns_mtbf_s = value; return; }
+  if (name == "nns_mttr_s") { cfg.churn.nns_mttr_s = value; return; }
+  if (name == "metadata_timeout_s") {
+    cfg.params.metadata_timeout_s = value;
+    return;
+  }
+  if (name == "metadata_max_attempts") {
+    cfg.params.metadata_max_attempts = static_cast<std::int32_t>(value);
+    return;
+  }
+  if (name == "rebalance_interval_s") {
+    cfg.params.rebalance_interval_s = value;
+    return;
+  }
+  if (name == "rebalance_priority") {
+    cfg.params.rebalance_priority = value;
+    return;
+  }
   throw std::invalid_argument("apply_param: unknown parameter '" + name +
                               "' (use SweepSpec::custom_param)");
 }

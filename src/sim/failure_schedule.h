@@ -20,6 +20,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "sim/rng.h"
@@ -32,6 +34,8 @@ enum class FailureKind : std::uint8_t {
   kServerUp,
   kLinkDown,
   kLinkUp,
+  kNnsDown,
+  kNnsUp,
 };
 
 [[nodiscard]] constexpr const char* to_string(FailureKind k) noexcept {
@@ -40,12 +44,17 @@ enum class FailureKind : std::uint8_t {
     case FailureKind::kServerUp: return "server_up";
     case FailureKind::kLinkDown: return "link_down";
     case FailureKind::kLinkUp: return "link_up";
+    case FailureKind::kNnsDown: return "nns_down";
+    case FailureKind::kNnsUp: return "nns_up";
   }
   return "?";
 }
 
 /// One scheduled transition. `index` is a server index for the server
-/// kinds and a trunk (ToR) index for the link kinds.
+/// kinds, a trunk (ToR) index for the link kinds, and an NNS *instance*
+/// index for the name-node kinds (shard primaries first, then their
+/// standbys: instance i < n_shards is shard i's primary, instance
+/// n_shards + i is shard i's standby).
 struct FailureEvent {
   SimTime at{};
   FailureKind kind = FailureKind::kServerDown;
@@ -56,12 +65,23 @@ struct FailureEvent {
 /// expands to one event pair per server in the pod. duration_s <= 0 means
 /// the outage lasts to the end of the run (no up event is emitted).
 struct ScriptedFailure {
-  enum class Target : std::uint8_t { kServer, kLink, kPod };
+  enum class Target : std::uint8_t { kServer, kLink, kPod, kNns };
   double at_s = 0.0;
   Target target = Target::kServer;
   std::int32_t index = 0;
   double duration_s = 0.0;
 };
+
+[[nodiscard]] constexpr const char* to_string(
+    ScriptedFailure::Target t) noexcept {
+  switch (t) {
+    case ScriptedFailure::Target::kServer: return "server";
+    case ScriptedFailure::Target::kLink: return "link";
+    case ScriptedFailure::Target::kPod: return "pod";
+    case ScriptedFailure::Target::kNns: return "nns";
+  }
+  return "?";
+}
 
 /// Churn knobs (docs/scenarios.md). An MTBF of 0 disables the stochastic
 /// process for that entity class; scripted entries always apply.
@@ -71,6 +91,8 @@ struct ChurnConfig {
   double server_mttr_s = 10.0; ///< mean server repair (down) time
   double link_mtbf_s = 0.0;    ///< mean up-time between trunk failures
   double link_mttr_s = 5.0;    ///< mean trunk repair time
+  double nns_mtbf_s = 0.0;     ///< mean up-time between name-node failures
+  double nns_mttr_s = 5.0;     ///< mean name-node repair time
   /// Stochastic processes are generated over [0, horizon_s); the runner
   /// sets this to the run's sim_time_s. <= 0 disables stochastic churn
   /// (scripted entries still apply).
@@ -78,13 +100,28 @@ struct ChurnConfig {
   std::vector<ScriptedFailure> scripted;
 };
 
+/// Name-node churn is configured when the stochastic NNS stream is on or
+/// any scripted entry targets an NNS instance. This is the gate for the
+/// whole metadata fault-tolerance layer (standby mirroring, failover,
+/// timeout/retry): runs without it keep the exact historical event
+/// sequence, so committed churn artifacts stay byte-identical.
+[[nodiscard]] inline bool nns_churn_configured(const ChurnConfig& cfg) {
+  if (!cfg.enabled) return false;
+  if (cfg.nns_mtbf_s > 0.0) return true;
+  for (const ScriptedFailure& f : cfg.scripted)
+    if (f.target == ScriptedFailure::Target::kNns) return true;
+  return false;
+}
+
 /// Entity census the schedule is built over: how many servers, how many
-/// ToR trunks (a "link failure" cuts one ToR's duplex uplink pair), and
-/// the pod size used to expand kPod scripted entries.
+/// ToR trunks (a "link failure" cuts one ToR's duplex uplink pair), the
+/// pod size used to expand kPod scripted entries, and how many name-node
+/// *instances* exist (primaries + standbys) for the NNS streams.
 struct ChurnShape {
   std::int32_t n_servers = 0;
   std::int32_t n_links = 0;        ///< ToR trunk count
   std::int32_t servers_per_pod = 0;
+  std::int32_t n_nns = 0;          ///< NNS instances (primaries + standbys)
 };
 
 /// splitmix64 — the repo's standard seed-mixing hash (same constants as
@@ -137,6 +174,10 @@ inline void append_renewal(std::vector<FailureEvent>& out, std::uint64_t seed,
     detail::append_renewal(out, seed, /*tag=*/2, l, cfg.link_mtbf_s,
                            cfg.link_mttr_s, cfg.horizon_s,
                            FailureKind::kLinkDown, FailureKind::kLinkUp);
+  for (std::int32_t m = 0; m < shape.n_nns; ++m)
+    detail::append_renewal(out, seed, /*tag=*/3, m, cfg.nns_mtbf_s,
+                           cfg.nns_mttr_s, cfg.horizon_s,
+                           FailureKind::kNnsDown, FailureKind::kNnsUp);
 
   const auto push_pair = [&out](double at_s, double duration_s,
                                 FailureKind down, FailureKind up,
@@ -168,6 +209,11 @@ inline void append_renewal(std::vector<FailureEvent>& out, std::uint64_t seed,
                       FailureKind::kServerUp, s);
         break;
       }
+      case ScriptedFailure::Target::kNns:
+        if (f.index >= 0 && f.index < shape.n_nns)
+          push_pair(f.at_s, f.duration_s, FailureKind::kNnsDown,
+                    FailureKind::kNnsUp, f.index);
+        break;
     }
   }
 
@@ -178,6 +224,120 @@ inline void append_renewal(std::vector<FailureEvent>& out, std::uint64_t seed,
               return a.index < b.index;
             });
   return out;
+}
+
+namespace detail {
+
+/// Strict non-negative number parse for kill specs: the whole token must
+/// be consumed, so "3x" or "" fail loudly instead of silently truncating.
+[[nodiscard]] inline double parse_kill_number(const std::string& token,
+                                              const std::string& spec,
+                                              const char* what) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("--kill: ") + what +
+                                " is not a number in '" + spec + "'");
+  }
+  if (pos != token.size())
+    throw std::invalid_argument(std::string("--kill: trailing junk after ") +
+                                what + " in '" + spec + "'");
+  if (v < 0.0)
+    throw std::invalid_argument(std::string("--kill: ") + what +
+                                " must be >= 0 in '" + spec + "'");
+  return v;
+}
+
+}  // namespace detail
+
+/// Parse "server:3@30+5,pod:0@30+20,nns:1@10" into scripted failures.
+/// The duration suffix is optional; without it the outage is permanent.
+/// Malformed specs (unknown target, non-numeric index/time, trailing
+/// junk, negative values) throw std::invalid_argument with the offending
+/// spec named — never an out-of-range index deep inside the run.
+[[nodiscard]] inline std::vector<ScriptedFailure> parse_kill_specs(
+    const std::string& specs) {
+  std::vector<ScriptedFailure> out;
+  std::size_t pos = 0;
+  while (pos < specs.size()) {
+    std::size_t end = specs.find(',', pos);
+    if (end == std::string::npos) end = specs.size();
+    const std::string spec = specs.substr(pos, end - pos);
+    pos = end + 1;
+    if (spec.empty()) continue;
+
+    const std::size_t colon = spec.find(':');
+    const std::size_t at = spec.find('@');
+    if (colon == std::string::npos || at == std::string::npos || at < colon)
+      throw std::invalid_argument(
+          "--kill: expected TARGET:IDX@AT[+DUR], got '" + spec + "'");
+    ScriptedFailure f;
+    const std::string target = spec.substr(0, colon);
+    if (target == "server") {
+      f.target = ScriptedFailure::Target::kServer;
+    } else if (target == "link") {
+      f.target = ScriptedFailure::Target::kLink;
+    } else if (target == "pod") {
+      f.target = ScriptedFailure::Target::kPod;
+    } else if (target == "nns") {
+      f.target = ScriptedFailure::Target::kNns;
+    } else {
+      throw std::invalid_argument(
+          "--kill: unknown target '" + target +
+          "' (expected server|link|pod|nns) in '" + spec + "'");
+    }
+    const double idx = detail::parse_kill_number(
+        spec.substr(colon + 1, at - colon - 1), spec, "index");
+    if (idx != static_cast<double>(static_cast<std::int32_t>(idx)))
+      throw std::invalid_argument("--kill: index must be an integer in '" +
+                                  spec + "'");
+    f.index = static_cast<std::int32_t>(idx);
+    const std::string when = spec.substr(at + 1);
+    const std::size_t plus = when.find('+');
+    f.at_s = detail::parse_kill_number(when.substr(0, plus), spec, "time");
+    if (plus != std::string::npos)
+      f.duration_s =
+          detail::parse_kill_number(when.substr(plus + 1), spec, "duration");
+    out.push_back(f);
+  }
+  return out;
+}
+
+/// Range-check scripted entries against the run's entity census, so an
+/// out-of-range index is a clear CLI error instead of a silently dropped
+/// schedule row. Throws std::invalid_argument naming the bad entry.
+inline void validate_scripted(const std::vector<ScriptedFailure>& scripted,
+                              const ChurnShape& shape) {
+  const auto fail = [](const ScriptedFailure& f, std::int32_t limit) {
+    throw std::invalid_argument(
+        "--kill: " + std::string(to_string(f.target)) + " index " +
+        std::to_string(f.index) + " out of range (have " +
+        std::to_string(limit) + ")");
+  };
+  for (const ScriptedFailure& f : scripted) {
+    switch (f.target) {
+      case ScriptedFailure::Target::kServer:
+        if (f.index >= shape.n_servers) fail(f, shape.n_servers);
+        break;
+      case ScriptedFailure::Target::kLink:
+        if (f.index >= shape.n_links) fail(f, shape.n_links);
+        break;
+      case ScriptedFailure::Target::kPod: {
+        const std::int32_t pods =
+            shape.servers_per_pod > 0
+                ? (shape.n_servers + shape.servers_per_pod - 1) /
+                      shape.servers_per_pod
+                : 0;
+        if (f.index >= pods) fail(f, pods);
+        break;
+      }
+      case ScriptedFailure::Target::kNns:
+        if (f.index >= shape.n_nns) fail(f, shape.n_nns);
+        break;
+    }
+  }
 }
 
 }  // namespace scda::sim

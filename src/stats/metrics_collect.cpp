@@ -119,9 +119,46 @@ void collect_run_metrics(obs::MetricsRegistry& reg, const sim::Simulator& sim,
       reg.add("churn.server_recoveries", static_cast<double>(is.server_ups));
       reg.add("churn.link_failures", static_cast<double>(is.link_downs));
       reg.add("churn.link_recoveries", static_cast<double>(is.link_ups));
+      if (cloud.nns_failover_enabled()) {
+        reg.add("churn.nns_failures", static_cast<double>(is.nns_downs));
+        reg.add("churn.nns_recoveries", static_cast<double>(is.nns_ups));
+      }
+    }
+    // Metadata-plane fault tolerance: only present when NNS churn is
+    // configured (the committed server/link churn artifacts predate these
+    // ids and must stay byte-identical).
+    if (cloud.nns_failover_enabled()) {
+      const core::MetadataStats& ms = cloud.meta_stats();
+      reg.add("metadata.requests_timed_out",
+              static_cast<double>(ms.requests_timed_out));
+      reg.add("metadata.retries", static_cast<double>(ms.retries));
+      reg.add("metadata.failovers", static_cast<double>(ms.failovers));
+      reg.add("metadata.unavailable", static_cast<double>(ms.unavailable));
+      reg.add("metadata.requests_dropped",
+              static_cast<double>(ms.requests_dropped));
+      reg.add("metadata.mirror_updates",
+              static_cast<double>(ms.mirror_updates));
+      reg.add("metadata.resyncs_started",
+              static_cast<double>(ms.resyncs_started));
+      reg.add("metadata.resyncs_completed",
+              static_cast<double>(ms.resyncs_completed));
+      reg.add("metadata.resync_bytes", static_cast<double>(ms.resync_bytes));
     }
     reg.add("transport.flows_aborted",
             static_cast<double>(tm.aborted_flows()));
+  }
+
+  // --- proactive rebalancing -------------------------------------------------
+  // Gated on its own knob (independent of churn), same artifact rule.
+  if (cloud.rebalance_enabled()) {
+    const core::RebalanceStats& rs = cloud.rebalance_stats();
+    reg.add("rebalance.scans", static_cast<double>(rs.scans));
+    reg.add("rebalance.flows_started",
+            static_cast<double>(rs.flows_started));
+    reg.add("rebalance.flows_completed",
+            static_cast<double>(rs.flows_completed));
+    reg.add("rebalance.bytes_moved", static_cast<double>(rs.bytes_moved));
+    reg.add("rebalance.skipped", static_cast<double>(rs.skipped));
   }
 
   // --- control plane (RM/RA round cost) + SLA -------------------------------

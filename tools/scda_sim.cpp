@@ -9,6 +9,7 @@
 //   scda_sim --policy randtcp --workload dc --k 1 --seed 7 --out base
 //   scda_sim --workload trace --trace mytrace.csv --out replay
 //   scda_sim --record-trace video_sample.csv --workload video --samples 1000
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -59,9 +60,14 @@ void usage() {
       "  --server-mttr S           mean server down-time (default 10)\n"
       "  --link-mtbf S             mean ToR-trunk up-time (0 = off)\n"
       "  --link-mttr S             mean ToR-trunk down-time (default 5)\n"
-      "  --kill SPEC               outage server|link|pod:IDX@AT[+DUR]\n"
+      "  --nns-mtbf S              mean name-node up-time (0 = off);\n"
+      "                            enables NNS standby failover + retries\n"
+      "  --nns-mttr S              mean name-node down-time (default 5)\n"
+      "  --rebalance S             proactive rebalance scan interval\n"
+      "                            (default 0 = off; docs/scenarios.md)\n"
+      "  --kill SPEC               outage server|link|pod|nns:IDX@AT[+DUR]\n"
       "                            e.g. --kill pod:0@30+20 (repeatable via\n"
-      "                            comma: server:3@30+5,link:1@40+10)\n"
+      "                            comma: server:3@30+5,nns:0@30+20)\n"
       "  --seed N                  RNG seed\n"
       "  --out PREFIX              write PREFIX_{cdf,afct,thpt}.csv\n"
       "  --trace-out FILE          record a Chrome trace-event JSON of the\n"
@@ -97,46 +103,6 @@ std::unique_ptr<workload::Generator> make_generator(
     return workload::TraceWorkload::from_file(path);
   }
   throw std::invalid_argument("unknown workload: " + name);
-}
-
-/// Parse "server:3@30+5,pod:0@30+20" into scripted failures. The duration
-/// suffix is optional; without it the outage is permanent.
-std::vector<sim::ScriptedFailure> parse_kill_specs(const std::string& specs) {
-  std::vector<sim::ScriptedFailure> out;
-  std::size_t pos = 0;
-  while (pos < specs.size()) {
-    std::size_t end = specs.find(',', pos);
-    if (end == std::string::npos) end = specs.size();
-    const std::string spec = specs.substr(pos, end - pos);
-    pos = end + 1;
-    if (spec.empty()) continue;
-
-    const std::size_t colon = spec.find(':');
-    const std::size_t at = spec.find('@');
-    if (colon == std::string::npos || at == std::string::npos || at < colon)
-      throw std::invalid_argument("--kill: expected TARGET:IDX@AT[+DUR], got " +
-                                  spec);
-    sim::ScriptedFailure f;
-    const std::string target = spec.substr(0, colon);
-    if (target == "server") {
-      f.target = sim::ScriptedFailure::Target::kServer;
-    } else if (target == "link") {
-      f.target = sim::ScriptedFailure::Target::kLink;
-    } else if (target == "pod") {
-      f.target = sim::ScriptedFailure::Target::kPod;
-    } else {
-      throw std::invalid_argument("--kill: unknown target " + target);
-    }
-    f.index = std::stoi(spec.substr(colon + 1, at - colon - 1));
-    const std::string when = spec.substr(at + 1);
-    const std::size_t plus = when.find('+');
-    f.at_s = std::stod(when.substr(0, plus));
-    if (plus != std::string::npos) {
-      f.duration_s = std::stod(when.substr(plus + 1));
-    }
-    out.push_back(f);
-  }
-  return out;
 }
 
 void write_csv(const std::string& path, const std::string& header,
@@ -212,9 +178,22 @@ int main(int argc, char** argv) {
     cfg.churn.server_mttr_s = args.get_double("server-mttr", 10.0);
     cfg.churn.link_mtbf_s = args.get_double("link-mtbf", 0.0);
     cfg.churn.link_mttr_s = args.get_double("link-mttr", 5.0);
+    cfg.churn.nns_mtbf_s = args.get_double("nns-mtbf", 0.0);
+    cfg.churn.nns_mttr_s = args.get_double("nns-mttr", 5.0);
+    cfg.params.rebalance_interval_s = args.get_double("rebalance", 0.0);
     if (args.has("kill")) {
-      cfg.churn.scripted = parse_kill_specs(args.get("kill"));
+      cfg.churn.scripted = sim::parse_kill_specs(args.get("kill"));
       cfg.churn.enabled = true;
+      // Validate indices against the run's census now: a typo is a clear
+      // CLI error instead of a silently dropped schedule row.
+      sim::ChurnShape shape;
+      shape.n_servers = cfg.topology.n_servers();
+      shape.n_links = cfg.topology.n_tors();
+      shape.servers_per_pod =
+          cfg.topology.tors_per_agg * cfg.topology.servers_per_tor;
+      shape.n_nns =
+          2 * std::max<std::int32_t>(1, cfg.params.n_name_nodes);
+      sim::validate_scripted(cfg.churn.scripted, shape);
     }
     if (cfg.churn.enabled)
       cfg.churn.horizon_s =
@@ -266,6 +245,30 @@ int main(int argc, char** argv) {
           static_cast<double>(ch.repair_bytes) / 1e6,
           cloud.under_replicated_seconds(),
           static_cast<unsigned long long>(ch.objects_lost));
+    }
+    if (cloud.nns_failover_enabled()) {
+      const core::MetadataStats& ms = cloud.meta_stats();
+      std::printf(
+          "metadata: timeouts=%llu retries=%llu failovers=%llu "
+          "unavailable=%llu dropped=%llu mirrors=%llu resyncs=%llu/%llu\n",
+          static_cast<unsigned long long>(ms.requests_timed_out),
+          static_cast<unsigned long long>(ms.retries),
+          static_cast<unsigned long long>(ms.failovers),
+          static_cast<unsigned long long>(ms.unavailable),
+          static_cast<unsigned long long>(ms.requests_dropped),
+          static_cast<unsigned long long>(ms.mirror_updates),
+          static_cast<unsigned long long>(ms.resyncs_completed),
+          static_cast<unsigned long long>(ms.resyncs_started));
+    }
+    if (cloud.rebalance_enabled()) {
+      const core::RebalanceStats& rs = cloud.rebalance_stats();
+      std::printf(
+          "rebalance: scans=%llu moves=%llu/%llu bytes=%.1fMB skipped=%llu\n",
+          static_cast<unsigned long long>(rs.scans),
+          static_cast<unsigned long long>(rs.flows_completed),
+          static_cast<unsigned long long>(rs.flows_started),
+          static_cast<double>(rs.bytes_moved) / 1e6,
+          static_cast<unsigned long long>(rs.skipped));
     }
 
     if (args.get_bool("metrics", true)) {

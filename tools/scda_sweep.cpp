@@ -53,11 +53,19 @@ void usage() {
       "  --churn 0|1               failure injection (default 0; also a\n"
       "                            --grid axis, as are server_mtbf_s,\n"
       "                            server_mttr_s, link_mtbf_s, link_mttr_s,\n"
-      "                            replicas, repair_priority)\n"
+      "                            nns_mtbf_s, nns_mttr_s, replicas,\n"
+      "                            repair_priority, metadata_timeout_s,\n"
+      "                            metadata_max_attempts,\n"
+      "                            rebalance_interval_s, rebalance_priority)\n"
       "  --server-mtbf S           mean server up-time (0 = off)\n"
       "  --server-mttr S           mean server down-time (default 10)\n"
       "  --link-mtbf S             mean ToR-trunk up-time (0 = off)\n"
       "  --link-mttr S             mean ToR-trunk down-time (default 5)\n"
+      "  --nns-mtbf S              mean name-node up-time (0 = off);\n"
+      "                            enables NNS standby failover + retries\n"
+      "  --nns-mttr S              mean name-node down-time (default 5)\n"
+      "  --rebalance S             proactive rebalance scan interval\n"
+      "                            (default 0 = off)\n"
       "  --replicas K              replica count target (default 2)\n"
       "  --replicate 0|1           replicate written content (default 0\n"
       "                            in sweeps; required for churn repair)\n"
@@ -139,6 +147,9 @@ int main(int argc, char** argv) {
     cfg.churn.server_mttr_s = args.get_double("server-mttr", 10.0);
     cfg.churn.link_mtbf_s = args.get_double("link-mtbf", 0.0);
     cfg.churn.link_mttr_s = args.get_double("link-mttr", 5.0);
+    cfg.churn.nns_mtbf_s = args.get_double("nns-mtbf", 0.0);
+    cfg.churn.nns_mttr_s = args.get_double("nns-mttr", 5.0);
+    cfg.params.rebalance_interval_s = args.get_double("rebalance", 0.0);
     cfg.params.replicas = static_cast<std::int32_t>(
         args.get_int("replicas", cfg.params.replicas));
     cfg.enable_replication = args.get_bool("replicate", cfg.enable_replication);

@@ -37,7 +37,7 @@ MrResult run(core::PlacementPolicy pol, transport::TransportKind tk) {
 
   // Even-indexed servers: disks nearly saturated by background scans.
   for (std::size_t s = 0; s < cloud.servers().size(); s += 2) {
-    cloud.servers()[s].resources().set_disk_bps(util::mbps(400));
+    cloud.servers()[s].resources().set_disk(util::mbps(400));
     cloud.servers()[s].resources().set_disk_background(0.9);  // -> 40 Mbps
   }
 

@@ -41,7 +41,7 @@ PowerResult run(double rscale_bps, bool power_aware) {
   cfg.topology.servers_per_tor = 4;
   cfg.topology.n_clients = 16;
   cfg.topology.base_bps = util::mbps(200);
-  cfg.params.rscale_bps = rscale_bps;
+  cfg.params.rscale = sim::BitRate{rscale_bps};
   cfg.params.power_aware = power_aware;
   cfg.power_heterogeneity = 0.6;
   core::Cloud cloud(sim, cfg);
@@ -98,9 +98,9 @@ int main(int argc, char** argv) {
   };
   const std::vector<std::pair<double, bool>> configs = {
       {0.0, false},
-      {util::mbps(150), false},
+      {util::mbps(150).bps(), false},
       {0.0, true},
-      {util::mbps(150), true},
+      {util::mbps(150).bps(), true},
   };
   runner::WorkerPool pool(bench::bench_workers());
   const auto results = runner::parallel_map<PowerResult>(

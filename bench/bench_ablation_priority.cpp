@@ -44,11 +44,11 @@ void weighted_shares() {
   cloud.write(0, 3, util::megabytes(50),
               transport::ContentClass::kSemiInteractive, 4.0);
   sim.run_until(scda::sim::secs(2.0));
-  const double r1 = cloud.allocator().flow_rate(scda::net::FlowId{0});
-  const double r2 = cloud.allocator().flow_rate(scda::net::FlowId{1});
-  const double r3 = cloud.allocator().flow_rate(scda::net::FlowId{2});
+  const sim::BitRate r1 = cloud.allocator().flow_rate(scda::net::FlowId{0});
+  const sim::BitRate r2 = cloud.allocator().flow_rate(scda::net::FlowId{1});
+  const sim::BitRate r3 = cloud.allocator().flow_rate(scda::net::FlowId{2});
   std::printf("allocations: w=1 %.1f Mbps, w=2 %.1f Mbps, w=4 %.1f Mbps\n",
-              r1 / 1e6, r2 / 1e6, r3 / 1e6);
+              r1.bps() / 1e6, r2.bps() / 1e6, r3.bps() / 1e6);
   std::printf("ratios: %.2f : %.2f : %.2f (ideal 1 : 2 : 4)\n", r1 / r1,
               r2 / r1, r3 / r1);
 }

@@ -36,7 +36,8 @@ double tagged_fct(int background_flows, double reserved_bps,
   for (int i = 0; i < background_flows; ++i)
     cloud.write(0, i + 1, util::megabytes(40));
   cloud.write(0, 999, util::megabytes(10),
-              transport::ContentClass::kSemiInteractive, 1.0, reserved_bps);
+              transport::ContentClass::kSemiInteractive, 1.0,
+              sim::BitRate{reserved_bps});
   sim.run_until(scda::sim::secs(300.0));
   return fct;
 }
@@ -60,7 +61,7 @@ int main(int argc, char** argv) {
     if (j % 2 == 0) {
       without[j / 2] = tagged_fct(bg, 0.0, 42);
     } else {
-      with_res[j / 2] = tagged_fct(bg, util::mbps(50), 42);
+      with_res[j / 2] = tagged_fct(bg, util::mbps(50).bps(), 42);
     }
   });
   for (std::size_t i = 0; i < bgs.size(); ++i)

@@ -98,8 +98,8 @@ void BM_LinkPipelineThroughput(benchmark::State& state) {
   std::uint64_t delivered_total = 0;
   for (auto _ : state) {
     sim::Simulator sim(1);
-    net::Link link(sim, net::LinkId{0}, net::NodeId{0}, net::NodeId{1}, 10e9,
-                   5e-6, 1 << 22);
+    net::Link link(sim, net::LinkId{0}, net::NodeId{0}, net::NodeId{1},
+                   sim::BitRate{10e9}, 5e-6, 1 << 22);
     std::uint64_t delivered = 0;
     std::uint64_t sent = 0;
     link.set_deliver([&](net::Packet&&) {
@@ -132,8 +132,8 @@ void BM_LinkSjfDeepQueue(benchmark::State& state) {
   std::uint64_t delivered_total = 0;
   for (auto _ : state) {
     sim::Simulator sim(1);
-    net::Link link(sim, net::LinkId{0}, net::NodeId{0}, net::NodeId{1}, 10e9,
-                   5e-6, 1 << 30);
+    net::Link link(sim, net::LinkId{0}, net::NodeId{0}, net::NodeId{1},
+                   sim::BitRate{10e9}, 5e-6, 1 << 30);
     link.set_discipline(net::QueueDiscipline::kSjf);
     std::uint64_t delivered = 0;
     link.set_deliver([&](net::Packet&&) { ++delivered; });
@@ -149,18 +149,21 @@ void BM_LinkSjfDeepQueue(benchmark::State& state) {
 BENCHMARK(BM_LinkSjfDeepQueue)->Arg(8)->Arg(128);
 
 void BM_ExactRateMetric(benchmark::State& state) {
-  double r = 95e6;
+  sim::BitRate r{95e6};
   for (auto _ : state) {
-    r = core::exact_rate(95e6, 3.0 * r, r, 12000.0);
+    r = core::exact_rate(sim::BitRate{95e6}, 3.0 * r, r,
+                         sim::BitRate{12000.0});
     benchmark::DoNotOptimize(r);
   }
 }
 BENCHMARK(BM_ExactRateMetric);
 
 void BM_SimplifiedRateMetric(benchmark::State& state) {
-  double r = 95e6;
+  sim::BitRate r{95e6};
   for (auto _ : state) {
-    r = core::simplified_rate(95e6, 95e6 * 0.05, 0.05, r, 12000.0);
+    r = core::simplified_rate(sim::BitRate{95e6},
+                              sim::BitCount{4'750'000},  // 95e6 bps * 0.05 s
+                              0.05, r, sim::BitRate{12000.0});
     benchmark::DoNotOptimize(r);
   }
 }
@@ -257,7 +260,8 @@ void BM_ScdaFlowEndToEnd(benchmark::State& state) {
     net::ThreeTierTree topo(sim, tc);
     transport::TransportManager tm(topo.net());
     auto h = tm.start_scda_flow(topo.clients()[0], topo.servers()[0],
-                                kBytes, 200e6, 200e6);
+                                kBytes, sim::BitRate{200e6},
+                                sim::BitRate{200e6});
     sim.run_until(sim::secs(60.0));
     packets += h.sender->stats().data_packets_sent;
   }
@@ -292,19 +296,19 @@ void BM_WaterFill(benchmark::State& state) {
   net::ThreeTierTree topo(sim, tc);
   sim::Rng rng(3);
   std::vector<core::ReferenceFlow> flows(n);
-  std::map<net::LinkId, double> caps;
+  std::map<net::LinkId, sim::BitRate> caps;
   for (auto& f : flows) {
     const auto c = static_cast<std::size_t>(rng.uniform_int(0, 63));
     const auto s = static_cast<std::size_t>(rng.uniform_int(0, 159));
     f.path = topo.net().path(topo.clients()[c], topo.servers()[s]);
     f.weight = static_cast<double>(rng.uniform_int(1, 4));
     for (const auto l : f.path)
-      caps[l] = topo.net().link(l).capacity_bps();
+      caps[l] = topo.net().link(l).capacity();
   }
   for (auto _ : state) {
     auto copy = flows;
     core::water_fill(copy, caps);
-    benchmark::DoNotOptimize(copy.front().rate_bps);
+    benchmark::DoNotOptimize(copy.front().rate);
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
@@ -317,7 +321,7 @@ void BM_WidestPath(benchmark::State& state) {
   fc.n_clients = 2;
   net::FatTree ft(sim, fc);
   const auto rate = [](net::LinkId l) {
-    return 100e6 + static_cast<double>(l.value() % 7);
+    return sim::BitRate{100e6 + static_cast<double>(l.value() % 7)};
   };
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::widest_path(

@@ -47,7 +47,7 @@ int main() {
   core::ContentId next_id = 1;
   const auto issue = [&](const std::string& tenant, std::size_t client,
                          std::int64_t bytes, transport::ContentClass cls,
-                         double priority, double reserved) {
+                         double priority, sim::BitRate reserved) {
     tenant_of[next_id] = tenant;
     cloud.write(client, next_id++, bytes, cls, priority, reserved);
   };
@@ -55,7 +55,7 @@ int main() {
   // Batch tenant: five 25 MB archives from clients 0-4 at t=0.
   for (int i = 0; i < 5; ++i)
     issue("batch", static_cast<std::size_t>(i), util::megabytes(25),
-          transport::ContentClass::kPassive, 1.0, 0.0);
+          transport::ContentClass::kPassive, 1.0, sim::BitRate{});
 
   // Realtime tenant: 8 MB telemetry chunks every 2 s with a reservation.
   for (int i = 0; i < 10; ++i) {
@@ -72,7 +72,7 @@ int main() {
     sim.post_at(sim::secs(1.0 + i * 2.5), [&issue, i] {
       issue("premium", static_cast<std::size_t>(6 + (i % 4)),
             util::megabytes(2), transport::ContentClass::kInteractive, 4.0,
-            0.0);
+            sim::BitRate{});
     });
   }
 

@@ -23,7 +23,7 @@ int main() {
   cfg.topology.servers_per_tor = 4;
   cfg.topology.n_clients = 8;
   cfg.topology.base_bps = util::mbps(200);
-  cfg.params.rscale_bps = util::mbps(150);  // dormant policy on
+  cfg.params.rscale = util::mbps(150);      // dormant policy on
   cfg.params.power_aware = true;            // rank by rate/power
   cfg.power_heterogeneity = 0.6;            // old + new hardware mix
 

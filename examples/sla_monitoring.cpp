@@ -55,8 +55,8 @@ int main() {
   for (std::size_t i = 0; i < events.size() && i < 5; ++i) {
     const auto& e = events[i];
     std::printf("  t=%.3fs  link=%d  %.1f Mbps > %.1f Mbps\n",
-                e.time.seconds(), e.link.value(), e.demand_bps / 1e6,
-                e.capacity_bps / 1e6);
+                e.time.seconds(), e.link.value(), e.demand.bps() / 1e6,
+                e.capacity.bps() / 1e6);
   }
 
   const core::SlaLevelReport rep = cloud.hierarchy().sla_report();

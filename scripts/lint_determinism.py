@@ -25,6 +25,17 @@ up as a wrong figure — so this linter enforces them as source rules:
                   Exact float equality is at best fragile and at worst
                   an iteration-order-sensitive branch; compare against
                   an epsilon or operate on the exact representation.
+  units           a fresh raw `double` declaration whose name says it
+                  carries a rate or a byte/bit count (`..._bps`,
+                  `..._bytes`, `...rate...`, `...bytes...`) in a
+                  docs/perf.md hot-path file. Rates are sim::BitRate and
+                  counts are sim::ByteCount/BitCount (src/sim/types.h);
+                  a raw double reintroduces the unit-confusion bug class
+                  the Quantity layer removed. Unwrap only at documented
+                  serialization boundaries (%.9g JSON/stats emission,
+                  printf) with an explicit `.bps()`/`.bytes()` call, and
+                  carry `// scda-lint: allow(units)` on the boundary
+                  declaration itself (see docs/static_analysis.md).
 
 Escape hatch: append `// scda-lint: allow(<rule>)` to the offending line
 (or the line directly above it) with a justification, e.g.
@@ -59,7 +70,7 @@ FLOAT_LIT = re.compile(r"(?<![\w.])(\d+\.\d*|\.\d+)(e[+-]?\d+)?[fF]?(?![\w.])|"
                        r"(?<![\w.])\d+e[+-]?\d+[fF]?(?![\w.])")
 
 RULES = ("rand", "wall-clock", "random-device", "unordered-iter",
-         "map-hot-path", "float-eq")
+         "map-hot-path", "float-eq", "units")
 
 # Rules whose allow() escape is itself a violation outside the fixture
 # suite (see the docstring).
@@ -265,6 +276,27 @@ def check_float_eq(stripped, report):
                    "exact floating-point equality comparison")
 
 
+# Snake-case name segments that mark a declaration as carrying a rate or
+# a byte/bit count. Segment-wise matching keeps `separate_x` (contains
+# "rate") and `byteswap` out of scope.
+UNITS_SEGMENTS = {"bps", "bytes", "rate", "rates"}
+
+# `double <name>` terminated like a parameter, member or local — but not
+# `double name(`, which declares a function (e.g. the documented
+# `capacity_bps()` unwrap accessor).
+UNITS_DECL = re.compile(r"\bdouble\s+(\w+)\s*(?=[;,=)\[{])")
+
+
+def check_units(stripped, report):
+    for m in UNITS_DECL.finditer(stripped):
+        name = m.group(1)
+        if UNITS_SEGMENTS & set(name.lower().split("_")):
+            report(stripped.count("\n", 0, m.start()) + 1, "units",
+                   f"raw double '{name}' carries a rate/byte quantity in "
+                   "a hot-path file; use sim::BitRate / sim::ByteCount / "
+                   "sim::BitCount (src/sim/types.h)")
+
+
 SIMPLE_RULES = (
     # (rule, regex, message)
     ("rand", re.compile(r"(?<![\w:.])s?rand\s*\(|std\s*::\s*s?rand\b"),
@@ -297,6 +329,7 @@ def lint_file(path, rel, stripped, unordered_names, hot_files, violations):
             report(stripped.count("\n", 0, m.start()) + 1, "map-hot-path",
                    "ordered tree container in a hot-path file "
                    "(docs/perf.md); use a dense table or sorted vector")
+        check_units(stripped, report)
 
     check_unordered_iter(stripped, unordered_names, report)
     check_float_eq(stripped, report)

@@ -1,0 +1,15 @@
+// expect: units units units
+// Fixture: raw `double` rate/byte declarations in a file the perf doc
+// lists as hot-path (the self-test injects this file into the hot
+// list). Each name says the value carries a dimension — the declaration
+// must use sim::BitRate / sim::ByteCount / sim::BitCount so the
+// compiler rejects bit-vs-byte and rate-vs-count mixups.
+
+struct FlowState {
+  double rate_bps;        // should be sim::BitRate
+  double queued_bytes{};  // should be sim::ByteCount
+};
+
+void advance(FlowState& f, double drain_rate) {  // should be sim::BitRate
+  f.queued_bytes -= drain_rate;
+}

@@ -1,0 +1,34 @@
+// expect: none
+// Fixture: the sanctioned shapes in a hot-path file. Typed Quantity
+// declarations never trigger; names without a rate/byte segment
+// (`separate_count`, `byteswap_tmp`) never trigger; `double name()` is
+// an accessor-style unwrap declaration, not a stored raw double; and a
+// genuine serialization boundary carries `// scda-lint: allow(units)`
+// with a justification.
+
+namespace sim {
+struct BitRate {
+  double v{};
+  double bps() const { return v; }
+};
+struct ByteCount {
+  long long v{};
+  long long bytes() const { return v; }
+};
+}  // namespace sim
+
+struct FlowState {
+  sim::BitRate rate;        // dimension-checked: bit/byte mixups don't compile
+  sim::ByteCount queued;
+  double separate_count{};  // "rate" inside "separate" is not a segment
+  int byteswap_tmp{};
+  double capacity_bps() const { return rate.bps(); }  // unwrap accessor
+};
+
+// %.9g JSON emission is the documented unwrap boundary: the wire format
+// stays a raw double, so the local carrying it is escaped.
+double to_json_field(const FlowState& f) {
+  // scda-lint: allow(units) %.9g serialization boundary, value leaves typed land here
+  const double rate_bps = f.rate.bps();
+  return rate_bps;
+}

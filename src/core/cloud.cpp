@@ -80,11 +80,13 @@ Cloud::Cloud(sim::Simulator& sim, CloudConfig cfg)
 
   hierarchy_.set_r_other_provider([this](std::size_t s) {
     // A failed server offers no service rate at all (RM health signal).
-    return servers_[s].failed() ? 0.0 : servers_[s].resources().r_other_bps();
+    return servers_[s].failed() ? sim::BitRate{}
+                                : servers_[s].resources().r_other();
   });
 
   allocator_.set_sla_callback(
-      [this](net::LinkId l, double demand, double gamma, sim::Time t) {
+      [this](net::LinkId l, sim::BitRate demand, sim::BitRate gamma,
+             sim::Time t) {
         // SLA pressure attributable to repair traffic (docs/scenarios.md):
         // violations while background re-replication is in flight.
         if (repairs_in_flight_ > 0) ++churn_.sla_violations_during_repair;
@@ -176,15 +178,16 @@ void Cloud::update_ongoing_flows() {
   // Paper section VIII-D: every control interval, each RM re-derives the
   // windows of its ongoing flows from the current allocation.
   for (auto& [id, handles] : active_scda_) {
-    const double r = allocator_.flow_rate(id);
+    const sim::BitRate r = allocator_.flow_rate(id);
     handles.sender->set_rate(r);
     const double rtt =
         handles.sender->srtt() > 0
             ? handles.sender->srtt()
             : transports_.base_rtt(handles.sender->record().src,
                                    handles.sender->record().dst);
+    // Window-sizing boundary: rate*rtt/8*headroom, unwrapped once.
     handles.receiver->set_rcvw_bytes(static_cast<std::int64_t>(
-        r * rtt / 8.0 * cfg_.params.rcvw_headroom));
+        r.bps() * rtt / 8.0 * cfg_.params.rcvw_headroom));
   }
 }
 
@@ -196,8 +199,10 @@ void Cloud::integrate_power() {
     const std::uint64_t tx = up.stats().tx_bytes + down.stats().tx_bytes;
     const double bits = static_cast<double>(tx - prev_tx_bytes_[s]) * 8.0;
     prev_tx_bytes_[s] = tx;
-    const double cap = up.capacity_bps() + down.capacity_bps();
-    const double util = cap > 0 ? std::min(1.0, bits / (cap * tau)) : 0.0;
+    const sim::BitRate cap = up.capacity() + down.capacity();
+    // Utilization is dimensionless: bits / (rate * tau) unwraps once.
+    const double util =
+        cap > sim::BitRate{} ? std::min(1.0, bits / (cap.bps() * tau)) : 0.0;
     const double p = servers_[s].power().power_w(util);
     servers_[s].power().record_sample(p);
     servers_[s].power().integrate_energy(p, tau);
@@ -205,7 +210,7 @@ void Cloud::integrate_power() {
 }
 
 void Cloud::dormancy_housekeeping() {
-  if (cfg_.params.rscale_bps <= 0) return;
+  if (cfg_.params.rscale <= sim::BitRate{}) return;
   for (std::size_t s = 0; s < servers_.size(); ++s) {
     BlockServer& bs = servers_[s];
     if (!bs.dormant() && bs.active_flows() == 0 &&
@@ -222,7 +227,7 @@ void Cloud::migration_scan() {
   // Section VII-C: content whose learned access pattern is passive is
   // moved off active servers onto dormant-eligible ones, so those active
   // servers' load shrinks and the dormant pool grows.
-  if (cfg_.params.rscale_bps <= 0) return;
+  if (cfg_.params.rscale <= sim::BitRate{}) return;
   std::int32_t started = 0;
   const sim::Time now = sim_.now();
   for (std::size_t shard = 0; shard < name_nodes_.size(); ++shard) {
@@ -269,7 +274,7 @@ void Cloud::migration_scan() {
                        [this, op, bytes, src_node, dst_node] {
                          start_data_flow(src_node, dst_node, bytes, op,
                                          /*priority=*/1.0,
-                                         /*reserved_bps=*/0.0);
+                                         /*reserved=*/sim::BitRate{});
                        });
     }
   }
@@ -387,7 +392,7 @@ void Cloud::rebalance_scan() {
                  [this, op, bytes, src_node, dst_node] {
                    start_data_flow(src_node, dst_node, bytes, op,
                                    cfg_.params.rebalance_priority,
-                                   /*reserved_bps=*/0.0);
+                                   /*reserved=*/sim::BitRate{});
                  });
   }
 }
@@ -398,7 +403,7 @@ void Cloud::rebalance_scan() {
 
 bool Cloud::write(std::size_t client_idx, ContentId id, std::int64_t bytes,
                   ContentClass content_class, double priority,
-                  double reserved_bps) {
+                  sim::BitRate reserved) {
   if (client_idx >= topo_.clients().size() || bytes <= 0) return false;
   if (!known_content_.emplace(id, true).second) return false;  // duplicate
 
@@ -410,7 +415,7 @@ bool Cloud::write(std::size_t client_idx, ContentId id, std::int64_t bytes,
   count_ctrl(2, 2 * kCtrlMsgBytes);
 
   auto handler = [this, client_idx, id, bytes, content_class, priority,
-                  reserved_bps](NameNode& serving) {
+                  reserved](NameNode& serving) {
     // Steps 3-4: NNS asks the RA for the best BS (here: level hmax).
     count_ctrl(2, 2 * kCtrlMsgBytes);
     const std::int32_t target = selector_->select_write_target(content_class);
@@ -447,11 +452,11 @@ bool Cloud::write(std::size_t client_idx, ContentId id, std::int64_t bytes,
     op.kind = CloudOp::Kind::kWrite;
     op.server = target;
     op.client = static_cast<std::int64_t>(client_idx);
-    sim_.post_in(sim::secs(setup), [this, op, bytes, priority, reserved_bps,
+    sim_.post_in(sim::secs(setup), [this, op, bytes, priority, reserved,
                                     client_idx, target] {
       start_data_flow(topo_.clients()[client_idx],
                       topo_.servers()[static_cast<std::size_t>(target)],
-                      bytes, op, priority, reserved_bps);
+                      bytes, op, priority, reserved);
     });
   };
   sim_.post_in(sim::secs(to_nns), [this, id, h = std::move(handler)] {
@@ -504,7 +509,7 @@ bool Cloud::read(std::size_t client_idx, ContentId id, double priority) {
                  [this, op, bytes, priority, client_idx, source] {
       start_data_flow(topo_.servers()[static_cast<std::size_t>(source)],
                       topo_.clients()[client_idx], bytes, op, priority,
-                      /*reserved_bps=*/0.0);
+                      /*reserved=*/sim::BitRate{});
     });
   };
   sim_.post_in(sim::secs(to_nns), [this, id, h = std::move(handler)] {
@@ -550,7 +555,7 @@ bool Cloud::append(std::size_t client_idx, ContentId id, std::int64_t bytes,
                  [this, op, bytes, priority, client_idx, target] {
       start_data_flow(topo_.clients()[client_idx],
                       topo_.servers()[static_cast<std::size_t>(target)],
-                      bytes, op, priority, /*reserved_bps=*/0.0);
+                      bytes, op, priority, /*reserved=*/sim::BitRate{});
     });
   };
   sim_.post_in(sim::secs(to_nns), [this, id, h = std::move(handler)] {
@@ -613,7 +618,7 @@ void Cloud::begin_replication(const CloudOp& write_op, std::int64_t bytes,
     const net::NodeId dst = topo_.servers()[static_cast<std::size_t>(target)];
     sim_.post_in(sim::secs(setup), [this, op, bytes, priority, src, dst] {
       start_data_flow(src, dst, bytes, op, priority,
-                      /*reserved_bps=*/0.0);
+                      /*reserved=*/sim::BitRate{});
     });
   };
   submit_metadata_request(
@@ -748,7 +753,7 @@ void Cloud::mirror_meta(NameNode& from, ContentId id) {
   if (m == nullptr) return;
   ++meta_stats_.mirror_updates;
   count_ctrl(1, kCtrlMsgBytes + static_cast<std::uint64_t>(
-                                    cfg_.params.nns_meta_entry_bytes));
+                                    cfg_.params.nns_meta_entry.bytes()));
   NameNode* peer =
       from_primary ? standby_nodes_[shard].get() : name_nodes_[shard].get();
   // The record copy rides one intra-DC control hop; the peer applies
@@ -837,7 +842,7 @@ void Cloud::drain_resync_queue() {
     const NameNode& peer = nns_instance(peer_instance);
     const std::int64_t bytes = std::max<std::int64_t>(
         1500, static_cast<std::int64_t>(peer.content_count()) *
-                  cfg_.params.nns_meta_entry_bytes);
+                  cfg_.params.nns_meta_entry.bytes());
     st.sync_pending = true;
     ++meta_stats_.resyncs_started;
     count_ctrl(2, 2 * kCtrlMsgBytes);
@@ -873,7 +878,7 @@ void Cloud::drain_resync_queue() {
           st2.sync_flow =
               start_data_flow(src_node, dst_node, bytes, op,
                               cfg_.params.repair_priority,
-                              /*reserved_bps=*/0.0);
+                              /*reserved=*/sim::BitRate{});
         });
   }
   for (const std::size_t i : retry) resync_queue_.push_back(i);
@@ -909,7 +914,7 @@ std::size_t Cloud::nns_host_server(std::size_t instance) const {
 
 net::FlowId Cloud::start_data_flow(net::NodeId src, net::NodeId dst,
                                    std::int64_t bytes, const CloudOp& op,
-                                   double priority, double reserved_bps) {
+                                   double priority, sim::BitRate reserved) {
   if (op.server >= 0)
     servers_[static_cast<std::size_t>(op.server)].flow_started();
 
@@ -925,8 +930,8 @@ net::FlowId Cloud::start_data_flow(net::NodeId src, net::NodeId dst,
   // SCDA: the initial rate is what the RM/RA hierarchy currently offers on
   // the path (Fig. 3 steps 6-12); the flow is registered with the
   // allocator so subsequent intervals account for it.
-  const double init_rate =
-      reserved_bps + priority * allocator_.path_rate(src, dst);
+  const sim::BitRate init_rate =
+      reserved + priority * allocator_.path_rate(src, dst);
 
   RateAllocator::RateProviderFn other_send;
   RateAllocator::RateProviderFn other_recv;
@@ -936,11 +941,11 @@ net::FlowId Cloud::start_data_flow(net::NodeId src, net::NodeId dst,
       topo_.net().node(dst).role() == net::NodeRole::kServer;
   if (src_is_server) {
     BlockServer& s = servers_[server_index_of(src)];
-    other_send = [&s] { return s.resources().r_other_bps(); };
+    other_send = [&s] { return s.resources().r_other(); };
   }
   if (dst_is_server) {
     BlockServer& s = servers_[server_index_of(dst)];
-    other_recv = [&s] { return s.resources().r_other_bps(); };
+    other_recv = [&s] { return s.resources().r_other(); };
   }
 
   auto handles = transports_.start_scda_flow(
@@ -948,7 +953,7 @@ net::FlowId Cloud::start_data_flow(net::NodeId src, net::NodeId dst,
       op.kind == CloudOp::Kind::kRead ? ContentClass::kSemiInteractive
                                       : op.content_class,
       priority);
-  allocator_.register_flow(handles.id, src, dst, priority, reserved_bps,
+  allocator_.register_flow(handles.id, src, dst, priority, reserved,
                            std::move(other_send), std::move(other_recv));
   // Registration lowers the advertised link rates; refresh every active
   // flow's allocation and push the new windows immediately so the admitted
@@ -964,7 +969,7 @@ net::FlowId Cloud::start_data_flow(net::NodeId src, net::NodeId dst,
         [this](net::FlowId id) { return allocator_.flow_rate(id); },
         /*epoch=*/false);
   }
-  transports_.record(handles.id).reserved_bps = reserved_bps;
+  transports_.record(handles.id).reserved = reserved;
   update_ongoing_flows();
 
   // Deadline requested at write() time: arm the adaptive controller now
@@ -1453,8 +1458,8 @@ void Cloud::set_flow_priority(net::FlowId id, double priority) {
   if (allocator_.has_flow(id)) allocator_.set_priority(id, priority);
 }
 
-void Cloud::set_flow_target_rate(net::FlowId id, double target_bps) {
-  if (allocator_.has_flow(id)) target_ctrl_.set_target_rate(id, target_bps);
+void Cloud::set_flow_target_rate(net::FlowId id, sim::BitRate target) {
+  if (allocator_.has_flow(id)) target_ctrl_.set_target_rate(id, target);
 }
 
 void Cloud::set_flow_deadline(net::FlowId id, double deadline_s) {

@@ -160,7 +160,7 @@ class Cloud {
   bool write(std::size_t client_idx, ContentId id, std::int64_t bytes,
              transport::ContentClass content_class =
                  transport::ContentClass::kSemiInteractive,
-             double priority = 1.0, double reserved_bps = 0.0);
+             double priority = 1.0, sim::BitRate reserved = {});
 
   /// Retrieve previously stored content (Fig. 5). Unknown content ids are
   /// counted in failed_reads(). Returns false when rejected immediately.
@@ -219,8 +219,8 @@ class Cloud {
   void set_flow_priority(net::FlowId id, double priority);
 
   /// Adaptive QoS (section IV-A): the control loop retunes the flow's
-  /// priority every interval so its allocation tracks `target_bps`.
-  void set_flow_target_rate(net::FlowId id, double target_bps);
+  /// priority every interval so its allocation tracks `target`.
+  void set_flow_target_rate(net::FlowId id, sim::BitRate target);
   /// EDF-style deadline: the target rate is remaining bytes / time left.
   void set_flow_deadline(net::FlowId id, double deadline_s);
 
@@ -390,7 +390,7 @@ class Cloud {
 
   net::FlowId start_data_flow(net::NodeId src, net::NodeId dst,
                               std::int64_t bytes, const CloudOp& op,
-                              double priority, double reserved_bps);
+                              double priority, sim::BitRate reserved);
   void on_flow_complete(const transport::FlowRecord& rec);
   /// Start one replication hop from op.server; `repair` flows run at
   /// params.repair_priority and feed the repair accounting.

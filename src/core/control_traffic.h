@@ -35,7 +35,7 @@ class ControlTraffic {
       : topo_(topo),
         alloc_(alloc),
         delta_threshold_(delta_threshold),
-        last_sent_rate_(topo.servers().size(), -1.0),
+        last_sent_rate_(topo.servers().size(), sim::BitRate{-1.0}),
         process_(std::make_unique<sim::PeriodicProcess>(
             topo.net().sim(), sim::secs(interval_s), [this] { tick(); })) {
     // Count reports arriving at each aggregation point.
@@ -82,10 +82,12 @@ class ControlTraffic {
   void tick() {
     // RM -> level-1 RA (one hop to the ToR switch), with Delta suppression.
     for (std::size_t s = 0; s < topo_.servers().size(); ++s) {
-      const double rate = alloc_.link_rate(topo_.server_uplink(s));
-      if (delta_threshold_ > 0 && last_sent_rate_[s] > 0) {
+      const sim::BitRate rate = alloc_.link_rate(topo_.server_uplink(s));
+      if (delta_threshold_ > 0 && last_sent_rate_[s] > sim::BitRate{}) {
+        // Relative change is dimensionless: unwrap once for the |.| ratio.
         const double change =
-            std::abs(rate - last_sent_rate_[s]) / last_sent_rate_[s];
+            std::abs(rate.bps() - last_sent_rate_[s].bps()) /
+            last_sent_rate_[s].bps();
         if (change < delta_threshold_) {
           ++reports_suppressed_;
           continue;
@@ -108,7 +110,7 @@ class ControlTraffic {
   net::ThreeTierTree& topo_;
   RateAllocator& alloc_;
   double delta_threshold_;
-  std::vector<double> last_sent_rate_;
+  std::vector<sim::BitRate> last_sent_rate_;
   std::uint64_t reports_sent_ = 0;
   std::uint64_t reports_received_ = 0;
   std::uint64_t reports_suppressed_ = 0;

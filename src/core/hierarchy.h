@@ -16,7 +16,7 @@
 //
 // The per-link rates themselves come from the RateAllocator; this class is
 // the tree-structured aggregation that the paper distributes across RM/RA
-// message exchanges.
+// message exchanges. All values are dimension-checked sim::BitRate.
 #pragma once
 
 #include <cstdint>
@@ -42,7 +42,10 @@ enum class SelectionMetric : std::uint8_t {
 
 struct BestServer {
   std::int32_t server = -1;  ///< server index in the topology (not NodeId)
-  double value_bps = 0.0;
+  /// Ranking value. A plain best_server query reports the winning R-hat;
+  /// a reweighted query (power-aware bps-per-watt) reports the reweighted
+  /// score, which only the ordering of matters.
+  sim::BitRate value{};
 };
 
 struct SlaLevelReport {
@@ -62,7 +65,7 @@ class Hierarchy {
 
   /// Per-server R_other provider (CPU/disk constraint at the RM,
   /// section VI-A); nullptr means link-bandwidth-only allocation.
-  void set_r_other_provider(std::function<double(std::size_t)> fn) {
+  void set_r_other_provider(std::function<sim::BitRate(std::size_t)> fn) {
     r_other_ = std::move(fn);
   }
 
@@ -74,10 +77,10 @@ class Hierarchy {
   // --- bottom-up results (kept at the RAs) ----------------------------------
   /// Value of server `s` at tree level `h`: min of its R-hat^0 and the link
   /// rates on its upward path through level h.
-  [[nodiscard]] double server_value_up(std::size_t s, int level) const {
+  [[nodiscard]] sim::BitRate server_value_up(std::size_t s, int level) const {
     return val_up_.at(idx(s, level));
   }
-  [[nodiscard]] double server_value_down(std::size_t s, int level) const {
+  [[nodiscard]] sim::BitRate server_value_down(std::size_t s, int level) const {
     return val_down_.at(idx(s, level));
   }
 
@@ -91,28 +94,32 @@ class Hierarchy {
                                                SelectionMetric m) const;
 
   /// Best server satisfying an arbitrary predicate (used by the dormant /
-  /// power-aware policies which filter or re-weight candidates).
+  /// power-aware policies which filter or re-weight candidates). The
+  /// reweight maps (server, R-hat) to the ranking score; the power-aware
+  /// policy divides by watts, so the score is bps-per-watt reinterpreted
+  /// in rate space — only its ordering is consumed.
   [[nodiscard]] BestServer best_server_filtered(
       SelectionMetric m, int level,
       const std::function<bool(std::size_t)>& admit,
-      const std::function<double(std::size_t, double)>& reweight = nullptr)
-      const;
+      const std::function<sim::BitRate(std::size_t, sim::BitRate)>& reweight =
+          nullptr) const;
 
   // --- top-down results (kept at the RMs) ------------------------------------
   /// R-check: rate from level `h` down to server `s` (downlink direction).
-  [[nodiscard]] double rm_level_rate_down(std::size_t s, int level) const {
+  [[nodiscard]] sim::BitRate rm_level_rate_down(std::size_t s,
+                                                int level) const {
     return rcheck_down_.at(idx(s, level));
   }
   /// R-check for the uplink direction (server s up through level h).
-  [[nodiscard]] double rm_level_rate_up(std::size_t s, int level) const {
+  [[nodiscard]] sim::BitRate rm_level_rate_up(std::size_t s, int level) const {
     return rcheck_up_.at(idx(s, level));
   }
 
   /// R-hat^0 at the RM: min(access link rate, R_other).
-  [[nodiscard]] double rm_rhat_up(std::size_t s) const {
+  [[nodiscard]] sim::BitRate rm_rhat_up(std::size_t s) const {
     return val_up_.at(idx(s, 0));
   }
-  [[nodiscard]] double rm_rhat_down(std::size_t s) const {
+  [[nodiscard]] sim::BitRate rm_rhat_down(std::size_t s) const {
     return val_down_.at(idx(s, 0));
   }
 
@@ -133,22 +140,22 @@ class Hierarchy {
 
   net::ThreeTierTree& topo_;
   RateAllocator& alloc_;
-  std::function<double(std::size_t)> r_other_;
+  std::function<sim::BitRate(std::size_t)> r_other_;
   std::size_t n_ = 0;  ///< server count (row stride)
 
   // Level-major (kMaxLevel+1) x n_ tables.
   // val_*: bottom-up server values (R-hat chain).
-  std::vector<double> val_up_;
-  std::vector<double> val_down_;
+  std::vector<sim::BitRate> val_up_;
+  std::vector<sim::BitRate> val_down_;
   // rcheck_*: top-down per-RM level rates.
-  std::vector<double> rcheck_up_;
-  std::vector<double> rcheck_down_;
+  std::vector<sim::BitRate> rcheck_up_;
+  std::vector<sim::BitRate> rcheck_down_;
   // Per-ToR cumulative upward-path mins (levels 1..3), recomputed each
   // update(); min is associative so hoisting them out of the server loop
   // yields bit-identical values.
   struct TorCums {
-    double up1, up2, up3;
-    double dn1, dn2, dn3;
+    sim::BitRate up1, up2, up3;
+    sim::BitRate dn1, dn2, dn3;
   };
   std::vector<TorCums> tor_cums_;
 };

@@ -3,7 +3,14 @@
 
 #include <cstdint>
 
+#include "sim/types.h"
+
 namespace scda::core {
+
+/// Ethernet MTU as a typed byte count: the unit behind the allocator's
+/// min-rate floor (one MTU per second) and the per-packet payload ceiling
+/// (net::kDefaultMtuBytes carries the same value on the packet path).
+inline constexpr sim::ByteCount kMtu{1500};
 
 /// Which rate metric the RM/RA computes each control interval.
 enum class RateMetricKind : std::uint8_t {
@@ -26,7 +33,7 @@ struct ScdaParams {
   /// Scale-down threshold rate R_scale for passive-content replication
   /// (section VII-C). Servers with uplink allocation above this are
   /// considered dormant-eligible. 0 disables the dormant-server policy.
-  double rscale_bps = 0.0;
+  sim::BitRate rscale{};
 
   /// Maximum write/read interleaving gap that still counts as interactive
   /// (section VII: "maximum interactivity interval of 5 seconds").
@@ -44,8 +51,10 @@ struct ScdaParams {
   double ctrl_wan_latency_s = 50e-3;
 
   /// Lower clamp on any per-flow link rate to keep flows alive while the
-  /// allocator converges (bits/sec).
-  double min_rate_bps = 8.0 * 1500;
+  /// allocator converges: one MTU per second (12 kbit/s — the same value
+  /// the former magic constant 8.0 * 1500 encoded, now derived from the
+  /// named MTU).
+  sim::BitRate min_rate = sim::per_second(kMtu.bits());
 
   /// Enable power-aware selection: rank servers by rate/power instead of
   /// raw rate (section VII-D).
@@ -91,7 +100,7 @@ struct ScdaParams {
   std::int32_t metadata_max_attempts = 5;
   /// Modelled wire size of one metadata record, used to size the
   /// standby-resync background flow (entries * bytes).
-  std::int64_t nns_meta_entry_bytes = 256;
+  sim::ByteCount nns_meta_entry{256};
 
   // --- proactive rebalancing (docs/scenarios.md) -----------------------------
   /// Every this many seconds, scan per-server load/capacity skew from the

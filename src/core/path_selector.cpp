@@ -11,13 +11,14 @@ WidestPathResult widest_path(const net::Network& net, net::NodeId src,
   if (src == dst) return out;
 
   const auto n = net.node_count();
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> width(n, -1.0);       // best bottleneck to each node
+  constexpr sim::BitRate kInf{std::numeric_limits<double>::infinity()};
+  // best bottleneck to each node; negative sentinel = unvisited
+  std::vector<sim::BitRate> width(n, sim::BitRate{-1.0});
   std::vector<std::int32_t> hops(n, 0);
   std::vector<net::LinkId> via(n, net::kInvalidLink);
 
   struct Entry {
-    double width;
+    sim::BitRate width;
     std::int32_t hops;
     net::NodeId node;
     bool operator<(const Entry& o) const noexcept {
@@ -40,7 +41,7 @@ WidestPathResult widest_path(const net::Network& net, net::NodeId src,
     if (e.node == dst) break;
     for (const net::LinkId lid : net.out_links(e.node)) {
       const net::Link& l = net.link(lid);
-      const double w = std::min(e.width, rate(lid));
+      const sim::BitRate w = sim::min(e.width, rate(lid));
       const auto v = l.to().index();
       if (w > width[v] ||
           (w == width[v] && e.hops + 1 < hops[v])) {
@@ -53,7 +54,7 @@ WidestPathResult widest_path(const net::Network& net, net::NodeId src,
   }
 
   const auto d = dst.index();
-  if (width[d] < 0) return out;  // unreachable
+  if (width[d] < sim::BitRate{}) return out;  // unreachable
 
   // Walk back from dst via the predecessor links.
   std::vector<net::LinkId> rev;
@@ -64,7 +65,7 @@ WidestPathResult widest_path(const net::Network& net, net::NodeId src,
     at = net.link(lid).from();
   }
   out.path.assign(rev.rbegin(), rev.rend());
-  out.bottleneck_bps = width[d];
+  out.bottleneck = width[d];
   return out;
 }
 

@@ -21,11 +21,11 @@ namespace scda::core {
 
 struct WidestPathResult {
   std::vector<net::LinkId> path;  ///< empty when dst is unreachable/src==dst
-  double bottleneck_bps = 0;      ///< min link rate along the path
+  sim::BitRate bottleneck{};      ///< min link rate along the path
 };
 
 /// Rate (weight) of a link; larger is better.
-using LinkRateFn = std::function<double(net::LinkId)>;
+using LinkRateFn = std::function<sim::BitRate(net::LinkId)>;
 
 [[nodiscard]] WidestPathResult widest_path(const net::Network& net,
                                            net::NodeId src, net::NodeId dst,

@@ -16,7 +16,7 @@ RateAllocator::RateAllocator(net::Network& net, const ScdaParams& params)
   links_.resize(net_.link_count());
   for (std::size_t l = 0; l < links_.size(); ++l) {
     // An idle link initially offers its full effective capacity.
-    const double c = net_.link(net::LinkId::from_index(l)).capacity_bps();
+    const sim::BitRate c = net_.link(net::LinkId::from_index(l)).capacity();
     links_[l].rate = params_.alpha * c;
     links_[l].gamma = params_.alpha * c;
   }
@@ -37,8 +37,8 @@ std::uint32_t RateAllocator::acquire_slot() {
     return s;
   }
   priority_.push_back(0.0);
-  reserved_bps_.push_back(0.0);
-  rate_.push_back(0.0);
+  reserved_.push_back(sim::BitRate{});
+  rate_.push_back(sim::BitRate{});
   path_.emplace_back();
   r_other_send_.emplace_back();
   r_other_recv_.emplace_back();
@@ -47,17 +47,17 @@ std::uint32_t RateAllocator::acquire_slot() {
 
 void RateAllocator::register_flow(net::FlowId id, net::NodeId src,
                                   net::NodeId dst, double priority,
-                                  double reserved_bps,
+                                  sim::BitRate reserved,
                                   RateProviderFn r_other_send,
                                   RateProviderFn r_other_recv) {
-  register_flow_on_path(id, net_.path(src, dst), priority, reserved_bps,
+  register_flow_on_path(id, net_.path(src, dst), priority, reserved,
                         std::move(r_other_send), std::move(r_other_recv));
 }
 
 void RateAllocator::register_flow_on_path(net::FlowId id,
                                           std::vector<net::LinkId> path,
                                           double priority,
-                                          double reserved_bps,
+                                          sim::BitRate reserved,
                                           RateProviderFn r_other_send,
                                           RateProviderFn r_other_recv) {
   const auto it = std::lower_bound(
@@ -68,7 +68,7 @@ void RateAllocator::register_flow_on_path(net::FlowId id,
 
   const std::uint32_t s = acquire_slot();
   priority_[s] = priority;
-  reserved_bps_[s] = reserved_bps;
+  reserved_[s] = reserved;
   // Reuse the recycled slot's path capacity instead of adopting the
   // caller's buffer: steady churn then allocates nothing.
   path_[s].assign(path.begin(), path.end());
@@ -84,18 +84,18 @@ void RateAllocator::register_flow_on_path(net::FlowId id,
   // keep their pinned zero rate.
   for (const net::LinkId l : path_[s]) {
     auto& st = links_[l.index()];
-    st.reserved += reserved_bps;
+    st.reserved += reserved;
     st.nhat += priority;
     if (st.down) continue;
-    const double shareable =
-        std::max(st.gamma - st.reserved, params_.min_rate_bps);
-    st.rate = std::clamp(shareable / std::max(st.nhat, 1.0),
-                         params_.min_rate_bps, shareable);
+    const sim::BitRate shareable =
+        sim::max(st.gamma - st.reserved, params_.min_rate);
+    st.rate = sim::clamp(shareable / std::max(st.nhat, 1.0),
+                         params_.min_rate, shareable);
   }
   // Seed the flow's rate with the post-admission quote so the first
   // interval's S already accounts for it (the NNS hands this same value to
   // the sender as the initial allocation).
-  rate_[s] = reserved_bps + priority * path_rate(path_[s]);
+  rate_[s] = reserved + priority * path_rate(path_[s]);
 }
 
 void RateAllocator::unregister_flow(net::FlowId id) {
@@ -103,7 +103,7 @@ void RateAllocator::unregister_flow(net::FlowId id) {
   if (row == kNoRow) return;
   const std::uint32_t s = by_id_[row].slot;
   for (const net::LinkId l : path_[s])
-    links_[l.index()].reserved -= reserved_bps_[s];
+    links_[l.index()].reserved -= reserved_[s];
   path_[s].clear();  // keeps capacity for the next flow on this slot
   r_other_send_[s] = nullptr;  // release captured state eagerly
   r_other_recv_[s] = nullptr;
@@ -123,32 +123,33 @@ double RateAllocator::priority(net::FlowId id) const {
   return priority_[by_id_[row].slot];
 }
 
-double RateAllocator::flow_rate(net::FlowId id) const {
+sim::BitRate RateAllocator::flow_rate(net::FlowId id) const {
   const std::size_t row = find_row(id);
-  return row == kNoRow ? 0.0 : rate_[by_id_[row].slot];
+  return row == kNoRow ? sim::BitRate{} : rate_[by_id_[row].slot];
 }
 
-double RateAllocator::path_rate(net::NodeId src, net::NodeId dst) const {
+sim::BitRate RateAllocator::path_rate(net::NodeId src, net::NodeId dst) const {
   return path_rate(net_.path(src, dst));
 }
 
-double RateAllocator::path_rate(const std::vector<net::LinkId>& path) const {
-  double r = std::numeric_limits<double>::infinity();
+sim::BitRate RateAllocator::path_rate(
+    const std::vector<net::LinkId>& path) const {
+  sim::BitRate r{std::numeric_limits<double>::infinity()};
   for (const net::LinkId l : path)
-    r = std::min(r, links_[l.index()].rate);
-  return std::isfinite(r) ? r : 0.0;
+    r = sim::min(r, links_[l.index()].rate);
+  return std::isfinite(r.bps()) ? r : sim::BitRate{};
 }
 
 void RateAllocator::set_link_up(net::LinkId l, bool up) {
   auto& st = links_.at(l.index());
   st.down = !up;
   if (!up) {
-    st.rate = 0.0;
-    st.gamma = 0.0;
+    st.rate = sim::BitRate{};
+    st.gamma = sim::BitRate{};
   } else {
     // Recovered link: quote its idle rate (same seed as construction);
     // the next tick recomputes the exact value from the counters.
-    const double c = net_.link(l).capacity_bps();
+    const sim::BitRate c = net_.link(l).capacity();
     st.rate = params_.alpha * c;
     st.gamma = params_.alpha * c;
   }
@@ -157,22 +158,22 @@ void RateAllocator::set_link_up(net::LinkId l, bool up) {
 void RateAllocator::refresh_flow_rates() {
   for (const IndexEntry& e : by_id_) {
     const std::uint32_t s = e.slot;
-    double base = std::numeric_limits<double>::infinity();
+    sim::BitRate base{std::numeric_limits<double>::infinity()};
     bool down = false;
     for (const net::LinkId l : path_[s]) {
       const auto& st = links_[l.index()];
       down = down || st.down;
-      base = std::min(base, st.rate);
+      base = sim::min(base, st.rate);
     }
-    if (!std::isfinite(base)) base = 0.0;
+    if (!std::isfinite(base.bps())) base = sim::BitRate{};
     if (down) {
-      rate_[s] = 0.0;
+      rate_[s] = sim::BitRate{};
       continue;
     }
-    double r = reserved_bps_[s] + priority_[s] * base;
-    if (r_other_send_[s]) r = std::min(r, r_other_send_[s]());
-    if (r_other_recv_[s]) r = std::min(r, r_other_recv_[s]());
-    rate_[s] = std::max(r, params_.min_rate_bps);
+    sim::BitRate r = reserved_[s] + priority_[s] * base;
+    if (r_other_send_[s]) r = sim::min(r, r_other_send_[s]());
+    if (r_other_recv_[s]) r = sim::min(r, r_other_recv_[s]());
+    rate_[s] = sim::max(r, params_.min_rate);
   }
 }
 
@@ -190,17 +191,17 @@ void RateAllocator::tick() {
     net::Link& link = net_.link(net::LinkId::from_index(l));
     st.down = !link.up();
     if (st.down) {
-      st.gamma = 0.0;
-      st.rate = 0.0;
-      st.rate_sum = 0;
-      st.share_sum = 0;
+      st.gamma = sim::BitRate{};
+      st.rate = sim::BitRate{};
+      st.rate_sum = sim::BitRate{};
+      st.share_sum = sim::BitRate{};
       continue;
     }
-    const double q_bits = static_cast<double>(link.queue_bytes()) * 8.0;
-    st.gamma = effective_capacity(link.capacity_bps(), q_bits, tau,
-                                  params_.alpha, params_.beta);
-    st.rate_sum = 0;
-    st.share_sum = 0;
+    st.gamma = effective_capacity(link.capacity(),
+                                  sim::ByteCount{link.queue_bytes()}.bits(),
+                                  tau, params_.alpha, params_.beta);
+    st.rate_sum = sim::BitRate{};
+    st.share_sum = sim::BitRate{};
   }
 
   // Pass 2: per-flow end-to-end allocation from the *previous* interval's
@@ -214,28 +215,39 @@ void RateAllocator::tick() {
   // order and every committed figure depended on libstdc++'s hashing.)
   for (const IndexEntry& e : by_id_) {
     const std::uint32_t s = e.slot;
-    double base = std::numeric_limits<double>::infinity();
+    sim::BitRate base{std::numeric_limits<double>::infinity()};
     bool down = false;
     for (const net::LinkId l : path_[s]) {
       const auto& lst = links_[l.index()];
       down = down || lst.down;
-      base = std::min(base, lst.rate);
+      base = sim::min(base, lst.rate);
     }
-    if (!std::isfinite(base)) base = 0.0;
+    if (!std::isfinite(base.bps())) base = sim::BitRate{};
 
-    double r = reserved_bps_[s] + priority_[s] * base;
-    if (r_other_send_[s]) r = std::min(r, r_other_send_[s]());
-    if (r_other_recv_[s]) r = std::min(r, r_other_recv_[s]());
+    sim::BitRate r = reserved_[s] + priority_[s] * base;
+    if (r_other_send_[s]) r = sim::min(r, r_other_send_[s]());
+    if (r_other_recv_[s]) r = sim::min(r, r_other_recv_[s]());
     // A path crossing a down link is allocated exactly 0 (not the min-rate
     // floor): the fluid engine parks such flows and packet senders stall
     // until recovery re-rates them.
-    const double rate = down ? 0.0 : std::max(r, params_.min_rate_bps);
+    const sim::BitRate rate =
+        down ? sim::BitRate{} : sim::max(r, params_.min_rate);
     rate_[s] = rate;
 
-    const double share = std::max(0.0, rate - reserved_bps_[s]);
+    const sim::BitRate share = sim::max(sim::BitRate{}, rate - reserved_[s]);
+    // The empty asm pins the two addends as plain register defs. Both are
+    // PHIs (of the down/min-rate branches above), and gcc's SLP refuses to
+    // pack a PHI pair spanning blocks — without the pin the accumulation
+    // below compiles to two scalar addsd per link instead of the single
+    // packed addpd the pre-Quantity code got. Value-preserving: the asm
+    // has no code, it only blocks the PHI lookthrough.
+    // scda-lint: allow(units) numeric-kernel boundary: SLP-packed accumulate
+    double rate_v = rate.bps(), share_v = share.bps();
+    asm("" : "+x"(rate_v), "+x"(share_v));
     for (const net::LinkId l : path_[s]) {
-      links_[l.index()].rate_sum += rate;
-      links_[l.index()].share_sum += share;
+      auto& lk = links_[l.index()];
+      lk.rate_sum = sim::BitRate{lk.rate_sum.bps() + rate_v};
+      lk.share_sum = sim::BitRate{lk.share_sum.bps() + share_v};
     }
   }
 
@@ -252,20 +264,21 @@ void RateAllocator::tick() {
       (void)link.take_interval_arrived_bytes();
       continue;
     }
-    const double shareable =
-        std::max(st.gamma - st.reserved, params_.min_rate_bps);
+    const sim::BitRate shareable =
+        sim::max(st.gamma - st.reserved, params_.min_rate);
 
     if (params_.metric == RateMetricKind::kExact) {
       st.nhat = effective_flows(st.share_sum, st.rate);
       st.rate = exact_rate(shareable, st.share_sum, st.rate,
-                           params_.min_rate_bps);
+                           params_.min_rate);
     } else {
-      const double l_bits =
-          static_cast<double>(link.take_interval_arrived_bytes()) * 8.0;
-      st.nhat = effective_flows(l_bits / tau, st.rate);
+      const sim::BitCount l_bits =
+          sim::ByteCount{link.take_interval_arrived_bytes()}.bits();
+      st.nhat = effective_flows(
+          sim::BitRate{static_cast<double>(l_bits.bits()) / tau}, st.rate);
       st.rate =
           simplified_rate(shareable, l_bits, tau, st.rate,
-                          params_.min_rate_bps);
+                          params_.min_rate);
     }
 
     if (sla_violated(st.rate_sum, st.gamma)) {
@@ -274,8 +287,8 @@ void RateAllocator::tick() {
       if (obs::TraceRecorder* tr = obs::tracer_of(net_.sim())) {
         tr->instant(now, "control", "sla_violation", obs::kTrackControl,
                     {{"link", static_cast<double>(l)},
-                     {"rate_sum_bps", st.rate_sum},
-                     {"gamma_bps", st.gamma}});
+                     {"rate_sum_bps", st.rate_sum.bps()},
+                     {"gamma_bps", st.gamma.bps()}});
       }
       if (on_sla_)
         on_sla_(net::LinkId::from_index(l), st.rate_sum, st.gamma, now);

@@ -28,7 +28,7 @@ namespace scda::core {
 /// Callback invoked when a link's demand exceeds its effective capacity
 /// (SLA violation, section IV-A): (link, S, gamma, time).
 using SlaViolationFn =
-    std::function<void(net::LinkId, double, double, sim::Time)>;
+    std::function<void(net::LinkId, sim::BitRate, sim::BitRate, sim::Time)>;
 
 class RateAllocator {
  public:
@@ -40,17 +40,17 @@ class RateAllocator {
   // --- flow registry --------------------------------------------------------
   /// Provider of a flow's non-network bottleneck (CPU/disk) rate; nullptr
   /// means unconstrained.
-  using RateProviderFn = std::function<double()>;
+  using RateProviderFn = std::function<sim::BitRate()>;
 
   void register_flow(net::FlowId id, net::NodeId src, net::NodeId dst,
-                     double priority = 1.0, double reserved_bps = 0.0,
+                     double priority = 1.0, sim::BitRate reserved = {},
                      RateProviderFn r_other_send = nullptr,
                      RateProviderFn r_other_recv = nullptr);
 
   /// Register a flow on an explicit path (source-routed flows on general
   /// topologies, paper section IX).
   void register_flow_on_path(net::FlowId id, std::vector<net::LinkId> path,
-                             double priority = 1.0, double reserved_bps = 0.0,
+                             double priority = 1.0, sim::BitRate reserved = {},
                              RateProviderFn r_other_send = nullptr,
                              RateProviderFn r_other_recv = nullptr);
   void unregister_flow(net::FlowId id);
@@ -77,29 +77,29 @@ class RateAllocator {
 
   // --- queries ---------------------------------------------------------------
   /// Per-flow fair rate currently advertised by a link (R_l).
-  [[nodiscard]] double link_rate(net::LinkId l) const {
+  [[nodiscard]] sim::BitRate link_rate(net::LinkId l) const {
     return links_.at(l.index()).rate;
   }
   /// Effective capacity gamma of a link from the last tick.
-  [[nodiscard]] double link_gamma(net::LinkId l) const {
+  [[nodiscard]] sim::BitRate link_gamma(net::LinkId l) const {
     return links_.at(l.index()).gamma;
   }
   /// Sum of flow rates S crossing the link in the last tick.
-  [[nodiscard]] double link_rate_sum(net::LinkId l) const {
+  [[nodiscard]] sim::BitRate link_rate_sum(net::LinkId l) const {
     return links_.at(l.index()).rate_sum;
   }
   /// Rate a prospective new flow of the given weight would get on the link:
   /// gamma_share / (N-hat + priority). This is the link weight route
   /// selection should compare (section IX) — unlike link_rate it
   /// distinguishes an idle link from one whose single flow uses it fully.
-  [[nodiscard]] double prospective_link_rate(net::LinkId l,
-                                             double priority = 1.0) const {
+  [[nodiscard]] sim::BitRate prospective_link_rate(net::LinkId l,
+                                                   double priority = 1.0) const {
     const auto& st = links_.at(l.index());
-    if (st.down) return 0.0;
-    const double shareable =
-        std::max(st.gamma - st.reserved, params_.min_rate_bps);
-    return std::clamp(shareable / std::max(st.nhat + priority, 1.0),
-                      params_.min_rate_bps, shareable);
+    if (st.down) return sim::BitRate{};
+    const sim::BitRate shareable =
+        sim::max(st.gamma - st.reserved, params_.min_rate);
+    return sim::clamp(shareable / std::max(st.nhat + priority, 1.0),
+                      params_.min_rate, shareable);
   }
 
   // --- link failure state ----------------------------------------------------
@@ -111,14 +111,15 @@ class RateAllocator {
   /// each round, so direct Link toggles converge within one interval.
   void set_link_up(net::LinkId l, bool up);
   /// The flow's current end-to-end allocation r_j.
-  [[nodiscard]] double flow_rate(net::FlowId id) const;
+  [[nodiscard]] sim::BitRate flow_rate(net::FlowId id) const;
 
   /// Rate a *new* unit-weight flow would get along src->dst right now:
   /// min over the path of the per-link rates (the value the NNS asks the
   /// RA/RM hierarchy for, paper Figs. 3-5).
-  [[nodiscard]] double path_rate(net::NodeId src, net::NodeId dst) const;
+  [[nodiscard]] sim::BitRate path_rate(net::NodeId src, net::NodeId dst) const;
   /// Same, over an explicit link sequence.
-  [[nodiscard]] double path_rate(const std::vector<net::LinkId>& path) const;
+  [[nodiscard]] sim::BitRate path_rate(
+      const std::vector<net::LinkId>& path) const;
 
   // --- control-plane cost counters -------------------------------------------
   /// Cumulative RM/RA round cost: how many control ticks ran and how much
@@ -155,13 +156,13 @@ class RateAllocator {
 
  private:
   struct LinkState {
-    double rate = 0;        ///< R_l(t), per-flow fair share
-    double gamma = 0;       ///< effective capacity this tick
-    double rate_sum = 0;    ///< S_l(t), total flow demand
-    double share_sum = 0;   ///< S minus reserved portions (shared pool demand)
-    double reserved = 0;    ///< sum of M_j over flows crossing the link
-    double nhat = 0;        ///< effective flow count from the last tick
-    bool down = false;      ///< link failed: rate/gamma pinned to zero
+    sim::BitRate rate{};      ///< R_l(t), per-flow fair share
+    sim::BitRate gamma{};     ///< effective capacity this tick
+    sim::BitRate rate_sum{};  ///< S_l(t), total flow demand
+    sim::BitRate share_sum{}; ///< S minus reserved portions (shared demand)
+    sim::BitRate reserved{};  ///< sum of M_j over flows crossing the link
+    double nhat = 0;          ///< effective flow count (dimensionless)
+    bool down = false;        ///< link failed: rate/gamma pinned to zero
     std::uint64_t sla_violations = 0;
   };
 
@@ -197,9 +198,9 @@ class RateAllocator {
   std::vector<IndexEntry> by_id_;          ///< sorted ascending by flow id
   std::vector<std::uint32_t> free_slots_;  ///< recycled table rows
   // Slot-parallel flow state (indexed by IndexEntry::slot).
-  std::vector<double> priority_;
-  std::vector<double> reserved_bps_;
-  std::vector<double> rate_;  ///< r_j from the last tick
+  std::vector<double> priority_;            ///< weights (dimensionless)
+  std::vector<sim::BitRate> reserved_;      ///< M_j reservations
+  std::vector<sim::BitRate> rate_;          ///< r_j from the last tick
   std::vector<std::vector<net::LinkId>> path_;
   std::vector<RateProviderFn> r_other_send_;
   std::vector<RateProviderFn> r_other_recv_;

@@ -1,64 +1,71 @@
 // Pure rate-metric math of paper section IV (equations 2-6).
 //
 // Free functions with no simulator dependencies so the numerics are unit-
-// testable in isolation. All rates are bits/sec, queue sizes are bits,
-// intervals are seconds.
+// testable in isolation. Quantities are dimension-checked (sim/types.h):
+// rates are sim::BitRate, queue occupancy and interval arrivals are exact
+// sim::BitCount, intervals are seconds. Internally each function unwraps
+// to the raw representation once — these are the documented numeric-
+// kernel boundaries where the expression shape (operand order, grouping)
+// must stay bit-identical to the committed baselines.
 #pragma once
 
 #include <algorithm>
+
+#include "sim/types.h"
 
 namespace scda::core {
 
 /// Effective capacity gamma = alpha*C - beta*Q/tau (the numerator of
 /// eqs. 2 and 5; also the SLA threshold of section IV-A). The queue term
 /// drains standing queues within ~one control interval.
-[[nodiscard]] inline double effective_capacity(double capacity_bps,
-                                               double queue_bits, double tau,
-                                               double alpha,
-                                               double beta) noexcept {
-  return alpha * capacity_bps - beta * queue_bits / tau;
+[[nodiscard]] inline sim::BitRate effective_capacity(
+    sim::BitRate capacity, sim::BitCount queue, double tau, double alpha,
+    double beta) noexcept {
+  return sim::BitRate{alpha * capacity.bps() -
+                      beta * static_cast<double>(queue.bits()) / tau};
 }
 
 /// Effective number of flows N-hat = S / R(t - tau)  (eq. 3). A flow
 /// bottlenecked elsewhere counts as R_j/R < 1 flow, which is what makes the
 /// allocation max-min fair.
-[[nodiscard]] inline double effective_flows(double rate_sum_bps,
-                                            double prev_rate_bps) noexcept {
-  if (prev_rate_bps <= 0) return 0.0;
-  return rate_sum_bps / prev_rate_bps;
+[[nodiscard]] inline double effective_flows(sim::BitRate rate_sum,
+                                            sim::BitRate prev_rate) noexcept {
+  if (prev_rate <= sim::BitRate{}) return 0.0;
+  return rate_sum / prev_rate;  // same-unit ratio: dimensionless
 }
 
 /// Exact per-flow rate (eq. 2): R(t) = gamma / N-hat, clamped to
 /// [min_rate, gamma_cap]. `gamma_cap` bounds the advertised per-flow rate by
 /// the link's effective capacity (an idle link offers the whole capacity,
 /// never more).
-[[nodiscard]] inline double exact_rate(double gamma_bps, double rate_sum_bps,
-                                       double prev_rate_bps,
-                                       double min_rate_bps) noexcept {
-  const double gamma = std::max(gamma_bps, min_rate_bps);
-  const double nhat = effective_flows(rate_sum_bps, prev_rate_bps);
+[[nodiscard]] inline sim::BitRate exact_rate(sim::BitRate gamma_in,
+                                             sim::BitRate rate_sum,
+                                             sim::BitRate prev_rate,
+                                             sim::BitRate min_rate) noexcept {
+  const sim::BitRate gamma = sim::max(gamma_in, min_rate);
+  const double nhat = effective_flows(rate_sum, prev_rate);
   if (nhat <= 1e-12) return gamma;  // idle link: full effective capacity
-  return std::clamp(gamma / nhat, min_rate_bps, gamma);
+  return sim::clamp(gamma / nhat, min_rate, gamma);
 }
 
 /// Simplified rate (eq. 5): R(t) = gamma * R(t - tau) / Lambda(t) where
 /// Lambda = L/tau is the measured arrival rate. Needs only switch byte
 /// counters ("stateless" variant).
-[[nodiscard]] inline double simplified_rate(double gamma_bps,
-                                            double interval_bits, double tau,
-                                            double prev_rate_bps,
-                                            double min_rate_bps) noexcept {
-  const double gamma = std::max(gamma_bps, min_rate_bps);
-  const double lambda = interval_bits / tau;
+[[nodiscard]] inline sim::BitRate simplified_rate(
+    sim::BitRate gamma_in, sim::BitCount interval, double tau,
+    sim::BitRate prev_rate, sim::BitRate min_rate) noexcept {
+  const sim::BitRate gamma = sim::max(gamma_in, min_rate);
+  const double lambda = static_cast<double>(interval.bits()) / tau;
   if (lambda <= 1e-12) return gamma;  // idle link: full effective capacity
-  return std::clamp(gamma * prev_rate_bps / lambda, min_rate_bps, gamma);
+  return sim::clamp(sim::BitRate{gamma.bps() * prev_rate.bps() / lambda},
+                    min_rate, gamma);
 }
 
 /// SLA violation test (section IV-A): the sum of flow rates wanting to cross
 /// the link exceeds its effective capacity.
-[[nodiscard]] inline bool sla_violated(double rate_sum_bps,
-                                       double gamma_bps) noexcept {
-  return rate_sum_bps > gamma_bps;
+[[nodiscard]] inline bool sla_violated(sim::BitRate rate_sum,
+                                       sim::BitRate gamma) noexcept {
+  return rate_sum > gamma;
 }
 
 }  // namespace scda::core

@@ -9,8 +9,8 @@ using transport::ContentClass;
 bool ServerSelector::admit_active(std::size_t s) const {
   if (!admit(s)) return false;
   if (servers_[s].dormant()) return false;
-  if (params_.rscale_bps > 0 &&
-      hier_.rm_rhat_up(s) > params_.rscale_bps) {
+  if (params_.rscale > sim::BitRate{} &&
+      hier_.rm_rhat_up(s) > params_.rscale) {
     // Least-loaded servers (uplink allocation above R_scale) are kept for
     // passive content so they can stay dormant (section VII-C).
     return false;
@@ -35,7 +35,7 @@ BestServer ServerSelector::pick(
     // Rank by rate-to-power ratio (section VII-D); the reweight keeps the
     // returned value in bps-per-watt space, which only affects ordering.
     return hier_.best_server_filtered(
-        m, kMaxLevel, ok, [this](std::size_t s, double v) {
+        m, kMaxLevel, ok, [this](std::size_t s, sim::BitRate v) {
           return v / std::max(servers_[s].power().average_w(), 1.0);
         });
   }
@@ -86,12 +86,13 @@ std::int32_t ServerSelector::select_replica_target(ContentClass content_class,
     return static_cast<std::int32_t>(s) != exclude;
   };
 
-  if (content_class == ContentClass::kPassive && params_.rscale_bps > 0) {
+  if (content_class == ContentClass::kPassive &&
+      params_.rscale > sim::BitRate{}) {
     // Replicate passive data to a dormant-eligible server: uplink
     // allocation above R_scale, i.e. a nearly idle machine (VII-C).
     const auto dormant_ok = [&](std::size_t s) {
       return not_excluded(s) && admit(s) &&
-             hier_.rm_rhat_up(s) > params_.rscale_bps;
+             hier_.rm_rhat_up(s) > params_.rscale;
     };
     const BestServer b = pick(SelectionMetric::kUp, dormant_ok);
     if (b.server >= 0) return b.server;
@@ -134,10 +135,11 @@ std::int32_t ServerSelector::select_replica_target(
                      static_cast<std::int32_t>(s)) == exclude.end();
   };
 
-  if (content_class == ContentClass::kPassive && params_.rscale_bps > 0) {
+  if (content_class == ContentClass::kPassive &&
+      params_.rscale > sim::BitRate{}) {
     const auto dormant_ok = [&](std::size_t s) {
       return not_excluded(s) && admit(s) &&
-             hier_.rm_rhat_up(s) > params_.rscale_bps;
+             hier_.rm_rhat_up(s) > params_.rscale;
     };
     const BestServer b = pick(SelectionMetric::kUp, dormant_ok);
     if (b.server >= 0) return b.server;
@@ -168,10 +170,10 @@ std::int32_t ServerSelector::select_read_replica(
         0, static_cast<std::int64_t>(alive.size()) - 1))];
   }
   std::int32_t best = -1;
-  double best_v = -1;
+  sim::BitRate best_v{-1};
   for (const std::int32_t s : replicas) {
     if (servers_[static_cast<std::size_t>(s)].failed()) continue;
-    const double v =
+    const sim::BitRate v =
         hier_.server_value_up(static_cast<std::size_t>(s), kMaxLevel);
     if (v > best_v) {
       best_v = v;

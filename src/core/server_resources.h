@@ -2,31 +2,33 @@
 // multi-resource allocation path (paper section VI-A).
 //
 // Real deployments profile "what CPU/disk usage can serve what link rate";
-// here each server exposes effective service rates in bits/sec that may be
-// reduced by synthetic background load.
+// here each server exposes effective service rates as dimension-checked
+// sim::BitRate values that may be reduced by synthetic background load.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+
+#include "sim/types.h"
 
 namespace scda::core {
 
 class ServerResources {
  public:
   ServerResources() = default;
-  ServerResources(double cpu_bps, double disk_bps)
-      : cpu_bps_(cpu_bps), disk_bps_(disk_bps) {}
+  ServerResources(sim::BitRate cpu, sim::BitRate disk)
+      : cpu_(cpu), disk_(disk) {}
 
   /// R_other: the rate the server can sustain beyond the network —
   /// min(available CPU service rate, available disk service rate).
-  [[nodiscard]] double r_other_bps() const noexcept {
-    const double cpu = cpu_bps_ * (1.0 - cpu_background_);
-    const double disk = disk_bps_ * (1.0 - disk_background_);
-    return std::max(0.0, std::min(cpu, disk));
+  [[nodiscard]] sim::BitRate r_other() const noexcept {
+    const sim::BitRate cpu = cpu_ * (1.0 - cpu_background_);
+    const sim::BitRate disk = disk_ * (1.0 - disk_background_);
+    return sim::max(sim::BitRate{}, sim::min(cpu, disk));
   }
 
-  void set_cpu_bps(double v) noexcept { cpu_bps_ = v; }
-  void set_disk_bps(double v) noexcept { disk_bps_ = v; }
+  void set_cpu(sim::BitRate v) noexcept { cpu_ = v; }
+  void set_disk(sim::BitRate v) noexcept { disk_ = v; }
   /// Fraction [0,1) of the CPU consumed by internal computation.
   void set_cpu_background(double f) noexcept {
     cpu_background_ = std::clamp(f, 0.0, 1.0);
@@ -36,8 +38,8 @@ class ServerResources {
     disk_background_ = std::clamp(f, 0.0, 1.0);
   }
 
-  [[nodiscard]] double cpu_bps() const noexcept { return cpu_bps_; }
-  [[nodiscard]] double disk_bps() const noexcept { return disk_bps_; }
+  [[nodiscard]] sim::BitRate cpu() const noexcept { return cpu_; }
+  [[nodiscard]] sim::BitRate disk() const noexcept { return disk_; }
 
   // --- storage accounting ---------------------------------------------------
   [[nodiscard]] std::int64_t capacity_bytes() const noexcept {
@@ -62,8 +64,8 @@ class ServerResources {
   // Defaults: a 10G-capable server backed by ~6.4 Gbps of disk bandwidth,
   // far above the figure-6 link rates so the network is the bottleneck
   // unless an experiment injects background load.
-  double cpu_bps_ = 10e9;
-  double disk_bps_ = 6.4e9;
+  sim::BitRate cpu_{10e9};
+  sim::BitRate disk_{6.4e9};
   double cpu_background_ = 0.0;
   double disk_background_ = 0.0;
   std::int64_t capacity_bytes_ = std::int64_t{4} * 1000 * 1000 * 1000 * 1000;

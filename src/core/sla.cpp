@@ -5,15 +5,15 @@
 
 namespace scda::core {
 
-void SlaManager::on_violation(net::LinkId link, double demand, double gamma,
-                              sim::Time time) {
+void SlaManager::on_violation(net::LinkId link, sim::BitRate demand,
+                              sim::BitRate gamma, sim::Time time) {
   events_.push_back(SlaEvent{time, link, demand, gamma});
   last_violation_[link] = time;
 
   if (boost_threshold_ == 0 || boosted_[link]) return;
   if (++consecutive_[link] >= boost_threshold_) {
     net::Link& l = net_.link(link);
-    l.set_capacity_bps(l.capacity_bps() * boost_factor_);
+    l.set_capacity(l.capacity() * boost_factor_);
     boosted_[link] = true;
     ++boosts_applied_;
     if (obs::TraceRecorder* tr = obs::tracer_of(net_.sim())) {

@@ -18,8 +18,8 @@ namespace scda::core {
 struct SlaEvent {
   sim::Time time{};
   net::LinkId link = net::kInvalidLink;
-  double demand_bps = 0;   ///< S at detection
-  double capacity_bps = 0; ///< effective capacity gamma at detection
+  sim::BitRate demand{};    ///< S at detection
+  sim::BitRate capacity{};  ///< effective capacity gamma at detection
 };
 
 class SlaManager {
@@ -37,7 +37,7 @@ class SlaManager {
     boost_factor_ = boost;
   }
 
-  void on_violation(net::LinkId link, double demand, double gamma,
+  void on_violation(net::LinkId link, sim::BitRate demand, sim::BitRate gamma,
                     sim::Time time);
 
   /// True when the link violated its SLA within the cooldown window —

@@ -28,16 +28,16 @@ class TargetRateController {
  public:
   explicit TargetRateController(RateAllocator& alloc) : alloc_(alloc) {}
 
-  /// Drive the flow towards a fixed rate (bits/sec).
-  void set_target_rate(net::FlowId id, double target_bps) {
-    targets_[id] = Goal{target_bps, -1.0, 0};
+  /// Drive the flow towards a fixed rate.
+  void set_target_rate(net::FlowId id, sim::BitRate target) {
+    targets_[id] = Goal{target, -1.0, 0};
   }
 
   /// Drive the flow to finish `remaining_bytes` by absolute `deadline`
   /// (EDF-style: the target rate grows as the deadline nears).
   void set_deadline(net::FlowId id, std::int64_t total_bytes,
                     double deadline_s) {
-    targets_[id] = Goal{0.0, deadline_s, total_bytes};
+    targets_[id] = Goal{sim::BitRate{}, deadline_s, total_bytes};
   }
 
   void clear(net::FlowId id) { targets_.erase(id); }
@@ -61,7 +61,7 @@ class TargetRateController {
       }
       Goal& g = it->second;
 
-      double target = g.target_bps;
+      sim::BitRate target = g.target;
       if (g.deadline_s >= 0) {
         const double remaining =
             static_cast<double>(remaining_bytes_of(id)) * 8.0;
@@ -70,19 +70,20 @@ class TargetRateController {
         const double time_left =
             (g.deadline_s - now.seconds()) * deadline_safety_;
         // Past-deadline flows push as hard as the clamp allows.
-        target = time_left > 1e-3 ? remaining / time_left
-                                  : remaining / 1e-3;
+        target = sim::BitRate{time_left > 1e-3 ? remaining / time_left
+                                               : remaining / 1e-3};
       }
-      if (target <= 0) {
+      if (target <= sim::BitRate{}) {
         ++it;
         continue;
       }
 
       const double p_old = alloc_.priority(id);
-      const double r = alloc_.flow_rate(id);
+      const sim::BitRate r = alloc_.flow_rate(id);
       // Unit-weight share this flow currently maps onto.
-      const double base = p_old > 0 ? r / p_old : r;
-      if (base > 0) {
+      const sim::BitRate base = p_old > 0 ? r / p_old : r;
+      if (base > sim::BitRate{}) {
+        // target/base is a same-unit ratio: the dimensionless priority.
         const double p_new =
             std::clamp(target / base, kMinPriority, kMaxPriority);
         alloc_.set_priority(id, p_new);
@@ -102,7 +103,7 @@ class TargetRateController {
 
  private:
   struct Goal {
-    double target_bps = 0;   ///< fixed-rate goal (when deadline_s < 0)
+    sim::BitRate target{};   ///< fixed-rate goal (when deadline_s < 0)
     double deadline_s = -1;  ///< absolute deadline (EDF mode) or -1
     std::int64_t total_bytes = 0;
   };

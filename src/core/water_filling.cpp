@@ -14,16 +14,16 @@ namespace {
 }  // namespace
 
 void water_fill(std::vector<ReferenceFlow>& flows,
-                const std::map<net::LinkId, double>& capacity_bps) {
+                const std::map<net::LinkId, sim::BitRate>& capacity) {
   // LinkIds are small sequential integers, so the capacity map flattens
   // into dense LinkId-indexed tables: every per-link lookup in the O(L*F)
   // inner loops becomes an array index instead of a red-black-tree walk.
   net::LinkId max_id{-1};
-  for (const auto& [l, c] : capacity_bps) max_id = std::max(max_id, l);
+  for (const auto& [l, c] : capacity) max_id = std::max(max_id, l);
   const std::size_t n = static_cast<std::size_t>(max_id.value() + 1);
-  std::vector<double> residual(n, 0.0);
+  std::vector<sim::BitRate> residual(n, sim::BitRate{});
   std::vector<char> has_cap(n, 0);
-  for (const auto& [l, c] : capacity_bps) {
+  for (const auto& [l, c] : capacity) {
     residual[l.index()] = c;
     has_cap[l.index()] = 1;
   }
@@ -35,10 +35,10 @@ void water_fill(std::vector<ReferenceFlow>& flows,
 
   // Grant reservations off the top (section IV-C).
   for (auto& f : flows) {
-    f.rate_bps = -1.0;
-    if (f.reserved_bps <= 0) continue;
+    f.rate = sim::BitRate{-1.0};
+    if (f.reserved <= sim::BitRate{}) continue;
     for (const auto l : f.path)
-      residual[check(l)] -= f.reserved_bps;  // may go negative: oversub
+      residual[check(l)] -= f.reserved;  // may go negative: oversub
   }
 
   std::vector<double> wsum(n, 0.0);
@@ -53,7 +53,7 @@ void water_fill(std::vector<ReferenceFlow>& flows,
     }
     touched.clear();
     for (const auto& f : flows) {
-      if (f.rate_bps >= 0) continue;
+      if (f.rate >= sim::BitRate{}) continue;
       for (const auto l : f.path) {
         const std::size_t i = check(l);
         wsum[i] += f.weight;
@@ -73,7 +73,7 @@ void water_fill(std::vector<ReferenceFlow>& flows,
     for (const auto l : touched) {
       const std::size_t i = l.index();
       if (wsum[i] <= 0) continue;
-      const double lv = std::max(residual[i], 0.0) / wsum[i];
+      const double lv = sim::max(residual[i], sim::BitRate{}).bps() / wsum[i];
       if (level < 0 || lv < level) {
         level = lv;
         arg = l;
@@ -83,16 +83,16 @@ void water_fill(std::vector<ReferenceFlow>& flows,
       // Remaining flows cross no capacitated link (e.g. zero-length
       // paths): they are unconstrained; report their reservation only.
       for (auto& f : flows)
-        if (f.rate_bps < 0) f.rate_bps = f.reserved_bps;
+        if (f.rate < sim::BitRate{}) f.rate = f.reserved;
       break;
     }
     for (auto& f : flows) {
-      if (f.rate_bps >= 0) continue;
+      if (f.rate >= sim::BitRate{}) continue;
       bool crosses = false;
       for (const auto l : f.path) crosses |= (l == arg);
       if (!crosses) continue;
-      const double share = f.weight * level;
-      f.rate_bps = f.reserved_bps + share;
+      const sim::BitRate share = f.weight * sim::BitRate{level};
+      f.rate = f.reserved + share;
       --unfrozen;
       for (const auto l : f.path)
         residual[l.index()] -= share;
@@ -100,13 +100,13 @@ void water_fill(std::vector<ReferenceFlow>& flows,
   }
 }
 
-std::vector<double> water_fill_rates(
+std::vector<sim::BitRate> water_fill_rates(
     std::vector<ReferenceFlow> flows,
-    const std::map<net::LinkId, double>& capacity_bps) {
-  water_fill(flows, capacity_bps);
-  std::vector<double> rates;
+    const std::map<net::LinkId, sim::BitRate>& capacity) {
+  water_fill(flows, capacity);
+  std::vector<sim::BitRate> rates;
   rates.reserve(flows.size());
-  for (const auto& f : flows) rates.push_back(f.rate_bps);
+  for (const auto& f : flows) rates.push_back(f.rate);
   return rates;
 }
 

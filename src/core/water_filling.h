@@ -19,27 +19,29 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "sim/types.h"
 
 namespace scda::core {
 
 struct ReferenceFlow {
   std::vector<net::LinkId> path;
   double weight = 1.0;
-  double reserved_bps = 0.0;
-  /// Output: the max-min fair allocation (reservation included).
-  double rate_bps = -1.0;
+  sim::BitRate reserved{};
+  /// Output: the max-min fair allocation (reservation included). Negative
+  /// while unfrozen (sentinel), never in a returned allocation.
+  sim::BitRate rate{-1.0};
 };
 
-/// Compute allocations in place. `capacity_bps` must cover every link any
+/// Compute allocations in place. `capacity` must cover every link any
 /// flow crosses. Flows on links with no capacity entry are an error.
 void water_fill(std::vector<ReferenceFlow>& flows,
-                const std::map<net::LinkId, double>& capacity_bps);
+                const std::map<net::LinkId, sim::BitRate>& capacity);
 
 /// Pure variant: the allocation for each flow, in input order, without
 /// mutating `flows`. [[nodiscard]] because the return value is the whole
 /// point — a dropped result means the call did nothing observable.
-[[nodiscard]] std::vector<double> water_fill_rates(
+[[nodiscard]] std::vector<sim::BitRate> water_fill_rates(
     std::vector<ReferenceFlow> flows,
-    const std::map<net::LinkId, double>& capacity_bps);
+    const std::map<net::LinkId, sim::BitRate>& capacity);
 
 }  // namespace scda::core

@@ -21,8 +21,8 @@ struct FatTreeConfig {
   std::int32_t k = 4;  ///< pod arity (even); 4 -> 16 servers, 20 switches
   std::int32_t n_clients = 8;
 
-  double link_bps = 500e6;  ///< uniform capacity (definitionally)
-  double gw_bps = 2e9;      ///< core <-> gateway
+  sim::BitRate link_bps{500e6};  ///< uniform capacity (definitionally)
+  sim::BitRate gw_bps{2e9};      ///< core <-> gateway
   double dc_delay_s = 10e-3;
   double wan_delay_s = 50e-3;
   std::int64_t queue_limit_bytes = 256 * 1500;

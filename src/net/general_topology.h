@@ -26,10 +26,10 @@ struct LeafSpineConfig {
   std::int32_t servers_per_leaf = 8;
   std::int32_t n_clients = 32;
 
-  double server_bps = 500e6;  ///< server <-> leaf
-  double fabric_bps = 500e6;  ///< leaf <-> spine
-  double gw_bps = 1e9;        ///< spine <-> gateway
-  double client_bps = 500e6;  ///< client <-> gateway
+  sim::BitRate server_bps{500e6};  ///< server <-> leaf
+  sim::BitRate fabric_bps{500e6};  ///< leaf <-> spine
+  sim::BitRate gw_bps{1e9};        ///< spine <-> gateway
+  sim::BitRate client_bps{500e6};  ///< client <-> gateway
 
   double dc_delay_s = 10e-3;
   double wan_delay_s = 50e-3;

@@ -56,10 +56,11 @@ void Link::start_transmission() {
   cur_node_ = queue_.select_next();
   const Packet& head = queue_.packet(cur_node_);
   // Serialization time rounds to the nearest nanosecond once, here; from
-  // this point on every timestamp derived from it is exact integer time.
-  const double tx_time =
-      static_cast<double>(head.size_bytes) * 8.0 / capacity_bps_;
-  sim_.post_in(sim::secs(tx_time), [this] { on_tx_complete(); });
+  // this point on every timestamp derived from it is exact integer time
+  // (ByteCount / BitRate is the same bytes * 8.0 / bps expression the
+  // raw-double code wrote by hand).
+  const sim::Time tx_time = sim::ByteCount{head.size_bytes} / capacity_;
+  sim_.post_in(tx_time, [this] { on_tx_complete(); });
 }
 
 void Link::on_tx_complete() {

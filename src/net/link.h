@@ -40,12 +40,13 @@ class Link {
   using DeliverFn = std::function<void(Packet&&)>;
 
   Link(sim::Simulator& sim, LinkId id, NodeId from, NodeId to,
-       double capacity_bps, double prop_delay_s, std::int64_t queue_limit_bytes)
+       sim::BitRate capacity, double prop_delay_s,
+       std::int64_t queue_limit_bytes)
       : sim_(sim),
         id_(id),
         from_(from),
         to_(to),
-        capacity_bps_(capacity_bps),
+        capacity_(capacity),
         prop_delay_(sim::secs(prop_delay_s)),
         queue_limit_bytes_(queue_limit_bytes) {}
 
@@ -80,11 +81,15 @@ class Link {
   [[nodiscard]] LinkId id() const noexcept { return id_; }
   [[nodiscard]] NodeId from() const noexcept { return from_; }
   [[nodiscard]] NodeId to() const noexcept { return to_; }
-  [[nodiscard]] double capacity_bps() const noexcept { return capacity_bps_; }
+  [[nodiscard]] sim::BitRate capacity() const noexcept { return capacity_; }
+  /// Raw bits-per-second unwrap (JSON/trace emission boundary only).
+  [[nodiscard]] double capacity_bps() const noexcept {
+    return capacity_.bps();
+  }
   /// Raise/lower the link capacity at runtime; models switching reserve or
   /// backup capacity into a congested path (paper section IV-A mitigation).
-  void set_capacity_bps(double c) noexcept {
-    if (c > 0) capacity_bps_ = c;
+  void set_capacity(sim::BitRate c) noexcept {
+    if (c > sim::BitRate{}) capacity_ = c;
   }
   // --- up/down state (failure injection; docs/scenarios.md) ---------------
   /// A down link refuses all offered packets (counted as drops) and is
@@ -157,7 +162,7 @@ class Link {
   [[nodiscard]] double utilization(double elapsed_s) const noexcept {
     if (elapsed_s <= 0) return 0;
     return static_cast<double>(stats_.tx_bytes) * 8.0 /
-           (capacity_bps_ * elapsed_s);
+           (capacity_.bps() * elapsed_s);
   }
 
   /// Delay until the head of the propagation queue is due. Deadlines are
@@ -185,7 +190,7 @@ class Link {
   LinkId id_;
   NodeId from_;
   NodeId to_;
-  double capacity_bps_;
+  sim::BitRate capacity_;
   sim::Time prop_delay_;
   std::int64_t queue_limit_bytes_;
 

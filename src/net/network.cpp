@@ -16,7 +16,7 @@ NodeId Network::add_node(NodeRole role, std::string name) {
   return id;
 }
 
-LinkId Network::add_link(NodeId a, NodeId b, double capacity_bps,
+LinkId Network::add_link(NodeId a, NodeId b, sim::BitRate capacity,
                          double prop_delay_s,
                          std::int64_t queue_limit_bytes) {
   if (routes_built_)
@@ -24,10 +24,10 @@ LinkId Network::add_link(NodeId a, NodeId b, double capacity_bps,
   checked(a);
   checked(b);
   if (a == b) throw std::invalid_argument("Network::add_link: self loop");
-  if (capacity_bps <= 0)
+  if (capacity <= sim::BitRate{})
     throw std::invalid_argument("Network::add_link: capacity must be > 0");
   const auto id = LinkId::from_index(links_.size());
-  links_.push_back(std::make_unique<Link>(sim_, id, a, b, capacity_bps,
+  links_.push_back(std::make_unique<Link>(sim_, id, a, b, capacity,
                                           prop_delay_s, queue_limit_bytes));
   Link* raw = links_.back().get();
   raw->set_deliver([this, to = b](Packet&& p) { forward(std::move(p), to); });
@@ -36,12 +36,12 @@ LinkId Network::add_link(NodeId a, NodeId b, double capacity_bps,
 }
 
 std::pair<LinkId, LinkId> Network::add_duplex(NodeId a, NodeId b,
-                                              double capacity_bps,
+                                              sim::BitRate capacity,
                                               double prop_delay_s,
                                               std::int64_t queue_limit_bytes) {
-  const LinkId ab = add_link(a, b, capacity_bps, prop_delay_s,
+  const LinkId ab = add_link(a, b, capacity, prop_delay_s,
                              queue_limit_bytes);
-  const LinkId ba = add_link(b, a, capacity_bps, prop_delay_s,
+  const LinkId ba = add_link(b, a, capacity, prop_delay_s,
                              queue_limit_bytes);
   return {ab, ba};
 }

@@ -30,12 +30,13 @@ class Network {
   NodeId add_node(NodeRole role, std::string name);
 
   /// Add a unidirectional link from `a` to `b`. Returns its LinkId.
-  LinkId add_link(NodeId a, NodeId b, double capacity_bps, double prop_delay_s,
-                  std::int64_t queue_limit_bytes);
+  LinkId add_link(NodeId a, NodeId b, sim::BitRate capacity,
+                  double prop_delay_s, std::int64_t queue_limit_bytes);
 
   /// Add a full-duplex link (two unidirectional links with equal parameters).
   /// Returns {a->b id, b->a id}.
-  std::pair<LinkId, LinkId> add_duplex(NodeId a, NodeId b, double capacity_bps,
+  std::pair<LinkId, LinkId> add_duplex(NodeId a, NodeId b,
+                                       sim::BitRate capacity,
                                        double prop_delay_s,
                                        std::int64_t queue_limit_bytes);
 

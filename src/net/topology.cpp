@@ -10,7 +10,7 @@ ThreeTierTree::ThreeTierTree(sim::Simulator& sim, const TopologyConfig& cfg)
   core_ = net_.add_node(NodeRole::kCoreSwitch, "core");
 
   const auto q = cfg.queue_limit_bytes;
-  const double x = cfg.base_bps;
+  const sim::BitRate x = cfg.base_bps;
 
   // Core <-> Gateway at 6X (level 3).
   {

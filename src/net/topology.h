@@ -32,8 +32,8 @@ struct TopologyConfig {
   std::int32_t servers_per_tor = 8;   ///< block servers per ToR
   std::int32_t n_clients = 64;        ///< UCL clients on the WAN side
 
-  // capacities (bits/sec)
-  double base_bps = 500e6;  ///< X in figure 6
+  // capacities (dimension-checked; k_factor/core_gw_mult are unitless)
+  sim::BitRate base_bps{500e6};  ///< X in figure 6
   double k_factor = 3.0;    ///< K, multiplier on Agg<->Core links
   double core_gw_mult = 6.0;
 

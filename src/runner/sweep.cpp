@@ -13,9 +13,12 @@ void apply_param(ExperimentConfig& cfg, const std::string& name,
   if (name == "tau") { cfg.params.tau = value; return; }
   if (name == "alpha") { cfg.params.alpha = value; return; }
   if (name == "beta") { cfg.params.beta = value; return; }
-  if (name == "rscale_bps") { cfg.params.rscale_bps = value; return; }
+  if (name == "rscale_bps") { cfg.params.rscale = sim::BitRate{value}; return; }
   if (name == "rcvw_headroom") { cfg.params.rcvw_headroom = value; return; }
-  if (name == "min_rate_bps") { cfg.params.min_rate_bps = value; return; }
+  if (name == "min_rate_bps") {
+    cfg.params.min_rate = sim::BitRate{value};
+    return;
+  }
   if (name == "replicas") {
     cfg.params.replicas = static_cast<std::int32_t>(value);
     return;
@@ -33,7 +36,7 @@ void apply_param(ExperimentConfig& cfg, const std::string& name,
     return;
   }
   // Topology (net::TopologyConfig).
-  if (name == "base_bps") { cfg.topology.base_bps = value; return; }
+  if (name == "base_bps") { cfg.topology.base_bps = sim::BitRate{value}; return; }
   if (name == "k_factor") { cfg.topology.k_factor = value; return; }
   if (name == "n_agg") {
     cfg.topology.n_agg = static_cast<std::int32_t>(value);

@@ -24,7 +24,7 @@ std::uint32_t FluidEngine::acquire_slot() {
   size_.push_back(0);
   delivered_.push_back(0);
   accounted_.push_back(0);
-  rate_.push_back(0);
+  rate_.push_back(sim::BitRate{});
   last_update_.emplace_back();
   latency_.emplace_back();
   completion_.emplace_back();
@@ -33,7 +33,7 @@ std::uint32_t FluidEngine::acquire_slot() {
 }
 
 void FluidEngine::start(net::FlowId id, std::int64_t size_bytes,
-                        double rate_bps,
+                        sim::BitRate rate,
                         const std::vector<net::LinkId>& path) {
   if (size_bytes < 0)
     throw std::invalid_argument("FluidEngine::start: negative size");
@@ -45,7 +45,7 @@ void FluidEngine::start(net::FlowId id, std::int64_t size_bytes,
   size_[slot] = size_bytes;
   delivered_[slot] = 0;
   accounted_[slot] = 0;
-  rate_[slot] = std::max(rate_bps, 0.0);
+  rate_[slot] = sim::max(rate, sim::BitRate{});
   last_update_[slot] = net_.sim().now();
   completion_[slot] = sim::EventHandle{};
   path_[slot].assign(path.begin(), path.end());
@@ -71,11 +71,13 @@ void FluidEngine::advance(std::uint32_t slot) {
   const sim::Time now = net_.sim().now();
   const sim::Time dt = now - last_update_[slot];
   last_update_[slot] = now;
-  if (dt <= sim::Time{} || rate_[slot] <= 0) return;
+  if (dt <= sim::Time{} || rate_[slot] <= sim::BitRate{}) return;
 
+  // Fractional-byte integration boundary: unwrap once, keeping the exact
+  // rate * seconds / 8 expression of the committed baselines.
   delivered_[slot] =
       std::min(static_cast<double>(size_[slot]),
-               delivered_[slot] + rate_[slot] * dt.seconds() / 8.0);
+               delivered_[slot] + rate_[slot].bps() * dt.seconds() / 8.0);
   const auto whole = static_cast<std::int64_t>(delivered_[slot]);
   const std::int64_t newly = whole - accounted_[slot];
   if (newly > 0) {
@@ -97,31 +99,32 @@ void FluidEngine::arm_completion(net::FlowId id, std::uint32_t slot) {
     }
     return;
   }
-  if (rate_[slot] <= 0) {
+  if (rate_[slot] <= sim::BitRate{}) {
     // Parked: no progress until a re-rate revives the flow.
     net_.sim().cancel(completion_[slot]);
     completion_[slot] = sim::EventHandle{};
     return;
   }
-  const sim::Time t = net_.sim().now() +
-                      sim::secs(remaining * 8.0 / rate_[slot]) + latency_[slot];
+  const sim::Time t =
+      net_.sim().now() + sim::secs(remaining * 8.0 / rate_[slot].bps()) +
+      latency_[slot];
   completion_[slot] = net_.sim().reschedule_at(completion_[slot], t,
                                                [this, id] { complete(id); });
 }
 
-void FluidEngine::set_rate(net::FlowId id, double rate_bps) {
+void FluidEngine::set_rate(net::FlowId id, sim::BitRate rate) {
   const std::size_t row = find_row(id);
   if (row == kNoRow)
     throw std::invalid_argument("FluidEngine::set_rate: unknown flow");
   const std::uint32_t slot = by_id_[row].slot;
   advance(slot);
-  rate_[slot] = std::max(rate_bps, 0.0);
+  rate_[slot] = sim::max(rate, sim::BitRate{});
   ++stats_.rerates;
   arm_completion(id, slot);
 }
 
 void FluidEngine::rerate_all(
-    const std::function<double(net::FlowId)>& rate_of, bool epoch) {
+    const std::function<sim::BitRate(net::FlowId)>& rate_of, bool epoch) {
   if (epoch) ++stats_.epochs;
   // Ascending-id order; set_rate never mutates the index, so plain
   // iteration is safe (completions only run from scheduled events).
@@ -129,7 +132,7 @@ void FluidEngine::rerate_all(
     const net::FlowId id = by_id_[row].id;
     const std::uint32_t slot = by_id_[row].slot;
     advance(slot);
-    rate_[slot] = std::max(rate_of(id), 0.0);
+    rate_[slot] = sim::max(rate_of(id), sim::BitRate{});
     ++stats_.rerates;
     arm_completion(id, slot);
   }
@@ -183,7 +186,7 @@ std::int64_t FluidEngine::delivered_bytes(net::FlowId id) const {
   return static_cast<std::int64_t>(delivered_[by_id_[row].slot]);
 }
 
-double FluidEngine::rate(net::FlowId id) const {
+sim::BitRate FluidEngine::rate(net::FlowId id) const {
   const std::size_t row = find_row(id);
   if (row == kNoRow)
     throw std::invalid_argument("FluidEngine::rate: unknown flow");

@@ -72,21 +72,21 @@ class FluidEngine {
     on_complete_ = std::move(fn);
   }
 
-  /// Admit a flow: it advances at `rate_bps` until re-rated. The path is
+  /// Admit a flow: it advances at `rate` until re-rated. The path is
   /// copied into a recycled slot vector; each path link gets a
   /// fluid_flow_join and is charged byte deltas as the flow advances.
-  void start(net::FlowId id, std::int64_t size_bytes, double rate_bps,
+  void start(net::FlowId id, std::int64_t size_bytes, sim::BitRate rate,
              const std::vector<net::LinkId>& path);
 
   /// Integrate the flow up to now at its old rate, then continue at
-  /// `rate_bps`. Zero (or negative) rate parks the flow: its completion
+  /// `rate`. Zero (or negative) rate parks the flow: its completion
   /// event is cancelled until a later re-rate revives it.
-  void set_rate(net::FlowId id, double rate_bps);
+  void set_rate(net::FlowId id, sim::BitRate rate);
 
   /// Re-rate every active flow in ascending-id order from `rate_of`
   /// (typically RateAllocator::flow_rate). `epoch` marks RA-epoch rounds
   /// in the stats; admission re-rates pass false.
-  void rerate_all(const std::function<double(net::FlowId)>& rate_of,
+  void rerate_all(const std::function<sim::BitRate(net::FlowId)>& rate_of,
                   bool epoch);
 
   /// Tear a flow down mid-transfer (failure injection): bytes delivered so
@@ -103,7 +103,7 @@ class FluidEngine {
   }
   /// Bytes integrated as of the flow's last advance (start / re-rate).
   [[nodiscard]] std::int64_t delivered_bytes(net::FlowId id) const;
-  [[nodiscard]] double rate(net::FlowId id) const;
+  [[nodiscard]] sim::BitRate rate(net::FlowId id) const;
   [[nodiscard]] const FluidStats& stats() const noexcept { return stats_; }
   /// Slots ever allocated (bounded by peak concurrent fluid flows — the
   /// churn test asserts this stays flat under steady start/complete load).
@@ -135,9 +135,11 @@ class FluidEngine {
   std::vector<std::uint32_t> free_slots_;  ///< recycled table rows
   // Slot-parallel flow state (indexed by IndexEntry::slot).
   std::vector<std::int64_t> size_;        ///< total bytes to deliver
-  std::vector<double> delivered_;         ///< bytes integrated so far
+  /// Fractional bytes integrated so far: continuous integration state, not
+  /// a wire byte count, so it stays a raw double by design.
+  std::vector<double> delivered_;
   std::vector<std::int64_t> accounted_;   ///< bytes already charged to links
-  std::vector<double> rate_;              ///< current rate in bps
+  std::vector<sim::BitRate> rate_;        ///< current allocated rate
   std::vector<sim::Time> last_update_;    ///< integration frontier
   std::vector<sim::Time> latency_;        ///< one-way path propagation
   std::vector<sim::EventHandle> completion_;

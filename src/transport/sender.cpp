@@ -99,7 +99,7 @@ void WindowSender::handle(net::Packet&& p) {
 
 void WindowSender::maybe_send() {
   if (stopped_) return;
-  if (pacing_rate_bps_ > 0) {
+  if (pacing_rate_ > sim::BitRate{}) {
     pump_paced();
   } else {
     pump_unpaced();
@@ -133,13 +133,14 @@ void WindowSender::pump_paced() {
   send_segment(next_seq_, /*is_retransmit=*/false);
   next_seq_ += payload;
 
-  // Schedule the next emission one segment-time later at the paced rate.
-  const double gap =
-      static_cast<double>(payload + net::kHeaderBytes) * 8.0 /
-      pacing_rate_bps_;
+  // Schedule the next emission one segment-time later at the paced rate
+  // (ByteCount / BitRate -> SimTime, the dimensional form of the old
+  // bytes * 8 / rate expression).
+  const sim::Time gap =
+      sim::ByteCount{payload + net::kHeaderBytes} / pacing_rate_;
   pace_armed_ = true;
   const auto epoch = ++pace_epoch_;
-  net_.sim().post_in(sim::secs(gap), [this, epoch] {
+  net_.sim().post_in(gap, [this, epoch] {
     if (epoch != pace_epoch_) return;
     pace_armed_ = false;
     maybe_send();

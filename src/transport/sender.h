@@ -93,13 +93,15 @@ class WindowSender : public Agent {
   /// a large window never bursts into a drop-tail queue.
   void maybe_send();
   void retransmit_at(std::int64_t seq);
-  void set_cwnd(double bytes) noexcept {
-    cwnd_ = std::max<double>(bytes, mss_);
+  /// `w` is a fractional byte window (NewReno grows cwnd by mss*mss/cwnd),
+  /// so the window stays a raw double rather than an exact ByteCount.
+  void set_cwnd(double w) noexcept {
+    cwnd_ = std::max<double>(w, mss_);
   }
-  /// Space segment emissions at `rate_bps` (0 disables pacing). The SCDA
+  /// Space segment emissions at `rate` (zero disables pacing). The SCDA
   /// transport paces at its allocated rate; TCP relies on ack clocking.
-  void set_pacing_rate(double rate_bps) noexcept {
-    pacing_rate_bps_ = rate_bps;
+  void set_pacing_rate(sim::BitRate rate) noexcept {
+    pacing_rate_ = rate;
   }
 
   net::Network& net_;
@@ -109,7 +111,8 @@ class WindowSender : public Agent {
 
   std::int64_t next_seq_ = 0;   ///< next new byte to transmit
   std::int64_t acked_ = 0;      ///< cumulative bytes acknowledged
-  double cwnd_ = 0;             ///< congestion window (bytes)
+  /// Congestion window in fractional bytes (see set_cwnd).
+  double cwnd_ = 0;
   std::int64_t peer_rcvw_;      ///< last advertised receive window
 
   // recovery state
@@ -145,7 +148,7 @@ class WindowSender : public Agent {
   bool rto_armed_ = false;
   std::uint64_t rto_epoch_ = 0;  ///< invalidates stale timer callbacks
 
-  double pacing_rate_bps_ = 0;
+  sim::BitRate pacing_rate_{};
   bool pace_armed_ = false;
   std::uint64_t pace_epoch_ = 0;
   bool stopped_ = false;
@@ -182,21 +185,21 @@ class TcpSender final : public WindowSender {
 class ScdaSender final : public WindowSender {
  public:
   ScdaSender(net::Network& net, FlowRecord& rec, double base_rtt_s,
-             double initial_rate_bps,
+             sim::BitRate initial_rate,
              std::int32_t mss_bytes = net::kDefaultMtuBytes -
                                       net::kHeaderBytes)
       : WindowSender(net, rec, base_rtt_s, mss_bytes),
-        rate_bps_(initial_rate_bps) {
+        rate_(initial_rate) {
     loss_recovery_ = LossRecovery::kGoBackN;
   }
 
   /// Called by the resource monitor every control interval (section VIII-D).
-  void set_rate(double rate_bps) {
-    rate_bps_ = std::max(rate_bps, min_rate_bps_);
+  void set_rate(sim::BitRate rate) {
+    rate_ = sim::max(rate, min_rate_);
     apply_rate();
     maybe_send();
   }
-  [[nodiscard]] double rate_bps() const noexcept { return rate_bps_; }
+  [[nodiscard]] sim::BitRate rate() const noexcept { return rate_; }
 
  protected:
   void on_start() override {
@@ -209,13 +212,16 @@ class ScdaSender final : public WindowSender {
  private:
   void apply_rate() {
     const double rtt = rtt_seeded_ ? srtt_ : base_rtt_s_;
-    set_cwnd(rate_bps_ * rtt / 8.0);
-    set_pacing_rate(rate_bps_);
+    // cwnd = rate x RTT, as fractional bytes (window-sizing boundary).
+    set_cwnd(rate_.bps() * rtt / 8.0);
+    set_pacing_rate(rate_);
   }
 
-  double rate_bps_;
-  /// Floor keeping a flow alive while the allocator converges.
-  double min_rate_bps_ = 8.0 * net::kDefaultMtuBytes;  // 1 MTU per second
+  sim::BitRate rate_;
+  /// Floor keeping a flow alive while the allocator converges:
+  /// one MTU per second, derived from the named MTU constant.
+  sim::BitRate min_rate_ =
+      sim::per_second(sim::ByteCount{net::kDefaultMtuBytes}.bits());
 };
 
 }  // namespace scda::transport

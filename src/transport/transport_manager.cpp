@@ -112,7 +112,7 @@ net::FlowId TransportManager::start_tcp_flow(net::NodeId src, net::NodeId dst,
 
 ScdaFlowHandles TransportManager::start_scda_flow(
     net::NodeId src, net::NodeId dst, std::int64_t size_bytes,
-    double initial_rate_bps, double initial_rcvw_rate_bps,
+    sim::BitRate initial_rate, sim::BitRate initial_rcvw_rate,
     ContentClass content, double priority) {
   FlowRecord& rec = new_record(src, dst, size_bytes, TransportKind::kScda,
                                content);
@@ -124,7 +124,7 @@ ScdaFlowHandles TransportManager::start_scda_flow(
   if (fluid_config_.enabled) {
     if (size_bytes >= fluid_config_.threshold_bytes) {
       rec.fluid = true;
-      fluid_.start(rec.id, size_bytes, initial_rate_bps, net_.path(src, dst));
+      fluid_.start(rec.id, size_bytes, initial_rate, net_.path(src, dst));
       ScdaFlowHandles out;
       out.id = rec.id;
       out.fluid = true;
@@ -135,15 +135,16 @@ ScdaFlowHandles TransportManager::start_scda_flow(
 
   const double rtt = base_rtt(src, dst);
 
-  // rcvw = downlink rate x RTT (paper Fig. 3, step 8).
+  // rcvw = downlink rate x RTT (paper Fig. 3, step 8): window-sizing
+  // boundary, unwrapped once to keep the rate*rtt/8 expression exact.
   const auto rcvw =
-      static_cast<std::int64_t>(initial_rcvw_rate_bps * rtt / 8.0);
+      static_cast<std::int64_t>(initial_rcvw_rate.bps() * rtt / 8.0);
   auto recv = std::make_unique<Receiver>(
       net_, rec,
       [this](const FlowRecord& r) { finish_flow(r); },
       rcvw);
   recv->set_delivered_counter(&total_delivered_bytes_);
-  auto send = std::make_unique<ScdaSender>(net_, rec, rtt, initial_rate_bps);
+  auto send = std::make_unique<ScdaSender>(net_, rec, rtt, initial_rate);
 
   ScdaFlowHandles out;
   out.id = rec.id;

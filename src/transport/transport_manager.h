@@ -86,8 +86,8 @@ class TransportManager {
   /// Start an SCDA flow with the given initial rate allocation.
   ScdaFlowHandles start_scda_flow(net::NodeId src, net::NodeId dst,
                                   std::int64_t size_bytes,
-                                  double initial_rate_bps,
-                                  double initial_rcvw_rate_bps,
+                                  sim::BitRate initial_rate,
+                                  sim::BitRate initial_rcvw_rate,
                                   ContentClass content =
                                       ContentClass::kSemiInteractive,
                                   double priority = 1.0);

@@ -1,13 +1,18 @@
 // Unit helpers: the simulator internally uses
-//   time    -> seconds (double)
-//   rates   -> bits per second (double)
-//   sizes   -> bytes (int64) for content, bits (double) where rates apply
+//   time    -> sim::SimTime (integer nanoseconds; seconds at boundaries)
+//   rates   -> sim::BitRate (bits per second, double rep)
+//   sizes   -> bytes (int64) for content, sim::ByteCount where typed
 //
 // These constexpr helpers make call sites self-documenting and keep the
-// multipliers in one place.
+// multipliers in one place. The rate helpers return the dimension-checked
+// sim::BitRate, so `cfg.base_rate = util::mbps(500)` type-checks while
+// `double r = util::mbps(500)` no longer compiles without an explicit
+// .bps() unwrap.
 #pragma once
 
 #include <cstdint>
+
+#include "sim/types.h"
 
 namespace scda::util {
 
@@ -17,12 +22,20 @@ constexpr double milliseconds(double ms) noexcept { return ms * 1e-3; }
 constexpr double microseconds(double us) noexcept { return us * 1e-6; }
 
 // --- rate (bits/second) -----------------------------------------------
-constexpr double bps(double v) noexcept { return v; }
-constexpr double kbps(double v) noexcept { return v * 1e3; }
-constexpr double mbps(double v) noexcept { return v * 1e6; }
-constexpr double gbps(double v) noexcept { return v * 1e9; }
+constexpr sim::BitRate bps(double v) noexcept { return sim::BitRate{v}; }
+constexpr sim::BitRate kbps(double v) noexcept {
+  return sim::BitRate{v * 1e3};
+}
+constexpr sim::BitRate mbps(double v) noexcept {
+  return sim::BitRate{v * 1e6};
+}
+constexpr sim::BitRate gbps(double v) noexcept {
+  return sim::BitRate{v * 1e9};
+}
 
 // --- sizes --------------------------------------------------------------
+// Content sizes stay raw int64 across the workload plumbing; use
+// sim::ByteCount at the typed interfaces.
 constexpr std::int64_t kilobytes(double v) noexcept {
   return static_cast<std::int64_t>(v * 1e3);
 }

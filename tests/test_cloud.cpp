@@ -192,7 +192,7 @@ TEST_F(CloudTest, PowerHeterogeneityApplied) {
 
 TEST_F(CloudTest, PassiveContentScalesServersDown) {
   auto cfg = small_config();
-  cfg.params.rscale_bps = util::mbps(400);
+  cfg.params.rscale = util::mbps(400);
   build(cfg);
   cloud_->write(0, 1, util::megabytes(1), ContentClass::kPassive);
   sim_->run_until(scda::sim::secs(30.0));
@@ -203,7 +203,7 @@ TEST_F(CloudTest, PassiveContentScalesServersDown) {
 
 TEST_F(CloudTest, ReadWakesDormantServer) {
   auto cfg = small_config();
-  cfg.params.rscale_bps = util::mbps(400);
+  cfg.params.rscale = util::mbps(400);
   build(cfg);
   cloud_->write(0, 1, util::megabytes(1), ContentClass::kPassive);
   sim_->post_at(scda::sim::secs(20.0), [&] { cloud_->read(1, 1); });
@@ -242,7 +242,7 @@ TEST_F(CloudTest, ManyContentsSpreadAcrossNameNodes) {
 
 TEST_F(CloudTest, ColdContentMigratesToDormantEligibleServer) {
   auto cfg = small_config();
-  cfg.params.rscale_bps = util::mbps(400);
+  cfg.params.rscale = util::mbps(400);
   cfg.params.migration_interval_s = 5.0;
   cfg.enable_replication = false;
   build(cfg);
@@ -267,7 +267,7 @@ TEST_F(CloudTest, ColdContentMigratesToDormantEligibleServer) {
 
 TEST_F(CloudTest, HotContentIsNotMigrated) {
   auto cfg = small_config();
-  cfg.params.rscale_bps = util::mbps(400);
+  cfg.params.rscale = util::mbps(400);
   cfg.params.migration_interval_s = 5.0;
   cfg.enable_replication = false;
   build(cfg);

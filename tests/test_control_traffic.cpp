@@ -17,7 +17,7 @@ class ControlTrafficTest : public ::testing::Test {
     cfg_.tors_per_agg = 2;
     cfg_.servers_per_tor = 2;  // 8 servers, 4 tors, 2 aggs
     cfg_.n_clients = 2;
-    cfg_.base_bps = 100e6;
+    cfg_.base_bps = sim::BitRate{100e6};
     topo_ = std::make_unique<net::ThreeTierTree>(sim_, cfg_);
     alloc_ = std::make_unique<RateAllocator>(topo_->net(), params_);
   }
@@ -80,7 +80,7 @@ TEST_F(ControlTrafficTest, DataFlowsCompleteAlongsideControlTraffic) {
   int done = 0;
   tm.set_completion_callback([&](const transport::FlowRecord&) { ++done; });
   tm.start_scda_flow(topo_->clients()[0], topo_->servers()[0], 2'000'000,
-                     50e6, 50e6);
+                     sim::BitRate{50e6}, sim::BitRate{50e6});
   sim_.run_until(scda::sim::secs(10.0));
   ctrl.stop();
   EXPECT_EQ(done, 1);
@@ -95,7 +95,7 @@ TEST_F(ControlTrafficTest, OverheadIsTinyVersusLinkCapacity) {
   // 8-server cloud — far below one link's 100 Mbps.
   const double bps =
       static_cast<double>(ctrl.bytes_on_wire()) * 8.0 / 10.0;
-  EXPECT_LT(bps, 0.01 * cfg_.base_bps);
+  EXPECT_LT(bps, 0.01 * cfg_.base_bps.bps());
 }
 
 }  // namespace

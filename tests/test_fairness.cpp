@@ -58,7 +58,7 @@ TEST(LiveFairness, ConcurrentEqualFlowsScoreNearOne) {
   sim.run_until(scda::sim::secs(3.0));
   std::vector<double> rates;
   for (net::FlowId f{0}; f < net::FlowId{8}; ++f)
-    rates.push_back(cloud.allocator().flow_rate(f));
+    rates.push_back(cloud.allocator().flow_rate(f).bps());
   EXPECT_GT(jain_index(rates), 0.99);
 }
 

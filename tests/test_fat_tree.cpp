@@ -107,7 +107,7 @@ TEST_F(FatTreeTest, PinnedEcmpFlowDeliversData) {
   const NodeId b = ft_->servers()[12];
   const FlowId id = tm.next_flow_id();
   ft_->net().pin_flow_route(id, ecmp_path(ft_->net(), a, b, id));
-  tm.start_scda_flow(a, b, 500'000, 100e6, 100e6);
+  tm.start_scda_flow(a, b, 500'000, sim::BitRate{100e6}, sim::BitRate{100e6});
   sim_.run_until(scda::sim::secs(30.0));
   EXPECT_EQ(done, 1);
 }

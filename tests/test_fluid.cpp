@@ -21,7 +21,7 @@ namespace scda::transport {
 namespace {
 
 // 8 Mbps => 1e6 bytes/s: sizes in whole bytes give exact second marks.
-constexpr double kRate = 8e6;
+constexpr sim::BitRate kRate{8e6};
 constexpr double kDelay = 1e-3;
 
 class FluidEngineTest : public ::testing::Test {
@@ -82,12 +82,12 @@ TEST_F(FluidEngineTest, ZeroRateParksFlowUntilRevived) {
 
   // Park at t=0.5 s (half delivered), then idle across several would-be
   // completion times: the flow must not finish and must not advance.
-  sim_.post_at(sim::secs(0.5), [&] { engine_->set_rate(id, 0.0); });
+  sim_.post_at(sim::secs(0.5), [&] { engine_->set_rate(id, sim::BitRate{}); });
   sim_.run_until(sim::secs(20.0));
   ASSERT_TRUE(completed_.empty());
   ASSERT_TRUE(engine_->has_flow(id));
   EXPECT_NEAR(static_cast<double>(engine_->delivered_bytes(id)), 500'000, 1);
-  EXPECT_EQ(engine_->rate(id), 0.0);
+  EXPECT_EQ(engine_->rate(id).bps(), 0.0);
 
   // Revive: the remaining half takes another 0.5 s.
   sim_.post_at(sim::secs(20.0), [&] { engine_->set_rate(id, kRate); });
@@ -100,11 +100,12 @@ TEST_F(FluidEngineTest, ZeroRateParksFlowUntilRevived) {
 
 TEST_F(FluidEngineTest, RepeatedZeroRateEpochsAreStable) {
   const net::FlowId id = net::FlowId::from_index(0);
-  engine_->start(id, 1'000'000, 0.0, path());  // admitted parked
+  engine_->start(id, 1'000'000, sim::BitRate{}, path());  // admitted parked
 
   // Many zero-rate epochs in a row: no progress, no events, no underflow.
   sim::PeriodicProcess epochs(sim_, sim::secs(0.05), [&] {
-    engine_->rerate_all([](net::FlowId) { return 0.0; }, /*epoch=*/true);
+    engine_->rerate_all([](net::FlowId) { return sim::BitRate{}; },
+                        /*epoch=*/true);
   });
   epochs.start(sim::secs(0.05));
   sim_.run_until(sim::secs(2.0));

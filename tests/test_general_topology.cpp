@@ -21,9 +21,9 @@ net::LeafSpineConfig small_cfg() {
   cfg.n_leaves = 3;
   cfg.servers_per_leaf = 2;
   cfg.n_clients = 2;
-  cfg.server_bps = 100e6;
-  cfg.fabric_bps = 100e6;
-  cfg.gw_bps = 400e6;
+  cfg.server_bps = sim::BitRate{100e6};
+  cfg.fabric_bps = sim::BitRate{100e6};
+  cfg.gw_bps = sim::BitRate{400e6};
   return cfg;
 }
 
@@ -83,13 +83,13 @@ TEST(WidestPath, PicksLessLoadedSpine) {
   ASSERT_EQ(r.path.size(), 4u);
   // The second hop must be via spine 1 (spine 0's uplink is congested).
   EXPECT_EQ(ls.net().link(r.path[1]).to(), ls.spines()[1]);
-  EXPECT_NEAR(r.bottleneck_bps, 100e6, 1e6);
+  EXPECT_NEAR(r.bottleneck.bps(), 100e6, 1e6);
 }
 
 TEST(WidestPath, SrcEqualsDstIsEmpty) {
   sim::Simulator sim;
   net::LeafSpine ls(sim, small_cfg());
-  const auto rate = [](net::LinkId) { return 1.0; };
+  const auto rate = [](net::LinkId) { return sim::BitRate{1.0}; };
   const auto r = widest_path(ls.net(), ls.servers()[0], ls.servers()[0], rate);
   EXPECT_TRUE(r.path.empty());
 }
@@ -100,9 +100,10 @@ TEST(WidestPath, UnreachableReturnsEmpty) {
   const auto a = net.add_node(net::NodeRole::kOther, "a");
   const auto b = net.add_node(net::NodeRole::kOther, "b");
   net.build_routes();
-  const auto r = widest_path(net, a, b, [](net::LinkId) { return 1.0; });
+  const auto r = widest_path(net, a, b,
+                             [](net::LinkId) { return sim::BitRate{1.0}; });
   EXPECT_TRUE(r.path.empty());
-  EXPECT_DOUBLE_EQ(r.bottleneck_bps, 0.0);
+  EXPECT_DOUBLE_EQ(r.bottleneck.bps(), 0.0);
 }
 
 TEST(WidestPath, PrefersFewerHopsOnTies) {
@@ -111,11 +112,12 @@ TEST(WidestPath, PrefersFewerHopsOnTies) {
   const auto a = net.add_node(net::NodeRole::kOther, "a");
   const auto m = net.add_node(net::NodeRole::kOther, "m");
   const auto b = net.add_node(net::NodeRole::kOther, "b");
-  net.add_duplex(a, b, 100e6, 0.001, 1 << 20);   // direct
-  net.add_duplex(a, m, 100e6, 0.001, 1 << 20);   // detour, same width
-  net.add_duplex(m, b, 100e6, 0.001, 1 << 20);
+  net.add_duplex(a, b, sim::BitRate{100e6}, 0.001, 1 << 20);   // direct
+  net.add_duplex(a, m, sim::BitRate{100e6}, 0.001, 1 << 20);   // detour, same width
+  net.add_duplex(m, b, sim::BitRate{100e6}, 0.001, 1 << 20);
   net.build_routes();
-  const auto r = widest_path(net, a, b, [](net::LinkId) { return 50e6; });
+  const auto r = widest_path(net, a, b,
+                             [](net::LinkId) { return sim::BitRate{50e6}; });
   EXPECT_EQ(r.path.size(), 1u);
 }
 
@@ -132,7 +134,8 @@ TEST(RoutePinning, PinnedDataFollowsExplicitPath) {
   tm.set_completion_callback([&](const transport::FlowRecord&) { ++done; });
   const net::FlowId id = tm.next_flow_id();
   ls.net().pin_flow_route(id, via_spine1);
-  tm.start_scda_flow(ls.servers()[0], ls.servers()[5], 500'000, 50e6, 50e6);
+  tm.start_scda_flow(ls.servers()[0], ls.servers()[5], 500'000, sim::BitRate{50e6},
+                    sim::BitRate{50e6});
   sim.run_until(scda::sim::secs(30.0));
   EXPECT_EQ(done, 1);
   EXPECT_GT(ls.net().link(ls.leaf_to_spine(0, 1)).stats().tx_bytes, 400'000u);
@@ -177,8 +180,8 @@ TEST(GeneralTopologyAllocation, FairSharesOnLeafSpine) {
   alloc.register_flow_on_path(scda::net::FlowId{2}, {ls.server_uplink(1),
                                   ls.leaf_to_spine(0, 0)});
   for (int i = 0; i < 50; ++i) alloc.tick();
-  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 50e6, 1e5);
-  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}), 50e6, 1e5);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}).bps(), 50e6, 1e5);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}).bps(), 50e6, 1e5);
 }
 
 }  // namespace

@@ -16,7 +16,7 @@ class HierarchyTest : public ::testing::Test {
     cfg_.tors_per_agg = 2;
     cfg_.servers_per_tor = 2;
     cfg_.n_clients = 2;
-    cfg_.base_bps = 100e6;
+    cfg_.base_bps = sim::BitRate{100e6};
     cfg_.k_factor = 2.0;
     topo_ = std::make_unique<net::ThreeTierTree>(sim_, cfg_);
     params_.alpha = 1.0;
@@ -35,25 +35,26 @@ class HierarchyTest : public ::testing::Test {
 TEST_F(HierarchyTest, IdleNetworkValuesEqualLinkCapacityChainMin) {
   hier_->update();
   // All idle: server value at level 0 = 100M (access link rate).
-  EXPECT_DOUBLE_EQ(hier_->server_value_up(0, 0), 100e6);
+  EXPECT_DOUBLE_EQ(hier_->server_value_up(0, 0).bps(), 100e6);
   // Level 1 chain: min(100M, ToR uplink 100M) = 100M.
-  EXPECT_DOUBLE_EQ(hier_->server_value_up(0, 1), 100e6);
+  EXPECT_DOUBLE_EQ(hier_->server_value_up(0, 1).bps(), 100e6);
   // Level 2: agg uplink is 200M, min stays 100M.
-  EXPECT_DOUBLE_EQ(hier_->server_value_up(0, 2), 100e6);
+  EXPECT_DOUBLE_EQ(hier_->server_value_up(0, 2).bps(), 100e6);
   // Level 3: core uplink 600M, min stays 100M.
-  EXPECT_DOUBLE_EQ(hier_->server_value_up(0, 3), 100e6);
+  EXPECT_DOUBLE_EQ(hier_->server_value_up(0, 3).bps(), 100e6);
 }
 
 TEST_F(HierarchyTest, ROtherCapsServerValue) {
   hier_->set_r_other_provider([](std::size_t s) {
-    return s == 2 ? 30e6 : 1e9;  // server 2 disk-limited to 30M
+    // server 2 disk-limited to 30M
+    return sim::BitRate{s == 2 ? 30e6 : 1e9};
   });
   hier_->update();
-  EXPECT_DOUBLE_EQ(hier_->server_value_up(2, 0), 30e6);
-  EXPECT_DOUBLE_EQ(hier_->server_value_up(2, 3), 30e6);
-  EXPECT_DOUBLE_EQ(hier_->server_value_up(3, 0), 100e6);
-  EXPECT_DOUBLE_EQ(hier_->rm_rhat_up(2), 30e6);
-  EXPECT_DOUBLE_EQ(hier_->rm_rhat_down(2), 30e6);
+  EXPECT_DOUBLE_EQ(hier_->server_value_up(2, 0).bps(), 30e6);
+  EXPECT_DOUBLE_EQ(hier_->server_value_up(2, 3).bps(), 30e6);
+  EXPECT_DOUBLE_EQ(hier_->server_value_up(3, 0).bps(), 100e6);
+  EXPECT_DOUBLE_EQ(hier_->rm_rhat_up(2).bps(), 30e6);
+  EXPECT_DOUBLE_EQ(hier_->rm_rhat_down(2).bps(), 30e6);
 }
 
 TEST_F(HierarchyTest, BestServerPrefersUnloaded) {
@@ -65,19 +66,20 @@ TEST_F(HierarchyTest, BestServerPrefersUnloaded) {
   hier_->update();
   const BestServer b = hier_->best_server(SelectionMetric::kUp);
   EXPECT_NE(b.server, 0);
-  EXPECT_GT(b.value_bps,
-            hier_->server_value_up(0, kMaxLevel));
+  EXPECT_GT(b.value.bps(),
+            hier_->server_value_up(0, kMaxLevel).bps());
 }
 
 TEST_F(HierarchyTest, BestServerMinUpDownUsesWorseDirection) {
-  hier_->set_r_other_provider([](std::size_t) { return 1e9; });
+  hier_->set_r_other_provider(
+      [](std::size_t) { return sim::BitRate{1e9}; });
   // Load server 1's downlink only.
   for (net::FlowId f{1}; f <= net::FlowId{4}; ++f)
     alloc_->register_flow(f, topo_->clients()[0], topo_->servers()[1]);
   for (int i = 0; i < 50; ++i) alloc_->tick();
   hier_->update();
-  const double min_v = std::min(hier_->server_value_up(1, kMaxLevel),
-                                hier_->server_value_down(1, kMaxLevel));
+  const double min_v = std::min(hier_->server_value_up(1, kMaxLevel).bps(),
+                                hier_->server_value_down(1, kMaxLevel).bps());
   EXPECT_LT(min_v, 100e6);
   const BestServer b = hier_->best_server(SelectionMetric::kMinUpDown);
   EXPECT_NE(b.server, 1);
@@ -110,7 +112,9 @@ TEST_F(HierarchyTest, ReweightChangesWinner) {
   // Heavily penalize every server except 5.
   const BestServer b = hier_->best_server_filtered(
       SelectionMetric::kUp, kMaxLevel, nullptr,
-      [](std::size_t s, double v) { return s == 5 ? v : v / 1000.0; });
+      [](std::size_t s, sim::BitRate v) {
+        return s == 5 ? v : v / 1000.0;
+      });
   EXPECT_EQ(b.server, 5);
 }
 
@@ -121,9 +125,9 @@ TEST_F(HierarchyTest, RmLevelRatesAreMinOfChain) {
                           topo_->clients()[0]);
   for (int i = 0; i < 50; ++i) alloc_->tick();
   hier_->update();
-  const double l0 = hier_->rm_level_rate_up(0, 0);
-  const double l1 = hier_->rm_level_rate_up(0, 1);
-  const double l3 = hier_->rm_level_rate_up(0, 3);
+  const double l0 = hier_->rm_level_rate_up(0, 0).bps();
+  const double l1 = hier_->rm_level_rate_up(0, 1).bps();
+  const double l3 = hier_->rm_level_rate_up(0, 3).bps();
   EXPECT_LE(l1, l0);
   EXPECT_LE(l3, l1);
 }
@@ -131,9 +135,9 @@ TEST_F(HierarchyTest, RmLevelRatesAreMinOfChain) {
 TEST_F(HierarchyTest, SlaReportAttributesPerLevel) {
   // Oversubscribe one server downlink via reservations.
   alloc_->register_flow(scda::net::FlowId{1}, topo_->clients()[0],
-                        topo_->servers()[0], 1.0, 80e6);
+                        topo_->servers()[0], 1.0, sim::BitRate{80e6});
   alloc_->register_flow(scda::net::FlowId{2}, topo_->clients()[1],
-                        topo_->servers()[0], 1.0, 80e6);
+                        topo_->servers()[0], 1.0, sim::BitRate{80e6});
   for (int i = 0; i < 5; ++i) alloc_->tick();
   hier_->update();
   const SlaLevelReport rep = hier_->sla_report();

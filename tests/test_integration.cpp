@@ -104,11 +104,11 @@ TEST(Integration, MaxMinFairnessEmergesInLiveSimulation) {
   cloud.write(0, 2, util::megabytes(60));
   sim.run_until(scda::sim::secs(2.0));  // well past several control intervals
   ASSERT_EQ(cloud.allocator().active_flows(), 2u);
-  const double r1 = cloud.allocator().flow_rate(scda::net::FlowId{0});
-  const double r2 = cloud.allocator().flow_rate(scda::net::FlowId{1});
+  const double r1 = cloud.allocator().flow_rate(scda::net::FlowId{0}).bps();
+  const double r2 = cloud.allocator().flow_rate(scda::net::FlowId{1}).bps();
   ASSERT_GT(r1, 0);
   EXPECT_NEAR(r1 / r2, 1.0, 0.05);
-  const double cap = cfg.topology.base_bps * cfg.params.alpha;
+  const double cap = cfg.topology.base_bps.bps() * cfg.params.alpha;
   EXPECT_NEAR(r1 + r2, cap, 0.15 * cap);
 }
 
@@ -164,7 +164,7 @@ TEST(Integration, DormantPolicySavesEnergy) {
   const auto run = [](double rscale) {
     sim::Simulator sim(29);
     CloudConfig cfg = base_config();
-    cfg.params.rscale_bps = rscale;
+    cfg.params.rscale = sim::BitRate{rscale};
     Cloud cloud(sim, cfg);
     for (int i = 0; i < 8; ++i)
       cloud.write(static_cast<std::size_t>(i % 8), i + 1,
@@ -173,7 +173,7 @@ TEST(Integration, DormantPolicySavesEnergy) {
     return cloud.total_energy_j();
   };
   const double without = run(0.0);
-  const double with = run(util::mbps(150));
+  const double with = run(util::mbps(150).bps());
   EXPECT_LT(with, 0.95 * without);
 }
 

@@ -23,7 +23,7 @@ class LinkTest : public ::testing::Test {
 
 TEST_F(LinkTest, SinglePacketTimingIsTxPlusPropagation) {
   // 1500B wire @ 1 Mbps = 12 ms tx, plus 10 ms propagation.
-  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, 1e6, 0.010, 1 << 20);
+  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, sim::BitRate{1e6}, 0.010, 1 << 20);
   std::vector<double> arrivals;
   link.set_deliver([&](Packet&&) { arrivals.push_back(sim_.now().seconds()); });
   ASSERT_TRUE(link.enqueue(data_packet(1500 - kHeaderBytes)));
@@ -33,7 +33,7 @@ TEST_F(LinkTest, SinglePacketTimingIsTxPlusPropagation) {
 }
 
 TEST_F(LinkTest, BackToBackPacketsSerialize) {
-  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, 1e6, 0.010, 1 << 20);
+  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, sim::BitRate{1e6}, 0.010, 1 << 20);
   std::vector<double> arrivals;
   link.set_deliver([&](Packet&&) { arrivals.push_back(sim_.now().seconds()); });
   ASSERT_TRUE(link.enqueue(data_packet(1500 - kHeaderBytes)));
@@ -45,7 +45,7 @@ TEST_F(LinkTest, BackToBackPacketsSerialize) {
 
 TEST_F(LinkTest, DropTailWhenQueueFull) {
   // Queue fits exactly two 1500-byte packets.
-  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, 1e6, 0.001, 3000);
+  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, sim::BitRate{1e6}, 0.001, 3000);
   int delivered = 0;
   link.set_deliver([&](Packet&&) { ++delivered; });
   EXPECT_TRUE(link.enqueue(data_packet(1460)));
@@ -58,7 +58,7 @@ TEST_F(LinkTest, DropTailWhenQueueFull) {
 }
 
 TEST_F(LinkTest, QueueBytesReflectsOccupancy) {
-  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, 1e6, 0.001, 1 << 20);
+  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, sim::BitRate{1e6}, 0.001, 1 << 20);
   EXPECT_EQ(link.queue_bytes(), 0);
   ASSERT_TRUE(link.enqueue(data_packet(1460)));
   ASSERT_TRUE(link.enqueue(data_packet(1460)));
@@ -68,7 +68,7 @@ TEST_F(LinkTest, QueueBytesReflectsOccupancy) {
 }
 
 TEST_F(LinkTest, IntervalArrivalCounterIncludesDrops) {
-  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, 1e6, 0.001, 1500);
+  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, sim::BitRate{1e6}, 0.001, 1500);
   ASSERT_TRUE(link.enqueue(data_packet(1460)));
   EXPECT_FALSE(link.enqueue(data_packet(1460)));  // dropped but offered
   EXPECT_EQ(link.interval_arrived_bytes(), 3000);
@@ -77,7 +77,7 @@ TEST_F(LinkTest, IntervalArrivalCounterIncludesDrops) {
 }
 
 TEST_F(LinkTest, StatsAccumulateBytes) {
-  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, 1e6, 0.001, 1 << 20);
+  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, sim::BitRate{1e6}, 0.001, 1 << 20);
   link.set_deliver([](Packet&&) {});
   ASSERT_TRUE(link.enqueue(data_packet(1460)));
   sim_.run();
@@ -86,7 +86,7 @@ TEST_F(LinkTest, StatsAccumulateBytes) {
 }
 
 TEST_F(LinkTest, UtilizationMatchesTransmittedBits) {
-  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, 1e6, 0.0, 1 << 20);
+  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, sim::BitRate{1e6}, 0.0, 1 << 20);
   link.set_deliver([](Packet&&) {});
   // 10 packets * 1500 B = 120 kbit over 1 s at 1 Mbps -> 12% utilization
   for (int i = 0; i < 10; ++i) ASSERT_TRUE(link.enqueue(data_packet(1460)));
@@ -95,12 +95,12 @@ TEST_F(LinkTest, UtilizationMatchesTransmittedBits) {
 }
 
 TEST_F(LinkTest, CapacityChangeAffectsSubsequentPackets) {
-  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, 1e6, 0.0, 1 << 20);
+  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, sim::BitRate{1e6}, 0.0, 1 << 20);
   std::vector<double> arrivals;
   link.set_deliver([&](Packet&&) { arrivals.push_back(sim_.now().seconds()); });
   ASSERT_TRUE(link.enqueue(data_packet(1460)));
   sim_.run();
-  link.set_capacity_bps(2e6);  // reserve capacity switched in
+  link.set_capacity(sim::BitRate{2e6});  // reserve capacity switched in
   ASSERT_TRUE(link.enqueue(data_packet(1460)));
   sim_.run();
   ASSERT_EQ(arrivals.size(), 2u);
@@ -109,7 +109,7 @@ TEST_F(LinkTest, CapacityChangeAffectsSubsequentPackets) {
 }
 
 TEST_F(LinkTest, DeliveryPreservesPacketFields) {
-  Link link(sim_, LinkId{7}, NodeId{0}, NodeId{1}, 1e6, 0.001, 1 << 20);
+  Link link(sim_, LinkId{7}, NodeId{0}, NodeId{1}, sim::BitRate{1e6}, 0.001, 1 << 20);
   Packet got;
   link.set_deliver([&](Packet&& p) { got = p; });
   Packet p = make_data(scda::net::FlowId{42}, scda::net::NodeId{3},
@@ -171,8 +171,8 @@ TEST_F(LinkTest, AdversarialPropagationDelaysNeverThrow) {
   //
   // capacity chosen so tx time per 83-byte wire packet = 83*8/0.9e6 s
   // (a repeating binary fraction); prop delay 1/3e-4 likewise.
-  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, 0.9e6, 1.0 / 3.0 * 1e-4,
-            1 << 22);
+  Link link(sim_, LinkId{0}, NodeId{0}, NodeId{1}, sim::BitRate{0.9e6},
+            1.0 / 3.0 * 1e-4, 1 << 22);
   std::uint64_t delivered = 0;
   std::uint64_t sent = 0;
   const std::uint64_t kPackets = 50'000;

@@ -20,7 +20,7 @@ class LossyPath : public ::testing::TestWithParam<double> {
     net_ = std::make_unique<net::Network>(*sim_);
     a_ = net_->add_node(net::NodeRole::kClient, "a");
     b_ = net_->add_node(net::NodeRole::kServer, "b");
-    auto [ab, ba] = net_->add_duplex(a_, b_, 20e6, 0.005, 1 << 20);
+    auto [ab, ba] = net_->add_duplex(a_, b_, sim::BitRate{20e6}, 0.005, 1 << 20);
     net_->build_routes();
     // Lossy data direction; ACK path stays clean so the loss signal is
     // unambiguous (drop ACKs too in the Bidirectional test below).
@@ -49,7 +49,7 @@ TEST_P(LossyPath, TcpDeliversEverythingUnderLoss) {
 
 TEST_P(LossyPath, ScdaDeliversEverythingUnderLoss) {
   build(GetParam());
-  auto h = tm_->start_scda_flow(a_, b_, 600'000, 10e6, 10e6);
+  auto h = tm_->start_scda_flow(a_, b_, 600'000, sim::BitRate{10e6}, sim::BitRate{10e6});
   sim_->run_until(scda::sim::secs(300.0));
   ASSERT_EQ(completed_.size(), 1u);
   EXPECT_EQ(h.receiver->next_expected(), 600'000);
@@ -68,7 +68,7 @@ TEST(BidirectionalLoss, AckLossIsSurvivable) {
   net::Network net(sim);
   const auto a = net.add_node(net::NodeRole::kClient, "a");
   const auto b = net.add_node(net::NodeRole::kServer, "b");
-  auto [ab, ba] = net.add_duplex(a, b, 20e6, 0.005, 1 << 20);
+  auto [ab, ba] = net.add_duplex(a, b, sim::BitRate{20e6}, 0.005, 1 << 20);
   net.build_routes();
   net.link(ab).set_error_model(0.02, &sim.rng());
   net.link(ba).set_error_model(0.02, &sim.rng());  // ACKs dropped too
@@ -76,7 +76,7 @@ TEST(BidirectionalLoss, AckLossIsSurvivable) {
   int done = 0;
   tm.set_completion_callback([&](const transport::FlowRecord&) { ++done; });
   tm.start_tcp_flow(a, b, 300'000);
-  tm.start_scda_flow(a, b, 300'000, 8e6, 8e6);
+  tm.start_scda_flow(a, b, 300'000, sim::BitRate{8e6}, sim::BitRate{8e6});
   sim.run_until(scda::sim::secs(300.0));
   EXPECT_EQ(done, 2);
 }
@@ -90,7 +90,7 @@ TEST_P(ReassemblyFuzz, RandomOrderDuplicatesAndOverlaps) {
   net::Network net(sim);
   const auto a = net.add_node(net::NodeRole::kClient, "a");
   const auto b = net.add_node(net::NodeRole::kServer, "b");
-  net.add_duplex(a, b, 1e9, 0.0001, 1 << 24);
+  net.add_duplex(a, b, sim::BitRate{1e9}, 0.0001, 1 << 24);
   net.build_routes();
 
   constexpr std::int64_t kSize = 200'000;

@@ -33,14 +33,14 @@ TEST_P(MaxMinOracle, AllocatorMatchesWaterFilling) {
   tc.tors_per_agg = 2;
   tc.servers_per_tor = static_cast<std::int32_t>(rng.uniform_int(2, 4));
   tc.n_clients = 6;
-  tc.base_bps = 100e6;
+  tc.base_bps = sim::BitRate{100e6};
   tc.k_factor = rng.uniform(1.0, 3.0);
   net::ThreeTierTree topo(sim, tc);
 
   ScdaParams params;
   params.alpha = 1.0;  // gamma == capacity with empty queues
   params.beta = 0.5;
-  params.min_rate_bps = 1.0;
+  params.min_rate = sim::BitRate{1.0};
   RateAllocator alloc(topo.net(), params);
 
   // Random flow set: client<->server pairs, random directions and weights.
@@ -63,18 +63,18 @@ TEST_P(MaxMinOracle, AllocatorMatchesWaterFilling) {
   }
 
   // Oracle capacities (alpha * C, no queues in a traffic-free network).
-  std::map<net::LinkId, double> capacity;
+  std::map<net::LinkId, sim::BitRate> capacity;
   for (const auto& f : flows)
     for (const auto l : f.path)
-      capacity[l] = topo.net().link(l).capacity_bps();
+      capacity[l] = topo.net().link(l).capacity();
 
   water_fill(flows, capacity);
 
   for (int i = 0; i < 400; ++i) alloc.tick();
 
   for (std::size_t f = 0; f < n_flows; ++f) {
-    const double got = alloc.flow_rate(net::FlowId::from_index(f));
-    const double want = flows[f].rate_bps;
+    const double got = alloc.flow_rate(net::FlowId::from_index(f)).bps();
+    const double want = flows[f].rate.bps();
     ASSERT_GT(want, 0) << "oracle failed to freeze flow " << f;
     EXPECT_NEAR(got / want, 1.0, 0.03)
         << "flow " << f << " weight " << flows[f].weight << " got "

@@ -17,8 +17,8 @@ using transport::ContentClass;
 
 TEST(Units, ConversionsAreExact) {
   static_assert(util::milliseconds(10) == 0.01);
-  static_assert(util::mbps(500) == 500e6);
-  static_assert(util::gbps(1.5) == 1.5e9);
+  static_assert(util::mbps(500).bps() == 500e6);
+  static_assert(util::gbps(1.5).bps() == 1.5e9);
   EXPECT_EQ(util::megabytes(8), 8'000'000);
   EXPECT_EQ(util::kilobytes(2.5), 2'500);
   EXPECT_DOUBLE_EQ(util::bits_of_bytes(1000), 8000.0);
@@ -34,7 +34,7 @@ TEST(HierarchyLevels, LowerLevelIgnoresCoreCongestion) {
   tc.tors_per_agg = 2;
   tc.servers_per_tor = 2;
   tc.n_clients = 2;
-  tc.base_bps = 100e6;
+  tc.base_bps = sim::BitRate{100e6};
   tc.core_gw_mult = 1.0;  // make the core-gw link the tight spot
   net::ThreeTierTree topo(sim, tc);
   core::ScdaParams params;
@@ -51,11 +51,11 @@ TEST(HierarchyLevels, LowerLevelIgnoresCoreCongestion) {
 
   // At level 3 every server's uplink value is capped by the core link;
   // at level 0 the access links still advertise their full rate.
-  EXPECT_LT(hier.server_value_up(0, 3), 40e6);
-  EXPECT_GT(hier.server_value_up(0, 0), 80e6);
+  EXPECT_LT(hier.server_value_up(0, 3).bps(), 40e6);
+  EXPECT_GT(hier.server_value_up(0, 0).bps(), 80e6);
   const core::BestServer lvl0 =
       hier.best_server(core::SelectionMetric::kUp, /*level=*/0);
-  EXPECT_GT(lvl0.value_bps, 80e6);
+  EXPECT_GT(lvl0.value.bps(), 80e6);
 }
 
 // --- cloud append edge cases -------------------------------------------------
@@ -135,7 +135,7 @@ TEST(SjfWithLoss, FlowsCompleteWithBothFeaturesActive) {
   net::Network net(sim);
   const auto a = net.add_node(net::NodeRole::kClient, "a");
   const auto b = net.add_node(net::NodeRole::kServer, "b");
-  auto [ab, ba] = net.add_duplex(a, b, 20e6, 0.005, 64 * 1500);
+  auto [ab, ba] = net.add_duplex(a, b, sim::BitRate{20e6}, 0.005, 64 * 1500);
   (void)ba;
   net.build_routes();
   net.link(ab).set_discipline(net::QueueDiscipline::kSjf);
@@ -145,7 +145,7 @@ TEST(SjfWithLoss, FlowsCompleteWithBothFeaturesActive) {
   tm.set_completion_callback([&](const transport::FlowRecord&) { ++done; });
   tm.start_tcp_flow(a, b, 2'000'000);
   tm.start_tcp_flow(a, b, 100'000);
-  tm.start_scda_flow(a, b, 500'000, 5e6, 5e6);
+  tm.start_scda_flow(a, b, 500'000, sim::BitRate{5e6}, sim::BitRate{5e6});
   sim.run_until(scda::sim::secs(300.0));
   EXPECT_EQ(done, 3);
 }

@@ -17,7 +17,7 @@ class NetworkTest : public ::testing::Test {
       ids_.push_back(net_.add_node(NodeRole::kOther,
                                    std::string("n") + std::to_string(i)));
     for (int i = 0; i < 3; ++i)
-      net_.add_duplex(ids_[i], ids_[i + 1], 1e6, 0.001, 1 << 20);
+      net_.add_duplex(ids_[i], ids_[i + 1], sim::BitRate{1e6}, 0.001, 1 << 20);
     net_.build_routes();
   }
 
@@ -36,21 +36,21 @@ TEST_F(NetworkTest, AddNodeAssignsSequentialIds) {
 
 TEST_F(NetworkTest, SelfLoopRejected) {
   const auto a = net_.add_node(NodeRole::kOther, "a");
-  EXPECT_THROW(net_.add_link(a, a, 1e6, 0.001, 1000),
+  EXPECT_THROW(net_.add_link(a, a, sim::BitRate{1e6}, 0.001, 1000),
                std::invalid_argument);
 }
 
 TEST_F(NetworkTest, BadCapacityRejected) {
   const auto a = net_.add_node(NodeRole::kOther, "a");
   const auto b = net_.add_node(NodeRole::kOther, "b");
-  EXPECT_THROW(net_.add_link(a, b, 0.0, 0.001, 1000),
+  EXPECT_THROW(net_.add_link(a, b, sim::BitRate{0.0}, 0.001, 1000),
                std::invalid_argument);
 }
 
 TEST_F(NetworkTest, DuplexCreatesBothDirections) {
   const auto a = net_.add_node(NodeRole::kOther, "a");
   const auto b = net_.add_node(NodeRole::kOther, "b");
-  auto [ab, ba] = net_.add_duplex(a, b, 1e6, 0.001, 1000);
+  auto [ab, ba] = net_.add_duplex(a, b, sim::BitRate{1e6}, 0.001, 1000);
   EXPECT_EQ(net_.link(ab).from(), a);
   EXPECT_EQ(net_.link(ab).to(), b);
   EXPECT_EQ(net_.link(ba).from(), b);
@@ -78,7 +78,7 @@ TEST_F(NetworkTest, UnreachableDestinationThrows) {
   const auto a = net_.add_node(NodeRole::kOther, "a");
   const auto b = net_.add_node(NodeRole::kOther, "b");
   const auto c = net_.add_node(NodeRole::kOther, "c");
-  net_.add_duplex(a, b, 1e6, 0.001, 1000);
+  net_.add_duplex(a, b, sim::BitRate{1e6}, 0.001, 1000);
   net_.build_routes();
   EXPECT_THROW((void)net_.path(a, c), std::runtime_error);
 }
@@ -86,7 +86,7 @@ TEST_F(NetworkTest, UnreachableDestinationThrows) {
 TEST_F(NetworkTest, MutationAfterRoutesBuiltThrows) {
   build_line();
   EXPECT_THROW(net_.add_node(NodeRole::kOther, "x"), std::logic_error);
-  EXPECT_THROW(net_.add_link(ids_[0], ids_[2], 1e6, 0.001, 1000),
+  EXPECT_THROW(net_.add_link(ids_[0], ids_[2], sim::BitRate{1e6}, 0.001, 1000),
                std::logic_error);
 }
 
@@ -121,11 +121,11 @@ TEST_F(NetworkTest, ShortestPathChosenOverLonger) {
   const auto b = net_.add_node(NodeRole::kOther, "b");
   const auto c = net_.add_node(NodeRole::kOther, "c");
   const auto d = net_.add_node(NodeRole::kOther, "d");
-  net_.add_duplex(a, b, 1e6, 0.001, 1000);
-  net_.add_duplex(b, d, 1e6, 0.001, 1000);
-  net_.add_duplex(a, c, 1e6, 0.001, 1000);
-  net_.add_duplex(c, d, 1e6, 0.001, 1000);
-  net_.add_duplex(a, d, 1e6, 0.001, 1000);
+  net_.add_duplex(a, b, sim::BitRate{1e6}, 0.001, 1000);
+  net_.add_duplex(b, d, sim::BitRate{1e6}, 0.001, 1000);
+  net_.add_duplex(a, c, sim::BitRate{1e6}, 0.001, 1000);
+  net_.add_duplex(c, d, sim::BitRate{1e6}, 0.001, 1000);
+  net_.add_duplex(a, d, sim::BitRate{1e6}, 0.001, 1000);
   net_.build_routes();
   EXPECT_EQ(net_.path(a, d).size(), 1u);
 }

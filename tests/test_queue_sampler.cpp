@@ -14,7 +14,7 @@ TEST(QueueSampler, MeasuresStandingQueue) {
   net::Network net(sim);
   const auto a = net.add_node(net::NodeRole::kClient, "a");
   const auto b = net.add_node(net::NodeRole::kServer, "b");
-  auto [ab, ba] = net.add_duplex(a, b, 1e6, 0.001, 1 << 20);
+  auto [ab, ba] = net.add_duplex(a, b, sim::BitRate{1e6}, 0.001, 1 << 20);
   (void)ba;
   net.build_routes();
 
@@ -36,7 +36,7 @@ TEST(QueueSampler, IdleLinkShowsZero) {
   net::Network net(sim);
   const auto a = net.add_node(net::NodeRole::kClient, "a");
   const auto b = net.add_node(net::NodeRole::kServer, "b");
-  auto [ab, ba] = net.add_duplex(a, b, 1e6, 0.001, 1 << 20);
+  auto [ab, ba] = net.add_duplex(a, b, sim::BitRate{1e6}, 0.001, 1 << 20);
   (void)ba;
   net.build_routes();
   QueueSampler sampler(sim, net, {ab}, 0.01);

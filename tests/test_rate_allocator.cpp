@@ -19,8 +19,8 @@ class RateAllocatorTest : public ::testing::Test {
     a_ = net_.add_node(net::NodeRole::kClient, "a");
     m_ = net_.add_node(net::NodeRole::kOther, "m");
     b_ = net_.add_node(net::NodeRole::kServer, "b");
-    auto [am, ma] = net_.add_duplex(a_, m_, 100e6, 0.001, 1 << 20);
-    auto [mb, bm] = net_.add_duplex(m_, b_, 50e6, 0.001, 1 << 20);
+    auto [am, ma] = net_.add_duplex(a_, m_, sim::BitRate{100e6}, 0.001, 1 << 20);
+    auto [mb, bm] = net_.add_duplex(m_, b_, sim::BitRate{50e6}, 0.001, 1 << 20);
     am_ = am;
     mb_ = mb;
     (void)ma;
@@ -45,23 +45,23 @@ class RateAllocatorTest : public ::testing::Test {
 
 TEST_F(RateAllocatorTest, IdleLinksOfferFullEffectiveCapacity) {
   auto alloc = make();
-  EXPECT_DOUBLE_EQ(alloc.link_rate(am_), 100e6);
-  EXPECT_DOUBLE_EQ(alloc.link_rate(mb_), 50e6);
+  EXPECT_DOUBLE_EQ(alloc.link_rate(am_).bps(), 100e6);
+  EXPECT_DOUBLE_EQ(alloc.link_rate(mb_).bps(), 50e6);
   settle(alloc);
-  EXPECT_DOUBLE_EQ(alloc.link_rate(am_), 100e6);
+  EXPECT_DOUBLE_EQ(alloc.link_rate(am_).bps(), 100e6);
 }
 
 TEST_F(RateAllocatorTest, PathRateIsBottleneckMin) {
   auto alloc = make();
-  EXPECT_DOUBLE_EQ(alloc.path_rate(a_, b_), 50e6);
-  EXPECT_DOUBLE_EQ(alloc.path_rate(a_, m_), 100e6);
+  EXPECT_DOUBLE_EQ(alloc.path_rate(a_, b_).bps(), 50e6);
+  EXPECT_DOUBLE_EQ(alloc.path_rate(a_, m_).bps(), 100e6);
 }
 
 TEST_F(RateAllocatorTest, SingleFlowGetsBottleneckCapacity) {
   auto alloc = make();
   alloc.register_flow(scda::net::FlowId{1}, a_, b_);
   settle(alloc);
-  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 50e6, 1e3);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}).bps(), 50e6, 1e3);
 }
 
 TEST_F(RateAllocatorTest, EqualFlowsShareEqually) {
@@ -71,7 +71,7 @@ TEST_F(RateAllocatorTest, EqualFlowsShareEqually) {
   }
   settle(alloc);
   for (net::FlowId f{1}; f <= net::FlowId{4}; ++f)
-    EXPECT_NEAR(alloc.flow_rate(f), 50e6 / 4, 1e3) << "flow " << f.value();
+    EXPECT_NEAR(alloc.flow_rate(f).bps(), 50e6 / 4, 1e3) << "flow " << f.value();
 }
 
 TEST_F(RateAllocatorTest, MaxMinFairnessAcrossHeterogeneousPaths) {
@@ -84,8 +84,8 @@ TEST_F(RateAllocatorTest, MaxMinFairnessAcrossHeterogeneousPaths) {
     alloc.register_flow(f, a_, m_);
   }
   settle(alloc, 200);
-  const double long_rate = alloc.flow_rate(scda::net::FlowId{1});
-  const double short_rate = alloc.flow_rate(scda::net::FlowId{2});
+  const double long_rate = alloc.flow_rate(scda::net::FlowId{1}).bps();
+  const double short_rate = alloc.flow_rate(scda::net::FlowId{2}).bps();
   // Weighted max-min fixed point: long flow limited by the 50M link but the
   // a->m link's fair share is 100/4 = 25M < 50M, so all four flows get 25M
   // ... unless the long flow is counted fractionally. With the long flow
@@ -94,7 +94,7 @@ TEST_F(RateAllocatorTest, MaxMinFairnessAcrossHeterogeneousPaths) {
   EXPECT_NEAR(short_rate, 25e6, 1e5);
   EXPECT_NEAR(long_rate, 25e6, 1e5);
   // Total on the shared link never exceeds capacity.
-  EXPECT_LE(alloc.link_rate_sum(am_), 100e6 * 1.001);
+  EXPECT_LE(alloc.link_rate_sum(am_).bps(), 100e6 * 1.001);
 }
 
 TEST_F(RateAllocatorTest, BottleneckedElsewhereFreesCapacity) {
@@ -104,8 +104,8 @@ TEST_F(RateAllocatorTest, BottleneckedElsewhereFreesCapacity) {
   alloc.register_flow(scda::net::FlowId{1}, a_, b_);
   alloc.register_flow(scda::net::FlowId{2}, a_, m_);
   settle(alloc, 200);
-  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 50e6, 5e5);
-  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}), 50e6, 5e5);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}).bps(), 50e6, 5e5);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}).bps(), 50e6, 5e5);
 }
 
 TEST_F(RateAllocatorTest, PriorityWeightsSkewShares) {
@@ -114,8 +114,8 @@ TEST_F(RateAllocatorTest, PriorityWeightsSkewShares) {
   alloc.register_flow(scda::net::FlowId{2}, a_, b_, /*priority=*/1.0);
   settle(alloc, 100);
   // Weighted fair: 3:1 split of 50M.
-  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 37.5e6, 5e5);
-  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}), 12.5e6, 5e5);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}).bps(), 37.5e6, 5e5);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}).bps(), 12.5e6, 5e5);
 }
 
 TEST_F(RateAllocatorTest, PriorityChangeTakesEffect) {
@@ -123,25 +123,25 @@ TEST_F(RateAllocatorTest, PriorityChangeTakesEffect) {
   alloc.register_flow(scda::net::FlowId{1}, a_, b_, 1.0);
   alloc.register_flow(scda::net::FlowId{2}, a_, b_, 1.0);
   settle(alloc, 50);
-  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 25e6, 5e5);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}).bps(), 25e6, 5e5);
   alloc.set_priority(scda::net::FlowId{1}, 4.0);
   EXPECT_DOUBLE_EQ(alloc.priority(scda::net::FlowId{1}), 4.0);
   settle(alloc, 100);
-  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 40e6, 5e5);
-  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}), 10e6, 5e5);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}).bps(), 40e6, 5e5);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}).bps(), 10e6, 5e5);
 }
 
 TEST_F(RateAllocatorTest, ReservationGuaranteesMinimumRate) {
   auto alloc = make();
   // 10 unit flows plus one with a 30M reservation on the 50M bottleneck.
-  alloc.register_flow(scda::net::FlowId{1}, a_, b_, 1.0, /*reserved_bps=*/30e6);
+  alloc.register_flow(scda::net::FlowId{1}, a_, b_, 1.0, /*reserved=*/sim::BitRate{30e6});
   for (net::FlowId f{2}; f <= net::FlowId{11}; ++f) {
     alloc.register_flow(f, a_, b_);
   }
   settle(alloc, 200);
-  EXPECT_GE(alloc.flow_rate(scda::net::FlowId{1}), 30e6);
+  EXPECT_GE(alloc.flow_rate(scda::net::FlowId{1}).bps(), 30e6);
   // Others share the remaining ~20M.
-  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}), 20e6 / 11.0, 5e5);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}).bps(), 20e6 / 11.0, 5e5);
 }
 
 TEST_F(RateAllocatorTest, UnregisterRestoresShares) {
@@ -149,12 +149,12 @@ TEST_F(RateAllocatorTest, UnregisterRestoresShares) {
   alloc.register_flow(scda::net::FlowId{1}, a_, b_);
   alloc.register_flow(scda::net::FlowId{2}, a_, b_);
   settle(alloc, 50);
-  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 25e6, 5e5);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}).bps(), 25e6, 5e5);
   alloc.unregister_flow(scda::net::FlowId{2});
   EXPECT_FALSE(alloc.has_flow(scda::net::FlowId{2}));
   settle(alloc, 50);
-  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 50e6, 5e5);
-  EXPECT_DOUBLE_EQ(alloc.flow_rate(scda::net::FlowId{2}), 0.0);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}).bps(), 50e6, 5e5);
+  EXPECT_DOUBLE_EQ(alloc.flow_rate(scda::net::FlowId{2}).bps(), 0.0);
 }
 
 TEST_F(RateAllocatorTest, DoubleRegistrationThrows) {
@@ -171,47 +171,47 @@ TEST_F(RateAllocatorTest, ImmediateFeedbackOnRegistration) {
   settle(alloc, 2);
   alloc.register_flow(scda::net::FlowId{1}, a_, b_);
   // first: the full bottleneck
-  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 50e6, 1e3);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}).bps(), 50e6, 1e3);
   alloc.register_flow(scda::net::FlowId{2}, a_, b_);
   // second: gamma/2
-  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}), 25e6, 1e3);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}).bps(), 25e6, 1e3);
   alloc.register_flow(scda::net::FlowId{3}, a_, b_);
   // third: gamma/3
-  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{3}), 50e6 / 3, 1e3);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{3}).bps(), 50e6 / 3, 1e3);
 }
 
 TEST_F(RateAllocatorTest, ProspectiveRateAnticipatesNewFlow) {
   auto alloc = make();
   settle(alloc, 2);
   // Idle link: a new flow would get the whole capacity.
-  EXPECT_NEAR(alloc.prospective_link_rate(mb_), 50e6, 1e3);
+  EXPECT_NEAR(alloc.prospective_link_rate(mb_).bps(), 50e6, 1e3);
   alloc.register_flow(scda::net::FlowId{1}, a_, b_);
   settle(alloc, 50);
   // link_rate still advertises the single flow's full share, but the
   // prospective rate halves — this is what route selection compares.
-  EXPECT_NEAR(alloc.link_rate(mb_), 50e6, 1e5);
-  EXPECT_NEAR(alloc.prospective_link_rate(mb_), 25e6, 1e5);
+  EXPECT_NEAR(alloc.link_rate(mb_).bps(), 50e6, 1e5);
+  EXPECT_NEAR(alloc.prospective_link_rate(mb_).bps(), 25e6, 1e5);
   // A heavier prospective flow sees a proportionally smaller share.
-  EXPECT_NEAR(alloc.prospective_link_rate(mb_, 3.0), 50e6 / 4, 1e5);
+  EXPECT_NEAR(alloc.prospective_link_rate(mb_, 3.0).bps(), 50e6 / 4, 1e5);
 }
 
 TEST_F(RateAllocatorTest, ROtherConstrainsFlowRate) {
   auto alloc = make();
-  alloc.register_flow(scda::net::FlowId{1}, a_, b_, 1.0, 0.0, /*send=*/nullptr,
-                      /*recv=*/[] { return 7e6; });
+  alloc.register_flow(scda::net::FlowId{1}, a_, b_, 1.0, sim::BitRate{}, /*send=*/nullptr,
+                      /*recv=*/[] { return sim::BitRate{7e6}; });
   settle(alloc);
-  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 7e6, 1e3);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}).bps(), 7e6, 1e3);
 }
 
 TEST_F(RateAllocatorTest, ROtherReleasedCapacityGoesToOthers) {
   auto alloc = make();
-  alloc.register_flow(scda::net::FlowId{1}, a_, b_, 1.0, 0.0, nullptr,
-                      [] { return 5e6; });
+  alloc.register_flow(scda::net::FlowId{1}, a_, b_, 1.0, sim::BitRate{}, nullptr,
+                      [] { return sim::BitRate{5e6}; });
   alloc.register_flow(scda::net::FlowId{2}, a_, b_);
   settle(alloc, 200);
-  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 5e6, 1e3);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}).bps(), 5e6, 1e3);
   // picks up the slack
-  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}), 45e6, 5e5);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{2}).bps(), 45e6, 5e5);
 }
 
 TEST_F(RateAllocatorTest, SlaViolationDetectedOnOversubscription) {
@@ -219,14 +219,14 @@ TEST_F(RateAllocatorTest, SlaViolationDetectedOnOversubscription) {
   std::uint64_t events = 0;
   net::LinkId last_link = net::kInvalidLink;
   alloc.set_sla_callback(
-      [&](net::LinkId l, double s, double g, sim::Time) {
+      [&](net::LinkId l, sim::BitRate s, sim::BitRate g, sim::Time) {
         ++events;
         last_link = l;
-        EXPECT_GT(s, g);
+        EXPECT_GT(s.bps(), g.bps());
       });
   // Reservations exceeding the bottleneck capacity guarantee violation.
-  alloc.register_flow(scda::net::FlowId{1}, a_, b_, 1.0, 40e6);
-  alloc.register_flow(scda::net::FlowId{2}, a_, b_, 1.0, 40e6);
+  alloc.register_flow(scda::net::FlowId{1}, a_, b_, 1.0, sim::BitRate{40e6});
+  alloc.register_flow(scda::net::FlowId{2}, a_, b_, 1.0, sim::BitRate{40e6});
   settle(alloc, 5);
   EXPECT_GT(events, 0u);
   EXPECT_GT(alloc.sla_violations(), 0u);
@@ -253,8 +253,8 @@ TEST_F(RateAllocatorTest, RatesStayNonNegativeAndBounded) {
   for (int i = 0; i < 100; ++i) {
     alloc.tick();
     for (net::FlowId f{1}; f <= net::FlowId{50}; ++f) {
-      EXPECT_GE(alloc.flow_rate(f), params_.min_rate_bps * 0.99);
-      EXPECT_LE(alloc.flow_rate(f), 100e6 * 3 + 1);
+      EXPECT_GE(alloc.flow_rate(f).bps(), params_.min_rate.bps() * 0.99);
+      EXPECT_LE(alloc.flow_rate(f).bps(), 100e6 * 3 + 1);
     }
   }
 }
@@ -288,17 +288,17 @@ TEST_F(RateAllocatorTest, OutputIndependentOfInsertionOrder) {
     for (const std::size_t i : order) {
       const Spec& s = specs[i];
       alloc.register_flow(net::FlowId{s.id}, a_, s.to_b ? b_ : m_, s.pri,
-                          s.res);
+                          sim::BitRate{s.res});
     }
     for (int t = 0; t < 40; ++t) alloc.tick();
     std::vector<double> out;
     for (const Spec& s : specs) {
-      out.push_back(alloc.flow_rate(net::FlowId{s.id}));
+      out.push_back(alloc.flow_rate(net::FlowId{s.id}).bps());
     }
-    out.push_back(alloc.link_rate(am_));
-    out.push_back(alloc.link_rate(mb_));
-    out.push_back(alloc.link_rate_sum(am_));
-    out.push_back(alloc.link_rate_sum(mb_));
+    out.push_back(alloc.link_rate(am_).bps());
+    out.push_back(alloc.link_rate(mb_).bps());
+    out.push_back(alloc.link_rate_sum(am_).bps());
+    out.push_back(alloc.link_rate_sum(mb_).bps());
     return out;
   };
 
@@ -330,7 +330,7 @@ TEST_F(RateAllocatorTest, SlotRecyclingSurvivesChurn) {
   EXPECT_EQ(alloc.active_flows(), 100u);
   EXPECT_FALSE(alloc.has_flow(net::FlowId{197}));
   EXPECT_TRUE(alloc.has_flow(net::FlowId{199}));
-  EXPECT_GT(alloc.flow_rate(net::FlowId{200}), 0.0);
+  EXPECT_GT(alloc.flow_rate(net::FlowId{200}).bps(), 0.0);
 }
 
 // --- metric-kind sweep: both variants converge on the basics ---------------
@@ -342,7 +342,7 @@ TEST_P(MetricKindSweep, SingleFlowGetsFullRateOnIdleNetwork) {
   net::Network net(sim);
   const auto a = net.add_node(net::NodeRole::kClient, "a");
   const auto b = net.add_node(net::NodeRole::kServer, "b");
-  net.add_duplex(a, b, 100e6, 0.001, 1 << 20);
+  net.add_duplex(a, b, sim::BitRate{100e6}, 0.001, 1 << 20);
   net.build_routes();
   ScdaParams p;
   p.alpha = 1.0;
@@ -351,7 +351,7 @@ TEST_P(MetricKindSweep, SingleFlowGetsFullRateOnIdleNetwork) {
   alloc.register_flow(scda::net::FlowId{1}, a, b);
   for (int i = 0; i < 20; ++i) alloc.tick();
   // With no measured traffic the simplified metric also reports gamma.
-  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}), 100e6, 1e6);
+  EXPECT_NEAR(alloc.flow_rate(scda::net::FlowId{1}).bps(), 100e6, 1e6);
 }
 
 INSTANTIATE_TEST_SUITE_P(Kinds, MetricKindSweep,

@@ -5,34 +5,42 @@
 namespace scda::core {
 namespace {
 
-constexpr double kMin = 12000.0;  // 1 MTU/s floor
+constexpr sim::BitRate kMin{12000.0};  // 1 MTU/s floor
+
+// Test-side shorthands: the metric API is dimension-checked, the expected
+// values below stay plain doubles.
+sim::BitRate R(double bps) { return sim::BitRate{bps}; }
+sim::BitCount Q(double bits) {
+  return sim::BitCount{static_cast<std::int64_t>(bits)};
+}
 
 TEST(EffectiveCapacity, NoQueueGivesAlphaC) {
-  EXPECT_DOUBLE_EQ(effective_capacity(100e6, 0, 0.05, 0.95, 0.5), 95e6);
+  EXPECT_DOUBLE_EQ(effective_capacity(R(100e6), Q(0), 0.05, 0.95, 0.5).bps(),
+                   95e6);
 }
 
 TEST(EffectiveCapacity, QueueTermDrainsInOneInterval) {
   // Q = 1 Mbit, tau = 0.05 -> drain rate 20 Mbps, weighted by beta.
-  const double g = effective_capacity(100e6, 1e6, 0.05, 1.0, 1.0);
-  EXPECT_DOUBLE_EQ(g, 100e6 - 20e6);
+  const sim::BitRate g = effective_capacity(R(100e6), Q(1e6), 0.05, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(g.bps(), 100e6 - 20e6);
 }
 
 TEST(EffectiveCapacity, CanGoNegativeUnderHugeQueue) {
-  EXPECT_LT(effective_capacity(10e6, 1e9, 0.05, 1.0, 1.0), 0.0);
+  EXPECT_LT(effective_capacity(R(10e6), Q(1e9), 0.05, 1.0, 1.0).bps(), 0.0);
 }
 
 TEST(EffectiveFlows, CountsFractionalFlows) {
   // Flow consuming half the advertised rate counts as half a flow (eq. 3).
-  EXPECT_DOUBLE_EQ(effective_flows(5e6, 10e6), 0.5);
-  EXPECT_DOUBLE_EQ(effective_flows(30e6, 10e6), 3.0);
+  EXPECT_DOUBLE_EQ(effective_flows(R(5e6), R(10e6)), 0.5);
+  EXPECT_DOUBLE_EQ(effective_flows(R(30e6), R(10e6)), 3.0);
 }
 
 TEST(EffectiveFlows, ZeroPrevRateYieldsZero) {
-  EXPECT_DOUBLE_EQ(effective_flows(5e6, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(effective_flows(R(5e6), R(0.0)), 0.0);
 }
 
 TEST(ExactRate, IdleLinkOffersFullEffectiveCapacity) {
-  EXPECT_DOUBLE_EQ(exact_rate(95e6, 0.0, 95e6, kMin), 95e6);
+  EXPECT_DOUBLE_EQ(exact_rate(R(95e6), R(0.0), R(95e6), kMin).bps(), 95e6);
 }
 
 TEST(ExactRate, EquilibriumIsFixedPoint) {
@@ -41,35 +49,36 @@ TEST(ExactRate, EquilibriumIsFixedPoint) {
   const double gamma = 90e6;
   const double n = 3;
   const double r = gamma / n;
-  EXPECT_NEAR(exact_rate(gamma, n * r, r, kMin), r, 1e-6);
+  EXPECT_NEAR(exact_rate(R(gamma), R(n * r), R(r), kMin).bps(), r, 1e-6);
 }
 
 TEST(ExactRate, ConvergesFromAbove) {
   const double gamma = 90e6;
-  double r = gamma;  // start: idle advertisement
-  for (int i = 0; i < 30; ++i) r = exact_rate(gamma, 3 * r, r, kMin);
-  EXPECT_NEAR(r, gamma / 3, 1.0);
+  sim::BitRate r{gamma};  // start: idle advertisement
+  for (int i = 0; i < 30; ++i) r = exact_rate(R(gamma), 3.0 * r, r, kMin);
+  EXPECT_NEAR(r.bps(), gamma / 3, 1.0);
 }
 
 TEST(ExactRate, ConvergesFromBelow) {
   const double gamma = 90e6;
-  double r = kMin;
-  for (int i = 0; i < 60; ++i) r = exact_rate(gamma, 2 * r, r, kMin);
-  EXPECT_NEAR(r, gamma / 2, 1.0);
+  sim::BitRate r = kMin;
+  for (int i = 0; i < 60; ++i) r = exact_rate(R(gamma), 2.0 * r, r, kMin);
+  EXPECT_NEAR(r.bps(), gamma / 2, 1.0);
 }
 
 TEST(ExactRate, ClampedToMinimum) {
   // Demand from 1000 effective flows on a small link.
-  const double r = exact_rate(1e6, 1000 * 1e6, 1e6, kMin);
-  EXPECT_DOUBLE_EQ(r, kMin);
+  const sim::BitRate r = exact_rate(R(1e6), R(1000 * 1e6), R(1e6), kMin);
+  EXPECT_DOUBLE_EQ(r.bps(), kMin.bps());
 }
 
 TEST(ExactRate, NeverExceedsEffectiveCapacity) {
-  EXPECT_LE(exact_rate(50e6, 1e3, 100e6, kMin), 50e6);
+  EXPECT_LE(exact_rate(R(50e6), R(1e3), R(100e6), kMin).bps(), 50e6);
 }
 
 TEST(SimplifiedRate, IdleLinkOffersFullEffectiveCapacity) {
-  EXPECT_DOUBLE_EQ(simplified_rate(95e6, 0.0, 0.05, 50e6, kMin), 95e6);
+  EXPECT_DOUBLE_EQ(simplified_rate(R(95e6), Q(0), 0.05, R(50e6), kMin).bps(),
+                   95e6);
 }
 
 TEST(SimplifiedRate, EquilibriumIsFixedPoint) {
@@ -77,29 +86,33 @@ TEST(SimplifiedRate, EquilibriumIsFixedPoint) {
   const double gamma = 80e6;
   const double r = 20e6;
   const double interval_bits = gamma * 0.05;  // Lambda = gamma
-  EXPECT_NEAR(simplified_rate(gamma, interval_bits, 0.05, r, kMin), r, 1e-6);
+  EXPECT_NEAR(simplified_rate(R(gamma), Q(interval_bits), 0.05, R(r),
+                              kMin).bps(),
+              r, 1e-6);
 }
 
 TEST(SimplifiedRate, OverloadReducesRate) {
   const double gamma = 80e6;
   const double r = 20e6;
   const double interval_bits = 2 * gamma * 0.05;  // Lambda = 2 gamma
-  EXPECT_NEAR(simplified_rate(gamma, interval_bits, 0.05, r, kMin), r / 2,
-              1e-6);
+  EXPECT_NEAR(simplified_rate(R(gamma), Q(interval_bits), 0.05, R(r),
+                              kMin).bps(),
+              r / 2, 1e-6);
 }
 
 TEST(SimplifiedRate, UnderloadRaisesRate) {
   const double gamma = 80e6;
   const double r = 20e6;
   const double interval_bits = 0.5 * gamma * 0.05;
-  EXPECT_NEAR(simplified_rate(gamma, interval_bits, 0.05, r, kMin), 2 * r,
-              1e-6);
+  EXPECT_NEAR(simplified_rate(R(gamma), Q(interval_bits), 0.05, R(r),
+                              kMin).bps(),
+              2 * r, 1e-6);
 }
 
 TEST(SlaViolated, TriggersAboveCapacity) {
-  EXPECT_TRUE(sla_violated(101e6, 100e6));
-  EXPECT_FALSE(sla_violated(99e6, 100e6));
-  EXPECT_FALSE(sla_violated(100e6, 100e6));
+  EXPECT_TRUE(sla_violated(R(101e6), R(100e6)));
+  EXPECT_FALSE(sla_violated(R(99e6), R(100e6)));
+  EXPECT_FALSE(sla_violated(R(100e6), R(100e6)));
 }
 
 // --- property sweep: the exact metric converges to gamma/n for any (n,
@@ -111,10 +124,11 @@ class ExactRateConvergence
 TEST_P(ExactRateConvergence, ReachesFairShare) {
   const int n = std::get<0>(GetParam());
   const double gamma = std::get<1>(GetParam());
-  double r = gamma;
+  sim::BitRate r{gamma};
   for (int i = 0; i < 100; ++i)
-    r = exact_rate(gamma, n * r, r, kMin);
-  EXPECT_NEAR(r, std::max(gamma / n, kMin), std::max(1.0, gamma * 1e-9));
+    r = exact_rate(R(gamma), static_cast<double>(n) * r, r, kMin);
+  EXPECT_NEAR(r.bps(), std::max(gamma / n, kMin.bps()),
+              std::max(1.0, gamma * 1e-9));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -131,12 +145,12 @@ TEST_P(SimplifiedRateStability, IterationConvergesToFairShare) {
   const double n = GetParam();
   const double gamma = 100e6;
   const double tau = 0.05;
-  double r = gamma;
+  sim::BitRate r{gamma};
   for (int i = 0; i < 200; ++i) {
-    const double lambda_bits = n * r * tau;
-    r = simplified_rate(gamma, lambda_bits, tau, r, kMin);
+    const double lambda_bits = n * r.bps() * tau;
+    r = simplified_rate(R(gamma), Q(lambda_bits), tau, r, kMin);
   }
-  EXPECT_NEAR(r, gamma / n, gamma * 1e-6);
+  EXPECT_NEAR(r.bps(), gamma / n, gamma * 1e-6);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, SimplifiedRateStability,

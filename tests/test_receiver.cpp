@@ -16,7 +16,7 @@ class ReceiverTest : public ::testing::Test {
   ReceiverTest() : net_(sim_) {
     a_ = net_.add_node(net::NodeRole::kClient, "a");
     b_ = net_.add_node(net::NodeRole::kServer, "b");
-    net_.add_duplex(a_, b_, 100e6, 0.001, 1 << 20);
+    net_.add_duplex(a_, b_, sim::BitRate{100e6}, 0.001, 1 << 20);
     net_.build_routes();
 
     rec_.id = net::FlowId{1};

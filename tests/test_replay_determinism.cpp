@@ -33,7 +33,7 @@ ReplayResult run_datacenter_once(core::PlacementPolicy placement,
   sim::Simulator sim(0x5cda2013ULL);
 
   core::CloudConfig cc;
-  cc.topology.base_bps = 500e6;
+  cc.topology.base_bps = sim::BitRate{500e6};
   cc.topology.k_factor = 1.0;
   cc.topology.n_agg = 4;
   cc.topology.tors_per_agg = 5;

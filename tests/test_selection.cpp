@@ -19,7 +19,7 @@ class SelectionTest : public ::testing::Test {
     cfg_.tors_per_agg = 2;
     cfg_.servers_per_tor = 2;  // 8 servers
     cfg_.n_clients = 4;
-    cfg_.base_bps = 100e6;
+    cfg_.base_bps = sim::BitRate{100e6};
     topo_ = std::make_unique<net::ThreeTierTree>(sim_, cfg_);
     params_.alpha = 1.0;
     alloc_ = std::make_unique<RateAllocator>(topo_->net(), params_);
@@ -114,7 +114,7 @@ TEST_F(SelectionTest, ReadReplicaSingleCandidate) {
 }
 
 TEST_F(SelectionTest, DormantServersReservedForPassiveReplicas) {
-  params_.rscale_bps = 50e6;  // enable the dormant policy
+  params_.rscale = sim::BitRate{50e6};  // enable the dormant policy
   // Load all servers except 7 below R_scale; server 7 stays idle (100M).
   for (std::size_t s = 0; s < 7; ++s) load_server(s, 2);
   auto sel = make(PlacementPolicy::kScda);
@@ -128,7 +128,7 @@ TEST_F(SelectionTest, DormantServersReservedForPassiveReplicas) {
 }
 
 TEST_F(SelectionTest, PassiveFallsBackWhenNoDormantCandidate) {
-  params_.rscale_bps = 1e3;  // nothing qualifies as dormant-eligible…
+  params_.rscale = sim::BitRate{1e3};  // nothing qualifies as dormant-eligible…
   // …because every uplink is far above 1 kbps, so active content has no
   // admissible server either; the fallback path must still pick one.
   auto sel = make(PlacementPolicy::kScda);

@@ -15,7 +15,7 @@ namespace {
 /// exercised end to end.
 class SenderTest : public ::testing::Test {
  protected:
-  static constexpr double kCap = 10e6;     // 10 Mbps
+  static constexpr sim::BitRate kCap{10e6};  // 10 Mbps
   static constexpr double kDelay = 0.005;  // 5 ms per direction
 
   SenderTest() { build(1 << 20); }
@@ -83,12 +83,13 @@ TEST_F(SenderTest, TcpThroughputApproachesCapacityOnCleanLink) {
   ASSERT_EQ(completed_.size(), 1u);
   const auto& rec = tm_->record(net::FlowId{0});
   const double rate = static_cast<double>(size) * 8 / rec.fct();
-  EXPECT_GT(rate, 0.5 * kCap);  // at least half capacity incl. slow start
+  EXPECT_GT(rate, 0.5 * kCap.bps());  // at least half capacity incl. slow start
 }
 
 TEST_F(SenderTest, ScdaFlowCompletesAtAllocatedRate) {
   const std::int64_t size = 1'000'000;
-  auto h = tm_->start_scda_flow(a_, b_, size, 8e6, 8e6);
+  auto h = tm_->start_scda_flow(a_, b_, size, sim::BitRate{8e6},
+                              sim::BitRate{8e6});
   sim_->run_until(scda::sim::secs(30.0));
   ASSERT_EQ(completed_.size(), 1u);
   const double fct = tm_->record(h.id).fct();
@@ -99,7 +100,8 @@ TEST_F(SenderTest, ScdaFlowCompletesAtAllocatedRate) {
 TEST_F(SenderTest, ScdaPacingSpacesPackets) {
   // At 1 Mbps a 1500 B packet takes 12 ms; with pacing the link queue
   // should never hold more than a couple of packets.
-  auto h = tm_->start_scda_flow(a_, b_, 200'000, 1e6, 1e6);
+  auto h = tm_->start_scda_flow(a_, b_, 200'000, sim::BitRate{1e6},
+                              sim::BitRate{1e6});
   (void)h;
   double max_queue = 0;
   const net::LinkId l = net_->link_between(a_, b_);
@@ -112,8 +114,9 @@ TEST_F(SenderTest, ScdaPacingSpacesPackets) {
 }
 
 TEST_F(SenderTest, ScdaRateIncreaseSpeedsUpTransfer) {
-  auto h = tm_->start_scda_flow(a_, b_, 2'000'000, 1e6, 1e7);
-  sim_->post_at(scda::sim::secs(0.5), [h] { h.sender->set_rate(9e6); });
+  auto h = tm_->start_scda_flow(a_, b_, 2'000'000, sim::BitRate{1e6},
+                              sim::BitRate{1e7});
+  sim_->post_at(scda::sim::secs(0.5), [h] { h.sender->set_rate(sim::BitRate{9e6}); });
   sim_->run_until(scda::sim::secs(30.0));
   ASSERT_EQ(completed_.size(), 1u);
   const double fct = tm_->record(h.id).fct();
@@ -122,8 +125,9 @@ TEST_F(SenderTest, ScdaRateIncreaseSpeedsUpTransfer) {
 }
 
 TEST_F(SenderTest, ScdaRateFloorPreventsStall) {
-  auto h = tm_->start_scda_flow(a_, b_, 30000, 1e6, 1e6);
-  h.sender->set_rate(0.0);  // floored internally, must not deadlock
+  auto h = tm_->start_scda_flow(a_, b_, 30000, sim::BitRate{1e6},
+                              sim::BitRate{1e6});
+  h.sender->set_rate(sim::BitRate{});  // floored internally, must not deadlock
   sim_->run_until(scda::sim::secs(60.0));
   EXPECT_EQ(completed_.size(), 1u);
 }
@@ -131,8 +135,9 @@ TEST_F(SenderTest, ScdaRateFloorPreventsStall) {
 TEST_F(SenderTest, ScdaRecoversFromBurstLossViaGoBackN) {
   build(4 * 1500);
   // Initial rate far above capacity: the first window overruns the queue.
-  auto h = tm_->start_scda_flow(a_, b_, 400'000, 50e6, 50e6);
-  sim_->post_at(scda::sim::secs(0.3), [h] { h.sender->set_rate(8e6); });
+  auto h = tm_->start_scda_flow(a_, b_, 400'000, sim::BitRate{50e6},
+                              sim::BitRate{50e6});
+  sim_->post_at(scda::sim::secs(0.3), [h] { h.sender->set_rate(sim::BitRate{8e6}); });
   sim_->run_until(scda::sim::secs(30.0));
   ASSERT_EQ(completed_.size(), 1u);
   EXPECT_GT(h.sender->stats().retransmits, 0u);
@@ -141,7 +146,8 @@ TEST_F(SenderTest, ScdaRecoversFromBurstLossViaGoBackN) {
 TEST_F(SenderTest, ReceiverWindowLimitsSender) {
   // rcvw of one segment on a 10 ms RTT path caps the rate at roughly
   // 1500 B per RTT ~ 150 KB/s, so 300 KB needs ~2 s.
-  auto h = tm_->start_scda_flow(a_, b_, 300'000, 10e6, 10e6);
+  auto h = tm_->start_scda_flow(a_, b_, 300'000, sim::BitRate{10e6},
+                              sim::BitRate{10e6});
   h.receiver->set_rcvw_bytes(1500);
   sim_->run_until(scda::sim::secs(1.0));
   EXPECT_FALSE(h.sender->fully_acked());

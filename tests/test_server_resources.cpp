@@ -8,26 +8,26 @@ namespace scda::core {
 namespace {
 
 TEST(ServerResources, ROtherIsMinOfCpuAndDisk) {
-  ServerResources r(10e9, 6e9);
-  EXPECT_DOUBLE_EQ(r.r_other_bps(), 6e9);
-  r.set_disk_bps(20e9);
-  EXPECT_DOUBLE_EQ(r.r_other_bps(), 10e9);
+  ServerResources r(sim::BitRate{10e9}, sim::BitRate{6e9});
+  EXPECT_DOUBLE_EQ(r.r_other().bps(), 6e9);
+  r.set_disk(sim::BitRate{20e9});
+  EXPECT_DOUBLE_EQ(r.r_other().bps(), 10e9);
 }
 
 TEST(ServerResources, BackgroundLoadReducesRate) {
-  ServerResources r(10e9, 10e9);
+  ServerResources r(sim::BitRate{10e9}, sim::BitRate{10e9});
   r.set_cpu_background(0.5);
-  EXPECT_DOUBLE_EQ(r.r_other_bps(), 5e9);
+  EXPECT_DOUBLE_EQ(r.r_other().bps(), 5e9);
   r.set_disk_background(0.9);
-  EXPECT_DOUBLE_EQ(r.r_other_bps(), 1e9);
+  EXPECT_DOUBLE_EQ(r.r_other().bps(), 1e9);
 }
 
 TEST(ServerResources, BackgroundClamped) {
-  ServerResources r(10e9, 10e9);
+  ServerResources r(sim::BitRate{10e9}, sim::BitRate{10e9});
   r.set_cpu_background(2.0);
-  EXPECT_DOUBLE_EQ(r.r_other_bps(), 0.0);
+  EXPECT_DOUBLE_EQ(r.r_other().bps(), 0.0);
   r.set_cpu_background(-1.0);
-  EXPECT_DOUBLE_EQ(r.r_other_bps(), 10e9);
+  EXPECT_DOUBLE_EQ(r.r_other().bps(), 10e9);
 }
 
 TEST(ServerResources, StorageReserveAndRelease) {

@@ -12,7 +12,8 @@ namespace {
 class SjfQueueTest : public ::testing::Test {
  protected:
   SjfQueueTest()
-      : link_(sim_, LinkId{0}, NodeId{0}, NodeId{1}, 1e6, 0.001, 1 << 20) {
+      : link_(sim_, LinkId{0}, NodeId{0}, NodeId{1}, sim::BitRate{1e6}, 0.001,
+              1 << 20) {
     link_.set_discipline(QueueDiscipline::kSjf);
     link_.set_deliver([this](Packet&& p) { order_.push_back(p.flow); });
   }
@@ -78,7 +79,7 @@ TEST(SjfEndToEnd, ShortTcpFlowFinishesFasterUnderSjf) {
     Network net(sim);
     const auto a = net.add_node(NodeRole::kClient, "a");
     const auto b = net.add_node(NodeRole::kServer, "b");
-    net.add_duplex(a, b, 20e6, 0.005, 64 * 1500);
+    net.add_duplex(a, b, sim::BitRate{20e6}, 0.005, 64 * 1500);
     net.build_routes();
     net.link(net.link_between(a, b)).set_discipline(d);
     transport::TransportManager tm(net);

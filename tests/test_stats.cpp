@@ -143,11 +143,11 @@ TEST(ThroughputSampler, SamplesDeltas) {
   net::Network net(sim);
   const auto a = net.add_node(net::NodeRole::kClient, "a");
   const auto b = net.add_node(net::NodeRole::kServer, "b");
-  net.add_duplex(a, b, 100e6, 0.001, 1 << 22);
+  net.add_duplex(a, b, sim::BitRate{100e6}, 0.001, 1 << 22);
   net.build_routes();
   transport::TransportManager tm(net);
   ThroughputSampler sampler(sim, tm, 0.5);
-  tm.start_scda_flow(a, b, 1'000'000, 50e6, 50e6);
+  tm.start_scda_flow(a, b, 1'000'000, sim::BitRate{50e6}, sim::BitRate{50e6});
   sim.run_until(scda::sim::secs(3.0));
   const auto& series = sampler.series();
   ASSERT_GE(series.size(), 5u);

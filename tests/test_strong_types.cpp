@@ -1,7 +1,9 @@
-// Unit tests for the strong value types (sim/types.h): typed ids and
-// simulation time. These lock the properties the tree-wide conversion
-// relies on — zero-cost layout, closed arithmetic, hashing, ordering,
-// and byte-stable %.9g formatting at the JSON emission boundary.
+// Unit tests for the strong value types (sim/types.h): typed ids,
+// simulation time and dimensioned quantities (BitRate / ByteCount /
+// BitCount). These lock the properties the tree-wide conversion relies
+// on — zero-cost layout, closed arithmetic, the cross-dimension algebra,
+// hashing, ordering, and byte-stable %.9g formatting at the JSON
+// emission boundary.
 #include "sim/types.h"
 
 #include <gtest/gtest.h>
@@ -197,6 +199,146 @@ TEST(StrongId, FormattingGoesThroughValue) {
   std::snprintf(buf, sizeof(buf), "%lld",
                 static_cast<long long>(net::FlowId{37}.value()));
   EXPECT_STREQ(buf, "37");
+}
+
+// --- Quantity<Unit, Rep> -----------------------------------------------------
+
+// Zero-cost layout, same contract as StrongId/SimTime.
+static_assert(sizeof(BitRate) == sizeof(double));
+static_assert(sizeof(ByteCount) == sizeof(std::int64_t));
+static_assert(sizeof(BitCount) == sizeof(std::int64_t));
+static_assert(std::is_trivially_copyable_v<BitRate>);
+static_assert(std::is_trivially_copyable_v<ByteCount>);
+
+// No implicit conversion in or out: a raw double cannot silently become a
+// rate, and a rate cannot silently decay back to a double.
+static_assert(!std::is_convertible_v<double, BitRate>);
+static_assert(!std::is_convertible_v<BitRate, double>);
+static_assert(!std::is_convertible_v<std::int64_t, ByteCount>);
+static_assert(!std::is_convertible_v<ByteCount, std::int64_t>);
+// Explicit construction from the representation is the entry point.
+static_assert(std::is_constructible_v<BitRate, double>);
+static_assert(std::is_constructible_v<ByteCount, std::int64_t>);
+
+// Dimensions do not mix: neither conversion nor construction crosses
+// BitRate/ByteCount/BitCount, in any direction.
+static_assert(!std::is_convertible_v<BitRate, ByteCount>);
+static_assert(!std::is_convertible_v<ByteCount, BitRate>);
+static_assert(!std::is_convertible_v<ByteCount, BitCount>);
+static_assert(!std::is_convertible_v<BitCount, ByteCount>);
+static_assert(!std::is_constructible_v<BitRate, ByteCount>);
+static_assert(!std::is_constructible_v<ByteCount, BitCount>);
+
+// Cross-dimension arithmetic and comparison do not compile except through
+// the named algebra (BitCount/BitRate -> SimTime etc.). Probed with
+// requires-expressions so the negative cases are compile-time checked
+// without committing ill-formed code.
+template <typename A, typename B>
+concept Addable = requires(A a, B b) { a + b; };
+template <typename A, typename B>
+concept LessComparable = requires(A a, B b) { a < b; };
+static_assert(Addable<BitRate, BitRate>);
+static_assert(!Addable<BitRate, ByteCount>);
+static_assert(!Addable<ByteCount, BitCount>);
+static_assert(!Addable<BitRate, double>);
+static_assert(LessComparable<ByteCount, ByteCount>);
+static_assert(!LessComparable<BitRate, ByteCount>);
+static_assert(!LessComparable<BitRate, double>);
+static_assert(!LessComparable<BitCount, std::int64_t>);
+
+// The algebra itself is constexpr: the allocator's MTU floor is a
+// compile-time constant built from a bit count.
+static_assert(per_second(bits(12'000)).bps() == 12'000.0);
+static_assert(bytes(1'500).bits().bits() == 12'000);
+static_assert((2.0 * bps(5e6) + bps(1e6)).bps() == 11e6);
+
+TEST(Quantity, ClosedArithmeticMatchesRawRepresentation) {
+  const BitRate a{30e6};
+  const BitRate b{20e6};
+  EXPECT_DOUBLE_EQ((a + b).bps(), 50e6);
+  EXPECT_DOUBLE_EQ((a - b).bps(), 10e6);
+  EXPECT_DOUBLE_EQ((-a).bps(), -30e6);
+  EXPECT_DOUBLE_EQ((a * 2.0).bps(), 60e6);
+  EXPECT_DOUBLE_EQ((0.5 * a).bps(), 15e6);
+  EXPECT_DOUBLE_EQ((a / 3.0).bps(), 1e7);
+  EXPECT_DOUBLE_EQ(a / b, 1.5);  // same-unit ratio is a scalar
+
+  BitRate acc{};
+  acc += a;
+  acc -= b;
+  EXPECT_DOUBLE_EQ(acc.bps(), 10e6);
+}
+
+TEST(Quantity, ByteCountAccumulatesExactly) {
+  // The reason counts carry an integer rep: summing per-packet sizes must
+  // be exact, not nearest-double. 2^53 would be the first double casualty;
+  // int64 byte totals stay exact to ~9.2 EB.
+  ByteCount total{};
+  const ByteCount mtu{1'500};
+  constexpr int kPackets = 10'000'000;
+  for (int i = 0; i < kPackets; ++i) total += mtu;
+  EXPECT_EQ(total.bytes(), std::int64_t{1'500} * kPackets);
+  for (int i = 0; i < kPackets; ++i) total -= mtu;
+  EXPECT_EQ(total.bytes(), 0);
+  EXPECT_TRUE(total == ByteCount::zero());
+  // bits() is the one sanctioned x8, and it is exact for any realistic
+  // size (overflow needs 2^60 bytes).
+  EXPECT_EQ(ByteCount{1'000'000'000'000}.bits().bits(),
+            std::int64_t{8'000'000'000'000});
+}
+
+TEST(Quantity, TransferTimeMatchesHandComputedSeconds) {
+  // ByteCount / BitRate must reproduce the exact double expression the
+  // transport layer wrote by hand (bytes * 8.0 / bps, then the nearest-ns
+  // rounding of SimTime::from_seconds).
+  const ByteCount frame{1'500};
+  const BitRate link{10e6};
+  EXPECT_EQ((frame / link).nanos(), secs(1'500 * 8.0 / 10e6).nanos());
+  EXPECT_EQ((frame / link).nanos(), 1'200'000);  // 1.2 ms on the nose
+
+  // BitCount / BitRate: queue drain at the allocator's granted rate.
+  EXPECT_EQ((bits(1'000'000) / BitRate{95e6}).nanos(),
+            secs(1e6 / 95e6).nanos());
+
+  // BitRate * SimTime: bits sent in one control interval, rounded to the
+  // nearest whole bit, ties away from zero.
+  EXPECT_EQ((BitRate{95e6} * secs(0.05)).bits(), 4'750'000);
+  EXPECT_EQ((secs(0.05) * BitRate{95e6}).bits(), 4'750'000);
+  EXPECT_EQ((BitRate{10.0} * secs(0.05)).bits(), 1);   // 0.5 rounds up
+  EXPECT_EQ((BitRate{-10.0} * secs(0.05)).bits(), -1);  // away from zero
+}
+
+TEST(Quantity, OrderingWithinDimension) {
+  EXPECT_TRUE(BitRate{1e6} < BitRate{2e6});
+  EXPECT_TRUE(BitRate{2e6} >= BitRate{2e6});
+  EXPECT_TRUE(ByteCount{5} != ByteCount{6});
+  EXPECT_TRUE(bits(8) == bytes(1).bits());
+  EXPECT_TRUE(BitRate{} == BitRate::zero());
+}
+
+TEST(Quantity, HashMatchesRepHashAndWorksInUnorderedContainers) {
+  EXPECT_EQ(std::hash<ByteCount>{}(bytes(42)),
+            std::hash<std::int64_t>{}(std::int64_t{42}));
+  EXPECT_EQ(std::hash<BitRate>{}(bps(5e6)), std::hash<double>{}(5e6));
+  std::unordered_set<ByteCount> sizes{bytes(100), bytes(100), bytes(200)};
+  EXPECT_EQ(sizes.size(), 2u);
+}
+
+TEST(Quantity, Format9gIsByteStableAcrossTheWrap) {
+  // Every JSON/stats emitter prints rates as %.9g of .bps(); wrapping a
+  // double in BitRate and unwrapping must be the identity, so committed
+  // artifacts stay byte-identical. Representative values from the
+  // figures: allocator grants, link capacities, the MTU floor.
+  const double samples[] = {0.0,    12'000.0, 95e6, 100e6,       1.5e9,
+                            31.4e6, 1e6 / 3.0, 5e-3, 123456789.5, -1.0};
+  for (const double v : samples) {
+    EXPECT_EQ(fmt9g(BitRate{v}.bps()), fmt9g(v)) << "sample " << v;
+  }
+  // Exact counts print through the integer rep with integer formats.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld",
+                static_cast<long long>(bytes(1'500).bytes()));
+  EXPECT_STREQ(buf, "1500");
 }
 
 }  // namespace

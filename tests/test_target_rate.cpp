@@ -18,7 +18,7 @@ class TargetRateTest : public ::testing::Test {
   TargetRateTest() : net_(sim_) {
     a_ = net_.add_node(net::NodeRole::kClient, "a");
     b_ = net_.add_node(net::NodeRole::kServer, "b");
-    net_.add_duplex(a_, b_, 100e6, 0.001, 1 << 20);
+    net_.add_duplex(a_, b_, sim::BitRate{100e6}, 0.001, 1 << 20);
     net_.build_routes();
     params_.alpha = 1.0;
     alloc_ = std::make_unique<RateAllocator>(net_, params_);
@@ -49,23 +49,23 @@ TEST_F(TargetRateTest, FlowReachesFixedTargetUnderContention) {
   for (net::FlowId f{1}; f <= net::FlowId{4}; ++f) {
     alloc_->register_flow(f, a_, b_);
   }
-  ctrl_->set_target_rate(scda::net::FlowId{1}, 60e6);
+  ctrl_->set_target_rate(scda::net::FlowId{1}, sim::BitRate{60e6});
   settle(200);
-  EXPECT_NEAR(alloc_->flow_rate(scda::net::FlowId{1}), 60e6, 3e6);
+  EXPECT_NEAR(alloc_->flow_rate(scda::net::FlowId{1}).bps(), 60e6, 3e6);
   // The rest share the remainder equally.
-  EXPECT_NEAR(alloc_->flow_rate(scda::net::FlowId{2}), 40e6 / 3, 2e6);
+  EXPECT_NEAR(alloc_->flow_rate(scda::net::FlowId{2}).bps(), 40e6 / 3, 2e6);
 }
 
 TEST_F(TargetRateTest, InfeasibleTargetIsClampedNotDivergent) {
   for (net::FlowId f{1}; f <= net::FlowId{3}; ++f) {
     alloc_->register_flow(f, a_, b_);
   }
-  ctrl_->set_target_rate(scda::net::FlowId{1}, 500e6);  // above link capacity
+  ctrl_->set_target_rate(scda::net::FlowId{1}, sim::BitRate{500e6});  // above link capacity
   settle(300);
   // Priority is clamped; the flow gets the max-weight share, others the
   // floor share — and the allocator stays finite and positive.
-  EXPECT_GT(alloc_->flow_rate(scda::net::FlowId{1}), 50e6);
-  EXPECT_GT(alloc_->flow_rate(scda::net::FlowId{2}), 0.0);
+  EXPECT_GT(alloc_->flow_rate(scda::net::FlowId{1}).bps(), 50e6);
+  EXPECT_GT(alloc_->flow_rate(scda::net::FlowId{2}).bps(), 0.0);
   EXPECT_LE(alloc_->priority(scda::net::FlowId{1}),
             TargetRateController::kMaxPriority);
 }
@@ -73,19 +73,19 @@ TEST_F(TargetRateTest, InfeasibleTargetIsClampedNotDivergent) {
 TEST_F(TargetRateTest, ClearStopsAdjusting) {
   alloc_->register_flow(scda::net::FlowId{1}, a_, b_);
   alloc_->register_flow(scda::net::FlowId{2}, a_, b_);
-  ctrl_->set_target_rate(scda::net::FlowId{1}, 80e6);
+  ctrl_->set_target_rate(scda::net::FlowId{1}, sim::BitRate{80e6});
   settle(100);
-  EXPECT_GT(alloc_->flow_rate(scda::net::FlowId{1}), 70e6);
+  EXPECT_GT(alloc_->flow_rate(scda::net::FlowId{1}).bps(), 70e6);
   ctrl_->clear(scda::net::FlowId{1});
   EXPECT_FALSE(ctrl_->has_target(scda::net::FlowId{1}));
   alloc_->set_priority(scda::net::FlowId{1}, 1.0);
   settle(100);
-  EXPECT_NEAR(alloc_->flow_rate(scda::net::FlowId{1}), 50e6, 2e6);
+  EXPECT_NEAR(alloc_->flow_rate(scda::net::FlowId{1}).bps(), 50e6, 2e6);
 }
 
 TEST_F(TargetRateTest, UnregisteredFlowsAreDropped) {
   alloc_->register_flow(scda::net::FlowId{1}, a_, b_);
-  ctrl_->set_target_rate(scda::net::FlowId{1}, 50e6);
+  ctrl_->set_target_rate(scda::net::FlowId{1}, sim::BitRate{50e6});
   EXPECT_EQ(ctrl_->active(), 1u);
   alloc_->unregister_flow(scda::net::FlowId{1});
   settle(1);

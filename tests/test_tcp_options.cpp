@@ -17,7 +17,7 @@ struct Rig {
     net_ = std::make_unique<net::Network>(*sim_);
     a_ = net_->add_node(net::NodeRole::kClient, "a");
     b_ = net_->add_node(net::NodeRole::kServer, "b");
-    auto [ab, ba] = net_->add_duplex(a_, b_, 10e6, 0.005, 1 << 20);
+    auto [ab, ba] = net_->add_duplex(a_, b_, sim::BitRate{10e6}, 0.005, 1 << 20);
     ab_ = ab;
     ba_ = ba;
     net_->build_routes();
@@ -105,7 +105,7 @@ TEST_F(TcpOptionsTest, ScdaFlowsUnaffectedByTcpConfig) {
   TransportManager::TcpConfig c;
   c.delayed_ack = true;
   tm_->set_tcp_config(c);
-  auto h = tm_->start_scda_flow(a_, b_, 500'000, 8e6, 8e6);
+  auto h = tm_->start_scda_flow(a_, b_, 500'000, sim::BitRate{8e6}, sim::BitRate{8e6});
   sim_->run_until(scda::sim::secs(10.0));
   EXPECT_EQ(completed_.size(), 1u);
   (void)h;

@@ -38,7 +38,7 @@ TEST_F(TopologyTest, ShapeCounts) {
 
 TEST_F(TopologyTest, CapacitiesFollowFigure6) {
   ThreeTierTree t(sim_, cfg_);
-  const double x = cfg_.base_bps;
+  const double x = cfg_.base_bps.bps();
   EXPECT_DOUBLE_EQ(t.net().link(t.server_uplink(0)).capacity_bps(), x);
   EXPECT_DOUBLE_EQ(t.net().link(t.tor_uplink(0)).capacity_bps(), x);
   EXPECT_DOUBLE_EQ(t.net().link(t.agg_uplink(0)).capacity_bps(), 3.0 * x);
@@ -109,7 +109,7 @@ TEST_F(TopologyTest, CrossAggPathGoesThroughCore) {
 TEST_F(TopologyTest, DefaultConfigMatchesPaperScale) {
   TopologyConfig def;
   EXPECT_EQ(def.n_servers(), 160);  // ~163 leaves in paper figure 6
-  EXPECT_DOUBLE_EQ(def.base_bps, 500e6);
+  EXPECT_DOUBLE_EQ(def.base_bps.bps(), 500e6);
   EXPECT_DOUBLE_EQ(def.core_gw_mult, 6.0);
   EXPECT_DOUBLE_EQ(def.wan_delay_s, 50e-3);
   EXPECT_DOUBLE_EQ(def.dc_delay_s, 10e-3);

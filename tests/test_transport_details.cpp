@@ -19,7 +19,7 @@ struct Rig {
     net = std::make_unique<net::Network>(*sim);
     a = net->add_node(net::NodeRole::kClient, "a");
     b = net->add_node(net::NodeRole::kServer, "b");
-    auto [f, r] = net->add_duplex(a, b, cap, delay, qlim);
+    auto [f, r] = net->add_duplex(a, b, sim::BitRate{cap}, delay, qlim);
     ab = f;
     ba = r;
     net->build_routes();
@@ -38,7 +38,8 @@ struct Rig {
 
 TEST(TransportDetails, SrttConvergesToPathRtt) {
   Rig rig;
-  auto h = rig.tm->start_scda_flow(rig.a, rig.b, 2'000'000, 5e6, 5e6);
+  auto h = rig.tm->start_scda_flow(rig.a, rig.b, 2'000'000, sim::BitRate{5e6},
+                               sim::BitRate{5e6});
   rig.sim->run_until(scda::sim::secs(10.0));
   // Path RTT: 2*5ms propagation + serialization (1500B @ 10M ~ 1.2 ms)
   // + ack serialization. Converged SRTT must be close to that.
@@ -52,7 +53,8 @@ TEST(TransportDetails, KarnsRuleNoRttFromRetransmits) {
   // recovery must still be sane (not contaminated by the blackout span).
   Rig rig;
   rig.net->link(rig.ab).set_error_model(1.0, &rig.sim->rng());
-  auto h = rig.tm->start_scda_flow(rig.a, rig.b, 100'000, 5e6, 5e6);
+  auto h = rig.tm->start_scda_flow(rig.a, rig.b, 100'000, sim::BitRate{5e6},
+                               sim::BitRate{5e6});
   rig.sim->post_at(scda::sim::secs(3.0), [&] {
     rig.net->link(rig.ab).set_error_model(0.0, nullptr);
   });
@@ -69,7 +71,8 @@ TEST(TransportDetails, RtoBacksOffExponentially) {
   // rather than one per initial RTO.
   Rig rig;
   rig.net->link(rig.ab).set_error_model(1.0, &rig.sim->rng());
-  auto h = rig.tm->start_scda_flow(rig.a, rig.b, 50'000, 5e6, 5e6);
+  auto h = rig.tm->start_scda_flow(rig.a, rig.b, 50'000, sim::BitRate{5e6},
+                               sim::BitRate{5e6});
   rig.sim->run_until(scda::sim::secs(15.0));
   EXPECT_FALSE(h.sender->fully_acked());
   EXPECT_GE(h.sender->stats().timeouts, 2u);
@@ -78,7 +81,8 @@ TEST(TransportDetails, RtoBacksOffExponentially) {
 
 TEST(TransportDetails, SenderStopsAfterFullAck) {
   Rig rig;
-  auto h = rig.tm->start_scda_flow(rig.a, rig.b, 100'000, 8e6, 8e6);
+  auto h = rig.tm->start_scda_flow(rig.a, rig.b, 100'000, sim::BitRate{8e6},
+                               sim::BitRate{8e6});
   rig.sim->run_until(scda::sim::secs(10.0));
   ASSERT_TRUE(h.sender->fully_acked());
   const auto sent = h.sender->stats().data_packets_sent;
@@ -90,7 +94,8 @@ TEST(TransportDetails, SenderStopsAfterFullAck) {
 TEST(TransportDetails, CompletionReportedExactlyOncePerFlow) {
   Rig rig;
   for (int i = 0; i < 10; ++i)
-    rig.tm->start_scda_flow(rig.a, rig.b, 50'000, 2e6, 2e6);
+    rig.tm->start_scda_flow(rig.a, rig.b, 50'000, sim::BitRate{2e6},
+                               sim::BitRate{2e6});
   rig.sim->run_until(scda::sim::secs(60.0));
   ASSERT_EQ(rig.completed.size(), 10u);
   std::set<net::FlowId> unique(rig.completed.begin(), rig.completed.end());
@@ -113,7 +118,8 @@ TEST(TransportDetails, MinRcvwNeverStallsScdaFlow) {
   // Receiver window floored at one MTU: even a zero-rate advertisement
   // keeps one segment per RTT moving and the flow finishes.
   Rig rig;
-  auto h = rig.tm->start_scda_flow(rig.a, rig.b, 30'000, 5e6, 5e6);
+  auto h = rig.tm->start_scda_flow(rig.a, rig.b, 30'000, sim::BitRate{5e6},
+                               sim::BitRate{5e6});
   h.receiver->set_rcvw_bytes(0);
   rig.sim->run_until(scda::sim::secs(30.0));
   EXPECT_EQ(rig.completed.size(), 1u);
@@ -121,8 +127,10 @@ TEST(TransportDetails, MinRcvwNeverStallsScdaFlow) {
 
 TEST(TransportDetails, TwoCompetingScdaFlowsShareFairlyWhenRatesSay) {
   Rig rig;
-  auto h1 = rig.tm->start_scda_flow(rig.a, rig.b, 4'000'000, 5e6, 5e6);
-  auto h2 = rig.tm->start_scda_flow(rig.a, rig.b, 4'000'000, 5e6, 5e6);
+  auto h1 = rig.tm->start_scda_flow(rig.a, rig.b, 4'000'000, sim::BitRate{5e6},
+                               sim::BitRate{5e6});
+  auto h2 = rig.tm->start_scda_flow(rig.a, rig.b, 4'000'000, sim::BitRate{5e6},
+                               sim::BitRate{5e6});
   (void)h1;
   (void)h2;
   rig.sim->run_until(scda::sim::secs(60.0));

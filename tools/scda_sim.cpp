@@ -159,7 +159,7 @@ int main(int argc, char** argv) {
     cfg.topology.n_clients =
         static_cast<std::int32_t>(args.get_int("clients", 64));
     cfg.params.tau = args.get_double("tau", 0.05);
-    cfg.params.rscale_bps =
+    cfg.params.rscale =
         util::mbps(args.get_double("rscale-mbps", 0.0));
     const std::string metric = args.get("metric", "exact");
     if (metric == "simplified") {

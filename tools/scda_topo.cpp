@@ -64,9 +64,9 @@ int run_tree(const util::ArgParser& args) {
               cfg.n_servers(), cfg.n_tors(), cfg.n_agg, cfg.n_clients);
   std::printf("capacities: server %.0fM | tor %.0fM | agg %.0fM (K=%.1f) | "
               "core-gw %.0fM\n",
-              cfg.base_bps / 1e6, cfg.base_bps / 1e6,
-              cfg.k_factor * cfg.base_bps / 1e6, cfg.k_factor,
-              cfg.core_gw_mult * cfg.base_bps / 1e6);
+              cfg.base_bps.bps() / 1e6, cfg.base_bps.bps() / 1e6,
+              cfg.k_factor * cfg.base_bps.bps() / 1e6, cfg.k_factor,
+              cfg.core_gw_mult * cfg.base_bps.bps() / 1e6);
   paths_between(t.net(), "client -> server:", t.clients()[0],
                 t.servers()[0]);
   paths_between(t.net(), "server -> server (rack):", t.servers()[0],
